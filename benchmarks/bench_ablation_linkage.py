@@ -1,0 +1,85 @@
+"""Ablation: linkage choice and PC count (DESIGN.md design choices).
+
+The paper uses *single* linkage over the *Kaiser* PCs.  This ablation
+regenerates the similarity analysis under complete and average linkage
+and with a truncated PC set, reporting how the headline statistics move
+— evidence that the reproduction's conclusions are not an artifact of
+one parameter choice.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import figure1
+from repro.core.dendrogram import Dendrogram
+from repro.core.linkage import Linkage, hierarchical_clustering
+from repro.core.subsetting import subset_workloads
+
+
+def _same_stack_fraction(labels, merges) -> float:
+    dendrogram = Dendrogram(labels=labels, merges=tuple(merges))
+    first = dendrogram.first_iteration_merges()
+    if not first:
+        return 0.0
+    same = sum(1 for a, b, _d in first if a[0] == b[0])
+    return same / len(first)
+
+
+def test_ablation_linkage_choice(benchmark, experiment, result):
+    def sweep():
+        fractions = {}
+        for linkage in Linkage:
+            merges = hierarchical_clustering(result.pca.scores, linkage)
+            fractions[linkage.value] = _same_stack_fraction(
+                result.matrix.workloads, merges
+            )
+        return fractions
+
+    fractions = benchmark(sweep)
+
+    print()
+    print("Ablation — same-stack share of first-iteration merges by linkage:")
+    for name, fraction in fractions.items():
+        print(f"  {name:9s} {fraction:.0%}")
+    print("(paper reports 80% under single linkage)")
+
+    # The stack-dominance finding must be linkage-robust.
+    for name, fraction in fractions.items():
+        assert fraction >= 0.6, name
+
+
+def test_ablation_pc_count(benchmark, experiment, result):
+    """Observation stability when fewer PCs are kept than Kaiser allows."""
+
+    def truncated_analysis():
+        scores = result.pca.scores[:, :4]  # only PC1-PC4 (Figures 2-3 view)
+        merges = hierarchical_clustering(scores, Linkage.SINGLE)
+        return _same_stack_fraction(result.matrix.workloads, merges)
+
+    fraction = benchmark(truncated_analysis)
+    print()
+    print(
+        f"same-stack first-merge share with only 4 PCs: {fraction:.0%} "
+        f"(Kaiser set: {figure1(result).same_stack_fraction:.0%})"
+    )
+    assert fraction >= 0.5
+
+
+def test_ablation_kaiser_threshold(benchmark, experiment, result):
+    """BIC-chosen K under different PCA retention rules."""
+
+    def sweep():
+        chosen = {}
+        for threshold in (0.8, 1.0, 1.5):
+            sub = subset_workloads(result.matrix, seed=0)
+            from repro.core.pca import fit_pca
+
+            pca = fit_pca(result.matrix.values, kaiser_threshold=threshold)
+            chosen[threshold] = pca.n_kept
+        return chosen
+
+    kept = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("Ablation — PCs retained vs Kaiser threshold:")
+    for threshold, n in kept.items():
+        print(f"  eigenvalue >= {threshold}: {n} PCs")
+    assert kept[0.8] >= kept[1.0] >= kept[1.5]

@@ -1,0 +1,46 @@
+"""Pipeline-stage benchmarks: where the reproduction spends its time.
+
+Times one full workload characterization (engine run → instrumentation →
+simulation → perf collection → 45 metrics) and the statistical stages
+(PCA, hierarchical clustering, K-means + BIC) in isolation.
+"""
+
+import numpy as np
+
+from repro.cluster import Cluster, MeasurementConfig
+from repro.core.bic import choose_k
+from repro.core.linkage import Linkage, hierarchical_clustering
+from repro.core.pca import fit_pca
+from repro.workloads import RunContext, workload_by_name
+
+_FAST = MeasurementConfig(slaves_measured=1, active_cores=2, ops_per_core=2000)
+
+
+def test_characterize_one_workload(benchmark):
+    cluster = Cluster()
+
+    def run():
+        return cluster.characterize_workload(
+            workload_by_name("S-WordCount"), RunContext(scale=0.3, seed=1), _FAST
+        )
+
+    characterization = benchmark.pedantic(run, rounds=3, iterations=1)
+    print()
+    print(f"S-WordCount: ILP={characterization.metrics['ILP']:.3f}, "
+          f"L3_MISS={characterization.metrics['L3_MISS']:.2f} PKI")
+    assert len(characterization.metrics) == 45
+
+
+def test_pca_stage(benchmark, matrix):
+    pca = benchmark(fit_pca, matrix.values)
+    assert pca.n_kept >= 4
+
+
+def test_hierarchical_clustering_stage(benchmark, result):
+    merges = benchmark(hierarchical_clustering, result.pca.scores, Linkage.SINGLE)
+    assert len(merges) == 31
+
+
+def test_kmeans_bic_stage(benchmark, result):
+    selection = benchmark(choose_k, result.pca.scores, 5, 12, 0)
+    assert 5 <= selection.best_k <= 12

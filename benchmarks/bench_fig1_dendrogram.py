@@ -1,0 +1,33 @@
+"""Figure 1: similarity dendrogram of the 32 workloads.
+
+Regenerates the paper's dendrogram (single-linkage hierarchical
+clustering over the Kaiser PCs) and the Observation 1-5 statistics, and
+prints the merge structure with linkage distances.
+"""
+
+from repro.analysis.figures import figure1
+from repro.core.dendrogram import Dendrogram
+from repro.core.linkage import Linkage, hierarchical_clustering
+
+
+def test_fig1_dendrogram(benchmark, experiment, result):
+    def regenerate():
+        merges = hierarchical_clustering(result.pca.scores, Linkage.SINGLE)
+        dendrogram = Dendrogram(
+            labels=result.matrix.workloads, merges=tuple(merges)
+        )
+        return figure1(result), dendrogram
+
+    fig, dendrogram = benchmark(regenerate)
+
+    print()
+    print(fig.render())
+    print()
+    print("paper: 80% of first-iteration clusters are same-stack;")
+    print(f"ours:  {fig.same_stack_fraction:.0%}")
+    print("paper: H-Sort/S-Sort join at 3.19 (shortest cross-stack same-algorithm)")
+    hs = dendrogram.cophenetic_distance("H-Sort", "S-Sort")
+    print(f"ours:  H-Sort/S-Sort join at {hs:.2f}")
+
+    assert fig.same_stack_fraction >= 0.6
+    assert fig.hadoop_tightness < fig.spark_tightness

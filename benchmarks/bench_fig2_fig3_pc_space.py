@@ -1,0 +1,26 @@
+"""Figures 2-3: workloads projected onto PC1/PC2 and PC3/PC4.
+
+Regenerates the scatter data and prints per-workload scores plus the
+paper's two structural claims: the Spark family spreads wider, and one
+PC (the paper's PC2) separates the stacks.
+"""
+
+from repro.analysis.figures import figure2_3
+
+
+def test_fig2_fig3_pc_space(benchmark, experiment, result):
+    fig = benchmark(figure2_3, result)
+
+    print()
+    print(fig.render())
+    print()
+    print("paper: Spark-based workloads spread widely along PC1/PC3/PC4;")
+    print("       Hadoop-based workloads group in the middle; PC2 separates stacks")
+
+    # The paper's shape claims.
+    assert fig.spark_spread[:4].sum() > fig.hadoop_spread[:4].sum()
+    assert 0 <= fig.separating_pc < result.pca.n_kept
+
+    # Scatter series are complete for both PC pairs.
+    assert len(fig.points(0, 1)) == 32
+    assert len(fig.points(2, 3)) == 32

@@ -1,0 +1,33 @@
+"""Figure 6: Kiviat diagrams of the representative workloads.
+
+Regenerates the per-representative radar data over the retained PCs and
+prints the text renderings, checking the paper's diversity claim.
+"""
+
+from repro.analysis.figures import figure6
+from repro.core.kiviat import kiviat_diagrams
+
+
+def test_fig6_kiviat_diagrams(benchmark, experiment, result):
+    def regenerate():
+        return kiviat_diagrams(
+            result.pca.scores,
+            result.matrix.workloads,
+            result.representative_subset,
+        )
+
+    diagrams = benchmark(regenerate)
+
+    fig = figure6(result)
+    print()
+    print(fig.render())
+    print()
+    print(
+        "paper: 'the representative workloads are diverse and different "
+        "workloads are dominated by different principal components'"
+    )
+
+    assert len(diagrams) == len(result.representative_subset)
+    assert len(set(fig.dominant_axes.values())) >= 2
+    for diagram in diagrams:
+        assert len(diagram.values) == result.pca.n_kept

@@ -1,0 +1,21 @@
+"""Sections V-A / V-C: score Observations 1-9 against the reproduction.
+
+Regenerates the paper's nine numbered observations as structured results
+and prints each claim next to our measurement.
+"""
+
+from repro.analysis.observations import evaluate_observations
+
+
+def test_observations_1_through_9(benchmark, experiment):
+    observations = benchmark(evaluate_observations, experiment)
+
+    print()
+    for observation in observations:
+        print(observation.render())
+        print()
+    holding = sum(1 for o in observations if o.holds)
+    print(f"{holding}/9 observations hold in this run")
+
+    assert len(observations) == 9
+    assert holding >= 8

@@ -1,0 +1,31 @@
+"""Table IV: K-means clustering of the suite with BIC model selection.
+
+Regenerates the BIC sweep over candidate K and the resulting cluster
+table, printing both the BIC-chosen clustering and the forced K = 7 view
+for a direct comparison with the paper's Table IV.
+"""
+
+from repro.analysis.tables import table4
+from repro.core.bic import choose_k
+
+
+def test_table4_kmeans_with_bic(benchmark, experiment, result):
+    def regenerate():
+        selection = choose_k(result.pca.scores, k_min=5, k_max=12, seed=0)
+        return table4(result), selection
+
+    table, selection = benchmark(regenerate)
+
+    print()
+    print(table.render())
+    print()
+    print("paper: BIC chose K = 7 over a 32x8 PC matrix; cluster sizes 8/6/5/4/4/3/2")
+    sizes = sorted((len(c) for c in table.clusters), reverse=True)
+    print(f"ours:  BIC chose K = {table.k}; cluster sizes {sizes}")
+
+    assert 5 <= table.k <= 12
+    assert selection.best_k == table.k
+    # Every workload appears in exactly one cluster.
+    members = [w for cluster in table.clusters for w in cluster]
+    assert sorted(members) == sorted(result.matrix.workloads)
+    assert len(table.paper_k_clusters) == 7

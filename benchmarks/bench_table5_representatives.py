@@ -1,0 +1,40 @@
+"""Table V: representative workloads by both selection approaches.
+
+Regenerates the nearest-to-centroid and farthest-from-centroid subsets
+with their cluster sizes and maximal linkage distances, checking the
+paper's conclusion that the boundary subset is the more diverse one.
+"""
+
+from repro.analysis.tables import table5
+from repro.core.representatives import SelectionPolicy, select_representatives
+
+
+def test_table5_representative_selection(benchmark, experiment, result):
+    def regenerate():
+        nearest = select_representatives(
+            result.pca.scores,
+            result.matrix.workloads,
+            result.clustering,
+            SelectionPolicy.NEAREST_TO_CENTER,
+        )
+        farthest = select_representatives(
+            result.pca.scores,
+            result.matrix.workloads,
+            result.clustering,
+            SelectionPolicy.FARTHEST_FROM_CENTER,
+        )
+        return table5(result), nearest, farthest
+
+    table, nearest, farthest = benchmark(regenerate)
+
+    print()
+    print(table.render())
+    print()
+    print("paper: nearest-policy max linkage 5.82; farthest-policy 11.20;")
+    print("       the farthest (boundary) subset keeps the outliers")
+    print(f"recommended subset: {', '.join(result.representative_subset)}")
+
+    assert table.farthest_is_more_diverse
+    assert len(nearest) == len(farthest) == result.clustering.k
+    # The paper's boundary policy retains the K-means outliers.
+    assert {"H-Kmeans", "S-Kmeans"} & set(result.representative_subset)

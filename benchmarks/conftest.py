@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark harness.
+
+The suite characterization (running all 32 workloads through the engines
+and the simulated cluster) is computed once per benchmark session; each
+``bench_*`` file then regenerates one of the paper's figures or tables
+from it, timing the regeneration and printing the same rows/series the
+paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import ExperimentConfig, run_experiment
+from repro.cluster import CollectionConfig, MeasurementConfig
+
+#: The benchmark collection protocol: one measured slave, three active
+#: cores, modest sample sizes — structurally faithful, minutes not hours.
+BENCH_CONFIG = ExperimentConfig(
+    collection=CollectionConfig(
+        scale=0.5,
+        seed=42,
+        measurement=MeasurementConfig(
+            slaves_measured=1, active_cores=3, ops_per_core=4000
+        ),
+    )
+)
+
+
+@pytest.fixture(scope="session")
+def experiment():
+    """The full reproduction, computed once per benchmark session."""
+    return run_experiment(BENCH_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def matrix(experiment):
+    return experiment.result.matrix
+
+
+@pytest.fixture(scope="session")
+def result(experiment):
+    return experiment.result

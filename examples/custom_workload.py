@@ -1,0 +1,149 @@
+"""Extending the suite: characterize a *new* workload against the subset.
+
+A downstream user's question: "my application is not in BigDataBench —
+does the representative subset still cover it?"  This example defines a
+brand-new workload (an inverted-index build, implemented on both stacks),
+characterizes it on the same simulated cluster, projects it into the
+suite's PC space, and reports which cluster it falls into and how far it
+sits from the nearest representative.
+
+Run:  python examples/custom_workload.py        (~30 s)
+"""
+
+import numpy as np
+
+from repro.cluster import (
+    Cluster,
+    CollectionConfig,
+    MeasurementConfig,
+    characterize_suite,
+)
+from repro.core import subset_workloads
+from repro.datagen import Bdgs
+from repro.metrics import metrics_to_array
+from repro.stacks.hadoop import HadoopStack
+from repro.stacks.hdfs import Hdfs
+from repro.stacks.instrument import CharacterHints
+from repro.stacks.mapreduce import MapReduceJob
+from repro.stacks.spark import SparkEngine
+from repro.workloads import (
+    Category,
+    DataType,
+    RunContext,
+    StackFamily,
+    Workload,
+    WorkloadRun,
+)
+
+
+def _inverted_index_hadoop(context: RunContext) -> WorkloadRun:
+    """Build word -> sorted document-id postings with MapReduce."""
+    bdgs = Bdgs(seed=context.seed)
+    docs = bdgs.text_lines(context.records(1500))
+    stack = HadoopStack()
+    stack.hdfs.put("/input/invidx", list(enumerate(docs)))
+    trace = stack.new_trace("H-InvertedIndex")
+    job = MapReduceJob(
+        name="inverted-index",
+        mapper=lambda pair: [(word, pair[0]) for word in set(pair[1].split())],
+        reducer=lambda word, doc_ids: [(word, tuple(sorted(doc_ids)))],
+    )
+    output = stack.run(job, "/input/invidx", trace)
+    checked = all(list(postings) == sorted(postings) for _w, postings in output)
+    return WorkloadRun(
+        trace=trace,
+        output_records=len(output),
+        checks={"postings_sorted": float(checked)},
+    )
+
+
+def _inverted_index_spark(context: RunContext) -> WorkloadRun:
+    bdgs = Bdgs(seed=context.seed)
+    docs = bdgs.text_lines(context.records(1500))
+    hdfs = Hdfs()
+    hdfs.put("/input/invidx", list(enumerate(docs)))
+    engine = SparkEngine()
+    trace = engine.new_trace("S-InvertedIndex")
+    output = (
+        engine.from_hdfs(hdfs, "/input/invidx")
+        .flat_map(lambda pair: [(word, pair[0]) for word in set(pair[1].split())])
+        .group_by_key()
+        .map(lambda kv: (kv[0], tuple(sorted(kv[1]))))
+        .collect(trace)
+    )
+    checked = all(list(postings) == sorted(postings) for _w, postings in output)
+    return WorkloadRun(
+        trace=trace,
+        output_records=len(output),
+        checks={"postings_sorted": float(checked)},
+    )
+
+
+def make_workloads() -> tuple[Workload, Workload]:
+    common = dict(
+        algorithm="InvertedIndex",
+        category=Category.OFFLINE_ANALYTICS,
+        data_type=DataType.UNSTRUCTURED,
+        declared_size="60 GB",
+        declared_bytes=60 * (1 << 30),
+        hints=CharacterHints(integer_shift=0.05, branch_entropy_shift=0.05),
+    )
+    return (
+        Workload(family=StackFamily.HADOOP, runner=_inverted_index_hadoop, **common),
+        Workload(family=StackFamily.SPARK, runner=_inverted_index_spark, **common),
+    )
+
+
+def main() -> None:
+    config = CollectionConfig(
+        scale=0.5,
+        seed=42,
+        measurement=MeasurementConfig(
+            slaves_measured=1, active_cores=3, ops_per_core=4000
+        ),
+    )
+    print("Characterizing the 32-workload suite…")
+    suite = characterize_suite(config=config)
+    result = subset_workloads(suite.matrix)
+
+    cluster = Cluster()
+    context = RunContext(scale=config.scale, seed=config.seed)
+    print("Characterizing the new InvertedIndex workloads…")
+    for workload in make_workloads():
+        characterization = cluster.characterize_workload(
+            workload, context, config.measurement
+        )
+        assert characterization.run.checks["postings_sorted"] == 1.0
+
+        vector = metrics_to_array(characterization.metrics)
+        scores = result.pca.project(vector.reshape(1, -1))[0]
+
+        # Nearest K-means cluster in PC space.
+        distances = np.linalg.norm(result.clustering.centers - scores, axis=1)
+        nearest_cluster = int(np.argmin(distances))
+        representative = next(
+            rep
+            for rep in result.farthest
+            if rep.cluster_index == nearest_cluster
+        )
+        print(f"\n{workload.name}:")
+        print(f"  PC scores: {np.round(scores[:4], 2)} …")
+        print(
+            f"  nearest cluster: #{nearest_cluster} "
+            f"(represented by {representative.workload}, "
+            f"distance {distances[nearest_cluster]:.2f})"
+        )
+        print(f"  cluster members: {', '.join(representative.members)}")
+        within = distances[nearest_cluster] <= 1.5 * max(
+            np.linalg.norm(
+                result.pca.scores[list(result.matrix.workloads).index(m)]
+                - result.clustering.centers[nearest_cluster]
+            )
+            for m in representative.members
+        )
+        verdict = "covered by" if within else "NOT well covered by"
+        print(f"  => the new workload is {verdict} the representative subset")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Section VI reproduction: subsetting the suite for simulation.
+
+Runs the full pipeline and prints Table IV (K-means clusters with BIC
+model selection), Table V (representatives under both policies) and the
+Figure 6 Kiviat diagrams, then saves the recommended simulator subset.
+
+Run:  python examples/subsetting.py             (~30 s)
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import figure6, table4, table5
+from repro.cluster import CollectionConfig, MeasurementConfig, characterize_suite
+from repro.core import SelectionPolicy, subset_workloads
+
+
+def main() -> None:
+    config = CollectionConfig(
+        scale=0.5,
+        seed=42,
+        measurement=MeasurementConfig(
+            slaves_measured=1, active_cores=3, ops_per_core=4000
+        ),
+    )
+    print("Characterizing the 32-workload suite…")
+    suite = characterize_suite(config=config)
+    result = subset_workloads(suite.matrix)
+
+    print("\n" + table4(result).render())
+    print("\n" + table5(result).render())
+    print("\n" + figure6(result).render())
+
+    subset = result.representative_subset
+    out_path = Path("simulator_subset.json")
+    out_path.write_text(
+        json.dumps(
+            {
+                "representative_workloads": list(subset),
+                "selection_policy": SelectionPolicy.FARTHEST_FROM_CENTER.value,
+                "clusters_k": result.clustering.k,
+                "retained_pcs": result.pca.n_kept,
+                "retained_variance": result.pca.retained_variance,
+            },
+            indent=2,
+        )
+    )
+    print(
+        f"\nThe 'BigDataBench simulator version' subset "
+        f"({len(subset)} of 32 workloads) was written to {out_path}:"
+    )
+    for name in subset:
+        print(f"  {name}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim: enables legacy editable installs (pip --no-use-pep517).
+
+The offline environment has no `wheel` package, so PEP 660 editable
+installs cannot build; `pip install -e . --no-use-pep517` uses this shim.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""repro — reproduction of "Characterizing and Subsetting Big Data Workloads".
+
+A full-stack reproduction of Jia et al., IISWC 2014: the 32-workload
+BigDataBench subset really executes on miniature Hadoop / Spark / Hive /
+Shark engines, a simulated Westmere cluster collects the paper's 45
+microarchitectural metrics through a perf-like PMU layer, and the paper's
+statistical pipeline (PCA with Kaiser's criterion, single-linkage
+hierarchical clustering, K-means with BIC model selection, representative
+selection) reproduces every figure and table of the evaluation.
+
+Quick start::
+
+    from repro import run_experiment, FAST_CONFIG
+    experiment = run_experiment(FAST_CONFIG)
+    print(experiment.render())
+"""
+
+from repro.analysis import FAST_CONFIG, Experiment, ExperimentConfig, run_experiment
+from repro.cluster import (
+    CollectionConfig,
+    Cluster,
+    MeasurementConfig,
+    characterize_suite,
+)
+from repro.core import (
+    SelectionPolicy,
+    SubsettingResult,
+    WorkloadMetricMatrix,
+    subset_workloads,
+)
+from repro.errors import ReproError
+from repro.workloads import SUITE, RunContext, Workload, workload_by_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FAST_CONFIG",
+    "Experiment",
+    "ExperimentConfig",
+    "run_experiment",
+    "CollectionConfig",
+    "Cluster",
+    "MeasurementConfig",
+    "characterize_suite",
+    "SelectionPolicy",
+    "SubsettingResult",
+    "WorkloadMetricMatrix",
+    "subset_workloads",
+    "ReproError",
+    "SUITE",
+    "RunContext",
+    "Workload",
+    "workload_by_name",
+    "__version__",
+]

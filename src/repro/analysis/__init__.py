@@ -1,0 +1,57 @@
+"""Reproduction harness: every figure and table of the evaluation."""
+
+from repro.analysis.observations import Observation, evaluate_observations
+from repro.analysis.sensitivity import CategorySensitivity, metric_category_sensitivity
+from repro.analysis.report import write_report
+from repro.analysis.runtime import RuntimeEstimate, estimate_runtime
+from repro.analysis.experiment import (
+    FAST_CONFIG,
+    Experiment,
+    ExperimentConfig,
+    run_experiment,
+)
+from repro.analysis.figures import (
+    FIG5_NEGATIVE_METRICS,
+    FIG5_POSITIVE_METRICS,
+    Figure1,
+    Figure23,
+    Figure4,
+    Figure5,
+    Figure6,
+    figure1,
+    figure2_3,
+    figure4,
+    figure5,
+    figure6,
+)
+from repro.analysis.tables import Table4, Table5, table4, table5
+
+__all__ = [
+    "CategorySensitivity",
+    "metric_category_sensitivity",
+    "Observation",
+    "evaluate_observations",
+    "write_report",
+    "RuntimeEstimate",
+    "estimate_runtime",
+    "FAST_CONFIG",
+    "Experiment",
+    "ExperimentConfig",
+    "run_experiment",
+    "FIG5_NEGATIVE_METRICS",
+    "FIG5_POSITIVE_METRICS",
+    "Figure1",
+    "Figure23",
+    "Figure4",
+    "Figure5",
+    "Figure6",
+    "figure1",
+    "figure2_3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "Table4",
+    "Table5",
+    "table4",
+    "table5",
+]

@@ -1,0 +1,383 @@
+"""Data products for every figure of the paper's evaluation.
+
+Each ``figureN`` function returns a small dataclass holding the numbers
+behind the corresponding figure plus a ``render()`` text view, so the
+benchmark harness can print the same rows/series the paper plots and the
+tests can assert on the underlying values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import WorkloadMetricMatrix
+from repro.core.kiviat import KiviatDiagram
+from repro.core.subsetting import SubsettingResult
+from repro.errors import AnalysisError
+from repro.metrics.catalog import METRIC_NAMES
+
+__all__ = [
+    "Figure1",
+    "figure1",
+    "Figure23",
+    "figure2_3",
+    "Figure4",
+    "figure4",
+    "Figure5",
+    "figure5",
+    "FIG5_NEGATIVE_METRICS",
+    "FIG5_POSITIVE_METRICS",
+    "Figure6",
+    "figure6",
+]
+
+
+def _stack_of(workload: str) -> str:
+    return "hadoop" if workload.startswith("H-") else "spark"
+
+
+# ---------------------------------------------------------------------------
+# Figure 1: similarity dendrogram
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure1:
+    """Figure 1 data: the dendrogram plus Observation 1-5 statistics.
+
+    Attributes:
+        result: The full subsetting result (holds the dendrogram).
+        first_iteration: Leaf-leaf merges ``(a, b, distance)``.
+        same_stack_fraction: Share of first-iteration merges pairing two
+            same-stack workloads (paper: 80 %).
+        same_algorithm_pairs: First-iteration merges pairing the same
+            algorithm across stacks (paper: only Projection).
+        hadoop_tightness: Mean cophenetic distance among Hadoop-family
+            workloads.
+        spark_tightness: Mean cophenetic distance among Spark-family
+            workloads (paper: larger — Spark is more diverse).
+    """
+
+    result: SubsettingResult
+    first_iteration: tuple[tuple[str, str, float], ...]
+    same_stack_fraction: float
+    same_algorithm_pairs: tuple[tuple[str, str, float], ...]
+    hadoop_tightness: float
+    spark_tightness: float
+
+    def render(self) -> str:
+        lines = [
+            "Figure 1 — Similarity of Hadoop (H) and Spark (S) workloads",
+            "",
+            self.result.dendrogram.render(),
+            "",
+            f"first-iteration merges: {len(self.first_iteration)}",
+            f"same-stack fraction:    {self.same_stack_fraction:.0%} (paper: 80%)",
+            f"cross-stack same-algorithm first merges: "
+            f"{[f'{a}+{b}' for a, b, _ in self.same_algorithm_pairs]}",
+            f"mean cophenetic distance, Hadoop family: {self.hadoop_tightness:.2f}",
+            f"mean cophenetic distance, Spark family:  {self.spark_tightness:.2f}",
+        ]
+        return "\n".join(lines)
+
+
+def figure1(result: SubsettingResult) -> Figure1:
+    """Build the Figure 1 data from a subsetting result."""
+    dendrogram = result.dendrogram
+    first = tuple(dendrogram.first_iteration_merges())
+    if first:
+        same_stack = sum(1 for a, b, _ in first if _stack_of(a) == _stack_of(b))
+        same_stack_fraction = same_stack / len(first)
+    else:
+        same_stack_fraction = 0.0
+    same_algorithm = tuple(
+        (a, b, d) for a, b, d in first if a[2:] == b[2:] and a != b
+    )
+
+    def tightness(prefix: str) -> float:
+        family = [w for w in dendrogram.labels if w.startswith(prefix)]
+        distances = [
+            dendrogram.cophenetic_distance(a, b)
+            for i, a in enumerate(family)
+            for b in family[i + 1 :]
+        ]
+        return float(np.mean(distances)) if distances else 0.0
+
+    return Figure1(
+        result=result,
+        first_iteration=first,
+        same_stack_fraction=same_stack_fraction,
+        same_algorithm_pairs=same_algorithm,
+        hadoop_tightness=tightness("H-"),
+        spark_tightness=tightness("S-"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 2 and 3: PC-space scatter plots
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure23:
+    """Figures 2-3 data: per-workload scores on the first four PCs.
+
+    Attributes:
+        workloads: Row labels.
+        scores: ``(n, >=4)`` PC-score matrix.
+        hadoop_spread: Per-PC standard deviation of the Hadoop family.
+        spark_spread: Per-PC standard deviation of the Spark family
+            (paper: larger along PC1, PC3, PC4 — Spark covers the space).
+        separating_pc: The PC index (0-based) that best separates the two
+            stacks (largest |mean difference| / pooled std; the paper
+            identifies PC2).
+    """
+
+    workloads: tuple[str, ...]
+    scores: np.ndarray
+    hadoop_spread: np.ndarray
+    spark_spread: np.ndarray
+    separating_pc: int
+
+    def points(self, pc_x: int, pc_y: int) -> list[tuple[str, float, float]]:
+        """The scatter series for one PC pair (0-based indices)."""
+        return [
+            (w, float(self.scores[i, pc_x]), float(self.scores[i, pc_y]))
+            for i, w in enumerate(self.workloads)
+        ]
+
+    def render(self) -> str:
+        lines = ["Figures 2-3 — workloads in PC space (first four PCs)", ""]
+        lines.append(f"{'workload':16s} {'PC1':>8} {'PC2':>8} {'PC3':>8} {'PC4':>8}")
+        for i, workload in enumerate(self.workloads):
+            row = self.scores[i, :4]
+            lines.append(
+                f"{workload:16s} " + " ".join(f"{v:8.2f}" for v in row)
+            )
+        lines.append("")
+        lines.append(
+            "spread (std) per PC:  Hadoop "
+            + " ".join(f"{v:.2f}" for v in self.hadoop_spread[:4])
+            + " | Spark "
+            + " ".join(f"{v:.2f}" for v in self.spark_spread[:4])
+        )
+        lines.append(
+            f"stack-separating PC: PC{self.separating_pc + 1} (paper: PC2)"
+        )
+        return "\n".join(lines)
+
+
+def figure2_3(result: SubsettingResult) -> Figure23:
+    """Build the Figures 2-3 data from a subsetting result."""
+    scores = result.pca.scores
+    workloads = result.matrix.workloads
+    hadoop_rows = [i for i, w in enumerate(workloads) if w.startswith("H-")]
+    spark_rows = [i for i, w in enumerate(workloads) if w.startswith("S-")]
+    if not hadoop_rows or not spark_rows:
+        raise AnalysisError("figure2_3 needs both stack families present")
+    hadoop = scores[hadoop_rows]
+    spark = scores[spark_rows]
+    separation = np.abs(hadoop.mean(axis=0) - spark.mean(axis=0)) / (
+        0.5 * (hadoop.std(axis=0) + spark.std(axis=0)) + 1e-12
+    )
+    return Figure23(
+        workloads=workloads,
+        scores=scores,
+        hadoop_spread=hadoop.std(axis=0),
+        spark_spread=spark.std(axis=0),
+        separating_pc=int(np.argmax(separation)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: factor loadings
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure4:
+    """Figure 4 data: factor loadings of the first four PCs.
+
+    Attributes:
+        metric_names: All 45 metric names.
+        loadings: ``(45, >=4)`` loading matrix.
+    """
+
+    metric_names: tuple[str, ...]
+    loadings: np.ndarray
+
+    def dominant_metrics(self, pc: int, top: int = 8) -> list[tuple[str, float]]:
+        """The ``top`` strongest-|loading| metrics of a PC (0-based)."""
+        column = self.loadings[:, pc]
+        order = np.argsort(-np.abs(column))[:top]
+        return [(self.metric_names[i], float(column[i])) for i in order]
+
+    def render(self) -> str:
+        lines = ["Figure 4 — factor loadings of PC1-PC4", ""]
+        header = f"{'metric':16s}" + "".join(f"{f'PC{j+1}':>9}" for j in range(4))
+        lines.append(header)
+        for i, name in enumerate(self.metric_names):
+            row = self.loadings[i, :4]
+            lines.append(f"{name:16s}" + "".join(f"{v:9.3f}" for v in row))
+        lines.append("")
+        for pc in range(4):
+            top = self.dominant_metrics(pc, top=6)
+            lines.append(
+                f"PC{pc + 1} dominated by: "
+                + ", ".join(f"{n} ({v:+.2f})" for n, v in top)
+            )
+        return "\n".join(lines)
+
+
+def figure4(result: SubsettingResult) -> Figure4:
+    """Build the Figure 4 loadings (first four PCs, all 45 metrics)."""
+    k = max(4, result.pca.n_kept)
+    return Figure4(
+        metric_names=METRIC_NAMES,
+        loadings=result.pca.loadings(min(k, result.pca.components.shape[1])),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: metrics differentiating Hadoop and Spark
+# ---------------------------------------------------------------------------
+
+#: Metrics the paper reports as *higher for Spark* (negative PC2 weights).
+FIG5_NEGATIVE_METRICS: tuple[str, ...] = (
+    "L3_MISS",
+    "DTLB_MISS",
+    "DECODER_STALL",
+    "ILD_STALL",
+    "UOPS_STALL",
+    "RESOURCE_STALL",
+    "BRANCH",
+    "SNOOP_HIT",
+    "SNOOP_HITE",
+)
+
+#: Metrics the paper reports as *higher for Hadoop* (positive PC2 weights).
+FIG5_POSITIVE_METRICS: tuple[str, ...] = (
+    "ILP",
+    "DATA_HIT_STLB",
+    "FETCH_STALL",
+    "UOPS_EXE_CYCLE",
+    "STORE",
+    "OFFCORE_DATA",
+)
+
+
+@dataclass(frozen=True)
+class Figure5:
+    """Figure 5 data: Hadoop means normalized to the Spark baseline.
+
+    Attributes:
+        ratios: ``{metric: hadoop_mean / spark_mean}`` for the Figure 5
+            metric set.
+        expected_direction: ``{metric: +1 | -1}`` — +1 when the paper
+            shows the metric higher on Hadoop.
+        agreement: ``{metric: bool}`` — whether our ratio matches.
+        l1i_ratio: H/S ratio of L1I MPKI (paper: ~1.3).
+        hadoop_stlb_hit_rate: Data STLB hit rate, Hadoop mean (paper
+            61.48 %).
+        spark_stlb_hit_rate: Data STLB hit rate, Spark mean (paper
+            50.80 %).
+    """
+
+    ratios: dict[str, float]
+    expected_direction: dict[str, int]
+    agreement: dict[str, bool]
+    l1i_ratio: float
+    hadoop_stlb_hit_rate: float
+    spark_stlb_hit_rate: float
+
+    @property
+    def agreement_fraction(self) -> float:
+        """Share of Figure 5 metrics whose direction matches the paper."""
+        return sum(self.agreement.values()) / len(self.agreement)
+
+    def render(self) -> str:
+        lines = [
+            "Figure 5 — metrics causing Hadoop and Spark to behave differently",
+            "(Hadoop mean normalized to Spark mean; paper direction in braces)",
+            "",
+        ]
+        for name, ratio in self.ratios.items():
+            direction = "H>S" if self.expected_direction[name] > 0 else "S>H"
+            check = "ok" if self.agreement[name] else "DEVIATES"
+            lines.append(f"  {name:15s} H/S = {ratio:6.2f}  {{{direction}}}  {check}")
+        lines.append("")
+        lines.append(f"direction agreement: {self.agreement_fraction:.0%}")
+        lines.append(f"L1I MPKI ratio H/S: {self.l1i_ratio:.2f} (paper ~1.3)")
+        lines.append(
+            f"data STLB hit rate: Hadoop {self.hadoop_stlb_hit_rate:.1%} "
+            f"(paper 61.5%), Spark {self.spark_stlb_hit_rate:.1%} (paper 50.8%)"
+        )
+        return "\n".join(lines)
+
+
+def figure5(matrix: WorkloadMetricMatrix) -> Figure5:
+    """Build the Figure 5 comparison from the raw metric matrix."""
+    hadoop_rows = [i for i, w in enumerate(matrix.workloads) if w.startswith("H-")]
+    spark_rows = [i for i, w in enumerate(matrix.workloads) if w.startswith("S-")]
+    if not hadoop_rows or not spark_rows:
+        raise AnalysisError("figure5 needs both stack families present")
+
+    def mean_of(metric: str, rows: list[int]) -> float:
+        return float(matrix.column(metric)[rows].mean())
+
+    ratios: dict[str, float] = {}
+    expected: dict[str, int] = {}
+    agreement: dict[str, bool] = {}
+    for name in FIG5_NEGATIVE_METRICS + FIG5_POSITIVE_METRICS:
+        hadoop_mean = mean_of(name, hadoop_rows)
+        spark_mean = mean_of(name, spark_rows)
+        ratio = hadoop_mean / spark_mean if spark_mean else float("inf")
+        ratios[name] = ratio
+        expected[name] = 1 if name in FIG5_POSITIVE_METRICS else -1
+        agreement[name] = (ratio > 1.0) == (expected[name] > 0)
+
+    def stlb_hit_rate(rows: list[int]) -> float:
+        hits = float(matrix.column("DATA_HIT_STLB")[rows].mean())
+        walks = float(matrix.column("DTLB_MISS")[rows].mean())
+        total = hits + walks
+        return hits / total if total else 0.0
+
+    return Figure5(
+        ratios=ratios,
+        expected_direction=expected,
+        agreement=agreement,
+        l1i_ratio=mean_of("L1I_MISS", hadoop_rows) / mean_of("L1I_MISS", spark_rows),
+        hadoop_stlb_hit_rate=stlb_hit_rate(hadoop_rows),
+        spark_stlb_hit_rate=stlb_hit_rate(spark_rows),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: Kiviat diagrams of the representative subset
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Figure6:
+    """Figure 6 data: one Kiviat diagram per representative workload."""
+
+    diagrams: tuple[KiviatDiagram, ...]
+
+    @property
+    def dominant_axes(self) -> dict[str, str]:
+        """Which PC dominates each representative (diversity evidence)."""
+        return {d.workload: d.dominant_axis for d in self.diagrams}
+
+    def render(self) -> str:
+        parts = ["Figure 6 — Kiviat diagrams of the representative workloads", ""]
+        parts.extend(diagram.render() for diagram in self.diagrams)
+        parts.append("")
+        parts.append(f"dominant axes: {self.dominant_axes}")
+        return "\n\n".join(parts)
+
+
+def figure6(result: SubsettingResult) -> Figure6:
+    """Build the Figure 6 Kiviat set from a subsetting result."""
+    return Figure6(diagrams=result.kiviat)

@@ -1,0 +1,74 @@
+"""Report writer: persist a full reproduction run as files.
+
+Produces a directory a downstream user can archive or diff across
+configurations:
+
+* ``report.md`` — every figure/table rendering plus the summary header;
+* ``metrics.json`` — the 32×45 matrix (reloadable via
+  :meth:`repro.core.dataset.WorkloadMetricMatrix.load`);
+* ``metrics.csv`` — the same matrix for spreadsheet tools;
+* ``subset.json`` — the recommended simulator subset with its provenance.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.experiment import Experiment
+from repro.core.representatives import SelectionPolicy
+
+__all__ = ["write_report"]
+
+
+def _summary(experiment: Experiment) -> str:
+    result = experiment.result
+    lines = [
+        "# Reproduction report — Characterizing and Subsetting Big Data Workloads",
+        "",
+        f"- workloads characterized: {len(result.matrix.workloads)}",
+        f"- Kaiser PCs retained: {result.pca.n_kept} "
+        f"({result.pca.retained_variance:.2%} variance; paper: 8, 91.12 %)",
+        f"- BIC-chosen K: {result.bic.best_k} (paper: 7)",
+        f"- same-stack share of first merges: "
+        f"{experiment.fig1.same_stack_fraction:.0%} (paper: 80 %)",
+        f"- Figure 5 direction agreement: "
+        f"{experiment.fig5.agreement_fraction:.0%}",
+        f"- recommended subset: {', '.join(result.representative_subset)}",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def write_report(experiment: Experiment, out_dir: str | Path) -> Path:
+    """Write the report bundle into ``out_dir``; returns the directory."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    (out / "report.md").write_text(
+        _summary(experiment) + "\n" + experiment.render() + "\n"
+    )
+    experiment.result.matrix.save(out / "metrics.json")
+    (out / "metrics.csv").write_text(experiment.result.matrix.to_csv())
+    (out / "dendrogram.newick").write_text(
+        experiment.result.dendrogram.to_newick() + "\n"
+    )
+
+    result = experiment.result
+    subset_payload = {
+        "paper": "Characterizing and Subsetting Big Data Workloads (IISWC 2014)",
+        "selection_policy": SelectionPolicy.FARTHEST_FROM_CENTER.value,
+        "clusters_k": result.clustering.k,
+        "retained_pcs": result.pca.n_kept,
+        "retained_variance": result.pca.retained_variance,
+        "representatives": [
+            {
+                "workload": rep.workload,
+                "cluster_size": rep.cluster_size,
+                "members": list(rep.members),
+            }
+            for rep in result.farthest
+        ],
+    }
+    (out / "subset.json").write_text(json.dumps(subset_payload, indent=2))
+    return out

@@ -1,0 +1,164 @@
+"""User-observed runtime model (the paper's motivating contrast).
+
+The introduction motivates including multiple stacks with the
+user-observed performance gap: "Compared to Hadoop, Spark improves
+runtime performance by factors of up to 100" (for iterative, in-memory
+workloads).  This module closes that loop: it estimates wall-clock
+runtime from the same artefacts the characterization uses — the engine
+trace (bytes moved per phase, JVM launches) and the measured IPC — so
+the speedup emerges from the mechanisms (disk-materialised intermediates
+and per-task JVMs vs cached partitions), not from a dialled-in factor.
+
+The model is deliberately simple and fully documented::
+
+    compute  = instructions / (IPC * frequency * active cores)
+    disk     = bytes through disk-backed phases / disk bandwidth
+    network  = shuffle bytes / NIC bandwidth (per transfer latency added)
+    startup  = JVM launches * per-launch cost (Hadoop's task model)
+
+Absolute seconds are simulator values; the Hadoop/Spark *ratio* per
+algorithm is the reproduction target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.network import GigabitNetwork
+from repro.cluster.testbed import WorkloadCharacterization
+from repro.errors import AnalysisError
+from repro.stacks.base import PhaseKind
+from repro.stacks.instrument import profiles_from_trace
+from repro.workloads.base import Workload
+
+__all__ = ["RuntimeEstimate", "estimate_runtime"]
+
+#: Sustained sequential bandwidth of the testbed-era SATA disks.
+DISK_BYTES_PER_S = 120e6
+#: Cost of launching one task JVM (fork + class loading), seconds.
+JVM_START_S = 0.6
+#: Core frequency (Table III) and task parallelism per node.
+FREQUENCY_HZ = 2.4e9
+ACTIVE_CORES = 4
+
+#: Phases whose input/output rides through the local disk on Hadoop.
+#: MAP is included: every MapReduce job re-reads its input from HDFS —
+#: the disk round trip that iterative algorithms pay once per iteration
+#: and that Spark's cached partitions avoid (CACHE_SCAN is memory).
+_DISK_KINDS = (
+    PhaseKind.MAP,
+    PhaseKind.SPILL,
+    PhaseKind.SHUFFLE,
+    PhaseKind.SORT_MERGE,
+    PhaseKind.OUTPUT,
+)
+#: Phases that move bytes across the network on either stack.
+_NETWORK_KINDS = (PhaseKind.SHUFFLE, PhaseKind.SHUFFLE_READ)
+#: HDFS block size at real scale: one map-task JVM per block.
+_HDFS_BLOCK_BYTES = 64 * (1 << 20)
+_REDUCERS_PER_JOB = 4
+
+
+@dataclass(frozen=True)
+class RuntimeEstimate:
+    """Wall-clock breakdown of one workload run.
+
+    Attributes:
+        workload: Workload label.
+        compute_s: Retirement time at the measured IPC.
+        disk_s: Disk time of disk-backed phases (zero on pure Spark paths).
+        network_s: Shuffle transfer time on the 1 GbE interconnect.
+        startup_s: Task JVM launch time (Hadoop's process-per-task model).
+    """
+
+    workload: str
+    compute_s: float
+    disk_s: float
+    network_s: float
+    startup_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.compute_s + self.disk_s + self.network_s + self.startup_s
+
+    def render(self) -> str:
+        return (
+            f"{self.workload:18s} total {self.total_s:8.2f}s  "
+            f"(compute {self.compute_s:7.2f}  disk {self.disk_s:7.2f}  "
+            f"network {self.network_s:6.2f}  jvm {self.startup_s:6.2f})"
+        )
+
+
+def estimate_runtime(
+    workload: Workload,
+    characterization: WorkloadCharacterization,
+) -> RuntimeEstimate:
+    """Estimate the wall-clock runtime of one characterized workload.
+
+    Args:
+        workload: The workload definition (provides the character hints
+            the instrumentation used).
+        characterization: Its characterization (trace + measured metrics).
+
+    Raises:
+        AnalysisError: If the measured IPC is not positive.
+    """
+    trace = characterization.run.trace
+    ipc = characterization.metrics.get("ILP", 0.0)
+    if ipc <= 0:
+        raise AnalysisError(f"{workload.name}: measured IPC must be positive")
+
+    # Engines ran on scaled-down data; extrapolate volumes (instructions,
+    # bytes, task launches) back to the declared Table I problem size.
+    # The scale anchor is the *input scan* volume so both stack variants
+    # of an algorithm extrapolate identically.
+    scan_bytes = [
+        record.bytes_in
+        for record in trace.records
+        if record.kind is PhaseKind.MAP
+        or (record.kind is PhaseKind.STAGE and record.name.startswith("scan:"))
+    ]
+    actual_input = max(
+        scan_bytes or [max((r.bytes_in for r in trace.records), default=1)]
+    )
+    scale = max(1.0, workload.declared_bytes / max(1, actual_input))
+
+    profiles = profiles_from_trace(trace, workload.hints)
+    instructions = scale * float(sum(p.instructions for p in profiles))
+    compute_s = instructions / (ipc * FREQUENCY_HZ * ACTIVE_CORES)
+
+    disk_bytes = scale * sum(
+        record.bytes_in for record in trace.records if record.kind in _DISK_KINDS
+    )
+    # Spark's cold scans (first read of an uncached RDD) also hit disk.
+    disk_bytes += scale * sum(
+        record.bytes_in
+        for record in trace.records
+        if record.kind is PhaseKind.STAGE and record.name.startswith("scan:")
+    )
+    disk_s = disk_bytes / DISK_BYTES_PER_S
+
+    # Scale the byte volume, not the per-transfer latencies (the number
+    # of fetch round trips grows with tasks, not with bytes; it is folded
+    # into the task-launch/connection overhead below).
+    network = GigabitNetwork()
+    network_bytes = scale * sum(
+        record.bytes_in for record in trace.records if record.kind in _NETWORK_KINDS
+    )
+    network_s = network.transfer(int(network_bytes))
+
+    # Task-launch cost at real scale: Hadoop launches one JVM per 64 MB
+    # input block per job, plus the reducers; launches overlap across the
+    # task slots.  (The scaled-down trace's own jvm_starts reflect toy
+    # block sizes and would wildly overcount if multiplied linearly.)
+    n_jobs = sum(1 for record in trace.records if record.kind is PhaseKind.SETUP)
+    tasks_per_job = workload.declared_bytes / _HDFS_BLOCK_BYTES + _REDUCERS_PER_JOB
+    startup_s = n_jobs * tasks_per_job * JVM_START_S / ACTIVE_CORES
+
+    return RuntimeEstimate(
+        workload=workload.name,
+        compute_s=compute_s,
+        disk_s=disk_s,
+        network_s=network_s,
+        startup_s=startup_s,
+    )

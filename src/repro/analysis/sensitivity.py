@@ -1,0 +1,127 @@
+"""Metric-category sensitivity of the subsetting result.
+
+The paper identifies "the most important microarchitectural-level
+metrics" through factor loadings (Section V-B).  This module asks the
+complementary question from the subsetting side: *how much does the
+recommended subset depend on each Table II metric category?*  For each
+category we re-run the pipeline with that category's columns removed and
+measure how the representative subset and the clustering move.
+
+A category whose removal barely changes the subset is redundant with the
+rest (its information is carried by correlated metrics — the very
+redundancy PCA exploits); a category whose removal reshuffles the subset
+carries unique discriminating information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dataset import WorkloadMetricMatrix
+from repro.core.subsetting import SubsettingResult, subset_workloads
+from repro.errors import AnalysisError
+from repro.metrics.catalog import METRIC_NAMES, MetricCategory, metrics_in_category
+
+__all__ = ["CategorySensitivity", "metric_category_sensitivity"]
+
+
+@dataclass(frozen=True)
+class CategorySensitivity:
+    """Effect of removing one metric category.
+
+    Attributes:
+        category: The removed Table II category.
+        n_metrics_removed: How many of the 45 columns were dropped.
+        subset_jaccard: Jaccard similarity between the full-pipeline
+            subset and the reduced-pipeline subset (1.0 = unchanged).
+        cluster_agreement: Rand-index-style pairwise agreement between
+            the two clusterings (fraction of workload pairs grouped the
+            same way).
+        k_delta: Change in the BIC-chosen K.
+    """
+
+    category: MetricCategory
+    n_metrics_removed: int
+    subset_jaccard: float
+    cluster_agreement: float
+    k_delta: int
+
+    def render(self) -> str:
+        return (
+            f"{self.category.value:22s} -{self.n_metrics_removed:>2} metrics: "
+            f"subset Jaccard {self.subset_jaccard:.2f}, "
+            f"cluster agreement {self.cluster_agreement:.2f}, "
+            f"ΔK {self.k_delta:+d}"
+        )
+
+
+def _pairwise_agreement(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Rand index: fraction of pairs co-clustered identically."""
+    n = len(labels_a)
+    if n < 2:
+        raise AnalysisError("need at least two workloads to compare clusterings")
+    same_a = labels_a[:, None] == labels_a[None, :]
+    same_b = labels_b[:, None] == labels_b[None, :]
+    upper = np.triu_indices(n, k=1)
+    return float(np.mean(same_a[upper] == same_b[upper]))
+
+
+def metric_category_sensitivity(
+    matrix: WorkloadMetricMatrix,
+    baseline: SubsettingResult | None = None,
+    seed: int = 0,
+) -> tuple[CategorySensitivity, ...]:
+    """Measure subsetting sensitivity to each metric category.
+
+    Args:
+        matrix: The full workload × 45-metric matrix.
+        baseline: A pre-computed full-pipeline result (computed if absent).
+        seed: Seed forwarded to the K-means restarts.
+    """
+    baseline = baseline or subset_workloads(matrix, seed=seed)
+    baseline_subset = set(baseline.representative_subset)
+    baseline_labels = baseline.clustering.labels
+
+    results: list[CategorySensitivity] = []
+    for category in MetricCategory:
+        removed = {spec.name for spec in metrics_in_category(category)}
+        kept_indices = [
+            i for i, name in enumerate(METRIC_NAMES) if name not in removed
+        ]
+        # Build a reduced-column pipeline by hand: the WorkloadMetricMatrix
+        # container requires all 45 columns, so run the stages directly.
+        from repro.core.bic import choose_k
+        from repro.core.pca import fit_pca
+        from repro.core.representatives import (
+            SelectionPolicy,
+            select_representatives,
+        )
+
+        reduced = matrix.values[:, kept_indices]
+        pca = fit_pca(reduced)
+        n = reduced.shape[0]
+        bic = choose_k(pca.scores, k_min=5, k_max=min(12, n - 1), seed=seed)
+        farthest = select_representatives(
+            pca.scores,
+            matrix.workloads,
+            bic.best,
+            SelectionPolicy.FARTHEST_FROM_CENTER,
+        )
+        reduced_subset = {rep.workload for rep in farthest}
+
+        intersection = len(baseline_subset & reduced_subset)
+        union = len(baseline_subset | reduced_subset)
+        results.append(
+            CategorySensitivity(
+                category=category,
+                n_metrics_removed=len(removed),
+                subset_jaccard=intersection / union if union else 1.0,
+                cluster_agreement=_pairwise_agreement(
+                    baseline_labels, bic.best.labels
+                ),
+                k_delta=bic.best_k - baseline.bic.best_k,
+            )
+        )
+    return tuple(results)

@@ -1,0 +1,50 @@
+"""Simulated Westmere-like microarchitecture (Table III testbed)."""
+
+from repro.arch.branch import BranchStats, GsharePredictor
+from repro.arch.cache import CacheAccess, CacheConfig, CacheStats, SetAssociativeCache
+from repro.arch.coherence import CoherenceDirectory, MesiState, SnoopResponse, SnoopStats
+from repro.arch.core_model import CoreModel
+from repro.arch.offcore import OffcoreCounters
+from repro.arch.pipeline import CycleAccounting, CycleModel, Latencies, SampleCounts
+from repro.arch.processor import Processor, ProcessorConfig, events_from_sample
+from repro.arch.tlb import Tlb, TlbConfig, TlbHierarchy, TlbOutcome
+from repro.arch.trace import (
+    InstructionMix,
+    MemOp,
+    OpKind,
+    PhaseProfile,
+    merge_profiles,
+    synthesize_ops,
+)
+
+__all__ = [
+    "BranchStats",
+    "GsharePredictor",
+    "CacheAccess",
+    "CacheConfig",
+    "CacheStats",
+    "SetAssociativeCache",
+    "CoherenceDirectory",
+    "MesiState",
+    "SnoopResponse",
+    "SnoopStats",
+    "CoreModel",
+    "OffcoreCounters",
+    "CycleAccounting",
+    "CycleModel",
+    "Latencies",
+    "SampleCounts",
+    "Processor",
+    "ProcessorConfig",
+    "events_from_sample",
+    "Tlb",
+    "TlbConfig",
+    "TlbHierarchy",
+    "TlbOutcome",
+    "InstructionMix",
+    "MemOp",
+    "OpKind",
+    "PhaseProfile",
+    "merge_profiles",
+    "synthesize_ops",
+]

@@ -1,0 +1,87 @@
+"""Branch predictor model.
+
+A gshare predictor: a table of 2-bit saturating counters indexed by the
+XOR of the (line-granular) branch PC and a global history register.  The
+workload instrumentation layer generates branch *outcomes* (per-branch
+taken biases derived from engine behaviour); the predictor then earns
+whatever misprediction rate its tables achieve, which feeds the
+``BR_MISS`` metric, the speculative ``BR_EXE_TO_RE`` ratio, and the
+misprediction penalty in the pipeline stall model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BranchStats", "GsharePredictor"]
+
+_TAKEN_THRESHOLD = 2  # 2-bit counter: 0,1 predict not-taken; 2,3 predict taken
+
+
+@dataclass
+class BranchStats:
+    """Running branch counters."""
+
+    predicted: int = 0
+    mispredicted: int = 0
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.mispredicted / self.predicted if self.predicted else 0.0
+
+
+class GsharePredictor:
+    """Gshare with 2-bit saturating counters and limited history mixing.
+
+    Args:
+        history_bits: Width of the global history register; the pattern
+            table has ``2**history_bits`` entries.
+        history_use_bits: How many history bits are XOR-ed into the index.
+            Big-data branch outcomes are dominated by per-site bias rather
+            than long correlated patterns, so mixing in the full history
+            would only alias the tables; a few bits capture short local
+            correlation while letting per-site counters train.
+    """
+
+    def __init__(self, history_bits: int = 12, history_use_bits: int = 4) -> None:
+        if not 1 <= history_bits <= 24:
+            raise ConfigurationError("history_bits must be in [1, 24]")
+        if not 0 <= history_use_bits <= history_bits:
+            raise ConfigurationError("history_use_bits must be in [0, history_bits]")
+        self.history_bits = history_bits
+        self.history_use_bits = history_use_bits
+        self._mask = (1 << history_bits) - 1
+        self._use_mask = (1 << history_use_bits) - 1
+        self._table = bytearray([1]) * (1 << history_bits)
+        self._history = 0
+        self.stats = BranchStats()
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict branch at ``pc``, then train with the real outcome.
+
+        Returns:
+            True if the prediction was correct.
+        """
+        index = ((pc >> 2) ^ (self._history & self._use_mask)) & self._mask
+        counter = self._table[index]
+        prediction = counter >= _TAKEN_THRESHOLD
+        correct = prediction == taken
+
+        self.stats.predicted += 1
+        if not correct:
+            self.stats.mispredicted += 1
+
+        if taken and counter < 3:
+            self._table[index] = counter + 1
+        elif not taken and counter > 0:
+            self._table[index] = counter - 1
+        self._history = ((self._history << 1) | int(taken)) & self._mask
+        return correct
+
+    def reset(self) -> None:
+        """Clear tables and statistics."""
+        self._table = bytearray([1]) * (1 << self.history_bits)
+        self._history = 0
+        self.stats = BranchStats()

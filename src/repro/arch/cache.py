@@ -1,0 +1,229 @@
+"""Set-associative cache model with LRU replacement.
+
+The simulated memory hierarchy of the testbed processor (Table III) is built
+from instances of :class:`SetAssociativeCache`: split 32 KB L1I/L1D, a
+256 KB private unified L2 per core, and a 12 MB L3 shared by the six cores
+of a socket.  The model is a functional tag-array simulation — real sets,
+real ways, real LRU state — driven by the sampled address streams the
+instrumentation layer synthesises from engine activity.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CacheConfig", "CacheAccess", "CacheStats", "SetAssociativeCache"]
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level.
+
+    Attributes:
+        name: Human-readable level name (e.g. ``"L1D"``).
+        size: Total capacity in bytes.
+        associativity: Number of ways per set.
+        line_size: Cache line size in bytes.
+        write_back: Whether dirty lines are written back on eviction
+            (all caches in the modelled Westmere hierarchy are write-back).
+    """
+
+    name: str
+    size: int
+    associativity: int
+    line_size: int = 64
+    write_back: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.associativity <= 0 or self.line_size <= 0:
+            raise ConfigurationError(f"{self.name}: all cache dimensions must be positive")
+        if not _is_power_of_two(self.line_size):
+            raise ConfigurationError(f"{self.name}: line size must be a power of two")
+        if self.size % (self.associativity * self.line_size) != 0:
+            raise ConfigurationError(
+                f"{self.name}: size {self.size} is not divisible by "
+                f"associativity*line_size = {self.associativity * self.line_size}"
+            )
+        # Note: the set count need not be a power of two — the modelled
+        # Westmere L3 (12 MB, 16-way) has 12288 sets across three slices.
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets in the tag array."""
+        return self.size // (self.associativity * self.line_size)
+
+
+class CacheAccess(NamedTuple):
+    """Outcome of a single cache access (NamedTuple: created per access).
+
+    Attributes:
+        hit: Whether the line was present.
+        line_addr: The line-aligned address that was accessed.
+        evicted_line: Line address evicted to make room, if any.
+        writeback: Whether the evicted line was dirty (needs a write-back).
+    """
+
+    hit: bool
+    line_addr: int
+    evicted_line: int | None = None
+    writeback: bool = False
+
+
+#: Shared immutable fields for the overwhelmingly common hit case.
+_NO_EVICTION: tuple[int | None, bool] = (None, False)
+
+
+@dataclass
+class CacheStats:
+    """Running hit/miss/eviction counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+    invalidations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """A write-back, write-allocate set-associative cache with true LRU.
+
+    Each set is an :class:`collections.OrderedDict` mapping line address to
+    a dirty bit, ordered from least to most recently used.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.stats = CacheStats()
+        self._num_sets = config.num_sets
+        self._line_shift = config.line_size.bit_length() - 1
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+
+    def line_address(self, addr: int) -> int:
+        """Return the line-aligned address containing byte ``addr``."""
+        return addr >> self._line_shift
+
+    def _set_for(self, line_addr: int) -> OrderedDict[int, bool]:
+        return self._sets[line_addr % self._num_sets]
+
+    def access(self, addr: int, is_write: bool = False) -> CacheAccess:
+        """Access byte address ``addr``; fill on miss (write-allocate).
+
+        Returns:
+            A :class:`CacheAccess` describing hit/miss and any eviction.
+        """
+        line = addr >> self._line_shift
+        cache_set = self._sets[line % self._num_sets]
+        if line in cache_set:
+            self.stats.hits += 1
+            cache_set.move_to_end(line)
+            if is_write:
+                cache_set[line] = True
+            return CacheAccess(True, line, *_NO_EVICTION)
+
+        self.stats.misses += 1
+        evicted_line: int | None = None
+        writeback = False
+        if len(cache_set) >= self.config.associativity:
+            evicted_line, evicted_dirty = cache_set.popitem(last=False)
+            self.stats.evictions += 1
+            writeback = evicted_dirty and self.config.write_back
+            if writeback:
+                self.stats.writebacks += 1
+        cache_set[line] = is_write
+        return CacheAccess(False, line, evicted_line, writeback)
+
+    def install_line(self, line_addr: int) -> None:
+        """Fill ``line_addr`` without demand-access statistics (prefetch).
+
+        Hardware prefetchers bring lines in ahead of demand; PMU demand
+        events do not count them.  A victim is still evicted (silently —
+        the caller models prefetches as best-effort and ignores dirty
+        victims, a second-order effect).
+        """
+        cache_set = self._set_for(line_addr)
+        if line_addr in cache_set:
+            cache_set.move_to_end(line_addr)
+            return
+        if len(cache_set) >= self.config.associativity:
+            cache_set.popitem(last=False)
+        cache_set[line_addr] = False
+
+    def contains(self, addr: int) -> bool:
+        """Whether the line holding byte ``addr`` is resident (no LRU update)."""
+        line = self.line_address(addr)
+        return line in self._set_for(line)
+
+    def line_resident(self, line_addr: int) -> bool:
+        """Whether line-aligned address ``line_addr`` is resident."""
+        return line_addr in self._set_for(line_addr)
+
+    def is_dirty(self, line_addr: int) -> bool:
+        """Whether resident line ``line_addr`` is dirty (False if absent)."""
+        return self._set_for(line_addr).get(line_addr, False)
+
+    def invalidate_line(self, line_addr: int) -> bool:
+        """Drop line ``line_addr`` if present (coherence invalidation).
+
+        Returns:
+            True if the line was present and dirty (i.e. data was lost to
+            the invalidation and must have been transferred).
+        """
+        cache_set = self._set_for(line_addr)
+        if line_addr not in cache_set:
+            return False
+        dirty = cache_set.pop(line_addr)
+        self.stats.invalidations += 1
+        return dirty
+
+    def set_dirty(self, line_addr: int) -> bool:
+        """Mark resident line ``line_addr`` dirty (a write-back landing).
+
+        Returns:
+            True if the line was resident (the write-back was absorbed).
+        """
+        cache_set = self._set_for(line_addr)
+        if line_addr in cache_set:
+            cache_set[line_addr] = True
+            return True
+        return False
+
+    def mark_clean(self, line_addr: int) -> None:
+        """Clear the dirty bit of a resident line (after a coherence WB)."""
+        cache_set = self._set_for(line_addr)
+        if line_addr in cache_set:
+            cache_set[line_addr] = False
+
+    def flush(self) -> None:
+        """Empty the cache, keeping statistics."""
+        for cache_set in self._sets:
+            cache_set.clear()
+
+    @property
+    def resident_lines(self) -> int:
+        """Number of lines currently resident."""
+        return sum(len(cache_set) for cache_set in self._sets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cfg = self.config
+        return (
+            f"SetAssociativeCache({cfg.name}, {cfg.size >> 10}KB, "
+            f"{cfg.associativity}-way, {cfg.line_size}B lines)"
+        )

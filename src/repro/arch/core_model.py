@@ -1,0 +1,432 @@
+"""Per-core simulation engine.
+
+A :class:`CoreModel` owns one core's private state — split L1I/L1D, a
+unified L2, the two-level TLBs and a gshare branch predictor — and shares
+the socket's L3 and coherence directory with its siblings.  Feeding it a
+:class:`~repro.arch.trace.PhaseProfile` runs a sampled functional
+simulation: every synthesised operation walks the real tag arrays, so hit
+levels, snoop responses, TLB walks and branch mispredictions are emergent
+rather than dialled in.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+import numpy as np
+
+from repro.arch.branch import GsharePredictor
+from repro.arch.cache import CacheConfig, SetAssociativeCache
+from repro.arch.coherence import CoherenceDirectory, MesiState, SnoopResponse
+from repro.arch.pipeline import SampleCounts
+from repro.arch.tlb import Tlb, TlbConfig, TlbHierarchy, TlbOutcome
+from repro.arch import trace as trace_mod
+from repro.arch.trace import MemOp, OpKind, PhaseProfile, synthesize_ops
+
+__all__ = ["CoreModel", "LINE_SHIFT"]
+
+LINE_SHIFT = 6  # 64-byte lines throughout the hierarchy (Table III)
+
+#: Approximate service times in op-ticks, used only for the MLP integral
+#: (the cycle model converts real penalties separately).
+_MLP_SERVICE_MEM = 40
+_MLP_SERVICE_L3 = 9
+_MLP_SERVICE_SIBLING = 13
+
+#: Average speculatively executed wrong-path branches per misprediction.
+_WRONG_PATH_BRANCHES = 3
+
+#: Line fill buffer depth (Westmere has 10 fill buffers per core).
+_LFB_DEPTH = 10
+
+#: Concurrent stream detectors in the hardware prefetcher (per core).
+_STREAM_TRACKERS = 48
+
+
+class CoreModel:
+    """One simulated core of the Table III processor."""
+
+    def __init__(
+        self,
+        core_id: int,
+        l3: SetAssociativeCache,
+        directory: CoherenceDirectory,
+    ) -> None:
+        self.core_id = core_id
+        self.l3 = l3
+        self.directory = directory
+        self.l1i = SetAssociativeCache(CacheConfig("L1I", 32 * 1024, 4))
+        self.l1d = SetAssociativeCache(CacheConfig("L1D", 32 * 1024, 8))
+        self.l2 = SetAssociativeCache(CacheConfig("L2", 256 * 1024, 8))
+        stlb = Tlb(TlbConfig("STLB", 512, 4))
+        self.itlb = TlbHierarchy(Tlb(TlbConfig("ITLB", 64, 4)), stlb)
+        self.dtlb = TlbHierarchy(Tlb(TlbConfig("DTLB", 64, 4)), stlb)
+        self.branch = GsharePredictor(history_bits=12, history_use_bits=1)
+        self._lfb: deque[int] = deque(maxlen=_LFB_DEPTH)
+        self._stream_trackers: dict[int, int] = {}  # page -> last line seen
+        self._last_fetch_line = -2  # I-side next-line prefetcher state
+
+    # ------------------------------------------------------------------
+    # Instruction side.
+    # ------------------------------------------------------------------
+
+    def _fetch(self, pc: int, counts: SampleCounts) -> None:
+        """Fetch the 16-byte block holding ``pc`` through L1I / L2 / L3.
+
+        The frontend probes the L1I once per 16 B fetch block, so a
+        sequential walk of one 64 B line yields three hits after the
+        transition; a next-line prefetcher hides most sequential line
+        transitions, leaving jumps as the dominant L1I miss source.
+        """
+        counts.l1i_accesses += 1
+        lookup = self.itlb.translate(pc)
+        if lookup.walk_cycles:
+            if lookup.outcome is TlbOutcome.STLB_HIT:
+                counts.itlb_stlb_hits += 1
+            else:
+                counts.itlb_walks += 1
+                counts.itlb_walk_cycles += lookup.walk_cycles
+        access = self.l1i.access(pc)
+        line = access.line_addr
+        if line == self._last_fetch_line + 1:
+            self.l1i.install_line(line + 1)
+            self.l2.install_line(line + 1)
+            self.l3.install_line(line + 1)
+        self._last_fetch_line = line
+        if access.hit:
+            counts.l1i_hits += 1
+            return
+        counts.l1i_misses += 1
+        l2_access = self.l2.access(pc)
+        if l2_access.hit:
+            counts.icache_l2_hits += 1
+            counts.l2_hits += 1
+            return
+        counts.l2_misses += 1
+        counts.offcore_code += 1
+        self._handle_l2_eviction(l2_access, counts)
+        l3_access = self.l3.access(pc)
+        if l3_access.hit:
+            counts.icache_l3_hits += 1
+            counts.l3_hits += 1
+        else:
+            counts.l3_misses += 1
+            counts.icache_mem += 1
+
+    # ------------------------------------------------------------------
+    # Data side.
+    # ------------------------------------------------------------------
+
+    def _handle_l1d_eviction(self, access, counts: SampleCounts) -> None:
+        """Absorb a dirty L1D victim into the L2 (write-back)."""
+        if access.evicted_line is None or not access.writeback:
+            return
+        if not self.l2.set_dirty(access.evicted_line):
+            # Victim escaped the private hierarchy entirely.
+            counts.offcore_writeback += 1
+            self.directory.evicted(self.core_id, access.evicted_line)
+
+    def _handle_l2_eviction(self, access, counts: SampleCounts) -> None:
+        """Handle an L2 victim: write back dirty data, keep L1D coherent."""
+        if access.evicted_line is None:
+            return
+        if access.writeback:
+            counts.offcore_writeback += 1
+        # Maintain (approximate) inclusion so the directory can treat
+        # "in L2" as "in the private hierarchy".
+        self.l1d.invalidate_line(access.evicted_line)
+        self.directory.evicted(self.core_id, access.evicted_line)
+
+    def _record_snoop(self, response: SnoopResponse, counts: SampleCounts) -> None:
+        if response is SnoopResponse.HIT:
+            counts.snoop_hit += 1
+        elif response is SnoopResponse.HITE:
+            counts.snoop_hite += 1
+        elif response is SnoopResponse.HITM:
+            counts.snoop_hitm += 1
+
+    def _track_mlp(
+        self, outstanding: list[int], tick: int, counts: SampleCounts
+    ) -> None:
+        """Advance the outstanding-miss heap to ``tick`` and integrate MLP."""
+        while outstanding and outstanding[0] <= tick:
+            heapq.heappop(outstanding)
+        if outstanding:
+            counts.mlp_active += 1
+            counts.mlp_sum += len(outstanding)
+
+    def _prefetch_stream(self, line: int, counts: SampleCounts) -> None:
+        """Streaming hardware prefetcher with multiple stream detectors.
+
+        Real L1/L2 prefetchers track a few dozen independent streams (one
+        per 4 KB page), so sequential scans stay covered even when other
+        references interleave.  On a detected sequential pattern within a
+        page, the next two lines are installed throughout the hierarchy
+        without demand statistics — which is why streaming scans do not
+        drown the LLC in compulsory misses on real hardware.
+        """
+        page = line >> 6  # 4 KiB page of this line
+        trackers = self._stream_trackers
+        last = trackers.get(page)
+        if last is not None and line == last + 1:
+            for ahead in (line + 1, line + 2):
+                if not self.l2.line_resident(ahead):
+                    # The prefetch escapes the core: it is offcore data
+                    # traffic just like a demand read would have been.
+                    counts.offcore_data += 1
+                self.l1d.install_line(ahead)
+                self.l2.install_line(ahead)
+                self.l3.install_line(ahead)
+        trackers[page] = line
+        if len(trackers) > _STREAM_TRACKERS:
+            trackers.pop(next(iter(trackers)))
+
+    def _load(
+        self,
+        op: MemOp,
+        tick: int,
+        outstanding: list[int],
+        counts: SampleCounts,
+    ) -> None:
+        counts.loads += 1
+        self._prefetch_stream(op.address >> LINE_SHIFT, counts)
+        lookup = self.dtlb.translate(op.address)
+        if lookup.walk_cycles:
+            if lookup.outcome is TlbOutcome.STLB_HIT:
+                counts.dtlb_stlb_hits += 1
+            else:
+                counts.dtlb_walks += 1
+                counts.dtlb_walk_cycles += lookup.walk_cycles
+        access = self.l1d.access(op.address)
+        if access.hit:
+            return
+        self._handle_l1d_eviction(access, counts)
+        line = access.line_addr
+        if line in self._lfb:
+            counts.load_hit_lfb += 1
+            return
+        l2_access = self.l2.access(op.address)
+        if l2_access.hit:
+            counts.load_hit_l2 += 1
+            counts.l2_hits += 1
+            return
+        counts.l2_misses += 1
+        counts.offcore_data += 1
+        self._handle_l2_eviction(l2_access, counts)
+        self._lfb.append(line)
+        response = self.directory.read_miss(self.core_id, line)
+        if response is not SnoopResponse.NONE:
+            self._record_snoop(response, counts)
+            counts.load_hit_sibling += 1
+            heapq.heappush(outstanding, tick + _MLP_SERVICE_SIBLING)
+            # A dirty cache-to-cache transfer also installs into the L3.
+            self.l3.access(op.address)
+            return
+        l3_access = self.l3.access(op.address)
+        if l3_access.hit:
+            counts.load_hit_l3 += 1
+            counts.l3_hits += 1
+            heapq.heappush(outstanding, tick + _MLP_SERVICE_L3)
+        else:
+            counts.l3_misses += 1
+            counts.load_llc_miss += 1
+            heapq.heappush(outstanding, tick + _MLP_SERVICE_MEM)
+
+    def _store(
+        self,
+        op: MemOp,
+        tick: int,
+        outstanding: list[int],
+        counts: SampleCounts,
+    ) -> None:
+        counts.stores += 1
+        self._prefetch_stream(op.address >> LINE_SHIFT, counts)
+        lookup = self.dtlb.translate(op.address)
+        if lookup.walk_cycles:
+            if lookup.outcome is TlbOutcome.STLB_HIT:
+                counts.dtlb_stlb_hits += 1
+            else:
+                counts.dtlb_walks += 1
+                counts.dtlb_walk_cycles += lookup.walk_cycles
+        access = self.l1d.access(op.address, is_write=True)
+        line = access.line_addr
+        if access.hit:
+            state = self.directory.state(self.core_id, line)
+            if state is MesiState.SHARED:
+                # Upgrade: invalidate other sharers, goes on the bus.
+                response = self.directory.upgrade(self.core_id, line)
+                self._record_snoop(response, counts)
+                counts.offcore_rfo += 1
+            elif state is MesiState.EXCLUSIVE:
+                self.directory.write_hit_owned(self.core_id, line)
+            return
+        self._handle_l1d_eviction(access, counts)
+        if line in self._lfb:
+            counts.load_hit_lfb += 1  # stores merging into an in-flight fill
+            return
+        l2_access = self.l2.access(op.address, is_write=True)
+        if l2_access.hit:
+            counts.l2_hits += 1
+            state = self.directory.state(self.core_id, line)
+            if state is MesiState.SHARED:
+                response = self.directory.upgrade(self.core_id, line)
+                self._record_snoop(response, counts)
+                counts.offcore_rfo += 1
+            elif state is MesiState.EXCLUSIVE:
+                self.directory.write_hit_owned(self.core_id, line)
+            return
+        counts.l2_misses += 1
+        counts.offcore_rfo += 1
+        self._handle_l2_eviction(l2_access, counts)
+        self._lfb.append(line)
+        response = self.directory.write_miss(self.core_id, line)
+        if response is not SnoopResponse.NONE:
+            self._record_snoop(response, counts)
+            heapq.heappush(outstanding, tick + _MLP_SERVICE_SIBLING)
+            self.l3.access(op.address, is_write=True)
+            return
+        l3_access = self.l3.access(op.address, is_write=True)
+        if l3_access.hit:
+            counts.l3_hits += 1
+            heapq.heappush(outstanding, tick + _MLP_SERVICE_L3)
+        else:
+            counts.l3_misses += 1
+            heapq.heappush(outstanding, tick + _MLP_SERVICE_MEM)
+
+    # ------------------------------------------------------------------
+    # Driver.
+    # ------------------------------------------------------------------
+
+    def prewarm(
+        self,
+        profile: PhaseProfile,
+        private_budget_lines: int | None = None,
+        install_shared_and_code: bool = True,
+    ) -> None:
+        """Install the expected steady-state resident set before sampling.
+
+        A few thousand sampled operations cannot touch a multi-megabyte
+        working set even once, so without pre-warming every first touch
+        would read as a compulsory LLC miss and the measured rates would
+        describe a cold start instead of the steady state the paper
+        measures (it applies a ramp-up period for exactly this reason).
+        Pre-warming installs, coldest-first so LRU order matches access
+        frequency, the Zipf heads of the phase's regions:
+
+        * the hot region into the L1D,
+        * the warm-tier head into the L2 and the warm tier into the L3
+          (up to ``private_budget_lines`` — the driver divides the L3
+          between sibling cores so pre-warming cannot thrash itself),
+        * the shared warm tier and the hot code head into the shared L3
+          (once per socket: ``install_shared_and_code``).
+
+        Args:
+            profile: The phase (or union-of-phases) footprint to warm.
+            private_budget_lines: L3 lines this core may fill with its
+                private warm tier (default: the full warm tier).
+            install_shared_and_code: Install the node-shared regions too;
+                the driver enables this for one core only.
+        """
+        private_base = trace_mod.PRIVATE_DATA_BASE + self.core_id * trace_mod.PRIVATE_DATA_STRIDE
+        hot_lines = trace_mod.HOT_REGION_BYTES >> LINE_SHIFT
+        hot_first = private_base >> LINE_SHIFT
+        for offset in range(hot_lines - 1, -1, -1):
+            self.l1d.install_line(hot_first + offset)
+
+        warm_bytes = min(trace_mod.WARM_REGION_BYTES, profile.data_working_set)
+        warm_first = (private_base + trace_mod.HOT_REGION_BYTES) >> LINE_SHIFT
+        warm_lines = max(1, warm_bytes >> LINE_SHIFT)
+        if private_budget_lines is not None:
+            warm_lines = min(warm_lines, max(1, private_budget_lines))
+        l2_head = min(warm_lines, (self.l2.config.size // 2) >> LINE_SHIFT)
+        for offset in range(warm_lines - 1, -1, -1):
+            self.l3.install_line(warm_first + offset)
+            if offset < l2_head:
+                self.l2.install_line(warm_first + offset)
+
+        # The private L1I / L2 hold this core's hot code head regardless
+        # of who warms the shared L3.
+        code_first = trace_mod.USER_CODE_BASE >> LINE_SHIFT
+        code_lines = max(4, min(profile.code_footprint, 3 << 20) >> LINE_SHIFT)
+        l1i_head = min(code_lines, self.l1i.config.size >> LINE_SHIFT)
+        l2_code_head = min(code_lines, (self.l2.config.size // 2) >> LINE_SHIFT)
+        for offset in range(l2_code_head - 1, -1, -1):
+            self.l2.install_line(code_first + offset)
+            if offset < l1i_head:
+                self.l1i.install_line(code_first + offset)
+
+        if not install_shared_and_code:
+            return
+
+        if profile.shared_fraction > 0:
+            shared_bytes = min(
+                trace_mod.SHARED_WARM_BYTES // 2, profile.shared_working_set
+            )
+            shared_first = trace_mod.SHARED_DATA_BASE >> LINE_SHIFT
+            for offset in range(max(1, shared_bytes >> LINE_SHIFT) - 1, -1, -1):
+                self.l3.install_line(shared_first + offset)
+
+        for offset in range(code_lines - 1, -1, -1):
+            self.l3.install_line(code_first + offset)
+
+    def run_sample(
+        self,
+        profile: PhaseProfile,
+        n_ops: int,
+        rng: np.random.Generator,
+    ) -> SampleCounts:
+        """Simulate ``n_ops`` sampled instructions of ``profile``.
+
+        Returns:
+            Raw sample counters (unscaled).  Cycle accounting and scaling
+            to the phase's nominal instruction count happen in
+            :class:`repro.arch.processor.Processor`.
+        """
+        counts = SampleCounts()
+        ops, pcs = synthesize_ops(profile, n_ops, self.core_id, rng)
+        outstanding: list[int] = []
+        prev_block = -1
+        for tick, (op, pc) in enumerate(zip(ops, pcs)):
+            counts.instructions += 1
+            if op.kernel:
+                counts.kernel_instructions += 1
+            self._track_mlp(outstanding, tick, counts)
+            block = pc >> 4  # 16-byte fetch blocks
+            if block != prev_block:
+                self._fetch(pc, counts)
+                prev_block = block
+            if op.kind is OpKind.LOAD:
+                self._load(op, tick, outstanding, counts)
+            elif op.kind is OpKind.STORE:
+                self._store(op, tick, outstanding, counts)
+            elif op.kind is OpKind.BRANCH:
+                counts.branches_retired += 1
+                correct = self.branch.predict_and_update(op.address, op.taken)
+                if not correct:
+                    counts.branch_mispredicts += 1
+            elif op.kind is OpKind.INT_ALU:
+                counts.int_ops += 1
+            elif op.kind is OpKind.FP_X87:
+                counts.x87_ops += 1
+            elif op.kind is OpKind.FP_SSE:
+                counts.sse_ops += 1
+        return counts
+
+    def reset(self) -> None:
+        """Flush all private state (between workloads)."""
+        self.l1i.flush()
+        self.l1d.flush()
+        self.l2.flush()
+        self.itlb.l1.flush()
+        self.dtlb.l1.flush()
+        self.itlb.stlb.flush()
+        self.branch.reset()
+        self._lfb.clear()
+        self._stream_trackers.clear()
+        self._last_fetch_line = -2
+
+
+def wrong_path_branches(mispredicts: int) -> int:
+    """Speculative wrong-path branch executions caused by mispredictions."""
+    return mispredicts * _WRONG_PATH_BRANCHES

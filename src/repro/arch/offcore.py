@@ -1,0 +1,52 @@
+"""Offcore request classification (Table II nos. 35-38).
+
+"Offcore requests tell us about individual core requests to the LLC":
+everything that escapes a core's private L1/L2 hierarchy is classified as
+a demand data read, a demand code read, a request-for-ownership (RFO), or
+a dirty-line write-back.  The Table II metrics are the *shares* of each
+class in total offcore traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["OffcoreCounters"]
+
+
+@dataclass
+class OffcoreCounters:
+    """Per-core offcore request counters."""
+
+    data_reads: int = 0
+    code_reads: int = 0
+    rfo: int = 0
+    writebacks: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.data_reads + self.code_reads + self.rfo + self.writebacks
+
+    def record_data_read(self) -> None:
+        self.data_reads += 1
+
+    def record_code_read(self) -> None:
+        self.code_reads += 1
+
+    def record_rfo(self) -> None:
+        self.rfo += 1
+
+    def record_writeback(self) -> None:
+        self.writebacks += 1
+
+    def shares(self) -> dict[str, float]:
+        """Return the four traffic shares (zero if no traffic at all)."""
+        total = self.total
+        if total == 0:
+            return {"data": 0.0, "code": 0.0, "rfo": 0.0, "writeback": 0.0}
+        return {
+            "data": self.data_reads / total,
+            "code": self.code_reads / total,
+            "rfo": self.rfo / total,
+            "writeback": self.writebacks / total,
+        }

@@ -1,0 +1,476 @@
+"""Phase profiles and synthetic operation streams.
+
+This module is the contract between the software-stack engines and the
+microarchitecture simulator.  When a stack executes a job, the
+instrumentation layer (:mod:`repro.stacks.instrument`) condenses each
+execution phase (map, shuffle, reduce, RDD stage, scan, join build ...)
+into a :class:`PhaseProfile`: an aggregate description of the instruction
+mix, code and data footprints, locality, sharing and branch behaviour that
+the phase exhibited.  :func:`synthesize_ops` then expands a profile into a
+sampled stream of concrete operations with concrete addresses, which
+:class:`repro.arch.core_model.CoreModel` simulates against real tag
+arrays, TLBs, branch tables and the coherence bus.
+
+Two design points matter for realism:
+
+* **Sampling.**  A phase that nominally represents billions of
+  instructions is simulated through a deterministic sample of tens of
+  thousands of operations; the resulting *rates* (misses per kilo
+  instruction, stall ratios) are applied to the nominal instruction
+  count.  The paper's methodology is likewise rate-based: every Table II
+  metric is a ratio or a per-kilo-instruction count measured in steady
+  state.
+* **Zipf-skewed reuse.**  Real code and data references are heavily
+  skewed towards a hot head (hot loops, hot hash buckets, hot pages).
+  Addresses are therefore drawn from a power-law over the footprint:
+  ``index = floor(N * u**skew)`` for uniform ``u``, so a fraction of hot
+  lines absorbs most traffic while the tail still exercises capacity.
+  This is what makes hit rates respond smoothly to footprint size instead
+  of collapsing to all-compulsory-misses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "OpKind",
+    "MemOp",
+    "InstructionMix",
+    "PhaseProfile",
+    "synthesize_ops",
+    "merge_profiles",
+]
+
+#: Base of the (simulated) user code segment.
+USER_CODE_BASE = 0x0040_0000
+#: Base of the (simulated) kernel code segment.
+KERNEL_CODE_BASE = 0x7FFF_8000_0000
+#: Base of the per-core private data heap; cores are spaced far apart.
+PRIVATE_DATA_BASE = 0x0000_7000_0000_0000
+#: Stride between per-core private heaps.
+PRIVATE_DATA_STRIDE = 0x0000_0010_0000_0000
+#: Base of the node-wide shared data region (shuffle buffers, cached RDD
+#: partitions, page-cache pages).
+SHARED_DATA_BASE = 0x0000_7F00_0000_0000
+#: Size of the hot stack/locals region that absorbs high-locality accesses.
+HOT_REGION_BYTES = 16 * 1024
+#: Size of the per-core "warm" tier: the hot heads of hash tables,
+#: dictionaries and buffers that keep L2/L3 hit rates high even when the
+#: nominal working set is huge.
+WARM_REGION_BYTES = 2 * (1 << 20)
+#: Warm tier of the shared region (hot cached partitions).
+SHARED_WARM_BYTES = 8 * (1 << 20)
+#: Byte spacing between synthetic branch sites (distinct predictor PCs).
+BRANCH_SITE_STRIDE = 256
+
+
+class OpKind(enum.Enum):
+    """Operation classes the core model distinguishes."""
+
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    INT_ALU = "int"
+    FP_X87 = "x87"
+    FP_SSE = "sse"
+    OTHER = "other"
+
+
+class MemOp(NamedTuple):
+    """One synthesised operation (a NamedTuple: millions are created).
+
+    Attributes:
+        kind: Operation class.
+        address: Byte address for LOAD/STORE; branch-site PC for BRANCH;
+            0 otherwise.
+        kernel: Whether the instruction executes in ring 0.
+        taken: Branch outcome (meaningful only for BRANCH ops).
+        shared: Whether a LOAD/STORE targets the shared data region.
+    """
+
+    kind: OpKind
+    address: int = 0
+    kernel: bool = False
+    taken: bool = False
+    shared: bool = False
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Fractions of retired instructions by class; must sum to at most 1.
+
+    The remainder (1 - sum) is treated as ``OTHER`` (moves, nops, address
+    generation folded into other classes, ...).
+    """
+
+    load: float
+    store: float
+    branch: float
+    int_alu: float
+    fp_x87: float = 0.0
+    fp_sse: float = 0.0
+
+    def __post_init__(self) -> None:
+        parts = (self.load, self.store, self.branch, self.int_alu, self.fp_x87, self.fp_sse)
+        if any(p < 0 for p in parts):
+            raise ConfigurationError("instruction mix fractions must be non-negative")
+        if sum(parts) > 1.0 + 1e-9:
+            raise ConfigurationError(f"instruction mix sums to {sum(parts):.4f} > 1")
+
+    @property
+    def other(self) -> float:
+        return max(
+            0.0,
+            1.0
+            - (self.load + self.store + self.branch + self.int_alu + self.fp_x87 + self.fp_sse),
+        )
+
+    def as_probabilities(self) -> tuple[tuple[OpKind, float], ...]:
+        """The mix as (kind, probability) pairs including OTHER."""
+        return (
+            (OpKind.LOAD, self.load),
+            (OpKind.STORE, self.store),
+            (OpKind.BRANCH, self.branch),
+            (OpKind.INT_ALU, self.int_alu),
+            (OpKind.FP_X87, self.fp_x87),
+            (OpKind.FP_SSE, self.fp_sse),
+            (OpKind.OTHER, self.other),
+        )
+
+
+@dataclass(frozen=True)
+class PhaseProfile:
+    """Aggregate description of one execution phase.
+
+    Produced by :mod:`repro.stacks.instrument` from real engine activity
+    and consumed by the core model via :func:`synthesize_ops`.
+
+    Attributes:
+        name: Phase label (e.g. ``"map"``, ``"shuffle"``, ``"stage-2"``).
+        instructions: Nominal retired-instruction count the phase represents.
+        mix: Instruction mix fractions.
+        kernel_fraction: Fraction of instructions executing in ring 0
+            (I/O-heavy phases — HDFS reads, shuffle over sockets — run
+            large stretches of kernel code).
+        uops_per_instruction: Micro-op expansion factor (complex framework
+            code tends to crack into more uops).
+        code_footprint: Bytes of hot code the phase executes.  This is the
+            lever behind the paper's central finding: Hadoop's framework
+            executes a far larger instruction footprint than Spark's.
+        code_locality: In [0, 1]; probability that the next fetch is
+            sequential rather than a jump to a Zipf-chosen location in the
+            footprint.
+        code_reuse_skew: Power-law exponent of jump targets (>1 = hot
+            functions dominate; higher = tighter hot set).
+        data_working_set: Bytes of private data the phase cycles through.
+        hot_data_fraction: Fraction of data accesses landing in a small hot
+            region (locals, stack, hot hashmap heads).
+        data_streaming_fraction: Fraction of non-hot private accesses that
+            stream sequentially (record scans) rather than revisit lines.
+        data_reuse_skew: Power-law exponent of non-streaming private data
+            reuse.
+        data_tail_fraction: Fraction of non-streaming references that
+            sweep the *full* working set instead of the warm tier (cold
+            sweeps, GC-like scans); drives LLC misses and TLB walks.
+        shared_fraction: Fraction of data accesses targeting the node-wide
+            shared region (cached RDD partitions, shuffle buffers).
+        shared_working_set: Bytes of the shared region touched by the phase.
+        shared_reuse_skew: Power-law exponent of shared-region reuse; a
+            skewed head is what makes sibling cores actually collide on
+            lines (snoop HIT/HITM traffic).
+        shared_tail_fraction: Fraction of shared references sweeping the
+            full shared region instead of its warm tier.
+        shared_write_fraction: Fraction of shared-region accesses that are
+            stores (drives RFO traffic and HITM snoop responses).
+        branch_entropy: In [0, 1]; 0 = perfectly biased branches,
+            1 = 50/50 coin flips.  Controls the *outcome* stream only; the
+            misprediction rate is whatever gshare achieves on it.
+    """
+
+    name: str
+    instructions: int
+    mix: InstructionMix
+    kernel_fraction: float = 0.0
+    uops_per_instruction: float = 1.3
+    code_footprint: int = 64 * 1024
+    code_locality: float = 0.9
+    code_reuse_skew: float = 3.0
+    data_working_set: int = 1 << 20
+    hot_data_fraction: float = 0.4
+    data_streaming_fraction: float = 0.5
+    data_reuse_skew: float = 2.5
+    data_tail_fraction: float = 0.18
+    shared_fraction: float = 0.0
+    shared_working_set: int = 1 << 20
+    shared_reuse_skew: float = 3.5
+    shared_tail_fraction: float = 0.25
+    shared_write_fraction: float = 0.1
+    branch_entropy: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.instructions <= 0:
+            raise ConfigurationError(f"phase {self.name!r}: instructions must be positive")
+        for attr in (
+            "kernel_fraction",
+            "code_locality",
+            "hot_data_fraction",
+            "data_streaming_fraction",
+            "data_tail_fraction",
+            "shared_fraction",
+            "shared_tail_fraction",
+            "shared_write_fraction",
+            "branch_entropy",
+        ):
+            value = getattr(self, attr)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"phase {self.name!r}: {attr}={value} outside [0, 1]"
+                )
+        for attr in ("code_reuse_skew", "data_reuse_skew", "shared_reuse_skew"):
+            if getattr(self, attr) < 1.0:
+                raise ConfigurationError(
+                    f"phase {self.name!r}: {attr} must be >= 1 (1 = uniform)"
+                )
+        if self.uops_per_instruction < 1.0:
+            raise ConfigurationError(
+                f"phase {self.name!r}: uops_per_instruction must be >= 1"
+            )
+        if self.code_footprint <= 0 or self.data_working_set <= 0:
+            raise ConfigurationError(f"phase {self.name!r}: footprints must be positive")
+        if self.shared_working_set <= 0:
+            raise ConfigurationError(f"phase {self.name!r}: shared_working_set must be positive")
+
+    def scaled(self, factor: float) -> "PhaseProfile":
+        """A copy of this profile representing ``factor``× the instructions."""
+        return replace(self, instructions=max(1, int(self.instructions * factor)))
+
+
+def merge_profiles(name: str, profiles: list[PhaseProfile]) -> PhaseProfile:
+    """Merge phases into one, weighting parameters by instruction counts.
+
+    Useful for collapsing many small tasks of the same kind into a single
+    representative phase before simulation.
+
+    Raises:
+        ConfigurationError: If ``profiles`` is empty.
+    """
+    if not profiles:
+        raise ConfigurationError("cannot merge an empty list of profiles")
+    total = sum(p.instructions for p in profiles)
+    weights = [p.instructions / total for p in profiles]
+
+    def wavg(getter) -> float:
+        return float(sum(w * getter(p) for w, p in zip(weights, profiles)))
+
+    mix = InstructionMix(
+        load=wavg(lambda p: p.mix.load),
+        store=wavg(lambda p: p.mix.store),
+        branch=wavg(lambda p: p.mix.branch),
+        int_alu=wavg(lambda p: p.mix.int_alu),
+        fp_x87=wavg(lambda p: p.mix.fp_x87),
+        fp_sse=wavg(lambda p: p.mix.fp_sse),
+    )
+    return PhaseProfile(
+        name=name,
+        instructions=total,
+        mix=mix,
+        kernel_fraction=wavg(lambda p: p.kernel_fraction),
+        uops_per_instruction=wavg(lambda p: p.uops_per_instruction),
+        code_footprint=max(p.code_footprint for p in profiles),
+        code_locality=wavg(lambda p: p.code_locality),
+        code_reuse_skew=wavg(lambda p: p.code_reuse_skew),
+        data_working_set=max(p.data_working_set for p in profiles),
+        hot_data_fraction=wavg(lambda p: p.hot_data_fraction),
+        data_streaming_fraction=wavg(lambda p: p.data_streaming_fraction),
+        data_reuse_skew=wavg(lambda p: p.data_reuse_skew),
+        data_tail_fraction=wavg(lambda p: p.data_tail_fraction),
+        shared_fraction=wavg(lambda p: p.shared_fraction),
+        shared_working_set=max(p.shared_working_set for p in profiles),
+        shared_reuse_skew=wavg(lambda p: p.shared_reuse_skew),
+        shared_tail_fraction=wavg(lambda p: p.shared_tail_fraction),
+        shared_write_fraction=wavg(lambda p: p.shared_write_fraction),
+        branch_entropy=wavg(lambda p: p.branch_entropy),
+    )
+
+
+def _zipf_offset(u: float, span: int, skew: float) -> int:
+    """Map uniform ``u`` in [0,1) to a power-law-skewed byte offset.
+
+    ``skew == 1`` is uniform; larger values concentrate mass near offset 0
+    (the hot head of the region).
+    """
+    return int(span * (u**skew))
+
+
+#: Modelled kernel hot-code footprint (syscall, network, VFS paths).
+KERNEL_CODE_FOOTPRINT = 512 * 1024
+#: Kernel code is also hot-path skewed.
+_KERNEL_REUSE_SKEW = 3.0
+#: Mean instructions per stretch of ring-0 execution (a syscall runs
+#: thousands of instructions, not one) — kernel mode comes in bursts.
+_KERNEL_BURST_MEAN = 400.0
+
+
+def _kernel_bursts(kernel_fraction: float, n_ops: int, rng: np.random.Generator) -> list[bool]:
+    """Ring-0 flags as alternating exponential user/kernel bursts.
+
+    The long-run kernel share equals ``kernel_fraction`` while execution
+    switches address spaces only every few hundred instructions, as real
+    syscall-heavy code does.
+    """
+    if kernel_fraction <= 0.0:
+        return [False] * n_ops
+    if kernel_fraction >= 1.0:
+        return [True] * n_ops
+    mean_user = _KERNEL_BURST_MEAN * (1.0 - kernel_fraction) / kernel_fraction
+    flags = np.empty(n_ops, dtype=bool)
+    position = 0
+    in_kernel = False
+    while position < n_ops:
+        mean = _KERNEL_BURST_MEAN if in_kernel else mean_user
+        run = 1 + int(rng.exponential(mean))
+        flags[position : position + run] = in_kernel
+        position += run
+        in_kernel = not in_kernel
+    return flags.tolist()
+
+
+def synthesize_ops(
+    profile: PhaseProfile,
+    n_ops: int,
+    core_id: int,
+    rng: np.random.Generator,
+) -> tuple[list[MemOp], list[int]]:
+    """Expand ``profile`` into ``n_ops`` sampled operations for one core.
+
+    Returns:
+        A pair ``(ops, pcs)``: the operation list and, aligned with it, the
+        fetch PC of each instruction (used by the core model for the L1I /
+        ITLB side of the simulation).
+
+    The synthesis is deterministic given ``rng``'s state.  Branches come
+    from a set of *branch sites* (stable PCs spaced through the code
+    region, Zipf-weighted like the code itself) so the predictor can
+    actually train on them; each site has a fixed taken-bias drawn from
+    ``branch_entropy`` (low entropy = strongly biased = predictable).
+
+    All random draws are batched through numpy up front; the per-op loop
+    only threads the sequential state (streaming cursor, fetch PC).
+    """
+    if n_ops <= 0:
+        raise ConfigurationError("n_ops must be positive")
+
+    kinds, probabilities = zip(*profile.mix.as_probabilities())
+    probs = np.asarray(probabilities, dtype=float)
+    probs = probs / probs.sum()
+    kind_draws = rng.choice(len(kinds), size=n_ops, p=probs).tolist()
+    kernel_draws = _kernel_bursts(profile.kernel_fraction, n_ops, rng)
+
+    # Branch sites: stable PCs with fixed biases.  The number of distinct
+    # sites grows with the code footprint (bigger binaries have more
+    # static branches competing for predictor state).
+    n_sites = int(np.clip(profile.code_footprint // 16384, 12, 64))
+    half_spread = 0.5 * (1.0 - profile.branch_entropy)
+    site_bias = np.where(rng.random(n_sites) < 0.5, 0.5 - half_spread, 0.5 + half_spread)
+    # Hot sites execute most often; site popularity is even more skewed
+    # than code reuse (inner loops re-run their branches constantly).
+    sites = np.minimum(
+        (n_sites * rng.random(n_ops) ** (profile.code_reuse_skew + 2.0)).astype(int),
+        n_sites - 1,
+    )
+    branch_taken = (rng.random(n_ops) < site_bias[sites]).tolist()
+    sites = sites.tolist()
+
+    # Code side: jump-vs-sequential decisions and Zipf jump offsets.
+    is_jump = (rng.random(n_ops) >= profile.code_locality).tolist()
+    user_span = max(256, profile.code_footprint)
+    user_targets = (
+        (user_span * rng.random(n_ops) ** profile.code_reuse_skew).astype(int) & ~3
+    ).tolist()
+    kernel_targets = (
+        (KERNEL_CODE_FOOTPRINT * rng.random(n_ops) ** _KERNEL_REUSE_SKEW).astype(int) & ~3
+    ).tolist()
+
+    # Data side: region choice and Zipf offsets, all pre-drawn.
+    private_span = max(64, profile.data_working_set)
+    shared_span = max(64, profile.shared_working_set)
+    u_region = rng.random(n_ops)
+    shared_pick = (u_region < profile.shared_fraction).tolist()
+    hot_pick = (rng.random(n_ops) < profile.hot_data_fraction).tolist()
+    stream_pick = (rng.random(n_ops) < profile.data_streaming_fraction).tolist()
+    # Two-tier reuse: most non-streaming references land in a warm region
+    # (hash-table heads, live buffers); the tail sweeps the full span.
+    warm_private = min(WARM_REGION_BYTES, private_span)
+    warm_shared = min(SHARED_WARM_BYTES, shared_span)
+    shared_warm_pick = rng.random(n_ops) >= profile.shared_tail_fraction
+    shared_spans = np.where(shared_warm_pick, warm_shared, shared_span)
+    shared_offsets = (
+        (shared_spans * rng.random(n_ops) ** profile.shared_reuse_skew).astype(int) & ~7
+    ).tolist()
+    hot_offsets = (rng.integers(0, HOT_REGION_BYTES, size=n_ops) & ~7).tolist()
+    warm_pick = rng.random(n_ops) >= profile.data_tail_fraction
+    private_spans = np.where(warm_pick, warm_private, private_span)
+    private_offsets = (
+        (private_spans * rng.random(n_ops) ** profile.data_reuse_skew).astype(int) & ~7
+    ).tolist()
+    demote_store = (rng.random(n_ops) > profile.shared_write_fraction).tolist()
+
+    private_base = PRIVATE_DATA_BASE + core_id * PRIVATE_DATA_STRIDE
+    hot_base = private_base
+    data_base = private_base + HOT_REGION_BYTES
+    stream_pos = private_offsets[0] if n_ops else 0
+    user_pc = USER_CODE_BASE
+    kernel_pc = KERNEL_CODE_BASE
+
+    load_kind, store_kind, branch_kind = OpKind.LOAD, OpKind.STORE, OpKind.BRANCH
+    ops: list[MemOp] = []
+    pcs: list[int] = []
+    append_op = ops.append
+    append_pc = pcs.append
+    for i in range(n_ops):
+        kind = kinds[kind_draws[i]]
+        kernel = kernel_draws[i]
+        if kernel:
+            if is_jump[i]:
+                kernel_pc = KERNEL_CODE_BASE + kernel_targets[i]
+            else:
+                kernel_pc = KERNEL_CODE_BASE + (
+                    (kernel_pc - KERNEL_CODE_BASE + 4) % KERNEL_CODE_FOOTPRINT
+                )
+            pc = kernel_pc
+        else:
+            if is_jump[i]:
+                user_pc = USER_CODE_BASE + user_targets[i]
+            else:
+                user_pc = USER_CODE_BASE + ((user_pc - USER_CODE_BASE + 4) % user_span)
+            pc = user_pc
+        append_pc(pc)
+
+        if kind is load_kind or kind is store_kind:
+            if shared_pick[i]:
+                # All cores draw from the same skewed head, so hot shared
+                # lines really are resident in several private hierarchies;
+                # most shared traffic is reads.
+                if kind is store_kind and demote_store[i]:
+                    kind = load_kind
+                append_op(MemOp(kind, SHARED_DATA_BASE + shared_offsets[i], kernel, False, True))
+            elif hot_pick[i]:
+                append_op(MemOp(kind, hot_base + hot_offsets[i], kernel, False, False))
+            elif stream_pick[i]:
+                stream_pos = (stream_pos + 8) % private_span
+                append_op(MemOp(kind, data_base + stream_pos, kernel, False, False))
+            else:
+                append_op(MemOp(kind, data_base + private_offsets[i], kernel, False, False))
+        elif kind is branch_kind:
+            site_pc = USER_CODE_BASE + sites[i] * BRANCH_SITE_STRIDE
+            append_op(MemOp(branch_kind, site_pc, kernel, branch_taken[i], False))
+        else:
+            append_op(MemOp(kind, 0, kernel, False, False))
+    return ops, pcs

@@ -1,0 +1,171 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro list                 # the 32 workloads with metadata
+    python -m repro run S-PageRank       # execute one workload, show checks
+    python -m repro characterize H-Sort  # one workload's 45 metrics
+    python -m repro experiment -o out/   # full reproduction + report bundle
+    python -m repro observations         # score Observations 1-9
+
+All subcommands accept ``--scale`` and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.experiment import ExperimentConfig, run_experiment
+from repro.analysis.report import write_report
+from repro.cluster import (
+    Cluster,
+    CollectionConfig,
+    MeasurementConfig,
+)
+from repro.metrics import METRICS
+from repro.workloads import SUITE, RunContext, workload_by_name
+
+__all__ = ["main"]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.5, help="input scale factor")
+    parser.add_argument("--seed", type=int, default=42, help="master seed")
+
+
+def _measurement(args: argparse.Namespace) -> MeasurementConfig:
+    return MeasurementConfig(
+        slaves_measured=args.slaves,
+        active_cores=args.cores,
+        ops_per_core=args.ops,
+    )
+
+
+def _add_measurement(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--slaves", type=int, default=1, help="slaves to measure")
+    parser.add_argument("--cores", type=int, default=3, help="active cores per slave")
+    parser.add_argument("--ops", type=int, default=4000, help="sampled ops per core")
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print(f"{'name':18s} {'category':22s} {'data type':16s} {'problem size'}")
+    print("-" * 76)
+    for workload in SUITE:
+        print(
+            f"{workload.name:18s} {workload.category.value:22s} "
+            f"{workload.data_type.value:16s} {workload.declared_size}"
+        )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    workload = workload_by_name(args.workload)
+    run = workload.run(RunContext(scale=args.scale, seed=args.seed))
+    print(f"{workload.name}: {run.output_records} output records, "
+          f"{len(run.trace.records)} phase records")
+    for name, value in run.checks.items():
+        print(f"  check {name} = {value}")
+    failed = [n for n, v in run.checks.items() if v == 0.0]
+    return 1 if failed else 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    workload = workload_by_name(args.workload)
+    cluster = Cluster()
+    characterization = cluster.characterize_workload(
+        workload,
+        RunContext(scale=args.scale, seed=args.seed),
+        _measurement(args),
+    )
+    print(f"{workload.name} — 45 Table II metrics "
+          f"(mean over {len(characterization.per_slave)} slave(s)):")
+    for spec in METRICS:
+        print(f"  {spec.number:>2} {spec.name:16s} "
+              f"{characterization.metrics[spec.name]:12.4f}")
+    return 0
+
+
+def _cmd_observations(args: argparse.Namespace) -> int:
+    from repro.analysis.observations import evaluate_observations
+
+    config = ExperimentConfig(
+        collection=CollectionConfig(
+            scale=args.scale, seed=args.seed, measurement=_measurement(args)
+        )
+    )
+    experiment = run_experiment(config)
+    observations = evaluate_observations(experiment)
+    for observation in observations:
+        print(observation.render())
+        print()
+    holding = sum(1 for o in observations if o.holds)
+    print(f"{holding}/9 observations hold")
+    return 0 if holding >= 8 else 1
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(
+        collection=CollectionConfig(
+            scale=args.scale, seed=args.seed, measurement=_measurement(args)
+        )
+    )
+    experiment = run_experiment(config)
+    if args.out:
+        out = write_report(experiment, args.out)
+        print(f"report bundle written to {out}/")
+    else:
+        print(experiment.render())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Characterizing and Subsetting Big Data "
+        "Workloads' (IISWC 2014)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the 32 Table I workloads")
+
+    run_parser = subparsers.add_parser("run", help="execute one workload")
+    run_parser.add_argument("workload", help="workload label, e.g. S-PageRank")
+    _add_common(run_parser)
+
+    char_parser = subparsers.add_parser(
+        "characterize", help="collect one workload's 45 metrics"
+    )
+    char_parser.add_argument("workload", help="workload label, e.g. H-Sort")
+    _add_common(char_parser)
+    _add_measurement(char_parser)
+
+    exp_parser = subparsers.add_parser(
+        "experiment", help="reproduce every figure and table"
+    )
+    _add_common(exp_parser)
+    _add_measurement(exp_parser)
+    exp_parser.add_argument(
+        "-o", "--out", default=None, help="write a report bundle to this directory"
+    )
+
+    obs_parser = subparsers.add_parser(
+        "observations", help="score the paper's Observations 1-9"
+    )
+    _add_common(obs_parser)
+    _add_measurement(obs_parser)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "characterize": _cmd_characterize,
+        "experiment": _cmd_experiment,
+        "observations": _cmd_observations,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""The five-node experimental cluster and the data-collection protocol."""
+
+from repro.cluster.collection import (
+    CollectionConfig,
+    SuiteCharacterization,
+    characterize_suite,
+)
+from repro.cluster.network import GigabitNetwork, NetworkConfig
+from repro.cluster.node import Node, NodeConfig
+from repro.cluster.testbed import Cluster, MeasurementConfig, WorkloadCharacterization
+
+__all__ = [
+    "CollectionConfig",
+    "SuiteCharacterization",
+    "characterize_suite",
+    "GigabitNetwork",
+    "NetworkConfig",
+    "Node",
+    "NodeConfig",
+    "Cluster",
+    "MeasurementConfig",
+    "WorkloadCharacterization",
+]

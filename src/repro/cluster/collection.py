@@ -1,0 +1,133 @@
+"""Suite-level data collection with caching.
+
+Characterizing all 32 workloads means running every engine and simulating
+every phase — expensive enough that the analysis layer, the test suite
+and every benchmark should share one result.  :func:`characterize_suite`
+memoises in process and optionally persists the metric matrix as JSON
+keyed by the collection parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.cluster.testbed import Cluster, MeasurementConfig, WorkloadCharacterization
+from repro.core.dataset import WorkloadMetricMatrix
+from repro.errors import AnalysisError
+from repro.workloads.base import RunContext, Workload
+from repro.workloads.suite import SUITE
+
+__all__ = ["CollectionConfig", "SuiteCharacterization", "characterize_suite"]
+
+
+@dataclass(frozen=True)
+class CollectionConfig:
+    """Everything that determines a suite characterization."""
+
+    scale: float = 1.0
+    seed: int = 42
+    measurement: MeasurementConfig = MeasurementConfig()
+
+    def cache_key(self) -> str:
+        m = self.measurement
+        return (
+            f"suite-s{self.scale}-seed{self.seed}-n{m.slaves_measured}"
+            f"-c{m.active_cores}-o{m.ops_per_core}-w{m.warmup_fraction}"
+            f"-r{m.perf_repeats}"
+        )
+
+
+@dataclass(frozen=True)
+class SuiteCharacterization:
+    """The collected suite data.
+
+    Attributes:
+        matrix: The 32×45 workload/metric matrix.
+        characterizations: Per-workload details, or empty when the matrix
+            was loaded from a persistent cache (details are not cached).
+    """
+
+    matrix: WorkloadMetricMatrix
+    characterizations: tuple[WorkloadCharacterization, ...]
+
+
+_MEMO: dict[str, SuiteCharacterization] = {}
+
+
+def characterize_suite(
+    workloads: tuple[Workload, ...] = SUITE,
+    config: CollectionConfig | None = None,
+    cache_dir: str | Path | None = None,
+    verify_checks: bool = True,
+) -> SuiteCharacterization:
+    """Characterize ``workloads`` on a fresh cluster.
+
+    Args:
+        workloads: Workloads to run (default: the full 32-workload suite).
+        config: Collection parameters (scale, seed, measurement protocol).
+        cache_dir: If given, the metric matrix is persisted there and
+            reloaded on later calls with identical parameters.
+        verify_checks: Fail loudly if any workload's self-check failed —
+            a characterization of a wrong computation is worthless.
+
+    Raises:
+        AnalysisError: If ``verify_checks`` finds a failed correctness
+            check.
+    """
+    config = config or CollectionConfig()
+    key = config.cache_key() + f"-{len(workloads)}"
+    if key in _MEMO:
+        return _MEMO[key]
+
+    cache_path = None
+    if cache_dir is not None:
+        cache_path = Path(cache_dir) / f"{key}.json"
+        if cache_path.exists():
+            result = SuiteCharacterization(
+                matrix=WorkloadMetricMatrix.load(cache_path),
+                characterizations=(),
+            )
+            _MEMO[key] = result
+            return result
+
+    cluster = Cluster()
+    context = RunContext(scale=config.scale, seed=config.seed)
+    characterizations = []
+    rows: dict[str, dict[str, float]] = {}
+    for workload in workloads:
+        characterization = cluster.characterize_workload(
+            workload, context, config.measurement
+        )
+        if verify_checks:
+            failed = {
+                name: value
+                for name, value in characterization.run.checks.items()
+                if name
+                in (
+                    "sorted",
+                    "records_preserved",
+                    "counts_correct",
+                    "matches_correct",
+                    "matches_reference",
+                    "inertia_decreased",
+                    "all_vertices_ranked",
+                )
+                and value != 1.0
+            }
+            if failed:
+                raise AnalysisError(
+                    f"{workload.name}: correctness checks failed: {failed}"
+                )
+        characterizations.append(characterization)
+        rows[workload.name] = characterization.metrics
+
+    result = SuiteCharacterization(
+        matrix=WorkloadMetricMatrix.from_rows(rows),
+        characterizations=tuple(characterizations),
+    )
+    _MEMO[key] = result
+    if cache_path is not None:
+        cache_path.parent.mkdir(parents=True, exist_ok=True)
+        result.matrix.save(cache_path)
+    return result

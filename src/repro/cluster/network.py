@@ -1,0 +1,55 @@
+"""1 Gb Ethernet interconnect model.
+
+The testbed's nodes are connected by gigabit Ethernet (Section IV-A).
+The characterization itself is rate-based and does not need wall-clock
+times, but the network model closes the loop for completeness: shuffle
+phases report their bytes here, and the cluster can report aggregate
+transfer volumes and idealised transfer times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["NetworkConfig", "GigabitNetwork"]
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Link characteristics."""
+
+    bandwidth_bits_per_s: float = 1e9  # 1 GbE
+    latency_s: float = 100e-6  # typical same-rack RTT/2
+    protocol_efficiency: float = 0.94  # Ethernet + IP + TCP overhead
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bits_per_s <= 0 or self.latency_s < 0:
+            raise ConfigurationError("bad network parameters")
+        if not 0 < self.protocol_efficiency <= 1:
+            raise ConfigurationError("protocol_efficiency must be in (0, 1]")
+
+
+class GigabitNetwork:
+    """Tracks transfers and computes idealised transfer times."""
+
+    def __init__(self, config: NetworkConfig | None = None) -> None:
+        self.config = config or NetworkConfig()
+        self.bytes_transferred = 0
+        self.transfers = 0
+
+    def transfer(self, num_bytes: int) -> float:
+        """Record a transfer; returns its idealised duration in seconds.
+
+        Raises:
+            ConfigurationError: On a negative byte count.
+        """
+        if num_bytes < 0:
+            raise ConfigurationError("cannot transfer a negative byte count")
+        self.bytes_transferred += num_bytes
+        self.transfers += 1
+        payload_rate = (
+            self.config.bandwidth_bits_per_s * self.config.protocol_efficiency / 8.0
+        )
+        return self.config.latency_s + num_bytes / payload_rate

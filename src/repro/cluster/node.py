@@ -1,0 +1,48 @@
+"""Cluster node model (Table III hardware).
+
+Each node of the testbed is a two-socket Xeon E5645 machine with 32 GB of
+DDR3.  A :class:`Node` owns a :class:`~repro.arch.processor.Processor`
+instance (the measured socket) plus identity and memory metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.processor import Processor, ProcessorConfig
+from repro.errors import ConfigurationError
+
+__all__ = ["NodeConfig", "Node"]
+
+GiB = 1 << 30
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Per-node hardware configuration (Table III)."""
+
+    processor: ProcessorConfig = field(default_factory=ProcessorConfig)
+    memory_bytes: int = 32 * GiB
+    os_name: str = "CentOS 6.4"
+    kernel_version: str = "3.11.10"
+    jdk_version: str = "1.7.0"
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise ConfigurationError("memory_bytes must be positive")
+
+
+class Node:
+    """One cluster machine: identity + simulated processor."""
+
+    def __init__(self, hostname: str, config: NodeConfig | None = None) -> None:
+        self.hostname = hostname
+        self.config = config or NodeConfig()
+        self.processor = Processor(self.config.processor)
+
+    @property
+    def total_cores(self) -> int:
+        return self.processor.total_cores
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.hostname}, {self.total_cores} cores)"

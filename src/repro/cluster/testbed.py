@@ -1,0 +1,145 @@
+"""The five-node experimental cluster (Section IV).
+
+One master plus four slaves on gigabit Ethernet, each slave a Table III
+machine.  :meth:`Cluster.characterize_workload` reproduces the paper's
+data-collection protocol end to end:
+
+1. really run the workload through its software stack (ramp-up is part
+   of the simulated sampling protocol);
+2. instrument the execution trace into phase profiles;
+3. simulate the profiles on each measured slave's processor;
+4. observe the resulting ground-truth events through the perf layer
+   (multiplexed counters, repeated runs);
+5. derive the 45 Table II metrics per slave and take the mean across
+   slaves ("We collect the data for all four slave nodes and take the
+   mean").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.network import GigabitNetwork
+from repro.cluster.node import Node, NodeConfig
+from repro.errors import ConfigurationError
+from repro.metrics.derivation import derive_metrics
+from repro.perf.profiler import PerfProfiler
+from repro.stacks.base import PhaseKind, stable_hash
+from repro.stacks.instrument import profiles_from_trace
+from repro.workloads.base import RunContext, Workload, WorkloadRun
+
+__all__ = ["MeasurementConfig", "WorkloadCharacterization", "Cluster"]
+
+
+@dataclass(frozen=True)
+class MeasurementConfig:
+    """Knobs of the measurement protocol.
+
+    Attributes:
+        slaves_measured: How many of the four slaves to actually simulate
+            (they are statistically exchangeable; measuring fewer trades
+            variance for speed, exactly like fewer repeat runs would).
+        active_cores: Sibling cores running each phase per slave.
+        ops_per_core: Measured sample size per core per phase.
+        warmup_fraction: Ramp-up sample discarded before measurement.
+        perf_repeats: Repeated perf runs averaged per slave.
+    """
+
+    slaves_measured: int = 2
+    active_cores: int = 4
+    ops_per_core: int = 6000
+    warmup_fraction: float = 0.3
+    perf_repeats: int = 3
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.slaves_measured <= 4:
+            raise ConfigurationError("slaves_measured must be in [1, 4]")
+        if self.perf_repeats <= 0:
+            raise ConfigurationError("perf_repeats must be positive")
+
+
+@dataclass(frozen=True)
+class WorkloadCharacterization:
+    """Result of characterizing one workload.
+
+    Attributes:
+        name: Workload label (``H-Sort`` ...).
+        metrics: Mean of the 45 Table II metrics across measured slaves.
+        per_slave: Per-slave metric mappings (before averaging).
+        run: The underlying workload run (trace + correctness checks).
+    """
+
+    name: str
+    metrics: dict[str, float]
+    per_slave: tuple[dict[str, float], ...]
+    run: WorkloadRun
+
+
+class Cluster:
+    """One master + four slaves, as in the paper's testbed."""
+
+    NUM_SLAVES = 4
+
+    def __init__(self, node_config: NodeConfig | None = None) -> None:
+        self.master = Node("master", node_config)
+        self.slaves = tuple(
+            Node(f"slave-{i}", node_config) for i in range(self.NUM_SLAVES)
+        )
+        self.network = GigabitNetwork()
+
+    def characterize_workload(
+        self,
+        workload: Workload,
+        context: RunContext | None = None,
+        measurement: MeasurementConfig | None = None,
+    ) -> WorkloadCharacterization:
+        """Run and characterize one workload (see module docstring)."""
+        context = context or RunContext()
+        measurement = measurement or MeasurementConfig()
+
+        run = workload.run(context)
+        actual_input = max(
+            (record.bytes_in for record in run.trace.records), default=1
+        )
+        footprint_scale = max(1.0, workload.declared_bytes / max(1, actual_input))
+        profiles = profiles_from_trace(
+            run.trace,
+            workload.hints,
+            num_workers=self.NUM_SLAVES,
+            footprint_scale=footprint_scale,
+        )
+
+        # Account shuffle traffic on the interconnect.
+        for record in run.trace.records:
+            if record.kind in (PhaseKind.SHUFFLE, PhaseKind.SHUFFLE_READ):
+                self.network.transfer(record.bytes_in)
+
+        profiler = PerfProfiler()
+        per_slave: list[dict[str, float]] = []
+        for slave_index in range(measurement.slaves_measured):
+            slave = self.slaves[slave_index]
+            rng = np.random.default_rng(
+                stable_hash((workload.name, context.seed, slave_index))
+            )
+            true_events = slave.processor.run_workload(
+                profiles,
+                rng,
+                active_cores=measurement.active_cores,
+                ops_per_core=measurement.ops_per_core,
+                warmup_fraction=measurement.warmup_fraction,
+            )
+            observed = profiler.profile(true_events, rng, repeats=measurement.perf_repeats)
+            per_slave.append(derive_metrics(observed.counts))
+
+        mean_metrics = {
+            name: float(np.mean([slave[name] for slave in per_slave]))
+            for name in per_slave[0]
+        }
+        return WorkloadCharacterization(
+            name=workload.name,
+            metrics=mean_metrics,
+            per_slave=tuple(per_slave),
+            run=run,
+        )

@@ -1,0 +1,41 @@
+"""The paper's contribution: PCA + clustering characterization/subsetting."""
+
+from repro.core.bic import BicSelection, bic_score, choose_k
+from repro.core.dataset import WorkloadMetricMatrix
+from repro.core.dendrogram import Dendrogram
+from repro.core.kiviat import KiviatDiagram, kiviat_diagrams
+from repro.core.kmeans import KMeansResult, kmeans
+from repro.core.linkage import Linkage, Merge, hierarchical_clustering, pairwise_distances
+from repro.core.pca import PcaResult, fit_pca
+from repro.core.preprocess import ZScore, zscore
+from repro.core.representatives import (
+    ClusterRepresentative,
+    SelectionPolicy,
+    select_representatives,
+)
+from repro.core.subsetting import SubsettingResult, subset_workloads
+
+__all__ = [
+    "BicSelection",
+    "bic_score",
+    "choose_k",
+    "WorkloadMetricMatrix",
+    "Dendrogram",
+    "KiviatDiagram",
+    "kiviat_diagrams",
+    "KMeansResult",
+    "kmeans",
+    "Linkage",
+    "Merge",
+    "hierarchical_clustering",
+    "pairwise_distances",
+    "PcaResult",
+    "fit_pca",
+    "ZScore",
+    "zscore",
+    "ClusterRepresentative",
+    "SelectionPolicy",
+    "select_representatives",
+    "SubsettingResult",
+    "subset_workloads",
+]

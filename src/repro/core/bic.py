@@ -1,0 +1,137 @@
+"""Bayesian Information Criterion for choosing K (Section VI-A).
+
+Implements the exact formulation the paper takes from Pelleg & Moore's
+X-means (Equations 1-3):
+
+.. math::
+
+    BIC(D, K) = l(D|K) - \\frac{p_j}{2} \\log R
+
+with :math:`p_j = K + dK` free parameters, the log-likelihood
+
+.. math::
+
+    l(D|K) = \\sum_{i=1}^{K} \\Big( -\\frac{R_i}{2}\\log(2\\pi)
+        - \\frac{R_i d}{2}\\log(\\sigma^2)
+        - \\frac{R_i - K}{2} + R_i \\log R_i - R_i \\log R \\Big)
+
+and the pooled variance estimate
+
+.. math::
+
+    \\sigma^2 = \\frac{1}{R-K} \\sum_i (x_i - \\mu_{(i)})^2 .
+
+"The larger the BIC scores, the higher the probability that the
+clustering is a good fit to the data"; the subsetting pipeline runs
+K-means for a range of K and keeps the K with the highest BIC (the paper
+lands on K = 7 for its 32×8 matrix).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.kmeans import KMeansResult, kmeans
+from repro.errors import AnalysisError
+
+__all__ = ["bic_score", "BicSelection", "choose_k"]
+
+_MIN_VARIANCE = 1e-12
+
+
+def bic_score(points: np.ndarray, result: KMeansResult) -> float:
+    """BIC of a fitted K-means clustering over ``points`` (Eqs. 1-3).
+
+    Raises:
+        AnalysisError: If the clustering leaves no degrees of freedom
+            (``R <= K``) or shapes mismatch.
+    """
+    points = np.asarray(points, dtype=float)
+    n, d = points.shape
+    k = result.k
+    if result.labels.shape[0] != n:
+        raise AnalysisError("labels/points size mismatch")
+    if n <= k:
+        raise AnalysisError(f"BIC undefined for R={n} <= K={k}")
+
+    # Eq. 3: pooled within-cluster variance.
+    residual_sq = float(
+        np.sum((points - result.centers[result.labels]) ** 2)
+    )
+    sigma_sq = max(residual_sq / (n - k), _MIN_VARIANCE)
+
+    # Eq. 2: log-likelihood, summed over clusters.
+    log_likelihood = 0.0
+    for i in range(k):
+        r_i = int(np.sum(result.labels == i))
+        if r_i == 0:
+            continue
+        log_likelihood += (
+            -0.5 * r_i * math.log(2.0 * math.pi)
+            - 0.5 * r_i * d * math.log(sigma_sq)
+            - 0.5 * (r_i - k)
+            + r_i * math.log(r_i)
+            - r_i * math.log(n)
+        )
+
+    # Eq. 1: penalised score with p_j = K + d*K free parameters.
+    free_parameters = k + d * k
+    return log_likelihood - 0.5 * free_parameters * math.log(n)
+
+
+@dataclass(frozen=True)
+class BicSelection:
+    """Result of a BIC sweep over candidate K values.
+
+    Attributes:
+        best_k: The K with the highest BIC.
+        scores: ``{k: bic}`` for every candidate.
+        clusterings: ``{k: KMeansResult}`` for every candidate.
+    """
+
+    best_k: int
+    scores: dict[int, float]
+    clusterings: dict[int, KMeansResult]
+
+    @property
+    def best(self) -> KMeansResult:
+        return self.clusterings[self.best_k]
+
+
+def choose_k(
+    points: np.ndarray,
+    k_min: int = 2,
+    k_max: int | None = None,
+    seed: int = 0,
+    n_init: int = 10,
+) -> BicSelection:
+    """Run K-means for each K in ``[k_min, k_max]`` and pick by BIC.
+
+    Args:
+        points: ``(n, d)`` data (the paper's 32×8 PC-score matrix).
+        k_min: Smallest K tried.
+        k_max: Largest K tried (default ``n - 1``, the largest for which
+            the BIC is defined).
+        seed: Seed shared by all K-means runs.
+        n_init: Restarts per K.
+
+    Raises:
+        AnalysisError: On an empty or invalid candidate range.
+    """
+    points = np.asarray(points, dtype=float)
+    n = points.shape[0]
+    k_max = k_max if k_max is not None else n - 1
+    if not 1 <= k_min <= k_max <= n - 1:
+        raise AnalysisError(f"invalid K range [{k_min}, {k_max}] for {n} points")
+
+    scores: dict[int, float] = {}
+    clusterings: dict[int, KMeansResult] = {}
+    for k in range(k_min, k_max + 1):
+        result = kmeans(points, k, seed=seed, n_init=n_init)
+        clusterings[k] = result
+        scores[k] = bic_score(points, result)
+    best_k = max(scores, key=lambda k: (scores[k], -k))
+    return BicSelection(best_k=best_k, scores=scores, clusterings=clusterings)

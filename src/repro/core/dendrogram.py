@@ -1,0 +1,196 @@
+"""Dendrogram model and rendering (the structure behind Figure 1).
+
+Wraps the merge sequence from :mod:`repro.core.linkage` with labels and
+the query operations the paper's similarity analysis needs: cutting at a
+distance (the vertical line "close to 5.6" that yields seven clusters),
+cophenetic distances between named workloads (e.g. H-Sort/S-Sort join at
+3.19), and the set of first-iteration merges (80 % of which are
+same-stack pairs — Observation 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.linkage import Merge
+from repro.errors import AnalysisError
+
+__all__ = ["Dendrogram"]
+
+
+@dataclass(frozen=True)
+class Dendrogram:
+    """A labelled merge tree.
+
+    Attributes:
+        labels: Leaf labels; leaf ``i`` has cluster id ``i``.
+        merges: The ``n-1`` agglomeration steps, in merge order.
+    """
+
+    labels: tuple[str, ...]
+    merges: tuple[Merge, ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.labels)
+        if len(self.merges) != n - 1:
+            raise AnalysisError(
+                f"{n} leaves require {n - 1} merges, got {len(self.merges)}"
+            )
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.labels)
+
+    # -- membership helpers ---------------------------------------------------
+
+    def _leaf_sets(self) -> dict[int, frozenset[int]]:
+        """Cluster id -> leaf indices, for every id ever created."""
+        n = self.n_leaves
+        sets: dict[int, frozenset[int]] = {i: frozenset([i]) for i in range(n)}
+        for index, merge in enumerate(self.merges):
+            sets[n + index] = sets[merge.left] | sets[merge.right]
+        return sets
+
+    def cut(self, distance: float) -> list[set[str]]:
+        """Clusters obtained by applying all merges at ≤ ``distance``.
+
+        This is the paper's "draw a vertical line" operation on Figure 1.
+        """
+        n = self.n_leaves
+        sets = self._leaf_sets()
+        active: dict[int, frozenset[int]] = {i: sets[i] for i in range(n)}
+        for index, merge in enumerate(self.merges):
+            if merge.distance <= distance:
+                del active[merge.left], active[merge.right]
+                active[n + index] = sets[n + index]
+        return [
+            {self.labels[i] for i in leaf_set} for leaf_set in active.values()
+        ]
+
+    def cut_to_k(self, k: int) -> list[set[str]]:
+        """Clusters after merging down to exactly ``k`` clusters.
+
+        Raises:
+            AnalysisError: If ``k`` is outside ``[1, n_leaves]``.
+        """
+        n = self.n_leaves
+        if not 1 <= k <= n:
+            raise AnalysisError(f"k={k} outside [1, {n}]")
+        sets = self._leaf_sets()
+        active: dict[int, frozenset[int]] = {i: sets[i] for i in range(n)}
+        for index, merge in enumerate(self.merges):
+            if len(active) <= k:
+                break
+            del active[merge.left], active[merge.right]
+            active[n + index] = sets[n + index]
+        return [{self.labels[i] for i in leaf_set} for leaf_set in active.values()]
+
+    def cophenetic_distance(self, a: str, b: str) -> float:
+        """Linkage distance at which workloads ``a`` and ``b`` first join.
+
+        Raises:
+            AnalysisError: On unknown labels or ``a == b``.
+        """
+        if a == b:
+            raise AnalysisError("cophenetic distance needs two distinct labels")
+        try:
+            ia, ib = self.labels.index(a), self.labels.index(b)
+        except ValueError as exc:
+            raise AnalysisError(f"unknown label in ({a!r}, {b!r})") from exc
+        n = self.n_leaves
+        sets = self._leaf_sets()
+        for index, merge in enumerate(self.merges):
+            merged = sets[n + index]
+            if ia in merged and ib in merged:
+                left, right = sets[merge.left], sets[merge.right]
+                if (ia in left) != (ib in left):
+                    return merge.distance
+        raise AnalysisError("labels never merge (corrupt dendrogram)")
+
+    def first_iteration_merges(self) -> list[tuple[str, str, float]]:
+        """Leaf-leaf merges: the paper's "first clustering iteration".
+
+        Observation 1 counts how many of these pair two same-stack
+        workloads (80 % in the paper).
+        """
+        n = self.n_leaves
+        return [
+            (self.labels[m.left], self.labels[m.right], m.distance)
+            for m in self.merges
+            if m.left < n and m.right < n
+        ]
+
+    def max_cophenetic_distance(self, subset: tuple[str, ...]) -> float:
+        """Largest pairwise cophenetic distance within ``subset``.
+
+        Table V's "maximal linkage distance among representative
+        workloads".
+        """
+        best = 0.0
+        for i, a in enumerate(subset):
+            for b in subset[i + 1 :]:
+                best = max(best, self.cophenetic_distance(a, b))
+        return best
+
+    # -- rendering --------------------------------------------------------------
+
+    def leaf_order(self) -> list[str]:
+        """Display order of leaves (depth-first over the final merge)."""
+        n = self.n_leaves
+
+        def walk(cluster_id: int) -> list[int]:
+            if cluster_id < n:
+                return [cluster_id]
+            merge = self.merges[cluster_id - n]
+            return walk(merge.left) + walk(merge.right)
+
+        root = n + len(self.merges) - 1
+        return [self.labels[i] for i in walk(root)]
+
+    def to_newick(self) -> str:
+        """Export the tree in Newick format (for external dendrogram tools).
+
+        Branch lengths are the half-linkage-distance increments between a
+        node and its parent merge, the usual ultrametric convention.
+        """
+        n = self.n_leaves
+
+        def height(cluster_id: int) -> float:
+            if cluster_id < n:
+                return 0.0
+            return self.merges[cluster_id - n].distance / 2.0
+
+        def walk(cluster_id: int, parent_height: float) -> str:
+            length = max(0.0, parent_height - height(cluster_id))
+            if cluster_id < n:
+                return f"{self.labels[cluster_id]}:{length:.6g}"
+            merge = self.merges[cluster_id - n]
+            own = height(cluster_id)
+            left = walk(merge.left, own)
+            right = walk(merge.right, own)
+            return f"({left},{right}):{length:.6g}"
+
+        root = n + len(self.merges) - 1
+        return walk(root, height(root)) + ";"
+
+    def render(self) -> str:
+        """ASCII dendrogram (Figure 1 analogue), linkage distances shown."""
+        n = self.n_leaves
+
+        def walk(cluster_id: int, prefix: str, tail: bool) -> list[str]:
+            connector = "└─ " if tail else "├─ "
+            child_prefix = prefix + ("   " if tail else "│  ")
+            if cluster_id < n:
+                return [prefix + connector + self.labels[cluster_id]]
+            merge = self.merges[cluster_id - n]
+            lines = [prefix + connector + f"({merge.distance:.2f})"]
+            lines += walk(merge.left, child_prefix, tail=False)
+            lines += walk(merge.right, child_prefix, tail=True)
+            return lines
+
+        root = n + len(self.merges) - 1
+        merge = self.merges[root - n]
+        lines = [f"({merge.distance:.2f})"]
+        lines += walk(merge.left, "", tail=False)
+        lines += walk(merge.right, "", tail=True)
+        return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""Kiviat (radar) diagram data for representative workloads (Figure 6).
+
+The paper shows one Kiviat diagram per chosen representative, with the
+eight retained principal components as axes, to illustrate "that the
+representative workloads are diverse and that different workloads are
+dominated by different principal components".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+__all__ = ["KiviatDiagram", "kiviat_diagrams"]
+
+
+@dataclass(frozen=True)
+class KiviatDiagram:
+    """One workload's radar data over the retained PCs.
+
+    Attributes:
+        workload: Workload label.
+        axes: Axis names (``PC1`` .. ``PCk``).
+        values: The workload's score on each axis.
+    """
+
+    workload: str
+    axes: tuple[str, ...]
+    values: tuple[float, ...]
+
+    @property
+    def dominant_axis(self) -> str:
+        """The axis with the largest absolute score."""
+        index = max(range(len(self.values)), key=lambda i: abs(self.values[i]))
+        return self.axes[index]
+
+    def polygon(self) -> list[tuple[float, float]]:
+        """Cartesian vertices of the radar polygon (|score| as radius)."""
+        n = len(self.axes)
+        return [
+            (
+                abs(self.values[i]) * math.cos(2.0 * math.pi * i / n),
+                abs(self.values[i]) * math.sin(2.0 * math.pi * i / n),
+            )
+            for i in range(n)
+        ]
+
+    def render(self) -> str:
+        """Text rendering: one bar per PC axis, sign-annotated."""
+        peak = max(abs(v) for v in self.values) or 1.0
+        lines = [f"{self.workload}:"]
+        for axis, value in zip(self.axes, self.values):
+            width = int(round(abs(value) / peak * 30))
+            lines.append(f"  {axis:>4} {value:+7.2f} |{'#' * width}")
+        return "\n".join(lines)
+
+
+def kiviat_diagrams(
+    scores: np.ndarray,
+    labels: tuple[str, ...],
+    workloads: tuple[str, ...],
+) -> tuple[KiviatDiagram, ...]:
+    """Build the Figure 6 diagrams for ``workloads``.
+
+    Args:
+        scores: ``(n, k)`` PC-score matrix of the full suite.
+        labels: Row labels of ``scores``.
+        workloads: The representatives to chart.
+
+    Raises:
+        AnalysisError: On unknown workloads or shape mismatch.
+    """
+    scores = np.asarray(scores, dtype=float)
+    if scores.shape[0] != len(labels):
+        raise AnalysisError("scores/labels size mismatch")
+    axes = tuple(f"PC{i + 1}" for i in range(scores.shape[1]))
+    diagrams = []
+    for workload in workloads:
+        if workload not in labels:
+            raise AnalysisError(f"unknown workload {workload!r}")
+        row = scores[labels.index(workload)]
+        diagrams.append(
+            KiviatDiagram(
+                workload=workload,
+                axes=axes,
+                values=tuple(float(v) for v in row),
+            )
+        )
+    return tuple(diagrams)

@@ -1,0 +1,123 @@
+"""K-means clustering (Section III-E), implemented from scratch.
+
+Lloyd's algorithm with k-means++ seeding and multiple restarts, fully
+deterministic given the seed.  Used by the subsetting pipeline to group
+the 32 workloads in PC space; the best ``K`` is chosen by the BIC
+(:mod:`repro.core.bic`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+__all__ = ["KMeansResult", "kmeans"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """A fitted K-means clustering.
+
+    Attributes:
+        labels: Cluster index per point.
+        centers: ``(k, d)`` centroid matrix.
+        inertia: Sum of squared distances to assigned centroids.
+        iterations: Lloyd iterations of the winning restart.
+    """
+
+    labels: np.ndarray
+    centers: np.ndarray
+    inertia: float
+    iterations: int
+
+    @property
+    def k(self) -> int:
+        return self.centers.shape[0]
+
+    def cluster_members(self) -> list[np.ndarray]:
+        """Point indices per cluster (ascending cluster index)."""
+        return [np.flatnonzero(self.labels == i) for i in range(self.k)]
+
+
+def _kmeanspp_init(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding: spread initial centroids by squared distance."""
+    n = points.shape[0]
+    centers = np.empty((k, points.shape[1]), dtype=float)
+    first = int(rng.integers(0, n))
+    centers[0] = points[first]
+    closest_sq = np.sum((points - centers[0]) ** 2, axis=1)
+    for j in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            centers[j:] = points[int(rng.integers(0, n))]
+            break
+        probs = closest_sq / total
+        choice = int(rng.choice(n, p=probs))
+        centers[j] = points[choice]
+        dist_sq = np.sum((points - centers[j]) ** 2, axis=1)
+        closest_sq = np.minimum(closest_sq, dist_sq)
+    return centers
+
+
+def _lloyd(
+    points: np.ndarray,
+    centers: np.ndarray,
+    max_iter: int,
+) -> tuple[np.ndarray, np.ndarray, float, int]:
+    """Lloyd iterations until assignment fixpoint or ``max_iter``."""
+    k = centers.shape[0]
+    labels = np.full(points.shape[0], -1)
+    for iteration in range(1, max_iter + 1):
+        distances = np.sum(
+            (points[:, None, :] - centers[None, :, :]) ** 2, axis=2
+        )
+        new_labels = np.argmin(distances, axis=1)
+        if np.array_equal(new_labels, labels):
+            break
+        labels = new_labels
+        for j in range(k):
+            members = points[labels == j]
+            if len(members):
+                centers[j] = members.mean(axis=0)
+    distances = np.sum((points - centers[labels]) ** 2, axis=1)
+    return labels, centers, float(distances.sum()), iteration
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    seed: int = 0,
+    n_init: int = 10,
+    max_iter: int = 200,
+) -> KMeansResult:
+    """Cluster ``points`` into ``k`` groups (best of ``n_init`` restarts).
+
+    Raises:
+        AnalysisError: If ``k`` is not in ``[1, n_points]`` or inputs are
+            malformed.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2:
+        raise AnalysisError(f"expected a 2-D matrix, got shape {points.shape}")
+    n = points.shape[0]
+    if not 1 <= k <= n:
+        raise AnalysisError(f"k={k} outside [1, {n}]")
+    if n_init <= 0 or max_iter <= 0:
+        raise AnalysisError("n_init and max_iter must be positive")
+
+    rng = np.random.default_rng(seed)
+    best: KMeansResult | None = None
+    for _restart in range(n_init):
+        centers = _kmeanspp_init(points, k, rng)
+        labels, centers, inertia, iterations = _lloyd(points, centers.copy(), max_iter)
+        if best is None or inertia < best.inertia:
+            best = KMeansResult(
+                labels=labels, centers=centers, inertia=inertia, iterations=iterations
+            )
+    assert best is not None
+    return best

@@ -1,0 +1,127 @@
+"""Principal Component Analysis with Kaiser's criterion (Section III-C).
+
+Implemented from first principles: eigendecomposition of the correlation
+matrix of the z-scored metric matrix.  "We use Kaiser's Criterion to
+choose the number of principal components: only the top few PCs, which
+have eigenvalues greater than or equal to one, are kept."
+
+The paper reports eight retained PCs covering 91.12 % of the variance;
+our reproduction's retained-PC count and coverage are asserted against
+the same Kaiser rule in the test suite and reported in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.preprocess import ZScore, zscore
+from repro.errors import AnalysisError
+
+__all__ = ["PcaResult", "fit_pca"]
+
+
+@dataclass(frozen=True)
+class PcaResult:
+    """A fitted PCA.
+
+    Attributes:
+        eigenvalues: All eigenvalues, descending.
+        components: ``(n_features, n_features)`` matrix; column ``j`` is
+            the j-th unit-length principal direction.
+        scores: ``(n_samples, n_kept)`` projections of the *fitting* data
+            onto the retained PCs.
+        n_kept: Number of PCs retained by Kaiser's criterion.
+        transform: The z-score transform fitted on the input data.
+    """
+
+    eigenvalues: np.ndarray
+    components: np.ndarray
+    scores: np.ndarray
+    n_kept: int
+    transform: ZScore
+
+    @property
+    def explained_variance_ratio(self) -> np.ndarray:
+        """Fraction of total variance carried by each PC (descending)."""
+        total = self.eigenvalues.sum()
+        if total <= 0:
+            return np.zeros_like(self.eigenvalues)
+        return self.eigenvalues / total
+
+    @property
+    def retained_variance(self) -> float:
+        """Variance fraction covered by the retained PCs (paper: 91.12 %)."""
+        return float(self.explained_variance_ratio[: self.n_kept].sum())
+
+    def loadings(self, n_components: int | None = None) -> np.ndarray:
+        """Factor loadings: component vectors scaled by sqrt(eigenvalue).
+
+        The paper's Figure 4 plots these weights: ``PC1 = -0.18*ILP +
+        0.23*L2_MISS + ...``.  Returns an ``(n_features, k)`` matrix.
+
+        Raises:
+            AnalysisError: If more components are requested than exist.
+        """
+        k = n_components or self.n_kept
+        if k > self.components.shape[1]:
+            raise AnalysisError(
+                f"requested {k} components, only {self.components.shape[1]} exist"
+            )
+        scale = np.sqrt(np.maximum(self.eigenvalues[:k], 0.0))
+        return self.components[:, :k] * scale
+
+    def project(self, matrix: np.ndarray, n_components: int | None = None) -> np.ndarray:
+        """Project new rows (in original metric units) onto the PCs."""
+        k = n_components or self.n_kept
+        normalized = self.transform.transform(np.asarray(matrix, dtype=float))
+        return normalized @ self.components[:, :k]
+
+
+def fit_pca(matrix: np.ndarray, kaiser_threshold: float = 1.0) -> PcaResult:
+    """Fit a PCA on ``matrix`` (rows = workloads, columns = metrics).
+
+    The data is z-scored first, so the decomposed matrix is the
+    correlation matrix and Kaiser's eigenvalue-1 threshold has its usual
+    meaning (a PC must carry at least one original metric's worth of
+    variance).
+
+    Args:
+        matrix: ``(n_samples, n_features)`` raw metric matrix.
+        kaiser_threshold: Eigenvalue cut-off (1.0 in the paper).
+
+    Raises:
+        AnalysisError: On malformed input.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise AnalysisError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    n_samples, n_features = matrix.shape
+    if n_samples < 3:
+        raise AnalysisError("PCA needs at least three samples")
+
+    normalized, transform = zscore(matrix)
+    covariance = (normalized.T @ normalized) / n_samples
+    eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+    order = np.argsort(eigenvalues)[::-1]
+    eigenvalues = np.maximum(eigenvalues[order], 0.0)
+    eigenvectors = eigenvectors[:, order]
+
+    # Deterministic sign convention: the largest-magnitude weight of each
+    # component is positive.
+    for j in range(eigenvectors.shape[1]):
+        pivot = np.argmax(np.abs(eigenvectors[:, j]))
+        if eigenvectors[pivot, j] < 0:
+            eigenvectors[:, j] = -eigenvectors[:, j]
+
+    n_kept = int(np.sum(eigenvalues >= kaiser_threshold))
+    n_kept = max(1, min(n_kept, n_features))
+    scores = normalized @ eigenvectors[:, :n_kept]
+    return PcaResult(
+        eigenvalues=eigenvalues,
+        components=eigenvectors,
+        scores=scores,
+        n_kept=n_kept,
+        transform=transform,
+    )

@@ -1,0 +1,70 @@
+"""Metric normalization (Section III-C).
+
+"We first normalize metric values to a Gaussian distribution with mean
+equal to zero and standard deviation equal to one (to isolate the effects
+of the varying ranges of each dimension)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+__all__ = ["ZScore", "zscore"]
+
+
+@dataclass(frozen=True)
+class ZScore:
+    """A fitted z-score transform.
+
+    Attributes:
+        means: Per-column means of the fitting data.
+        stds: Per-column standard deviations (1.0 where degenerate).
+        constant_columns: Boolean mask of zero-variance columns (these are
+            mapped to 0 — they carry no discriminating information).
+    """
+
+    means: np.ndarray
+    stds: np.ndarray
+    constant_columns: np.ndarray
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Apply the fitted transform to ``matrix``.
+
+        Raises:
+            AnalysisError: On a column-count mismatch.
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[1] != self.means.shape[0]:
+            raise AnalysisError(
+                f"expected {self.means.shape[0]} columns, got shape {matrix.shape}"
+            )
+        return (matrix - self.means) / self.stds
+
+
+def zscore(matrix: np.ndarray, ddof: int = 0) -> tuple[np.ndarray, ZScore]:
+    """Normalize columns to zero mean, unit standard deviation.
+
+    Columns with zero variance are centred and left at zero rather than
+    producing NaNs.
+
+    Returns:
+        ``(normalized, transform)``.
+
+    Raises:
+        AnalysisError: If ``matrix`` is not 2-D or has fewer than 2 rows.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise AnalysisError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    if matrix.shape[0] < 2:
+        raise AnalysisError("need at least two rows to normalize")
+    means = matrix.mean(axis=0)
+    stds = matrix.std(axis=0, ddof=ddof)
+    constant = stds == 0.0
+    safe_stds = np.where(constant, 1.0, stds)
+    transform = ZScore(means=means, stds=safe_stds, constant_columns=constant)
+    return transform.transform(matrix), transform

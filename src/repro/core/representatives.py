@@ -1,0 +1,98 @@
+"""Representative-workload selection (Section VI-B).
+
+"The representative for each cluster can be chosen by two approaches, as
+mentioned by Eeckhout et al.: the first is to choose the workload that is
+as close as possible to the center of the cluster it belongs to.  The
+other is to select an extreme workload situated at the boundary of each
+cluster."  The paper evaluates both and prefers the second, because its
+subset is more diverse (larger maximal linkage distance) and keeps the
+singleton-like outliers (S-PageRank, S-Kmeans, S-Grep, H-Kmeans).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.kmeans import KMeansResult
+from repro.errors import AnalysisError
+
+__all__ = ["SelectionPolicy", "ClusterRepresentative", "select_representatives"]
+
+
+class SelectionPolicy(enum.Enum):
+    """The two Table V selection approaches."""
+
+    NEAREST_TO_CENTER = "nearest-to-cluster-center"
+    FARTHEST_FROM_CENTER = "farthest-from-cluster-center"
+
+
+@dataclass(frozen=True)
+class ClusterRepresentative:
+    """One cluster's chosen representative.
+
+    Attributes:
+        workload: The chosen workload label.
+        cluster_index: K-means cluster index.
+        cluster_size: Number of workloads it represents (Table V shows
+            these in parentheses).
+        members: All workload labels in the cluster.
+        distance_to_center: Euclidean distance of the chosen workload to
+            its centroid.
+    """
+
+    workload: str
+    cluster_index: int
+    cluster_size: int
+    members: tuple[str, ...]
+    distance_to_center: float
+
+
+def select_representatives(
+    points: np.ndarray,
+    labels: tuple[str, ...],
+    clustering: KMeansResult,
+    policy: SelectionPolicy,
+) -> tuple[ClusterRepresentative, ...]:
+    """Pick one representative per cluster under ``policy``.
+
+    Clusters are returned largest-first (the Table V presentation order);
+    ties break deterministically by label.
+
+    Raises:
+        AnalysisError: On shape/label mismatches or an empty cluster.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.shape[0] != len(labels):
+        raise AnalysisError("points/labels size mismatch")
+    if clustering.labels.shape[0] != len(labels):
+        raise AnalysisError("clustering does not match the labelled points")
+
+    representatives: list[ClusterRepresentative] = []
+    for cluster_index in range(clustering.k):
+        member_indices = np.flatnonzero(clustering.labels == cluster_index)
+        if len(member_indices) == 0:
+            raise AnalysisError(f"cluster {cluster_index} is empty")
+        center = clustering.centers[cluster_index]
+        distances = np.sqrt(
+            np.sum((points[member_indices] - center) ** 2, axis=1)
+        )
+        order = sorted(
+            range(len(member_indices)),
+            key=lambda i: (distances[i], labels[member_indices[i]]),
+        )
+        pick = order[0] if policy is SelectionPolicy.NEAREST_TO_CENTER else order[-1]
+        chosen = member_indices[pick]
+        representatives.append(
+            ClusterRepresentative(
+                workload=labels[chosen],
+                cluster_index=cluster_index,
+                cluster_size=len(member_indices),
+                members=tuple(sorted(labels[i] for i in member_indices)),
+                distance_to_center=float(distances[pick]),
+            )
+        )
+    representatives.sort(key=lambda rep: (-rep.cluster_size, rep.workload))
+    return tuple(representatives)

@@ -1,0 +1,128 @@
+"""The end-to-end subsetting pipeline (the paper's primary contribution).
+
+Ties the statistical machinery together exactly as Sections III, V and VI
+describe:
+
+1. z-score the 32×45 metric matrix;
+2. PCA, keeping the Kaiser PCs (the paper keeps 8, covering 91.12 %);
+3. single-linkage hierarchical clustering on the PC scores (Figure 1);
+4. K-means over a range of K, choosing K by the BIC (Table IV; K = 7);
+5. one representative per cluster under both selection policies
+   (Table V), with the farthest-from-centroid subset recommended.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bic import BicSelection, choose_k
+from repro.core.dataset import WorkloadMetricMatrix
+from repro.core.dendrogram import Dendrogram
+from repro.core.kiviat import KiviatDiagram, kiviat_diagrams
+from repro.core.kmeans import KMeansResult
+from repro.core.linkage import Linkage, hierarchical_clustering
+from repro.core.pca import PcaResult, fit_pca
+from repro.core.representatives import (
+    ClusterRepresentative,
+    SelectionPolicy,
+    select_representatives,
+)
+
+__all__ = ["SubsettingResult", "subset_workloads"]
+
+
+@dataclass(frozen=True)
+class SubsettingResult:
+    """Everything the paper's analysis produces for one suite.
+
+    Attributes:
+        matrix: The input workload × metric matrix.
+        pca: Fitted PCA (Kaiser PCs retained).
+        dendrogram: Single-linkage dendrogram over the PC scores (Fig. 1).
+        bic: The BIC sweep and its chosen K (Table IV).
+        nearest: Representatives by nearest-to-centroid (Table V, row 1).
+        farthest: Representatives by farthest-from-centroid (Table V,
+            row 2 — the recommended subset).
+        kiviat: Figure 6 diagrams of the recommended subset.
+    """
+
+    matrix: WorkloadMetricMatrix
+    pca: PcaResult
+    dendrogram: Dendrogram
+    bic: BicSelection
+    nearest: tuple[ClusterRepresentative, ...]
+    farthest: tuple[ClusterRepresentative, ...]
+    kiviat: tuple[KiviatDiagram, ...]
+
+    @property
+    def clustering(self) -> KMeansResult:
+        """The K-means clustering at the BIC-chosen K."""
+        return self.bic.best
+
+    @property
+    def representative_subset(self) -> tuple[str, ...]:
+        """The recommended benchmark subset (farthest-from-centroid)."""
+        return tuple(rep.workload for rep in self.farthest)
+
+    def max_linkage_distance(self, policy: SelectionPolicy) -> float:
+        """Table V's diversity measure for either selection policy."""
+        reps = (
+            self.nearest
+            if policy is SelectionPolicy.NEAREST_TO_CENTER
+            else self.farthest
+        )
+        return self.dendrogram.max_cophenetic_distance(
+            tuple(rep.workload for rep in reps)
+        )
+
+
+def subset_workloads(
+    matrix: WorkloadMetricMatrix,
+    seed: int = 0,
+    k_min: int = 5,
+    k_max: int | None = None,
+    linkage: Linkage = Linkage.SINGLE,
+) -> SubsettingResult:
+    """Run the full characterization-and-subsetting pipeline.
+
+    Args:
+        matrix: Workload × metric matrix (e.g. the 32×45 suite data).
+        seed: Seed for the K-means restarts.
+        k_min: Smallest candidate K for the BIC sweep (default 5: a
+            benchmark subset of a 32-workload suite needs at least a
+            handful of representatives to be useful, and the Pelleg-Moore
+            BIC is noisy at the extremes of the K range).
+        k_max: Largest candidate K (default: min(12, n-1); the paper's
+            plausible range for a 32-workload suite).
+        linkage: Hierarchical-clustering linkage (the paper uses single).
+    """
+    pca = fit_pca(matrix.values)
+    scores = pca.scores
+
+    merges = hierarchical_clustering(scores, linkage=linkage)
+    dendrogram = Dendrogram(labels=matrix.workloads, merges=tuple(merges))
+
+    n = scores.shape[0]
+    k_max = k_max if k_max is not None else min(12, n - 1)
+    bic = choose_k(scores, k_min=k_min, k_max=k_max, seed=seed)
+
+    nearest = select_representatives(
+        scores, matrix.workloads, bic.best, SelectionPolicy.NEAREST_TO_CENTER
+    )
+    farthest = select_representatives(
+        scores, matrix.workloads, bic.best, SelectionPolicy.FARTHEST_FROM_CENTER
+    )
+    kiviat = kiviat_diagrams(
+        scores, matrix.workloads, tuple(rep.workload for rep in farthest)
+    )
+    return SubsettingResult(
+        matrix=matrix,
+        pca=pca,
+        dendrogram=dendrogram,
+        bic=bic,
+        nearest=nearest,
+        farthest=farthest,
+        kiviat=kiviat,
+    )

@@ -1,0 +1,25 @@
+"""BDGS-equivalent synthetic data generators (all seeded/deterministic)."""
+
+from repro.datagen.bdgs import Bdgs, DataSetSpec
+from repro.datagen.graph import DirectedGraph, GraphGenerator
+from repro.datagen.points import PointCloud, PointGenerator
+from repro.datagen.sequencefile import SequenceFileGenerator, SequenceRecord
+from repro.datagen.table import Order, OrderItem, TransactionGenerator
+from repro.datagen.text import LabeledDocument, TextGenerator, Vocabulary
+
+__all__ = [
+    "Bdgs",
+    "DataSetSpec",
+    "DirectedGraph",
+    "GraphGenerator",
+    "PointCloud",
+    "PointGenerator",
+    "SequenceFileGenerator",
+    "SequenceRecord",
+    "Order",
+    "OrderItem",
+    "TransactionGenerator",
+    "LabeledDocument",
+    "TextGenerator",
+    "Vocabulary",
+]

@@ -1,0 +1,87 @@
+"""BDGS facade: one seeded entry point for all synthetic data.
+
+The paper's inputs come from the Big Data Generator Suite (BDGS [16]),
+which scales six raw data sets up to the Table I problem sizes.  Our
+equivalent generates structurally faithful data at laptop scale and keeps
+the *declared* Table I size as metadata: workload instrumentation uses
+the declared size to parameterise footprint models while the engines
+process the actual (scaled-down) records, so both the computation and the
+footprint-dependent microarchitectural effects are exercised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datagen.graph import DirectedGraph, GraphGenerator
+from repro.datagen.points import PointCloud, PointGenerator
+from repro.datagen.sequencefile import SequenceFileGenerator, SequenceRecord
+from repro.datagen.table import Order, OrderItem, TransactionGenerator
+from repro.datagen.text import LabeledDocument, TextGenerator
+
+__all__ = ["DataSetSpec", "Bdgs"]
+
+GiB = 1 << 30
+
+
+@dataclass(frozen=True)
+class DataSetSpec:
+    """Declared properties of a Table I data set.
+
+    Attributes:
+        name: Data-set label.
+        declared_bytes: The paper's problem size in bytes (e.g. 80 GB for
+            Sort) — used by footprint models, not by generation.
+        data_type: Table I data type (unstructured / semi-structured /
+            structured).
+        data_format: Human description (text, sequence file, graph, table).
+    """
+
+    name: str
+    declared_bytes: int
+    data_type: str
+    data_format: str
+
+
+class Bdgs:
+    """Facade over all generators with a single master seed."""
+
+    def __init__(self, seed: int = 42) -> None:
+        self.seed = seed
+        self._text = TextGenerator(seed=seed)
+        self._seq = SequenceFileGenerator(seed=seed + 1)
+        self._graph = GraphGenerator(seed=seed + 2)
+        self._table = TransactionGenerator(seed=seed + 3)
+        self._points = PointGenerator(seed=seed + 4)
+
+    # -- unstructured ---------------------------------------------------------
+
+    def text_lines(self, count: int, words_per_line: int = 12) -> list[str]:
+        """Text lines for Grep / WordCount."""
+        return self._text.lines(count, words_per_line=words_per_line)
+
+    def labeled_documents(self, count: int, **kwargs) -> list[LabeledDocument]:
+        """Class-labeled documents for Naive Bayes."""
+        return self._text.labeled_documents(count, **kwargs)
+
+    def sequence_records(self, count: int, **kwargs) -> list[SequenceRecord]:
+        """Key/value records for Sort."""
+        return self._seq.records(count, **kwargs)
+
+    def graph(self, num_vertices: int, edges_per_vertex: int = 4) -> DirectedGraph:
+        """Power-law directed graph for PageRank."""
+        return self._graph.generate(num_vertices, edges_per_vertex=edges_per_vertex)
+
+    def points(self, count: int, **kwargs) -> PointCloud:
+        """Gaussian-mixture vectors for K-means."""
+        return self._points.generate(count, **kwargs)
+
+    # -- structured -----------------------------------------------------------
+
+    def orders(self, count: int, **kwargs) -> list[Order]:
+        """ORDER fact table rows."""
+        return self._table.orders(count, **kwargs)
+
+    def order_items(self, count: int, num_orders: int, **kwargs) -> list[OrderItem]:
+        """ORDER_ITEM detail table rows."""
+        return self._table.items(count, num_orders, **kwargs)

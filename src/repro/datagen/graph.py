@@ -1,0 +1,87 @@
+"""Synthetic graph generation (BDGS graph generator equivalent).
+
+PageRank in Table I runs on an unstructured graph with 2^24 vertices.  Web
+graphs have power-law in-degree distributions; we generate directed graphs
+with a preferential-attachment scheme (each new vertex links to ``m``
+targets chosen proportionally to current in-degree plus a uniform
+smoothing term), which yields the heavy-tailed in-degree structure
+PageRank's convergence behaviour depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataGenerationError
+
+__all__ = ["DirectedGraph", "GraphGenerator"]
+
+
+@dataclass(frozen=True)
+class DirectedGraph:
+    """An immutable directed graph as an edge list.
+
+    Attributes:
+        num_vertices: Vertex count; vertices are ``0..num_vertices-1``.
+        edges: ``(src, dst)`` pairs.
+    """
+
+    num_vertices: int
+    edges: tuple[tuple[int, int], ...]
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def out_degree(self) -> dict[int, int]:
+        """Out-degree per vertex (vertices with no out-edges omitted)."""
+        degrees: dict[int, int] = {}
+        for src, _ in self.edges:
+            degrees[src] = degrees.get(src, 0) + 1
+        return degrees
+
+    def adjacency(self) -> dict[int, list[int]]:
+        """Successor lists (vertices with no out-edges omitted)."""
+        adj: dict[int, list[int]] = {}
+        for src, dst in self.edges:
+            adj.setdefault(src, []).append(dst)
+        return adj
+
+
+class GraphGenerator:
+    """Preferential-attachment directed graph generator."""
+
+    def __init__(self, seed: int = 13) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def generate(self, num_vertices: int, edges_per_vertex: int = 4) -> DirectedGraph:
+        """Generate a graph with power-law in-degrees.
+
+        Args:
+            num_vertices: Number of vertices (>= 2).
+            edges_per_vertex: Out-links added per vertex.
+
+        Raises:
+            DataGenerationError: On fewer than two vertices or no edges.
+        """
+        if num_vertices < 2:
+            raise DataGenerationError("need at least two vertices")
+        if edges_per_vertex <= 0:
+            raise DataGenerationError("edges_per_vertex must be positive")
+
+        rng = self._rng
+        # in_weight[v] = in_degree(v) + 1 (uniform smoothing).
+        in_weight = np.ones(num_vertices, dtype=float)
+        edges: list[tuple[int, int]] = []
+        for src in range(num_vertices):
+            m = min(edges_per_vertex, num_vertices - 1)
+            probs = in_weight.copy()
+            probs[src] = 0.0  # no self loops
+            probs /= probs.sum()
+            targets = rng.choice(num_vertices, size=m, replace=False, p=probs)
+            for dst in targets:
+                edges.append((src, int(dst)))
+                in_weight[int(dst)] += 1.0
+        return DirectedGraph(num_vertices=num_vertices, edges=tuple(edges))

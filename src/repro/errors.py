@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate finer-grained failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class DataGenerationError(ReproError):
+    """A synthetic data generator could not produce the requested data."""
+
+
+class StackExecutionError(ReproError):
+    """A software-stack engine (Hadoop/Spark/Hive/Shark) failed to run a job."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition is invalid or failed to execute."""
+
+
+class ProfilingError(ReproError):
+    """The PMU/profiler layer was used incorrectly."""
+
+
+class AnalysisError(ReproError):
+    """A statistical-analysis step (PCA, clustering, BIC) received bad input."""

@@ -1,0 +1,42 @@
+"""Table II metric catalog, raw hardware events, and metric derivation."""
+
+from repro.metrics.catalog import (
+    METRIC_INDEX,
+    METRIC_NAMES,
+    METRICS,
+    NUM_METRICS,
+    MetricCategory,
+    MetricKind,
+    MetricSpec,
+    metric,
+    metrics_in_category,
+)
+from repro.metrics.derivation import (
+    REQUIRED_EVENTS,
+    derive_metrics,
+    metrics_from_array,
+    metrics_to_array,
+)
+from repro.metrics.events import EVENT_NAMES, EVENTS, FIXED_EVENTS, EventDomain, EventSpec, event
+
+__all__ = [
+    "METRIC_INDEX",
+    "METRIC_NAMES",
+    "METRICS",
+    "NUM_METRICS",
+    "MetricCategory",
+    "MetricKind",
+    "MetricSpec",
+    "metric",
+    "metrics_in_category",
+    "REQUIRED_EVENTS",
+    "derive_metrics",
+    "metrics_from_array",
+    "metrics_to_array",
+    "EVENT_NAMES",
+    "EVENTS",
+    "FIXED_EVENTS",
+    "EventDomain",
+    "EventSpec",
+    "event",
+]

@@ -1,0 +1,315 @@
+"""The 45 microarchitectural metrics of Table II.
+
+The paper characterizes every workload with 45 metrics grouped into nine
+categories (instruction mix, cache behavior, TLB behavior, branch execution,
+pipeline behavior, offcore requests, snoop responses, parallelism, and
+operation intensity).  This module is the single source of truth for metric
+identity and ordering: every metric vector produced anywhere in the library
+is indexed in catalog order, and the analysis layer labels factor loadings
+and Kiviat axes from here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "MetricCategory",
+    "MetricKind",
+    "MetricSpec",
+    "METRICS",
+    "METRIC_NAMES",
+    "METRIC_INDEX",
+    "NUM_METRICS",
+    "metrics_in_category",
+    "metric",
+]
+
+
+class MetricCategory(enum.Enum):
+    """The nine metric categories of Table II."""
+
+    INSTRUCTION_MIX = "Instruction Mix"
+    CACHE_BEHAVIOR = "Cache Behavior"
+    TLB_BEHAVIOR = "TLB Behavior"
+    BRANCH_EXECUTION = "Branch Execution"
+    PIPELINE_BEHAVIOR = "Pipeline Behavior"
+    OFFCORE_REQUEST = "Offcore Request"
+    SNOOP_RESPONSE = "Snoop Response"
+    PARALLELISM = "Parallelism"
+    OPERATION_INTENSITY = "Operation Intensity"
+
+
+class MetricKind(enum.Enum):
+    """How a metric is normalised.
+
+    PERCENTAGE
+        A share of some population (e.g. load operations' percentage),
+        expressed in [0, 1].
+    PKI
+        Events per kilo retired instructions.
+    RATIO
+        A dimensionless ratio (e.g. stalled cycles to total cycles, IPC).
+    """
+
+    PERCENTAGE = "percentage"
+    PKI = "per-kilo-instructions"
+    RATIO = "ratio"
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One row of Table II.
+
+    Attributes:
+        number: The 1-based metric number used in the paper (1..45).
+        name: The canonical metric name (underscored, e.g. ``L1I_MISS``).
+        category: Which Table II category the metric belongs to.
+        kind: How the metric is normalised.
+        description: The Table II description, verbatim where possible.
+    """
+
+    number: int
+    name: str
+    category: MetricCategory
+    kind: MetricKind
+    description: str
+
+
+def _spec(
+    number: int,
+    name: str,
+    category: MetricCategory,
+    kind: MetricKind,
+    description: str,
+) -> MetricSpec:
+    return MetricSpec(number, name, category, kind, description)
+
+
+_MIX = MetricCategory.INSTRUCTION_MIX
+_CACHE = MetricCategory.CACHE_BEHAVIOR
+_TLB = MetricCategory.TLB_BEHAVIOR
+_BRANCH = MetricCategory.BRANCH_EXECUTION
+_PIPE = MetricCategory.PIPELINE_BEHAVIOR
+_OFFCORE = MetricCategory.OFFCORE_REQUEST
+_SNOOP = MetricCategory.SNOOP_RESPONSE
+_PAR = MetricCategory.PARALLELISM
+_INTENSITY = MetricCategory.OPERATION_INTENSITY
+
+_PCT = MetricKind.PERCENTAGE
+_PKI = MetricKind.PKI
+_RATIO = MetricKind.RATIO
+
+#: All 45 metrics in Table II order.  Index ``i`` holds metric number ``i+1``.
+METRICS: tuple[MetricSpec, ...] = (
+    _spec(1, "LOAD", _MIX, _PCT, "load operations' percentage"),
+    _spec(2, "STORE", _MIX, _PCT, "store operations' percentage"),
+    _spec(3, "BRANCH", _MIX, _PCT, "branch operations' percentage"),
+    _spec(4, "INTEGER", _MIX, _PCT, "integer operations' percentage"),
+    _spec(5, "FP_X87", _MIX, _PCT, "X87 floating point operations' percentage"),
+    _spec(6, "SSE_FP", _MIX, _PCT, "SSE floating point operations' percentage"),
+    _spec(
+        7,
+        "KERNEL_MODE",
+        _MIX,
+        _RATIO,
+        "the ratio of instructions running in kernel mode",
+    ),
+    _spec(
+        8,
+        "USER_MODE",
+        _MIX,
+        _RATIO,
+        "the ratio of instructions running in user mode",
+    ),
+    _spec(
+        9,
+        "UOPS_TO_INS",
+        _MIX,
+        _RATIO,
+        "the ratio of micro operations to instructions",
+    ),
+    _spec(10, "L1I_MISS", _CACHE, _PKI, "L1 instruction cache misses per K instructions"),
+    _spec(11, "L1I_HIT", _CACHE, _PKI, "L1 instruction cache hits per K instructions"),
+    _spec(12, "L2_MISS", _CACHE, _PKI, "L2 cache misses per K instructions"),
+    _spec(13, "L2_HIT", _CACHE, _PKI, "L2 cache hits per K instructions"),
+    _spec(14, "L3_MISS", _CACHE, _PKI, "L3 cache misses per K instructions"),
+    _spec(15, "L3_HIT", _CACHE, _PKI, "L3 cache hits per K instructions"),
+    _spec(
+        16,
+        "LOAD_HIT_LFB",
+        _CACHE,
+        _PKI,
+        "loads that miss the L1D and hit the line fill buffer per K instructions",
+    ),
+    _spec(17, "LOAD_HIT_L2", _CACHE, _PKI, "loads that hit the L2 cache per K instructions"),
+    _spec(
+        18,
+        "LOAD_HIT_SIBE",
+        _CACHE,
+        _PKI,
+        "loads that hit a sibling core's L2 cache per K instructions",
+    ),
+    _spec(
+        19,
+        "LOAD_HIT_L3",
+        _CACHE,
+        _PKI,
+        "loads that hit unshared lines in the L3 cache per K instructions",
+    ),
+    _spec(20, "LOAD_LLC_MISS", _CACHE, _PKI, "loads that miss the L3 cache per K instructions"),
+    _spec(
+        21,
+        "ITLB_MISS",
+        _TLB,
+        _PKI,
+        "misses in all levels of the instruction TLB per K instructions",
+    ),
+    _spec(
+        22,
+        "ITLB_CYCLE",
+        _TLB,
+        _RATIO,
+        "the ratio of instruction TLB miss page walk cycles to total cycles",
+    ),
+    _spec(
+        23,
+        "DTLB_MISS",
+        _TLB,
+        _PKI,
+        "misses in all levels of the data TLB per K instructions",
+    ),
+    _spec(
+        24,
+        "DTLB_CYCLE",
+        _TLB,
+        _RATIO,
+        "the ratio of data TLB miss page walk cycles to total cycles",
+    ),
+    _spec(
+        25,
+        "DATA_HIT_STLB",
+        _TLB,
+        _PKI,
+        "DTLB first level misses that hit in the second level TLB per K instructions",
+    ),
+    _spec(26, "BR_MISS", _BRANCH, _RATIO, "branch miss prediction ratio"),
+    _spec(
+        27,
+        "BR_EXE_TO_RE",
+        _BRANCH,
+        _RATIO,
+        "the ratio of executed branch instructions to retired branch instructions",
+    ),
+    _spec(
+        28,
+        "FETCH_STALL",
+        _PIPE,
+        _RATIO,
+        "the ratio of instruction fetch stalled cycles to total cycles",
+    ),
+    _spec(
+        29,
+        "ILD_STALL",
+        _PIPE,
+        _RATIO,
+        "the ratio of Instruction Length Decoder stalled cycles to total cycles",
+    ),
+    _spec(
+        30,
+        "DECODER_STALL",
+        _PIPE,
+        _RATIO,
+        "the ratio of Decoder stalled cycles to total cycles",
+    ),
+    _spec(
+        31,
+        "RAT_STALL",
+        _PIPE,
+        _RATIO,
+        "the ratio of Register Allocation Table stalled cycles to total cycles",
+    ),
+    _spec(
+        32,
+        "RESOURCE_STALL",
+        _PIPE,
+        _RATIO,
+        "the ratio of resource-related stalled cycles to total cycles "
+        "(load/store buffer full, reservation station full, reorder buffer "
+        "full, and similar backend stalls)",
+    ),
+    _spec(
+        33,
+        "UOPS_EXE_CYCLE",
+        _PIPE,
+        _RATIO,
+        "the ratio of cycles in which micro operations are executed to total cycles",
+    ),
+    _spec(
+        34,
+        "UOPS_STALL",
+        _PIPE,
+        _RATIO,
+        "the ratio of cycles in which no micro operation executes to total cycles",
+    ),
+    _spec(35, "OFFCORE_DATA", _OFFCORE, _PCT, "percentage of offcore data requests"),
+    _spec(36, "OFFCORE_CODE", _OFFCORE, _PCT, "percentage of offcore code requests"),
+    _spec(
+        37,
+        "OFFCORE_RFO",
+        _OFFCORE,
+        _PCT,
+        "percentage of offcore Request For Ownership requests",
+    ),
+    _spec(38, "OFFCORE_WB", _OFFCORE, _PCT, "percentage of data write-backs to uncore"),
+    _spec(39, "SNOOP_HIT", _SNOOP, _PKI, "HIT snoop responses per K instructions"),
+    _spec(40, "SNOOP_HITE", _SNOOP, _PKI, "HIT-Exclusive snoop responses per K instructions"),
+    _spec(41, "SNOOP_HITM", _SNOOP, _PKI, "HIT-Modified snoop responses per K instructions"),
+    _spec(42, "ILP", _PAR, _RATIO, "instruction level parallelism (IPC)"),
+    _spec(
+        43,
+        "MLP",
+        _PAR,
+        _RATIO,
+        "memory level parallelism (mean outstanding cache misses while at "
+        "least one miss is outstanding)",
+    ),
+    _spec(
+        44,
+        "INT_TO_MEM",
+        _INTENSITY,
+        _RATIO,
+        "integer computation to memory access ratio",
+    ),
+    _spec(
+        45,
+        "FP_TO_MEM",
+        _INTENSITY,
+        _RATIO,
+        "floating point computation to memory access ratio",
+    ),
+)
+
+#: Metric names in catalog order.
+METRIC_NAMES: tuple[str, ...] = tuple(spec.name for spec in METRICS)
+
+#: Map from metric name to 0-based index in catalog order.
+METRIC_INDEX: dict[str, int] = {spec.name: i for i, spec in enumerate(METRICS)}
+
+#: Number of metrics (45).
+NUM_METRICS: int = len(METRICS)
+
+
+def metric(name: str) -> MetricSpec:
+    """Return the :class:`MetricSpec` for ``name``.
+
+    Raises:
+        KeyError: If ``name`` is not one of the 45 catalog metrics.
+    """
+    return METRICS[METRIC_INDEX[name]]
+
+
+def metrics_in_category(category: MetricCategory) -> tuple[MetricSpec, ...]:
+    """Return all metrics belonging to ``category``, in catalog order."""
+    return tuple(spec for spec in METRICS if spec.category is category)

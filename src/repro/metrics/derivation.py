@@ -1,0 +1,210 @@
+"""Derive the 45 Table II metrics from raw hardware event counts.
+
+Some Table II metrics need several raw events (the paper notes it collects
+"more than 50 events (some metrics require multiple events)").  This module
+is the bridge between the raw PMU counts collected by :mod:`repro.perf` and
+the metric vectors consumed by the statistical pipeline in
+:mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.metrics.catalog import METRIC_NAMES, NUM_METRICS
+
+__all__ = ["REQUIRED_EVENTS", "derive_metrics", "metrics_to_array", "metrics_from_array"]
+
+#: Raw event names the derivation consumes.  The profiler uses this set to
+#: know what to program into the PMU.
+REQUIRED_EVENTS: tuple[str, ...] = (
+    "inst_retired.any",
+    "cpu_clk_unhalted.core",
+    "mem_inst_retired.loads",
+    "mem_inst_retired.stores",
+    "br_inst_retired.all_branches",
+    "arith.int",
+    "fp_comp_ops_exe.x87",
+    "fp_comp_ops_exe.sse_fp",
+    "inst_retired.kernel",
+    "inst_retired.user",
+    "uops_retired.any",
+    "l1i.misses",
+    "l1i.hits",
+    "l1i.cycles_stalled",
+    "l2_rqsts.miss",
+    "l2_rqsts.hit",
+    "llc.misses",
+    "llc.hits",
+    "mem_load_retired.hit_lfb",
+    "mem_load_retired.l2_hit",
+    "mem_load_retired.other_core_l2_hit_hitm",
+    "mem_load_retired.llc_unshared_hit",
+    "mem_load_retired.llc_miss",
+    "itlb_misses.any",
+    "itlb_misses.walk_cycles",
+    "dtlb_misses.any",
+    "dtlb_misses.walk_cycles",
+    "dtlb_misses.stlb_hit",
+    "br_misp_retired.all_branches",
+    "br_inst_exec.any",
+    "ild_stall.any",
+    "decoder_stall.any",
+    "rat_stalls.any",
+    "resource_stalls.any",
+    "uops_executed.core_active_cycles",
+    "uops_executed.core_stall_cycles",
+    "offcore_requests.demand.read_data",
+    "offcore_requests.demand.read_code",
+    "offcore_requests.demand.rfo",
+    "offcore_requests.writeback",
+    "snoop_response.hit",
+    "snoop_response.hite",
+    "snoop_response.hitm",
+    "offcore_requests_outstanding.cycles_sum",
+    "offcore_requests_outstanding.active_cycles",
+    "mem_access.any",
+)
+
+
+def _safe_div(numerator: float, denominator: float) -> float:
+    """Divide, mapping a zero denominator to 0.0 (a dead counter, not NaN)."""
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator
+
+
+def derive_metrics(counts: Mapping[str, float]) -> dict[str, float]:
+    """Turn raw event ``counts`` into the 45 Table II metrics.
+
+    Args:
+        counts: Mapping from raw event name (see :data:`REQUIRED_EVENTS`)
+            to the observed (possibly multiplex-scaled) count.
+
+    Returns:
+        Mapping from metric name to value, containing exactly the 45
+        catalog metrics.
+
+    Raises:
+        AnalysisError: If a required raw event is missing from ``counts``.
+    """
+    missing = [name for name in REQUIRED_EVENTS if name not in counts]
+    if missing:
+        raise AnalysisError(f"missing raw events for metric derivation: {missing}")
+
+    inst = float(counts["inst_retired.any"])
+    cycles = float(counts["cpu_clk_unhalted.core"])
+
+    def pki(event_name: str) -> float:
+        return _safe_div(float(counts[event_name]) * 1000.0, inst)
+
+    def per_inst(event_name: str) -> float:
+        return _safe_div(float(counts[event_name]), inst)
+
+    def per_cycle(event_name: str) -> float:
+        return _safe_div(float(counts[event_name]), cycles)
+
+    offcore_total = (
+        float(counts["offcore_requests.demand.read_data"])
+        + float(counts["offcore_requests.demand.read_code"])
+        + float(counts["offcore_requests.demand.rfo"])
+        + float(counts["offcore_requests.writeback"])
+    )
+
+    br_retired = float(counts["br_inst_retired.all_branches"])
+    mem_accesses = float(counts["mem_access.any"])
+    fp_total = float(counts["fp_comp_ops_exe.x87"]) + float(counts["fp_comp_ops_exe.sse_fp"])
+
+    values: dict[str, float] = {
+        # Instruction mix.
+        "LOAD": per_inst("mem_inst_retired.loads"),
+        "STORE": per_inst("mem_inst_retired.stores"),
+        "BRANCH": per_inst("br_inst_retired.all_branches"),
+        "INTEGER": per_inst("arith.int"),
+        "FP_X87": per_inst("fp_comp_ops_exe.x87"),
+        "SSE_FP": per_inst("fp_comp_ops_exe.sse_fp"),
+        "KERNEL_MODE": per_inst("inst_retired.kernel"),
+        "USER_MODE": per_inst("inst_retired.user"),
+        "UOPS_TO_INS": per_inst("uops_retired.any"),
+        # Cache behavior.
+        "L1I_MISS": pki("l1i.misses"),
+        "L1I_HIT": pki("l1i.hits"),
+        "L2_MISS": pki("l2_rqsts.miss"),
+        "L2_HIT": pki("l2_rqsts.hit"),
+        "L3_MISS": pki("llc.misses"),
+        "L3_HIT": pki("llc.hits"),
+        "LOAD_HIT_LFB": pki("mem_load_retired.hit_lfb"),
+        "LOAD_HIT_L2": pki("mem_load_retired.l2_hit"),
+        "LOAD_HIT_SIBE": pki("mem_load_retired.other_core_l2_hit_hitm"),
+        "LOAD_HIT_L3": pki("mem_load_retired.llc_unshared_hit"),
+        "LOAD_LLC_MISS": pki("mem_load_retired.llc_miss"),
+        # TLB behavior.
+        "ITLB_MISS": pki("itlb_misses.any"),
+        "ITLB_CYCLE": per_cycle("itlb_misses.walk_cycles"),
+        "DTLB_MISS": pki("dtlb_misses.any"),
+        "DTLB_CYCLE": per_cycle("dtlb_misses.walk_cycles"),
+        "DATA_HIT_STLB": pki("dtlb_misses.stlb_hit"),
+        # Branch execution.
+        "BR_MISS": _safe_div(float(counts["br_misp_retired.all_branches"]), br_retired),
+        "BR_EXE_TO_RE": _safe_div(float(counts["br_inst_exec.any"]), br_retired),
+        # Pipeline behavior.
+        "FETCH_STALL": per_cycle("l1i.cycles_stalled"),
+        "ILD_STALL": per_cycle("ild_stall.any"),
+        "DECODER_STALL": per_cycle("decoder_stall.any"),
+        "RAT_STALL": per_cycle("rat_stalls.any"),
+        "RESOURCE_STALL": per_cycle("resource_stalls.any"),
+        "UOPS_EXE_CYCLE": per_cycle("uops_executed.core_active_cycles"),
+        "UOPS_STALL": per_cycle("uops_executed.core_stall_cycles"),
+        # Offcore requests (shares of all offcore traffic).
+        "OFFCORE_DATA": _safe_div(
+            float(counts["offcore_requests.demand.read_data"]), offcore_total
+        ),
+        "OFFCORE_CODE": _safe_div(
+            float(counts["offcore_requests.demand.read_code"]), offcore_total
+        ),
+        "OFFCORE_RFO": _safe_div(float(counts["offcore_requests.demand.rfo"]), offcore_total),
+        "OFFCORE_WB": _safe_div(float(counts["offcore_requests.writeback"]), offcore_total),
+        # Snoop responses.
+        "SNOOP_HIT": pki("snoop_response.hit"),
+        "SNOOP_HITE": pki("snoop_response.hite"),
+        "SNOOP_HITM": pki("snoop_response.hitm"),
+        # Parallelism.
+        "ILP": _safe_div(inst, cycles),
+        "MLP": _safe_div(
+            float(counts["offcore_requests_outstanding.cycles_sum"]),
+            float(counts["offcore_requests_outstanding.active_cycles"]),
+        ),
+        # Operation intensity.
+        "INT_TO_MEM": _safe_div(float(counts["arith.int"]), mem_accesses),
+        "FP_TO_MEM": _safe_div(fp_total, mem_accesses),
+    }
+    return values
+
+
+def metrics_to_array(values: Mapping[str, float]) -> np.ndarray:
+    """Pack a metric mapping into a length-45 vector in catalog order.
+
+    Raises:
+        AnalysisError: If any catalog metric is missing from ``values``.
+    """
+    missing = [name for name in METRIC_NAMES if name not in values]
+    if missing:
+        raise AnalysisError(f"metric mapping is missing catalog metrics: {missing}")
+    return np.array([float(values[name]) for name in METRIC_NAMES], dtype=float)
+
+
+def metrics_from_array(vector: np.ndarray) -> dict[str, float]:
+    """Unpack a length-45 catalog-order vector into a metric mapping.
+
+    Raises:
+        AnalysisError: If ``vector`` does not have exactly 45 entries.
+    """
+    flat = np.asarray(vector, dtype=float).reshape(-1)
+    if flat.shape[0] != NUM_METRICS:
+        raise AnalysisError(
+            f"expected a {NUM_METRICS}-element metric vector, got shape {vector.shape}"
+        )
+    return {name: float(flat[i]) for i, name in enumerate(METRIC_NAMES)}

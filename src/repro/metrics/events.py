@@ -1,0 +1,157 @@
+"""Raw hardware performance events.
+
+The paper collects "more than 50 events" via perf by programming Westmere
+MSRs with event select codes and unit masks (Section IV-C).  This module
+defines the raw event vocabulary our simulated PMU exposes.  Event codes and
+unit masks follow the Intel SDM naming style for the Westmere
+microarchitecture; they are used by :mod:`repro.perf.pmu` to program
+counters and by :mod:`repro.metrics.derivation` to turn counts into the 45
+Table II metrics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["EventDomain", "EventSpec", "EVENTS", "EVENT_NAMES", "event", "FIXED_EVENTS"]
+
+
+class EventDomain(enum.Enum):
+    """Where an event is counted."""
+
+    CORE = "core"  # per-core programmable counter
+    FIXED = "fixed"  # fixed-function counter (instructions, cycles)
+    UNCORE = "uncore"  # shared L3 / snoop / offcore fabric
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """One raw hardware event.
+
+    Attributes:
+        name: Canonical event name (perf style, dot-separated).
+        code: Event-select code (Westmere-flavoured, for realism in the PMU).
+        umask: Unit mask.
+        domain: Counting domain (core / fixed / uncore).
+        description: Human description.
+    """
+
+    name: str
+    code: int
+    umask: int
+    domain: EventDomain
+    description: str
+
+    @property
+    def selector(self) -> int:
+        """The (code, umask) pair packed like IA32_PERFEVTSELx bits 0-15."""
+        return (self.umask << 8) | self.code
+
+
+def _ev(name: str, code: int, umask: int, domain: EventDomain, description: str) -> EventSpec:
+    return EventSpec(name, code, umask, domain, description)
+
+
+_C = EventDomain.CORE
+_F = EventDomain.FIXED
+_U = EventDomain.UNCORE
+
+#: The raw event vocabulary (57 events; the paper collects "more than 50").
+EVENTS: tuple[EventSpec, ...] = (
+    # Fixed-function counters.
+    _ev("inst_retired.any", 0xC0, 0x00, _F, "instructions retired"),
+    _ev("cpu_clk_unhalted.core", 0x3C, 0x00, _F, "unhalted core cycles"),
+    # Retired instruction classes (instruction mix).
+    _ev("mem_inst_retired.loads", 0x0B, 0x01, _C, "retired load instructions"),
+    _ev("mem_inst_retired.stores", 0x0B, 0x02, _C, "retired store instructions"),
+    _ev("br_inst_retired.all_branches", 0xC4, 0x00, _C, "retired branch instructions"),
+    _ev("arith.int", 0x14, 0x02, _C, "retired integer ALU operations"),
+    _ev("fp_comp_ops_exe.x87", 0x10, 0x01, _C, "computational x87 FP operations"),
+    _ev("fp_comp_ops_exe.sse_fp", 0x10, 0x04, _C, "computational SSE FP operations"),
+    _ev("inst_retired.kernel", 0xC0, 0x02, _C, "instructions retired in ring 0"),
+    _ev("inst_retired.user", 0xC0, 0x01, _C, "instructions retired in ring 3"),
+    _ev("uops_retired.any", 0xC2, 0x01, _C, "micro-ops retired"),
+    # L1 instruction cache.
+    _ev("l1i.misses", 0x80, 0x02, _C, "L1I cache misses"),
+    _ev("l1i.hits", 0x80, 0x01, _C, "L1I cache hits"),
+    _ev("l1i.cycles_stalled", 0x80, 0x04, _C, "cycles instruction fetch is stalled"),
+    # L2 cache.
+    _ev("l2_rqsts.miss", 0x24, 0xAA, _C, "L2 cache misses (all requests)"),
+    _ev("l2_rqsts.hit", 0x24, 0x55, _C, "L2 cache hits (all requests)"),
+    # L3 cache (uncore).
+    _ev("llc.misses", 0x2E, 0x41, _U, "last-level cache misses"),
+    _ev("llc.hits", 0x2E, 0x4F, _U, "last-level cache hits"),
+    # Load data-source breakdown.
+    _ev("mem_load_retired.hit_lfb", 0xCB, 0x40, _C, "retired loads that hit the line fill buffer"),
+    _ev("mem_load_retired.l2_hit", 0xCB, 0x02, _C, "retired loads that hit L2"),
+    _ev(
+        "mem_load_retired.other_core_l2_hit_hitm",
+        0xCB,
+        0x04,
+        _C,
+        "retired loads served from a sibling core's L2",
+    ),
+    _ev("mem_load_retired.llc_unshared_hit", 0xCB, 0x08, _C, "retired loads hitting unshared L3 lines"),
+    _ev("mem_load_retired.llc_miss", 0xCB, 0x10, _C, "retired loads missing the L3"),
+    # TLBs.
+    _ev("itlb_misses.any", 0x85, 0x01, _C, "ITLB misses at all levels"),
+    _ev("itlb_misses.walk_cycles", 0x85, 0x04, _C, "cycles spent on ITLB miss page walks"),
+    _ev("dtlb_misses.any", 0x49, 0x01, _C, "DTLB misses at all levels"),
+    _ev("dtlb_misses.walk_cycles", 0x49, 0x04, _C, "cycles spent on DTLB miss page walks"),
+    _ev("dtlb_misses.stlb_hit", 0x49, 0x10, _C, "DTLB first-level misses that hit the shared TLB"),
+    _ev("dtlb_load_misses.any", 0x08, 0x01, _C, "DTLB load misses"),
+    # Branches.
+    _ev("br_misp_retired.all_branches", 0xC5, 0x00, _C, "mispredicted retired branches"),
+    _ev("br_inst_exec.any", 0x88, 0x7F, _C, "branch instructions executed (speculative)"),
+    # Pipeline / stall accounting.
+    _ev("ild_stall.any", 0x87, 0x0F, _C, "instruction length decoder stall cycles"),
+    _ev("decoder_stall.any", 0x87, 0x10, _C, "decoder stall cycles"),
+    _ev("rat_stalls.any", 0xD2, 0x0F, _C, "register allocation table stall cycles"),
+    _ev("resource_stalls.any", 0xA2, 0x01, _C, "backend resource stall cycles"),
+    _ev("uops_executed.core_active_cycles", 0xB1, 0x3F, _C, "cycles with uops executing"),
+    _ev("uops_executed.core_stall_cycles", 0xB1, 0x40, _C, "cycles with no uop executing"),
+    # Offcore requests (uncore fabric).
+    _ev("offcore_requests.demand.read_data", 0xB0, 0x01, _U, "offcore demand data read requests"),
+    _ev("offcore_requests.demand.read_code", 0xB0, 0x02, _U, "offcore demand code read requests"),
+    _ev("offcore_requests.demand.rfo", 0xB0, 0x04, _U, "offcore demand RFO requests"),
+    _ev("offcore_requests.writeback", 0xB0, 0x40, _U, "offcore cache line write-backs"),
+    # Snoop responses (uncore).
+    _ev("snoop_response.hit", 0xB8, 0x01, _U, "snoop responses: HIT (clean shared line)"),
+    _ev("snoop_response.hite", 0xB8, 0x02, _U, "snoop responses: HIT Exclusive"),
+    _ev("snoop_response.hitm", 0xB8, 0x04, _U, "snoop responses: HIT Modified"),
+    # Memory-level parallelism inputs.
+    _ev(
+        "offcore_requests_outstanding.cycles_sum",
+        0x60,
+        0x01,
+        _C,
+        "sum over cycles of outstanding offcore demand misses",
+    ),
+    _ev(
+        "offcore_requests_outstanding.active_cycles",
+        0x60,
+        0x02,
+        _C,
+        "cycles with at least one outstanding offcore demand miss",
+    ),
+    # Operation-intensity inputs.
+    _ev("mem_access.any", 0x0B, 0x03, _C, "memory accesses (loads + stores)"),
+)
+
+#: Map from event name to spec.
+EVENT_NAMES: dict[str, EventSpec] = {spec.name: spec for spec in EVENTS}
+
+#: The events serviced by fixed-function counters (always available).
+FIXED_EVENTS: tuple[str, ...] = tuple(
+    spec.name for spec in EVENTS if spec.domain is EventDomain.FIXED
+)
+
+
+def event(name: str) -> EventSpec:
+    """Return the :class:`EventSpec` for ``name``.
+
+    Raises:
+        KeyError: If ``name`` is not a defined raw event.
+    """
+    return EVENT_NAMES[name]

@@ -1,0 +1,15 @@
+"""Perf-like PMC collection layer: PMU model, multiplexing, profiler."""
+
+from repro.perf.multiplex import MultiplexedObservation, group_events, multiplex_counts
+from repro.perf.pmu import Pmu, PmuConfig
+from repro.perf.profiler import PerfProfiler, ProfileResult
+
+__all__ = [
+    "MultiplexedObservation",
+    "group_events",
+    "multiplex_counts",
+    "Pmu",
+    "PmuConfig",
+    "PerfProfiler",
+    "ProfileResult",
+]

@@ -1,0 +1,139 @@
+"""Performance monitoring unit model.
+
+The testbed Xeon exposes hardware events through MSRs: writing an event
+select / unit mask into ``IA32_PERFEVTSELx`` makes ``IA32_PMCx`` count that
+event (Section IV-C).  Westmere cores have four programmable counters per
+core (with Hyper-Threading disabled) plus three fixed-function counters
+(instructions retired, core cycles, reference cycles).
+
+This module models that interface: a :class:`Pmu` is programmed with raw
+event names, then *observes* a ground-truth event stream (the totals the
+architecture simulation produced) over a window and accumulates counts.
+It exists so the collection path through the library matches the paper's
+— metrics are never read off the simulator directly; they pass through
+programmable counters, multiplexing and repeated runs first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProfilingError
+from repro.metrics.events import EVENT_NAMES, EventDomain
+
+__all__ = ["PmuConfig", "Pmu"]
+
+#: MSR addresses, matching the Intel SDM layout for flavour.
+IA32_PERFEVTSEL_BASE = 0x186
+IA32_PMC_BASE = 0x0C1
+IA32_FIXED_CTR0 = 0x309  # instructions retired
+IA32_FIXED_CTR1 = 0x30A  # core cycles
+
+
+@dataclass(frozen=True)
+class PmuConfig:
+    """PMU geometry.
+
+    Attributes:
+        programmable_counters: Programmable counters per core (4 on
+            Westmere with Hyper-Threading disabled).
+    """
+
+    programmable_counters: int = 4
+
+
+class Pmu:
+    """A per-core PMU with programmable and fixed counters."""
+
+    #: Events always serviced by fixed counters.
+    FIXED = ("inst_retired.any", "cpu_clk_unhalted.core")
+
+    def __init__(self, config: PmuConfig | None = None) -> None:
+        self.config = config or PmuConfig()
+        self._programmed: list[str | None] = [None] * self.config.programmable_counters
+        self._values: list[float] = [0.0] * self.config.programmable_counters
+        self._fixed_values: dict[str, float] = {name: 0.0 for name in self.FIXED}
+        self._enabled = False
+
+    # -- MSR-style programming ------------------------------------------------
+
+    def program(self, counter: int, event_name: str) -> None:
+        """Program ``counter`` to count ``event_name``.
+
+        Raises:
+            ProfilingError: On an unknown event, a bad counter index, or an
+                attempt to program a fixed-only event onto a programmable
+                counter while it has a dedicated fixed counter.
+        """
+        if event_name not in EVENT_NAMES:
+            raise ProfilingError(f"unknown hardware event: {event_name!r}")
+        if not 0 <= counter < self.config.programmable_counters:
+            raise ProfilingError(
+                f"counter index {counter} out of range "
+                f"[0, {self.config.programmable_counters})"
+            )
+        spec = EVENT_NAMES[event_name]
+        if spec.domain is EventDomain.FIXED:
+            raise ProfilingError(
+                f"{event_name} is serviced by a fixed counter; do not burn a "
+                "programmable counter on it"
+            )
+        self._programmed[counter] = event_name
+        self._values[counter] = 0.0
+
+    def wrmsr(self, msr: int, event_name: str) -> None:
+        """MSR-flavoured alias of :meth:`program` (PERFEVTSELx write)."""
+        index = msr - IA32_PERFEVTSEL_BASE
+        self.program(index, event_name)
+
+    def clear(self) -> None:
+        """Deprogram all counters and zero their values."""
+        self._programmed = [None] * self.config.programmable_counters
+        self._values = [0.0] * self.config.programmable_counters
+        self._fixed_values = {name: 0.0 for name in self.FIXED}
+
+    # -- counting -------------------------------------------------------------
+
+    def observe(self, true_events: dict[str, float]) -> None:
+        """Accumulate one observation window of ground-truth events.
+
+        Programmed counters pick out their event; fixed counters always
+        count.  Events not programmed anywhere are simply not observed —
+        that is precisely the gap multiplexing (and repeated runs) exist
+        to cover.
+        """
+        for name in self.FIXED:
+            self._fixed_values[name] += true_events.get(name, 0.0)
+        for index, event_name in enumerate(self._programmed):
+            if event_name is not None:
+                self._values[index] += true_events.get(event_name, 0.0)
+
+    def read(self, counter: int) -> float:
+        """Read programmable counter ``counter``.
+
+        Raises:
+            ProfilingError: If the counter was never programmed.
+        """
+        if not 0 <= counter < self.config.programmable_counters:
+            raise ProfilingError(f"counter index {counter} out of range")
+        if self._programmed[counter] is None:
+            raise ProfilingError(f"counter {counter} is not programmed")
+        return self._values[counter]
+
+    def read_fixed(self, event_name: str) -> float:
+        """Read a fixed counter by event name.
+
+        Raises:
+            ProfilingError: If ``event_name`` has no fixed counter.
+        """
+        if event_name not in self._fixed_values:
+            raise ProfilingError(f"{event_name!r} is not a fixed-counter event")
+        return self._fixed_values[event_name]
+
+    def read_all(self) -> dict[str, float]:
+        """All counts currently held (fixed + programmed)."""
+        result = dict(self._fixed_values)
+        for index, event_name in enumerate(self._programmed):
+            if event_name is not None:
+                result[event_name] = self._values[index]
+        return result

@@ -1,0 +1,42 @@
+"""Software-stack engines: Hadoop MapReduce, Spark RDDs, Hive, Shark."""
+
+from repro.stacks.base import (
+    ExecutionTrace,
+    PhaseKind,
+    PhaseRecord,
+    StackInfo,
+    estimate_bytes,
+    stable_hash,
+)
+from repro.stacks.hadoop import HADOOP_1_0_2, HadoopStack
+from repro.stacks.hdfs import Hdfs, HdfsBlock
+from repro.stacks.hive import HIVE_0_9_0, HiveStack
+from repro.stacks.instrument import CharacterHints, profiles_from_trace
+from repro.stacks.mapreduce import MapReduceEngine, MapReduceJob
+from repro.stacks.rdd import RDD
+from repro.stacks.shark import SHARK_0_8_0, SharkStack
+from repro.stacks.spark import SPARK_0_8_1, SparkEngine
+
+__all__ = [
+    "ExecutionTrace",
+    "PhaseKind",
+    "PhaseRecord",
+    "StackInfo",
+    "estimate_bytes",
+    "stable_hash",
+    "HADOOP_1_0_2",
+    "HadoopStack",
+    "Hdfs",
+    "HdfsBlock",
+    "HIVE_0_9_0",
+    "HiveStack",
+    "CharacterHints",
+    "profiles_from_trace",
+    "MapReduceEngine",
+    "MapReduceJob",
+    "RDD",
+    "SHARK_0_8_0",
+    "SharkStack",
+    "SPARK_0_8_1",
+    "SparkEngine",
+]

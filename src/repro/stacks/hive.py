@@ -1,0 +1,266 @@
+"""Hive: compiles logical SQL plans into chains of MapReduce jobs.
+
+"Hive operations are interpreted in Hadoop jobs" (Section III-A).  Each
+logical operator lowers to the canonical Hadoop idiom:
+
+* Project / Filter / Union → map-only jobs;
+* OrderBy → map emits (sort key, row), one reducer merges to total order;
+* Aggregate → map emits (group key, partial state), combiner merges
+  partials map-side, reducer finalises;
+* Join → both sides are tagged by map-only jobs, then a reduce-side join
+  over ``MultipleInputs`` products matching groups;
+* CrossProduct → a map-side replicated (broadcast) join;
+* Difference → tagged reduce-side anti-join with DISTINCT semantics.
+
+Intermediates are materialised in HDFS between jobs, exactly the
+disk-roundtrip behaviour that distinguishes the Hadoop stack family.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import StackExecutionError
+from repro.stacks.base import ExecutionTrace, StackInfo
+from repro.stacks.hadoop import HadoopStack
+from repro.stacks.mapreduce import MapReduceJob
+from repro.stacks.sql.aggregates import finalize_state, init_state, merge_states, update_state
+from repro.stacks.sql.plan import (
+    Aggregate,
+    CrossProduct,
+    Difference,
+    Filter,
+    Join,
+    OrderBy,
+    PlanNode,
+    Project,
+    Scan,
+    Union,
+    output_schema,
+)
+from repro.stacks.sql.schema import Relation, Schema
+
+__all__ = ["HIVE_0_9_0", "HiveStack"]
+
+_MB = 1 << 20
+
+#: Hive 0.9.0 over Hadoop 1.0.2 — the Hadoop-family stack of Table I.
+HIVE_0_9_0 = StackInfo(
+    name="hive",
+    source_bytes=67 * _MB + 8 * _MB,  # Hadoop core plus the Hive jars
+    hot_code_bytes=int(2.8 * _MB),
+    tasks_share_process=False,
+    jvm_uops_factor=1.5,
+    kernel_io_weight=1.25,
+)
+
+
+class HiveStack:
+    """SQL front end over a :class:`HadoopStack`."""
+
+    info = HIVE_0_9_0
+
+    def __init__(self, hadoop: HadoopStack | None = None) -> None:
+        self.hadoop = hadoop or HadoopStack()
+        self._schemas: dict[str, Schema] = {}
+        self._temp = itertools.count(1)
+
+    def new_trace(self, workload: str) -> ExecutionTrace:
+        return ExecutionTrace(self.info, workload)
+
+    def create_table(self, relation: Relation) -> None:
+        """Register ``relation`` in the warehouse (stored in HDFS).
+
+        Raises:
+            StackExecutionError: If the table already exists.
+        """
+        if relation.name in self._schemas:
+            raise StackExecutionError(f"table already exists: {relation.name}")
+        self.hadoop.hdfs.put(self._table_path(relation.name), list(relation.rows))
+        self._schemas[relation.name] = relation.schema
+
+    def run_query(self, plan: PlanNode, trace: ExecutionTrace) -> Relation:
+        """Compile ``plan`` to MapReduce jobs, run them, return the result."""
+        schema, path = self._compile(plan, trace)
+        rows = [tuple(row) for row in self.hadoop.hdfs.read(path)]
+        return Relation(name="hive-result", schema=schema, rows=rows)
+
+    # ------------------------------------------------------------------
+
+    def _table_path(self, table: str) -> str:
+        return f"/warehouse/{table}"
+
+    def _next_path(self) -> str:
+        return f"/tmp/hive/stage-{next(self._temp)}"
+
+    def _run(
+        self,
+        job: MapReduceJob,
+        input_path: str | list[str],
+        trace: ExecutionTrace,
+    ) -> str:
+        out = self._next_path()
+        self.hadoop.engine.run_job(job, input_path, trace, output_path=out)
+        return out
+
+    def _compile(self, node: PlanNode, trace: ExecutionTrace) -> tuple[Schema, str]:
+        """Lower ``node``; returns (schema, HDFS path of materialised rows)."""
+        if isinstance(node, Scan):
+            if node.table not in self._schemas:
+                raise StackExecutionError(f"unknown table {node.table!r}")
+            return self._schemas[node.table], self._table_path(node.table)
+
+        if isinstance(node, Project):
+            schema, path = self._compile(node.child, trace)
+            out_schema = schema.project(node.columns)
+            indices = [schema.index(c) for c in node.columns]
+            job = MapReduceJob(
+                name="project",
+                mapper=lambda row, idx=tuple(indices): [tuple(row[i] for i in idx)],
+            )
+            return out_schema, self._run(job, path, trace)
+
+        if isinstance(node, Filter):
+            schema, path = self._compile(node.child, trace)
+            predicates = [c.compile(schema) for c in node.conditions]
+            job = MapReduceJob(
+                name="filter",
+                mapper=lambda row, ps=tuple(predicates): (
+                    [row] if all(p(row) for p in ps) else []
+                ),
+            )
+            return schema, self._run(job, path, trace)
+
+        if isinstance(node, Union):
+            left_schema, left_path = self._compile(node.left, trace)
+            right_schema, right_path = self._compile(node.right, trace)
+            if left_schema != right_schema:
+                raise StackExecutionError("Union inputs must have identical schemas")
+            job = MapReduceJob(name="union", mapper=lambda row: [row])
+            return left_schema, self._run(job, [left_path, right_path], trace)
+
+        if isinstance(node, OrderBy):
+            schema, path = self._compile(node.child, trace)
+            indices = [schema.index(k) for k in node.keys]
+            job = MapReduceJob(
+                name="orderby",
+                mapper=lambda row, idx=tuple(indices): [
+                    (tuple(row[i] for i in idx), row)
+                ],
+                reducer=lambda _key, rows: list(rows),
+                num_reducers=1,  # Hive's ORDER BY funnels into one reducer
+            )
+            out = self._run(job, path, trace)
+            if node.descending:
+                rows = self.hadoop.hdfs.read(out)
+                reversed_path = self._next_path()
+                self.hadoop.hdfs.put(reversed_path, list(reversed(rows)))
+                out = reversed_path
+            return schema, out
+
+        if isinstance(node, Aggregate):
+            schema, path = self._compile(node.child, trace)
+            group_idx = tuple(schema.index(c) for c in node.group_by)
+            agg_idx = tuple(
+                schema.index(a.column) if a.column is not None else -1
+                for a in node.aggregates
+            )
+            funcs = tuple(a.func for a in node.aggregates)
+
+            def mapper(row, gi=group_idx, ai=agg_idx, fs=funcs):
+                key = tuple(row[i] for i in gi)
+                states = tuple(
+                    update_state(f, init_state(f), row[i] if i >= 0 else None)
+                    for f, i in zip(fs, ai)
+                )
+                return [(key, states)]
+
+            def combine(key, state_list, fs=funcs):
+                merged = list(state_list[0])
+                for states in state_list[1:]:
+                    merged = [merge_states(f, m, s) for f, m, s in zip(fs, merged, states)]
+                return [(key, tuple(merged))]
+
+            def reducer(key, state_list, fs=funcs):
+                merged = list(state_list[0])
+                for states in state_list[1:]:
+                    merged = [merge_states(f, m, s) for f, m, s in zip(fs, merged, states)]
+                return [key + tuple(finalize_state(f, m) for f, m in zip(fs, merged))]
+
+            out_schema = Schema(
+                tuple(node.group_by) + tuple(a.alias for a in node.aggregates)
+            )
+            job = MapReduceJob(
+                name="aggregate", mapper=mapper, reducer=reducer, combiner=combine
+            )
+            return out_schema, self._run(job, path, trace)
+
+        if isinstance(node, Join):
+            left_schema, left_path = self._compile(node.left, trace)
+            right_schema, right_path = self._compile(node.right, trace)
+            li = left_schema.index(node.left_key)
+            ri = right_schema.index(node.right_key)
+            tagged_left = self._run(
+                MapReduceJob(name="tag-left", mapper=lambda row: [("L", row)]),
+                left_path,
+                trace,
+            )
+            tagged_right = self._run(
+                MapReduceJob(name="tag-right", mapper=lambda row: [("R", row)]),
+                right_path,
+                trace,
+            )
+
+            def join_mapper(tagged, li=li, ri=ri):
+                tag, row = tagged
+                key = row[li] if tag == "L" else row[ri]
+                return [(key, (tag, row))]
+
+            def join_reducer(_key, tagged_rows):
+                lefts = [row for tag, row in tagged_rows if tag == "L"]
+                rights = [row for tag, row in tagged_rows if tag == "R"]
+                return [l + r for l in lefts for r in rights]
+
+            job = MapReduceJob(name="join", mapper=join_mapper, reducer=join_reducer)
+            out_schema = left_schema.concat(right_schema)
+            return out_schema, self._run(job, [tagged_left, tagged_right], trace)
+
+        if isinstance(node, CrossProduct):
+            left_schema, left_path = self._compile(node.left, trace)
+            right_schema, right_path = self._compile(node.right, trace)
+            # Map-side replicated join: every map task holds the full
+            # right side (Hive's broadcast/map join for non-equi products).
+            broadcast = [tuple(r) for r in self.hadoop.hdfs.read(right_path)]
+            job = MapReduceJob(
+                name="crossproduct",
+                mapper=lambda row, rep=tuple(broadcast): [row + r for r in rep],
+            )
+            return left_schema.concat(right_schema), self._run(job, left_path, trace)
+
+        if isinstance(node, Difference):
+            left_schema, left_path = self._compile(node.left, trace)
+            right_schema, right_path = self._compile(node.right, trace)
+            if left_schema != right_schema:
+                raise StackExecutionError("Difference inputs must have identical schemas")
+            tagged_left = self._run(
+                MapReduceJob(name="tag-left", mapper=lambda row: [("L", row)]),
+                left_path,
+                trace,
+            )
+            tagged_right = self._run(
+                MapReduceJob(name="tag-right", mapper=lambda row: [("R", row)]),
+                right_path,
+                trace,
+            )
+
+            def diff_mapper(tagged):
+                tag, row = tagged
+                return [(tuple(row), tag)]
+
+            def diff_reducer(key, tags):
+                return [key] if "R" not in tags else []
+
+            job = MapReduceJob(name="difference", mapper=diff_mapper, reducer=diff_reducer)
+            return left_schema, self._run(job, [tagged_left, tagged_right], trace)
+
+        raise StackExecutionError(f"Hive cannot compile node: {type(node).__name__}")

@@ -1,0 +1,487 @@
+"""Instrumentation: execution traces → microarchitectural phase profiles.
+
+This is the bridge between *what the engines did* (records, bytes,
+shuffles, spills, cache scans — see :class:`~repro.stacks.base.
+PhaseRecord`) and *what the cores saw* (instruction mix, footprints,
+locality, sharing — see :class:`~repro.arch.trace.PhaseProfile`).
+
+The mapping is mechanistic, with the stack-level structure the paper
+identifies (Section V) encoded once, here:
+
+* **Framework instruction footprint** scales with the stack's source size
+  (Hadoop 67 MB vs Spark 11 MB): bigger stacks execute more framework
+  instructions per record and touch more hot code, driving L1I misses,
+  ITLB pressure and fetch stalls.
+* **I/O path**: Hadoop materialises intermediates through local disk and
+  the page cache (high ring-0 fraction in map/shuffle/output phases);
+  Spark's shuffles and caches stay in the JVM heap.
+* **Process model**: Spark executor threads share one heap, so stage /
+  shuffle / cache phases access a node-wide shared region (snoop traffic,
+  sibling-cache hits); Hadoop tasks are separate JVMs whose only sharing
+  is the kernel page cache.
+* **Data footprint**: phase working sets derive from the actual bytes the
+  phase moved per worker; Spark additionally keeps cached RDD partitions
+  resident, giving the Spark family its larger data footprints.
+
+Per-workload *algorithmic* character (floating-point intensity of
+K-means, comparison-heavy sorting, hash-probe joins) arrives through the
+phase records' ``details`` and through :class:`CharacterHints` supplied
+by the workload definitions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.trace import InstructionMix, PhaseProfile
+from repro.errors import ConfigurationError
+from repro.stacks.base import ExecutionTrace, PhaseKind, PhaseRecord
+
+__all__ = ["CharacterHints", "KindTemplate", "profiles_from_trace"]
+
+_KB = 1 << 10
+_MB = 1 << 20
+
+
+@dataclass(frozen=True)
+class CharacterHints:
+    """Workload-algorithm character applied on top of the stack templates.
+
+    Attributes:
+        fp_x87: Extra x87 floating-point fraction of instructions.
+        fp_sse: Extra SSE floating-point fraction of instructions.
+        branch_entropy_shift: Added to every phase's branch entropy
+            (data-dependent control flow, e.g. text parsing).
+        integer_shift: Added to the integer-ALU fraction (hash-heavy
+            workloads) and taken from the OTHER slack.
+        working_set_factor: Multiplier on data working sets (e.g. an
+            in-memory points matrix revisited every iteration).
+    """
+
+    fp_x87: float = 0.0
+    fp_sse: float = 0.0
+    branch_entropy_shift: float = 0.0
+    integer_shift: float = 0.0
+    working_set_factor: float = 1.0
+
+
+@dataclass(frozen=True)
+class KindTemplate:
+    """Base microarchitectural character of one phase kind.
+
+    Instruction cost: ``ins_per_record * records_in + ins_per_byte *
+    bytes_in + ins_per_compare * details["compare_ops"]`` plus the
+    stack's framework tax per record.
+    """
+
+    ins_per_record: float
+    ins_per_byte: float
+    mix: InstructionMix
+    kernel_io: float  # ring-0 share of an I/O-bound version of the phase
+    code_factor: float  # multiplier on the stack's hot code footprint
+    hot_data: float
+    streaming: float
+    branch_entropy: float
+    shared: float  # shared-region access share *if* the stack shares a heap
+    shared_write: float = 0.1
+    ins_per_compare: float = 0.0
+
+
+def _mix(load: float, store: float, branch: float, int_alu: float) -> InstructionMix:
+    return InstructionMix(load=load, store=store, branch=branch, int_alu=int_alu)
+
+
+#: Per-kind base templates.  Mixes follow the usual decomposition of
+#: managed-runtime data-processing code: ~25-30 % loads, 8-14 % stores,
+#: 15-20 % branches, and an integer-ALU core.
+_TEMPLATES: dict[PhaseKind, KindTemplate] = {
+    PhaseKind.SETUP: KindTemplate(
+        ins_per_record=0.0,
+        ins_per_byte=0.0,
+        mix=_mix(0.28, 0.12, 0.19, 0.30),
+        kernel_io=0.35,
+        code_factor=1.5,  # class loading sweeps more code than steady state
+        hot_data=0.35,
+        streaming=0.3,
+        branch_entropy=0.11,
+        shared=0.02,
+    ),
+    PhaseKind.MAP: KindTemplate(
+        ins_per_record=160.0,
+        ins_per_byte=2.0,
+        mix=_mix(0.27, 0.10, 0.18, 0.34),
+        kernel_io=0.22,
+        code_factor=1.0,
+        hot_data=0.38,
+        streaming=0.5,
+        branch_entropy=0.12,
+        shared=0.08,
+    ),
+    PhaseKind.SPILL: KindTemplate(
+        ins_per_record=60.0,
+        ins_per_byte=0.8,
+        mix=_mix(0.26, 0.16, 0.20, 0.30),
+        kernel_io=0.25,
+        code_factor=0.8,
+        hot_data=0.30,
+        streaming=0.35,
+        branch_entropy=0.26,  # data-dependent comparisons
+        shared=0.03,
+        ins_per_compare=6.0,
+    ),
+    PhaseKind.SHUFFLE: KindTemplate(
+        ins_per_record=50.0,
+        ins_per_byte=1.6,
+        mix=_mix(0.27, 0.15, 0.16, 0.30),
+        kernel_io=0.45,  # sockets + local disk
+        code_factor=1.1,
+        hot_data=0.30,
+        streaming=0.62,
+        branch_entropy=0.12,
+        shared=0.15,
+    ),
+    PhaseKind.SORT_MERGE: KindTemplate(
+        ins_per_record=45.0,
+        ins_per_byte=0.6,
+        mix=_mix(0.30, 0.12, 0.21, 0.28),
+        kernel_io=0.18,
+        code_factor=0.8,
+        hot_data=0.32,
+        streaming=0.45,
+        branch_entropy=0.27,
+        shared=0.03,
+        ins_per_compare=6.0,
+    ),
+    PhaseKind.REDUCE: KindTemplate(
+        ins_per_record=140.0,
+        ins_per_byte=1.6,
+        mix=_mix(0.28, 0.11, 0.18, 0.33),
+        kernel_io=0.20,
+        code_factor=1.0,
+        hot_data=0.36,
+        streaming=0.45,
+        branch_entropy=0.1,
+        shared=0.06,
+    ),
+    PhaseKind.OUTPUT: KindTemplate(
+        ins_per_record=45.0,
+        ins_per_byte=1.4,
+        mix=_mix(0.26, 0.17, 0.15, 0.30),
+        kernel_io=0.5,
+        code_factor=0.9,
+        hot_data=0.3,
+        streaming=0.7,
+        branch_entropy=0.1,
+        shared=0.03,
+    ),
+    PhaseKind.STAGE: KindTemplate(
+        ins_per_record=130.0,
+        ins_per_byte=1.8,
+        mix=_mix(0.28, 0.09, 0.18, 0.35),
+        kernel_io=0.06,
+        code_factor=1.0,
+        hot_data=0.30,
+        streaming=0.55,
+        branch_entropy=0.14,
+        shared=0.28,  # operates on heap-resident shared partitions
+        shared_write=0.3,
+        ins_per_compare=6.0,
+    ),
+    PhaseKind.SHUFFLE_WRITE: KindTemplate(
+        ins_per_record=45.0,
+        ins_per_byte=1.2,
+        mix=_mix(0.26, 0.16, 0.16, 0.32),
+        kernel_io=0.14,
+        code_factor=0.9,
+        hot_data=0.3,
+        streaming=0.5,
+        branch_entropy=0.14,
+        shared=0.30,
+        shared_write=0.7,
+    ),
+    PhaseKind.SHUFFLE_READ: KindTemplate(
+        ins_per_record=40.0,
+        ins_per_byte=1.2,
+        mix=_mix(0.30, 0.10, 0.16, 0.32),
+        kernel_io=0.12,
+        code_factor=0.9,
+        hot_data=0.3,
+        streaming=0.5,
+        branch_entropy=0.14,
+        shared=0.35,
+    ),
+    PhaseKind.CACHE_BUILD: KindTemplate(
+        ins_per_record=35.0,
+        ins_per_byte=1.0,
+        mix=_mix(0.25, 0.20, 0.14, 0.30),
+        kernel_io=0.05,
+        code_factor=0.7,
+        hot_data=0.25,
+        streaming=0.7,
+        branch_entropy=0.1,
+        shared=0.55,
+        shared_write=0.8,
+    ),
+    PhaseKind.CACHE_SCAN: KindTemplate(
+        ins_per_record=28.0,
+        ins_per_byte=0.9,
+        mix=_mix(0.33, 0.06, 0.17, 0.33),
+        kernel_io=0.03,
+        code_factor=0.7,
+        hot_data=0.25,
+        streaming=0.6,
+        branch_entropy=0.11,
+        shared=0.6,
+        shared_write=0.05,
+    ),
+    PhaseKind.DRIVER: KindTemplate(
+        ins_per_record=25.0,
+        ins_per_byte=0.4,
+        mix=_mix(0.28, 0.10, 0.18, 0.32),
+        kernel_io=0.1,
+        code_factor=0.8,
+        hot_data=0.5,
+        streaming=0.4,
+        branch_entropy=0.12,
+        shared=0.02,
+    ),
+}
+
+#: Canonical emission order of merged phases.
+_KIND_ORDER = tuple(_TEMPLATES)
+
+#: Framework instructions per record as a function of stack source size
+#: (intercept + slope * MB of source).  Hadoop's 67 MB tree lands near
+#: 200 ins/record of pure framework tax; Spark's 11 MB near 65.
+_FRAMEWORK_INS_INTERCEPT = 40.0
+_FRAMEWORK_INS_PER_SOURCE_MB = 2.4
+
+#: JVM startup instruction cost per task launch (SETUP phases).
+_INS_PER_JVM_START = 150_000.0
+
+#: Working-set bounds per worker.
+_MIN_WS = 256 * _KB
+_MAX_WS = 160 * _MB
+#: Hadoop-family tasks stream from disk buffers; their resident set per
+#: task is bounded by io buffers + JVM young gen, not by the data size.
+_MAX_WS_PROCESS_MODEL = 12 * _MB
+_MAX_SHARED_WS = 96 * _MB
+
+#: Page-cache sharing floor for process-per-task stacks.
+_PROCESS_MODEL_SHARING = 0.04
+
+#: Log-normal sigma of per-workload idiosyncrasy at a 50 % user-code
+#: share.  Two applications with the same phase structure still differ in
+#: code layout, object shapes, allocation patterns and JIT decisions;
+#: templates alone would make them microarchitecturally identical twins,
+#: which no real suite exhibits.  The perturbation is keyed
+#: deterministically by (workload, phase kind), so it is a property of
+#: the workload, not run-to-run noise.
+#:
+#: Crucially, the *magnitude* scales with the user-code instruction share
+#: of the phase: this is the paper's central mechanism in reverse —
+#: "[Hadoop's] software stack dominates application behavior, minimizing
+#: the impact of potentially diverse behaviors introduced by user
+#: application code.  Spark ... dominates system behavior less"
+#: (Section V-A).  A framework-heavy phase expresses little workload
+#: individuality; a thin-framework phase expresses a lot.
+_IDIOSYNCRASY_SIGMA = 0.10
+
+
+def _idiosyncrasy(workload: str, kind: PhaseKind):
+    import numpy as np
+
+    from repro.stacks.base import stable_hash
+
+    return np.random.default_rng(stable_hash(("idio", workload, kind.value)))
+
+
+def _clamp(value: float, lo: float, hi: float) -> float:
+    return max(lo, min(hi, value))
+
+
+def _merge_records(records: list[PhaseRecord]) -> tuple[int, int, int, int, dict[str, float]]:
+    """Sum the volume fields and details of a group of phase records."""
+    records_in = sum(r.records_in for r in records)
+    bytes_in = sum(r.bytes_in for r in records)
+    records_out = sum(r.records_out for r in records)
+    bytes_out = sum(r.bytes_out for r in records)
+    details: dict[str, float] = {}
+    for record in records:
+        for key, value in record.details.items():
+            details[key] = details.get(key, 0.0) + value
+    return records_in, bytes_in, records_out, bytes_out, details
+
+
+def profiles_from_trace(
+    trace: ExecutionTrace,
+    hints: CharacterHints | None = None,
+    num_workers: int = 4,
+    footprint_scale: float = 1.0,
+) -> list[PhaseProfile]:
+    """Convert an execution trace into phase profiles for the simulator.
+
+    Phases of the same kind are merged (their rates are homogeneous; the
+    simulator samples rates, so per-task granularity adds nothing but
+    time) and emitted in canonical order.
+
+    Args:
+        trace: The engine execution trace.
+        hints: Algorithm-character hints from the workload definition.
+        num_workers: Worker slots the phases were spread over.
+        footprint_scale: Declared-to-actual data-size ratio (>= 1).  The
+            engines ran on scaled-down data; footprints are blown back up
+            to what the declared Table I problem size implies, so
+            footprint-dependent effects (Spark's heap-resident partitions,
+            TLB reach, LLC capacity) behave as at full scale.  Working
+            sets are capped, so any sufficiently large scale saturates.
+
+    Raises:
+        ConfigurationError: If the trace is empty or ``num_workers`` is
+            not positive.
+    """
+    if num_workers <= 0:
+        raise ConfigurationError("num_workers must be positive")
+    if not trace.records:
+        raise ConfigurationError(
+            f"trace for {trace.workload!r} has no phase records"
+        )
+    hints = hints or CharacterHints()
+    stack = trace.stack
+    framework_tax = (
+        _FRAMEWORK_INS_INTERCEPT
+        + _FRAMEWORK_INS_PER_SOURCE_MB * (stack.source_bytes / _MB)
+    )
+
+    # Shared-region size: everything that lives in node-shared memory over
+    # the run — cached partitions, shuffle data, page-cache pages.
+    shared_bytes = sum(
+        r.bytes_in
+        for r in trace.records
+        if r.kind
+        in (
+            PhaseKind.CACHE_BUILD,
+            PhaseKind.SHUFFLE,
+            PhaseKind.SHUFFLE_WRITE,
+            PhaseKind.SHUFFLE_READ,
+        )
+    )
+    shared_ws = int(
+        _clamp(shared_bytes * 4.0 * footprint_scale, 4 * _MB, _MAX_SHARED_WS)
+    )
+
+    profiles: list[PhaseProfile] = []
+    for kind in _KIND_ORDER:
+        group = trace.by_kind(kind)
+        if not group:
+            continue
+        template = _TEMPLATES[kind]
+        records_in, bytes_in, _records_out, bytes_out, details = _merge_records(group)
+
+        instructions = (
+            records_in * (template.ins_per_record + framework_tax)
+            + bytes_in * template.ins_per_byte
+            + details.get("compare_ops", 0.0) * template.ins_per_compare
+            + details.get("jvm_starts", 0.0) * _INS_PER_JVM_START
+        )
+        if instructions < 1:
+            continue
+
+        mix = template.mix
+        fp_sse = _clamp(mix.other * 0.02 + hints.fp_sse, 0.0, 0.3)
+        fp_x87 = _clamp(hints.fp_x87, 0.0, 0.2)
+        int_alu = _clamp(mix.int_alu + hints.integer_shift, 0.0, 0.5)
+        parts = [mix.load, mix.store, mix.branch, int_alu, fp_x87, fp_sse]
+        total = sum(parts)
+        if total > 1.0:  # hints squeezed out the OTHER slack; renormalise
+            parts = [p / total for p in parts]
+        adjusted_mix = InstructionMix(
+            load=parts[0],
+            store=parts[1],
+            branch=parts[2],
+            int_alu=parts[3],
+            fp_x87=parts[4],
+            fp_sse=parts[5],
+        )
+
+        per_worker_bytes = (bytes_in + bytes_out) / num_workers
+        hot_data = template.hot_data
+        streaming = template.streaming
+        if stack.tasks_share_process:
+            # Executor threads see the whole node's heap: cached partitions
+            # and sibling tasks' data inflate the reachable footprint, and
+            # the collector periodically sweeps the full heap (cold tails).
+            working_set = int(
+                _clamp(
+                    per_worker_bytes * hints.working_set_factor * 3.0 * footprint_scale,
+                    _MIN_WS,
+                    _MAX_WS,
+                )
+            )
+            data_tail = 0.45
+            shared_tail = 0.40
+        else:
+            # Process-per-task stacks stream through bounded buffers but
+            # churn framework objects (serialisation, context wrappers),
+            # i.e. more scattered references over a moderate resident set.
+            working_set = int(
+                _clamp(
+                    per_worker_bytes * hints.working_set_factor * footprint_scale,
+                    _MIN_WS,
+                    _MAX_WS_PROCESS_MODEL,
+                )
+            )
+            hot_data = max(0.0, hot_data - 0.12)
+            streaming = max(0.0, streaming - 0.10)
+            data_tail = 0.06
+            shared_tail = 0.25
+
+        shared_fraction = (
+            template.shared
+            if stack.tasks_share_process
+            else min(template.shared, _PROCESS_MODEL_SHARING)
+        )
+
+        kernel_fraction = _clamp(template.kernel_io * stack.kernel_io_weight, 0.0, 0.75)
+
+        idio = _idiosyncrasy(trace.workload, kind)
+        # User-code share of this phase's instructions: thin stacks let
+        # the application's individuality through (Section V-A).
+        user_share = template.ins_per_record / (
+            template.ins_per_record + framework_tax
+        )
+        sigma = _clamp(_IDIOSYNCRASY_SIGMA * 3.2 * user_share, 0.03, 0.35)
+
+        def jitter(value: float, rng=idio, sigma: float = sigma) -> float:
+            return float(value * rng.lognormal(0.0, sigma))
+
+        profiles.append(
+            PhaseProfile(
+                name=f"{stack.name}:{kind.value}",
+                instructions=max(1, int(instructions)),
+                mix=adjusted_mix,
+                kernel_fraction=_clamp(jitter(kernel_fraction), 0.0, 0.75),
+                uops_per_instruction=max(1.0, jitter(stack.jvm_uops_factor)),
+                code_footprint=max(
+                    64 * _KB, int(jitter(stack.hot_code_bytes * template.code_factor))
+                ),
+                code_locality=0.97,
+                code_reuse_skew=4.0,
+                data_working_set=max(_MIN_WS, int(jitter(working_set))),
+                hot_data_fraction=_clamp(jitter(hot_data), 0.0, 0.9),
+                data_streaming_fraction=_clamp(jitter(streaming), 0.0, 0.9),
+                data_reuse_skew=4.5,
+                data_tail_fraction=_clamp(jitter(data_tail), 0.0, 0.6),
+                shared_fraction=_clamp(jitter(shared_fraction), 0.0, 0.8),
+                shared_working_set=max(1, int(jitter(shared_ws))),
+                shared_reuse_skew=5.0,
+                shared_tail_fraction=_clamp(jitter(shared_tail), 0.0, 0.6),
+                shared_write_fraction=_clamp(jitter(template.shared_write), 0.0, 1.0),
+                branch_entropy=_clamp(
+                    jitter(template.branch_entropy + hints.branch_entropy_shift),
+                    0.0,
+                    1.0,
+                ),
+            )
+        )
+    return profiles

@@ -1,0 +1,283 @@
+"""A working miniature Hadoop MapReduce engine.
+
+Implements the real execution structure of Hadoop 1.x jobs — per-block map
+tasks with data locality, map-side sorted spills with optional combiners,
+hash partitioning, reducer-side shuffle and multi-run merge, grouped
+reduce, and HDFS output — while emitting a :class:`~repro.stacks.base.
+PhaseRecord` for every phase so the instrumentation layer can see exactly
+what the framework did.
+
+The engine genuinely computes: WordCount really counts, Sort really
+sorts, reduce-side joins really join.  Tests assert output correctness
+against independent reference implementations.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from operator import itemgetter
+
+from repro.errors import StackExecutionError
+from repro.stacks.base import (
+    ExecutionTrace,
+    PhaseKind,
+    estimate_bytes,
+    stable_hash,
+)
+from repro.stacks.hdfs import Hdfs
+
+__all__ = ["MapReduceJob", "MapReduceEngine"]
+
+Mapper = Callable[[object], Iterable[tuple]]
+Reducer = Callable[[object, list], Iterable[object]]
+Combiner = Callable[[object, list], Iterable[tuple]]
+
+
+@dataclass(frozen=True)
+class MapReduceJob:
+    """One MapReduce job definition.
+
+    Attributes:
+        name: Job name (used in phase labels).
+        mapper: ``record -> iterable[(key, value)]``.
+        reducer: ``(key, values) -> iterable[output]``; ``None`` makes the
+            job map-only (mapper outputs are written directly).
+        combiner: Optional map-side reducer ``(key, values) ->
+            iterable[(key, value)]``, applied per spill as in Hadoop.
+        num_reducers: Reduce-task count.
+        partitioner: ``(key, num_partitions) -> partition``; defaults to
+            hash partitioning.  Total-order jobs (TeraSort-style) supply a
+            range partitioner so concatenated reducer outputs are globally
+            sorted.
+    """
+
+    name: str
+    mapper: Mapper
+    reducer: Reducer | None = None
+    combiner: Combiner | None = None
+    num_reducers: int = 4
+    partitioner: Callable[[object, int], int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_reducers <= 0:
+            raise StackExecutionError(f"job {self.name}: num_reducers must be positive")
+
+
+def _group_sorted(pairs: list[tuple]) -> Iterable[tuple[object, list]]:
+    """Group a key-sorted pair list into (key, values) groups."""
+    index = 0
+    n = len(pairs)
+    while index < n:
+        key = pairs[index][0]
+        values = []
+        while index < n and pairs[index][0] == key:
+            values.append(pairs[index][1])
+            index += 1
+        yield key, values
+
+
+def _apply_combiner(combiner: Combiner, sorted_pairs: list[tuple]) -> list[tuple]:
+    """Run the combiner over one sorted spill."""
+    combined: list[tuple] = []
+    for key, values in _group_sorted(sorted_pairs):
+        combined.extend(combiner(key, values))
+    return combined
+
+
+def _sort_cost(n: int) -> float:
+    """Comparison count estimate for sorting ``n`` items."""
+    return float(n) * math.log2(max(2, n))
+
+
+@dataclass
+class _JobCounters:
+    """Hadoop-style job counters, exposed for tests and reports."""
+
+    map_input_records: int = 0
+    map_output_records: int = 0
+    combine_output_records: int = 0
+    spilled_records: int = 0
+    shuffle_bytes: int = 0
+    reduce_input_groups: int = 0
+    reduce_output_records: int = 0
+
+
+class MapReduceEngine:
+    """Executes :class:`MapReduceJob` definitions over HDFS files.
+
+    Args:
+        hdfs: The block store providing input splits and data locality.
+        spill_records: Map-side buffer size in records (the analogue of
+            ``io.sort.mb``); map output beyond this spills in sorted runs.
+    """
+
+    def __init__(self, hdfs: Hdfs, spill_records: int = 4096) -> None:
+        if spill_records <= 0:
+            raise StackExecutionError("spill_records must be positive")
+        self.hdfs = hdfs
+        self.spill_records = spill_records
+        self.last_counters: _JobCounters | None = None
+
+    def run_job(
+        self,
+        job: MapReduceJob,
+        input_path: str | list[str],
+        trace: ExecutionTrace,
+        output_path: str | None = None,
+    ) -> list:
+        """Run ``job`` over one or more input paths; returns output records.
+
+        Multiple input paths model Hadoop's ``MultipleInputs`` (Hive uses
+        it for reduce-side joins over tagged tables).  Emits SETUP / MAP /
+        SPILL / SHUFFLE / SORT_MERGE / REDUCE / OUTPUT phase records into
+        ``trace``.
+
+        Raises:
+            StackExecutionError: On missing input or invalid job config.
+        """
+        paths = [input_path] if isinstance(input_path, str) else list(input_path)
+        blocks = [block for path in paths for block in self.hdfs.blocks(path)]
+        counters = _JobCounters()
+        self.last_counters = counters
+
+        trace.emit(
+            PhaseKind.SETUP,
+            f"setup:{job.name}",
+            worker=-1,
+            records_in=0,
+            bytes_in=0,
+            jvm_starts=float(len(blocks) + (job.num_reducers if job.reducer else 0)),
+        )
+
+        # ---- map + spill (one task per block, scheduled on the block's node)
+        num_partitions = job.num_reducers
+        partition_runs: list[list[list[tuple]]] = [[] for _ in range(num_partitions)]
+        map_only_output: list = []
+        for block in blocks:
+            worker = block.primary_node
+            map_out: list[tuple] = []
+            for record in block.records:
+                map_out.extend(job.mapper(record))
+            counters.map_input_records += len(block.records)
+            counters.map_output_records += len(map_out)
+            out_bytes = sum(estimate_bytes(p) for p in map_out)
+            trace.emit(
+                PhaseKind.MAP,
+                f"map:{job.name}",
+                worker=worker,
+                records_in=len(block.records),
+                bytes_in=block.bytes,
+                records_out=len(map_out),
+                bytes_out=out_bytes,
+            )
+            if job.reducer is None:
+                map_only_output.extend(map_out)
+                continue
+            for start in range(0, max(1, len(map_out)), self.spill_records):
+                chunk = map_out[start : start + self.spill_records]
+                if not chunk:
+                    break
+                chunk.sort(key=itemgetter(0))
+                if job.combiner is not None:
+                    chunk = _apply_combiner(job.combiner, chunk)
+                    counters.combine_output_records += len(chunk)
+                counters.spilled_records += len(chunk)
+                trace.emit(
+                    PhaseKind.SPILL,
+                    f"spill:{job.name}",
+                    worker=worker,
+                    records_in=len(chunk),
+                    bytes_in=sum(estimate_bytes(p) for p in chunk),
+                    records_out=len(chunk),
+                    bytes_out=sum(estimate_bytes(p) for p in chunk),
+                    compare_ops=_sort_cost(len(chunk)),
+                )
+                # Partition the sorted spill into per-reducer runs.
+                partitioner = job.partitioner or (
+                    lambda key, n: stable_hash(key) % n
+                )
+                runs: list[list[tuple]] = [[] for _ in range(num_partitions)]
+                for pair in chunk:
+                    runs[partitioner(pair[0], num_partitions)].append(pair)
+                for partition, run in enumerate(runs):
+                    if run:
+                        partition_runs[partition].append(run)
+
+        if job.reducer is None:
+            return self._finish(job, map_only_output, output_path, trace, counters)
+
+        # ---- shuffle + merge + reduce (one task per partition)
+        output: list = []
+        for partition in range(num_partitions):
+            worker = partition % self.hdfs.num_nodes
+            runs = partition_runs[partition]
+            run_records = sum(len(run) for run in runs)
+            run_bytes = sum(estimate_bytes(p) for run in runs for p in run)
+            counters.shuffle_bytes += run_bytes
+            trace.emit(
+                PhaseKind.SHUFFLE,
+                f"shuffle:{job.name}",
+                worker=worker,
+                records_in=run_records,
+                bytes_in=run_bytes,
+                records_out=run_records,
+                bytes_out=run_bytes,
+                fetches=float(len(runs)),
+            )
+            merged = list(heapq.merge(*runs, key=itemgetter(0)))
+            trace.emit(
+                PhaseKind.SORT_MERGE,
+                f"merge:{job.name}",
+                worker=worker,
+                records_in=run_records,
+                bytes_in=run_bytes,
+                records_out=len(merged),
+                bytes_out=run_bytes,
+                compare_ops=float(run_records) * math.log2(max(2, len(runs))),
+            )
+            reduce_out: list = []
+            groups = 0
+            for key, values in _group_sorted(merged):
+                groups += 1
+                reduce_out.extend(job.reducer(key, values))
+            counters.reduce_input_groups += groups
+            counters.reduce_output_records += len(reduce_out)
+            trace.emit(
+                PhaseKind.REDUCE,
+                f"reduce:{job.name}",
+                worker=worker,
+                records_in=len(merged),
+                bytes_in=run_bytes,
+                records_out=len(reduce_out),
+                bytes_out=sum(estimate_bytes(r) for r in reduce_out),
+                groups=float(groups),
+            )
+            output.extend(reduce_out)
+        return self._finish(job, output, output_path, trace, counters)
+
+    def _finish(
+        self,
+        job: MapReduceJob,
+        output: list,
+        output_path: str | None,
+        trace: ExecutionTrace,
+        counters: _JobCounters,
+    ) -> list:
+        """Write output to HDFS (if requested) and emit the OUTPUT phase."""
+        out_bytes = sum(estimate_bytes(r) for r in output)
+        trace.emit(
+            PhaseKind.OUTPUT,
+            f"output:{job.name}",
+            worker=-1,
+            records_in=len(output),
+            bytes_in=out_bytes,
+            records_out=len(output),
+            bytes_out=out_bytes,
+        )
+        if output_path is not None:
+            self.hdfs.delete(output_path)
+            self.hdfs.put(output_path, output)
+        return output

@@ -1,0 +1,625 @@
+"""Resilient Distributed Datasets: a working miniature Spark core.
+
+Implements the RDD programming model of Spark 0.8: lazy transformations
+building a lineage DAG, with actions triggering recursive computation.
+Narrow transformations (map, filter, union) operate per partition; wide
+transformations (reduceByKey, groupByKey, sortBy, join, cartesian)
+introduce shuffle boundaries with hash or range partitioning and optional
+map-side combining — the same execution structure that makes Spark's
+microarchitectural behaviour what it is.  ``cache()`` pins computed
+partitions in executor memory, so iterative algorithms (PageRank,
+K-means) recompute nothing, while the instrumentation layer sees large
+in-memory shared data instead of disk traffic.
+
+Every computation emits phase records (STAGE / SHUFFLE_WRITE /
+SHUFFLE_READ / CACHE_BUILD / CACHE_SCAN) into the active
+:class:`~repro.stacks.base.ExecutionTrace`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import math
+from collections.abc import Callable, Iterable
+
+from repro.errors import StackExecutionError
+from repro.stacks.base import ExecutionTrace, PhaseKind, estimate_bytes, stable_hash
+from repro.stacks.hdfs import Hdfs
+
+__all__ = ["RDD", "SparkContextLike"]
+
+_rdd_ids = itertools.count(1)
+
+
+def _partition_bytes(partition: list) -> int:
+    return sum(estimate_bytes(record) for record in partition)
+
+
+class SparkContextLike:
+    """Minimal protocol the engine must satisfy (see ``spark.SparkEngine``)."""
+
+    num_workers: int
+    default_parallelism: int
+
+    def compute(self, rdd: "RDD", trace: ExecutionTrace) -> list[list]:
+        raise NotImplementedError
+
+
+class RDD:
+    """Base class: a lazy, partitioned, immutable dataset with lineage."""
+
+    def __init__(self, engine: SparkContextLike, num_partitions: int) -> None:
+        if num_partitions <= 0:
+            raise StackExecutionError("an RDD needs at least one partition")
+        self.engine = engine
+        self.num_partitions = num_partitions
+        self.rdd_id = next(_rdd_ids)
+        self.cached = False
+
+    # -- lineage (subclasses implement) ----------------------------------
+
+    def compute_partitions(self, trace: ExecutionTrace) -> list[list]:
+        """Compute all partitions (no caching — use ``engine.compute``)."""
+        raise NotImplementedError
+
+    def preferred_worker(self, partition: int) -> int:
+        """Worker slot a partition's task prefers (default round-robin)."""
+        return partition % max(1, self.engine.num_workers)
+
+    # -- transformations ---------------------------------------------------
+
+    def map(self, fn: Callable) -> "RDD":
+        """Element-wise transformation (narrow)."""
+        return _MappedRDD(self, fn, flat=False, label="map")
+
+    def flat_map(self, fn: Callable) -> "RDD":
+        """Element-to-many transformation (narrow)."""
+        return _MappedRDD(self, fn, flat=True, label="flatMap")
+
+    def filter(self, predicate: Callable) -> "RDD":
+        """Keep elements satisfying ``predicate`` (narrow)."""
+        return _FilteredRDD(self, predicate)
+
+    def map_partitions(self, fn: Callable[[list], Iterable]) -> "RDD":
+        """Partition-at-a-time transformation (narrow)."""
+        return _MapPartitionsRDD(self, fn)
+
+    def union(self, other: "RDD") -> "RDD":
+        """Bag union (UNION ALL): concatenates partitions, no shuffle."""
+        return _UnionRDD(self, other)
+
+    def distinct(self) -> "RDD":
+        """Deduplicate elements (wide: shuffles by element)."""
+        return (
+            self.map(lambda x: (x, None))
+            .reduce_by_key(lambda a, _b: a)
+            .map(lambda kv: kv[0])
+        )
+
+    def reduce_by_key(self, fn: Callable, num_partitions: int | None = None) -> "RDD":
+        """Combine pair values per key (wide, with map-side combine)."""
+        return _ShuffledRDD(
+            self,
+            num_partitions or self.engine.default_parallelism,
+            combiner=fn,
+            map_side_combine=True,
+        )
+
+    def group_by_key(self, num_partitions: int | None = None) -> "RDD":
+        """Group pair values per key into lists (wide, no combine)."""
+        return _ShuffledRDD(
+            self,
+            num_partitions or self.engine.default_parallelism,
+            combiner=None,
+            map_side_combine=False,
+        )
+
+    def sort_by(self, key_fn: Callable, num_partitions: int | None = None) -> "RDD":
+        """Total ordering via range partitioning + per-partition sorts."""
+        return _SortedRDD(self, key_fn, num_partitions or self.engine.default_parallelism)
+
+    def join(self, other: "RDD", num_partitions: int | None = None) -> "RDD":
+        """Inner join of two pair RDDs: ``(k, (v_self, v_other))``."""
+        return _CoGroupedRDD(
+            self,
+            other,
+            num_partitions or self.engine.default_parallelism,
+            mode="join",
+        )
+
+    def subtract(self, other: "RDD", num_partitions: int | None = None) -> "RDD":
+        """Elements of ``self`` absent from ``other`` (set difference)."""
+        left = self.map(lambda x: (x, None))
+        right = other.map(lambda x: (x, None))
+        return _CoGroupedRDD(
+            left,
+            right,
+            num_partitions or self.engine.default_parallelism,
+            mode="subtract",
+        )
+
+    def cartesian(self, other: "RDD") -> "RDD":
+        """Cross product of two RDDs (wide in data volume, not in shuffle)."""
+        return _CartesianRDD(self, other)
+
+    def map_values(self, fn: Callable) -> "RDD":
+        """Transform pair values, preserving keys (narrow)."""
+        return _MappedRDD(
+            self, lambda kv, f=fn: (kv[0], f(kv[1])), flat=False, label="mapValues"
+        )
+
+    def keys(self) -> "RDD":
+        """The keys of a pair RDD (narrow)."""
+        return _MappedRDD(self, lambda kv: kv[0], flat=False, label="keys")
+
+    def values(self) -> "RDD":
+        """The values of a pair RDD (narrow)."""
+        return _MappedRDD(self, lambda kv: kv[1], flat=False, label="values")
+
+    def cache(self) -> "RDD":
+        """Pin computed partitions in executor memory."""
+        self.cached = True
+        return self
+
+    # -- actions -----------------------------------------------------------
+
+    def collect(self, trace: ExecutionTrace) -> list:
+        """Materialise all elements on the driver."""
+        partitions = self.engine.compute(self, trace)
+        result = [record for partition in partitions for record in partition]
+        trace.emit(
+            PhaseKind.DRIVER,
+            "collect",
+            worker=-1,
+            records_in=len(result),
+            bytes_in=_partition_bytes(result),
+        )
+        return result
+
+    def count(self, trace: ExecutionTrace) -> int:
+        """Number of elements."""
+        partitions = self.engine.compute(self, trace)
+        total = sum(len(partition) for partition in partitions)
+        trace.emit(PhaseKind.DRIVER, "count", worker=-1, records_in=total, bytes_in=0)
+        return total
+
+    def take(self, n: int, trace: ExecutionTrace) -> list:
+        """The first ``n`` elements in partition order.
+
+        Raises:
+            StackExecutionError: If ``n`` is negative.
+        """
+        if n < 0:
+            raise StackExecutionError("take(n) needs a non-negative n")
+        partitions = self.engine.compute(self, trace)
+        taken: list = []
+        for partition in partitions:
+            for record in partition:
+                if len(taken) == n:
+                    return taken
+                taken.append(record)
+        return taken
+
+    def first(self, trace: ExecutionTrace):
+        """The first element.
+
+        Raises:
+            StackExecutionError: If the RDD is empty.
+        """
+        taken = self.take(1, trace)
+        if not taken:
+            raise StackExecutionError("first() of an empty RDD")
+        return taken[0]
+
+    def reduce(self, fn: Callable, trace: ExecutionTrace):
+        """Fold all elements with ``fn``.
+
+        Raises:
+            StackExecutionError: If the RDD is empty.
+        """
+        values = self.collect(trace)
+        if not values:
+            raise StackExecutionError("reduce of an empty RDD")
+        accumulator = values[0]
+        for value in values[1:]:
+            accumulator = fn(accumulator, value)
+        return accumulator
+
+
+class _SourceRDD(RDD):
+    """Partitions supplied directly (``parallelize``)."""
+
+    def __init__(self, engine: SparkContextLike, partitions: list[list]) -> None:
+        super().__init__(engine, max(1, len(partitions)))
+        self._partitions = [list(p) for p in partitions] or [[]]
+
+    def compute_partitions(self, trace: ExecutionTrace) -> list[list]:
+        for index, partition in enumerate(self._partitions):
+            trace.emit(
+                PhaseKind.STAGE,
+                "scan:parallelize",
+                worker=self.preferred_worker(index),
+                records_in=len(partition),
+                bytes_in=_partition_bytes(partition),
+                records_out=len(partition),
+                bytes_out=_partition_bytes(partition),
+            )
+        return [list(p) for p in self._partitions]
+
+
+class _HdfsRDD(RDD):
+    """One partition per HDFS block, scheduled with data locality."""
+
+    def __init__(self, engine: SparkContextLike, hdfs: Hdfs, path: str) -> None:
+        self._blocks = hdfs.blocks(path)
+        super().__init__(engine, max(1, len(self._blocks)))
+        self._path = path
+
+    def preferred_worker(self, partition: int) -> int:
+        if partition < len(self._blocks):
+            return self._blocks[partition].primary_node
+        return super().preferred_worker(partition)
+
+    def compute_partitions(self, trace: ExecutionTrace) -> list[list]:
+        partitions: list[list] = []
+        for index, block in enumerate(self._blocks):
+            records = list(block.records)
+            trace.emit(
+                PhaseKind.STAGE,
+                f"scan:{self._path}",
+                worker=block.primary_node,
+                records_in=len(records),
+                bytes_in=block.bytes,
+                records_out=len(records),
+                bytes_out=block.bytes,
+            )
+            partitions.append(records)
+        return partitions or [[]]
+
+
+class _MappedRDD(RDD):
+    def __init__(self, parent: RDD, fn: Callable, flat: bool, label: str) -> None:
+        super().__init__(parent.engine, parent.num_partitions)
+        self._parent = parent
+        self._fn = fn
+        self._flat = flat
+        self._label = label
+
+    def preferred_worker(self, partition: int) -> int:
+        return self._parent.preferred_worker(partition)
+
+    def compute_partitions(self, trace: ExecutionTrace) -> list[list]:
+        parents = self.engine.compute(self._parent, trace)
+        output: list[list] = []
+        for index, partition in enumerate(parents):
+            if self._flat:
+                result = [item for record in partition for item in self._fn(record)]
+            else:
+                result = [self._fn(record) for record in partition]
+            trace.emit(
+                PhaseKind.STAGE,
+                f"stage:{self._label}",
+                worker=self.preferred_worker(index),
+                records_in=len(partition),
+                bytes_in=_partition_bytes(partition),
+                records_out=len(result),
+                bytes_out=_partition_bytes(result),
+            )
+            output.append(result)
+        return output
+
+
+class _FilteredRDD(RDD):
+    def __init__(self, parent: RDD, predicate: Callable) -> None:
+        super().__init__(parent.engine, parent.num_partitions)
+        self._parent = parent
+        self._predicate = predicate
+
+    def preferred_worker(self, partition: int) -> int:
+        return self._parent.preferred_worker(partition)
+
+    def compute_partitions(self, trace: ExecutionTrace) -> list[list]:
+        parents = self.engine.compute(self._parent, trace)
+        output: list[list] = []
+        for index, partition in enumerate(parents):
+            result = [record for record in partition if self._predicate(record)]
+            trace.emit(
+                PhaseKind.STAGE,
+                "stage:filter",
+                worker=self.preferred_worker(index),
+                records_in=len(partition),
+                bytes_in=_partition_bytes(partition),
+                records_out=len(result),
+                bytes_out=_partition_bytes(result),
+            )
+            output.append(result)
+        return output
+
+
+class _MapPartitionsRDD(RDD):
+    def __init__(self, parent: RDD, fn: Callable[[list], Iterable]) -> None:
+        super().__init__(parent.engine, parent.num_partitions)
+        self._parent = parent
+        self._fn = fn
+
+    def preferred_worker(self, partition: int) -> int:
+        return self._parent.preferred_worker(partition)
+
+    def compute_partitions(self, trace: ExecutionTrace) -> list[list]:
+        parents = self.engine.compute(self._parent, trace)
+        output: list[list] = []
+        for index, partition in enumerate(parents):
+            result = list(self._fn(partition))
+            trace.emit(
+                PhaseKind.STAGE,
+                "stage:mapPartitions",
+                worker=self.preferred_worker(index),
+                records_in=len(partition),
+                bytes_in=_partition_bytes(partition),
+                records_out=len(result),
+                bytes_out=_partition_bytes(result),
+            )
+            output.append(result)
+        return output
+
+
+class _UnionRDD(RDD):
+    def __init__(self, left: RDD, right: RDD) -> None:
+        super().__init__(left.engine, left.num_partitions + right.num_partitions)
+        self._left = left
+        self._right = right
+
+    def compute_partitions(self, trace: ExecutionTrace) -> list[list]:
+        left = self.engine.compute(self._left, trace)
+        right = self.engine.compute(self._right, trace)
+        partitions = left + right
+        for index, partition in enumerate(partitions):
+            trace.emit(
+                PhaseKind.STAGE,
+                "stage:union",
+                worker=self.preferred_worker(index),
+                records_in=len(partition),
+                bytes_in=_partition_bytes(partition),
+                records_out=len(partition),
+                bytes_out=_partition_bytes(partition),
+            )
+        return partitions
+
+
+class _ShuffledRDD(RDD):
+    """Hash-partitioned shuffle with optional map-side combining.
+
+    With a ``combiner``, output elements are ``(key, combined_value)``
+    (reduceByKey semantics); without, ``(key, [values])`` (groupByKey).
+    """
+
+    def __init__(
+        self,
+        parent: RDD,
+        num_partitions: int,
+        combiner: Callable | None,
+        map_side_combine: bool,
+    ) -> None:
+        super().__init__(parent.engine, num_partitions)
+        self._parent = parent
+        self._combiner = combiner
+        self._map_side_combine = map_side_combine and combiner is not None
+
+    def _combine_partition(self, partition: list) -> list:
+        combined: dict = {}
+        for key, value in partition:
+            if key in combined:
+                combined[key] = self._combiner(combined[key], value)
+            else:
+                combined[key] = value
+        return list(combined.items())
+
+    def compute_partitions(self, trace: ExecutionTrace) -> list[list]:
+        parents = self.engine.compute(self._parent, trace)
+        buckets: list[list] = [[] for _ in range(self.num_partitions)]
+        for index, partition in enumerate(parents):
+            to_write = (
+                self._combine_partition(partition) if self._map_side_combine else partition
+            )
+            trace.emit(
+                PhaseKind.SHUFFLE_WRITE,
+                "shuffle-write",
+                worker=self._parent.preferred_worker(index),
+                records_in=len(partition),
+                bytes_in=_partition_bytes(partition),
+                records_out=len(to_write),
+                bytes_out=_partition_bytes(to_write),
+            )
+            for key, value in to_write:
+                buckets[stable_hash(key) % self.num_partitions].append((key, value))
+
+        output: list[list] = []
+        for index, bucket in enumerate(buckets):
+            trace.emit(
+                PhaseKind.SHUFFLE_READ,
+                "shuffle-read",
+                worker=self.preferred_worker(index),
+                records_in=len(bucket),
+                bytes_in=_partition_bytes(bucket),
+                records_out=len(bucket),
+                bytes_out=_partition_bytes(bucket),
+                fetches=float(len(parents)),
+            )
+            if self._combiner is not None:
+                result = self._combine_partition(bucket)
+            else:
+                groups: dict = {}
+                for key, value in bucket:
+                    groups.setdefault(key, []).append(value)
+                result = list(groups.items())
+            trace.emit(
+                PhaseKind.STAGE,
+                "stage:aggregate",
+                worker=self.preferred_worker(index),
+                records_in=len(bucket),
+                bytes_in=_partition_bytes(bucket),
+                records_out=len(result),
+                bytes_out=_partition_bytes(result),
+            )
+            output.append(result)
+        return output
+
+
+class _SortedRDD(RDD):
+    """Range-partitioned total sort (Spark's sortBy)."""
+
+    def __init__(self, parent: RDD, key_fn: Callable, num_partitions: int) -> None:
+        super().__init__(parent.engine, num_partitions)
+        self._parent = parent
+        self._key_fn = key_fn
+
+    def compute_partitions(self, trace: ExecutionTrace) -> list[list]:
+        parents = self.engine.compute(self._parent, trace)
+        all_keys = sorted(
+            self._key_fn(record) for partition in parents for record in partition
+        )
+        boundaries = [
+            all_keys[(i + 1) * len(all_keys) // self.num_partitions]
+            for i in range(self.num_partitions - 1)
+        ] if all_keys else []
+
+        buckets: list[list] = [[] for _ in range(self.num_partitions)]
+        for index, partition in enumerate(parents):
+            trace.emit(
+                PhaseKind.SHUFFLE_WRITE,
+                "shuffle-write:sort",
+                worker=self._parent.preferred_worker(index),
+                records_in=len(partition),
+                bytes_in=_partition_bytes(partition),
+                records_out=len(partition),
+                bytes_out=_partition_bytes(partition),
+            )
+            for record in partition:
+                buckets[bisect.bisect_left(boundaries, self._key_fn(record))].append(record)
+
+        output: list[list] = []
+        for index, bucket in enumerate(buckets):
+            trace.emit(
+                PhaseKind.SHUFFLE_READ,
+                "shuffle-read:sort",
+                worker=self.preferred_worker(index),
+                records_in=len(bucket),
+                bytes_in=_partition_bytes(bucket),
+                records_out=len(bucket),
+                bytes_out=_partition_bytes(bucket),
+            )
+            bucket.sort(key=self._key_fn)
+            trace.emit(
+                PhaseKind.STAGE,
+                "stage:sort",
+                worker=self.preferred_worker(index),
+                records_in=len(bucket),
+                bytes_in=_partition_bytes(bucket),
+                records_out=len(bucket),
+                bytes_out=_partition_bytes(bucket),
+                compare_ops=float(len(bucket)) * math.log2(max(2, len(bucket))),
+            )
+            output.append(bucket)
+        return output
+
+
+class _CoGroupedRDD(RDD):
+    """Shuffle two pair RDDs by key, then join or subtract per bucket."""
+
+    def __init__(self, left: RDD, right: RDD, num_partitions: int, mode: str) -> None:
+        if mode not in ("join", "subtract"):
+            raise StackExecutionError(f"unknown cogroup mode: {mode!r}")
+        super().__init__(left.engine, num_partitions)
+        self._left = left
+        self._right = right
+        self._mode = mode
+
+    def _shuffle_side(
+        self, rdd: RDD, label: str, trace: ExecutionTrace
+    ) -> list[list]:
+        parents = self.engine.compute(rdd, trace)
+        buckets: list[list] = [[] for _ in range(self.num_partitions)]
+        for index, partition in enumerate(parents):
+            trace.emit(
+                PhaseKind.SHUFFLE_WRITE,
+                f"shuffle-write:{label}",
+                worker=rdd.preferred_worker(index),
+                records_in=len(partition),
+                bytes_in=_partition_bytes(partition),
+                records_out=len(partition),
+                bytes_out=_partition_bytes(partition),
+            )
+            for key, value in partition:
+                buckets[stable_hash(key) % self.num_partitions].append((key, value))
+        return buckets
+
+    def compute_partitions(self, trace: ExecutionTrace) -> list[list]:
+        left_buckets = self._shuffle_side(self._left, "cogroup-left", trace)
+        right_buckets = self._shuffle_side(self._right, "cogroup-right", trace)
+        output: list[list] = []
+        for index in range(self.num_partitions):
+            left, right = left_buckets[index], right_buckets[index]
+            trace.emit(
+                PhaseKind.SHUFFLE_READ,
+                "shuffle-read:cogroup",
+                worker=self.preferred_worker(index),
+                records_in=len(left) + len(right),
+                bytes_in=_partition_bytes(left) + _partition_bytes(right),
+            )
+            right_map: dict = {}
+            for key, value in right:
+                right_map.setdefault(key, []).append(value)
+            result: list = []
+            if self._mode == "join":
+                for key, value in left:
+                    for other in right_map.get(key, ()):
+                        result.append((key, (value, other)))
+            else:  # subtract: distinct left keys with no right occurrences
+                emitted: set = set()
+                for key, _value in left:
+                    if key not in right_map and key not in emitted:
+                        emitted.add(key)
+                        result.append(key)
+            trace.emit(
+                PhaseKind.STAGE,
+                f"stage:{self._mode}",
+                worker=self.preferred_worker(index),
+                records_in=len(left) + len(right),
+                bytes_in=_partition_bytes(left) + _partition_bytes(right),
+                records_out=len(result),
+                bytes_out=_partition_bytes(result),
+            )
+            output.append(result)
+        return output
+
+
+class _CartesianRDD(RDD):
+    def __init__(self, left: RDD, right: RDD) -> None:
+        super().__init__(left.engine, left.num_partitions * right.num_partitions)
+        self._left = left
+        self._right = right
+
+    def compute_partitions(self, trace: ExecutionTrace) -> list[list]:
+        left = self.engine.compute(self._left, trace)
+        right = self.engine.compute(self._right, trace)
+        output: list[list] = []
+        index = 0
+        for left_partition in left:
+            for right_partition in right:
+                result = [
+                    (a, b) for a in left_partition for b in right_partition
+                ]
+                trace.emit(
+                    PhaseKind.STAGE,
+                    "stage:cartesian",
+                    worker=self.preferred_worker(index),
+                    records_in=len(left_partition) + len(right_partition),
+                    bytes_in=_partition_bytes(left_partition)
+                    + _partition_bytes(right_partition),
+                    records_out=len(result),
+                    bytes_out=_partition_bytes(result),
+                )
+                output.append(result)
+                index += 1
+        return output

@@ -1,0 +1,44 @@
+"""Relational algebra: schema, plans, parser, reference interpreter."""
+
+from repro.stacks.sql.interpreter import execute
+from repro.stacks.sql.parser import parse_query
+from repro.stacks.sql.plan import (
+    AggFunc,
+    Aggregate,
+    AggSpec,
+    CompareOp,
+    Comparison,
+    CrossProduct,
+    Difference,
+    Filter,
+    Join,
+    OrderBy,
+    PlanNode,
+    Project,
+    Scan,
+    Union,
+    output_schema,
+)
+from repro.stacks.sql.schema import Relation, Schema
+
+__all__ = [
+    "execute",
+    "parse_query",
+    "AggFunc",
+    "Aggregate",
+    "AggSpec",
+    "CompareOp",
+    "Comparison",
+    "CrossProduct",
+    "Difference",
+    "Filter",
+    "Join",
+    "OrderBy",
+    "PlanNode",
+    "Project",
+    "Scan",
+    "Union",
+    "output_schema",
+    "Relation",
+    "Schema",
+]

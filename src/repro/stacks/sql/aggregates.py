@@ -1,0 +1,68 @@
+"""Partial-aggregation state machines shared by all three SQL executors.
+
+Grouped aggregation decomposes into init / update / merge / finalize so
+that the Hive compiler can run combiners (partial aggregates on the map
+side) and the Shark compiler can reduceByKey over partial states, while
+the in-memory interpreter uses the same code for reference semantics.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StackExecutionError
+from repro.stacks.sql.plan import AggFunc
+
+__all__ = ["init_state", "update_state", "merge_states", "finalize_state"]
+
+
+def init_state(func: AggFunc):
+    """Identity element of ``func``'s partial state."""
+    if func is AggFunc.COUNT:
+        return 0
+    if func is AggFunc.SUM:
+        return 0
+    if func is AggFunc.AVG:
+        return (0.0, 0)
+    if func in (AggFunc.MIN, AggFunc.MAX):
+        return None
+    raise StackExecutionError(f"unknown aggregate function: {func}")
+
+
+def update_state(func: AggFunc, state, value):
+    """Fold one input ``value`` into ``state``."""
+    if func is AggFunc.COUNT:
+        return state + 1
+    if func is AggFunc.SUM:
+        return state + value
+    if func is AggFunc.AVG:
+        total, count = state
+        return (total + value, count + 1)
+    if func is AggFunc.MIN:
+        return value if state is None else min(state, value)
+    if func is AggFunc.MAX:
+        return value if state is None else max(state, value)
+    raise StackExecutionError(f"unknown aggregate function: {func}")
+
+
+def merge_states(func: AggFunc, left, right):
+    """Combine two partial states (combiner / reduceByKey step)."""
+    if func in (AggFunc.COUNT, AggFunc.SUM):
+        return left + right
+    if func is AggFunc.AVG:
+        return (left[0] + right[0], left[1] + right[1])
+    if func is AggFunc.MIN:
+        if left is None:
+            return right
+        return left if right is None else min(left, right)
+    if func is AggFunc.MAX:
+        if left is None:
+            return right
+        return left if right is None else max(left, right)
+    raise StackExecutionError(f"unknown aggregate function: {func}")
+
+
+def finalize_state(func: AggFunc, state):
+    """Produce the output value from a final state."""
+    if func is AggFunc.AVG:
+        total, count = state
+        return total / count if count else 0.0
+    return state

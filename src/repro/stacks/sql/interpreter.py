@@ -1,0 +1,130 @@
+"""Reference in-memory executor for logical plans.
+
+This is the semantic ground truth: tests assert that the Hive and Shark
+lowerings produce exactly the same multiset of rows (modulo ordering for
+unordered operators) as this interpreter.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StackExecutionError
+from repro.stacks.sql.aggregates import finalize_state, init_state, update_state
+from repro.stacks.sql.plan import (
+    Aggregate,
+    CrossProduct,
+    Difference,
+    Filter,
+    Join,
+    OrderBy,
+    PlanNode,
+    Project,
+    Scan,
+    Union,
+    output_schema,
+)
+from repro.stacks.sql.schema import Relation, Schema
+
+__all__ = ["execute"]
+
+
+def execute(node: PlanNode, tables: dict[str, Relation]) -> Relation:
+    """Evaluate ``node`` against base ``tables``; returns a Relation.
+
+    Raises:
+        StackExecutionError: On unknown tables, columns, or node types.
+    """
+    schemas = {name: rel.schema for name, rel in tables.items()}
+    schema = output_schema(node, schemas)
+    rows = _rows(node, tables)
+    return Relation(name=f"result:{type(node).__name__}", schema=schema, rows=rows)
+
+
+def _rows(node: PlanNode, tables: dict[str, Relation]) -> list[tuple]:
+    schemas = {name: rel.schema for name, rel in tables.items()}
+
+    if isinstance(node, Scan):
+        if node.table not in tables:
+            raise StackExecutionError(f"unknown table {node.table!r}")
+        return list(tables[node.table].rows)
+
+    if isinstance(node, Project):
+        child_schema = output_schema(node.child, schemas)
+        indices = [child_schema.index(c) for c in node.columns]
+        return [tuple(row[i] for i in indices) for row in _rows(node.child, tables)]
+
+    if isinstance(node, Filter):
+        child_schema = output_schema(node.child, schemas)
+        predicates = [c.compile(child_schema) for c in node.conditions]
+        return [
+            row
+            for row in _rows(node.child, tables)
+            if all(p(row) for p in predicates)
+        ]
+
+    if isinstance(node, OrderBy):
+        child_schema = output_schema(node.child, schemas)
+        indices = [child_schema.index(k) for k in node.keys]
+        return sorted(
+            _rows(node.child, tables),
+            key=lambda row: tuple(row[i] for i in indices),
+            reverse=node.descending,
+        )
+
+    if isinstance(node, CrossProduct):
+        left = _rows(node.left, tables)
+        right = _rows(node.right, tables)
+        return [l + r for l in left for r in right]
+
+    if isinstance(node, Join):
+        left_schema = output_schema(node.left, schemas)
+        right_schema = output_schema(node.right, schemas)
+        li = left_schema.index(node.left_key)
+        ri = right_schema.index(node.right_key)
+        index: dict = {}
+        for row in _rows(node.right, tables):
+            index.setdefault(row[ri], []).append(row)
+        return [
+            l + r
+            for l in _rows(node.left, tables)
+            for r in index.get(l[li], ())
+        ]
+
+    if isinstance(node, Union):
+        return _rows(node.left, tables) + _rows(node.right, tables)
+
+    if isinstance(node, Difference):
+        right = set(_rows(node.right, tables))
+        seen: set = set()
+        result = []
+        for row in _rows(node.left, tables):
+            if row not in right and row not in seen:
+                seen.add(row)
+                result.append(row)
+        return result
+
+    if isinstance(node, Aggregate):
+        child_schema = output_schema(node.child, schemas)
+        group_indices = [child_schema.index(c) for c in node.group_by]
+        agg_indices = [
+            child_schema.index(a.column) if a.column is not None else None
+            for a in node.aggregates
+        ]
+        groups: dict[tuple, list] = {}
+        for row in _rows(node.child, tables):
+            key = tuple(row[i] for i in group_indices)
+            state = groups.get(key)
+            if state is None:
+                state = [init_state(a.func) for a in node.aggregates]
+                groups[key] = state
+            for pos, agg in enumerate(node.aggregates):
+                value = row[agg_indices[pos]] if agg_indices[pos] is not None else None
+                state[pos] = update_state(agg.func, state[pos], value)
+        return [
+            key + tuple(
+                finalize_state(agg.func, state[pos])
+                for pos, agg in enumerate(node.aggregates)
+            )
+            for key, state in groups.items()
+        ]
+
+    raise StackExecutionError(f"unknown plan node type: {type(node).__name__}")

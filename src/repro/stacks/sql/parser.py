@@ -1,0 +1,257 @@
+"""A small SQL front-end for the Hive/Shark stacks.
+
+Covers exactly the query shapes the ten Table I interactive-analytics
+workloads use (and their obvious compositions)::
+
+    SELECT a, b FROM t
+    SELECT * FROM t WHERE price > 10 AND category = 'books'
+    SELECT category, AVG(price) AS avg_price FROM t GROUP BY category
+    SELECT * FROM t ORDER BY price DESC
+    SELECT * FROM a JOIN b ON a_col = b_col
+    SELECT * FROM a CROSS JOIN b
+    SELECT * FROM a UNION ALL SELECT * FROM b
+    SELECT * FROM a EXCEPT SELECT * FROM b
+
+Grammar (informal)::
+
+    query      := select [ (UNION ALL | EXCEPT) select ]
+    select     := SELECT items FROM source [WHERE conds]
+                  [GROUP BY cols] [ORDER BY cols [DESC]]
+    items      := '*' | item (',' item)*
+    item       := column | FUNC '(' (column | '*') ')' [AS alias]
+    source     := table [ (JOIN table ON col '=' col) | (CROSS JOIN table) ]
+    conds      := cond (AND cond)*
+    cond       := column op literal      (op in = != <> < <= > >=)
+
+The parser produces :mod:`repro.stacks.sql.plan` trees, so parsed queries
+run identically on the interpreter, Hive, and Shark.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import StackExecutionError
+from repro.stacks.sql.plan import (
+    AggFunc,
+    Aggregate,
+    AggSpec,
+    CompareOp,
+    Comparison,
+    CrossProduct,
+    Difference,
+    Filter,
+    Join,
+    OrderBy,
+    PlanNode,
+    Project,
+    Scan,
+    Union,
+)
+
+__all__ = ["parse_query"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        '[^']*'            # string literal
+      | <> | != | <= | >= | = | < | >
+      | \( | \) | , | \*
+      | [A-Za-z_][A-Za-z_0-9.]*
+      | -?\d+\.\d+ | -?\d+
+    )
+    """,
+    re.VERBOSE,
+)
+
+_AGG_FUNCS = {f.value.upper(): f for f in AggFunc}
+
+_OPS = {
+    "=": CompareOp.EQ,
+    "!=": CompareOp.NE,
+    "<>": CompareOp.NE,
+    "<": CompareOp.LT,
+    "<=": CompareOp.LE,
+    ">": CompareOp.GT,
+    ">=": CompareOp.GE,
+}
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise StackExecutionError(f"cannot tokenize SQL near: {remainder[:30]!r}")
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]) -> None:
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self) -> str | None:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _peek_upper(self) -> str | None:
+        token = self._peek()
+        return token.upper() if token is not None else None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise StackExecutionError("unexpected end of SQL")
+        self._position += 1
+        return token
+
+    def _expect(self, keyword: str) -> None:
+        token = self._next()
+        if token.upper() != keyword:
+            raise StackExecutionError(f"expected {keyword}, got {token!r}")
+
+    def _accept(self, keyword: str) -> bool:
+        if self._peek_upper() == keyword:
+            self._position += 1
+            return True
+        return False
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse(self) -> PlanNode:
+        left = self._select()
+        if self._accept("UNION"):
+            self._expect("ALL")
+            right = self._select()
+            node: PlanNode = Union(left, right)
+        elif self._accept("EXCEPT"):
+            right = self._select()
+            node = Difference(left, right)
+        else:
+            node = left
+        if self._peek() is not None:
+            raise StackExecutionError(f"trailing tokens after query: {self._peek()!r}")
+        return node
+
+    def _select(self) -> PlanNode:
+        self._expect("SELECT")
+        star, columns, aggregates = self._select_items()
+        self._expect("FROM")
+        node = self._source()
+        if self._accept("WHERE"):
+            node = Filter(node, self._conditions())
+
+        group_by: tuple[str, ...] = ()
+        if self._accept("GROUP"):
+            self._expect("BY")
+            group_by = self._column_list()
+
+        if aggregates:
+            node = Aggregate(node, group_by, tuple(aggregates))
+        elif group_by:
+            raise StackExecutionError("GROUP BY requires aggregate functions")
+        elif not star:
+            node = Project(node, tuple(columns))
+
+        if self._accept("ORDER"):
+            self._expect("BY")
+            keys = self._column_list()
+            descending = self._accept("DESC")
+            if not descending:
+                self._accept("ASC")
+            node = OrderBy(node, keys, descending=descending)
+        return node
+
+    def _select_items(self) -> tuple[bool, list[str], list[AggSpec]]:
+        if self._accept("*"):
+            return True, [], []
+        columns: list[str] = []
+        aggregates: list[AggSpec] = []
+        while True:
+            token = self._next()
+            upper = token.upper()
+            if upper in _AGG_FUNCS and self._peek() == "(":
+                self._next()  # (
+                argument = self._next()
+                self._expect(")")
+                column = None if argument == "*" else argument
+                alias = f"{upper.lower()}_{column or 'all'}"
+                if self._accept("AS"):
+                    alias = self._next()
+                aggregates.append(AggSpec(_AGG_FUNCS[upper], column, alias))
+            else:
+                columns.append(token)
+            if not self._accept(","):
+                break
+        if columns and aggregates:
+            # Plain columns next to aggregates are the GROUP BY keys; the
+            # Aggregate node re-adds them, so they must match GROUP BY.
+            return False, columns, aggregates
+        return False, columns, aggregates
+
+    def _source(self) -> PlanNode:
+        left: PlanNode = Scan(self._next())
+        if self._accept("CROSS"):
+            self._expect("JOIN")
+            right = Scan(self._next())
+            return CrossProduct(left, right)
+        if self._accept("JOIN"):
+            right = Scan(self._next())
+            self._expect("ON")
+            left_key = self._next()
+            self._expect("=")
+            right_key = self._next()
+            return Join(left, right, left_key, right_key)
+        return left
+
+    def _conditions(self) -> tuple[Comparison, ...]:
+        conditions = [self._condition()]
+        while self._accept("AND"):
+            conditions.append(self._condition())
+        return tuple(conditions)
+
+    def _condition(self) -> Comparison:
+        column = self._next()
+        op_token = self._next()
+        if op_token not in _OPS:
+            raise StackExecutionError(f"unknown comparison operator {op_token!r}")
+        return Comparison(column, _OPS[op_token], self._literal())
+
+    def _literal(self):
+        token = self._next()
+        if token.startswith("'") and token.endswith("'"):
+            return token[1:-1]
+        try:
+            if "." in token:
+                return float(token)
+            return int(token)
+        except ValueError:
+            raise StackExecutionError(f"bad literal {token!r}") from None
+
+    def _column_list(self) -> tuple[str, ...]:
+        columns = [self._next()]
+        while self._accept(","):
+            columns.append(self._next())
+        return tuple(columns)
+
+
+def parse_query(sql: str) -> PlanNode:
+    """Parse ``sql`` into a logical plan.
+
+    Raises:
+        StackExecutionError: On any syntax the mini-grammar does not cover.
+    """
+    tokens = _tokenize(sql)
+    if not tokens:
+        raise StackExecutionError("empty SQL query")
+    return _Parser(tokens).parse()

@@ -1,0 +1,235 @@
+"""Logical query plans for the ten interactive-analytics workloads.
+
+A tiny relational algebra covering exactly what Table I needs:
+projection, filtering (selection), ordering, cross product, inner join,
+union (ALL), set difference, and grouped aggregation.  Plans are built as
+immutable trees; the interpreter (:mod:`repro.stacks.sql.interpreter`)
+gives reference semantics, and the Hive / Shark compilers lower the same
+trees onto MapReduce jobs / RDD lineages.
+"""
+
+from __future__ import annotations
+
+import enum
+import operator
+from dataclasses import dataclass
+
+from repro.errors import StackExecutionError
+from repro.stacks.sql.schema import Schema
+
+__all__ = [
+    "CompareOp",
+    "Comparison",
+    "AggFunc",
+    "AggSpec",
+    "PlanNode",
+    "Scan",
+    "Project",
+    "Filter",
+    "OrderBy",
+    "CrossProduct",
+    "Join",
+    "Union",
+    "Difference",
+    "Aggregate",
+    "output_schema",
+]
+
+
+class CompareOp(enum.Enum):
+    """Comparison operators usable in WHERE conditions."""
+
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    @property
+    def fn(self):
+        return {
+            CompareOp.EQ: operator.eq,
+            CompareOp.NE: operator.ne,
+            CompareOp.LT: operator.lt,
+            CompareOp.LE: operator.le,
+            CompareOp.GT: operator.gt,
+            CompareOp.GE: operator.ge,
+        }[self]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``column <op> literal``."""
+
+    column: str
+    op: CompareOp
+    value: object
+
+    def compile(self, schema: Schema):
+        """A fast ``row -> bool`` closure bound to the column index."""
+        index = schema.index(self.column)
+        fn = self.op.fn
+        value = self.value
+        return lambda row: fn(row[index], value)
+
+
+class AggFunc(enum.Enum):
+    """Aggregate functions."""
+
+    COUNT = "count"
+    SUM = "sum"
+    AVG = "avg"
+    MIN = "min"
+    MAX = "max"
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate column: ``func(column) AS alias``."""
+
+    func: AggFunc
+    column: str | None  # None only for COUNT(*)
+    alias: str
+
+    def __post_init__(self) -> None:
+        if self.column is None and self.func is not AggFunc.COUNT:
+            raise StackExecutionError(f"{self.func.value} requires a column")
+
+
+class PlanNode:
+    """Base class of all logical operators."""
+
+
+@dataclass(frozen=True)
+class Scan(PlanNode):
+    """Read a base relation by name."""
+
+    table: str
+
+
+@dataclass(frozen=True)
+class Project(PlanNode):
+    """Projection onto a column subset."""
+
+    child: PlanNode
+    columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Filter(PlanNode):
+    """Selection by a conjunction of comparisons."""
+
+    child: PlanNode
+    conditions: tuple[Comparison, ...]
+
+
+@dataclass(frozen=True)
+class OrderBy(PlanNode):
+    """Total ordering on one or more columns."""
+
+    child: PlanNode
+    keys: tuple[str, ...]
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class CrossProduct(PlanNode):
+    """Cartesian product of two inputs."""
+
+    left: PlanNode
+    right: PlanNode
+
+
+@dataclass(frozen=True)
+class Join(PlanNode):
+    """Inner equi-join on one column per side."""
+
+    left: PlanNode
+    right: PlanNode
+    left_key: str
+    right_key: str
+
+
+@dataclass(frozen=True)
+class Union(PlanNode):
+    """UNION ALL of two same-schema inputs.
+
+    BigDataBench's Union keeps duplicates (which is why the paper's
+    Observation 4 finds it clustering with Filter: both are cheap
+    record-passing operators).
+    """
+
+    left: PlanNode
+    right: PlanNode
+
+
+@dataclass(frozen=True)
+class Difference(PlanNode):
+    """Set difference (EXCEPT) of two same-schema inputs."""
+
+    left: PlanNode
+    right: PlanNode
+
+
+@dataclass(frozen=True)
+class Aggregate(PlanNode):
+    """Grouped aggregation."""
+
+    child: PlanNode
+    group_by: tuple[str, ...]
+    aggregates: tuple[AggSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.aggregates:
+            raise StackExecutionError("Aggregate needs at least one aggregate column")
+
+
+def output_schema(node: PlanNode, tables: dict[str, Schema]) -> Schema:
+    """The schema a plan node produces, given base-table schemas.
+
+    Raises:
+        StackExecutionError: On unknown tables/columns or schema
+            mismatches (Union/Difference inputs must match).
+    """
+    if isinstance(node, Scan):
+        if node.table not in tables:
+            raise StackExecutionError(f"unknown table {node.table!r}")
+        return tables[node.table]
+    if isinstance(node, Project):
+        return output_schema(node.child, tables).project(node.columns)
+    if isinstance(node, Filter):
+        schema = output_schema(node.child, tables)
+        for condition in node.conditions:
+            schema.index(condition.column)
+        return schema
+    if isinstance(node, OrderBy):
+        schema = output_schema(node.child, tables)
+        for key in node.keys:
+            schema.index(key)
+        return schema
+    if isinstance(node, (CrossProduct, Join)):
+        left = output_schema(node.left, tables)
+        right = output_schema(node.right, tables)
+        if isinstance(node, Join):
+            left.index(node.left_key)
+            right.index(node.right_key)
+        return left.concat(right)
+    if isinstance(node, (Union, Difference)):
+        left = output_schema(node.left, tables)
+        right = output_schema(node.right, tables)
+        if left != right:
+            raise StackExecutionError(
+                f"{type(node).__name__} inputs must have identical schemas: "
+                f"{left.columns} vs {right.columns}"
+            )
+        return left
+    if isinstance(node, Aggregate):
+        child = output_schema(node.child, tables)
+        for column in node.group_by:
+            child.index(column)
+        for agg in node.aggregates:
+            if agg.column is not None:
+                child.index(agg.column)
+        return Schema(tuple(node.group_by) + tuple(a.alias for a in node.aggregates))
+    raise StackExecutionError(f"unknown plan node type: {type(node).__name__}")

@@ -1,0 +1,89 @@
+"""Relational schema and table representation for the SQL workloads.
+
+Rows are plain tuples; a :class:`Schema` maps column names to positions.
+Keeping rows as tuples (hashable, comparable) lets the same relation flow
+through the in-memory interpreter, the Hive→MapReduce compiler and the
+Shark→RDD compiler without conversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StackExecutionError
+
+__all__ = ["Schema", "Relation"]
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered set of column names."""
+
+    columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise StackExecutionError("a schema needs at least one column")
+        if len(set(self.columns)) != len(self.columns):
+            raise StackExecutionError(f"duplicate column names: {self.columns}")
+
+    def index(self, name: str) -> int:
+        """Position of column ``name``.
+
+        Raises:
+            StackExecutionError: If the column does not exist.
+        """
+        try:
+            return self.columns.index(name)
+        except ValueError:
+            raise StackExecutionError(
+                f"unknown column {name!r}; schema has {self.columns}"
+            ) from None
+
+    def project(self, names: tuple[str, ...]) -> "Schema":
+        """Schema of a projection onto ``names`` (validates existence)."""
+        for name in names:
+            self.index(name)
+        return Schema(tuple(names))
+
+    def concat(self, other: "Schema", prefix_left: str = "l_", prefix_right: str = "r_") -> "Schema":
+        """Schema of a join/cross product; collisions get side prefixes."""
+        left = list(self.columns)
+        right = []
+        for name in other.columns:
+            if name in left:
+                right.append(prefix_right + name)
+            else:
+                right.append(name)
+        renamed_left = [
+            prefix_left + name if name in other.columns else name for name in left
+        ]
+        return Schema(tuple(renamed_left + right))
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+
+@dataclass
+class Relation:
+    """A named table: a schema plus tuple rows.
+
+    Raises:
+        StackExecutionError: If any row's arity mismatches the schema.
+    """
+
+    name: str
+    schema: Schema
+    rows: list[tuple]
+
+    def __post_init__(self) -> None:
+        width = len(self.schema)
+        for row in self.rows:
+            if len(row) != width:
+                raise StackExecutionError(
+                    f"relation {self.name!r}: row arity {len(row)} != schema "
+                    f"width {width}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.rows)

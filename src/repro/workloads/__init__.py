@@ -1,0 +1,42 @@
+"""The 32 BigDataBench workloads of Table I."""
+
+from repro.workloads.base import (
+    Category,
+    DataType,
+    RunContext,
+    StackFamily,
+    Workload,
+    WorkloadRun,
+)
+from repro.workloads.extensions import EXTENSION_WORKLOADS
+from repro.workloads.micro import GREP_PATTERN, MICRO_WORKLOADS
+from repro.workloads.ml import ML_WORKLOADS
+from repro.workloads.sql_workloads import QUERIES, SQL_WORKLOADS, build_tables
+from repro.workloads.suite import (
+    SUITE,
+    hadoop_workloads,
+    spark_workloads,
+    workload_by_name,
+    workload_names,
+)
+
+__all__ = [
+    "Category",
+    "DataType",
+    "RunContext",
+    "StackFamily",
+    "Workload",
+    "WorkloadRun",
+    "EXTENSION_WORKLOADS",
+    "GREP_PATTERN",
+    "MICRO_WORKLOADS",
+    "ML_WORKLOADS",
+    "QUERIES",
+    "SQL_WORKLOADS",
+    "build_tables",
+    "SUITE",
+    "hadoop_workloads",
+    "spark_workloads",
+    "workload_by_name",
+    "workload_names",
+]

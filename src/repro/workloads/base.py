@@ -1,0 +1,142 @@
+"""Workload definitions: the vocabulary of the 32-workload suite.
+
+Each of the 16 Table I algorithms is implemented twice — once on the
+Hadoop family (Hadoop proper, or Hive for the interactive analytics) and
+once on the Spark family (Spark proper, or Shark) — yielding the 32
+``H-*`` / ``S-*`` workloads the paper characterizes.  A
+:class:`Workload` bundles the runner (which really executes the
+algorithm on BDGS data and returns the execution trace) with its Table I
+metadata and algorithmic character hints.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+from repro.stacks.base import ExecutionTrace
+from repro.stacks.instrument import CharacterHints
+
+__all__ = [
+    "Category",
+    "DataType",
+    "StackFamily",
+    "RunContext",
+    "WorkloadRun",
+    "Workload",
+    "GiB",
+]
+
+GiB = 1 << 30
+
+
+class Category(enum.Enum):
+    """Table I workload categories."""
+
+    OFFLINE_ANALYTICS = "offline analytics"
+    INTERACTIVE_ANALYTICS = "interactive analytics"
+
+
+class DataType(enum.Enum):
+    """Table I data types."""
+
+    UNSTRUCTURED = "unstructured"
+    SEMI_STRUCTURED = "semi-structured"
+    STRUCTURED = "structured"
+
+
+class StackFamily(enum.Enum):
+    """The two stack families being compared."""
+
+    HADOOP = "hadoop"  # Hadoop proper, or Hive-over-Hadoop
+    SPARK = "spark"  # Spark proper, or Shark-over-Spark
+
+    @property
+    def prefix(self) -> str:
+        """The paper's workload-name prefix (H- / S-)."""
+        return "H" if self is StackFamily.HADOOP else "S"
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Execution parameters handed to every workload runner.
+
+    Attributes:
+        scale: Linear multiplier on the scaled-down input sizes (1 is the
+            default test/bench scale).
+        seed: Master seed for data generation (runners derive sub-seeds).
+    """
+
+    scale: float = 1.0
+    seed: int = 42
+
+    def records(self, base: int) -> int:
+        """Scaled record count (at least 8 so tiny scales stay runnable)."""
+        return max(8, int(base * self.scale))
+
+
+@dataclass(frozen=True)
+class WorkloadRun:
+    """What a runner returns: the trace plus correctness evidence.
+
+    Attributes:
+        trace: The engine execution trace (input to instrumentation).
+        output_records: Size of the workload's output.
+        checks: Named correctness facts the runner verified internally
+            (e.g. ``{"sorted": 1.0, "accuracy": 0.91}``); tests assert on
+            these and on independent recomputation.
+    """
+
+    trace: ExecutionTrace
+    output_records: int
+    checks: dict[str, float] = field(default_factory=dict)
+
+
+Runner = Callable[[RunContext], WorkloadRun]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One of the 32 suite workloads.
+
+    Attributes:
+        algorithm: Table I algorithm name ("Sort", "JoinQuery", ...).
+        family: Stack family (determines the H-/S- prefix).
+        category: Offline or interactive analytics.
+        data_type: Table I data type.
+        declared_size: The paper's problem-size string ("80 GB", "224
+            vertices", ...), kept as metadata.
+        declared_bytes: The problem size in bytes (estimated for record-
+            or vertex-denominated sizes).  The instrumentation layer uses
+            the declared-to-actual ratio to scale footprint models, so
+            footprint-dependent effects survive the scale-down.
+        runner: Executes the workload and returns its trace.
+        hints: Algorithm-level character for the instrumentation layer.
+    """
+
+    algorithm: str
+    family: StackFamily
+    category: Category
+    data_type: DataType
+    declared_size: str
+    runner: Runner
+    hints: CharacterHints = field(default_factory=CharacterHints)
+    declared_bytes: int = 50 * GiB
+
+    @property
+    def name(self) -> str:
+        """The paper's workload label, e.g. ``H-Sort`` / ``S-PageRank``."""
+        return f"{self.family.prefix}-{self.algorithm}"
+
+    def run(self, context: RunContext | None = None) -> WorkloadRun:
+        """Execute the workload.
+
+        Raises:
+            WorkloadError: If the runner returns an empty trace.
+        """
+        run = self.runner(context or RunContext())
+        if not run.trace.records:
+            raise WorkloadError(f"{self.name}: runner produced an empty trace")
+        return run

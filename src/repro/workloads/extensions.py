@@ -1,0 +1,244 @@
+"""Extension workloads beyond the paper's 32.
+
+Section VI-C notes that "the state-of-art workloads and software stacks
+will be integrated into ... BigDataBench" over time.  This module shows
+what integrating new workloads into the characterization looks like: two
+additional algorithms (inverted-index construction and a connected-
+components iteration), each implemented on both stack families, with the
+same self-checking discipline as the core suite.
+
+These workloads are *not* part of :data:`repro.workloads.suite.SUITE`
+(the paper's experiment is exactly 32 workloads); they are characterized
+on demand, e.g. to ask whether the representative subset still covers a
+new application (see ``examples/custom_workload.py``).
+"""
+
+from __future__ import annotations
+
+from repro.datagen import Bdgs
+from repro.stacks.hadoop import HadoopStack
+from repro.stacks.hdfs import Hdfs
+from repro.stacks.instrument import CharacterHints
+from repro.stacks.mapreduce import MapReduceJob
+from repro.stacks.spark import SparkEngine
+from repro.workloads.base import (
+    Category,
+    DataType,
+    RunContext,
+    StackFamily,
+    Workload,
+    WorkloadRun,
+)
+
+__all__ = ["EXTENSION_WORKLOADS"]
+
+_DOC_LINES = 1200
+_CC_VERTICES = 220
+_CC_ITERATIONS = 5
+
+
+# ---------------------------------------------------------------------------
+# Inverted index (search-engine indexing; word -> sorted posting list)
+# ---------------------------------------------------------------------------
+
+
+def _postings_sorted(output) -> bool:
+    return all(list(postings) == sorted(postings) for _w, postings in output)
+
+
+def _inverted_index_hadoop(context: RunContext) -> WorkloadRun:
+    bdgs = Bdgs(seed=context.seed)
+    docs = list(enumerate(bdgs.text_lines(context.records(_DOC_LINES))))
+    stack = HadoopStack()
+    stack.hdfs.put("/input/invidx", docs)
+    trace = stack.new_trace("H-InvertedIndex")
+    job = MapReduceJob(
+        name="inverted-index",
+        mapper=lambda pair: [(word, pair[0]) for word in set(pair[1].split())],
+        reducer=lambda word, doc_ids: [(word, tuple(sorted(doc_ids)))],
+    )
+    output = stack.run(job, "/input/invidx", trace)
+    return WorkloadRun(
+        trace=trace,
+        output_records=len(output),
+        checks={"postings_sorted": float(_postings_sorted(output))},
+    )
+
+
+def _inverted_index_spark(context: RunContext) -> WorkloadRun:
+    bdgs = Bdgs(seed=context.seed)
+    docs = list(enumerate(bdgs.text_lines(context.records(_DOC_LINES))))
+    hdfs = Hdfs()
+    hdfs.put("/input/invidx", docs)
+    engine = SparkEngine()
+    trace = engine.new_trace("S-InvertedIndex")
+    output = (
+        engine.from_hdfs(hdfs, "/input/invidx")
+        .flat_map(lambda pair: [(word, pair[0]) for word in set(pair[1].split())])
+        .group_by_key()
+        .map(lambda kv: (kv[0], tuple(sorted(kv[1]))))
+        .collect(trace)
+    )
+    return WorkloadRun(
+        trace=trace,
+        output_records=len(output),
+        checks={"postings_sorted": float(_postings_sorted(output))},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Connected components (label propagation on an undirected view)
+# ---------------------------------------------------------------------------
+
+
+def _cc_reference(n: int, edges) -> int:
+    """Union-find ground truth for the component count."""
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for a, b in edges:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+    return len({find(v) for v in range(n)})
+
+
+def _cc_edges(context: RunContext):
+    bdgs = Bdgs(seed=context.seed)
+    graph = bdgs.graph(context.records(_CC_VERTICES))
+    # Undirected view: both directions for propagation.
+    edges = list(graph.edges)
+    return graph.num_vertices, edges
+
+
+def _cc_check(n: int, edges, labels: dict[int, int]) -> dict[str, float]:
+    components = len(set(labels.values()))
+    expected = _cc_reference(n, edges)
+    consistent = all(labels[a] == labels[b] for a, b in edges)
+    return {
+        "labels_consistent": float(consistent),
+        "component_count_correct": float(components == expected),
+        "components": float(components),
+    }
+
+
+def _connected_components_hadoop(context: RunContext) -> WorkloadRun:
+    n, edges = _cc_edges(context)
+    undirected = edges + [(b, a) for a, b in edges]
+    adjacency: dict[int, list[int]] = {v: [] for v in range(n)}
+    for a, b in undirected:
+        adjacency[a].append(b)
+    records = [(v, (tuple(adjacency[v]), v)) for v in range(n)]
+    stack = HadoopStack()
+    stack.hdfs.put("/input/cc", records)
+    trace = stack.new_trace("H-ConnectedComponents")
+
+    def mapper(record):
+        vertex, (neighbours, label) = record
+        pairs = [(vertex, ("A", neighbours)), (vertex, ("L", label))]
+        pairs.extend((other, ("L", label)) for other in neighbours)
+        return pairs
+
+    def reducer(vertex, values):
+        neighbours: tuple = ()
+        best = vertex
+        for tag, payload in values:
+            if tag == "A":
+                neighbours = payload
+            else:
+                best = min(best, payload)
+        return [(vertex, (neighbours, best))]
+
+    jobs = [
+        MapReduceJob(name=f"cc-{i}", mapper=mapper, reducer=reducer)
+        for i in range(_CC_ITERATIONS * 2)
+    ]
+    output = stack.run_chain(jobs, "/input/cc", trace, workload="cc")
+    labels = {vertex: label for vertex, (_adj, label) in output}
+    return WorkloadRun(
+        trace=trace,
+        output_records=len(labels),
+        checks=_cc_check(n, edges, labels),
+    )
+
+
+def _connected_components_spark(context: RunContext) -> WorkloadRun:
+    n, edges = _cc_edges(context)
+    undirected = edges + [(b, a) for a, b in edges]
+    hdfs = Hdfs()
+    hdfs.put("/input/cc", undirected)
+    engine = SparkEngine()
+    trace = engine.new_trace("S-ConnectedComponents")
+    edge_rdd = engine.from_hdfs(hdfs, "/input/cc").cache()
+    labels = engine.parallelize([(v, v) for v in range(n)])
+
+    for _iteration in range(_CC_ITERATIONS * 2):
+        propagated = edge_rdd.join(labels).map(
+            lambda kv: (kv[1][0], kv[1][1])  # (dst, src_label)
+        )
+        labels = (
+            labels.union(propagated)
+            .reduce_by_key(min)
+        )
+    final = dict(labels.collect(trace))
+    return WorkloadRun(
+        trace=trace,
+        output_records=len(final),
+        checks=_cc_check(n, edges, final),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_INDEX_HINTS = CharacterHints(integer_shift=0.05, branch_entropy_shift=0.05)
+_CC_HINTS = CharacterHints(integer_shift=0.04, working_set_factor=1.3)
+
+EXTENSION_WORKLOADS: tuple[Workload, ...] = (
+    Workload(
+        algorithm="InvertedIndex",
+        family=StackFamily.HADOOP,
+        category=Category.OFFLINE_ANALYTICS,
+        data_type=DataType.UNSTRUCTURED,
+        declared_size="60 GB",
+        declared_bytes=60 * (1 << 30),
+        runner=_inverted_index_hadoop,
+        hints=_INDEX_HINTS,
+    ),
+    Workload(
+        algorithm="InvertedIndex",
+        family=StackFamily.SPARK,
+        category=Category.OFFLINE_ANALYTICS,
+        data_type=DataType.UNSTRUCTURED,
+        declared_size="60 GB",
+        declared_bytes=60 * (1 << 30),
+        runner=_inverted_index_spark,
+        hints=_INDEX_HINTS,
+    ),
+    Workload(
+        algorithm="ConnectedComponents",
+        family=StackFamily.HADOOP,
+        category=Category.OFFLINE_ANALYTICS,
+        data_type=DataType.UNSTRUCTURED,
+        declared_size="2^22 vertices",
+        declared_bytes=(1 << 22) * 100,
+        runner=_connected_components_hadoop,
+        hints=_CC_HINTS,
+    ),
+    Workload(
+        algorithm="ConnectedComponents",
+        family=StackFamily.SPARK,
+        category=Category.OFFLINE_ANALYTICS,
+        data_type=DataType.UNSTRUCTURED,
+        declared_size="2^22 vertices",
+        declared_bytes=(1 << 22) * 100,
+        runner=_connected_components_spark,
+        hints=_CC_HINTS,
+    ),
+)

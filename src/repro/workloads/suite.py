@@ -1,0 +1,52 @@
+"""The 32-workload BigDataBench subset of Table I.
+
+Assembles the full suite — 16 algorithms × {Hadoop family, Spark family}
+— and provides lookup by the paper's ``H-``/``S-`` workload labels.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.base import StackFamily, Workload
+from repro.workloads.micro import MICRO_WORKLOADS
+from repro.workloads.ml import ML_WORKLOADS
+from repro.workloads.sql_workloads import SQL_WORKLOADS
+
+__all__ = ["SUITE", "workload_by_name", "workload_names", "hadoop_workloads", "spark_workloads"]
+
+#: All 32 workloads in a stable order (micro, ML, SQL; H before S).
+SUITE: tuple[Workload, ...] = MICRO_WORKLOADS + ML_WORKLOADS + SQL_WORKLOADS
+
+_BY_NAME: dict[str, Workload] = {workload.name: workload for workload in SUITE}
+
+if len(SUITE) != 32 or len(_BY_NAME) != 32:
+    raise WorkloadError(
+        f"the suite must contain exactly 32 uniquely named workloads, "
+        f"got {len(SUITE)} ({len(_BY_NAME)} unique)"
+    )
+
+
+def workload_names() -> tuple[str, ...]:
+    """All 32 workload labels in suite order."""
+    return tuple(workload.name for workload in SUITE)
+
+
+def workload_by_name(name: str) -> Workload:
+    """Look up a workload by its paper label (e.g. ``"S-PageRank"``).
+
+    Raises:
+        WorkloadError: If the label is unknown.
+    """
+    if name not in _BY_NAME:
+        raise WorkloadError(f"unknown workload {name!r}; known: {sorted(_BY_NAME)}")
+    return _BY_NAME[name]
+
+
+def hadoop_workloads() -> tuple[Workload, ...]:
+    """The 16 Hadoop-family workloads."""
+    return tuple(w for w in SUITE if w.family is StackFamily.HADOOP)
+
+
+def spark_workloads() -> tuple[Workload, ...]:
+    """The 16 Spark-family workloads."""
+    return tuple(w for w in SUITE if w.family is StackFamily.SPARK)

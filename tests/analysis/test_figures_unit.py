@@ -1,0 +1,115 @@
+"""Unit tests for the figure/table builders on synthetic suites.
+
+These run the analysis layer on a small synthetic metric matrix (no
+engine or simulator involved) so the builders' mechanics — error paths,
+shapes, renderings — are covered independently of the heavy
+characterization fixture.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    FIG5_NEGATIVE_METRICS,
+    FIG5_POSITIVE_METRICS,
+    figure1,
+    figure2_3,
+    figure4,
+    figure5,
+    figure6,
+)
+from repro.analysis.tables import table4, table5
+from repro.core.dataset import WorkloadMetricMatrix
+from repro.core.subsetting import subset_workloads
+from repro.errors import AnalysisError
+from repro.metrics.catalog import METRIC_INDEX, NUM_METRICS
+
+
+def synthetic_matrix(seed: int = 5) -> WorkloadMetricMatrix:
+    """16 H- / 16 S- synthetic workloads with a clear stack offset."""
+    rng = np.random.default_rng(seed)
+    names = []
+    rows = []
+    algorithms = [f"Algo{i}" for i in range(16)]
+    for prefix, offset in (("H-", -1.0), ("S-", +1.0)):
+        for i, algorithm in enumerate(algorithms):
+            base = rng.normal(0, 1.0, size=NUM_METRICS)
+            base[METRIC_INDEX["L3_MISS"]] += 3.0 * offset  # S higher
+            base[METRIC_INDEX["FETCH_STALL"]] -= 3.0 * offset  # H higher
+            base[METRIC_INDEX["SNOOP_HITE"]] += 2.0 * offset
+            rows.append(base + 0.3 * rng.normal(size=NUM_METRICS))
+            names.append(f"{prefix}{algorithm}")
+    values = np.array(rows)
+    values = values - values.min() + 0.1  # metrics are non-negative
+    return WorkloadMetricMatrix(workloads=tuple(names), values=values)
+
+
+@pytest.fixture(scope="module")
+def synthetic_result():
+    return subset_workloads(synthetic_matrix(), seed=0)
+
+
+def test_figure1_statistics(synthetic_result):
+    fig = figure1(synthetic_result)
+    assert 0.0 <= fig.same_stack_fraction <= 1.0
+    assert fig.hadoop_tightness > 0 and fig.spark_tightness > 0
+    assert "Figure 1" in fig.render()
+
+
+def test_figure2_3_separating_pc_finds_the_planted_offset(synthetic_result):
+    fig = figure2_3(synthetic_result)
+    # The synthetic stack offset is strong: one PC must separate stacks
+    # with the H and S means far apart along it.
+    scores = fig.scores[:, fig.separating_pc]
+    h = scores[[i for i, w in enumerate(fig.workloads) if w.startswith("H-")]]
+    s = scores[[i for i, w in enumerate(fig.workloads) if w.startswith("S-")]]
+    assert abs(h.mean() - s.mean()) > 0.8 * (h.std() + s.std()) / 2
+
+
+def test_figure4_loadings_shape(synthetic_result):
+    fig = figure4(synthetic_result)
+    assert fig.loadings.shape[0] == NUM_METRICS
+    top = fig.dominant_metrics(0, top=3)
+    assert len(top) == 3
+    assert all(isinstance(name, str) for name, _v in top)
+
+
+def test_figure5_detects_planted_directions():
+    fig = figure5(synthetic_matrix())
+    assert fig.ratios["L3_MISS"] < 1.0  # planted: S higher
+    assert fig.ratios["FETCH_STALL"] > 1.0  # planted: H higher
+    assert fig.agreement["L3_MISS"] and fig.agreement["FETCH_STALL"]
+    assert set(fig.ratios) == set(FIG5_NEGATIVE_METRICS + FIG5_POSITIVE_METRICS)
+
+
+def test_figure5_requires_both_families():
+    matrix = synthetic_matrix()
+    only_hadoop = matrix.select(
+        tuple(w for w in matrix.workloads if w.startswith("H-"))
+    )
+    with pytest.raises(AnalysisError):
+        figure5(only_hadoop)
+
+
+def test_figure6_charts_the_recommended_subset(synthetic_result):
+    fig = figure6(synthetic_result)
+    assert {d.workload for d in fig.diagrams} == set(
+        synthetic_result.representative_subset
+    )
+
+
+def test_table4_partitions_and_k7_view(synthetic_result):
+    table = table4(synthetic_result)
+    members = [w for cluster in table.clusters for w in cluster]
+    assert sorted(members) == sorted(synthetic_result.matrix.workloads)
+    k7_members = [w for cluster in table.paper_k_clusters for w in cluster]
+    assert sorted(k7_members) == sorted(synthetic_result.matrix.workloads)
+    assert len(table.paper_k_clusters) == 7
+    assert "Table IV" in table.render()
+
+
+def test_table5_policies_differ_or_tie(synthetic_result):
+    table = table5(synthetic_result)
+    assert table.farthest_max_linkage >= table.nearest_max_linkage
+    assert "Table V" in table.render()
+    assert len(table.nearest) == len(table.farthest)

@@ -1,0 +1,32 @@
+"""Tests for the Observations 1-9 scoring."""
+
+import pytest
+
+from repro.analysis.observations import evaluate_observations
+
+
+@pytest.fixture(scope="module")
+def observations(experiment):
+    return evaluate_observations(experiment)
+
+
+def test_nine_observations(observations):
+    assert [o.number for o in observations] == list(range(1, 10))
+
+
+def test_at_least_eight_hold(observations):
+    holding = [o.number for o in observations if o.holds]
+    assert len(holding) >= 8, f"holding: {holding}"
+
+
+def test_core_stack_impact_observations_hold(observations):
+    by_number = {o.number: o for o in observations}
+    # The headline findings must hold, not merely a majority.
+    for number in (1, 5, 6, 7, 8, 9):
+        assert by_number[number].holds, by_number[number].render()
+
+
+def test_render_mentions_paper_and_measurement(observations):
+    text = observations[0].render()
+    assert "paper:" in text and "measured:" in text
+    assert "Observation 1" in text

@@ -1,0 +1,85 @@
+"""Tests for the report writer and the CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import write_report
+from repro.cli import main
+from repro.core.dataset import WorkloadMetricMatrix
+
+
+class TestReport:
+    def test_report_bundle_contents(self, experiment, tmp_path):
+        out = write_report(experiment, tmp_path / "report")
+        assert (out / "report.md").exists()
+        assert (out / "metrics.json").exists()
+        assert (out / "metrics.csv").exists()
+        assert (out / "subset.json").exists()
+
+    def test_report_md_has_summary_and_figures(self, experiment, tmp_path):
+        out = write_report(experiment, tmp_path / "report")
+        text = (out / "report.md").read_text()
+        assert "Kaiser PCs retained" in text
+        assert "Figure 5" in text
+        assert "Table V" in text
+
+    def test_metrics_json_roundtrips(self, experiment, tmp_path):
+        out = write_report(experiment, tmp_path / "report")
+        loaded = WorkloadMetricMatrix.load(out / "metrics.json")
+        assert loaded.workloads == experiment.result.matrix.workloads
+        assert np.allclose(loaded.values, experiment.result.matrix.values)
+
+    def test_metrics_csv_shape(self, experiment, tmp_path):
+        out = write_report(experiment, tmp_path / "report")
+        lines = (out / "metrics.csv").read_text().strip().splitlines()
+        assert len(lines) == 33  # header + 32 workloads
+        assert lines[0].startswith("workload,LOAD,")
+
+    def test_subset_json_structure(self, experiment, tmp_path):
+        out = write_report(experiment, tmp_path / "report")
+        payload = json.loads((out / "subset.json").read_text())
+        names = [rep["workload"] for rep in payload["representatives"]]
+        assert tuple(names) == experiment.result.representative_subset
+        assert payload["clusters_k"] == experiment.result.clustering.k
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "H-Sort" in out and "S-SelectQuery" in out
+        assert out.count("\n") >= 33
+
+    def test_run_workload(self, capsys):
+        assert main(["run", "S-Grep", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "matches_correct = 1.0" in out
+
+    def test_run_unknown_workload(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            main(["run", "H-Nope"])
+
+    def test_characterize(self, capsys):
+        code = main(
+            [
+                "characterize",
+                "H-Grep",
+                "--scale",
+                "0.2",
+                "--cores",
+                "2",
+                "--ops",
+                "1500",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "L3_MISS" in out and "FP_TO_MEM" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,198 @@
+"""Reproduction-property tests: the paper's findings must hold.
+
+These tests run the whole system — workloads on both stacks, the
+simulated cluster, the perf layer, and the statistical pipeline — and
+assert the *shape* results of the paper's evaluation section
+(Observations 1-9, the PC structure, and the subsetting conclusions).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import FIG5_NEGATIVE_METRICS, FIG5_POSITIVE_METRICS
+
+
+@pytest.fixture(scope="module")
+def matrix(suite_characterization):
+    return suite_characterization.matrix
+
+
+@pytest.fixture(scope="module")
+def result(experiment):
+    return experiment.result
+
+
+def _stack_rows(matrix, prefix):
+    return [i for i, w in enumerate(matrix.workloads) if w.startswith(prefix)]
+
+
+class TestSectionV_A:
+    """Observations 1-5: stack impact on similarity structure."""
+
+    def test_obs1_first_iteration_merges_mostly_same_stack(self, experiment):
+        # Paper: 80 % of first-iteration clusters are same-stack pairs.
+        assert experiment.fig1.same_stack_fraction >= 0.6
+
+    def test_obs2_same_algorithm_rarely_pairs_across_stacks(self, experiment):
+        # Paper: only Projection pairs its H-/S- variants in iteration one.
+        assert len(experiment.fig1.same_algorithm_pairs) <= 2
+
+    def test_obs5_hadoop_family_clusters_tighter_than_spark(self, experiment):
+        assert experiment.fig1.hadoop_tightness < experiment.fig1.spark_tightness
+
+
+class TestSectionV_B:
+    """PC-space structure (Figures 2-4)."""
+
+    def test_kaiser_retains_several_pcs_with_high_variance(self, result):
+        # Paper: 8 PCs covering 91.12 %.  Band: 4-10 PCs, >= 80 %.
+        assert 4 <= result.pca.n_kept <= 10
+        assert result.pca.retained_variance >= 0.80
+
+    def test_spark_spreads_wider_than_hadoop_in_pc_space(self, experiment):
+        fig = experiment.fig2_3
+        # Across the first four PCs, Spark's total spread exceeds Hadoop's.
+        assert fig.spark_spread[:4].sum() > fig.hadoop_spread[:4].sum()
+
+    def test_some_pc_separates_the_stacks(self, experiment):
+        fig = experiment.fig2_3
+        assert 0 <= fig.separating_pc < experiment.result.pca.n_kept
+
+    def test_factor_loadings_bounded_by_eigen_scale(self, experiment):
+        loadings = experiment.fig4.loadings
+        assert np.all(np.abs(loadings) <= np.sqrt(45) + 1e-9)
+
+
+class TestSectionV_C:
+    """Figure 5: metrics differentiating Hadoop and Spark."""
+
+    def test_most_fig5_directions_match_the_paper(self, experiment):
+        assert experiment.fig5.agreement_fraction >= 0.8
+
+    def test_obs6_spark_has_more_l3_misses(self, matrix):
+        h, s = _stack_rows(matrix, "H-"), _stack_rows(matrix, "S-")
+        assert matrix.column("L3_MISS")[s].mean() > matrix.column("L3_MISS")[h].mean()
+
+    def test_obs7_hadoop_more_stlb_hits_fewer_dtlb_misses(self, matrix):
+        h, s = _stack_rows(matrix, "H-"), _stack_rows(matrix, "S-")
+        assert (
+            matrix.column("DATA_HIT_STLB")[h].mean()
+            > matrix.column("DATA_HIT_STLB")[s].mean()
+        )
+        assert matrix.column("DTLB_MISS")[h].mean() < matrix.column("DTLB_MISS")[s].mean()
+
+    def test_obs7_stlb_hit_rates_bracket_the_paper(self, experiment):
+        # Paper: Hadoop 61.48 % vs Spark 50.80 % — ours must keep the order.
+        assert (
+            experiment.fig5.hadoop_stlb_hit_rate
+            > experiment.fig5.spark_stlb_hit_rate
+        )
+
+    def test_obs8_hadoop_frontend_spark_backend(self, matrix):
+        h, s = _stack_rows(matrix, "H-"), _stack_rows(matrix, "S-")
+        assert (
+            matrix.column("FETCH_STALL")[h].mean()
+            > matrix.column("FETCH_STALL")[s].mean()
+        )
+        assert (
+            matrix.column("RESOURCE_STALL")[s].mean()
+            > matrix.column("RESOURCE_STALL")[h].mean()
+        )
+
+    def test_obs8_hadoop_l1i_mpki_about_30_percent_higher(self, experiment):
+        # Paper: "about 30 % higher ... on average".  Band: 5 %-80 %.
+        assert 1.05 <= experiment.fig5.l1i_ratio <= 1.8
+
+    def test_obs9_spark_has_more_snoop_traffic(self, matrix):
+        h, s = _stack_rows(matrix, "H-"), _stack_rows(matrix, "S-")
+        for name in ("SNOOP_HIT", "SNOOP_HITE", "SNOOP_HITM"):
+            assert matrix.column(name)[s].mean() > matrix.column(name)[h].mean(), name
+
+
+class TestSectionVI:
+    """Subsetting: Tables IV and V, Figure 6."""
+
+    def test_bic_chooses_a_moderate_k(self, result):
+        # Paper: K = 7 of 32.  Band: 5-13 (cluster structure is
+        # data-dependent; see EXPERIMENTS.md).
+        assert 5 <= result.bic.best_k <= 13
+
+    def test_clusters_partition_the_suite(self, experiment):
+        members = [w for cluster in experiment.tab4.clusters for w in cluster]
+        assert sorted(members) == sorted(experiment.result.matrix.workloads)
+
+    def test_forced_k7_view_exists(self, experiment):
+        assert len(experiment.tab4.paper_k_clusters) == 7
+
+    def test_representatives_cover_both_stacks(self, result):
+        subset = result.representative_subset
+        assert any(w.startswith("H-") for w in subset)
+        assert any(w.startswith("S-") for w in subset)
+
+    def test_farthest_subset_at_least_as_diverse(self, experiment):
+        assert experiment.tab5.farthest_is_more_diverse
+
+    def test_kmeans_outliers_include_a_kmeans_workload(self, result):
+        # The paper's boundary subset keeps the K-means workloads (its
+        # most extreme points); ours must single at least one of them out.
+        assert {"H-Kmeans", "S-Kmeans"} & set(result.representative_subset)
+
+    def test_kiviat_diagrams_cover_the_subset(self, experiment):
+        charted = {d.workload for d in experiment.fig6.diagrams}
+        assert charted == set(experiment.result.representative_subset)
+
+    def test_kiviat_dominant_axes_are_diverse(self, experiment):
+        # "Different workloads are dominated by different PCs."
+        assert len(set(experiment.fig6.dominant_axes.values())) >= 2
+
+
+class TestRendering:
+    def test_every_figure_and_table_renders(self, experiment):
+        for section in (
+            experiment.fig1,
+            experiment.fig2_3,
+            experiment.fig4,
+            experiment.fig5,
+            experiment.fig6,
+            experiment.tab4,
+            experiment.tab5,
+        ):
+            text = section.render()
+            assert isinstance(text, str) and len(text) > 50
+
+    def test_full_report_mentions_all_sections(self, experiment):
+        report = experiment.render()
+        for marker in ("Figure 1", "Figure 4", "Figure 5", "Table IV", "Table V"):
+            assert marker in report
+
+    def test_report_names_all_32_workloads(self, experiment):
+        report = experiment.render()
+        for workload in experiment.result.matrix.workloads:
+            assert workload in report
+
+
+class TestAbstractClaims:
+    """The abstract's headline: which metrics differentiate the stacks."""
+
+    def test_important_metrics_dominate_the_separating_pc(self, experiment):
+        """Abstract: "the L3 cache miss rate, instruction fetch stalls,
+        data TLB behaviors, and snoop responses are the most important
+        metrics in differentiating Hadoop-based and Spark-based
+        workloads" — those metric families must rank high in the
+        loadings of the stack-separating PC."""
+        import numpy as np
+
+        pc = experiment.fig2_3.separating_pc
+        loadings = experiment.fig4.loadings[:, pc]
+        names = experiment.fig4.metric_names
+        ranked = [names[i] for i in np.argsort(-np.abs(loadings))]
+        top = set(ranked[:15])
+
+        families = {
+            "L3": {"L3_MISS", "L3_HIT", "LOAD_LLC_MISS", "LOAD_HIT_L3"},
+            "fetch": {"FETCH_STALL", "L1I_MISS", "L1I_HIT", "ITLB_MISS", "ITLB_CYCLE"},
+            "dtlb": {"DTLB_MISS", "DTLB_CYCLE", "DATA_HIT_STLB"},
+            "snoop": {"SNOOP_HIT", "SNOOP_HITE", "SNOOP_HITM"},
+        }
+        present = {name for name, members in families.items() if members & top}
+        assert len(present) >= 3, (present, ranked[:15])

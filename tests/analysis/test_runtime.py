@@ -1,0 +1,77 @@
+"""Tests for the user-observed runtime model."""
+
+import pytest
+
+from repro.analysis.runtime import RuntimeEstimate, estimate_runtime
+from repro.cluster import Cluster, MeasurementConfig
+from repro.errors import AnalysisError
+from repro.workloads import RunContext, workload_by_name
+
+_CTX = RunContext(scale=0.25, seed=13)
+_FAST = MeasurementConfig(slaves_measured=1, active_cores=2, ops_per_core=1500)
+
+
+@pytest.fixture(scope="module")
+def estimates():
+    cluster = Cluster()
+    result = {}
+    for name in ("H-Kmeans", "S-Kmeans", "H-Grep", "S-Grep"):
+        workload = workload_by_name(name)
+        characterization = cluster.characterize_workload(workload, _CTX, _FAST)
+        result[name] = estimate_runtime(workload, characterization)
+    return result
+
+
+def test_components_are_nonnegative(estimates):
+    for estimate in estimates.values():
+        assert estimate.compute_s >= 0
+        assert estimate.disk_s >= 0
+        assert estimate.network_s >= 0
+        assert estimate.startup_s >= 0
+        assert estimate.total_s == pytest.approx(
+            estimate.compute_s
+            + estimate.disk_s
+            + estimate.network_s
+            + estimate.startup_s
+        )
+
+
+def test_spark_pays_no_jvm_launches(estimates):
+    assert estimates["S-Kmeans"].startup_s == 0.0
+    assert estimates["H-Kmeans"].startup_s > 0.0
+
+
+def test_iterative_hadoop_pays_repeated_disk_round_trips(estimates):
+    # H-Kmeans re-reads its input every iteration; S-Kmeans scans the
+    # cached RDD (memory) after the first pass.
+    assert estimates["H-Kmeans"].disk_s > 2.0 * estimates["S-Kmeans"].disk_s
+
+
+def test_spark_is_faster_overall(estimates):
+    assert estimates["S-Kmeans"].total_s < estimates["H-Kmeans"].total_s
+    assert estimates["S-Grep"].total_s < estimates["H-Grep"].total_s
+
+
+def test_iterative_speedup_exceeds_scan_speedup(estimates):
+    kmeans = estimates["H-Kmeans"].total_s / estimates["S-Kmeans"].total_s
+    grep = estimates["H-Grep"].total_s / estimates["S-Grep"].total_s
+    assert kmeans > grep
+
+
+def test_render(estimates):
+    text = estimates["H-Kmeans"].render()
+    assert "H-Kmeans" in text and "disk" in text
+
+
+def test_zero_ipc_rejected():
+    estimate = RuntimeEstimate("w", 1.0, 1.0, 1.0, 1.0)
+    assert estimate.total_s == pytest.approx(4.0)
+    cluster = Cluster()
+    workload = workload_by_name("H-Grep")
+    characterization = cluster.characterize_workload(workload, _CTX, _FAST)
+    broken = characterization.metrics.copy()
+    broken["ILP"] = 0.0
+    from dataclasses import replace
+
+    with pytest.raises(AnalysisError):
+        estimate_runtime(workload, replace(characterization, metrics=broken))

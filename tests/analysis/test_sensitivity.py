@@ -1,0 +1,52 @@
+"""Tests for the metric-category sensitivity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensitivity import (
+    _pairwise_agreement,
+    metric_category_sensitivity,
+)
+from repro.errors import AnalysisError
+from repro.metrics.catalog import MetricCategory
+
+from tests.analysis.test_figures_unit import synthetic_matrix
+
+
+@pytest.fixture(scope="module")
+def sensitivities():
+    return metric_category_sensitivity(synthetic_matrix(), seed=0)
+
+
+def test_one_result_per_category(sensitivities):
+    assert {s.category for s in sensitivities} == set(MetricCategory)
+
+
+def test_removed_counts_match_table_ii(sensitivities):
+    total = sum(s.n_metrics_removed for s in sensitivities)
+    assert total == 45
+
+
+def test_scores_are_bounded(sensitivities):
+    for sensitivity in sensitivities:
+        assert 0.0 <= sensitivity.subset_jaccard <= 1.0
+        assert 0.0 <= sensitivity.cluster_agreement <= 1.0
+
+
+def test_render_mentions_category(sensitivities):
+    text = sensitivities[0].render()
+    assert "Jaccard" in text
+
+
+def test_pairwise_agreement_extremes():
+    same = np.array([0, 0, 1, 1])
+    assert _pairwise_agreement(same, same) == 1.0
+    relabeled = np.array([1, 1, 0, 0])  # identical partition, renamed
+    assert _pairwise_agreement(same, relabeled) == 1.0
+    crossed = np.array([0, 1, 0, 1])
+    assert _pairwise_agreement(same, crossed) < 1.0
+
+
+def test_pairwise_agreement_needs_two_points():
+    with pytest.raises(AnalysisError):
+        _pairwise_agreement(np.array([0]), np.array([0]))

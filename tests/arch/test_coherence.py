@@ -1,0 +1,107 @@
+"""Tests for the MESI snoop coherence directory."""
+
+from repro.arch.coherence import CoherenceDirectory, MesiState, SnoopResponse
+
+
+LINE = 0x1234
+
+
+def test_sole_reader_gets_exclusive():
+    directory = CoherenceDirectory(4)
+    response = directory.read_miss(0, LINE)
+    assert response is SnoopResponse.NONE
+    assert directory.state(0, LINE) is MesiState.EXCLUSIVE
+
+
+def test_second_reader_sees_hite_and_both_become_shared():
+    directory = CoherenceDirectory(4)
+    directory.read_miss(0, LINE)
+    response = directory.read_miss(1, LINE)
+    assert response is SnoopResponse.HITE
+    assert directory.state(0, LINE) is MesiState.SHARED
+    assert directory.state(1, LINE) is MesiState.SHARED
+
+
+def test_third_reader_sees_hit_on_shared_line():
+    directory = CoherenceDirectory(4)
+    directory.read_miss(0, LINE)
+    directory.read_miss(1, LINE)
+    assert directory.read_miss(2, LINE) is SnoopResponse.HIT
+
+
+def test_reader_after_writer_sees_hitm():
+    directory = CoherenceDirectory(4)
+    directory.write_miss(0, LINE)
+    assert directory.state(0, LINE) is MesiState.MODIFIED
+    response = directory.read_miss(1, LINE)
+    assert response is SnoopResponse.HITM
+    # The modified holder was downgraded to Shared (implicit write-back).
+    assert directory.state(0, LINE) is MesiState.SHARED
+
+
+def test_write_miss_invalidates_other_holders():
+    directory = CoherenceDirectory(4)
+    directory.read_miss(0, LINE)
+    directory.read_miss(1, LINE)
+    directory.write_miss(2, LINE)
+    assert directory.state(0, LINE) is None
+    assert directory.state(1, LINE) is None
+    assert directory.state(2, LINE) is MesiState.MODIFIED
+    assert directory.stats.rfo_invalidations == 2
+
+
+def test_upgrade_from_shared():
+    directory = CoherenceDirectory(4)
+    directory.read_miss(0, LINE)
+    directory.read_miss(1, LINE)
+    directory.upgrade(0, LINE)
+    assert directory.state(0, LINE) is MesiState.MODIFIED
+    assert directory.state(1, LINE) is None
+
+
+def test_silent_e_to_m_transition():
+    directory = CoherenceDirectory(4)
+    directory.read_miss(0, LINE)
+    directory.write_hit_owned(0, LINE)
+    assert directory.state(0, LINE) is MesiState.MODIFIED
+
+
+def test_eviction_removes_holder_and_garbage_collects():
+    directory = CoherenceDirectory(4)
+    directory.read_miss(0, LINE)
+    directory.evicted(0, LINE)
+    assert directory.state(0, LINE) is None
+    assert directory.tracked_lines == 0
+
+
+def test_eviction_of_unknown_line_is_noop():
+    directory = CoherenceDirectory(4)
+    directory.evicted(0, LINE)
+    assert directory.tracked_lines == 0
+
+
+def test_snoop_stats_counted():
+    directory = CoherenceDirectory(4)
+    directory.read_miss(0, LINE)
+    directory.read_miss(1, LINE)  # HITE
+    directory.read_miss(2, LINE)  # HIT
+    directory.write_miss(3, LINE)  # HIT (shared holders)
+    assert directory.stats.hite == 1
+    assert directory.stats.hit == 2
+    assert directory.stats.cache_to_cache >= 2
+
+
+def test_exclusive_holder_reacquiring_line_keeps_exclusivity():
+    directory = CoherenceDirectory(4)
+    directory.read_miss(0, LINE)
+    # The same core read-misses again (e.g. after an eviction raced).
+    response = directory.read_miss(0, LINE)
+    assert response is SnoopResponse.NONE
+
+
+def test_holders_view_is_a_copy():
+    directory = CoherenceDirectory(4)
+    directory.read_miss(0, LINE)
+    holders = directory.holders(LINE)
+    holders[0] = MesiState.MODIFIED
+    assert directory.state(0, LINE) is MesiState.EXCLUSIVE

@@ -1,0 +1,80 @@
+"""Property-based tests: MESI invariants under random operation streams."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.coherence import CoherenceDirectory, MesiState
+
+N_CORES = 4
+N_LINES = 6
+
+#: One random coherence event: (kind, core, line).
+_EVENT = st.tuples(
+    st.sampled_from(["read_miss", "write_miss", "evict"]),
+    st.integers(min_value=0, max_value=N_CORES - 1),
+    st.integers(min_value=0, max_value=N_LINES - 1),
+)
+
+
+def _apply(directory: CoherenceDirectory, event) -> None:
+    kind, core, line = event
+    if kind == "read_miss":
+        if directory.state(core, line) is None:
+            directory.read_miss(core, line)
+    elif kind == "write_miss":
+        state = directory.state(core, line)
+        if state is None:
+            directory.write_miss(core, line)
+        elif state is MesiState.SHARED:
+            directory.upgrade(core, line)
+        elif state is MesiState.EXCLUSIVE:
+            directory.write_hit_owned(core, line)
+    else:
+        directory.evicted(core, line)
+
+
+def _check_invariants(directory: CoherenceDirectory) -> None:
+    for line in range(N_LINES):
+        holders = directory.holders(line)
+        states = list(holders.values())
+        modified = states.count(MesiState.MODIFIED)
+        exclusive = states.count(MesiState.EXCLUSIVE)
+        # At most one Modified / Exclusive holder ever.
+        assert modified <= 1
+        assert exclusive <= 1
+        # M and E are exclusive states: no other holder may coexist.
+        if modified or exclusive:
+            assert len(states) == 1, (line, holders)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_EVENT, min_size=1, max_size=60))
+def test_mesi_invariants_hold_under_any_event_sequence(events):
+    directory = CoherenceDirectory(N_CORES)
+    for event in events:
+        _apply(directory, event)
+        _check_invariants(directory)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(_EVENT, min_size=1, max_size=60))
+def test_snoop_counts_are_monotonic(events):
+    directory = CoherenceDirectory(N_CORES)
+    previous = 0
+    for event in events:
+        _apply(directory, event)
+        total = directory.stats.hit + directory.stats.hite + directory.stats.hitm
+        assert total >= previous
+        previous = total
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(_EVENT, min_size=1, max_size=60))
+def test_evicting_everything_empties_the_directory(events):
+    directory = CoherenceDirectory(N_CORES)
+    for event in events:
+        _apply(directory, event)
+    for core in range(N_CORES):
+        for line in range(N_LINES):
+            directory.evicted(core, line)
+    assert directory.tracked_lines == 0

@@ -1,0 +1,147 @@
+"""Tests for the per-core simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.arch.cache import CacheConfig, SetAssociativeCache
+from repro.arch.coherence import CoherenceDirectory
+from repro.arch.core_model import CoreModel
+from repro.arch.trace import InstructionMix, PhaseProfile
+
+MIX = InstructionMix(load=0.3, store=0.1, branch=0.15, int_alu=0.35)
+
+
+def make_core(core_id: int = 0, shared=None):
+    if shared is None:
+        l3 = SetAssociativeCache(CacheConfig("L3", 12 * 1024 * 1024, 16))
+        directory = CoherenceDirectory(6)
+    else:
+        l3, directory = shared
+    return CoreModel(core_id, l3, directory), (l3, directory)
+
+
+def profile(**overrides) -> PhaseProfile:
+    defaults = dict(
+        name="p",
+        instructions=1_000_000,
+        mix=MIX,
+        code_footprint=128 * 1024,
+        data_working_set=1 << 20,
+    )
+    defaults.update(overrides)
+    return PhaseProfile(**defaults)
+
+
+def test_sample_counts_basic_consistency():
+    core, _ = make_core()
+    counts = core.run_sample(profile(), 5000, np.random.default_rng(1))
+    assert counts.instructions == 5000
+    assert counts.loads + counts.stores > 0
+    assert counts.l1i_hits + counts.l1i_misses == counts.l1i_accesses
+    # Load service levels partition L1D misses that left the core.
+    served = (
+        counts.load_hit_lfb
+        + counts.load_hit_l2
+        + counts.load_hit_sibling
+        + counts.load_hit_l3
+        + counts.load_llc_miss
+    )
+    assert served <= counts.loads
+
+
+def test_small_footprint_mostly_hits():
+    core, _ = make_core()
+    p = profile(code_footprint=4096, data_working_set=8192, hot_data_fraction=0.9)
+    core.prewarm(p)
+    core.run_sample(p, 2000, np.random.default_rng(2))  # warm
+    counts = core.run_sample(p, 5000, np.random.default_rng(3))
+    assert counts.load_llc_miss / counts.instructions < 0.01
+
+
+def test_bigger_code_footprint_more_l1i_misses():
+    small_core, _ = make_core()
+    big_core, _ = make_core()
+    rng = np.random.default_rng(4)
+    small_p = profile(code_footprint=16 * 1024)
+    big_p = profile(code_footprint=4 * 1024 * 1024)
+    small_core.prewarm(small_p)
+    big_core.prewarm(big_p)
+    small = small_core.run_sample(small_p, 8000, rng)
+    big = big_core.run_sample(big_p, 8000, np.random.default_rng(4))
+    assert big.l1i_misses > small.l1i_misses
+
+
+def test_bigger_working_set_more_dtlb_walks():
+    a_core, _ = make_core()
+    b_core, _ = make_core()
+    small = a_core.run_sample(
+        profile(data_working_set=1 << 20, hot_data_fraction=0.1,
+                data_streaming_fraction=0.1),
+        8000,
+        np.random.default_rng(5),
+    )
+    large = b_core.run_sample(
+        profile(data_working_set=256 << 20, hot_data_fraction=0.1,
+                data_streaming_fraction=0.1, data_tail_fraction=0.5),
+        8000,
+        np.random.default_rng(5),
+    )
+    assert large.dtlb_walks > small.dtlb_walks
+
+
+def test_sharing_produces_snoop_traffic():
+    core0, shared = make_core(0)
+    core1, _ = make_core(1, shared)
+    p = profile(
+        shared_fraction=0.5,
+        shared_working_set=1 << 20,
+        shared_write_fraction=0.3,
+    )
+    rng = np.random.default_rng(6)
+    core0.run_sample(p, 6000, rng)
+    counts1 = core1.run_sample(p, 6000, rng)
+    snoops = counts1.snoop_hit + counts1.snoop_hite + counts1.snoop_hitm
+    assert snoops > 0
+    assert counts1.load_hit_sibling > 0
+
+
+def test_no_sharing_no_snoops():
+    core0, shared = make_core(0)
+    core1, _ = make_core(1, shared)
+    p = profile(shared_fraction=0.0)
+    rng = np.random.default_rng(7)
+    core0.run_sample(p, 4000, rng)
+    counts1 = core1.run_sample(p, 4000, rng)
+    assert counts1.snoop_hit + counts1.snoop_hite + counts1.snoop_hitm == 0
+
+
+def test_prewarm_reduces_llc_misses():
+    cold_core, _ = make_core()
+    warm_core, _ = make_core()
+    p = profile(data_working_set=8 << 20, hot_data_fraction=0.2)
+    rng_a = np.random.default_rng(8)
+    rng_b = np.random.default_rng(8)
+    cold = cold_core.run_sample(p, 6000, rng_a)
+    warm_core.prewarm(p)
+    warm = warm_core.run_sample(p, 6000, rng_b)
+    assert warm.load_llc_miss < cold.load_llc_miss
+
+
+def test_reset_clears_private_state():
+    core, _ = make_core()
+    p = profile()
+    core.run_sample(p, 3000, np.random.default_rng(9))
+    core.reset()
+    assert core.l1d.resident_lines == 0
+    assert core.l1i.resident_lines == 0
+    assert core.l2.resident_lines == 0
+    assert core.branch.stats.predicted == 0
+
+
+def test_determinism():
+    a_core, _ = make_core()
+    b_core, _ = make_core()
+    p = profile(kernel_fraction=0.2, shared_fraction=0.1)
+    a = a_core.run_sample(p, 5000, np.random.default_rng(10))
+    b = b_core.run_sample(p, 5000, np.random.default_rng(10))
+    assert vars(a) == vars(b)

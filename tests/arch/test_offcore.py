@@ -1,0 +1,42 @@
+"""Tests for offcore request classification."""
+
+import pytest
+
+from repro.arch.offcore import OffcoreCounters
+
+
+def test_empty_counters_have_zero_shares():
+    counters = OffcoreCounters()
+    assert counters.total == 0
+    assert counters.shares() == {
+        "data": 0.0,
+        "code": 0.0,
+        "rfo": 0.0,
+        "writeback": 0.0,
+    }
+
+
+def test_shares_sum_to_one():
+    counters = OffcoreCounters()
+    for _ in range(6):
+        counters.record_data_read()
+    for _ in range(2):
+        counters.record_code_read()
+    counters.record_rfo()
+    counters.record_writeback()
+    shares = counters.shares()
+    assert sum(shares.values()) == pytest.approx(1.0)
+    assert shares["data"] == pytest.approx(0.6)
+    assert shares["code"] == pytest.approx(0.2)
+    assert counters.total == 10
+
+
+def test_individual_recorders():
+    counters = OffcoreCounters()
+    counters.record_data_read()
+    counters.record_rfo()
+    counters.record_rfo()
+    assert counters.data_reads == 1
+    assert counters.rfo == 2
+    assert counters.code_reads == 0
+    assert counters.writebacks == 0

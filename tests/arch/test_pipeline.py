@@ -1,0 +1,109 @@
+"""Tests for the cycle-accounting / stall model."""
+
+import pytest
+
+from repro.arch.pipeline import CycleModel, Latencies, SampleCounts
+
+
+def counts(**overrides) -> SampleCounts:
+    base = SampleCounts(instructions=10_000, loads=2500, stores=1000)
+    for name, value in overrides.items():
+        setattr(base, name, value)
+    return base
+
+
+def test_base_cycles_from_issue_width():
+    model = CycleModel()
+    accounting = model.account(counts(), uops_per_instruction=1.0)
+    assert accounting.base_issue == pytest.approx(10_000 / 4)
+
+
+def test_more_llc_misses_mean_more_cycles():
+    model = CycleModel()
+    low = model.account(counts(load_llc_miss=10), 1.3)
+    high = model.account(counts(load_llc_miss=500), 1.3)
+    assert high.cycles > low.cycles
+    assert high.resource_stall > low.resource_stall
+
+
+def test_icache_misses_raise_fetch_stalls_not_resource_stalls():
+    model = CycleModel()
+    base = model.account(counts(), 1.3)
+    frontend = model.account(counts(icache_l3_hits=500), 1.3)
+    assert frontend.fetch_stall > base.fetch_stall
+    assert frontend.resource_stall == pytest.approx(base.resource_stall)
+
+
+def test_mlp_overlap_reduces_backend_penalty():
+    model = CycleModel()
+    serial = counts(load_llc_miss=300, mlp_sum=100.0, mlp_active=100.0)  # MLP 1
+    parallel = counts(load_llc_miss=300, mlp_sum=400.0, mlp_active=100.0)  # MLP 4
+    assert (
+        model.account(parallel, 1.3).resource_stall
+        < model.account(serial, 1.3).resource_stall
+    )
+
+
+def test_branch_mispredictions_add_flush_cycles():
+    model = CycleModel()
+    base = model.account(counts(), 1.3)
+    flushed = model.account(counts(branch_mispredicts=200), 1.3)
+    assert flushed.flush == pytest.approx(200 * Latencies().branch_flush)
+    assert flushed.cycles > base.cycles
+
+
+def test_uop_expansion_creates_rat_stalls():
+    model = CycleModel()
+    lean = model.account(counts(), 1.0)
+    cracked = model.account(counts(), 1.6)
+    assert cracked.rat_stall > lean.rat_stall
+    assert cracked.uops_retired == pytest.approx(16_000)
+
+
+def test_backpressure_couples_into_decode_stalls():
+    model = CycleModel()
+    relaxed = model.account(counts(), 1.3)
+    pressured = model.account(counts(load_llc_miss=800), 1.3)
+    assert pressured.ild_stall > relaxed.ild_stall
+    assert pressured.decoder_stall > relaxed.decoder_stall
+
+
+def test_exe_and_stall_cycles_partition_total():
+    model = CycleModel()
+    accounting = model.account(counts(load_llc_miss=100, branch_mispredicts=50), 1.3)
+    assert accounting.uops_exe_cycles + accounting.uops_stall_cycles == pytest.approx(
+        accounting.cycles
+    )
+    assert accounting.uops_stall_cycles <= 0.95 * accounting.cycles + 1e-9
+
+
+def test_sample_counts_mlp_property():
+    c = SampleCounts(mlp_sum=30.0, mlp_active=10.0)
+    assert c.mlp == pytest.approx(3.0)
+    assert SampleCounts().mlp == 0.0
+
+
+def test_tlb_walk_cycles_feed_both_sides():
+    model = CycleModel()
+    base = model.account(counts(), 1.3)
+    itlb = model.account(counts(itlb_walk_cycles=5000), 1.3)
+    dtlb = model.account(counts(dtlb_walk_cycles=5000), 1.3)
+    assert itlb.fetch_stall > base.fetch_stall
+    assert dtlb.resource_stall > base.resource_stall
+
+
+def test_custom_latencies_change_the_accounting():
+    slow_memory = CycleModel(Latencies(memory=500))
+    fast_memory = CycleModel(Latencies(memory=50))
+    c = counts(load_llc_miss=200)
+    assert (
+        slow_memory.account(c, 1.3).resource_stall
+        > fast_memory.account(c, 1.3).resource_stall
+    )
+
+
+def test_wider_issue_reduces_base_cycles():
+    narrow = CycleModel(Latencies(issue_width=2))
+    wide = CycleModel(Latencies(issue_width=6))
+    c = counts()
+    assert narrow.account(c, 1.0).base_issue > wide.account(c, 1.0).base_issue

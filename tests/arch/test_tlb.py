@@ -1,0 +1,92 @@
+"""Tests for the two-level TLB hierarchy."""
+
+import pytest
+
+from repro.arch.tlb import (
+    PAGE_SIZE,
+    Tlb,
+    TlbConfig,
+    TlbHierarchy,
+    TlbOutcome,
+)
+from repro.errors import ConfigurationError
+
+
+def make_hierarchy(l1_entries=4, l1_ways=2, stlb_entries=16, stlb_ways=4):
+    stlb = Tlb(TlbConfig("STLB", stlb_entries, stlb_ways))
+    return TlbHierarchy(Tlb(TlbConfig("L1", l1_entries, l1_ways)), stlb), stlb
+
+
+class TestConfig:
+    def test_table_iii_geometries(self):
+        Tlb(TlbConfig("ITLB", 64, 4))
+        Tlb(TlbConfig("DTLB", 64, 4))
+        Tlb(TlbConfig("STLB", 512, 4))
+
+    def test_bad_geometry_raises(self):
+        with pytest.raises(ConfigurationError):
+            TlbConfig("bad", 0, 4)
+        with pytest.raises(ConfigurationError):
+            TlbConfig("bad", 10, 4)  # not divisible
+        with pytest.raises(ConfigurationError):
+            TlbConfig("bad", 24, 4)  # 6 sets: not a power of two
+
+
+class TestTranslation:
+    def test_first_translation_walks(self):
+        hierarchy, _ = make_hierarchy()
+        lookup = hierarchy.translate(0)
+        assert lookup.outcome is TlbOutcome.PAGE_WALK
+        assert lookup.walk_cycles == TlbHierarchy.PAGE_WALK_CYCLES
+
+    def test_second_translation_hits_l1(self):
+        hierarchy, _ = make_hierarchy()
+        hierarchy.translate(0)
+        lookup = hierarchy.translate(100)  # same page
+        assert lookup.outcome is TlbOutcome.L1_HIT
+        assert lookup.walk_cycles == 0
+
+    def test_l1_eviction_falls_back_to_stlb(self):
+        hierarchy, _ = make_hierarchy(l1_entries=2, l1_ways=2, stlb_entries=64, stlb_ways=4)
+        # Touch 3 pages mapping beyond L1 capacity; the first is evicted
+        # from the tiny L1 but still resident in the STLB.
+        for page in range(3):
+            hierarchy.translate(page * PAGE_SIZE)
+        lookup = hierarchy.translate(0)
+        assert lookup.outcome is TlbOutcome.STLB_HIT
+        assert lookup.walk_cycles == TlbHierarchy.STLB_FILL_CYCLES
+
+    def test_stats_accounting(self):
+        hierarchy, _ = make_hierarchy()
+        hierarchy.translate(0)
+        hierarchy.translate(0)
+        assert hierarchy.stats.walks == 1
+        assert hierarchy.stats.l1_hits == 1
+        assert hierarchy.stats.lookups == 2
+        assert hierarchy.stats.walk_cycles == TlbHierarchy.PAGE_WALK_CYCLES
+
+    def test_shared_stlb_between_instruction_and_data(self):
+        stlb = Tlb(TlbConfig("STLB", 64, 4))
+        itlb = TlbHierarchy(Tlb(TlbConfig("ITLB", 2, 2)), stlb)
+        dtlb = TlbHierarchy(Tlb(TlbConfig("DTLB", 2, 2)), stlb)
+        itlb.translate(0)  # fills the shared STLB
+        lookup = dtlb.translate(50)  # same page via the data port
+        assert lookup.outcome is TlbOutcome.STLB_HIT
+
+    def test_flush(self):
+        hierarchy, stlb = make_hierarchy()
+        hierarchy.translate(0)
+        hierarchy.l1.flush()
+        stlb.flush()
+        assert hierarchy.translate(0).outcome is TlbOutcome.PAGE_WALK
+
+
+class TestLru:
+    def test_lru_keeps_recently_used_page(self):
+        tlb = Tlb(TlbConfig("t", 2, 2))  # one set, two ways
+        tlb.fill(0)
+        tlb.fill(2)  # same set (2 % 1 == 0); both fit
+        tlb.lookup(0)  # 0 becomes MRU
+        tlb.fill(4)  # evicts 2
+        assert tlb.lookup(0) is True
+        assert tlb.lookup(2) is False

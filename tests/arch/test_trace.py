@@ -1,0 +1,199 @@
+"""Tests for phase profiles and synthetic op-stream generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.trace import (
+    HOT_REGION_BYTES,
+    KERNEL_CODE_BASE,
+    SHARED_DATA_BASE,
+    InstructionMix,
+    OpKind,
+    PhaseProfile,
+    merge_profiles,
+    synthesize_ops,
+)
+from repro.errors import ConfigurationError
+
+
+MIX = InstructionMix(load=0.25, store=0.1, branch=0.18, int_alu=0.35, fp_sse=0.02)
+
+
+def profile(**overrides) -> PhaseProfile:
+    defaults = dict(name="test", instructions=1_000_000, mix=MIX)
+    defaults.update(overrides)
+    return PhaseProfile(**defaults)
+
+
+class TestInstructionMix:
+    def test_other_fills_remainder(self):
+        assert MIX.other == pytest.approx(1 - 0.25 - 0.1 - 0.18 - 0.35 - 0.02)
+
+    def test_probabilities_sum_to_one(self):
+        total = sum(p for _kind, p in MIX.as_probabilities())
+        assert total == pytest.approx(1.0)
+
+    def test_negative_fraction_raises(self):
+        with pytest.raises(ConfigurationError):
+            InstructionMix(load=-0.1, store=0.1, branch=0.1, int_alu=0.1)
+
+    def test_oversum_raises(self):
+        with pytest.raises(ConfigurationError):
+            InstructionMix(load=0.5, store=0.5, branch=0.5, int_alu=0.5)
+
+
+class TestPhaseProfileValidation:
+    def test_zero_instructions_raises(self):
+        with pytest.raises(ConfigurationError):
+            profile(instructions=0)
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "kernel_fraction",
+            "code_locality",
+            "hot_data_fraction",
+            "data_streaming_fraction",
+            "data_tail_fraction",
+            "shared_fraction",
+            "shared_tail_fraction",
+            "shared_write_fraction",
+            "branch_entropy",
+        ],
+    )
+    def test_fraction_fields_validated(self, field):
+        with pytest.raises(ConfigurationError):
+            profile(**{field: 1.5})
+
+    def test_skews_must_be_at_least_one(self):
+        with pytest.raises(ConfigurationError):
+            profile(data_reuse_skew=0.5)
+
+    def test_uops_below_one_raises(self):
+        with pytest.raises(ConfigurationError):
+            profile(uops_per_instruction=0.9)
+
+    def test_scaled(self):
+        base = profile(instructions=1000)
+        assert base.scaled(2.5).instructions == 2500
+        assert base.scaled(1e-9).instructions == 1  # floor at one
+
+
+class TestSynthesis:
+    def test_deterministic_given_seed(self):
+        p = profile(kernel_fraction=0.2, shared_fraction=0.2)
+        a_ops, a_pcs = synthesize_ops(p, 2000, 0, np.random.default_rng(5))
+        b_ops, b_pcs = synthesize_ops(p, 2000, 0, np.random.default_rng(5))
+        assert a_ops == b_ops
+        assert a_pcs == b_pcs
+
+    def test_mix_fractions_are_respected(self):
+        ops, _ = synthesize_ops(profile(), 20_000, 0, np.random.default_rng(1))
+        loads = sum(1 for op in ops if op.kind is OpKind.LOAD)
+        branches = sum(1 for op in ops if op.kind is OpKind.BRANCH)
+        assert loads / len(ops) == pytest.approx(0.25, abs=0.03)
+        assert branches / len(ops) == pytest.approx(0.18, abs=0.03)
+
+    def test_kernel_fraction_is_respected_and_bursty(self):
+        p = profile(kernel_fraction=0.3)
+        ops, _ = synthesize_ops(p, 30_000, 0, np.random.default_rng(2))
+        kernel = [op.kernel for op in ops]
+        assert sum(kernel) / len(kernel) == pytest.approx(0.3, abs=0.1)
+        # Bursty: far fewer mode switches than a Bernoulli process would
+        # produce (expected ~2*p*(1-p)*n = 12600 switches; bursts -> few).
+        switches = sum(1 for a, b in zip(kernel, kernel[1:]) if a != b)
+        assert switches < 2000
+
+    def test_shared_fraction_targets_shared_region(self):
+        p = profile(shared_fraction=0.5, shared_working_set=1 << 20)
+        ops, _ = synthesize_ops(p, 20_000, 0, np.random.default_rng(3))
+        data_ops = [op for op in ops if op.kind in (OpKind.LOAD, OpKind.STORE)]
+        shared = [op for op in data_ops if op.shared]
+        assert len(shared) / len(data_ops) == pytest.approx(0.5, abs=0.05)
+        assert all(op.address >= SHARED_DATA_BASE for op in shared)
+
+    def test_zero_shared_fraction_never_shares(self):
+        ops, _ = synthesize_ops(
+            profile(shared_fraction=0.0), 5_000, 0, np.random.default_rng(4)
+        )
+        assert not any(op.shared for op in ops)
+
+    def test_kernel_ops_fetch_from_kernel_segment(self):
+        p = profile(kernel_fraction=1.0)
+        ops, pcs = synthesize_ops(p, 1_000, 0, np.random.default_rng(5))
+        assert all(pc >= KERNEL_CODE_BASE for pc in pcs)
+
+    def test_cores_have_disjoint_private_heaps(self):
+        p = profile(shared_fraction=0.0)
+        ops0, _ = synthesize_ops(p, 5_000, 0, np.random.default_rng(6))
+        ops1, _ = synthesize_ops(p, 5_000, 1, np.random.default_rng(6))
+        addresses0 = {op.address for op in ops0 if op.kind is OpKind.LOAD}
+        addresses1 = {op.address for op in ops1 if op.kind is OpKind.LOAD}
+        assert addresses0.isdisjoint(addresses1)
+
+    def test_branch_outcomes_biased_at_low_entropy(self):
+        p = profile(branch_entropy=0.0)
+        ops, _ = synthesize_ops(p, 20_000, 0, np.random.default_rng(7))
+        by_site: dict[int, set[bool]] = {}
+        for op in ops:
+            if op.kind is OpKind.BRANCH:
+                by_site.setdefault(op.address, set()).add(op.taken)
+        # Entropy 0 means each site is fully biased: one outcome per site.
+        assert all(len(outcomes) == 1 for outcomes in by_site.values())
+
+    def test_n_ops_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            synthesize_ops(profile(), 0, 0, np.random.default_rng(0))
+
+
+class TestMergeProfiles:
+    def test_weighted_average_by_instructions(self):
+        a = profile(instructions=1000, kernel_fraction=0.0)
+        b = profile(instructions=3000, kernel_fraction=0.4)
+        merged = merge_profiles("merged", [a, b])
+        assert merged.instructions == 4000
+        assert merged.kernel_fraction == pytest.approx(0.3)
+
+    def test_footprints_take_maximum(self):
+        a = profile(code_footprint=1 << 20, data_working_set=1 << 22)
+        b = profile(code_footprint=1 << 21, data_working_set=1 << 20)
+        merged = merge_profiles("merged", [a, b])
+        assert merged.code_footprint == 1 << 21
+        assert merged.data_working_set == 1 << 22
+
+    def test_empty_list_raises(self):
+        with pytest.raises(ConfigurationError):
+            merge_profiles("merged", [])
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n_ops=st.integers(min_value=1, max_value=3000),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_synthesis_always_produces_requested_length(n_ops, seed):
+    ops, pcs = synthesize_ops(profile(), n_ops, 0, np.random.default_rng(seed))
+    assert len(ops) == n_ops
+    assert len(pcs) == n_ops
+    assert all(op.address >= 0 for op in ops)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_synthesis_address_invariants(seed):
+    """Data addresses are 8-byte aligned; branch PCs sit in the user code
+    region; only LOAD/STORE ops carry the shared flag."""
+    from repro.arch.trace import USER_CODE_BASE
+
+    p = profile(kernel_fraction=0.3, shared_fraction=0.3)
+    ops, _pcs = synthesize_ops(p, 1500, 0, np.random.default_rng(seed))
+    for op in ops:
+        if op.kind in (OpKind.LOAD, OpKind.STORE):
+            assert op.address % 8 == 0
+        elif op.kind is OpKind.BRANCH:
+            assert op.address >= USER_CODE_BASE
+            assert not op.shared
+        else:
+            assert not op.shared

@@ -1,0 +1,42 @@
+"""Shared fixtures.
+
+The expensive artefact is the full-suite characterization; it is computed
+once per test session (and memoised inside the library as well) at a
+reduced-but-structurally-faithful measurement configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import ExperimentConfig, run_experiment
+from repro.cluster import CollectionConfig, MeasurementConfig, characterize_suite
+
+
+#: Small-but-faithful collection settings shared by the analysis tests.
+TEST_COLLECTION = CollectionConfig(
+    scale=0.35,
+    seed=42,
+    measurement=MeasurementConfig(
+        slaves_measured=1, active_cores=3, ops_per_core=3000, perf_repeats=2
+    ),
+)
+
+
+@pytest.fixture(scope="session")
+def suite_characterization():
+    """The 32×45 metric matrix of the whole suite (computed once)."""
+    return characterize_suite(config=TEST_COLLECTION)
+
+
+@pytest.fixture(scope="session")
+def experiment(suite_characterization):
+    """The full reproduction (figures + tables) at test scale."""
+    return run_experiment(ExperimentConfig(collection=TEST_COLLECTION))
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A deterministic RNG for per-test randomness."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,86 @@
+"""Tests for the Pelleg-Moore BIC (Equations 1-3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bic import bic_score, choose_k
+from repro.core.kmeans import KMeansResult, kmeans
+from repro.errors import AnalysisError
+
+
+def test_bic_matches_hand_computation():
+    """Verify Eq. 1-3 on a tiny fully-worked example."""
+    points = np.array([[0.0], [1.0], [10.0], [11.0]])
+    centers = np.array([[0.5], [10.5]])
+    labels = np.array([0, 0, 1, 1])
+    result = KMeansResult(labels=labels, centers=centers, inertia=1.0, iterations=1)
+
+    n, d, k = 4, 1, 2
+    # Eq. 3: sigma^2 = (0.25*4) / (4-2) = 0.5
+    sigma_sq = (4 * 0.25) / (n - k)
+    # Eq. 2 per cluster (R_i = 2 each):
+    li = (
+        -0.5 * 2 * math.log(2 * math.pi)
+        - 0.5 * 2 * d * math.log(sigma_sq)
+        - 0.5 * (2 - k)
+        + 2 * math.log(2)
+        - 2 * math.log(4)
+    )
+    log_likelihood = 2 * li
+    # Eq. 1: p_j = K + dK = 4 free parameters.
+    expected = log_likelihood - 0.5 * (k + d * k) * math.log(n)
+    assert bic_score(points, result) == pytest.approx(expected)
+
+
+def test_bic_prefers_true_k_on_noisy_blobs(rng):
+    centers = np.array([[0.0, 0.0], [8.0, 0.0], [0.0, 8.0]])
+    points = np.vstack(
+        [center + rng.normal(0, 0.8, size=(30, 2)) for center in centers]
+    )
+    selection = choose_k(points, k_min=2, k_max=6, seed=1)
+    assert selection.best_k == 3
+    assert selection.best.k == 3
+
+
+def test_bic_sweep_scores_all_candidates(rng):
+    points = rng.normal(size=(20, 3))
+    selection = choose_k(points, k_min=2, k_max=5, seed=2)
+    assert sorted(selection.scores) == [2, 3, 4, 5]
+    assert sorted(selection.clusterings) == [2, 3, 4, 5]
+
+
+def test_bic_undefined_when_r_not_greater_than_k(rng):
+    points = rng.normal(size=(4, 2))
+    result = kmeans(points, 4, seed=3)
+    with pytest.raises(AnalysisError):
+        bic_score(points, result)
+
+
+def test_choose_k_range_validation(rng):
+    points = rng.normal(size=(10, 2))
+    with pytest.raises(AnalysisError):
+        choose_k(points, k_min=0)
+    with pytest.raises(AnalysisError):
+        choose_k(points, k_min=5, k_max=3)
+    with pytest.raises(AnalysisError):
+        choose_k(points, k_min=2, k_max=10)  # k_max must be <= n-1
+
+
+def test_bic_penalises_free_parameters(rng):
+    """With structureless data, larger K should not win by much: the
+    penalty term must push back.  Compare a huge-K fit against the
+    best-by-BIC fit."""
+    points = rng.normal(size=(30, 2))
+    selection = choose_k(points, k_min=2, k_max=10, seed=4)
+    score_best = selection.scores[selection.best_k]
+    score_max_k = selection.scores[10]
+    assert score_best >= score_max_k
+
+
+def test_perfect_fit_degenerate_variance_is_guarded():
+    # Two exact duplicate groups: residuals are zero; BIC must stay finite.
+    points = np.array([[0.0, 0.0]] * 3 + [[5.0, 5.0]] * 3)
+    result = kmeans(points, 2, seed=5)
+    assert math.isfinite(bic_score(points, result))

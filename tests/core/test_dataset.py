@@ -1,0 +1,101 @@
+"""Tests for the workload × metric matrix container."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import WorkloadMetricMatrix
+from repro.errors import AnalysisError
+from repro.metrics.catalog import METRIC_NAMES, NUM_METRICS
+
+
+def matrix(n=4, seed=0):
+    rng = np.random.default_rng(seed)
+    workloads = tuple(f"W-{i}" for i in range(n))
+    return WorkloadMetricMatrix(
+        workloads=workloads, values=rng.random((n, NUM_METRICS))
+    )
+
+
+def test_shape_validation():
+    with pytest.raises(AnalysisError):
+        WorkloadMetricMatrix(workloads=("a",), values=np.zeros((1, 3)))
+    with pytest.raises(AnalysisError):
+        WorkloadMetricMatrix(workloads=("a", "b"), values=np.zeros((1, NUM_METRICS)))
+    with pytest.raises(AnalysisError):
+        WorkloadMetricMatrix(workloads=("a",), values=np.zeros(NUM_METRICS))
+
+
+def test_non_finite_rejected():
+    values = np.zeros((1, NUM_METRICS))
+    values[0, 0] = np.nan
+    with pytest.raises(AnalysisError):
+        WorkloadMetricMatrix(workloads=("a",), values=values)
+
+
+def test_from_rows_roundtrip():
+    rows = {
+        "X": {name: float(i) for i, name in enumerate(METRIC_NAMES)},
+        "Y": {name: float(i * 2) for i, name in enumerate(METRIC_NAMES)},
+    }
+    m = WorkloadMetricMatrix.from_rows(rows)
+    assert m.workloads == ("X", "Y")
+    assert m.row("Y")["ILP"] == rows["Y"]["ILP"]
+
+
+def test_row_and_column_access():
+    m = matrix()
+    row = m.row("W-1")
+    assert set(row) == set(METRIC_NAMES)
+    column = m.column("L3_MISS")
+    assert column.shape == (4,)
+
+
+def test_unknown_lookups_raise():
+    m = matrix()
+    with pytest.raises(AnalysisError):
+        m.row("nope")
+    with pytest.raises(AnalysisError):
+        m.column("nope")
+
+
+def test_select_subsets_rows():
+    m = matrix()
+    sub = m.select(("W-2", "W-0"))
+    assert sub.workloads == ("W-2", "W-0")
+    assert np.allclose(sub.values[0], m.values[2])
+
+
+def test_save_load_roundtrip(tmp_path):
+    m = matrix()
+    path = tmp_path / "matrix.json"
+    m.save(path)
+    loaded = WorkloadMetricMatrix.load(path)
+    assert loaded.workloads == m.workloads
+    assert np.allclose(loaded.values, m.values)
+
+
+def test_load_rejects_stale_catalog(tmp_path):
+    import json
+
+    path = tmp_path / "stale.json"
+    payload = {
+        "workloads": ["a"],
+        "metrics": ["OLD_METRIC"],
+        "values": [[1.0]],
+    }
+    path.write_text(json.dumps(payload))
+    with pytest.raises(AnalysisError):
+        WorkloadMetricMatrix.load(path)
+
+
+def test_to_csv_shape_and_roundtrip_values():
+    m = matrix(n=3, seed=1)
+    csv_text = m.to_csv()
+    lines = csv_text.strip().splitlines()
+    assert len(lines) == 4  # header + 3 workloads
+    header = lines[0].split(",")
+    assert header[0] == "workload"
+    assert len(header) == 1 + NUM_METRICS
+    first_row = lines[1].split(",")
+    assert first_row[0] == "W-0"
+    assert float(first_row[1]) == pytest.approx(m.values[0, 0], rel=1e-5)

@@ -1,0 +1,123 @@
+"""Tests for the dendrogram model."""
+
+import numpy as np
+import pytest
+import scipy.cluster.hierarchy as sch
+
+from repro.core.dendrogram import Dendrogram
+from repro.core.linkage import Linkage, hierarchical_clustering
+from repro.errors import AnalysisError
+
+
+def build(points, labels):
+    merges = hierarchical_clustering(np.asarray(points, dtype=float), Linkage.SINGLE)
+    return Dendrogram(labels=tuple(labels), merges=tuple(merges))
+
+
+@pytest.fixture()
+def simple():
+    #  a=0, b=1 close; c=10, d=11 close; the two pairs far apart.
+    return build([[0.0], [1.0], [10.0], [11.0]], ["a", "b", "c", "d"])
+
+
+def test_merge_count_validation():
+    with pytest.raises(AnalysisError):
+        Dendrogram(labels=("a", "b"), merges=())
+
+
+def test_cut_at_distance(simple):
+    clusters = simple.cut(2.0)
+    assert sorted(sorted(c) for c in clusters) == [["a", "b"], ["c", "d"]]
+    assert simple.cut(0.5) == [{"a"}, {"b"}, {"c"}, {"d"}]
+    assert sorted(len(c) for c in simple.cut(100.0)) == [4]
+
+
+def test_cut_to_k(simple):
+    assert sorted(sorted(c) for c in simple.cut_to_k(2)) == [["a", "b"], ["c", "d"]]
+    assert len(simple.cut_to_k(4)) == 4
+    assert len(simple.cut_to_k(1)) == 1
+    with pytest.raises(AnalysisError):
+        simple.cut_to_k(0)
+    with pytest.raises(AnalysisError):
+        simple.cut_to_k(5)
+
+
+def test_cophenetic_distance(simple):
+    assert simple.cophenetic_distance("a", "b") == pytest.approx(1.0)
+    assert simple.cophenetic_distance("c", "d") == pytest.approx(1.0)
+    assert simple.cophenetic_distance("a", "c") == pytest.approx(9.0)
+
+
+def test_cophenetic_matches_scipy(rng):
+    points = rng.normal(size=(10, 3))
+    labels = [f"w{i}" for i in range(10)]
+    dendrogram = build(points, labels)
+    z = sch.linkage(points, method="single")
+    reference = sch.cophenet(z)
+    import scipy.spatial.distance as ssd
+
+    reference_matrix = ssd.squareform(reference)
+    for i in range(10):
+        for j in range(i + 1, 10):
+            assert dendrogram.cophenetic_distance(
+                labels[i], labels[j]
+            ) == pytest.approx(reference_matrix[i, j], abs=1e-9)
+
+
+def test_cophenetic_validation(simple):
+    with pytest.raises(AnalysisError):
+        simple.cophenetic_distance("a", "a")
+    with pytest.raises(AnalysisError):
+        simple.cophenetic_distance("a", "zzz")
+
+
+def test_first_iteration_merges(simple):
+    first = simple.first_iteration_merges()
+    pairs = {frozenset((a, b)) for a, b, _d in first}
+    assert pairs == {frozenset(("a", "b")), frozenset(("c", "d"))}
+
+
+def test_max_cophenetic_distance(simple):
+    assert simple.max_cophenetic_distance(("a", "b")) == pytest.approx(1.0)
+    assert simple.max_cophenetic_distance(("a", "b", "c")) == pytest.approx(9.0)
+    assert simple.max_cophenetic_distance(("a",)) == 0.0
+
+
+def test_leaf_order_contains_all_labels(simple):
+    assert sorted(simple.leaf_order()) == ["a", "b", "c", "d"]
+
+
+def test_render_mentions_every_label_and_distance(simple):
+    text = simple.render()
+    for label in "abcd":
+        assert label in text
+    assert "9.00" in text
+
+
+def test_cut_always_partitions(rng):
+    points = rng.normal(size=(12, 2))
+    labels = [f"w{i}" for i in range(12)]
+    dendrogram = build(points, labels)
+    for distance in (0.0, 0.5, 1.0, 2.0, 100.0):
+        clusters = dendrogram.cut(distance)
+        flattened = sorted(w for cluster in clusters for w in cluster)
+        assert flattened == sorted(labels)
+
+
+def test_newick_export_structure(simple):
+    text = simple.to_newick()
+    assert text.endswith(";")
+    # Every leaf appears exactly once, with a branch length attached.
+    for label in "abcd":
+        assert text.count(f"{label}:") == 1
+    # Balanced parentheses: three internal nodes for four leaves.
+    assert text.count("(") == text.count(")") == 3
+
+
+def test_newick_branch_lengths_follow_ultrametric_convention(simple):
+    # Root height is half the final merge distance (9.0 / 2 = 4.5); the
+    # two pair subtrees merge at height 0.5, so their branch to the root
+    # has length 4.0 and each leaf's branch inside a pair has length 0.5.
+    text = simple.to_newick()
+    assert text.count(":0.5") == 4  # four leaves at pair height 0.5
+    assert text.count(":4") >= 2  # two pair subtrees hanging off the root

@@ -1,0 +1,62 @@
+"""Tests for Kiviat diagram data (Figure 6)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.kiviat import kiviat_diagrams
+from repro.errors import AnalysisError
+
+
+SCORES = np.array(
+    [
+        [3.0, -1.0, 0.5],
+        [0.2, 5.0, -0.1],
+    ]
+)
+LABELS = ("w1", "w2")
+
+
+def test_axes_named_after_pcs():
+    diagrams = kiviat_diagrams(SCORES, LABELS, ("w1",))
+    assert diagrams[0].axes == ("PC1", "PC2", "PC3")
+
+
+def test_values_match_scores():
+    diagrams = kiviat_diagrams(SCORES, LABELS, ("w2",))
+    assert diagrams[0].values == pytest.approx((0.2, 5.0, -0.1))
+
+
+def test_dominant_axis_uses_absolute_value():
+    diagrams = kiviat_diagrams(SCORES, LABELS, ("w1", "w2"))
+    assert diagrams[0].dominant_axis == "PC1"
+    assert diagrams[1].dominant_axis == "PC2"
+
+
+def test_polygon_geometry():
+    diagrams = kiviat_diagrams(SCORES, LABELS, ("w1",))
+    polygon = diagrams[0].polygon()
+    assert len(polygon) == 3
+    # First vertex lies on the positive x-axis at radius |PC1|.
+    assert polygon[0][0] == pytest.approx(3.0)
+    assert polygon[0][1] == pytest.approx(0.0, abs=1e-12)
+    # Radii equal |score|.
+    for (x, y), value in zip(polygon, diagrams[0].values):
+        assert math.hypot(x, y) == pytest.approx(abs(value))
+
+
+def test_render_contains_workload_and_axes():
+    text = kiviat_diagrams(SCORES, LABELS, ("w1",))[0].render()
+    assert "w1" in text
+    assert "PC1" in text and "PC3" in text
+
+
+def test_unknown_workload_raises():
+    with pytest.raises(AnalysisError):
+        kiviat_diagrams(SCORES, LABELS, ("nope",))
+
+
+def test_shape_mismatch_raises():
+    with pytest.raises(AnalysisError):
+        kiviat_diagrams(SCORES, ("only-one",), ("only-one",))

@@ -1,0 +1,101 @@
+"""Tests for the from-scratch K-means."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kmeans import kmeans
+from repro.errors import AnalysisError
+
+
+def blobs(rng, k=3, per_cluster=40, spread=0.05):
+    centers = rng.uniform(-5, 5, size=(k, 2)) * 3
+    points = np.vstack(
+        [center + spread * rng.normal(size=(per_cluster, 2)) for center in centers]
+    )
+    labels = np.repeat(np.arange(k), per_cluster)
+    return points, labels
+
+
+def test_recovers_separated_blobs(rng):
+    points, truth = blobs(rng)
+    result = kmeans(points, 3, seed=1)
+    # Same-cluster points in truth must land in the same fitted cluster.
+    for c in range(3):
+        fitted = result.labels[truth == c]
+        assert len(set(fitted.tolist())) == 1
+
+
+def test_inertia_decreases_with_k(rng):
+    points, _ = blobs(rng, k=4)
+    inertias = [kmeans(points, k, seed=2).inertia for k in (1, 2, 4, 8)]
+    assert all(a >= b - 1e-9 for a, b in zip(inertias, inertias[1:]))
+
+
+def test_k_equals_n_gives_zero_inertia(rng):
+    points = rng.normal(size=(6, 2))
+    result = kmeans(points, 6, seed=3)
+    assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+
+def test_labels_are_consistent_with_centers(rng):
+    points, _ = blobs(rng)
+    result = kmeans(points, 3, seed=4)
+    distances = np.sum(
+        (points[:, None, :] - result.centers[None, :, :]) ** 2, axis=2
+    )
+    assert np.array_equal(result.labels, np.argmin(distances, axis=1))
+
+
+def test_inertia_matches_definition(rng):
+    points, _ = blobs(rng)
+    result = kmeans(points, 3, seed=5)
+    expected = float(
+        np.sum((points - result.centers[result.labels]) ** 2)
+    )
+    assert result.inertia == pytest.approx(expected)
+
+
+def test_determinism(rng):
+    points, _ = blobs(rng)
+    a = kmeans(points, 3, seed=6)
+    b = kmeans(points, 3, seed=6)
+    assert np.array_equal(a.labels, b.labels)
+    assert np.allclose(a.centers, b.centers)
+
+
+def test_cluster_members_partition_points(rng):
+    points, _ = blobs(rng)
+    result = kmeans(points, 3, seed=7)
+    members = result.cluster_members()
+    joined = np.sort(np.concatenate(members))
+    assert np.array_equal(joined, np.arange(len(points)))
+
+
+def test_validation(rng):
+    points = rng.normal(size=(5, 2))
+    with pytest.raises(AnalysisError):
+        kmeans(points, 0)
+    with pytest.raises(AnalysisError):
+        kmeans(points, 6)
+    with pytest.raises(AnalysisError):
+        kmeans(points, 2, n_init=0)
+    with pytest.raises(AnalysisError):
+        kmeans(np.zeros(5), 2)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=30),
+    k=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_result_invariants(n, k, seed):
+    k = min(k, n)
+    points = np.random.default_rng(seed).normal(size=(n, 3))
+    result = kmeans(points, k, seed=seed, n_init=2)
+    assert result.labels.shape == (n,)
+    assert set(result.labels.tolist()) <= set(range(k))
+    assert np.all(np.isfinite(result.centers))
+    assert result.inertia >= 0.0

@@ -1,0 +1,98 @@
+"""Tests for agglomerative clustering, cross-validated against scipy."""
+
+import numpy as np
+import pytest
+import scipy.cluster.hierarchy as sch
+import scipy.spatial.distance as ssd
+
+from repro.core.linkage import Linkage, hierarchical_clustering, pairwise_distances
+from repro.errors import AnalysisError
+
+
+def test_pairwise_distances_match_scipy(rng):
+    points = rng.normal(size=(12, 4))
+    ours = pairwise_distances(points)
+    reference = ssd.squareform(ssd.pdist(points))
+    # The Gram-matrix formulation loses a few bits to cancellation.
+    assert np.allclose(ours, reference, atol=1e-6)
+
+
+def test_pairwise_validation():
+    with pytest.raises(AnalysisError):
+        pairwise_distances(np.zeros(5))
+
+
+@pytest.mark.parametrize(
+    "linkage,scipy_method",
+    [
+        (Linkage.SINGLE, "single"),
+        (Linkage.COMPLETE, "complete"),
+        (Linkage.AVERAGE, "average"),
+    ],
+)
+def test_merge_distances_match_scipy(rng, linkage, scipy_method):
+    points = rng.normal(size=(15, 3))
+    merges = hierarchical_clustering(points, linkage=linkage)
+    z = sch.linkage(points, method=scipy_method)
+    ours = sorted(m.distance for m in merges)
+    reference = sorted(z[:, 2])
+    assert np.allclose(ours, reference, atol=1e-9)
+
+
+def test_merge_structure_matches_scipy_single(rng):
+    """Not just distances: cluster memberships at every cut must agree."""
+    points = rng.normal(size=(14, 4))
+    merges = hierarchical_clustering(points, Linkage.SINGLE)
+    z = sch.linkage(points, method="single")
+    for k in (2, 3, 5, 7):
+        reference = sch.fcluster(z, t=k, criterion="maxclust")
+        ref_partition = {
+            frozenset(np.flatnonzero(reference == c)) for c in set(reference)
+        }
+        # Rebuild our partition by applying merges until k clusters remain.
+        n = len(points)
+        active = {i: frozenset([i]) for i in range(n)}
+        created = {i: frozenset([i]) for i in range(n)}
+        for index, merge in enumerate(merges):
+            if len(active) <= k:
+                break
+            merged = created[merge.left] | created[merge.right]
+            created[n + index] = merged
+            del active[merge.left], active[merge.right]
+            active[n + index] = merged
+        ours = set(active.values())
+        assert ours == ref_partition
+
+
+def test_known_tiny_example():
+    points = np.array([[0.0], [1.0], [10.0]])
+    merges = hierarchical_clustering(points, Linkage.SINGLE)
+    assert merges[0].distance == pytest.approx(1.0)  # {0},{1} join first
+    assert merges[0].size == 2
+    assert merges[1].distance == pytest.approx(9.0)  # single linkage to 10
+    assert merges[1].size == 3
+
+
+def test_complete_linkage_differs_from_single():
+    points = np.array([[0.0], [1.0], [10.0]])
+    single = hierarchical_clustering(points, Linkage.SINGLE)
+    complete = hierarchical_clustering(points, Linkage.COMPLETE)
+    assert single[1].distance == pytest.approx(9.0)
+    assert complete[1].distance == pytest.approx(10.0)
+
+
+def test_n_minus_one_merges(rng):
+    points = rng.normal(size=(9, 2))
+    assert len(hierarchical_clustering(points)) == 8
+
+
+def test_determinism(rng):
+    points = rng.normal(size=(10, 3))
+    a = hierarchical_clustering(points)
+    b = hierarchical_clustering(points.copy())
+    assert a == b
+
+
+def test_needs_two_points():
+    with pytest.raises(AnalysisError):
+        hierarchical_clustering(np.zeros((1, 3)))

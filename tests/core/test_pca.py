@@ -1,0 +1,111 @@
+"""Tests for the from-scratch PCA with Kaiser's criterion."""
+
+import numpy as np
+import pytest
+
+from repro.core.pca import fit_pca
+from repro.errors import AnalysisError
+
+
+def correlated_data(rng, n=100):
+    """Three latent factors spread over nine observed columns."""
+    factors = rng.normal(size=(n, 3))
+    loadings = rng.normal(size=(3, 9))
+    return factors @ loadings + 0.05 * rng.normal(size=(n, 9))
+
+
+def test_eigenvalues_descending_and_nonnegative(rng):
+    pca = fit_pca(correlated_data(rng))
+    assert np.all(np.diff(pca.eigenvalues) <= 1e-9)
+    assert np.all(pca.eigenvalues >= 0)
+
+
+def test_components_are_orthonormal(rng):
+    pca = fit_pca(correlated_data(rng))
+    gram = pca.components.T @ pca.components
+    assert np.allclose(gram, np.eye(gram.shape[0]), atol=1e-8)
+
+
+def test_kaiser_keeps_latent_dimension_count(rng):
+    pca = fit_pca(correlated_data(rng))
+    # Three latent factors -> about three PCs pass the eigenvalue-1 bar.
+    assert 2 <= pca.n_kept <= 4
+
+
+def test_retained_variance_matches_eigenvalue_shares(rng):
+    pca = fit_pca(correlated_data(rng))
+    expected = pca.eigenvalues[: pca.n_kept].sum() / pca.eigenvalues.sum()
+    assert pca.retained_variance == pytest.approx(expected)
+
+
+def test_scores_equal_projection_of_training_data(rng):
+    data = correlated_data(rng)
+    pca = fit_pca(data)
+    assert np.allclose(pca.scores, pca.project(data), atol=1e-9)
+
+
+def test_total_variance_is_preserved(rng):
+    data = correlated_data(rng)
+    pca = fit_pca(data)
+    # Correlation-matrix PCA: eigenvalues sum to the number of
+    # (non-degenerate) features.
+    assert pca.eigenvalues.sum() == pytest.approx(data.shape[1], rel=1e-6)
+
+
+def test_dominant_direction_is_found(rng):
+    # One direction with much larger variance must become PC1.
+    n = 200
+    data = rng.normal(size=(n, 5))
+    data[:, 2] = 10.0 * rng.normal(size=n)
+    pca = fit_pca(data)
+    # In z-scored space all columns are unit variance, so instead build
+    # the dominant direction as a shared latent factor.
+    latent = rng.normal(size=n)
+    data = rng.normal(size=(n, 5)) * 0.2
+    for j in range(3):
+        data[:, j] += latent
+    pca = fit_pca(data)
+    weights = np.abs(pca.components[:, 0])
+    assert weights[:3].min() > weights[3:].max()
+
+
+def test_loadings_scale_by_sqrt_eigenvalue(rng):
+    pca = fit_pca(correlated_data(rng))
+    loadings = pca.loadings(2)
+    expected = pca.components[:, :2] * np.sqrt(pca.eigenvalues[:2])
+    assert np.allclose(loadings, expected)
+
+
+def test_loadings_reconstruct_correlation_matrix(rng):
+    data = correlated_data(rng)
+    pca = fit_pca(data)
+    full = pca.loadings(data.shape[1])
+    correlation = np.corrcoef(data, rowvar=False)
+    assert np.allclose(full @ full.T, correlation, atol=1e-6)
+
+
+def test_sign_convention_is_deterministic(rng):
+    data = correlated_data(rng)
+    a = fit_pca(data)
+    b = fit_pca(data.copy())
+    assert np.allclose(a.components, b.components)
+    for j in range(a.components.shape[1]):
+        pivot = np.argmax(np.abs(a.components[:, j]))
+        assert a.components[pivot, j] > 0
+
+
+def test_matches_numpy_svd_reference(rng):
+    """Cross-check eigenvalues against an independent SVD computation."""
+    data = correlated_data(rng)
+    pca = fit_pca(data)
+    normalized = (data - data.mean(axis=0)) / data.std(axis=0)
+    singular = np.linalg.svd(normalized, compute_uv=False)
+    reference = (singular**2) / data.shape[0]
+    assert np.allclose(pca.eigenvalues, reference, atol=1e-8)
+
+
+def test_too_few_samples_raises():
+    with pytest.raises(AnalysisError):
+        fit_pca(np.zeros((2, 5)))
+    with pytest.raises(AnalysisError):
+        fit_pca(np.zeros(5))

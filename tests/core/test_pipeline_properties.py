@@ -1,0 +1,98 @@
+"""Property-based tests across the statistical pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dendrogram import Dendrogram
+from repro.core.kmeans import kmeans
+from repro.core.linkage import Linkage, hierarchical_clustering
+from repro.core.pca import fit_pca
+
+
+def _random_points(n: int, d: int, seed: int) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=(n, d))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=20),
+    d=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_pca_scores_are_uncorrelated(n, d, seed):
+    """PC scores have a diagonal covariance (that is the point of PCA)."""
+    points = _random_points(n, d, seed)
+    pca = fit_pca(points)
+    scores = (points - points.mean(0)) / np.where(
+        points.std(0) == 0, 1, points.std(0)
+    ) @ pca.components
+    covariance = (scores.T @ scores) / n
+    off_diagonal = covariance - np.diag(np.diag(covariance))
+    assert np.all(np.abs(off_diagonal) < 1e-8)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=15),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_merge_distances_nondecreasing_for_single_linkage(n, seed):
+    """Single linkage merges at monotonically non-decreasing distances."""
+    points = _random_points(n, 3, seed)
+    merges = hierarchical_clustering(points, Linkage.SINGLE)
+    distances = [m.distance for m in merges]
+    assert all(a <= b + 1e-9 for a, b in zip(distances, distances[1:]))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=12),
+    seed=st.integers(min_value=0, max_value=10_000),
+    threshold_a=st.floats(min_value=0.0, max_value=5.0),
+    threshold_b=st.floats(min_value=0.0, max_value=5.0),
+)
+def test_dendrogram_cut_is_monotone_in_distance(n, seed, threshold_a, threshold_b):
+    """A larger cut distance never yields more clusters."""
+    points = _random_points(n, 2, seed)
+    merges = hierarchical_clustering(points, Linkage.SINGLE)
+    dendrogram = Dendrogram(
+        labels=tuple(f"w{i}" for i in range(n)), merges=tuple(merges)
+    )
+    low, high = sorted((threshold_a, threshold_b))
+    assert len(dendrogram.cut(high)) <= len(dendrogram.cut(low))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=3, max_value=12),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_cophenetic_dominates_euclidean_for_single_linkage(n, seed):
+    """Single-linkage cophenetic distance is a *minimax* path distance:
+    it never exceeds the direct Euclidean distance."""
+    points = _random_points(n, 3, seed)
+    merges = hierarchical_clustering(points, Linkage.SINGLE)
+    labels = tuple(f"w{i}" for i in range(n))
+    dendrogram = Dendrogram(labels=labels, merges=tuple(merges))
+    for i in range(n):
+        for j in range(i + 1, n):
+            direct = float(np.linalg.norm(points[i] - points[j]))
+            coph = dendrogram.cophenetic_distance(labels[i], labels[j])
+            assert coph <= direct + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=16),
+    k=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_kmeans_inertia_never_beats_a_finer_clustering(n, k, seed):
+    """Inertia at k clusters is at least the inertia at k+1 (best-of-restarts)."""
+    k = min(k, n - 1)
+    points = _random_points(n, 2, seed)
+    coarse = kmeans(points, k, seed=seed, n_init=6)
+    fine = kmeans(points, k + 1, seed=seed, n_init=6)
+    assert fine.inertia <= coarse.inertia + 1e-6

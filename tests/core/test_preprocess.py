@@ -1,0 +1,59 @@
+"""Tests for z-score normalization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.preprocess import zscore
+from repro.errors import AnalysisError
+
+
+def test_normalized_columns_have_zero_mean_unit_std(rng):
+    matrix = rng.normal(5.0, 3.0, size=(40, 6))
+    normalized, _ = zscore(matrix)
+    assert np.allclose(normalized.mean(axis=0), 0.0, atol=1e-12)
+    assert np.allclose(normalized.std(axis=0), 1.0, atol=1e-12)
+
+
+def test_constant_column_maps_to_zero():
+    matrix = np.column_stack([np.arange(10.0), np.full(10, 7.0)])
+    normalized, transform = zscore(matrix)
+    assert np.allclose(normalized[:, 1], 0.0)
+    assert transform.constant_columns.tolist() == [False, True]
+
+
+def test_transform_applies_to_new_data(rng):
+    matrix = rng.normal(size=(30, 4))
+    _, transform = zscore(matrix)
+    new_row = rng.normal(size=(1, 4))
+    expected = (new_row - matrix.mean(axis=0)) / matrix.std(axis=0)
+    assert np.allclose(transform.transform(new_row), expected)
+
+
+def test_shape_validation():
+    with pytest.raises(AnalysisError):
+        zscore(np.zeros(5))
+    with pytest.raises(AnalysisError):
+        zscore(np.zeros((1, 5)))
+
+
+def test_transform_column_mismatch():
+    _, transform = zscore(np.random.default_rng(0).normal(size=(5, 3)))
+    with pytest.raises(AnalysisError):
+        transform.transform(np.zeros((2, 4)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        (8, 3),
+        elements=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    )
+)
+def test_zscore_is_finite_and_idempotent_in_shape(matrix):
+    normalized, _ = zscore(matrix)
+    assert normalized.shape == matrix.shape
+    assert np.all(np.isfinite(normalized))

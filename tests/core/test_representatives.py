@@ -1,0 +1,102 @@
+"""Tests for representative-workload selection (Table V policies)."""
+
+import numpy as np
+import pytest
+
+from repro.core.kmeans import KMeansResult, kmeans
+from repro.core.representatives import SelectionPolicy, select_representatives
+from repro.errors import AnalysisError
+
+
+@pytest.fixture()
+def clustered(rng):
+    # Two clusters with an obvious center point and an obvious outlier.
+    cluster_a = np.array([[0.0, 0.0], [0.1, 0.0], [3.0, 0.0]])  # outlier at 3
+    cluster_b = np.array([[10.0, 10.0], [10.1, 10.0]])
+    points = np.vstack([cluster_a, cluster_b])
+    labels = ("a-center", "a-near", "a-outlier", "b-1", "b-2")
+    clustering = kmeans(points, 2, seed=0)
+    return points, labels, clustering
+
+
+def test_nearest_picks_central_point(clustered):
+    points, labels, clustering = clustered
+    reps = select_representatives(
+        points, labels, clustering, SelectionPolicy.NEAREST_TO_CENTER
+    )
+    chosen = {rep.workload for rep in reps}
+    assert "a-near" in chosen or "a-center" in chosen
+    assert "a-outlier" not in chosen
+
+
+def test_farthest_picks_boundary_point(clustered):
+    points, labels, clustering = clustered
+    reps = select_representatives(
+        points, labels, clustering, SelectionPolicy.FARTHEST_FROM_CENTER
+    )
+    assert "a-outlier" in {rep.workload for rep in reps}
+
+
+def test_one_representative_per_cluster(clustered):
+    points, labels, clustering = clustered
+    reps = select_representatives(
+        points, labels, clustering, SelectionPolicy.NEAREST_TO_CENTER
+    )
+    assert len(reps) == clustering.k
+    assert sorted(rep.cluster_index for rep in reps) == list(range(clustering.k))
+
+
+def test_cluster_sizes_and_members(clustered):
+    points, labels, clustering = clustered
+    reps = select_representatives(
+        points, labels, clustering, SelectionPolicy.FARTHEST_FROM_CENTER
+    )
+    assert sorted(rep.cluster_size for rep in reps) == [2, 3]
+    all_members = sorted(m for rep in reps for m in rep.members)
+    assert all_members == sorted(labels)
+
+
+def test_sorted_largest_cluster_first(clustered):
+    points, labels, clustering = clustered
+    reps = select_representatives(
+        points, labels, clustering, SelectionPolicy.NEAREST_TO_CENTER
+    )
+    sizes = [rep.cluster_size for rep in reps]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+def test_distance_to_center_reported(clustered):
+    points, labels, clustering = clustered
+    nearest = select_representatives(
+        points, labels, clustering, SelectionPolicy.NEAREST_TO_CENTER
+    )
+    farthest = select_representatives(
+        points, labels, clustering, SelectionPolicy.FARTHEST_FROM_CENTER
+    )
+    for near, far in zip(nearest, farthest):
+        assert near.distance_to_center <= far.distance_to_center + 1e-12
+
+
+def test_shape_validation(rng):
+    points = rng.normal(size=(5, 2))
+    clustering = kmeans(points, 2, seed=1)
+    with pytest.raises(AnalysisError):
+        select_representatives(
+            points, ("a", "b"), clustering, SelectionPolicy.NEAREST_TO_CENTER
+        )
+
+
+def test_tie_break_is_deterministic():
+    # Two points equidistant from the centroid: the lexically smaller
+    # label must win, every time.
+    points = np.array([[0.0], [2.0]])
+    clustering = KMeansResult(
+        labels=np.array([0, 0]),
+        centers=np.array([[1.0]]),
+        inertia=2.0,
+        iterations=1,
+    )
+    reps = select_representatives(
+        points, ("beta", "alpha"), clustering, SelectionPolicy.NEAREST_TO_CENTER
+    )
+    assert reps[0].workload == "alpha"

@@ -1,0 +1,74 @@
+"""Tests for the end-to-end subsetting pipeline on synthetic data."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import WorkloadMetricMatrix
+from repro.core.representatives import SelectionPolicy
+from repro.core.subsetting import subset_workloads
+from repro.metrics.catalog import NUM_METRICS
+
+
+def synthetic_suite(n_groups=4, per_group=8, seed=3) -> WorkloadMetricMatrix:
+    """Workloads with known group structure across the 45 metrics.
+
+    Within-group scatter is kept substantial (relative to the separation)
+    because the Pelleg-Moore BIC over-splits ultra-tight clusters — small
+    clusters of near-duplicates keep improving the likelihood term.
+    """
+    rng = np.random.default_rng(seed)
+    group_centers = rng.normal(0, 3.0, size=(n_groups, NUM_METRICS))
+    rows = []
+    names = []
+    for g in range(n_groups):
+        for i in range(per_group):
+            rows.append(group_centers[g] + rng.normal(0, 1.8, size=NUM_METRICS))
+            names.append(f"G{g}-w{i}")
+    return WorkloadMetricMatrix(workloads=tuple(names), values=np.array(rows))
+
+
+def test_pipeline_produces_consistent_artifacts():
+    result = subset_workloads(synthetic_suite(), seed=0)
+    n = len(result.matrix.workloads)
+    assert result.pca.scores.shape[0] == n
+    assert len(result.dendrogram.merges) == n - 1
+    assert result.bic.best_k == result.clustering.k
+    assert len(result.nearest) == result.clustering.k
+    assert len(result.farthest) == result.clustering.k
+    assert len(result.kiviat) == result.clustering.k
+
+
+def test_recovers_planted_group_structure():
+    result = subset_workloads(synthetic_suite(n_groups=4), seed=0, k_min=2)
+    assert result.bic.best_k == 4
+    # Every K-means cluster is pure: one planted group per cluster.
+    workloads = result.matrix.workloads
+    for members in (rep.members for rep in result.farthest):
+        groups = {name.split("-")[0] for name in members}
+        assert len(groups) == 1
+    assert len(workloads) == 32
+
+
+def test_representative_subset_covers_all_groups():
+    result = subset_workloads(synthetic_suite(n_groups=4), seed=0)
+    groups = {name.split("-")[0] for name in result.representative_subset}
+    assert groups == {"G0", "G1", "G2", "G3"}
+
+
+def test_farthest_at_least_as_diverse_as_nearest():
+    result = subset_workloads(synthetic_suite(), seed=0)
+    assert result.max_linkage_distance(
+        SelectionPolicy.FARTHEST_FROM_CENTER
+    ) >= result.max_linkage_distance(SelectionPolicy.NEAREST_TO_CENTER)
+
+
+def test_determinism():
+    a = subset_workloads(synthetic_suite(), seed=0)
+    b = subset_workloads(synthetic_suite(), seed=0)
+    assert a.representative_subset == b.representative_subset
+    assert a.bic.best_k == b.bic.best_k
+
+
+def test_k_range_is_respected():
+    result = subset_workloads(synthetic_suite(), seed=0, k_min=2, k_max=3)
+    assert 2 <= result.bic.best_k <= 3

@@ -1,0 +1,148 @@
+"""Tests for the sequence-file, graph, table and point generators."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.graph import GraphGenerator
+from repro.datagen.points import PointGenerator
+from repro.datagen.sequencefile import SequenceFileGenerator
+from repro.datagen.table import TransactionGenerator
+from repro.errors import DataGenerationError
+
+
+class TestSequenceFile:
+    def test_shapes_and_determinism(self):
+        a = SequenceFileGenerator(seed=1).records(100, key_bytes=10, value_bytes=20)
+        b = SequenceFileGenerator(seed=1).records(100, key_bytes=10, value_bytes=20)
+        assert a == b
+        assert all(len(r.key) == 10 and len(r.value) == 20 for r in a)
+
+    def test_records_are_orderable_by_key(self):
+        records = SequenceFileGenerator(seed=2).records(50)
+        ordered = sorted(records)
+        keys = [r.key for r in ordered]
+        assert keys == sorted(keys)
+
+    def test_duplicate_keys_with_small_fraction(self):
+        records = SequenceFileGenerator(seed=3).records(
+            200, distinct_key_fraction=0.1
+        )
+        distinct = len({r.key for r in records})
+        assert distinct <= 30
+
+    def test_validation(self):
+        generator = SequenceFileGenerator()
+        with pytest.raises(DataGenerationError):
+            generator.records(-1)
+        with pytest.raises(DataGenerationError):
+            generator.records(10, key_bytes=0)
+        with pytest.raises(DataGenerationError):
+            generator.records(10, distinct_key_fraction=0.0)
+        assert generator.records(0) == []
+
+
+class TestGraph:
+    def test_shape_and_no_self_loops(self):
+        graph = GraphGenerator(seed=4).generate(100, edges_per_vertex=3)
+        assert graph.num_vertices == 100
+        assert graph.num_edges == 300
+        assert all(src != dst for src, dst in graph.edges)
+
+    def test_power_law_in_degree(self):
+        graph = GraphGenerator(seed=5).generate(300, edges_per_vertex=4)
+        in_degree = np.zeros(300)
+        for _src, dst in graph.edges:
+            in_degree[dst] += 1
+        # Preferential attachment: the hub is much hotter than the mean.
+        assert in_degree.max() > 4 * in_degree.mean()
+
+    def test_adjacency_and_out_degree(self):
+        graph = GraphGenerator(seed=6).generate(20, edges_per_vertex=2)
+        adjacency = graph.adjacency()
+        out_degree = graph.out_degree()
+        assert sum(out_degree.values()) == graph.num_edges
+        assert all(len(adjacency[v]) == out_degree[v] for v in out_degree)
+
+    def test_determinism(self):
+        a = GraphGenerator(seed=7).generate(50)
+        b = GraphGenerator(seed=7).generate(50)
+        assert a.edges == b.edges
+
+    def test_validation(self):
+        with pytest.raises(DataGenerationError):
+            GraphGenerator().generate(1)
+        with pytest.raises(DataGenerationError):
+            GraphGenerator().generate(10, edges_per_vertex=0)
+
+
+class TestTables:
+    def test_orders_shape(self):
+        orders = TransactionGenerator(seed=8).orders(100)
+        assert len(orders) == 100
+        assert all(1 <= o.date <= 365 for o in orders)
+        assert [o.order_id for o in orders] == list(range(1, 101))
+
+    def test_items_reference_valid_orders(self):
+        generator = TransactionGenerator(seed=9)
+        items = generator.items(200, num_orders=50)
+        assert all(1 <= item.order_id <= 50 for item in items)
+        assert all(item.price > 0 for item in items)
+        assert all(1 <= item.quantity <= 8 for item in items)
+
+    def test_amount_property(self):
+        item = TransactionGenerator(seed=10).items(1, num_orders=1)[0]
+        assert item.amount == pytest.approx(round(item.price * item.quantity, 2))
+
+    def test_id_offset_for_second_table(self):
+        generator = TransactionGenerator(seed=11)
+        items = generator.items(10, num_orders=5, id_offset=1000)
+        assert all(item.item_id > 1000 for item in items)
+
+    def test_buyer_skew(self):
+        orders = TransactionGenerator(seed=12).orders(2000, num_buyers=400)
+        from collections import Counter
+
+        counts = Counter(o.buyer_id for o in orders)
+        top = sum(c for _b, c in counts.most_common(20))
+        assert top > 0.15 * len(orders)  # loyal-customer head
+
+    def test_validation(self):
+        generator = TransactionGenerator()
+        with pytest.raises(DataGenerationError):
+            generator.orders(-1)
+        with pytest.raises(DataGenerationError):
+            generator.items(10, num_orders=0)
+        assert generator.orders(0) == []
+        assert generator.items(0, num_orders=5) == []
+
+
+class TestPoints:
+    def test_cluster_structure_is_recoverable(self):
+        cloud = PointGenerator(seed=13).generate(500, dimensions=4, clusters=3, spread=0.02)
+        # Points sit close to their true centers.
+        distances = np.linalg.norm(
+            cloud.points - cloud.true_centers[cloud.true_labels], axis=1
+        )
+        assert distances.mean() < 0.1
+
+    def test_shapes(self):
+        cloud = PointGenerator(seed=14).generate(100, dimensions=6, clusters=4)
+        assert cloud.points.shape == (100, 6)
+        assert cloud.true_centers.shape == (4, 6)
+        assert cloud.true_labels.shape == (100,)
+
+    def test_validation(self):
+        with pytest.raises(DataGenerationError):
+            PointGenerator().generate(0)
+        with pytest.raises(DataGenerationError):
+            PointGenerator().generate(10, spread=0.0)
+
+
+def test_bdgs_facade_is_seeded():
+    from repro.datagen.bdgs import Bdgs
+
+    a = Bdgs(seed=20)
+    b = Bdgs(seed=20)
+    assert a.text_lines(5) == b.text_lines(5)
+    assert a.sequence_records(5) == b.sequence_records(5)
+    assert a.orders(5) == b.orders(5)

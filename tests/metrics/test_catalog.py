@@ -1,0 +1,79 @@
+"""Tests for the Table II metric catalog."""
+
+import pytest
+
+from repro.metrics.catalog import (
+    METRIC_INDEX,
+    METRIC_NAMES,
+    METRICS,
+    NUM_METRICS,
+    MetricCategory,
+    metric,
+    metrics_in_category,
+)
+
+
+def test_exactly_45_metrics():
+    assert NUM_METRICS == 45
+    assert len(METRICS) == 45
+    assert len(METRIC_NAMES) == 45
+
+
+def test_metric_numbers_match_table_ii_order():
+    for index, spec in enumerate(METRICS):
+        assert spec.number == index + 1
+
+
+def test_names_are_unique():
+    assert len(set(METRIC_NAMES)) == 45
+
+
+def test_index_lookup_is_consistent():
+    for name, index in METRIC_INDEX.items():
+        assert METRICS[index].name == name
+
+
+def test_category_sizes_match_table_ii():
+    expected = {
+        MetricCategory.INSTRUCTION_MIX: 9,
+        MetricCategory.CACHE_BEHAVIOR: 11,
+        MetricCategory.TLB_BEHAVIOR: 5,
+        MetricCategory.BRANCH_EXECUTION: 2,
+        MetricCategory.PIPELINE_BEHAVIOR: 7,
+        MetricCategory.OFFCORE_REQUEST: 4,
+        MetricCategory.SNOOP_RESPONSE: 3,
+        MetricCategory.PARALLELISM: 2,
+        MetricCategory.OPERATION_INTENSITY: 2,
+    }
+    assert sum(expected.values()) == 45
+    for category, count in expected.items():
+        assert len(metrics_in_category(category)) == count, category
+
+
+def test_metric_lookup_by_name():
+    spec = metric("L3_MISS")
+    assert spec.number == 14
+    assert spec.category is MetricCategory.CACHE_BEHAVIOR
+
+
+def test_metric_lookup_unknown_name_raises():
+    with pytest.raises(KeyError):
+        metric("NOT_A_METRIC")
+
+
+def test_paper_headline_metrics_present():
+    # The metrics Section V singles out must all exist by name.
+    for name in (
+        "L3_MISS",
+        "FETCH_STALL",
+        "DTLB_MISS",
+        "DATA_HIT_STLB",
+        "SNOOP_HIT",
+        "SNOOP_HITE",
+        "SNOOP_HITM",
+        "ILP",
+        "MLP",
+        "RESOURCE_STALL",
+        "UOPS_TO_INS",
+    ):
+        assert name in METRIC_INDEX

@@ -1,0 +1,150 @@
+"""Tests for raw-count → Table II metric derivation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.metrics.catalog import METRIC_NAMES, NUM_METRICS
+from repro.metrics.derivation import (
+    REQUIRED_EVENTS,
+    derive_metrics,
+    metrics_from_array,
+    metrics_to_array,
+)
+
+
+def _base_counts() -> dict[str, float]:
+    """A complete, hand-checkable raw count set."""
+    counts = {name: 0.0 for name in REQUIRED_EVENTS}
+    counts.update(
+        {
+            "inst_retired.any": 1_000_000.0,
+            "cpu_clk_unhalted.core": 2_000_000.0,
+            "mem_inst_retired.loads": 250_000.0,
+            "mem_inst_retired.stores": 100_000.0,
+            "br_inst_retired.all_branches": 180_000.0,
+            "arith.int": 300_000.0,
+            "fp_comp_ops_exe.x87": 5_000.0,
+            "fp_comp_ops_exe.sse_fp": 15_000.0,
+            "inst_retired.kernel": 200_000.0,
+            "inst_retired.user": 800_000.0,
+            "uops_retired.any": 1_400_000.0,
+            "l1i.misses": 20_000.0,
+            "l1i.hits": 230_000.0,
+            "l1i.cycles_stalled": 400_000.0,
+            "l2_rqsts.miss": 12_000.0,
+            "l2_rqsts.hit": 30_000.0,
+            "llc.misses": 4_000.0,
+            "llc.hits": 8_000.0,
+            "mem_load_retired.hit_lfb": 1_000.0,
+            "mem_load_retired.l2_hit": 9_000.0,
+            "mem_load_retired.other_core_l2_hit_hitm": 500.0,
+            "mem_load_retired.llc_unshared_hit": 6_000.0,
+            "mem_load_retired.llc_miss": 3_000.0,
+            "itlb_misses.any": 1_500.0,
+            "itlb_misses.walk_cycles": 45_000.0,
+            "dtlb_misses.any": 2_500.0,
+            "dtlb_misses.walk_cycles": 75_000.0,
+            "dtlb_misses.stlb_hit": 4_000.0,
+            "br_misp_retired.all_branches": 9_000.0,
+            "br_inst_exec.any": 210_000.0,
+            "ild_stall.any": 10_000.0,
+            "decoder_stall.any": 8_000.0,
+            "rat_stalls.any": 60_000.0,
+            "resource_stalls.any": 500_000.0,
+            "uops_executed.core_active_cycles": 1_100_000.0,
+            "uops_executed.core_stall_cycles": 900_000.0,
+            "offcore_requests.demand.read_data": 6_000.0,
+            "offcore_requests.demand.read_code": 2_000.0,
+            "offcore_requests.demand.rfo": 1_500.0,
+            "offcore_requests.writeback": 500.0,
+            "snoop_response.hit": 300.0,
+            "snoop_response.hite": 200.0,
+            "snoop_response.hitm": 100.0,
+            "offcore_requests_outstanding.cycles_sum": 50_000.0,
+            "offcore_requests_outstanding.active_cycles": 20_000.0,
+            "mem_access.any": 350_000.0,
+        }
+    )
+    return counts
+
+
+def test_derives_exactly_45_metrics():
+    metrics = derive_metrics(_base_counts())
+    assert set(metrics) == set(METRIC_NAMES)
+
+
+def test_hand_checked_values():
+    metrics = derive_metrics(_base_counts())
+    assert metrics["LOAD"] == pytest.approx(0.25)
+    assert metrics["STORE"] == pytest.approx(0.10)
+    assert metrics["BRANCH"] == pytest.approx(0.18)
+    assert metrics["KERNEL_MODE"] == pytest.approx(0.2)
+    assert metrics["USER_MODE"] == pytest.approx(0.8)
+    assert metrics["UOPS_TO_INS"] == pytest.approx(1.4)
+    assert metrics["L1I_MISS"] == pytest.approx(20.0)  # per kilo instructions
+    assert metrics["L3_MISS"] == pytest.approx(4.0)
+    assert metrics["ITLB_CYCLE"] == pytest.approx(45_000 / 2_000_000)
+    assert metrics["DTLB_CYCLE"] == pytest.approx(75_000 / 2_000_000)
+    assert metrics["BR_MISS"] == pytest.approx(0.05)
+    assert metrics["BR_EXE_TO_RE"] == pytest.approx(210_000 / 180_000)
+    assert metrics["FETCH_STALL"] == pytest.approx(0.2)
+    assert metrics["RESOURCE_STALL"] == pytest.approx(0.25)
+    # Offcore shares sum to one.
+    total = sum(
+        metrics[name]
+        for name in ("OFFCORE_DATA", "OFFCORE_CODE", "OFFCORE_RFO", "OFFCORE_WB")
+    )
+    assert total == pytest.approx(1.0)
+    assert metrics["OFFCORE_DATA"] == pytest.approx(0.6)
+    assert metrics["ILP"] == pytest.approx(0.5)
+    assert metrics["MLP"] == pytest.approx(2.5)
+    assert metrics["INT_TO_MEM"] == pytest.approx(300_000 / 350_000)
+    assert metrics["FP_TO_MEM"] == pytest.approx(20_000 / 350_000)
+
+
+def test_missing_event_raises():
+    counts = _base_counts()
+    del counts["llc.misses"]
+    with pytest.raises(AnalysisError, match="llc.misses"):
+        derive_metrics(counts)
+
+
+def test_zero_denominators_yield_zero_not_nan():
+    counts = {name: 0.0 for name in REQUIRED_EVENTS}
+    metrics = derive_metrics(counts)
+    assert all(np.isfinite(v) for v in metrics.values())
+    assert metrics["ILP"] == 0.0
+    assert metrics["BR_MISS"] == 0.0
+
+
+def test_array_roundtrip():
+    metrics = derive_metrics(_base_counts())
+    vector = metrics_to_array(metrics)
+    assert vector.shape == (NUM_METRICS,)
+    assert metrics_from_array(vector) == pytest.approx(metrics)
+
+
+def test_metrics_to_array_missing_metric_raises():
+    metrics = derive_metrics(_base_counts())
+    del metrics["ILP"]
+    with pytest.raises(AnalysisError, match="ILP"):
+        metrics_to_array(metrics)
+
+
+def test_metrics_from_array_wrong_length_raises():
+    with pytest.raises(AnalysisError):
+        metrics_from_array(np.zeros(7))
+
+
+@given(st.integers(min_value=1, max_value=10**9))
+def test_pki_metrics_scale_invariant(scale):
+    """Scaling every raw count together leaves all 45 metrics unchanged."""
+    base = _base_counts()
+    scaled = {name: value * scale for name, value in base.items()}
+    a = derive_metrics(base)
+    b = derive_metrics(scaled)
+    for name in METRIC_NAMES:
+        assert b[name] == pytest.approx(a[name], rel=1e-9)

@@ -1,0 +1,47 @@
+"""Tests for the raw hardware event definitions."""
+
+import pytest
+
+from repro.metrics.derivation import REQUIRED_EVENTS
+from repro.metrics.events import (
+    EVENT_NAMES,
+    EVENTS,
+    FIXED_EVENTS,
+    EventDomain,
+    event,
+)
+
+
+def test_event_names_unique():
+    assert len(EVENT_NAMES) == len(EVENTS)
+
+
+def test_paper_collects_more_than_50_events():
+    # Section IV-C: "We collect more than 50 events".  Our vocabulary is
+    # slightly smaller per-core because uncore events are shared, but the
+    # derivation set must stay in the same ballpark.
+    assert len(EVENTS) >= 45
+
+
+def test_required_events_are_all_defined():
+    for name in REQUIRED_EVENTS:
+        assert name in EVENT_NAMES, name
+
+
+def test_fixed_events_are_instructions_and_cycles():
+    assert set(FIXED_EVENTS) == {"inst_retired.any", "cpu_clk_unhalted.core"}
+
+
+def test_selector_packs_code_and_umask():
+    spec = event("l2_rqsts.miss")
+    assert spec.selector == (spec.umask << 8) | spec.code
+
+
+def test_domains_are_assigned():
+    domains = {spec.domain for spec in EVENTS}
+    assert domains == {EventDomain.CORE, EventDomain.FIXED, EventDomain.UNCORE}
+
+
+def test_unknown_event_raises():
+    with pytest.raises(KeyError):
+        event("bogus.event")

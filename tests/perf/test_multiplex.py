@@ -1,0 +1,66 @@
+"""Tests for counter multiplexing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProfilingError
+from repro.perf.multiplex import group_events, multiplex_counts
+
+
+def test_group_events_packs_by_counter_width():
+    groups = group_events(["a", "b", "c", "d", "e"], counters=2)
+    assert groups == [["a", "b"], ["c", "d"], ["e"]]
+
+
+def test_group_events_invalid_width():
+    with pytest.raises(ProfilingError):
+        group_events(["a"], counters=0)
+
+
+def test_every_event_gets_an_estimate():
+    truth = {name: float(i + 1) * 100 for i, name in enumerate("abcdef")}
+    groups = group_events(list(truth), counters=2)
+    obs = multiplex_counts(truth, groups, np.random.default_rng(1))
+    assert set(obs.estimates) == set(truth)
+    assert all(0 < f <= 1 for f in obs.enabled_fraction.values())
+
+
+def test_estimates_are_unbiased_across_schedules():
+    truth = {"a": 1000.0, "b": 2000.0, "c": 500.0, "d": 100.0}
+    groups = group_events(list(truth), counters=1)
+    rng = np.random.default_rng(2)
+    sums = {name: 0.0 for name in truth}
+    n = 400
+    for _ in range(n):
+        obs = multiplex_counts(truth, groups, rng, jitter=0.1)
+        for name, value in obs.estimates.items():
+            sums[name] += value
+    for name, total in sums.items():
+        assert total / n == pytest.approx(truth[name], rel=0.02)
+
+
+def test_zero_jitter_is_exact():
+    truth = {"a": 123.0, "b": 456.0}
+    groups = group_events(list(truth), counters=1)
+    obs = multiplex_counts(truth, groups, np.random.default_rng(3), jitter=1e-12)
+    assert obs.estimates["a"] == pytest.approx(123.0, rel=1e-6)
+    assert obs.estimates["b"] == pytest.approx(456.0, rel=1e-6)
+
+
+def test_single_group_sees_everything():
+    truth = {"a": 7.0, "b": 9.0}
+    obs = multiplex_counts(truth, [["a", "b"]], np.random.default_rng(4), jitter=0.3)
+    # One group is scheduled on every slice: no scaling error at all.
+    assert obs.estimates["a"] == pytest.approx(7.0)
+    assert obs.enabled_fraction["a"] == 1.0
+
+
+def test_more_groups_than_slices_raises():
+    groups = [[f"e{i}"] for i in range(10)]
+    with pytest.raises(ProfilingError):
+        multiplex_counts({}, groups, np.random.default_rng(5), num_slices=4)
+
+
+def test_empty_groups_are_fine():
+    obs = multiplex_counts({"a": 1.0}, [], np.random.default_rng(6))
+    assert obs.estimates == {}

@@ -1,0 +1,71 @@
+"""Tests for the PMU model."""
+
+import pytest
+
+from repro.errors import ProfilingError
+from repro.perf.pmu import IA32_PERFEVTSEL_BASE, Pmu, PmuConfig
+
+
+def test_westmere_has_four_programmable_counters():
+    assert PmuConfig().programmable_counters == 4
+
+
+def test_program_and_observe():
+    pmu = Pmu()
+    pmu.program(0, "l2_rqsts.miss")
+    pmu.observe({"l2_rqsts.miss": 100.0, "l2_rqsts.hit": 50.0})
+    pmu.observe({"l2_rqsts.miss": 25.0})
+    assert pmu.read(0) == pytest.approx(125.0)
+
+
+def test_fixed_counters_always_count():
+    pmu = Pmu()
+    pmu.observe({"inst_retired.any": 1000.0, "cpu_clk_unhalted.core": 2000.0})
+    assert pmu.read_fixed("inst_retired.any") == pytest.approx(1000.0)
+    assert pmu.read_fixed("cpu_clk_unhalted.core") == pytest.approx(2000.0)
+
+
+def test_unprogrammed_events_are_not_observed():
+    pmu = Pmu()
+    pmu.program(0, "l2_rqsts.miss")
+    pmu.observe({"llc.misses": 500.0, "l2_rqsts.miss": 1.0})
+    assert "llc.misses" not in pmu.read_all()
+
+
+def test_wrmsr_alias():
+    pmu = Pmu()
+    pmu.wrmsr(IA32_PERFEVTSEL_BASE + 2, "llc.misses")
+    pmu.observe({"llc.misses": 7.0})
+    assert pmu.read(2) == pytest.approx(7.0)
+
+
+def test_reprogramming_resets_the_counter():
+    pmu = Pmu()
+    pmu.program(0, "l2_rqsts.miss")
+    pmu.observe({"l2_rqsts.miss": 9.0})
+    pmu.program(0, "llc.misses")
+    assert pmu.read(0) == 0.0
+
+
+def test_errors():
+    pmu = Pmu()
+    with pytest.raises(ProfilingError):
+        pmu.program(0, "not.an.event")
+    with pytest.raises(ProfilingError):
+        pmu.program(9, "llc.misses")
+    with pytest.raises(ProfilingError):
+        pmu.program(0, "inst_retired.any")  # fixed-counter event
+    with pytest.raises(ProfilingError):
+        pmu.read(0)  # not programmed
+    with pytest.raises(ProfilingError):
+        pmu.read_fixed("llc.misses")
+
+
+def test_clear():
+    pmu = Pmu()
+    pmu.program(0, "llc.misses")
+    pmu.observe({"llc.misses": 5.0, "inst_retired.any": 10.0})
+    pmu.clear()
+    assert pmu.read_fixed("inst_retired.any") == 0.0
+    with pytest.raises(ProfilingError):
+        pmu.read(0)

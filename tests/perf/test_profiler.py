@@ -1,0 +1,70 @@
+"""Tests for the perf-like profiler facade."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProfilingError
+from repro.metrics.derivation import REQUIRED_EVENTS
+from repro.perf.profiler import PerfProfiler
+
+
+def truth() -> dict[str, float]:
+    return {name: float(100 + 13 * i) for i, name in enumerate(REQUIRED_EVENTS)}
+
+
+def test_profile_covers_all_required_events():
+    profiler = PerfProfiler()
+    result = profiler.profile(truth(), np.random.default_rng(1))
+    assert set(REQUIRED_EVENTS) <= set(result.counts)
+
+
+def test_fixed_events_are_exact():
+    profiler = PerfProfiler()
+    result = profiler.profile(truth(), np.random.default_rng(2), repeats=1)
+    assert result.counts["inst_retired.any"] == pytest.approx(
+        truth()["inst_retired.any"]
+    )
+    assert result.counts["cpu_clk_unhalted.core"] == pytest.approx(
+        truth()["cpu_clk_unhalted.core"]
+    )
+
+
+def test_estimates_are_close_to_truth():
+    profiler = PerfProfiler()
+    result = profiler.profile(truth(), np.random.default_rng(3), repeats=5)
+    for name, expected in truth().items():
+        assert result.counts[name] == pytest.approx(expected, rel=0.25)
+
+
+def test_more_repeats_reduce_spread():
+    profiler = PerfProfiler(jitter=0.2)
+    few = profiler.profile(truth(), np.random.default_rng(4), repeats=2)
+    many = profiler.profile(truth(), np.random.default_rng(4), repeats=30)
+    few_spread = np.mean([v for v in few.relative_spread.values()])
+    # Spread is reported per run set; with more repeats, the *mean* is
+    # closer to the truth even if per-run spread stays similar.
+    errors_few = [
+        abs(few.counts[n] - truth()[n]) / truth()[n] for n in REQUIRED_EVENTS
+    ]
+    errors_many = [
+        abs(many.counts[n] - truth()[n]) / truth()[n] for n in REQUIRED_EVENTS
+    ]
+    assert np.mean(errors_many) < np.mean(errors_few) + 0.02
+    assert few_spread >= 0.0
+
+
+def test_repeats_must_be_positive():
+    profiler = PerfProfiler()
+    with pytest.raises(ProfilingError):
+        profiler.profile(truth(), np.random.default_rng(5), repeats=0)
+
+
+def test_unknown_event_request_raises():
+    with pytest.raises(ProfilingError):
+        PerfProfiler(events=("bogus.event",))
+
+
+def test_groups_fit_counter_width():
+    profiler = PerfProfiler()
+    for group in profiler.groups:
+        assert len(group) <= profiler.pmu_config.programmable_counters

@@ -1,0 +1,110 @@
+"""Tests for the shared stack abstractions (trace, sizes, hashing)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stacks.base import (
+    ExecutionTrace,
+    PhaseKind,
+    PhaseRecord,
+    estimate_bytes,
+    stable_hash,
+)
+from repro.stacks.hadoop import HADOOP_1_0_2
+from repro.stacks.spark import SPARK_0_8_1
+
+
+class TestStackInfo:
+    def test_paper_source_sizes(self):
+        assert HADOOP_1_0_2.source_bytes == 67 * (1 << 20)
+        assert SPARK_0_8_1.source_bytes == 11 * (1 << 20)
+
+    def test_process_models(self):
+        assert HADOOP_1_0_2.tasks_share_process is False
+        assert SPARK_0_8_1.tasks_share_process is True
+
+
+class TestExecutionTrace:
+    def test_emit_and_query(self):
+        trace = ExecutionTrace(HADOOP_1_0_2, "w")
+        trace.emit(PhaseKind.MAP, "m", worker=1, records_in=10, bytes_in=100)
+        trace.emit(PhaseKind.REDUCE, "r", worker=2, records_in=5, bytes_in=50)
+        trace.emit(PhaseKind.MAP, "m2", worker=0, records_in=7, bytes_in=70)
+        assert len(trace) == 3
+        assert len(trace.by_kind(PhaseKind.MAP)) == 2
+        assert trace.total_records_in == 22
+        assert trace.total_bytes_in == 220
+
+    def test_details_are_carried(self):
+        trace = ExecutionTrace(SPARK_0_8_1, "w")
+        trace.emit(
+            PhaseKind.STAGE, "s", worker=0, records_in=1, bytes_in=1, compare_ops=42.0
+        )
+        assert trace.records[0].details == {"compare_ops": 42.0}
+
+
+class TestEstimateBytes:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (None, 1),
+            (True, 1),
+            (7, 8),
+            (3.14, 8),
+            ("abc", 4),
+            (b"abcd", 4),
+        ],
+    )
+    def test_scalars(self, value, expected):
+        assert estimate_bytes(value) == expected
+
+    def test_containers_recurse(self):
+        assert estimate_bytes((1, 2)) == 2 + 8 + 8
+        assert estimate_bytes([1, "ab"]) == 2 + 8 + 3
+        assert estimate_bytes({"k": 1}) == 2 + 2 + 8
+
+    def test_dataclasses_recurse(self):
+        record = PhaseRecord(
+            kind=PhaseKind.MAP,
+            name="m",
+            worker=0,
+            records_in=1,
+            bytes_in=1,
+            records_out=1,
+            bytes_out=1,
+        )
+        assert estimate_bytes(record) > 0
+
+    @given(
+        st.recursive(
+            st.one_of(
+                st.integers(),
+                st.floats(allow_nan=False, allow_infinity=False),
+                st.text(max_size=20),
+                st.booleans(),
+                st.none(),
+            ),
+            lambda children: st.lists(children, max_size=4)
+            | st.tuples(children, children),
+            max_leaves=10,
+        )
+    )
+    def test_always_positive_and_deterministic(self, value):
+        size = estimate_bytes(value)
+        assert size >= 1
+        assert estimate_bytes(value) == size
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert stable_hash(("a", 1)) == stable_hash(("a", 1))
+
+    def test_differs_for_different_values(self):
+        assert stable_hash("a") != stable_hash("b")
+
+    def test_known_value_is_stable(self):
+        # Pins the CRC so partitioning never silently changes.
+        import zlib
+
+        assert stable_hash("key") == zlib.crc32(b"'key'")

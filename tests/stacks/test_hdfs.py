@@ -1,0 +1,83 @@
+"""Tests for the miniature HDFS."""
+
+import pytest
+
+from repro.errors import StackExecutionError
+from repro.stacks.hdfs import Hdfs
+
+
+def test_put_read_roundtrip():
+    hdfs = Hdfs(block_records=10)
+    records = list(range(35))
+    hdfs.put("/data", records)
+    assert hdfs.read("/data") == records
+
+
+def test_blocks_split_by_block_records():
+    hdfs = Hdfs(block_records=10)
+    hdfs.put("/data", list(range(35)))
+    blocks = hdfs.blocks("/data")
+    assert [len(b.records) for b in blocks] == [10, 10, 10, 5]
+    assert [b.index for b in blocks] == [0, 1, 2, 3]
+
+
+def test_primary_replicas_round_robin():
+    hdfs = Hdfs(num_nodes=4, block_records=1, replication=3)
+    hdfs.put("/data", list(range(8)))
+    primaries = [b.primary_node for b in hdfs.blocks("/data")]
+    assert primaries == [0, 1, 2, 3, 0, 1, 2, 3]
+    block = hdfs.blocks("/data")[0]
+    assert block.replica_nodes == (1, 2)
+
+
+def test_replication_capped_at_node_count():
+    hdfs = Hdfs(num_nodes=2, replication=5)
+    assert hdfs.replication == 2
+
+
+def test_duplicate_path_raises():
+    hdfs = Hdfs()
+    hdfs.put("/data", [1])
+    with pytest.raises(StackExecutionError):
+        hdfs.put("/data", [2])
+
+
+def test_missing_path_raises():
+    with pytest.raises(StackExecutionError):
+        Hdfs().blocks("/nope")
+
+
+def test_delete_then_reuse_path():
+    hdfs = Hdfs()
+    hdfs.put("/data", [1, 2])
+    hdfs.delete("/data")
+    assert not hdfs.exists("/data")
+    hdfs.put("/data", [3])
+    assert hdfs.read("/data") == [3]
+
+
+def test_empty_file_has_one_empty_block():
+    hdfs = Hdfs()
+    hdfs.put("/empty", [])
+    assert hdfs.read("/empty") == []
+    assert len(hdfs.blocks("/empty")) == 1
+
+
+def test_file_bytes_positive_for_real_data():
+    hdfs = Hdfs()
+    hdfs.put("/data", ["hello world"] * 10)
+    assert hdfs.file_bytes("/data") > 0
+
+
+def test_paths_listing():
+    hdfs = Hdfs()
+    hdfs.put("/b", [1])
+    hdfs.put("/a", [1])
+    assert hdfs.paths() == ["/a", "/b"]
+
+
+def test_invalid_construction():
+    with pytest.raises(StackExecutionError):
+        Hdfs(num_nodes=0)
+    with pytest.raises(StackExecutionError):
+        Hdfs(block_records=0)

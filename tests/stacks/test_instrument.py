@@ -1,0 +1,129 @@
+"""Tests for the trace → phase-profile instrumentation layer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stacks.base import ExecutionTrace, PhaseKind
+from repro.stacks.hadoop import HADOOP_1_0_2
+from repro.stacks.instrument import CharacterHints, profiles_from_trace
+from repro.stacks.spark import SPARK_0_8_1
+
+
+def make_trace(stack, workload="w", kinds=(PhaseKind.MAP, PhaseKind.REDUCE)):
+    trace = ExecutionTrace(stack, workload)
+    for kind in kinds:
+        trace.emit(
+            kind,
+            kind.value,
+            worker=0,
+            records_in=1000,
+            bytes_in=100_000,
+            records_out=1000,
+            bytes_out=100_000,
+        )
+    return trace
+
+
+def test_phases_merged_by_kind():
+    trace = make_trace(HADOOP_1_0_2, kinds=(PhaseKind.MAP, PhaseKind.MAP, PhaseKind.REDUCE))
+    profiles = profiles_from_trace(trace)
+    names = [p.name for p in profiles]
+    assert names == ["hadoop:map", "hadoop:reduce"]
+    # The two MAP records merged: instructions reflect 2000 records.
+    assert profiles[0].instructions > profiles[1].instructions
+
+
+def test_empty_trace_raises():
+    trace = ExecutionTrace(HADOOP_1_0_2, "empty")
+    with pytest.raises(ConfigurationError):
+        profiles_from_trace(trace)
+
+
+def test_invalid_worker_count_raises():
+    with pytest.raises(ConfigurationError):
+        profiles_from_trace(make_trace(HADOOP_1_0_2), num_workers=0)
+
+
+def test_hadoop_code_footprint_exceeds_spark():
+    hadoop = profiles_from_trace(make_trace(HADOOP_1_0_2, kinds=(PhaseKind.MAP,)))
+    spark = profiles_from_trace(make_trace(SPARK_0_8_1, "w", kinds=(PhaseKind.STAGE,)))
+    assert hadoop[0].code_footprint > spark[0].code_footprint
+
+
+def test_hadoop_framework_tax_exceeds_spark():
+    """Same records: the 67 MB stack costs more instructions per record."""
+    hadoop = profiles_from_trace(make_trace(HADOOP_1_0_2, kinds=(PhaseKind.MAP,)))
+    spark = profiles_from_trace(make_trace(SPARK_0_8_1, "w", kinds=(PhaseKind.STAGE,)))
+    assert hadoop[0].instructions > spark[0].instructions
+
+
+def test_spark_shares_memory_hadoop_does_not():
+    hadoop = profiles_from_trace(
+        make_trace(HADOOP_1_0_2, kinds=(PhaseKind.SHUFFLE,))
+    )
+    spark = profiles_from_trace(
+        make_trace(SPARK_0_8_1, "w", kinds=(PhaseKind.SHUFFLE_READ,))
+    )
+    assert spark[0].shared_fraction > hadoop[0].shared_fraction
+    assert hadoop[0].shared_fraction <= 0.06  # page-cache floor only
+
+
+def test_hadoop_kernel_fraction_exceeds_spark():
+    hadoop = profiles_from_trace(make_trace(HADOOP_1_0_2, kinds=(PhaseKind.SHUFFLE,)))
+    spark = profiles_from_trace(
+        make_trace(SPARK_0_8_1, "w", kinds=(PhaseKind.SHUFFLE_READ,))
+    )
+    assert hadoop[0].kernel_fraction > spark[0].kernel_fraction
+
+
+def test_footprint_scale_grows_working_sets():
+    small = profiles_from_trace(
+        make_trace(SPARK_0_8_1, "w", kinds=(PhaseKind.STAGE,)), footprint_scale=1.0
+    )
+    large = profiles_from_trace(
+        make_trace(SPARK_0_8_1, "w", kinds=(PhaseKind.STAGE,)), footprint_scale=500.0
+    )
+    assert large[0].data_working_set > small[0].data_working_set
+
+
+def test_hadoop_working_set_is_buffer_bounded():
+    profiles = profiles_from_trace(
+        make_trace(HADOOP_1_0_2, kinds=(PhaseKind.MAP,)), footprint_scale=1e6
+    )
+    assert profiles[0].data_working_set <= 16 * (1 << 20)
+
+
+def test_fp_hints_shape_the_mix():
+    plain = profiles_from_trace(make_trace(HADOOP_1_0_2, kinds=(PhaseKind.MAP,)))
+    fp = profiles_from_trace(
+        make_trace(HADOOP_1_0_2, kinds=(PhaseKind.MAP,)),
+        hints=CharacterHints(fp_sse=0.2),
+    )
+    assert fp[0].mix.fp_sse > plain[0].mix.fp_sse + 0.1
+
+
+def test_mix_never_oversums_even_with_aggressive_hints():
+    profiles = profiles_from_trace(
+        make_trace(HADOOP_1_0_2, kinds=(PhaseKind.MAP,)),
+        hints=CharacterHints(fp_sse=0.3, fp_x87=0.2, integer_shift=0.5),
+    )
+    mix = profiles[0].mix
+    total = mix.load + mix.store + mix.branch + mix.int_alu + mix.fp_x87 + mix.fp_sse
+    assert total <= 1.0 + 1e-9
+
+
+def test_idiosyncrasy_is_deterministic_per_workload():
+    a = profiles_from_trace(make_trace(HADOOP_1_0_2, workload="A"))
+    a_again = profiles_from_trace(make_trace(HADOOP_1_0_2, workload="A"))
+    b = profiles_from_trace(make_trace(HADOOP_1_0_2, workload="B"))
+    assert a == a_again
+    # Different workloads get different idiosyncrasies (same template).
+    assert a[0].code_footprint != b[0].code_footprint
+
+
+def test_jvm_starts_inflate_setup_instructions():
+    trace = ExecutionTrace(HADOOP_1_0_2, "w")
+    trace.emit(PhaseKind.SETUP, "setup", worker=-1, records_in=0, bytes_in=0, jvm_starts=10.0)
+    trace.emit(PhaseKind.SETUP, "setup", worker=-1, records_in=0, bytes_in=0, jvm_starts=40.0)
+    profiles = profiles_from_trace(trace)
+    assert profiles[0].instructions >= 50 * 100_000  # ~150k each

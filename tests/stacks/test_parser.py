@@ -1,0 +1,151 @@
+"""Tests for the mini SQL parser: plans and end-to-end engine agreement."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import StackExecutionError
+from repro.stacks.hive import HiveStack
+from repro.stacks.shark import SharkStack
+from repro.stacks.sql.interpreter import execute
+from repro.stacks.sql.parser import parse_query
+from repro.stacks.sql.plan import (
+    AggFunc,
+    Aggregate,
+    CompareOp,
+    CrossProduct,
+    Difference,
+    Filter,
+    Join,
+    OrderBy,
+    Project,
+    Scan,
+    Union,
+)
+from repro.stacks.sql.schema import Relation, Schema
+
+
+ITEMS = Relation(
+    "item",
+    Schema(("item_id", "category", "price", "quantity")),
+    [
+        (1, "books", 10.0, 2),
+        (2, "toys", 5.0, 1),
+        (3, "books", 20.0, 4),
+        (4, "food", 2.0, 8),
+    ],
+)
+ORDERS = Relation("orders", Schema(("order_id", "item_id")), [(9, 1), (8, 3)])
+TABLES = {"item": ITEMS, "orders": ORDERS}
+
+
+class TestPlanShapes:
+    def test_select_star(self):
+        assert parse_query("SELECT * FROM item") == Scan("item")
+
+    def test_projection(self):
+        plan = parse_query("SELECT item_id, price FROM item")
+        assert plan == Project(Scan("item"), ("item_id", "price"))
+
+    def test_where_with_and(self):
+        plan = parse_query(
+            "SELECT * FROM item WHERE price > 5 AND category = 'books'"
+        )
+        assert isinstance(plan, Filter)
+        assert plan.conditions[0].op is CompareOp.GT
+        assert plan.conditions[0].value == 5
+        assert plan.conditions[1].value == "books"
+
+    def test_group_by_with_aliases(self):
+        plan = parse_query(
+            "SELECT category, SUM(price) AS total, COUNT(*) FROM item "
+            "GROUP BY category"
+        )
+        assert isinstance(plan, Aggregate)
+        assert plan.group_by == ("category",)
+        assert plan.aggregates[0].func is AggFunc.SUM
+        assert plan.aggregates[0].alias == "total"
+        assert plan.aggregates[1].func is AggFunc.COUNT
+        assert plan.aggregates[1].column is None
+
+    def test_order_by_desc(self):
+        plan = parse_query("SELECT * FROM item ORDER BY price DESC")
+        assert isinstance(plan, OrderBy)
+        assert plan.descending is True
+
+    def test_join(self):
+        plan = parse_query(
+            "SELECT * FROM orders JOIN item ON item_id = item_id"
+        )
+        assert isinstance(plan, Join)
+
+    def test_cross_join(self):
+        plan = parse_query("SELECT * FROM orders CROSS JOIN item")
+        assert isinstance(plan, CrossProduct)
+
+    def test_union_all(self):
+        plan = parse_query("SELECT * FROM item UNION ALL SELECT * FROM item")
+        assert isinstance(plan, Union)
+
+    def test_except(self):
+        plan = parse_query("SELECT * FROM item EXCEPT SELECT * FROM item")
+        assert isinstance(plan, Difference)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize(
+        "sql,expected_rows",
+        [
+            ("SELECT item_id FROM item WHERE price >= 10", [(1,), (3,)]),
+            ("SELECT item_id FROM item WHERE category != 'books'", [(2,), (4,)]),
+            (
+                "SELECT category, MAX(price) FROM item GROUP BY category "
+                "ORDER BY category",
+                [("books", 20.0), ("food", 2.0), ("toys", 5.0)],
+            ),
+        ],
+    )
+    def test_interpreter_results(self, sql, expected_rows):
+        result = execute(parse_query(sql), TABLES)
+        assert result.rows == expected_rows
+
+    def test_parsed_query_runs_identically_on_hive_and_shark(self):
+        sql = (
+            "SELECT category, SUM(price) AS revenue FROM item "
+            "WHERE quantity >= 2 GROUP BY category"
+        )
+        plan = parse_query(sql)
+        reference = execute(plan, TABLES)
+
+        hive = HiveStack()
+        shark = SharkStack()
+        for stack in (hive, shark):
+            for relation in TABLES.values():
+                stack.create_table(relation)
+        hive_rows = hive.run_query(plan, hive.new_trace("q")).rows
+        shark_rows = shark.run_query(plan, shark.new_trace("q")).rows
+        assert Counter(hive_rows) == Counter(reference.rows)
+        assert Counter(shark_rows) == Counter(reference.rows)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "",
+            "SELECT",
+            "SELECT * FROM",
+            "FROM item SELECT *",
+            "SELECT * FROM item WHERE price ~ 3",
+            "SELECT * FROM item GROUP BY category",  # group-by w/o aggregates
+            "SELECT * FROM item UNION SELECT * FROM item",  # needs ALL
+            "SELECT * FROM item trailing garbage",
+        ],
+    )
+    def test_bad_queries_raise(self, sql):
+        with pytest.raises(StackExecutionError):
+            parse_query(sql)
+
+    def test_string_with_special_chars(self):
+        plan = parse_query("SELECT * FROM item WHERE category = 'sci fi'")
+        assert plan.conditions[0].value == "sci fi"

@@ -1,0 +1,218 @@
+"""Tests for the miniature Spark RDD engine."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import StackExecutionError
+from repro.stacks.base import PhaseKind
+from repro.stacks.hdfs import Hdfs
+from repro.stacks.spark import SparkEngine
+
+
+@pytest.fixture()
+def engine() -> SparkEngine:
+    return SparkEngine(num_workers=4)
+
+
+def trace_for(engine: SparkEngine):
+    return engine.new_trace("test")
+
+
+class TestNarrowTransformations:
+    def test_map(self, engine):
+        trace = trace_for(engine)
+        result = engine.parallelize(list(range(10))).map(lambda x: x * 2).collect(trace)
+        assert sorted(result) == [x * 2 for x in range(10)]
+
+    def test_flat_map(self, engine):
+        trace = trace_for(engine)
+        result = (
+            engine.parallelize(["a b", "c"])
+            .flat_map(lambda s: s.split())
+            .collect(trace)
+        )
+        assert Counter(result) == Counter(["a", "b", "c"])
+
+    def test_filter(self, engine):
+        trace = trace_for(engine)
+        result = (
+            engine.parallelize(list(range(20)))
+            .filter(lambda x: x % 3 == 0)
+            .collect(trace)
+        )
+        assert sorted(result) == [0, 3, 6, 9, 12, 15, 18]
+
+    def test_map_partitions(self, engine):
+        trace = trace_for(engine)
+        result = (
+            engine.parallelize(list(range(10)), num_partitions=2)
+            .map_partitions(lambda part: [sum(part)])
+            .collect(trace)
+        )
+        assert sum(result) == sum(range(10))
+
+    def test_union_keeps_duplicates(self, engine):
+        trace = trace_for(engine)
+        a = engine.parallelize([1, 2])
+        b = engine.parallelize([2, 3])
+        assert Counter(a.union(b).collect(trace)) == Counter([1, 2, 2, 3])
+
+
+class TestWideTransformations:
+    def test_reduce_by_key(self, engine):
+        trace = trace_for(engine)
+        pairs = [("a", 1), ("b", 2), ("a", 3), ("b", 4), ("c", 5)]
+        result = dict(
+            engine.parallelize(pairs).reduce_by_key(lambda x, y: x + y).collect(trace)
+        )
+        assert result == {"a": 4, "b": 6, "c": 5}
+
+    def test_group_by_key(self, engine):
+        trace = trace_for(engine)
+        pairs = [("a", 1), ("a", 2), ("b", 3)]
+        result = dict(engine.parallelize(pairs).group_by_key().collect(trace))
+        assert sorted(result["a"]) == [1, 2]
+        assert result["b"] == [3]
+
+    def test_distinct(self, engine):
+        trace = trace_for(engine)
+        result = engine.parallelize([1, 2, 2, 3, 3, 3]).distinct().collect(trace)
+        assert sorted(result) == [1, 2, 3]
+
+    def test_sort_by_produces_global_order(self, engine):
+        trace = trace_for(engine)
+        import random
+
+        values = list(range(100))
+        random.Random(5).shuffle(values)
+        result = engine.parallelize(values).sort_by(lambda x: x).collect(trace)
+        assert result == sorted(values)
+
+    def test_join(self, engine):
+        trace = trace_for(engine)
+        left = engine.parallelize([("a", 1), ("b", 2), ("a", 3)])
+        right = engine.parallelize([("a", "x"), ("c", "y")])
+        result = left.join(right).collect(trace)
+        assert Counter(result) == Counter([("a", (1, "x")), ("a", (3, "x"))])
+
+    def test_subtract_is_set_difference(self, engine):
+        trace = trace_for(engine)
+        left = engine.parallelize([1, 2, 2, 3, 4])
+        right = engine.parallelize([2, 4])
+        assert sorted(left.subtract(right).collect(trace)) == [1, 3]
+
+    def test_cartesian(self, engine):
+        trace = trace_for(engine)
+        a = engine.parallelize([1, 2])
+        b = engine.parallelize(["x", "y"])
+        result = a.cartesian(b).collect(trace)
+        assert Counter(result) == Counter(
+            [(1, "x"), (1, "y"), (2, "x"), (2, "y")]
+        )
+
+
+class TestActions:
+    def test_count(self, engine):
+        trace = trace_for(engine)
+        assert engine.parallelize(list(range(17))).count(trace) == 17
+
+    def test_reduce(self, engine):
+        trace = trace_for(engine)
+        assert engine.parallelize([1, 2, 3, 4]).reduce(lambda a, b: a + b, trace) == 10
+
+    def test_reduce_empty_raises(self, engine):
+        trace = trace_for(engine)
+        with pytest.raises(StackExecutionError):
+            engine.parallelize([]).reduce(lambda a, b: a + b, trace)
+
+
+class TestCaching:
+    def test_cached_rdd_reuses_partitions(self, engine):
+        trace = trace_for(engine)
+        rdd = engine.parallelize(list(range(50))).map(lambda x: x + 1).cache()
+        first = rdd.collect(trace)
+        stage_records_after_first = len(trace.by_kind(PhaseKind.STAGE))
+        second = rdd.collect(trace)
+        assert first == second
+        # The second collect scans the cache instead of recomputing.
+        assert len(trace.by_kind(PhaseKind.CACHE_SCAN)) > 0
+        assert len(trace.by_kind(PhaseKind.STAGE)) == stage_records_after_first
+
+    def test_cache_build_recorded_once(self, engine):
+        trace = trace_for(engine)
+        rdd = engine.parallelize([1, 2, 3]).cache()
+        rdd.collect(trace)
+        rdd.collect(trace)
+        builds = trace.by_kind(PhaseKind.CACHE_BUILD)
+        assert len(builds) == rdd.num_partitions
+
+    def test_cached_bytes_accounting(self, engine):
+        trace = trace_for(engine)
+        rdd = engine.parallelize(["payload"] * 100).cache()
+        rdd.collect(trace)
+        assert engine.cached_bytes > 0
+        engine.clear_cache()
+        assert engine.cached_bytes == 0
+
+
+class TestHdfsIntegration:
+    def test_from_hdfs_partitions_follow_blocks(self, engine):
+        hdfs = Hdfs(num_nodes=4, block_records=5)
+        hdfs.put("/in", list(range(20)))
+        rdd = engine.from_hdfs(hdfs, "/in")
+        assert rdd.num_partitions == 4
+        trace = trace_for(engine)
+        assert sorted(rdd.collect(trace)) == list(range(20))
+        # Scan tasks prefer the block's primary node.
+        assert rdd.preferred_worker(0) == hdfs.blocks("/in")[0].primary_node
+
+
+def test_shuffle_emits_write_and_read_phases(engine):
+    trace = trace_for(engine)
+    engine.parallelize([("k", 1)] * 30).reduce_by_key(lambda a, b: a + b).collect(trace)
+    assert trace.by_kind(PhaseKind.SHUFFLE_WRITE)
+    assert trace.by_kind(PhaseKind.SHUFFLE_READ)
+
+
+def test_engine_validation():
+    with pytest.raises(StackExecutionError):
+        SparkEngine(num_workers=0)
+
+
+class TestConvenienceApi:
+    def test_map_values_preserves_keys(self, engine):
+        trace = trace_for(engine)
+        result = (
+            engine.parallelize([("a", 1), ("b", 2)])
+            .map_values(lambda v: v * 10)
+            .collect(trace)
+        )
+        assert sorted(result) == [("a", 10), ("b", 20)]
+
+    def test_keys_and_values(self, engine):
+        trace = trace_for(engine)
+        pairs = engine.parallelize([("a", 1), ("b", 2)])
+        assert sorted(pairs.keys().collect(trace)) == ["a", "b"]
+        assert sorted(pairs.values().collect(trace)) == [1, 2]
+
+    def test_take_respects_partition_order(self, engine):
+        trace = trace_for(engine)
+        rdd = engine.parallelize(list(range(20)), num_partitions=4)
+        assert rdd.take(5, trace) == [0, 1, 2, 3, 4]
+        assert rdd.take(0, trace) == []
+        assert rdd.take(100, trace) == list(range(20))
+
+    def test_take_negative_raises(self, engine):
+        trace = trace_for(engine)
+        with pytest.raises(StackExecutionError):
+            engine.parallelize([1]).take(-1, trace)
+
+    def test_first(self, engine):
+        trace = trace_for(engine)
+        assert engine.parallelize([7, 8, 9]).first(trace) == 7
+
+    def test_first_of_empty_raises(self, engine):
+        trace = trace_for(engine)
+        with pytest.raises(StackExecutionError):
+            engine.parallelize([]).first(trace)

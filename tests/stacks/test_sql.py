@@ -1,0 +1,186 @@
+"""Tests for the relational layer: schema, plans, reference interpreter."""
+
+import pytest
+
+from repro.errors import StackExecutionError
+from repro.stacks.sql.interpreter import execute
+from repro.stacks.sql.plan import (
+    AggFunc,
+    Aggregate,
+    AggSpec,
+    CompareOp,
+    Comparison,
+    CrossProduct,
+    Difference,
+    Filter,
+    Join,
+    OrderBy,
+    Project,
+    Scan,
+    Union,
+    output_schema,
+)
+from repro.stacks.sql.schema import Relation, Schema
+
+
+ITEMS = Relation(
+    "item",
+    Schema(("item_id", "category", "price")),
+    [
+        (1, "books", 10.0),
+        (2, "toys", 5.0),
+        (3, "books", 20.0),
+        (4, "food", 2.0),
+    ],
+)
+ORDERS = Relation(
+    "orders",
+    Schema(("order_id", "item_id")),
+    [(100, 1), (101, 3), (102, 3), (103, 9)],
+)
+TABLES = {"item": ITEMS, "orders": ORDERS}
+
+
+class TestSchema:
+    def test_index_lookup(self):
+        assert ITEMS.schema.index("price") == 2
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(StackExecutionError):
+            ITEMS.schema.index("nope")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(StackExecutionError):
+            Schema(("a", "a"))
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(StackExecutionError):
+            Schema(())
+
+    def test_concat_prefixes_collisions(self):
+        joined = ITEMS.schema.concat(ORDERS.schema)
+        assert "l_item_id" in joined.columns
+        assert "r_item_id" in joined.columns
+        assert "order_id" in joined.columns
+
+    def test_relation_arity_checked(self):
+        with pytest.raises(StackExecutionError):
+            Relation("bad", Schema(("a", "b")), [(1,)])
+
+
+class TestInterpreter:
+    def test_scan(self):
+        assert execute(Scan("item"), TABLES).rows == ITEMS.rows
+
+    def test_project(self):
+        result = execute(Project(Scan("item"), ("price", "item_id")), TABLES)
+        assert result.rows == [(10.0, 1), (5.0, 2), (20.0, 3), (2.0, 4)]
+        assert result.schema.columns == ("price", "item_id")
+
+    def test_filter_conjunction(self):
+        plan = Filter(
+            Scan("item"),
+            (
+                Comparison("category", CompareOp.EQ, "books"),
+                Comparison("price", CompareOp.GT, 12.0),
+            ),
+        )
+        assert execute(plan, TABLES).rows == [(3, "books", 20.0)]
+
+    @pytest.mark.parametrize(
+        "op,value,expected_ids",
+        [
+            (CompareOp.EQ, 10.0, [1]),
+            (CompareOp.NE, 10.0, [2, 3, 4]),
+            (CompareOp.LT, 10.0, [2, 4]),
+            (CompareOp.LE, 10.0, [1, 2, 4]),
+            (CompareOp.GT, 10.0, [3]),
+            (CompareOp.GE, 10.0, [1, 3]),
+        ],
+    )
+    def test_all_comparison_operators(self, op, value, expected_ids):
+        plan = Filter(Scan("item"), (Comparison("price", op, value),))
+        assert [row[0] for row in execute(plan, TABLES).rows] == expected_ids
+
+    def test_order_by(self):
+        plan = OrderBy(Scan("item"), ("price",))
+        prices = [row[2] for row in execute(plan, TABLES).rows]
+        assert prices == sorted(prices)
+
+    def test_order_by_descending(self):
+        plan = OrderBy(Scan("item"), ("price",), descending=True)
+        prices = [row[2] for row in execute(plan, TABLES).rows]
+        assert prices == sorted(prices, reverse=True)
+
+    def test_join(self):
+        plan = Join(Scan("orders"), Scan("item"), "item_id", "item_id")
+        rows = execute(plan, TABLES).rows
+        assert len(rows) == 3  # order 103 references a missing item
+        assert all(row[1] == row[2] for row in rows)  # join keys equal
+
+    def test_cross_product(self):
+        plan = CrossProduct(Scan("orders"), Scan("item"))
+        assert len(execute(plan, TABLES).rows) == len(ORDERS) * len(ITEMS)
+
+    def test_union_all_semantics(self):
+        plan = Union(Scan("item"), Scan("item"))
+        assert len(execute(plan, TABLES).rows) == 2 * len(ITEMS)
+
+    def test_difference_distinct_semantics(self):
+        books = Filter(Scan("item"), (Comparison("category", CompareOp.EQ, "books"),))
+        plan = Difference(Scan("item"), books)
+        ids = sorted(row[0] for row in execute(plan, TABLES).rows)
+        assert ids == [2, 4]
+
+    def test_aggregate_all_functions(self):
+        plan = Aggregate(
+            Scan("item"),
+            ("category",),
+            (
+                AggSpec(AggFunc.COUNT, None, "n"),
+                AggSpec(AggFunc.SUM, "price", "total"),
+                AggSpec(AggFunc.AVG, "price", "mean"),
+                AggSpec(AggFunc.MIN, "price", "low"),
+                AggSpec(AggFunc.MAX, "price", "high"),
+            ),
+        )
+        result = {row[0]: row[1:] for row in execute(plan, TABLES).rows}
+        assert result["books"] == (2, 30.0, 15.0, 10.0, 20.0)
+        assert result["toys"] == (1, 5.0, 5.0, 5.0, 5.0)
+
+    def test_aggregate_without_group_by(self):
+        plan = Aggregate(Scan("item"), (), (AggSpec(AggFunc.COUNT, None, "n"),))
+        assert execute(plan, TABLES).rows == [(4,)]
+
+    def test_empty_input_behaviour(self):
+        empty = {"item": Relation("item", ITEMS.schema, [])}
+        assert execute(Project(Scan("item"), ("price",)), empty).rows == []
+        assert execute(OrderBy(Scan("item"), ("price",)), empty).rows == []
+
+
+class TestPlanValidation:
+    def test_unknown_table(self):
+        with pytest.raises(StackExecutionError):
+            execute(Scan("nope"), TABLES)
+
+    def test_union_schema_mismatch(self):
+        with pytest.raises(StackExecutionError):
+            output_schema(
+                Union(Scan("item"), Scan("orders")),
+                {n: r.schema for n, r in TABLES.items()},
+            )
+
+    def test_aggregate_requires_columns_for_non_count(self):
+        with pytest.raises(StackExecutionError):
+            AggSpec(AggFunc.SUM, None, "bad")
+
+    def test_aggregate_needs_at_least_one_function(self):
+        with pytest.raises(StackExecutionError):
+            Aggregate(Scan("item"), ("category",), ())
+
+    def test_output_schema_of_aggregate(self):
+        plan = Aggregate(
+            Scan("item"), ("category",), (AggSpec(AggFunc.SUM, "price", "total"),)
+        )
+        schema = output_schema(plan, {n: r.schema for n, r in TABLES.items()})
+        assert schema.columns == ("category", "total")

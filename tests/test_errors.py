@@ -1,0 +1,40 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    ConfigurationError,
+    DataGenerationError,
+    ProfilingError,
+    ReproError,
+    StackExecutionError,
+    WorkloadError,
+)
+
+
+@pytest.mark.parametrize(
+    "exception_type",
+    [
+        ConfigurationError,
+        DataGenerationError,
+        StackExecutionError,
+        WorkloadError,
+        ProfilingError,
+        AnalysisError,
+    ],
+)
+def test_all_errors_derive_from_repro_error(exception_type):
+    assert issubclass(exception_type, ReproError)
+    with pytest.raises(ReproError):
+        raise exception_type("boom")
+
+
+def test_one_except_clause_catches_everything():
+    caught = []
+    for exception_type in (ConfigurationError, AnalysisError, WorkloadError):
+        try:
+            raise exception_type("x")
+        except ReproError as error:
+            caught.append(type(error))
+    assert len(caught) == 3

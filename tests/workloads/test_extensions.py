@@ -1,0 +1,62 @@
+"""Tests for the extension workloads (beyond the paper's 32)."""
+
+import pytest
+
+from repro.workloads import SUITE, RunContext
+from repro.workloads.extensions import EXTENSION_WORKLOADS
+
+CTX = RunContext(scale=0.3, seed=17)
+
+
+def test_four_extension_workloads_on_both_stacks():
+    assert len(EXTENSION_WORKLOADS) == 4
+    names = [w.name for w in EXTENSION_WORKLOADS]
+    assert "H-InvertedIndex" in names and "S-InvertedIndex" in names
+    assert "H-ConnectedComponents" in names and "S-ConnectedComponents" in names
+
+
+def test_extensions_stay_out_of_the_paper_suite():
+    suite_names = {w.name for w in SUITE}
+    assert not suite_names & {w.name for w in EXTENSION_WORKLOADS}
+    assert len(SUITE) == 32
+
+
+@pytest.mark.parametrize("workload", EXTENSION_WORKLOADS, ids=lambda w: w.name)
+def test_extension_runs_and_self_checks(workload):
+    run = workload.run(CTX)
+    assert run.trace.records
+    failed = {
+        name: value
+        for name, value in run.checks.items()
+        if name in ("postings_sorted", "labels_consistent", "component_count_correct")
+        and value != 1.0
+    }
+    assert not failed, (workload.name, run.checks)
+
+
+def test_both_stacks_agree_on_inverted_index_size():
+    h = next(w for w in EXTENSION_WORKLOADS if w.name == "H-InvertedIndex").run(CTX)
+    s = next(w for w in EXTENSION_WORKLOADS if w.name == "S-InvertedIndex").run(CTX)
+    assert h.output_records == s.output_records
+
+
+def test_both_stacks_agree_on_component_count():
+    h = next(
+        w for w in EXTENSION_WORKLOADS if w.name == "H-ConnectedComponents"
+    ).run(CTX)
+    s = next(
+        w for w in EXTENSION_WORKLOADS if w.name == "S-ConnectedComponents"
+    ).run(CTX)
+    assert h.checks["components"] == s.checks["components"]
+
+
+def test_extension_characterizes_like_core_workloads():
+    from repro.cluster import Cluster, MeasurementConfig
+
+    cluster = Cluster()
+    characterization = cluster.characterize_workload(
+        EXTENSION_WORKLOADS[1],  # S-InvertedIndex
+        CTX,
+        MeasurementConfig(slaves_measured=1, active_cores=2, ops_per_core=1500),
+    )
+    assert len(characterization.metrics) == 45

@@ -1,0 +1,92 @@
+"""Tests for the 32-workload suite registry (Table I)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    SUITE,
+    Category,
+    DataType,
+    StackFamily,
+    hadoop_workloads,
+    spark_workloads,
+    workload_by_name,
+    workload_names,
+)
+
+
+def test_exactly_32_workloads():
+    assert len(SUITE) == 32
+
+
+def test_sixteen_per_stack_family():
+    assert len(hadoop_workloads()) == 16
+    assert len(spark_workloads()) == 16
+
+
+def test_every_algorithm_has_both_implementations():
+    algorithms = {w.algorithm for w in SUITE}
+    assert len(algorithms) == 16
+    for algorithm in algorithms:
+        families = {w.family for w in SUITE if w.algorithm == algorithm}
+        assert families == {StackFamily.HADOOP, StackFamily.SPARK}, algorithm
+
+
+def test_names_follow_paper_convention():
+    names = workload_names()
+    assert len(set(names)) == 32
+    assert all(name.startswith(("H-", "S-")) for name in names)
+    assert "H-Sort" in names and "S-PageRank" in names and "S-Kmeans" in names
+
+
+def test_table_i_category_split():
+    offline = [w for w in SUITE if w.category is Category.OFFLINE_ANALYTICS]
+    interactive = [w for w in SUITE if w.category is Category.INTERACTIVE_ANALYTICS]
+    assert len(offline) == 12  # 6 algorithms × 2 stacks
+    assert len(interactive) == 20  # 10 operators × 2 stacks
+
+
+def test_table_i_data_types():
+    assert workload_by_name("H-Sort").data_type is DataType.UNSTRUCTURED
+    assert workload_by_name("H-Bayes").data_type is DataType.SEMI_STRUCTURED
+    assert workload_by_name("H-JoinQuery").data_type is DataType.STRUCTURED
+
+
+def test_table_i_declared_sizes():
+    assert workload_by_name("H-Sort").declared_size == "80 GB"
+    assert workload_by_name("S-WordCount").declared_size == "98 GB"
+    assert workload_by_name("H-Kmeans").declared_size == "44 GB"
+    assert "million records" in workload_by_name("S-Union").declared_size
+
+
+def test_declared_bytes_are_large(tmp_path):
+    for workload in SUITE:
+        assert workload.declared_bytes >= 1 << 30  # all at least 1 GiB
+
+
+def test_unknown_name_raises():
+    with pytest.raises(WorkloadError):
+        workload_by_name("H-Nope")
+
+
+def test_empty_trace_runner_is_rejected():
+    from repro.stacks.hadoop import HADOOP_1_0_2
+    from repro.stacks.base import ExecutionTrace
+    from repro.workloads import RunContext, StackFamily, Workload, WorkloadRun
+
+    def empty_runner(context: RunContext) -> WorkloadRun:
+        return WorkloadRun(
+            trace=ExecutionTrace(HADOOP_1_0_2, "empty"), output_records=0
+        )
+
+    workload = Workload(
+        algorithm="Empty",
+        family=StackFamily.HADOOP,
+        category=Category.OFFLINE_ANALYTICS,
+        data_type=DataType.UNSTRUCTURED,
+        declared_size="1 GB",
+        declared_bytes=1 << 30,
+        runner=empty_runner,
+    )
+    with pytest.raises(WorkloadError):
+        workload.run()
