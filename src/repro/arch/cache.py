@@ -16,7 +16,17 @@ from typing import NamedTuple
 
 from repro.errors import ConfigurationError
 
-__all__ = ["CacheConfig", "CacheAccess", "CacheStats", "SetAssociativeCache"]
+__all__ = [
+    "CacheConfig",
+    "CacheAccess",
+    "CacheStats",
+    "SetAssociativeCache",
+    "ACCESS_HIT",
+    "ACCESS_WRITEBACK",
+    "ACCESS_EVICTED",
+    "ACCESS_VICTIM_SHIFT",
+    "unpack_access",
+]
 
 
 def _is_power_of_two(value: int) -> bool:
@@ -62,7 +72,8 @@ class CacheConfig:
 
 
 class CacheAccess(NamedTuple):
-    """Outcome of a single cache access (NamedTuple: created per access).
+    """Outcome of a single cache access (convenience decoding of the
+    packed-int protocol used on the hot path — see :data:`ACCESS_HIT`).
 
     Attributes:
         hit: Whether the line was present.
@@ -77,8 +88,34 @@ class CacheAccess(NamedTuple):
     writeback: bool = False
 
 
-#: Shared immutable fields for the overwhelmingly common hit case.
-_NO_EVICTION: tuple[int | None, bool] = (None, False)
+# Packed access-result protocol.  The simulator performs millions of cache
+# accesses per workload; constructing a CacheAccess for each one dominated
+# the profile, so :meth:`SetAssociativeCache.access_packed` encodes the
+# outcome in a single int instead:
+#
+#   bit 0 (ACCESS_HIT)       line was present
+#   bit 1 (ACCESS_WRITEBACK) the victim was dirty (write-back required)
+#   bit 2 (ACCESS_EVICTED)   a victim line was evicted
+#   bits 3+                  the victim's line address (valid iff bit 2)
+#
+# A hit is always exactly ``1`` and a victimless miss exactly ``0`` — both
+# are interned small ints, so the common cases allocate nothing.
+ACCESS_HIT = 0b001
+ACCESS_WRITEBACK = 0b010
+ACCESS_EVICTED = 0b100
+ACCESS_VICTIM_SHIFT = 3
+
+
+def unpack_access(packed: int, line_addr: int) -> CacheAccess:
+    """Decode a packed access result into a :class:`CacheAccess`."""
+    if packed & ACCESS_EVICTED:
+        return CacheAccess(
+            bool(packed & ACCESS_HIT),
+            line_addr,
+            packed >> ACCESS_VICTIM_SHIFT,
+            bool(packed & ACCESS_WRITEBACK),
+        )
+    return CacheAccess(bool(packed & ACCESS_HIT), line_addr)
 
 
 @dataclass
@@ -107,11 +144,29 @@ class SetAssociativeCache:
     a dirty bit, ordered from least to most recently used.
     """
 
+    __slots__ = (
+        "config",
+        "stats",
+        "_num_sets",
+        "_set_mask",
+        "_line_shift",
+        "_assoc",
+        "_write_back",
+        "_sets",
+    )
+
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
         self.stats = CacheStats()
         self._num_sets = config.num_sets
+        # Power-of-two set counts (every cache but the modelled L3) index
+        # with a precomputed mask; 0 means "fall back to modulo".
+        self._set_mask = (
+            self._num_sets - 1 if _is_power_of_two(self._num_sets) else 0
+        )
         self._line_shift = config.line_size.bit_length() - 1
+        self._assoc = config.associativity
+        self._write_back = config.write_back
         self._sets: list[OrderedDict[int, bool]] = [
             OrderedDict() for _ in range(config.num_sets)
         ]
@@ -121,34 +176,67 @@ class SetAssociativeCache:
         return addr >> self._line_shift
 
     def _set_for(self, line_addr: int) -> OrderedDict[int, bool]:
-        return self._sets[line_addr % self._num_sets]
+        mask = self._set_mask
+        return self._sets[line_addr & mask if mask else line_addr % self._num_sets]
 
     def access(self, addr: int, is_write: bool = False) -> CacheAccess:
         """Access byte address ``addr``; fill on miss (write-allocate).
 
         Returns:
             A :class:`CacheAccess` describing hit/miss and any eviction.
+            (Convenience wrapper; the simulator hot path calls
+            :meth:`access_packed` directly.)
+        """
+        return unpack_access(
+            self.access_packed(addr, is_write), addr >> self._line_shift
+        )
+
+    def access_packed(self, addr: int, is_write: bool = False) -> int:
+        """Access byte address ``addr``; fill on miss (write-allocate).
+
+        Returns:
+            The packed outcome (see the ``ACCESS_*`` bit constants):
+            ``1`` for a hit, ``0`` for a victimless miss, otherwise
+            ``ACCESS_EVICTED | writeback_bit | victim_line << 3``.
         """
         line = addr >> self._line_shift
-        cache_set = self._sets[line % self._num_sets]
+        mask = self._set_mask
+        cache_set = self._sets[line & mask if mask else line % self._num_sets]
+        stats = self.stats
         if line in cache_set:
-            self.stats.hits += 1
+            stats.hits += 1
             cache_set.move_to_end(line)
             if is_write:
                 cache_set[line] = True
-            return CacheAccess(True, line, *_NO_EVICTION)
+            return ACCESS_HIT
 
-        self.stats.misses += 1
-        evicted_line: int | None = None
-        writeback = False
-        if len(cache_set) >= self.config.associativity:
+        return self.fill_miss(cache_set, line, is_write)
+
+    def fill_miss(
+        self, cache_set: OrderedDict[int, bool], line: int, is_write: bool
+    ) -> int:
+        """Complete a demand miss: account stats, evict, fill ``line``.
+
+        Split out of :meth:`access_packed` so the core model can inline
+        the hit check (one set probe) and only pay a call on the miss
+        path.  ``cache_set`` must be the set ``line`` maps to.
+
+        Returns:
+            The packed miss outcome (``ACCESS_HIT`` clear; see
+            :meth:`access_packed`).
+        """
+        stats = self.stats
+        stats.misses += 1
+        packed = 0
+        if len(cache_set) >= self._assoc:
             evicted_line, evicted_dirty = cache_set.popitem(last=False)
-            self.stats.evictions += 1
-            writeback = evicted_dirty and self.config.write_back
-            if writeback:
-                self.stats.writebacks += 1
+            stats.evictions += 1
+            packed = ACCESS_EVICTED | (evicted_line << ACCESS_VICTIM_SHIFT)
+            if evicted_dirty and self._write_back:
+                stats.writebacks += 1
+                packed |= ACCESS_WRITEBACK
         cache_set[line] = is_write
-        return CacheAccess(False, line, evicted_line, writeback)
+        return packed
 
     def install_line(self, line_addr: int) -> None:
         """Fill ``line_addr`` without demand-access statistics (prefetch).
@@ -158,13 +246,36 @@ class SetAssociativeCache:
         the caller models prefetches as best-effort and ignores dirty
         victims, a second-order effect).
         """
-        cache_set = self._set_for(line_addr)
+        mask = self._set_mask
+        cache_set = self._sets[
+            line_addr & mask if mask else line_addr % self._num_sets
+        ]
         if line_addr in cache_set:
             cache_set.move_to_end(line_addr)
             return
-        if len(cache_set) >= self.config.associativity:
+        if len(cache_set) >= self._assoc:
             cache_set.popitem(last=False)
         cache_set[line_addr] = False
+
+    def install_span(self, first_line: int, count: int) -> None:
+        """Install ``count`` lines ending at ``first_line`` (coldest first).
+
+        Equivalent to ``install_line(first_line + offset)`` for ``offset``
+        descending from ``count - 1`` to 0, with the per-line call overhead
+        hoisted out — pre-warming installs hundreds of thousands of lines.
+        """
+        sets = self._sets
+        mask = self._set_mask
+        num_sets = self._num_sets
+        assoc = self._assoc
+        for line in range(first_line + count - 1, first_line - 1, -1):
+            cache_set = sets[line & mask if mask else line % num_sets]
+            if line in cache_set:
+                cache_set.move_to_end(line)
+                continue
+            if len(cache_set) >= assoc:
+                cache_set.popitem(last=False)
+            cache_set[line] = False
 
     def contains(self, addr: int) -> bool:
         """Whether the line holding byte ``addr`` is resident (no LRU update)."""

@@ -7,6 +7,14 @@ the socket's L3 and coherence directory with its siblings.  Feeding it a
 simulation: every synthesised operation walks the real tag arrays, so hit
 levels, snoop responses, TLB walks and branch mispredictions are emergent
 rather than dialled in.
+
+The inner loops here and in the caches/TLBs they drive are the hottest
+code in the repository (millions of simulated operations per workload),
+so they use the allocation-free packed protocols: operations arrive as
+the parallel columns of an :class:`~repro.arch.trace.OpStream`, cache
+accesses return packed ints (:meth:`SetAssociativeCache.access_packed`)
+and TLB translations return small codes
+(:meth:`TlbHierarchy.translate_packed`).
 """
 
 from __future__ import annotations
@@ -17,12 +25,32 @@ from collections import deque
 import numpy as np
 
 from repro.arch.branch import GsharePredictor
-from repro.arch.cache import CacheConfig, SetAssociativeCache
+from repro.arch.cache import (
+    ACCESS_EVICTED,
+    ACCESS_HIT,
+    ACCESS_WRITEBACK,
+    ACCESS_VICTIM_SHIFT,
+    CacheConfig,
+    SetAssociativeCache,
+)
 from repro.arch.coherence import CoherenceDirectory, MesiState, SnoopResponse
 from repro.arch.pipeline import SampleCounts
-from repro.arch.tlb import Tlb, TlbConfig, TlbHierarchy, TlbOutcome
+from repro.arch.tlb import (
+    PAGE_SHIFT,
+    TRANSLATE_STLB_HIT,
+    Tlb,
+    TlbConfig,
+    TlbHierarchy,
+)
 from repro.arch import trace as trace_mod
-from repro.arch.trace import MemOp, OpKind, PhaseProfile, synthesize_ops
+from repro.arch.trace import (
+    OP_BRANCH,
+    OP_FETCH_FLAG,
+    OP_LOAD,
+    OP_STORE,
+    PhaseProfile,
+    synthesize_stream,
+)
 
 __all__ = ["CoreModel", "LINE_SHIFT"]
 
@@ -43,9 +71,26 @@ _LFB_DEPTH = 10
 #: Concurrent stream detectors in the hardware prefetcher (per core).
 _STREAM_TRACKERS = 48
 
+_PAGE_WALK_CYCLES = TlbHierarchy.PAGE_WALK_CYCLES
+
 
 class CoreModel:
     """One simulated core of the Table III processor."""
+
+    __slots__ = (
+        "core_id",
+        "l3",
+        "directory",
+        "l1i",
+        "l1d",
+        "l2",
+        "itlb",
+        "dtlb",
+        "branch",
+        "_lfb",
+        "_stream_trackers",
+        "_last_fetch_line",
+    )
 
     def __init__(
         self,
@@ -78,36 +123,54 @@ class CoreModel:
         sequential walk of one 64 B line yields three hits after the
         transition; a next-line prefetcher hides most sequential line
         transitions, leaving jumps as the dominant L1I miss source.
+
+        The ITLB-L1 and L1I hit checks are inlined (one set probe each);
+        only misses pay a call into the slow paths.  The private L1s are
+        built with power-of-two set counts, which is what makes the
+        ``& _set_mask`` indexing valid.
         """
         counts.l1i_accesses += 1
-        lookup = self.itlb.translate(pc)
-        if lookup.walk_cycles:
-            if lookup.outcome is TlbOutcome.STLB_HIT:
-                counts.itlb_stlb_hits += 1
-            else:
-                counts.itlb_walks += 1
-                counts.itlb_walk_cycles += lookup.walk_cycles
-        access = self.l1i.access(pc)
-        line = access.line_addr
+        itlb = self.itlb
+        page = pc >> PAGE_SHIFT
+        itlb_l1 = itlb.l1
+        tlb_set = itlb_l1._sets[page & itlb_l1._set_mask]
+        if page in tlb_set:
+            tlb_set.move_to_end(page)
+            itlb.stats.l1_hits += 1
+        elif itlb.translate_miss(page) == TRANSLATE_STLB_HIT:
+            counts.itlb_stlb_hits += 1
+        else:
+            counts.itlb_walks += 1
+            counts.itlb_walk_cycles += _PAGE_WALK_CYCLES
+        l1i = self.l1i
+        line = pc >> LINE_SHIFT
+        cache_set = l1i._sets[line & l1i._set_mask]
+        if line in cache_set:
+            l1i.stats.hits += 1
+            cache_set.move_to_end(line)
+            hit = True
+        else:
+            l1i.fill_miss(cache_set, line, False)  # L1I lines never dirty
+            hit = False
         if line == self._last_fetch_line + 1:
-            self.l1i.install_line(line + 1)
+            l1i.install_line(line + 1)
             self.l2.install_line(line + 1)
             self.l3.install_line(line + 1)
         self._last_fetch_line = line
-        if access.hit:
+        if hit:
             counts.l1i_hits += 1
             return
         counts.l1i_misses += 1
-        l2_access = self.l2.access(pc)
-        if l2_access.hit:
+        l2_access = self.l2.access_packed(pc)
+        if l2_access & ACCESS_HIT:
             counts.icache_l2_hits += 1
             counts.l2_hits += 1
             return
         counts.l2_misses += 1
         counts.offcore_code += 1
         self._handle_l2_eviction(l2_access, counts)
-        l3_access = self.l3.access(pc)
-        if l3_access.hit:
+        l3_access = self.l3.access_packed(pc)
+        if l3_access & ACCESS_HIT:
             counts.icache_l3_hits += 1
             counts.l3_hits += 1
         else:
@@ -118,25 +181,31 @@ class CoreModel:
     # Data side.
     # ------------------------------------------------------------------
 
-    def _handle_l1d_eviction(self, access, counts: SampleCounts) -> None:
-        """Absorb a dirty L1D victim into the L2 (write-back)."""
-        if access.evicted_line is None or not access.writeback:
+    def _handle_l1d_eviction(self, packed: int, counts: SampleCounts) -> None:
+        """Absorb a dirty L1D victim into the L2 (write-back).
+
+        ``packed`` is an :meth:`~repro.arch.cache.SetAssociativeCache.
+        access_packed` result; clean or victimless misses need no action.
+        """
+        if not packed & ACCESS_WRITEBACK:
             return
-        if not self.l2.set_dirty(access.evicted_line):
+        victim = packed >> ACCESS_VICTIM_SHIFT
+        if not self.l2.set_dirty(victim):
             # Victim escaped the private hierarchy entirely.
             counts.offcore_writeback += 1
-            self.directory.evicted(self.core_id, access.evicted_line)
+            self.directory.evicted(self.core_id, victim)
 
-    def _handle_l2_eviction(self, access, counts: SampleCounts) -> None:
+    def _handle_l2_eviction(self, packed: int, counts: SampleCounts) -> None:
         """Handle an L2 victim: write back dirty data, keep L1D coherent."""
-        if access.evicted_line is None:
+        if not packed & ACCESS_EVICTED:
             return
-        if access.writeback:
+        victim = packed >> ACCESS_VICTIM_SHIFT
+        if packed & ACCESS_WRITEBACK:
             counts.offcore_writeback += 1
         # Maintain (approximate) inclusion so the directory can treat
         # "in L2" as "in the private hierarchy".
-        self.l1d.invalidate_line(access.evicted_line)
-        self.directory.evicted(self.core_id, access.evicted_line)
+        self.l1d.invalidate_line(victim)
+        self.directory.evicted(self.core_id, victim)
 
     def _record_snoop(self, response: SnoopResponse, counts: SampleCounts) -> None:
         if response is SnoopResponse.HIT:
@@ -146,18 +215,8 @@ class CoreModel:
         elif response is SnoopResponse.HITM:
             counts.snoop_hitm += 1
 
-    def _track_mlp(
-        self, outstanding: list[int], tick: int, counts: SampleCounts
-    ) -> None:
-        """Advance the outstanding-miss heap to ``tick`` and integrate MLP."""
-        while outstanding and outstanding[0] <= tick:
-            heapq.heappop(outstanding)
-        if outstanding:
-            counts.mlp_active += 1
-            counts.mlp_sum += len(outstanding)
-
-    def _prefetch_stream(self, line: int, counts: SampleCounts) -> None:
-        """Streaming hardware prefetcher with multiple stream detectors.
+    def _prefetch_ahead(self, line: int, counts: SampleCounts) -> None:
+        """Install the next two lines after a detected sequential stream.
 
         Real L1/L2 prefetchers track a few dozen independent streams (one
         per 4 KB page), so sequential scans stay covered even when other
@@ -165,49 +224,66 @@ class CoreModel:
         page, the next two lines are installed throughout the hierarchy
         without demand statistics — which is why streaming scans do not
         drown the LLC in compulsory misses on real hardware.
+
+        The stream-detector probe itself is inlined in :meth:`_load` /
+        :meth:`_store`; this method only runs on a detection.
         """
-        page = line >> 6  # 4 KiB page of this line
-        trackers = self._stream_trackers
-        last = trackers.get(page)
-        if last is not None and line == last + 1:
-            for ahead in (line + 1, line + 2):
-                if not self.l2.line_resident(ahead):
-                    # The prefetch escapes the core: it is offcore data
-                    # traffic just like a demand read would have been.
-                    counts.offcore_data += 1
-                self.l1d.install_line(ahead)
-                self.l2.install_line(ahead)
-                self.l3.install_line(ahead)
-        trackers[page] = line
-        if len(trackers) > _STREAM_TRACKERS:
-            trackers.pop(next(iter(trackers)))
+        l1d, l2, l3 = self.l1d, self.l2, self.l3
+        for ahead in (line + 1, line + 2):
+            if not l2.line_resident(ahead):
+                # The prefetch escapes the core: it is offcore data
+                # traffic just like a demand read would have been.
+                counts.offcore_data += 1
+            l1d.install_line(ahead)
+            l2.install_line(ahead)
+            l3.install_line(ahead)
 
     def _load(
         self,
-        op: MemOp,
+        addr: int,
         tick: int,
         outstanding: list[int],
         counts: SampleCounts,
     ) -> None:
-        counts.loads += 1
-        self._prefetch_stream(op.address >> LINE_SHIFT, counts)
-        lookup = self.dtlb.translate(op.address)
-        if lookup.walk_cycles:
-            if lookup.outcome is TlbOutcome.STLB_HIT:
-                counts.dtlb_stlb_hits += 1
-            else:
-                counts.dtlb_walks += 1
-                counts.dtlb_walk_cycles += lookup.walk_cycles
-        access = self.l1d.access(op.address)
-        if access.hit:
+        line = addr >> LINE_SHIFT
+        # Streaming prefetcher probe (one dict get/set per access; the
+        # tracker-limit pop can only be needed when a new page was added).
+        page4k = line >> 6  # 4 KiB page of this line
+        trackers = self._stream_trackers
+        last = trackers.get(page4k)
+        trackers[page4k] = line
+        if last is not None:
+            if line == last + 1:
+                self._prefetch_ahead(line, counts)
+        elif len(trackers) > _STREAM_TRACKERS:
+            trackers.pop(next(iter(trackers)))
+        # DTLB with the L1 hit check inlined.
+        dtlb = self.dtlb
+        page = addr >> PAGE_SHIFT
+        dtlb_l1 = dtlb.l1
+        tlb_set = dtlb_l1._sets[page & dtlb_l1._set_mask]
+        if page in tlb_set:
+            tlb_set.move_to_end(page)
+            dtlb.stats.l1_hits += 1
+        elif dtlb.translate_miss(page) == TRANSLATE_STLB_HIT:
+            counts.dtlb_stlb_hits += 1
+        else:
+            counts.dtlb_walks += 1
+            counts.dtlb_walk_cycles += _PAGE_WALK_CYCLES
+        # L1D with the hit check inlined.
+        l1d = self.l1d
+        cache_set = l1d._sets[line & l1d._set_mask]
+        if line in cache_set:
+            l1d.stats.hits += 1
+            cache_set.move_to_end(line)
             return
+        access = l1d.fill_miss(cache_set, line, False)
         self._handle_l1d_eviction(access, counts)
-        line = access.line_addr
         if line in self._lfb:
             counts.load_hit_lfb += 1
             return
-        l2_access = self.l2.access(op.address)
-        if l2_access.hit:
+        l2_access = self.l2.access_packed(addr)
+        if l2_access & ACCESS_HIT:
             counts.load_hit_l2 += 1
             counts.l2_hits += 1
             return
@@ -221,10 +297,10 @@ class CoreModel:
             counts.load_hit_sibling += 1
             heapq.heappush(outstanding, tick + _MLP_SERVICE_SIBLING)
             # A dirty cache-to-cache transfer also installs into the L3.
-            self.l3.access(op.address)
+            self.l3.access_packed(addr)
             return
-        l3_access = self.l3.access(op.address)
-        if l3_access.hit:
+        l3_access = self.l3.access_packed(addr)
+        if l3_access & ACCESS_HIT:
             counts.load_hit_l3 += 1
             counts.l3_hits += 1
             heapq.heappush(outstanding, tick + _MLP_SERVICE_L3)
@@ -235,23 +311,42 @@ class CoreModel:
 
     def _store(
         self,
-        op: MemOp,
+        addr: int,
         tick: int,
         outstanding: list[int],
         counts: SampleCounts,
     ) -> None:
-        counts.stores += 1
-        self._prefetch_stream(op.address >> LINE_SHIFT, counts)
-        lookup = self.dtlb.translate(op.address)
-        if lookup.walk_cycles:
-            if lookup.outcome is TlbOutcome.STLB_HIT:
-                counts.dtlb_stlb_hits += 1
-            else:
-                counts.dtlb_walks += 1
-                counts.dtlb_walk_cycles += lookup.walk_cycles
-        access = self.l1d.access(op.address, is_write=True)
-        line = access.line_addr
-        if access.hit:
+        line = addr >> LINE_SHIFT
+        # Streaming prefetcher probe (see _load).
+        page4k = line >> 6
+        trackers = self._stream_trackers
+        last = trackers.get(page4k)
+        trackers[page4k] = line
+        if last is not None:
+            if line == last + 1:
+                self._prefetch_ahead(line, counts)
+        elif len(trackers) > _STREAM_TRACKERS:
+            trackers.pop(next(iter(trackers)))
+        # DTLB with the L1 hit check inlined.
+        dtlb = self.dtlb
+        page = addr >> PAGE_SHIFT
+        dtlb_l1 = dtlb.l1
+        tlb_set = dtlb_l1._sets[page & dtlb_l1._set_mask]
+        if page in tlb_set:
+            tlb_set.move_to_end(page)
+            dtlb.stats.l1_hits += 1
+        elif dtlb.translate_miss(page) == TRANSLATE_STLB_HIT:
+            counts.dtlb_stlb_hits += 1
+        else:
+            counts.dtlb_walks += 1
+            counts.dtlb_walk_cycles += _PAGE_WALK_CYCLES
+        # L1D (write) with the hit check inlined.
+        l1d = self.l1d
+        cache_set = l1d._sets[line & l1d._set_mask]
+        if line in cache_set:
+            l1d.stats.hits += 1
+            cache_set.move_to_end(line)
+            cache_set[line] = True
             state = self.directory.state(self.core_id, line)
             if state is MesiState.SHARED:
                 # Upgrade: invalidate other sharers, goes on the bus.
@@ -261,12 +356,13 @@ class CoreModel:
             elif state is MesiState.EXCLUSIVE:
                 self.directory.write_hit_owned(self.core_id, line)
             return
+        access = l1d.fill_miss(cache_set, line, True)
         self._handle_l1d_eviction(access, counts)
         if line in self._lfb:
             counts.load_hit_lfb += 1  # stores merging into an in-flight fill
             return
-        l2_access = self.l2.access(op.address, is_write=True)
-        if l2_access.hit:
+        l2_access = self.l2.access_packed(addr, True)
+        if l2_access & ACCESS_HIT:
             counts.l2_hits += 1
             state = self.directory.state(self.core_id, line)
             if state is MesiState.SHARED:
@@ -284,10 +380,10 @@ class CoreModel:
         if response is not SnoopResponse.NONE:
             self._record_snoop(response, counts)
             heapq.heappush(outstanding, tick + _MLP_SERVICE_SIBLING)
-            self.l3.access(op.address, is_write=True)
+            self.l3.access_packed(addr, True)
             return
-        l3_access = self.l3.access(op.address, is_write=True)
-        if l3_access.hit:
+        l3_access = self.l3.access_packed(addr, True)
+        if l3_access & ACCESS_HIT:
             counts.l3_hits += 1
             heapq.heappush(outstanding, tick + _MLP_SERVICE_L3)
         else:
@@ -331,8 +427,7 @@ class CoreModel:
         private_base = trace_mod.PRIVATE_DATA_BASE + self.core_id * trace_mod.PRIVATE_DATA_STRIDE
         hot_lines = trace_mod.HOT_REGION_BYTES >> LINE_SHIFT
         hot_first = private_base >> LINE_SHIFT
-        for offset in range(hot_lines - 1, -1, -1):
-            self.l1d.install_line(hot_first + offset)
+        self.l1d.install_span(hot_first, hot_lines)
 
         warm_bytes = min(trace_mod.WARM_REGION_BYTES, profile.data_working_set)
         warm_first = (private_base + trace_mod.HOT_REGION_BYTES) >> LINE_SHIFT
@@ -340,10 +435,8 @@ class CoreModel:
         if private_budget_lines is not None:
             warm_lines = min(warm_lines, max(1, private_budget_lines))
         l2_head = min(warm_lines, (self.l2.config.size // 2) >> LINE_SHIFT)
-        for offset in range(warm_lines - 1, -1, -1):
-            self.l3.install_line(warm_first + offset)
-            if offset < l2_head:
-                self.l2.install_line(warm_first + offset)
+        self.l3.install_span(warm_first, warm_lines)
+        self.l2.install_span(warm_first, l2_head)
 
         # The private L1I / L2 hold this core's hot code head regardless
         # of who warms the shared L3.
@@ -351,10 +444,8 @@ class CoreModel:
         code_lines = max(4, min(profile.code_footprint, 3 << 20) >> LINE_SHIFT)
         l1i_head = min(code_lines, self.l1i.config.size >> LINE_SHIFT)
         l2_code_head = min(code_lines, (self.l2.config.size // 2) >> LINE_SHIFT)
-        for offset in range(l2_code_head - 1, -1, -1):
-            self.l2.install_line(code_first + offset)
-            if offset < l1i_head:
-                self.l1i.install_line(code_first + offset)
+        self.l2.install_span(code_first, l2_code_head)
+        self.l1i.install_span(code_first, l1i_head)
 
         if not install_shared_and_code:
             return
@@ -364,11 +455,9 @@ class CoreModel:
                 trace_mod.SHARED_WARM_BYTES // 2, profile.shared_working_set
             )
             shared_first = trace_mod.SHARED_DATA_BASE >> LINE_SHIFT
-            for offset in range(max(1, shared_bytes >> LINE_SHIFT) - 1, -1, -1):
-                self.l3.install_line(shared_first + offset)
+            self.l3.install_span(shared_first, max(1, shared_bytes >> LINE_SHIFT))
 
-        for offset in range(code_lines - 1, -1, -1):
-            self.l3.install_line(code_first + offset)
+        self.l3.install_span(code_first, code_lines)
 
     def run_sample(
         self,
@@ -382,35 +471,58 @@ class CoreModel:
             Raw sample counters (unscaled).  Cycle accounting and scaling
             to the phase's nominal instruction count happen in
             :class:`repro.arch.processor.Processor`.
+
+        The loop body is deliberately flat: the op stream is consumed as
+        parallel columns, scalar counters are accumulated in locals and
+        flushed into ``counts`` once, and the MLP tracking is inlined —
+        this is the hottest loop in the repository.
         """
         counts = SampleCounts()
-        ops, pcs = synthesize_ops(profile, n_ops, self.core_id, rng)
+        stream = synthesize_stream(profile, n_ops, self.core_id, rng)
+        codes = stream.codes
+        addresses = stream.addresses
+        takens = stream.takens
+        pcs = stream.pcs
         outstanding: list[int] = []
-        prev_block = -1
-        for tick, (op, pc) in enumerate(zip(ops, pcs)):
-            counts.instructions += 1
-            if op.kernel:
-                counts.kernel_instructions += 1
-            self._track_mlp(outstanding, tick, counts)
-            block = pc >> 4  # 16-byte fetch blocks
-            if block != prev_block:
-                self._fetch(pc, counts)
-                prev_block = block
-            if op.kind is OpKind.LOAD:
-                self._load(op, tick, outstanding, counts)
-            elif op.kind is OpKind.STORE:
-                self._store(op, tick, outstanding, counts)
-            elif op.kind is OpKind.BRANCH:
-                counts.branches_retired += 1
-                correct = self.branch.predict_and_update(op.address, op.taken)
-                if not correct:
-                    counts.branch_mispredicts += 1
-            elif op.kind is OpKind.INT_ALU:
-                counts.int_ops += 1
-            elif op.kind is OpKind.FP_X87:
-                counts.x87_ops += 1
-            elif op.kind is OpKind.FP_SSE:
-                counts.sse_ops += 1
+        heappop = heapq.heappop
+        fetch = self._fetch
+        load = self._load
+        store = self._store
+        predict = self.branch.predict_and_update
+        mispredicts = 0
+        mlp_active = 0
+        mlp_sum = 0
+        for tick, code in enumerate(codes):
+            while outstanding and outstanding[0] <= tick:
+                heappop(outstanding)
+            if outstanding:
+                mlp_active += 1
+                mlp_sum += len(outstanding)
+            if code & OP_FETCH_FLAG:
+                # New 16-byte fetch block (precomputed at synthesis time).
+                fetch(pcs[tick], counts)
+                code ^= OP_FETCH_FLAG
+            if code == OP_LOAD:
+                load(addresses[tick], tick, outstanding, counts)
+            elif code == OP_STORE:
+                store(addresses[tick], tick, outstanding, counts)
+            elif code == OP_BRANCH:
+                if not predict(addresses[tick], takens[tick]):
+                    mispredicts += 1
+        # Per-class tallies are pure functions of the stream — precomputed
+        # vectorised at synthesis time instead of counted per op here.
+        tallies = stream.tallies
+        counts.instructions = n_ops
+        counts.kernel_instructions = tallies.kernel
+        counts.loads = tallies.loads
+        counts.stores = tallies.stores
+        counts.branches_retired = tallies.branches
+        counts.branch_mispredicts = mispredicts
+        counts.int_ops = tallies.int_alu
+        counts.x87_ops = tallies.fp_x87
+        counts.sse_ops = tallies.fp_sse
+        counts.mlp_active = mlp_active
+        counts.mlp_sum = mlp_sum
         return counts
 
     def reset(self) -> None:

@@ -16,7 +16,17 @@ from typing import NamedTuple
 
 from repro.errors import ConfigurationError
 
-__all__ = ["TlbConfig", "TlbOutcome", "TlbLookup", "Tlb", "TlbHierarchy", "TlbStats"]
+__all__ = [
+    "TlbConfig",
+    "TlbOutcome",
+    "TlbLookup",
+    "Tlb",
+    "TlbHierarchy",
+    "TlbStats",
+    "TRANSLATE_L1_HIT",
+    "TRANSLATE_STLB_HIT",
+    "TRANSLATE_PAGE_WALK",
+]
 
 PAGE_SHIFT = 12  # 4 KiB pages
 PAGE_SIZE = 1 << PAGE_SHIFT
@@ -85,12 +95,22 @@ class TlbStats:
         return self.stlb_hits + self.walks
 
 
+#: Integer codes returned by :meth:`TlbHierarchy.translate_packed` — the
+#: hot path avoids building a :class:`TlbLookup` per translation.
+TRANSLATE_L1_HIT = 0
+TRANSLATE_STLB_HIT = 1
+TRANSLATE_PAGE_WALK = 2
+
+
 class Tlb:
     """One set-associative TLB level with LRU replacement over page numbers."""
+
+    __slots__ = ("config", "_set_mask", "_assoc", "_sets")
 
     def __init__(self, config: TlbConfig) -> None:
         self.config = config
         self._set_mask = config.num_sets - 1
+        self._assoc = config.associativity
         self._sets: list[OrderedDict[int, None]] = [OrderedDict() for _ in range(config.num_sets)]
 
     def _set_for(self, page: int) -> OrderedDict[int, None]:
@@ -110,7 +130,7 @@ class Tlb:
         if page in tlb_set:
             tlb_set.move_to_end(page)
             return
-        if len(tlb_set) >= self.config.associativity:
+        if len(tlb_set) >= self._assoc:
             tlb_set.popitem(last=False)
         tlb_set[page] = None
 
@@ -131,23 +151,57 @@ class TlbHierarchy:
     #: Cycles for a full page walk (two-level walk hitting the caches).
     PAGE_WALK_CYCLES = 30
 
+    __slots__ = ("l1", "stlb", "stats")
+
     def __init__(self, l1: Tlb, stlb: Tlb) -> None:
         self.l1 = l1
         self.stlb = stlb
         self.stats = TlbStats()
 
     def translate(self, addr: int) -> TlbLookup:
-        """Translate byte address ``addr``, filling TLBs on the way."""
-        page = addr >> PAGE_SHIFT
-        if self.l1.lookup(page):
-            self.stats.l1_hits += 1
+        """Translate byte address ``addr``, filling TLBs on the way.
+
+        Convenience wrapper over :meth:`translate_packed`; the simulator
+        hot path uses the packed form to avoid a ``TlbLookup`` per access.
+        """
+        code = self.translate_packed(addr)
+        if code == TRANSLATE_L1_HIT:
             return _L1_HIT
+        if code == TRANSLATE_STLB_HIT:
+            return TlbLookup(TlbOutcome.STLB_HIT, walk_cycles=self.STLB_FILL_CYCLES)
+        return TlbLookup(TlbOutcome.PAGE_WALK, walk_cycles=self.PAGE_WALK_CYCLES)
+
+    def translate_packed(self, addr: int) -> int:
+        """Translate ``addr``; return a ``TRANSLATE_*`` code (no allocation).
+
+        The overwhelmingly common case — an L1 TLB hit — is inlined here
+        rather than dispatched through :meth:`Tlb.lookup`.
+        """
+        page = addr >> PAGE_SHIFT
+        l1 = self.l1
+        tlb_set = l1._sets[page & l1._set_mask]
+        if page in tlb_set:
+            tlb_set.move_to_end(page)
+            self.stats.l1_hits += 1
+            return TRANSLATE_L1_HIT
+        return self.translate_miss(page)
+
+    def translate_miss(self, page: int) -> int:
+        """Finish a translation whose L1 TLB probe missed (slow path).
+
+        Split out so the core model can inline the L1 probe and only pay
+        a call on a first-level miss.
+
+        Returns:
+            ``TRANSLATE_STLB_HIT`` or ``TRANSLATE_PAGE_WALK``.
+        """
         if self.stlb.lookup(page):
             self.stats.stlb_hits += 1
             self.l1.fill(page)
-            return TlbLookup(TlbOutcome.STLB_HIT, walk_cycles=self.STLB_FILL_CYCLES)
-        self.stats.walks += 1
-        self.stats.walk_cycles += self.PAGE_WALK_CYCLES
+            return TRANSLATE_STLB_HIT
+        stats = self.stats
+        stats.walks += 1
+        stats.walk_cycles += self.PAGE_WALK_CYCLES
         self.stlb.fill(page)
         self.l1.fill(page)
-        return TlbLookup(TlbOutcome.PAGE_WALK, walk_cycles=self.PAGE_WALK_CYCLES)
+        return TRANSLATE_PAGE_WALK

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
+from functools import lru_cache
 from typing import NamedTuple
 
 import numpy as np
@@ -42,10 +43,21 @@ from repro.errors import ConfigurationError
 __all__ = [
     "OpKind",
     "MemOp",
+    "OpStream",
+    "OpTallies",
+    "OP_FETCH_FLAG",
     "InstructionMix",
     "PhaseProfile",
     "synthesize_ops",
+    "synthesize_stream",
     "merge_profiles",
+    "OP_LOAD",
+    "OP_STORE",
+    "OP_BRANCH",
+    "OP_INT_ALU",
+    "OP_FP_X87",
+    "OP_FP_SSE",
+    "OP_OTHER",
 ]
 
 #: Base of the (simulated) user code segment.
@@ -83,8 +95,31 @@ class OpKind(enum.Enum):
     OTHER = "other"
 
 
+#: Integer operation codes used on the simulator hot path.  The order
+#: matches :meth:`InstructionMix.as_probabilities` so a mix draw *is* the
+#: op code.  :data:`KIND_FROM_CODE` maps a code back to its :class:`OpKind`.
+OP_LOAD = 0
+OP_STORE = 1
+OP_BRANCH = 2
+OP_INT_ALU = 3
+OP_FP_X87 = 4
+OP_FP_SSE = 5
+OP_OTHER = 6
+
+KIND_FROM_CODE: tuple[OpKind, ...] = (
+    OpKind.LOAD,
+    OpKind.STORE,
+    OpKind.BRANCH,
+    OpKind.INT_ALU,
+    OpKind.FP_X87,
+    OpKind.FP_SSE,
+    OpKind.OTHER,
+)
+
+
 class MemOp(NamedTuple):
-    """One synthesised operation (a NamedTuple: millions are created).
+    """One synthesised operation (convenience view; the hot path consumes
+    the parallel arrays of :class:`OpStream` instead).
 
     Attributes:
         kind: Operation class.
@@ -100,6 +135,57 @@ class MemOp(NamedTuple):
     kernel: bool = False
     taken: bool = False
     shared: bool = False
+
+
+#: Bit set in :attr:`OpStream.codes` when the op's fetch PC enters a new
+#: 16-byte fetch block (i.e. the frontend must probe the L1I).  The
+#: boundary test is a pure function of the PC column, so it is computed
+#: vectorised at synthesis time instead of per-op in the simulation loop.
+OP_FETCH_FLAG = 8
+_OP_CODE_MASK = OP_FETCH_FLAG - 1
+
+
+class OpTallies(NamedTuple):
+    """Per-class op counts of one synthesised sample (see ``OpStream``)."""
+
+    loads: int
+    stores: int
+    branches: int
+    int_alu: int
+    fp_x87: int
+    fp_sse: int
+    kernel: int
+
+
+class OpStream(NamedTuple):
+    """A synthesised sample as parallel plain-``list`` columns.
+
+    One ``OpStream`` replaces ``n_ops`` :class:`MemOp` allocations — the
+    core model indexes the columns directly, which is what lets a sample
+    of tens of thousands of operations simulate without creating a Python
+    object per instruction.
+
+    Attributes:
+        codes: Per instruction, the ``OP_*`` operation code in the low
+            bits plus :data:`OP_FETCH_FLAG` when this op starts a new
+            16-byte fetch block (mask with ``~OP_FETCH_FLAG`` for the
+            bare code).
+        addresses: Byte address (LOAD/STORE), branch-site PC (BRANCH), or 0.
+        kernels: Ring-0 flag per instruction.
+        takens: Branch outcome (False for non-branches).
+        shareds: Whether a LOAD/STORE targets the shared data region.
+        pcs: Fetch PC per instruction.
+        tallies: Per-class op counts, pre-computed vectorised so the
+            simulation loop does not tally per op.
+    """
+
+    codes: list[int]
+    addresses: list[int]
+    kernels: list[bool]
+    takens: list[bool]
+    shareds: list[bool]
+    pcs: list[int]
+    tallies: OpTallies
 
 
 @dataclass(frozen=True)
@@ -318,7 +404,9 @@ _KERNEL_REUSE_SKEW = 3.0
 _KERNEL_BURST_MEAN = 400.0
 
 
-def _kernel_bursts(kernel_fraction: float, n_ops: int, rng: np.random.Generator) -> list[bool]:
+def _kernel_bursts(
+    kernel_fraction: float, n_ops: int, rng: np.random.Generator
+) -> np.ndarray:
     """Ring-0 flags as alternating exponential user/kernel bursts.
 
     The long-run kernel share equals ``kernel_fraction`` while execution
@@ -326,9 +414,9 @@ def _kernel_bursts(kernel_fraction: float, n_ops: int, rng: np.random.Generator)
     syscall-heavy code does.
     """
     if kernel_fraction <= 0.0:
-        return [False] * n_ops
+        return np.zeros(n_ops, dtype=bool)
     if kernel_fraction >= 1.0:
-        return [True] * n_ops
+        return np.ones(n_ops, dtype=bool)
     mean_user = _KERNEL_BURST_MEAN * (1.0 - kernel_fraction) / kernel_fraction
     flags = np.empty(n_ops, dtype=bool)
     position = 0
@@ -339,21 +427,61 @@ def _kernel_bursts(kernel_fraction: float, n_ops: int, rng: np.random.Generator)
         flags[position : position + run] = in_kernel
         position += run
         in_kernel = not in_kernel
-    return flags.tolist()
+    return flags
 
 
-def synthesize_ops(
+@lru_cache(maxsize=512)
+def _mix_probabilities(mix: InstructionMix) -> np.ndarray:
+    """Normalised op-class distribution table for ``mix`` (memoised).
+
+    The same phase mixes recur across warm-up and measured samples of
+    every core and slave; rebuilding and renormalising the distribution
+    per sample was measurable, so it is computed once per distinct mix.
+    """
+    _, probabilities = zip(*mix.as_probabilities())
+    probs = np.asarray(probabilities, dtype=float)
+    return probs / probs.sum()
+
+
+def _chain_offsets(
+    member: np.ndarray,
+    jump: np.ndarray,
+    targets: np.ndarray,
+    span: int,
+    n_ops: int,
+) -> np.ndarray:
+    """Vectorised fetch-offset chain for one address space.
+
+    Ops where ``member`` is set belong to this chain (user or kernel).  A
+    jump moves the chain to ``targets[i]``; a sequential op advances the
+    previous chain offset by 4 modulo ``span``.  Equivalent to threading a
+    single ``pc`` variable through the ops one at a time, but computed as
+    a handful of array passes: the offset at op ``i`` is
+    ``(target_of_last_jump + 4 * ops_since_that_jump) % span`` (with a
+    virtual offset-0 "jump" before the first op).
+    """
+    chain_pos = np.cumsum(member) - 1
+    jump_here = member & jump
+    indices = np.arange(n_ops)
+    last_jump = np.maximum.accumulate(np.where(jump_here, indices, -1))
+    clamped = np.maximum(last_jump, 0)
+    has_jump = last_jump >= 0
+    base = np.where(has_jump, targets[clamped], 0)
+    base_pos = np.where(has_jump, chain_pos[clamped], -1)
+    return (base + 4 * (chain_pos - base_pos)) % span
+
+
+def synthesize_stream(
     profile: PhaseProfile,
     n_ops: int,
     core_id: int,
     rng: np.random.Generator,
-) -> tuple[list[MemOp], list[int]]:
+) -> OpStream:
     """Expand ``profile`` into ``n_ops`` sampled operations for one core.
 
     Returns:
-        A pair ``(ops, pcs)``: the operation list and, aligned with it, the
-        fetch PC of each instruction (used by the core model for the L1I /
-        ITLB side of the simulation).
+        An :class:`OpStream` of parallel columns (op codes, addresses,
+        ring-0 flags, branch outcomes, shared flags, fetch PCs).
 
     The synthesis is deterministic given ``rng``'s state.  Branches come
     from a set of *branch sites* (stable PCs spaced through the code
@@ -361,17 +489,18 @@ def synthesize_ops(
     actually train on them; each site has a fixed taken-bias drawn from
     ``branch_entropy`` (low entropy = strongly biased = predictable).
 
-    All random draws are batched through numpy up front; the per-op loop
-    only threads the sequential state (streaming cursor, fetch PC).
+    Every column is computed as vectorised numpy passes — the random
+    draws are batched in a fixed order, the sequential state (streaming
+    cursor, user/kernel fetch-PC chains) is expressed as cumulative sums
+    and forward fills, and the result is converted to plain lists once.
     """
     if n_ops <= 0:
         raise ConfigurationError("n_ops must be positive")
 
-    kinds, probabilities = zip(*profile.mix.as_probabilities())
-    probs = np.asarray(probabilities, dtype=float)
-    probs = probs / probs.sum()
-    kind_draws = rng.choice(len(kinds), size=n_ops, p=probs).tolist()
-    kernel_draws = _kernel_bursts(profile.kernel_fraction, n_ops, rng)
+    probs = _mix_probabilities(profile.mix)
+    # The mix order matches the OP_* codes, so a draw is an op code.
+    codes = rng.choice(len(probs), size=n_ops, p=probs)
+    kernel_flags = _kernel_bursts(profile.kernel_fraction, n_ops, rng)
 
     # Branch sites: stable PCs with fixed biases.  The number of distinct
     # sites grows with the code footprint (bigger binaries have more
@@ -385,26 +514,25 @@ def synthesize_ops(
         (n_sites * rng.random(n_ops) ** (profile.code_reuse_skew + 2.0)).astype(int),
         n_sites - 1,
     )
-    branch_taken = (rng.random(n_ops) < site_bias[sites]).tolist()
-    sites = sites.tolist()
+    branch_taken = rng.random(n_ops) < site_bias[sites]
 
     # Code side: jump-vs-sequential decisions and Zipf jump offsets.
-    is_jump = (rng.random(n_ops) >= profile.code_locality).tolist()
+    is_jump = rng.random(n_ops) >= profile.code_locality
     user_span = max(256, profile.code_footprint)
     user_targets = (
-        (user_span * rng.random(n_ops) ** profile.code_reuse_skew).astype(int) & ~3
-    ).tolist()
+        user_span * rng.random(n_ops) ** profile.code_reuse_skew
+    ).astype(int) & ~3
     kernel_targets = (
-        (KERNEL_CODE_FOOTPRINT * rng.random(n_ops) ** _KERNEL_REUSE_SKEW).astype(int) & ~3
-    ).tolist()
+        KERNEL_CODE_FOOTPRINT * rng.random(n_ops) ** _KERNEL_REUSE_SKEW
+    ).astype(int) & ~3
 
     # Data side: region choice and Zipf offsets, all pre-drawn.
     private_span = max(64, profile.data_working_set)
     shared_span = max(64, profile.shared_working_set)
     u_region = rng.random(n_ops)
-    shared_pick = (u_region < profile.shared_fraction).tolist()
-    hot_pick = (rng.random(n_ops) < profile.hot_data_fraction).tolist()
-    stream_pick = (rng.random(n_ops) < profile.data_streaming_fraction).tolist()
+    shared_pick = u_region < profile.shared_fraction
+    hot_pick = rng.random(n_ops) < profile.hot_data_fraction
+    stream_pick = rng.random(n_ops) < profile.data_streaming_fraction
     # Two-tier reuse: most non-streaming references land in a warm region
     # (hash-table heads, live buffers); the tail sweeps the full span.
     warm_private = min(WARM_REGION_BYTES, private_span)
@@ -412,65 +540,111 @@ def synthesize_ops(
     shared_warm_pick = rng.random(n_ops) >= profile.shared_tail_fraction
     shared_spans = np.where(shared_warm_pick, warm_shared, shared_span)
     shared_offsets = (
-        (shared_spans * rng.random(n_ops) ** profile.shared_reuse_skew).astype(int) & ~7
-    ).tolist()
-    hot_offsets = (rng.integers(0, HOT_REGION_BYTES, size=n_ops) & ~7).tolist()
+        shared_spans * rng.random(n_ops) ** profile.shared_reuse_skew
+    ).astype(int) & ~7
+    hot_offsets = rng.integers(0, HOT_REGION_BYTES, size=n_ops) & ~7
     warm_pick = rng.random(n_ops) >= profile.data_tail_fraction
     private_spans = np.where(warm_pick, warm_private, private_span)
     private_offsets = (
-        (private_spans * rng.random(n_ops) ** profile.data_reuse_skew).astype(int) & ~7
-    ).tolist()
-    demote_store = (rng.random(n_ops) > profile.shared_write_fraction).tolist()
+        private_spans * rng.random(n_ops) ** profile.data_reuse_skew
+    ).astype(int) & ~7
+    demote_store = rng.random(n_ops) > profile.shared_write_fraction
 
+    # Fetch PCs: two independent sequential-with-jumps chains (user and
+    # kernel address spaces), interleaved by the ring-0 burst flags.
+    user_offsets = _chain_offsets(
+        ~kernel_flags, is_jump, user_targets, user_span, n_ops
+    )
+    kernel_offsets = _chain_offsets(
+        kernel_flags, is_jump, kernel_targets, KERNEL_CODE_FOOTPRINT, n_ops
+    )
+    pcs = np.where(
+        kernel_flags,
+        KERNEL_CODE_BASE + kernel_offsets,
+        USER_CODE_BASE + user_offsets,
+    )
+
+    # Memory addresses by region, then branch-site PCs, then demotion of
+    # most shared stores to loads (shared traffic is read-dominated; all
+    # cores draw from the same skewed head, so hot shared lines really
+    # are resident in several private hierarchies).
     private_base = PRIVATE_DATA_BASE + core_id * PRIVATE_DATA_STRIDE
-    hot_base = private_base
     data_base = private_base + HOT_REGION_BYTES
-    stream_pos = private_offsets[0] if n_ops else 0
-    user_pc = USER_CODE_BASE
-    kernel_pc = KERNEL_CODE_BASE
+    is_mem = codes <= OP_STORE
+    shared_sel = is_mem & shared_pick
+    hot_sel = is_mem & ~shared_pick & hot_pick
+    stream_sel = is_mem & ~shared_pick & ~hot_pick & stream_pick
+    private_sel = is_mem & ~shared_pick & ~hot_pick & ~stream_pick
+    # The streaming cursor advances 8 bytes per streaming reference;
+    # its position at each such op is a cumulative count of stream ops.
+    stream_positions = (private_offsets[0] + 8 * np.cumsum(stream_sel)) % private_span
 
-    load_kind, store_kind, branch_kind = OpKind.LOAD, OpKind.STORE, OpKind.BRANCH
-    ops: list[MemOp] = []
-    pcs: list[int] = []
-    append_op = ops.append
-    append_pc = pcs.append
-    for i in range(n_ops):
-        kind = kinds[kind_draws[i]]
-        kernel = kernel_draws[i]
-        if kernel:
-            if is_jump[i]:
-                kernel_pc = KERNEL_CODE_BASE + kernel_targets[i]
-            else:
-                kernel_pc = KERNEL_CODE_BASE + (
-                    (kernel_pc - KERNEL_CODE_BASE + 4) % KERNEL_CODE_FOOTPRINT
-                )
-            pc = kernel_pc
-        else:
-            if is_jump[i]:
-                user_pc = USER_CODE_BASE + user_targets[i]
-            else:
-                user_pc = USER_CODE_BASE + ((user_pc - USER_CODE_BASE + 4) % user_span)
-            pc = user_pc
-        append_pc(pc)
+    addresses = np.zeros(n_ops, dtype=np.int64)
+    addresses[shared_sel] = SHARED_DATA_BASE + shared_offsets[shared_sel]
+    addresses[hot_sel] = private_base + hot_offsets[hot_sel]
+    addresses[stream_sel] = data_base + stream_positions[stream_sel]
+    addresses[private_sel] = data_base + private_offsets[private_sel]
+    is_branch = codes == OP_BRANCH
+    addresses[is_branch] = USER_CODE_BASE + sites[is_branch] * BRANCH_SITE_STRIDE
 
-        if kind is load_kind or kind is store_kind:
-            if shared_pick[i]:
-                # All cores draw from the same skewed head, so hot shared
-                # lines really are resident in several private hierarchies;
-                # most shared traffic is reads.
-                if kind is store_kind and demote_store[i]:
-                    kind = load_kind
-                append_op(MemOp(kind, SHARED_DATA_BASE + shared_offsets[i], kernel, False, True))
-            elif hot_pick[i]:
-                append_op(MemOp(kind, hot_base + hot_offsets[i], kernel, False, False))
-            elif stream_pick[i]:
-                stream_pos = (stream_pos + 8) % private_span
-                append_op(MemOp(kind, data_base + stream_pos, kernel, False, False))
-            else:
-                append_op(MemOp(kind, data_base + private_offsets[i], kernel, False, False))
-        elif kind is branch_kind:
-            site_pc = USER_CODE_BASE + sites[i] * BRANCH_SITE_STRIDE
-            append_op(MemOp(branch_kind, site_pc, kernel, branch_taken[i], False))
-        else:
-            append_op(MemOp(kind, 0, kernel, False, False))
-    return ops, pcs
+    codes = np.where(
+        (codes == OP_STORE) & shared_sel & demote_store, OP_LOAD, codes
+    )
+    takens = branch_taken & is_branch
+
+    tallies = OpTallies(
+        loads=int((codes == OP_LOAD).sum()),
+        stores=int((codes == OP_STORE).sum()),
+        branches=int(is_branch.sum()),
+        int_alu=int((codes == OP_INT_ALU).sum()),
+        fp_x87=int((codes == OP_FP_X87).sum()),
+        fp_sse=int((codes == OP_FP_SSE).sum()),
+        kernel=int(kernel_flags.sum()),
+    )
+
+    # Frontend fetch boundaries: the core probes the L1I only when the PC
+    # enters a new 16-byte block, which depends solely on the PC column —
+    # fold the decision into the op code as OP_FETCH_FLAG.
+    blocks = pcs >> 4
+    fetch_flags = np.empty(n_ops, dtype=bool)
+    fetch_flags[0] = True
+    np.not_equal(blocks[1:], blocks[:-1], out=fetch_flags[1:])
+    codes = np.where(fetch_flags, codes | OP_FETCH_FLAG, codes)
+
+    return OpStream(
+        codes=codes.tolist(),
+        addresses=addresses.tolist(),
+        kernels=kernel_flags.tolist(),
+        takens=takens.tolist(),
+        shareds=shared_sel.tolist(),
+        pcs=pcs.tolist(),
+        tallies=tallies,
+    )
+
+
+def synthesize_ops(
+    profile: PhaseProfile,
+    n_ops: int,
+    core_id: int,
+    rng: np.random.Generator,
+) -> tuple[list[MemOp], list[int]]:
+    """Expand ``profile`` into ``(ops, pcs)`` lists of :class:`MemOp`.
+
+    Convenience wrapper over :func:`synthesize_stream` producing one
+    :class:`MemOp` per instruction; the core model consumes the columnar
+    stream directly instead.
+    """
+    stream = synthesize_stream(profile, n_ops, core_id, rng)
+    kinds = KIND_FROM_CODE
+    mask = _OP_CODE_MASK
+    ops = [
+        MemOp(kinds[code & mask], address, kernel, taken, shared)
+        for code, address, kernel, taken, shared in zip(
+            stream.codes,
+            stream.addresses,
+            stream.kernels,
+            stream.takens,
+            stream.shareds,
+        )
+    ]
+    return ops, stream.pcs

@@ -86,12 +86,25 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_workers(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for suite collection (1 = serial; any "
+        "value yields a bit-identical matrix)",
+    )
+
+
 def _cmd_observations(args: argparse.Namespace) -> int:
     from repro.analysis.observations import evaluate_observations
 
     config = ExperimentConfig(
         collection=CollectionConfig(
-            scale=args.scale, seed=args.seed, measurement=_measurement(args)
+            scale=args.scale,
+            seed=args.seed,
+            measurement=_measurement(args),
+            workers=args.workers,
         )
     )
     experiment = run_experiment(config)
@@ -107,7 +120,10 @@ def _cmd_observations(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     config = ExperimentConfig(
         collection=CollectionConfig(
-            scale=args.scale, seed=args.seed, measurement=_measurement(args)
+            scale=args.scale,
+            seed=args.seed,
+            measurement=_measurement(args),
+            workers=args.workers,
         )
     )
     experiment = run_experiment(config)
@@ -146,6 +162,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_common(exp_parser)
     _add_measurement(exp_parser)
+    _add_workers(exp_parser)
     exp_parser.add_argument(
         "-o", "--out", default=None, help="write a report bundle to this directory"
     )
@@ -155,6 +172,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_common(obs_parser)
     _add_measurement(obs_parser)
+    _add_workers(obs_parser)
 
     args = parser.parse_args(argv)
     handlers = {

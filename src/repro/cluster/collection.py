@@ -1,14 +1,25 @@
-"""Suite-level data collection with caching.
+"""Suite-level data collection with caching and process parallelism.
 
 Characterizing all 32 workloads means running every engine and simulating
 every phase — expensive enough that the analysis layer, the test suite
 and every benchmark should share one result.  :func:`characterize_suite`
 memoises in process and optionally persists the metric matrix as JSON
 keyed by the collection parameters.
+
+Each ``(workload, RunContext, MeasurementConfig)`` characterization is
+independent of every other: the testbed seeds a dedicated RNG per
+``(workload, seed, slave)`` and :meth:`Processor.run_workload` resets all
+microarchitectural state before simulating, so a fresh :class:`Cluster`
+per workload produces exactly the numbers a shared serial cluster would.
+That is what makes the ``workers`` fan-out below safe — results are
+merged back in suite order and the resulting matrix is bit-identical to
+a serial run, regardless of worker count or scheduling.
 """
 
 from __future__ import annotations
 
+import hashlib
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -16,18 +27,25 @@ from repro.cluster.testbed import Cluster, MeasurementConfig, WorkloadCharacteri
 from repro.core.dataset import WorkloadMetricMatrix
 from repro.errors import AnalysisError
 from repro.workloads.base import RunContext, Workload
-from repro.workloads.suite import SUITE
+from repro.workloads.suite import SUITE, workload_by_name
 
 __all__ = ["CollectionConfig", "SuiteCharacterization", "characterize_suite"]
 
 
 @dataclass(frozen=True)
 class CollectionConfig:
-    """Everything that determines a suite characterization."""
+    """Everything that determines a suite characterization.
+
+    ``workers`` controls *how* the suite is collected, not *what* comes
+    out: any worker count yields the identical matrix (see the module
+    docstring), so it is deliberately excluded from :meth:`cache_key`.
+    """
 
     scale: float = 1.0
     seed: int = 42
     measurement: MeasurementConfig = MeasurementConfig()
+    #: Worker processes to fan workloads over; 1 or 0 = serial in-process.
+    workers: int = 1
 
     def cache_key(self) -> str:
         m = self.measurement
@@ -54,29 +72,124 @@ class SuiteCharacterization:
 
 _MEMO: dict[str, SuiteCharacterization] = {}
 
+#: Correctness self-checks that must read 1.0 for a characterization to
+#: be trusted (each workload only reports the checks that apply to it).
+_CORRECTNESS_CHECKS = (
+    "sorted",
+    "records_preserved",
+    "counts_correct",
+    "matches_correct",
+    "matches_reference",
+    "inertia_decreased",
+    "all_vertices_ranked",
+)
+
+
+def _workloads_digest(workloads: tuple[Workload, ...]) -> str:
+    """A short stable digest of *which* workloads are being collected.
+
+    The cache key must distinguish different subsets of the same size
+    (``SUITE[:4]`` vs ``SUITE[4:8]``) — keying on ``len(workloads)``
+    alone made those collide and return the wrong matrix.
+    """
+    names = "|".join(w.name for w in workloads)
+    return hashlib.sha256(names.encode("utf-8")).hexdigest()[:12]
+
+
+def _characterize_one(
+    workload_name: str,
+    scale: float,
+    seed: int,
+    measurement: MeasurementConfig,
+) -> WorkloadCharacterization:
+    """Characterize one workload on a fresh cluster (worker-process entry).
+
+    Module-level so it pickles; takes the workload *name* rather than the
+    object so each worker resolves its own instance.
+    """
+    cluster = Cluster()
+    context = RunContext(scale=scale, seed=seed)
+    return cluster.characterize_workload(
+        workload_by_name(workload_name), context, measurement
+    )
+
+
+def _verify_characterization(characterization: WorkloadCharacterization) -> None:
+    """Raise if any correctness self-check of the run failed."""
+    failed = {
+        name: value
+        for name, value in characterization.run.checks.items()
+        if name in _CORRECTNESS_CHECKS and value != 1.0
+    }
+    if failed:
+        raise AnalysisError(
+            f"{characterization.name}: correctness checks failed: {failed}"
+        )
+
+
+def _collect_serial(
+    workloads: tuple[Workload, ...], config: CollectionConfig
+) -> list[WorkloadCharacterization]:
+    cluster = Cluster()
+    context = RunContext(scale=config.scale, seed=config.seed)
+    return [
+        cluster.characterize_workload(workload, context, config.measurement)
+        for workload in workloads
+    ]
+
+
+def _collect_parallel(
+    workloads: tuple[Workload, ...], config: CollectionConfig, workers: int
+) -> list[WorkloadCharacterization]:
+    """Fan the workloads over ``workers`` processes, in suite order.
+
+    ``executor.map`` preserves input order, so the merged list (and the
+    matrix built from it) is ordered exactly as the serial path orders
+    it — determinism does not depend on completion order.
+    """
+    with ProcessPoolExecutor(max_workers=workers) as executor:
+        return list(
+            executor.map(
+                _characterize_one,
+                [w.name for w in workloads],
+                [config.scale] * len(workloads),
+                [config.seed] * len(workloads),
+                [config.measurement] * len(workloads),
+            )
+        )
+
 
 def characterize_suite(
     workloads: tuple[Workload, ...] = SUITE,
     config: CollectionConfig | None = None,
     cache_dir: str | Path | None = None,
     verify_checks: bool = True,
+    workers: int | None = None,
 ) -> SuiteCharacterization:
-    """Characterize ``workloads`` on a fresh cluster.
+    """Characterize ``workloads``, optionally fanning over processes.
 
     Args:
         workloads: Workloads to run (default: the full 32-workload suite).
-        config: Collection parameters (scale, seed, measurement protocol).
+        config: Collection parameters (scale, seed, measurement protocol,
+            worker count).
         cache_dir: If given, the metric matrix is persisted there and
             reloaded on later calls with identical parameters.
         verify_checks: Fail loudly if any workload's self-check failed —
             a characterization of a wrong computation is worthless.
+        workers: Overrides ``config.workers`` when given.  Values above 1
+            run each workload on a fresh cluster in a worker process; the
+            result is bit-identical to serial (see module docstring).
 
     Raises:
         AnalysisError: If ``verify_checks`` finds a failed correctness
             check.
     """
     config = config or CollectionConfig()
-    key = config.cache_key() + f"-{len(workloads)}"
+    if workers is None:
+        workers = config.workers
+    key = (
+        f"{config.cache_key()}-{len(workloads)}-{_workloads_digest(workloads)}"
+    )
     if key in _MEMO:
         return _MEMO[key]
 
@@ -91,36 +204,16 @@ def characterize_suite(
             _MEMO[key] = result
             return result
 
-    cluster = Cluster()
-    context = RunContext(scale=config.scale, seed=config.seed)
-    characterizations = []
+    if workers > 1 and len(workloads) > 1:
+        characterizations = _collect_parallel(workloads, config, workers)
+    else:
+        characterizations = _collect_serial(workloads, config)
+
     rows: dict[str, dict[str, float]] = {}
-    for workload in workloads:
-        characterization = cluster.characterize_workload(
-            workload, context, config.measurement
-        )
+    for characterization in characterizations:
         if verify_checks:
-            failed = {
-                name: value
-                for name, value in characterization.run.checks.items()
-                if name
-                in (
-                    "sorted",
-                    "records_preserved",
-                    "counts_correct",
-                    "matches_correct",
-                    "matches_reference",
-                    "inertia_decreased",
-                    "all_vertices_ranked",
-                )
-                and value != 1.0
-            }
-            if failed:
-                raise AnalysisError(
-                    f"{workload.name}: correctness checks failed: {failed}"
-                )
-        characterizations.append(characterization)
-        rows[workload.name] = characterization.metrics
+            _verify_characterization(characterization)
+        rows[characterization.name] = characterization.metrics
 
     result = SuiteCharacterization(
         matrix=WorkloadMetricMatrix.from_rows(rows),

@@ -4,7 +4,15 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.arch.cache import CacheConfig, SetAssociativeCache
+from repro.arch.cache import (
+    ACCESS_EVICTED,
+    ACCESS_HIT,
+    ACCESS_VICTIM_SHIFT,
+    ACCESS_WRITEBACK,
+    CacheConfig,
+    SetAssociativeCache,
+    unpack_access,
+)
 from repro.errors import ConfigurationError
 
 
@@ -132,6 +140,83 @@ class TestCoherenceSurface:
         cache.flush()
         assert cache.resident_lines == 0
         assert cache.access(0).hit is False
+
+
+class TestPackedProtocol:
+    """Pin the allocation-free packed-int protocol to CacheAccess semantics."""
+
+    def test_hit_is_exactly_one_and_victimless_miss_exactly_zero(self):
+        cache = small_cache()
+        assert cache.access_packed(0x1000) == 0  # cold miss, set not full
+        assert cache.access_packed(0x1000) == ACCESS_HIT
+
+    def test_packed_eviction_encodes_victim_line(self):
+        cache = small_cache(assoc=1, sets=1)
+        cache.access_packed(0 * 64, True)  # dirty line 0
+        packed = cache.access_packed(1 * 64)
+        assert packed & ACCESS_EVICTED
+        assert packed & ACCESS_WRITEBACK
+        assert not packed & ACCESS_HIT
+        assert packed >> ACCESS_VICTIM_SHIFT == 0  # victim line 0, unambiguous
+
+    def test_unpack_matches_access(self):
+        for is_write in (False, True):
+            packed_cache = small_cache(assoc=1, sets=1)
+            plain_cache = small_cache(assoc=1, sets=1)
+            for addr in (0, 64, 64, 0):
+                line = addr >> 6
+                via_packed = unpack_access(
+                    packed_cache.access_packed(addr, is_write), line
+                )
+                assert via_packed == plain_cache.access(addr, is_write)
+
+    def test_lru_order_under_mixed_hit_and_write(self):
+        # A write hit refreshes recency exactly like a read hit does.
+        cache = small_cache(assoc=2, sets=1)
+        cache.access(0 * 64)
+        cache.access(1 * 64, is_write=True)
+        cache.access(0 * 64, is_write=True)  # 0 -> MRU (write hit)
+        result = cache.access(2 * 64)
+        assert result.evicted_line == 1
+        assert result.writeback is True  # victim 1 was dirtied on fill
+        assert cache.is_dirty(0)
+
+    def test_eviction_and_writeback_accounting(self):
+        cache = small_cache(assoc=1, sets=1)
+        cache.access(0 * 64, is_write=True)
+        cache.access(1 * 64)  # evicts dirty 0 -> writeback
+        cache.access(2 * 64)  # evicts clean 1 -> no writeback
+        assert cache.stats.evictions == 2
+        assert cache.stats.writebacks == 1
+        assert cache.stats.misses == 3
+        assert cache.stats.hits == 0
+
+    def test_write_through_config_never_writes_back(self):
+        cache = SetAssociativeCache(
+            CacheConfig("wt", size=128, associativity=1, line_size=64, write_back=False)
+        )
+        cache.access(0, is_write=True)
+        packed = cache.access_packed(64)
+        assert not packed & ACCESS_WRITEBACK
+        assert cache.stats.writebacks == 0
+
+    def test_install_line_touches_no_demand_stats_even_when_evicting(self):
+        cache = small_cache(assoc=1, sets=1)
+        cache.access(0 * 64, is_write=True)
+        stats_before = vars(cache.stats).copy()
+        cache.install_line(1)  # evicts the dirty demand line silently
+        assert vars(cache.stats) == stats_before
+        assert cache.line_resident(1)
+        assert not cache.line_resident(0)
+
+    def test_install_span_equals_per_line_installs(self):
+        span_cache = small_cache(assoc=2, sets=4)
+        line_cache = small_cache(assoc=2, sets=4)
+        span_cache.install_span(3, 20)
+        for offset in range(19, -1, -1):
+            line_cache.install_line(3 + offset)
+        assert span_cache._sets == line_cache._sets
+        assert span_cache.stats.accesses == 0
 
 
 @settings(max_examples=50, deadline=None)

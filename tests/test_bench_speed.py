@@ -1,0 +1,41 @@
+"""Smoke test for the speed-tracking benchmark harness.
+
+Marked ``slow`` (it characterizes workloads end-to-end); the tier-1 run
+deselects it via the default ``-m "not slow"``.  Run explicitly with::
+
+    PYTHONPATH=src python -m pytest -m slow tests/test_bench_speed.py
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.mark.slow
+def test_bench_speed_smoke_completes_and_emits_json(tmp_path):
+    out = tmp_path / "BENCH_speed.json"
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "tools" / "bench_speed.py"),
+            "--smoke",
+            "--workers",
+            "2",
+            "-o",
+            str(out),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(out.read_text())
+    assert payload["smoke"] is True
+    assert payload["single_thread"]["bench_seconds"] > 0
+    assert payload["collection"]["bit_identical"] is True
+    assert payload["collection"]["n_workloads"] == 2

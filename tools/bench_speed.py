@@ -1,0 +1,166 @@
+"""Benchmark the simulator hot path and parallel suite collection.
+
+Usage::
+
+    python tools/bench_speed.py            # full benchmark, ~1 minute
+    python tools/bench_speed.py --smoke    # 2 workloads, a few seconds
+    python tools/bench_speed.py -o out.json --workers 8
+
+Two measurements, written to ``BENCH_speed.json`` so future PRs can track
+the performance trajectory:
+
+1. **Single-thread hot path** — wall time of three
+   ``Processor.run_workload`` passes over one workload's phase profiles
+   (best of three trials).  ``single_thread.speedup_vs_seed`` compares
+   against the seed-revision time recorded for this exact microbenchmark
+   (``SEED_BASELINE_S``); absolute numbers are machine-dependent, the
+   ratio on one machine is the tracked quantity.
+2. **Parallel collection scaling** — ``characterize_suite`` over an
+   8-workload subset with ``workers=1`` vs ``workers=N``, asserting the
+   two metric matrices are bit-identical before reporting the speedup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+import sys  # noqa: E402
+
+sys.path.insert(0, str(REPO_ROOT))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.arch.processor import Processor  # noqa: E402
+from repro.cluster import collection  # noqa: E402
+from repro.cluster.collection import CollectionConfig, characterize_suite  # noqa: E402
+from repro.cluster.testbed import MeasurementConfig  # noqa: E402
+from repro.stacks.instrument import profiles_from_trace  # noqa: E402
+from repro.workloads.base import RunContext  # noqa: E402
+from repro.workloads.suite import SUITE  # noqa: E402
+
+#: Seed-revision wall time of `_time_single_thread` (same parameters, same
+#: reference machine) before the allocation-free hot-loop overhaul.
+#: Update when the microbenchmark itself changes shape.
+SEED_BASELINE_S = 2.380
+
+_MICRO_REPEATS = 3  # run_workload passes per trial
+_MICRO_TRIALS = 3  # trials; best is reported
+
+
+def _time_single_thread(trials: int = _MICRO_TRIALS) -> float:
+    """Best wall time of ``_MICRO_REPEATS`` run_workload passes."""
+    workload = SUITE[0]
+    context = RunContext(scale=0.5, seed=42)
+    run = workload.run(context)
+    actual_input = max((r.bytes_in for r in run.trace.records), default=1)
+    scale = max(1.0, workload.declared_bytes / max(1, actual_input))
+    profiles = profiles_from_trace(
+        run.trace, workload.hints, num_workers=4, footprint_scale=scale
+    )
+    best = float("inf")
+    for _ in range(trials):
+        start = time.perf_counter()
+        for _ in range(_MICRO_REPEATS):
+            processor = Processor()
+            rng = np.random.default_rng(1234)
+            processor.run_workload(
+                profiles, rng, active_cores=3, ops_per_core=4000
+            )
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _time_collection(n_workloads: int, workers: int) -> tuple[float, object]:
+    """Wall time of one cold suite collection; returns (seconds, matrix)."""
+    config = CollectionConfig(
+        scale=0.5,
+        seed=42,
+        measurement=MeasurementConfig(
+            slaves_measured=1, active_cores=3, ops_per_core=4000
+        ),
+    )
+    collection._MEMO.clear()  # force a cold collection
+    start = time.perf_counter()
+    suite = characterize_suite(SUITE[:n_workloads], config, workers=workers)
+    return time.perf_counter() - start, suite.matrix
+
+
+def run_benchmark(workers: int, smoke: bool) -> dict:
+    n_workloads = 2 if smoke else 8
+    workers = min(workers, n_workloads)
+
+    print(f"single-thread hot path ({_MICRO_REPEATS} run_workload passes) ...")
+    single = _time_single_thread(trials=1 if smoke else _MICRO_TRIALS)
+    speedup = SEED_BASELINE_S / single
+    print(f"  {single:.3f}s  ({speedup:.2f}x vs seed baseline {SEED_BASELINE_S}s)")
+
+    print(f"suite collection, {n_workloads} workloads, workers=1 ...")
+    serial_s, serial_matrix = _time_collection(n_workloads, workers=1)
+    print(f"  {serial_s:.2f}s")
+    print(f"suite collection, {n_workloads} workloads, workers={workers} ...")
+    parallel_s, parallel_matrix = _time_collection(n_workloads, workers=workers)
+    print(f"  {parallel_s:.2f}s  ({serial_s / parallel_s:.2f}x)")
+    cpus = os.cpu_count() or 1
+    if cpus == 1:
+        print(
+            "  note: this machine exposes 1 CPU — worker scaling cannot "
+            "manifest in wall-clock time here"
+        )
+
+    if not np.array_equal(serial_matrix.values, parallel_matrix.values):
+        raise AssertionError("parallel matrix diverged from serial matrix")
+    if serial_matrix.workloads != parallel_matrix.workloads:
+        raise AssertionError("parallel workload order diverged from serial")
+    print("  parallel matrix bit-identical to serial: OK")
+
+    return {
+        "smoke": smoke,
+        "cpu_count": cpus,
+        "single_thread": {
+            "bench_seconds": round(single, 4),
+            "seed_baseline_seconds": SEED_BASELINE_S,
+            "speedup_vs_seed": round(speedup, 3),
+        },
+        "collection": {
+            "n_workloads": n_workloads,
+            "workers": workers,
+            "serial_seconds": round(serial_s, 3),
+            "parallel_seconds": round(parallel_s, 3),
+            "parallel_speedup": round(serial_s / parallel_s, 3),
+            "bit_identical": True,
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast mode: 2 workloads, 1 trial — asserts the benchmark "
+        "completes and emits JSON",
+    )
+    parser.add_argument("--workers", type=int, default=4, help="parallel worker count")
+    parser.add_argument(
+        "-o",
+        "--out",
+        default=str(REPO_ROOT / "BENCH_speed.json"),
+        help="output JSON path",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_benchmark(workers=args.workers, smoke=args.smoke)
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
