@@ -23,6 +23,8 @@ BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 #: The benchmark collection protocol: one measured slave, three active
 #: cores, modest sample sizes — structurally faithful, minutes not hours.
+#: With REPRO_CACHE_DIR set, the session's suite characterization is
+#: persisted through the result store and rehydrated on later sessions.
 BENCH_CONFIG = ExperimentConfig(
     collection=CollectionConfig(
         scale=0.5,
@@ -31,7 +33,8 @@ BENCH_CONFIG = ExperimentConfig(
             slaves_measured=1, active_cores=3, ops_per_core=4000
         ),
         workers=BENCH_WORKERS,
-    )
+    ),
+    cache_dir=os.environ.get("REPRO_CACHE_DIR"),
 )
 
 

@@ -29,9 +29,11 @@ from repro.core import (
     subset_workloads,
 )
 from repro.errors import ReproError
+from repro.service.client import ServiceClient
+from repro.service.store import ResultStore
 from repro.workloads import SUITE, RunContext, Workload, workload_by_name
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "FAST_CONFIG",
@@ -47,6 +49,8 @@ __all__ = [
     "WorkloadMetricMatrix",
     "subset_workloads",
     "ReproError",
+    "ResultStore",
+    "ServiceClient",
     "SUITE",
     "RunContext",
     "Workload",

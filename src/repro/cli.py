@@ -7,8 +7,10 @@ Usage (after ``pip install -e .``)::
     python -m repro characterize H-Sort  # one workload's 45 metrics
     python -m repro experiment -o out/   # full reproduction + report bundle
     python -m repro observations         # score Observations 1-9
+    python -m repro serve --port 8321    # HTTP characterization service
 
-All subcommands accept ``--scale`` and ``--seed``.
+All subcommands accept ``--scale`` and ``--seed``.  Unknown workload
+labels exit with code 2 and closest-match suggestions.
 """
 
 from __future__ import annotations
@@ -23,10 +25,16 @@ from repro.cluster import (
     CollectionConfig,
     MeasurementConfig,
 )
+from repro.errors import WorkloadError
 from repro.metrics import METRICS
 from repro.workloads import SUITE, RunContext, workload_by_name
+from repro.workloads.suite import closest_workloads
 
 __all__ = ["main"]
+
+#: Exit code for user errors (bad workload name), distinct from workload
+#: self-check failures (1).
+EXIT_USAGE = 2
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -59,8 +67,23 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_workload(label: str):
+    """The named workload, or ``None`` after a friendly stderr message."""
+    try:
+        return workload_by_name(label)
+    except WorkloadError:
+        print(f"repro: unknown workload {label!r}", file=sys.stderr)
+        suggestions = closest_workloads(label)
+        if suggestions:
+            print(f"did you mean: {', '.join(suggestions)}?", file=sys.stderr)
+        print("(run `python -m repro list` to see all 32 workloads)", file=sys.stderr)
+        return None
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    workload = workload_by_name(args.workload)
+    workload = _resolve_workload(args.workload)
+    if workload is None:
+        return EXIT_USAGE
     run = workload.run(RunContext(scale=args.scale, seed=args.seed))
     print(f"{workload.name}: {run.output_records} output records, "
           f"{len(run.trace.records)} phase records")
@@ -71,7 +94,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
-    workload = workload_by_name(args.workload)
+    workload = _resolve_workload(args.workload)
+    if workload is None:
+        return EXIT_USAGE
     cluster = Cluster()
     characterization = cluster.characterize_workload(
         workload,
@@ -135,6 +160,37 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import ServiceConfig, serve
+
+    config = ServiceConfig(
+        collection=CollectionConfig(
+            scale=args.scale,
+            seed=args.seed,
+            measurement=_measurement(args),
+            workers=args.workers,
+        ),
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+    )
+    server = serve(config, host=args.host, port=args.port, verbose=args.verbose)
+    host, port = server.server_address[:2]
+    print(f"repro characterization service on http://{host}:{port}")
+    print(f"store: {server.service.store.root}")
+    print(
+        "endpoints: /workloads /metrics /characterize/<name> "
+        "/suite/matrix /subset?k=K /observations /jobs"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shutdown()
+        server.service.close()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -174,6 +230,30 @@ def main(argv: list[str] | None = None) -> int:
     _add_measurement(obs_parser)
     _add_workers(obs_parser)
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the HTTP characterization service",
+        description="Run the HTTP characterization service: a persistent "
+        "store + single-flight job manager behind a stdlib JSON API "
+        "(/workloads, /metrics, /characterize/<name>, /suite/matrix, "
+        "/subset, /observations, /jobs).",
+    )
+    _add_common(serve_parser)
+    _add_measurement(serve_parser)
+    _add_workers(serve_parser)
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_parser.add_argument(
+        "--port", type=int, default=8321, help="TCP port (0 picks a free one)"
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-store directory (default: $REPRO_CACHE_DIR or a temp dir)",
+    )
+    serve_parser.add_argument(
+        "--verbose", action="store_true", help="log every request"
+    )
+
     args = parser.parse_args(argv)
     handlers = {
         "list": _cmd_list,
@@ -181,6 +261,7 @@ def main(argv: list[str] | None = None) -> int:
         "characterize": _cmd_characterize,
         "experiment": _cmd_experiment,
         "observations": _cmd_observations,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -3,8 +3,11 @@
 Characterizing all 32 workloads means running every engine and simulating
 every phase — expensive enough that the analysis layer, the test suite
 and every benchmark should share one result.  :func:`characterize_suite`
-memoises in process and optionally persists the metric matrix as JSON
-keyed by the collection parameters.
+memoises in process and optionally persists *complete* characterizations
+(metrics, per-slave detail, the underlying run) through the
+:class:`~repro.service.store.ResultStore`, keyed by the collection
+parameters; cache hits hydrate objects indistinguishable from a fresh
+collection.
 
 Each ``(workload, RunContext, MeasurementConfig)`` characterization is
 independent of every other: the testbed seeds a dedicated RNG per
@@ -19,17 +22,32 @@ a serial run, regardless of worker count or scheduling.
 from __future__ import annotations
 
 import hashlib
+import threading
+from collections.abc import Callable
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 
+import numpy as np
+
 from repro.cluster.testbed import Cluster, MeasurementConfig, WorkloadCharacterization
 from repro.core.dataset import WorkloadMetricMatrix
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, CollectionCancelled
+from repro.metrics.catalog import METRIC_NAMES
 from repro.workloads.base import RunContext, Workload
 from repro.workloads.suite import SUITE, workload_by_name
 
-__all__ = ["CollectionConfig", "SuiteCharacterization", "characterize_suite"]
+__all__ = [
+    "CollectionConfig",
+    "SuiteCharacterization",
+    "characterize_suite",
+    "suite_store_key",
+    "workload_store_key",
+    "collection_runs",
+]
+
+#: Progress callback signature: ``(workloads_done, workloads_total)``.
+ProgressFn = Callable[[int, int], None]
 
 
 @dataclass(frozen=True)
@@ -62,8 +80,9 @@ class SuiteCharacterization:
 
     Attributes:
         matrix: The 32×45 workload/metric matrix.
-        characterizations: Per-workload details, or empty when the matrix
-            was loaded from a persistent cache (details are not cached).
+        characterizations: Per-workload details — present on fresh
+            collections *and* on persistent-cache hits (the store keeps
+            complete characterizations and hydrates them back).
     """
 
     matrix: WorkloadMetricMatrix
@@ -71,6 +90,12 @@ class SuiteCharacterization:
 
 
 _MEMO: dict[str, SuiteCharacterization] = {}
+
+#: Counts actual (non-cached) suite collections in this process.  The
+#: service layer's single-flight tests assert on it: N concurrent
+#: identical requests must bump it exactly once.
+_RUNS = 0
+_RUNS_LOCK = threading.Lock()
 
 #: Correctness self-checks that must read 1.0 for a characterization to
 #: be trusted (each workload only reports the checks that apply to it).
@@ -85,6 +110,11 @@ _CORRECTNESS_CHECKS = (
 )
 
 
+def collection_runs() -> int:
+    """How many actual (cache-missing) collections this process has run."""
+    return _RUNS
+
+
 def _workloads_digest(workloads: tuple[Workload, ...]) -> str:
     """A short stable digest of *which* workloads are being collected.
 
@@ -94,6 +124,23 @@ def _workloads_digest(workloads: tuple[Workload, ...]) -> str:
     """
     names = "|".join(w.name for w in workloads)
     return hashlib.sha256(names.encode("utf-8")).hexdigest()[:12]
+
+
+def suite_store_key(
+    config: CollectionConfig, workloads: tuple[Workload, ...] = SUITE
+) -> str:
+    """The store/memo key of a suite collection: parameters + workload set."""
+    return f"{config.cache_key()}-{len(workloads)}-{_workloads_digest(workloads)}"
+
+
+def workload_store_key(config: CollectionConfig, name: str) -> str:
+    """The store key of one workload's full characterization.
+
+    Per-workload entries are shared between suite-sized and single-
+    workload collections at the same parameters: collecting the suite
+    warms every ``/characterize/<name>`` lookup.
+    """
+    return f"wc-{config.cache_key()}-{name}"
 
 
 def _characterize_one(
@@ -127,36 +174,123 @@ def _verify_characterization(characterization: WorkloadCharacterization) -> None
         )
 
 
+def _check_cancel(cancel: threading.Event | None) -> None:
+    if cancel is not None and cancel.is_set():
+        raise CollectionCancelled("suite collection cancelled")
+
+
 def _collect_serial(
-    workloads: tuple[Workload, ...], config: CollectionConfig
+    workloads: tuple[Workload, ...],
+    config: CollectionConfig,
+    progress: ProgressFn | None,
+    cancel: threading.Event | None,
 ) -> list[WorkloadCharacterization]:
     cluster = Cluster()
     context = RunContext(scale=config.scale, seed=config.seed)
-    return [
-        cluster.characterize_workload(workload, context, config.measurement)
-        for workload in workloads
-    ]
+    characterizations: list[WorkloadCharacterization] = []
+    for workload in workloads:
+        _check_cancel(cancel)
+        characterizations.append(
+            cluster.characterize_workload(workload, context, config.measurement)
+        )
+        if progress is not None:
+            progress(len(characterizations), len(workloads))
+    return characterizations
 
 
 def _collect_parallel(
-    workloads: tuple[Workload, ...], config: CollectionConfig, workers: int
+    workloads: tuple[Workload, ...],
+    config: CollectionConfig,
+    workers: int,
+    progress: ProgressFn | None,
+    cancel: threading.Event | None,
 ) -> list[WorkloadCharacterization]:
     """Fan the workloads over ``workers`` processes, in suite order.
 
-    ``executor.map`` preserves input order, so the merged list (and the
-    matrix built from it) is ordered exactly as the serial path orders
-    it — determinism does not depend on completion order.
+    Futures are consumed in submission order, so the merged list (and
+    the matrix built from it) is ordered exactly as the serial path
+    orders it — determinism does not depend on completion order.
+    Cancellation is checked between results; pending futures are
+    abandoned (``cancel_futures``) but the in-flight workload finishes.
     """
+    characterizations: list[WorkloadCharacterization] = []
     with ProcessPoolExecutor(max_workers=workers) as executor:
-        return list(
-            executor.map(
+        futures = [
+            executor.submit(
                 _characterize_one,
-                [w.name for w in workloads],
-                [config.scale] * len(workloads),
-                [config.seed] * len(workloads),
-                [config.measurement] * len(workloads),
+                workload.name,
+                config.scale,
+                config.seed,
+                config.measurement,
             )
+            for workload in workloads
+        ]
+        for future in futures:
+            if cancel is not None and cancel.is_set():
+                executor.shutdown(wait=False, cancel_futures=True)
+                raise CollectionCancelled("suite collection cancelled")
+            characterizations.append(future.result())
+            if progress is not None:
+                progress(len(characterizations), len(workloads))
+    return characterizations
+
+
+def _hydrate_from_store(store, key: str, config: CollectionConfig):
+    """Rebuild a full SuiteCharacterization from the persistent store.
+
+    Returns ``None`` (a miss) unless the suite entry *and* every
+    per-workload entry are present and compatible — a partially evicted
+    suite is recollected rather than served half-hydrated.
+    """
+    from repro.service.store import characterization_from_payload
+
+    entry = store.get(key)
+    if entry is None or entry.get("kind") != "suite":
+        return None
+    matrix_payload = entry["matrix"]
+    if tuple(matrix_payload["metrics"]) != METRIC_NAMES:
+        return None  # stale: the metric catalog changed
+    characterizations = []
+    for name in entry["workloads"]:
+        payload = store.get(workload_store_key(config, name))
+        if payload is None:
+            return None
+        characterizations.append(characterization_from_payload(payload))
+    matrix = WorkloadMetricMatrix(
+        workloads=tuple(matrix_payload["workloads"]),
+        values=np.array(matrix_payload["values"], dtype=float),
+    )
+    return SuiteCharacterization(
+        matrix=matrix, characterizations=tuple(characterizations)
+    )
+
+
+def _persist_to_store(
+    store,
+    key: str,
+    config: CollectionConfig,
+    result: SuiteCharacterization,
+) -> None:
+    from repro.service.store import characterization_to_payload
+
+    for characterization in result.characterizations:
+        store.put(
+            workload_store_key(config, characterization.name),
+            characterization_to_payload(characterization),
         )
+    store.put(
+        key,
+        {
+            "kind": "suite",
+            "key": key,
+            "workloads": [name for name in result.matrix.workloads],
+            "matrix": {
+                "workloads": list(result.matrix.workloads),
+                "metrics": list(METRIC_NAMES),
+                "values": result.matrix.values.tolist(),
+            },
+        },
+    )
 
 
 def characterize_suite(
@@ -165,6 +299,8 @@ def characterize_suite(
     cache_dir: str | Path | None = None,
     verify_checks: bool = True,
     workers: int | None = None,
+    progress: ProgressFn | None = None,
+    cancel: threading.Event | None = None,
 ) -> SuiteCharacterization:
     """Characterize ``workloads``, optionally fanning over processes.
 
@@ -172,42 +308,53 @@ def characterize_suite(
         workloads: Workloads to run (default: the full 32-workload suite).
         config: Collection parameters (scale, seed, measurement protocol,
             worker count).
-        cache_dir: If given, the metric matrix is persisted there and
-            reloaded on later calls with identical parameters.
+        cache_dir: If given (or if ``REPRO_CACHE_DIR`` is set), complete
+            characterizations are persisted there through the result
+            store and fully rehydrated on later identical calls.
         verify_checks: Fail loudly if any workload's self-check failed —
             a characterization of a wrong computation is worthless.
         workers: Overrides ``config.workers`` when given.  Values above 1
             run each workload on a fresh cluster in a worker process; the
             result is bit-identical to serial (see module docstring).
+        progress: Optional ``(done, total)`` callback invoked after each
+            workload completes (the job manager's progress feed).
+        cancel: Optional event; when set, collection stops between
+            workloads and raises :class:`CollectionCancelled`.
 
     Raises:
         AnalysisError: If ``verify_checks`` finds a failed correctness
             check.
+        CollectionCancelled: If ``cancel`` was set mid-collection.
     """
+    # Imported here, not at module top: the service layer sits above the
+    # cluster layer, and the store pulls in none of this module.
+    from repro.service.store import ResultStore, resolve_cache_dir
+
     config = config or CollectionConfig()
     if workers is None:
         workers = config.workers
-    key = (
-        f"{config.cache_key()}-{len(workloads)}-{_workloads_digest(workloads)}"
-    )
+    key = suite_store_key(config, workloads)
     if key in _MEMO:
         return _MEMO[key]
 
-    cache_path = None
+    store = None
+    cache_dir = resolve_cache_dir(cache_dir)
     if cache_dir is not None:
-        cache_path = Path(cache_dir) / f"{key}.json"
-        if cache_path.exists():
-            result = SuiteCharacterization(
-                matrix=WorkloadMetricMatrix.load(cache_path),
-                characterizations=(),
-            )
-            _MEMO[key] = result
-            return result
+        store = ResultStore(cache_dir)
+        hydrated = _hydrate_from_store(store, key, config)
+        if hydrated is not None:
+            _MEMO[key] = hydrated
+            return hydrated
 
+    global _RUNS
+    with _RUNS_LOCK:
+        _RUNS += 1
     if workers > 1 and len(workloads) > 1:
-        characterizations = _collect_parallel(workloads, config, workers)
+        characterizations = _collect_parallel(
+            workloads, config, workers, progress, cancel
+        )
     else:
-        characterizations = _collect_serial(workloads, config)
+        characterizations = _collect_serial(workloads, config, progress, cancel)
 
     rows: dict[str, dict[str, float]] = {}
     for characterization in characterizations:
@@ -220,7 +367,6 @@ def characterize_suite(
         characterizations=tuple(characterizations),
     )
     _MEMO[key] = result
-    if cache_path is not None:
-        cache_path.parent.mkdir(parents=True, exist_ok=True)
-        result.matrix.save(cache_path)
+    if store is not None:
+        _persist_to_store(store, key, config, result)
     return result

@@ -34,3 +34,15 @@ class ProfilingError(ReproError):
 
 class AnalysisError(ReproError):
     """A statistical-analysis step (PCA, clustering, BIC) received bad input."""
+
+
+class CollectionCancelled(ReproError):
+    """A suite collection was cancelled before it completed."""
+
+
+class StoreError(ReproError):
+    """The persistent result store was used incorrectly or is corrupt."""
+
+
+class ServiceError(ReproError):
+    """The characterization service (server, jobs, client) failed a request."""

@@ -1,0 +1,54 @@
+"""The characterization service: store, jobs, HTTP server, client.
+
+Turns the reproduction into a long-running system:
+
+- :mod:`repro.service.store` — a versioned, content-addressed result
+  store that persists *full* per-workload characterizations (metrics,
+  per-slave detail, the underlying run with its trace and checks), with
+  atomic writes, a schema stamp and LRU bounding.
+- :mod:`repro.service.jobs` — a thread-based job manager with
+  single-flight deduplication: concurrent identical requests share one
+  collection run, which fans workloads over the existing ``workers``
+  process pool.
+- :mod:`repro.service.server` — a stdlib-only ``ThreadingHTTPServer``
+  JSON API (``/workloads``, ``/metrics``, ``/characterize/<name>``,
+  ``/suite/matrix``, ``/subset``, ``/observations``, ``/jobs``) with
+  ETag/304 support off the store's content hashes.
+- :mod:`repro.service.client` — a small urllib client with transparent
+  conditional-request caching.
+
+Only the store is imported eagerly; the server/jobs/client layers are
+exposed lazily so that :mod:`repro.cluster.collection` can depend on the
+store without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+from repro.service.store import ResultStore, resolve_cache_dir
+
+__all__ = [
+    "ResultStore",
+    "resolve_cache_dir",
+    "JobManager",
+    "JobState",
+    "CharacterizationService",
+    "ServiceConfig",
+    "serve",
+    "ServiceClient",
+]
+
+
+def __getattr__(name: str):
+    if name in ("JobManager", "JobState"):
+        from repro.service import jobs
+
+        return getattr(jobs, name)
+    if name in ("CharacterizationService", "ServiceConfig", "serve"):
+        from repro.service import server
+
+        return getattr(server, name)
+    if name == "ServiceClient":
+        from repro.service.client import ServiceClient
+
+        return ServiceClient
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,97 @@
+"""A small stdlib client for the characterization service.
+
+Wraps :mod:`urllib.request` with JSON decoding and transparent
+conditional requests: the client remembers each path's ETag and payload,
+sends ``If-None-Match`` on revisits, and resolves a 304 from its cache —
+so polling the service costs headers, not bodies.
+
+    >>> client = ServiceClient("http://127.0.0.1:8321")
+    >>> client.matrix()["workloads"][:2]
+    ['H-Sort', 'H-WordCount']
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.parse
+import urllib.request
+
+from repro.errors import ServiceError
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """JSON client with an ETag cache, one instance per base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 600.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        #: path -> (etag, decoded payload); hit on 304 responses.
+        self._cache: dict[str, tuple[str, object]] = {}
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _request(self, path: str, method: str = "GET"):
+        url = self.base_url + path
+        request = urllib.request.Request(url, method=method)
+        cached = self._cache.get(path) if method == "GET" else None
+        if cached is not None:
+            request.add_header("If-None-Match", f'"{cached[0]}"')
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                body = response.read()
+                etag = (response.headers.get("ETag") or "").strip('"')
+                payload = json.loads(body) if body else None
+                if method == "GET" and etag:
+                    self._cache[path] = (etag, payload)
+                return payload
+        except urllib.error.HTTPError as error:
+            if error.code == 304 and cached is not None:
+                return cached[1]
+            detail = ""
+            try:
+                detail = json.loads(error.read()).get("error", "")
+            except (json.JSONDecodeError, AttributeError, ValueError):
+                pass
+            raise ServiceError(
+                f"{method} {path} -> {error.code}: {detail or error.reason}"
+            ) from error
+        except urllib.error.URLError as error:
+            raise ServiceError(f"{method} {path}: {error.reason}") from error
+
+    # -- endpoints ------------------------------------------------------------
+
+    def info(self) -> dict:
+        return self._request("/")
+
+    def workloads(self) -> list[dict]:
+        return self._request("/workloads")
+
+    def metrics(self) -> list[dict]:
+        return self._request("/metrics")
+
+    def characterize(self, name: str, wait: bool = True) -> dict:
+        """One workload's full characterization (or a job snapshot if
+        ``wait=False`` and the result is not cached yet)."""
+        suffix = "" if wait else "?wait=0"
+        return self._request(f"/characterize/{urllib.parse.quote(name)}{suffix}")
+
+    def matrix(self) -> dict:
+        return self._request("/suite/matrix")
+
+    def subset(self, k: int | None = None) -> dict:
+        return self._request("/subset" if k is None else f"/subset?k={k}")
+
+    def observations(self) -> dict:
+        return self._request("/observations")
+
+    def jobs(self) -> list[dict]:
+        return self._request("/jobs")
+
+    def job(self, job_id: str) -> dict:
+        return self._request(f"/jobs/{urllib.parse.quote(job_id)}")
+
+    def cancel_job(self, job_id: str) -> dict:
+        return self._request(f"/jobs/{urllib.parse.quote(job_id)}", method="DELETE")

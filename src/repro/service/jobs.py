@@ -1,0 +1,250 @@
+"""Thread-based collection jobs with single-flight deduplication.
+
+The job manager is the only component that *computes* on behalf of the
+HTTP service: every endpoint that may need a collection submits a job
+and waits (or polls).  Concurrent identical requests — same
+:meth:`CollectionConfig.cache_key` and workload-set digest — share one
+job, which runs one collection fanned over the existing ``workers``
+process pool and lands one set of store entries; every waiter then
+serves the same bytes.  This is what keeps a stampede of cold
+``/characterize`` requests from launching N engine runs.
+
+Job lifecycle::
+
+    queued ──▶ running ──▶ done
+       │          │  └────▶ failed
+       └──────────┴───────▶ cancelled
+
+Cancellation is cooperative: the collection checks the job's cancel
+event between workloads, so an in-flight workload finishes but no new
+one starts.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.cluster.collection import (
+    CollectionConfig,
+    characterize_suite,
+    suite_store_key,
+)
+from repro.errors import CollectionCancelled, ServiceError
+from repro.service.store import ResultStore
+from repro.workloads.base import Workload
+from repro.workloads.suite import workload_by_name
+
+__all__ = ["JobState", "Job", "JobManager"]
+
+
+class JobState(enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+#: States from which a job can still make progress (single-flight window).
+_LIVE = (JobState.QUEUED, JobState.RUNNING)
+
+
+@dataclass
+class Job:
+    """One collection request and its observable state.
+
+    All mutation happens under the manager's lock; readers get
+    consistent snapshots through :meth:`snapshot`.
+    """
+
+    id: str
+    key: str
+    workloads: tuple[str, ...]
+    state: JobState = JobState.QUEUED
+    done_workloads: int = 0
+    total_workloads: int = 0
+    error: str | None = None
+    etag: str | None = None
+    created_s: float = field(default_factory=time.time)
+    finished_s: float | None = None
+    _done: threading.Event = field(default_factory=threading.Event, repr=False)
+    _cancel: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def snapshot(self) -> dict:
+        """A JSON-safe view of the job (what ``/jobs/<id>`` serves)."""
+        return {
+            "id": self.id,
+            "key": self.key,
+            "workloads": list(self.workloads),
+            "state": self.state.value,
+            "progress": {
+                "done": self.done_workloads,
+                "total": self.total_workloads,
+            },
+            "error": self.error,
+            "etag": self.etag,
+            "created_s": self.created_s,
+            "finished_s": self.finished_s,
+        }
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self._done.wait(timeout)
+
+
+class JobManager:
+    """Runs collections on worker threads, deduplicating identical requests.
+
+    Args:
+        store: The persistent result store jobs write into.
+        config: Collection parameters every job uses (the service's
+            measurement protocol).
+        workers: Process fan-out *within* one collection (passed through
+            to :func:`characterize_suite`).
+        max_concurrent_jobs: Distinct jobs allowed to collect at once;
+            further jobs queue.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        config: CollectionConfig | None = None,
+        workers: int = 1,
+        max_concurrent_jobs: int = 2,
+    ) -> None:
+        self.store = store
+        self.config = config or CollectionConfig()
+        self.workers = workers
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._by_key: dict[str, Job] = {}
+        self._counter = 0
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_concurrent_jobs, thread_name_prefix="repro-job"
+        )
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, workload_names: tuple[str, ...]) -> Job:
+        """Request a collection of ``workload_names`` (single-flight).
+
+        If a live job for the same key exists, it is returned instead of
+        creating a second one — the caller shares its result.
+
+        Raises:
+            ServiceError: If ``workload_names`` is empty or contains an
+                unknown label.
+        """
+        if not workload_names:
+            raise ServiceError("a job needs at least one workload")
+        try:
+            workloads: tuple[Workload, ...] = tuple(
+                workload_by_name(name) for name in workload_names
+            )
+        except Exception as exc:
+            raise ServiceError(str(exc)) from exc
+        key = suite_store_key(self.config, workloads)
+        with self._lock:
+            live = self._by_key.get(key)
+            if live is not None and live.state in _LIVE:
+                return live
+            self._counter += 1
+            job = Job(
+                id=f"job-{self._counter:06d}",
+                key=key,
+                workloads=tuple(w.name for w in workloads),
+                total_workloads=len(workloads),
+            )
+            self._jobs[job.id] = job
+            self._by_key[key] = job
+        self._executor.submit(self._run, job, workloads)
+        return job
+
+    def collect(
+        self, workload_names: tuple[str, ...], timeout: float | None = None
+    ) -> Job:
+        """Submit and block until the job is terminal.
+
+        Raises:
+            ServiceError: If the job does not finish within ``timeout``.
+        """
+        job = self.submit(workload_names)
+        if not job.wait(timeout):
+            raise ServiceError(f"{job.id}: timed out after {timeout}s")
+        return job
+
+    # -- queries --------------------------------------------------------------
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> tuple[Job, ...]:
+        with self._lock:
+            return tuple(self._jobs.values())
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation; returns whether the job was still live."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.state not in _LIVE:
+                return False
+            job._cancel.set()
+        return True
+
+    def shutdown(self) -> None:
+        """Cancel live jobs and stop the worker threads."""
+        with self._lock:
+            for job in self._jobs.values():
+                if job.state in _LIVE:
+                    job._cancel.set()
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+    # -- worker ---------------------------------------------------------------
+
+    def _run(self, job: Job, workloads: tuple[Workload, ...]) -> None:
+        with self._lock:
+            if job._cancel.is_set():
+                self._finish(job, JobState.CANCELLED)
+                return
+            job.state = JobState.RUNNING
+
+        def progress(done: int, total: int) -> None:
+            job.done_workloads = done
+            job.total_workloads = total
+
+        try:
+            characterize_suite(
+                workloads,
+                self.config,
+                cache_dir=self.store.root,
+                workers=self.workers,
+                progress=progress,
+                cancel=job._cancel,
+            )
+        except CollectionCancelled:
+            with self._lock:
+                self._finish(job, JobState.CANCELLED)
+        except Exception as exc:  # a failed job must never kill its thread
+            with self._lock:
+                job.error = f"{type(exc).__name__}: {exc}"
+                self._finish(job, JobState.FAILED)
+        else:
+            with self._lock:
+                job.done_workloads = job.total_workloads
+                job.etag = self.store.etag(job.key)
+                self._finish(job, JobState.DONE)
+
+    def _finish(self, job: Job, state: JobState) -> None:
+        """Terminal transition (caller holds the lock)."""
+        job.state = state
+        job.finished_s = time.time()
+        if self._by_key.get(job.key) is job:
+            # Drop the single-flight registration: the next identical
+            # request hits the memo/store fast path (or retries a
+            # failure) instead of attaching to a dead job.
+            del self._by_key[job.key]
+        job._done.set()

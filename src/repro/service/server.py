@@ -1,0 +1,465 @@
+"""Stdlib-only HTTP API over the characterization store and job manager.
+
+``repro serve`` (or :func:`serve` programmatically) exposes the whole
+reproduction as a JSON service::
+
+    GET  /                      service info + endpoint table
+    GET  /workloads             the suite's Table I metadata
+    GET  /metrics               the 45 Table II metric specs
+    GET  /characterize/<name>   one workload's full characterization
+    GET  /suite/matrix          the workload × metric matrix
+    GET  /subset?k=K            K-means representative subset (Table V)
+    GET  /observations          the paper's Observations 1-9, scored
+    GET  /jobs, /jobs/<id>      collection-job states and progress
+    DELETE /jobs/<id>           cooperative cancellation
+
+Serving model: endpoints that need data a cold store cannot provide
+submit a job to the :class:`~repro.service.jobs.JobManager` and block
+until it lands — single-flight deduplication means a stampede of
+identical cold requests runs exactly one collection, and every waiter
+then streams the *same stored bytes*.  Store-backed responses carry the
+store's content hash as a strong ETag; conditional requests
+(``If-None-Match``) short-circuit to 304 with no body.  Pass
+``?wait=0`` to ``/characterize`` to get 202 + a job snapshot instead of
+blocking.
+
+Everything here is standard library (``http.server`` with
+``ThreadingHTTPServer``); the service owns a thread pool only through
+its job manager.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.cluster.collection import (
+    CollectionConfig,
+    characterize_suite,
+    suite_store_key,
+    workload_store_key,
+)
+from repro.core.subsetting import subset_workloads
+from repro.errors import ReproError, ServiceError, WorkloadError
+from repro.metrics.catalog import METRICS
+from repro.service.jobs import JobManager, JobState
+from repro.service.store import ResultStore, resolve_cache_dir
+from repro.workloads.base import Workload
+from repro.workloads.suite import SUITE, closest_workloads, workload_by_name
+
+__all__ = ["ServiceConfig", "CharacterizationService", "serve"]
+
+_JSON = "application/json"
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """What one service instance serves and how it collects it.
+
+    Attributes:
+        collection: Measurement protocol for every collection the
+            service runs (scale, seed, slaves, cores, ops).
+        workloads: The suite this instance serves (tests shrink it).
+        cache_dir: Store root; ``None`` falls back to ``REPRO_CACHE_DIR``
+            or a private temporary directory.
+        workers: Process fan-out within one collection.
+        request_timeout_s: How long a blocking endpoint waits for its
+            job before giving up with 504.
+        subsetting_seed: Seed for the ``/subset`` K-means restarts.
+    """
+
+    collection: CollectionConfig = CollectionConfig()
+    workloads: tuple[Workload, ...] = SUITE
+    cache_dir: str | None = None
+    workers: int = 1
+    request_timeout_s: float = 600.0
+    subsetting_seed: int = 0
+
+
+class _HttpError(Exception):
+    """Internal: mapped to an HTTP error response."""
+
+    def __init__(self, status: int, message: str, extra: dict | None = None):
+        super().__init__(message)
+        self.status = status
+        self.payload = {"error": message, **(extra or {})}
+
+
+@dataclass
+class _Response:
+    status: int
+    body: bytes
+    etag: str | None = None
+    content_type: str = _JSON
+
+
+def _dumps(payload) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+def _computed(payload, status: int = 200) -> _Response:
+    """A deterministic JSON response with a body-derived ETag."""
+    body = _dumps(payload)
+    return _Response(status, body, etag=hashlib.sha256(body).hexdigest()[:32])
+
+
+class CharacterizationService:
+    """Endpoint logic, independent of the HTTP plumbing (unit-testable)."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        cache_dir = resolve_cache_dir(self.config.cache_dir)
+        if cache_dir is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="repro-service-")
+            cache_dir = self._tmp.name
+        self.store = ResultStore(cache_dir)
+        self.jobs = JobManager(
+            self.store,
+            config=self.config.collection,
+            workers=self.config.workers,
+        )
+        self._lock = threading.Lock()
+        self._derived: dict[tuple, _Response] = {}
+
+    def close(self) -> None:
+        self.jobs.shutdown()
+
+    # -- routing --------------------------------------------------------------
+
+    def handle_get(self, path: str, query: dict[str, list[str]]) -> _Response:
+        parts = [p for p in path.split("/") if p]
+        if not parts:
+            return self._info()
+        if parts == ["workloads"]:
+            return self._workloads()
+        if parts == ["metrics"]:
+            return self._metrics()
+        if len(parts) == 2 and parts[0] == "characterize":
+            wait = query.get("wait", ["1"])[0] not in ("0", "false", "no")
+            return self._characterize(parts[1], wait=wait)
+        if parts == ["suite", "matrix"]:
+            return self._matrix()
+        if parts == ["subset"]:
+            return self._subset(query)
+        if parts == ["observations"]:
+            return self._observations()
+        if parts == ["jobs"]:
+            return _computed([job.snapshot() for job in self.jobs.jobs()])
+        if len(parts) == 2 and parts[0] == "jobs":
+            job = self.jobs.get(parts[1])
+            if job is None:
+                raise _HttpError(404, f"no such job {parts[1]!r}")
+            return _computed(job.snapshot())
+        raise _HttpError(404, f"no such endpoint {path!r}")
+
+    def handle_delete(self, path: str) -> _Response:
+        parts = [p for p in path.split("/") if p]
+        if len(parts) == 2 and parts[0] == "jobs":
+            job = self.jobs.get(parts[1])
+            if job is None:
+                raise _HttpError(404, f"no such job {parts[1]!r}")
+            cancelled = self.jobs.cancel(parts[1])
+            return _computed({"id": job.id, "cancelled": cancelled})
+        raise _HttpError(404, f"no such endpoint {path!r}")
+
+    # -- endpoints ------------------------------------------------------------
+
+    def _info(self) -> _Response:
+        return _computed(
+            {
+                "service": "repro-characterization",
+                "suite_size": len(self.config.workloads),
+                "store_entries": len(self.store),
+                "collection_key": self.config.collection.cache_key(),
+                "endpoints": [
+                    "/workloads",
+                    "/metrics",
+                    "/characterize/<name>",
+                    "/suite/matrix",
+                    "/subset?k=K",
+                    "/observations",
+                    "/jobs",
+                ],
+            }
+        )
+
+    def _workloads(self) -> _Response:
+        return _computed(
+            [
+                {
+                    "name": w.name,
+                    "algorithm": w.algorithm,
+                    "family": w.family.value,
+                    "category": w.category.value,
+                    "data_type": w.data_type.value,
+                    "declared_size": w.declared_size,
+                }
+                for w in self.config.workloads
+            ]
+        )
+
+    def _metrics(self) -> _Response:
+        return _computed(
+            [
+                {
+                    "number": spec.number,
+                    "name": spec.name,
+                    "category": spec.category.value,
+                    "kind": spec.kind.value,
+                    "description": spec.description,
+                }
+                for spec in METRICS
+            ]
+        )
+
+    def _resolve(self, name: str) -> Workload:
+        try:
+            return workload_by_name(name)
+        except WorkloadError:
+            raise _HttpError(
+                404,
+                f"unknown workload {name!r}",
+                {"suggestions": list(closest_workloads(name))},
+            ) from None
+
+    def _characterize(self, name: str, wait: bool) -> _Response:
+        workload = self._resolve(name)
+        key = workload_store_key(self.config.collection, workload.name)
+        raw = self.store.get_raw(key, touch=False)
+        if raw is None:
+            if not wait:
+                return _computed(
+                    self.jobs.submit((workload.name,)).snapshot(), status=202
+                )
+            job = self._await_job((workload.name,))
+            raw = self.store.get_raw(key, touch=False)
+            if raw is None:
+                raise _HttpError(
+                    500, f"{job.id} finished but {key!r} is not in the store"
+                )
+        body, etag = raw
+        return _Response(200, body, etag=etag)
+
+    def _ensure_suite(self) -> tuple[dict, str]:
+        """The suite entry + its ETag, collecting (single-flight) if cold."""
+        key = suite_store_key(self.config.collection, self.config.workloads)
+        entry = self.store.get(key, touch=False)
+        if entry is None:
+            self._await_job(tuple(w.name for w in self.config.workloads))
+            entry = self.store.get(key, touch=False)
+            if entry is None:
+                raise _HttpError(500, f"suite entry {key!r} missing after collection")
+        etag = self.store.etag(key)
+        return entry, etag or ""
+
+    def _await_job(self, names: tuple[str, ...]):
+        try:
+            job = self.jobs.collect(names, timeout=self.config.request_timeout_s)
+        except ServiceError as exc:
+            raise _HttpError(504, str(exc)) from exc
+        if job.state is JobState.FAILED:
+            raise _HttpError(500, f"{job.id} failed: {job.error}")
+        if job.state is JobState.CANCELLED:
+            raise _HttpError(503, f"{job.id} was cancelled")
+        return job
+
+    def _matrix(self) -> _Response:
+        entry, etag = self._ensure_suite()
+        with self._lock:
+            cached = self._derived.get(("matrix", etag))
+            if cached is None:
+                cached = _Response(200, _dumps(entry["matrix"]), etag=etag)
+                self._derived[("matrix", etag)] = cached
+        return cached
+
+    def _subset(self, query: dict[str, list[str]]) -> _Response:
+        k: int | None = None
+        if "k" in query:
+            try:
+                k = int(query["k"][0])
+            except ValueError:
+                raise _HttpError(400, f"k must be an integer, got {query['k'][0]!r}")
+        n = len(self.config.workloads)
+        if k is not None and not 2 <= k <= n - 1:
+            raise _HttpError(400, f"k must be in [2, {n - 1}] for {n} workloads")
+        entry, etag = self._ensure_suite()
+        cache_key = ("subset", etag, k)
+        with self._lock:
+            cached = self._derived.get(cache_key)
+        if cached is not None:
+            return cached
+
+        import numpy as np
+
+        from repro.core.dataset import WorkloadMetricMatrix
+
+        matrix = WorkloadMetricMatrix(
+            workloads=tuple(entry["matrix"]["workloads"]),
+            values=np.array(entry["matrix"]["values"], dtype=float),
+        )
+        try:
+            if k is None:
+                result = subset_workloads(matrix, seed=self.config.subsetting_seed)
+            else:
+                result = subset_workloads(
+                    matrix, seed=self.config.subsetting_seed, k_min=k, k_max=k
+                )
+        except ReproError as exc:
+            raise _HttpError(400, f"subsetting failed: {exc}") from exc
+
+        def reps(representatives) -> list[dict]:
+            return [
+                {
+                    "workload": rep.workload,
+                    "cluster_size": rep.cluster_size,
+                    "members": list(rep.members),
+                    "distance_to_center": rep.distance_to_center,
+                }
+                for rep in representatives
+            ]
+
+        response = _computed(
+            {
+                "k": result.clustering.k,
+                "requested_k": k,
+                "pca_kept": result.pca.n_kept,
+                "retained_variance": result.pca.retained_variance,
+                "representative_subset": list(result.representative_subset),
+                "farthest": reps(result.farthest),
+                "nearest": reps(result.nearest),
+            }
+        )
+        with self._lock:
+            self._derived[cache_key] = response
+        return response
+
+    def _observations(self) -> _Response:
+        if tuple(w.name for w in self.config.workloads) != tuple(
+            w.name for w in SUITE
+        ):
+            raise _HttpError(
+                409, "observations need the full 32-workload suite configured"
+            )
+        _, etag = self._ensure_suite()
+        cache_key = ("observations", etag)
+        with self._lock:
+            cached = self._derived.get(cache_key)
+        if cached is not None:
+            return cached
+
+        from repro.analysis.experiment import ExperimentConfig, run_experiment
+        from repro.analysis.observations import evaluate_observations
+
+        # The suite is already in the memo/store; this only reruns the
+        # statistics, not the engines.
+        experiment = run_experiment(
+            ExperimentConfig(
+                collection=self.config.collection,
+                subsetting_seed=self.config.subsetting_seed,
+                cache_dir=str(self.store.root),
+            )
+        )
+        observations = evaluate_observations(experiment)
+        response = _computed(
+            {
+                "observations": [
+                    {
+                        "number": o.number,
+                        "paper_claim": o.paper_claim,
+                        "measured": o.measured,
+                        "holds": o.holds,
+                    }
+                    for o in observations
+                ],
+                "holding": sum(1 for o in observations if o.holds),
+            }
+        )
+        with self._lock:
+            self._derived[cache_key] = response
+        return response
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin HTTP plumbing: routing, ETag/304, error mapping."""
+
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> CharacterizationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send(self, response: _Response) -> None:
+        etag_header = f'"{response.etag}"' if response.etag else None
+        if etag_header and response.status == 200:
+            conditional = self.headers.get("If-None-Match", "")
+            candidates = {tag.strip() for tag in conditional.split(",")}
+            if etag_header in candidates or response.etag in candidates:
+                self.send_response(304)
+                self.send_header("ETag", etag_header)
+                self.send_header("Content-Length", "0")
+                self.end_headers()
+                return
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
+        self.send_header("Content-Length", str(len(response.body)))
+        if etag_header:
+            self.send_header("ETag", etag_header)
+        self.end_headers()
+        self.wfile.write(response.body)
+
+    def _dispatch(self, method: str) -> None:
+        split = urlsplit(self.path)
+        try:
+            if method == "GET":
+                response = self.service.handle_get(
+                    split.path, parse_qs(split.query)
+                )
+            else:
+                response = self.service.handle_delete(split.path)
+        except _HttpError as exc:
+            response = _Response(exc.status, _dumps(exc.payload))
+        except ReproError as exc:
+            response = _Response(400, _dumps({"error": str(exc)}))
+        except Exception as exc:  # pragma: no cover - defensive
+            response = _Response(
+                500, _dumps({"error": f"{type(exc).__name__}: {exc}"})
+            )
+        try:
+            self._send(response)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass  # client went away mid-response
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        self._dispatch("GET")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+
+def serve(
+    config: ServiceConfig | None = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """Build a ready-to-run threading server (``port=0`` picks a free one).
+
+    The caller owns the lifecycle: ``server.serve_forever()`` to run,
+    ``server.shutdown()`` + ``server.service.close()`` to stop.
+    """
+    service = CharacterizationService(config)
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.daemon_threads = True
+    server.service = service  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    return server

@@ -1,0 +1,373 @@
+"""Persistent, content-addressed characterization store.
+
+Every expensive artifact the cluster layer produces — a full
+:class:`~repro.cluster.testbed.WorkloadCharacterization` or a whole
+suite's metric matrix — is persisted here as one JSON object under a
+deterministic key, so later processes (the HTTP service, the benchmark
+harness, a fresh CLI invocation) reuse it instead of re-running engines
+and simulators.
+
+Layout of a store rooted at ``<root>``::
+
+    <root>/index.json           schema stamp + per-entry LRU metadata
+    <root>/objects/<key>.json   one canonical-JSON object per entry
+
+Guarantees:
+
+- **Atomic writes** — objects and the index are written to a temp file
+  in the same directory and ``os.replace``\\ d into place, so a reader
+  (or a concurrent writer in another process) never observes a torn
+  file.
+- **Content addressing** — every object's canonical JSON bytes are
+  hashed (sha256); the hash is stored in the index and doubles as the
+  HTTP ETag.  A hash mismatch on read is treated as corruption and the
+  entry is dropped rather than served.
+- **Schema versioning** — objects carry a ``schema`` stamp; entries
+  written by an incompatible revision are ignored, never mis-parsed.
+- **LRU bounding** — the index tracks a logical clock per entry; when
+  ``max_entries`` (or ``max_bytes``) is exceeded the least recently
+  used entries are evicted.
+
+The store deliberately knows nothing about *what* the payloads mean.
+Key naming and (de)serialization of characterizations live with their
+owners (:mod:`repro.cluster.collection` and the helpers below).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.testbed import WorkloadCharacterization
+from repro.errors import StoreError
+from repro.stacks.base import ExecutionTrace, PhaseKind, PhaseRecord, StackInfo
+from repro.workloads.base import WorkloadRun
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ResultStore",
+    "resolve_cache_dir",
+    "characterization_to_payload",
+    "characterization_from_payload",
+]
+
+#: Bump when the on-disk object layout changes incompatibly; stale
+#: entries are silently treated as cache misses, never mis-parsed.
+SCHEMA_VERSION = 2
+
+#: Environment variable redirecting all artifact writes (store, legacy
+#: collection cache, benchmark session cache) to one directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_KEY_SAFE = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789._-")
+
+
+def resolve_cache_dir(explicit: str | Path | None = None) -> Path | None:
+    """The artifact directory to use: explicit argument, else ``REPRO_CACHE_DIR``.
+
+    Returns ``None`` when neither is set — callers then skip persistence
+    entirely, preserving the historical default of no disk writes.
+    """
+    if explicit is not None:
+        return Path(explicit)
+    env = os.environ.get(CACHE_DIR_ENV)
+    return Path(env) if env else None
+
+
+def _canonical_dumps(payload: dict) -> bytes:
+    """Deterministic JSON bytes — the unit of content addressing."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def _content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class ResultStore:
+    """A versioned, LRU-bounded, content-addressed result store.
+
+    Thread-safe within a process (one lock around index mutation);
+    cross-process safe through atomic replaces — concurrent writers
+    last-write-win on the index, and readers always see a complete file.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        max_entries: int = 256,
+        max_bytes: int | None = None,
+    ) -> None:
+        if max_entries < 1:
+            raise StoreError("max_entries must be at least 1")
+        self.root = Path(root)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._lock = threading.RLock()
+        self._objects = self.root / "objects"
+        self._objects.mkdir(parents=True, exist_ok=True)
+        self._index_path = self.root / "index.json"
+
+    # -- index ----------------------------------------------------------------
+
+    def _read_index(self) -> dict:
+        try:
+            index = json.loads(self._index_path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            return {"schema": SCHEMA_VERSION, "clock": 0, "entries": {}}
+        if index.get("schema") != SCHEMA_VERSION:
+            # An incompatible revision wrote here: start fresh rather
+            # than guess at old entries' meaning.
+            return {"schema": SCHEMA_VERSION, "clock": 0, "entries": {}}
+        return index
+
+    def _write_index(self, index: dict) -> None:
+        _atomic_write(self._index_path, json.dumps(index, sort_keys=True).encode())
+
+    def _object_path(self, key: str) -> Path:
+        if not key or not set(key) <= _KEY_SAFE:
+            raise StoreError(f"invalid store key {key!r}")
+        return self._objects / f"{key}.json"
+
+    # -- public API -----------------------------------------------------------
+
+    def put(self, key: str, payload: dict) -> str:
+        """Persist ``payload`` under ``key``; returns its content hash.
+
+        The payload is stamped with the schema version, written
+        atomically, indexed, and old entries are evicted LRU if the
+        store exceeds its bounds.
+        """
+        stamped = dict(payload)
+        stamped["schema"] = SCHEMA_VERSION
+        data = _canonical_dumps(stamped)
+        digest = _content_hash(data)
+        with self._lock:
+            _atomic_write(self._object_path(key), data)
+            index = self._read_index()
+            index["clock"] += 1
+            index["entries"][key] = {
+                "hash": digest,
+                "bytes": len(data),
+                "last_used": index["clock"],
+            }
+            self._evict(index, keep=key)
+            self._write_index(index)
+        return digest
+
+    def get_raw(self, key: str, touch: bool = True) -> tuple[bytes, str] | None:
+        """The stored bytes and content hash for ``key``, or ``None``.
+
+        Verifies the content hash; a mismatch (torn or tampered object)
+        drops the entry and reads as a miss.  ``touch=False`` skips the
+        LRU bookkeeping write — used on request-serving hot paths.
+        """
+        with self._lock:
+            index = self._read_index()
+            entry = index["entries"].get(key)
+            if entry is None:
+                return None
+            try:
+                data = self._object_path(key).read_bytes()
+            except FileNotFoundError:
+                del index["entries"][key]
+                self._write_index(index)
+                return None
+            if _content_hash(data) != entry["hash"]:
+                self._drop(index, key)
+                return None
+            if touch:
+                index["clock"] += 1
+                entry["last_used"] = index["clock"]
+                self._write_index(index)
+        return data, entry["hash"]
+
+    def get(self, key: str, touch: bool = True) -> dict | None:
+        """The decoded payload for ``key``, or ``None`` on any miss.
+
+        Objects stamped with a different schema version read as misses.
+        """
+        raw = self.get_raw(key, touch=touch)
+        if raw is None:
+            return None
+        payload = json.loads(raw[0].decode("utf-8"))
+        if payload.get("schema") != SCHEMA_VERSION:
+            return None
+        return payload
+
+    def etag(self, key: str) -> str | None:
+        """The content hash of ``key``'s entry (the HTTP ETag), if present."""
+        with self._lock:
+            entry = self._read_index()["entries"].get(key)
+        return entry["hash"] if entry else None
+
+    def keys(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._read_index()["entries"])
+
+    def remove(self, key: str) -> bool:
+        """Delete ``key``'s entry; returns whether it existed."""
+        with self._lock:
+            index = self._read_index()
+            if key not in index["entries"]:
+                return False
+            self._drop(index, key)
+        return True
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            entries = self._read_index()["entries"]
+        return sum(e["bytes"] for e in entries.values())
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    # -- internals ------------------------------------------------------------
+
+    def _drop(self, index: dict, key: str) -> None:
+        del index["entries"][key]
+        self._write_index(index)
+        try:
+            self._object_path(key).unlink()
+        except OSError:
+            pass
+
+    def _evict(self, index: dict, keep: str) -> None:
+        """Evict least-recently-used entries until within bounds."""
+
+        def over_budget() -> bool:
+            entries = index["entries"]
+            if len(entries) > self.max_entries:
+                return True
+            if self.max_bytes is not None:
+                return sum(e["bytes"] for e in entries.values()) > self.max_bytes
+            return False
+
+        while over_budget():
+            victims = [k for k in index["entries"] if k != keep]
+            if not victims:
+                return
+            victim = min(victims, key=lambda k: index["entries"][k]["last_used"])
+            del index["entries"][victim]
+            try:
+                self._object_path(victim).unlink()
+            except OSError:
+                pass
+
+
+# -- characterization (de)serialization ---------------------------------------
+#
+# A stored characterization is *complete*: metrics, per-slave detail and
+# the underlying run (trace records, stack facts, correctness checks),
+# so cache hits hydrate objects indistinguishable from a fresh
+# collection — the historical "details are not cached" gap is closed.
+
+
+def characterization_to_payload(char: WorkloadCharacterization) -> dict:
+    """A JSON-safe dict capturing the characterization in full."""
+    trace = char.run.trace
+    stack = trace.stack
+    return {
+        "kind": "characterization",
+        "name": char.name,
+        "metrics": {k: float(v) for k, v in char.metrics.items()},
+        "per_slave": [
+            {k: float(v) for k, v in slave.items()} for slave in char.per_slave
+        ],
+        "run": {
+            "output_records": char.run.output_records,
+            "checks": {k: float(v) for k, v in char.run.checks.items()},
+            "trace": {
+                "workload": trace.workload,
+                "stack": {
+                    "name": stack.name,
+                    "source_bytes": stack.source_bytes,
+                    "hot_code_bytes": stack.hot_code_bytes,
+                    "tasks_share_process": stack.tasks_share_process,
+                    "jvm_uops_factor": stack.jvm_uops_factor,
+                    "kernel_io_weight": stack.kernel_io_weight,
+                },
+                "records": [
+                    {
+                        "kind": record.kind.value,
+                        "name": record.name,
+                        "worker": record.worker,
+                        "records_in": record.records_in,
+                        "bytes_in": record.bytes_in,
+                        "records_out": record.records_out,
+                        "bytes_out": record.bytes_out,
+                        "details": {
+                            k: float(v) for k, v in record.details.items()
+                        },
+                    }
+                    for record in trace.records
+                ],
+            },
+        },
+    }
+
+
+def characterization_from_payload(payload: dict) -> WorkloadCharacterization:
+    """Rebuild the full characterization written by
+    :func:`characterization_to_payload`.
+
+    Raises:
+        StoreError: If the payload is not a characterization object.
+    """
+    if payload.get("kind") != "characterization":
+        raise StoreError(
+            f"expected a characterization payload, got kind={payload.get('kind')!r}"
+        )
+    run = payload["run"]
+    traced = run["trace"]
+    trace = ExecutionTrace(
+        stack=StackInfo(**traced["stack"]), workload=traced["workload"]
+    )
+    for record in traced["records"]:
+        trace.add(
+            PhaseRecord(
+                kind=PhaseKind(record["kind"]),
+                name=record["name"],
+                worker=record["worker"],
+                records_in=record["records_in"],
+                bytes_in=record["bytes_in"],
+                records_out=record["records_out"],
+                bytes_out=record["bytes_out"],
+                details=dict(record["details"]),
+            )
+        )
+    metrics = {k: float(v) for k, v in payload["metrics"].items()}
+    per_slave = tuple(
+        {k: float(v) for k, v in slave.items()} for slave in payload["per_slave"]
+    )
+    if not all(np.isfinite(list(metrics.values()))):
+        raise StoreError(f"{payload['name']}: non-finite metrics in stored payload")
+    return WorkloadCharacterization(
+        name=payload["name"],
+        metrics=metrics,
+        per_slave=per_slave,
+        run=WorkloadRun(
+            trace=trace,
+            output_records=run["output_records"],
+            checks=dict(run["checks"]),
+        ),
+    )

@@ -6,13 +6,22 @@ Assembles the full suite — 16 algorithms × {Hadoop family, Spark family}
 
 from __future__ import annotations
 
+import difflib
+
 from repro.errors import WorkloadError
 from repro.workloads.base import StackFamily, Workload
 from repro.workloads.micro import MICRO_WORKLOADS
 from repro.workloads.ml import ML_WORKLOADS
 from repro.workloads.sql_workloads import SQL_WORKLOADS
 
-__all__ = ["SUITE", "workload_by_name", "workload_names", "hadoop_workloads", "spark_workloads"]
+__all__ = [
+    "SUITE",
+    "workload_by_name",
+    "workload_names",
+    "closest_workloads",
+    "hadoop_workloads",
+    "spark_workloads",
+]
 
 #: All 32 workloads in a stable order (micro, ML, SQL; H before S).
 SUITE: tuple[Workload, ...] = MICRO_WORKLOADS + ML_WORKLOADS + SQL_WORKLOADS
@@ -40,6 +49,23 @@ def workload_by_name(name: str) -> Workload:
     if name not in _BY_NAME:
         raise WorkloadError(f"unknown workload {name!r}; known: {sorted(_BY_NAME)}")
     return _BY_NAME[name]
+
+
+def closest_workloads(name: str, n: int = 3) -> tuple[str, ...]:
+    """The suite labels closest to a misspelled ``name`` (may be empty).
+
+    Case-insensitive fuzzy match plus substring containment, so both
+    ``h-sort`` and ``PageRank`` produce useful suggestions.
+    """
+    labels = workload_names()
+    by_lower = {label.lower(): label for label in labels}
+    matches = difflib.get_close_matches(name.lower(), list(by_lower), n=n, cutoff=0.4)
+    suggestions = [by_lower[match] for match in matches]
+    needle = name.lower().lstrip("hs-")
+    for label in labels:
+        if needle and needle in label.lower() and label not in suggestions:
+            suggestions.append(label)
+    return tuple(suggestions[:n])
 
 
 def hadoop_workloads() -> tuple[Workload, ...]:

@@ -57,11 +57,10 @@ class TestCli:
         out = capsys.readouterr().out
         assert "matches_correct = 1.0" in out
 
-    def test_run_unknown_workload(self):
-        from repro.errors import WorkloadError
-
-        with pytest.raises(WorkloadError):
-            main(["run", "H-Nope"])
+    def test_run_unknown_workload(self, capsys):
+        # Friendly error with suggestions, exit code 2 — no traceback.
+        assert main(["run", "H-Nope"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
 
     def test_characterize(self, capsys):
         code = main(

@@ -117,14 +117,22 @@ def test_collection_memoises(tmp_path):
     first = characterize_suite(workloads, config, cache_dir=tmp_path)
     again = characterize_suite(workloads, config, cache_dir=tmp_path)
     assert again is first  # in-process memo
-    # The persistent cache can rebuild the matrix without re-running.
+    # The persistent store rebuilds the *full* result without re-running:
+    # matrix and per-workload details both hydrate on a cache hit.
     from repro.cluster import collection
 
+    runs_before = collection.collection_runs()
     collection._MEMO.clear()
     loaded = characterize_suite(workloads, config, cache_dir=tmp_path)
+    assert collection.collection_runs() == runs_before  # no re-collection
     assert loaded.matrix.workloads == first.matrix.workloads
     assert np.allclose(loaded.matrix.values, first.matrix.values)
-    assert loaded.characterizations == ()  # details are not persisted
+    assert [c.name for c in loaded.characterizations] == ["H-Grep", "S-Grep"]
+    for original, hydrated in zip(first.characterizations, loaded.characterizations):
+        assert hydrated.metrics == original.metrics
+        assert hydrated.per_slave == original.per_slave
+        assert hydrated.run.checks == original.run.checks
+        assert hydrated.run.trace.records == original.run.trace.records
 
 
 def test_characterize_suite_rejects_failed_checks():

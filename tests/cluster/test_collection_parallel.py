@@ -23,8 +23,11 @@ TINY = MeasurementConfig(slaves_measured=1, active_cores=2, ops_per_core=1200)
 
 
 @pytest.fixture(autouse=True)
-def clear_memo():
-    """Each test sees a cold in-process memo."""
+def clear_memo(monkeypatch):
+    """Each test sees a cold in-process memo and no persistent store —
+    otherwise a REPRO_CACHE_DIR hydration would masquerade as the
+    parallel collection these tests mean to exercise."""
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
     collection._MEMO.clear()
     yield
     collection._MEMO.clear()

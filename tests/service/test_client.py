@@ -1,0 +1,75 @@
+"""Tests for the service client (JSON + transparent ETag caching)."""
+
+import threading
+
+import pytest
+
+from repro.cluster.collection import CollectionConfig, collection_runs
+from repro.cluster.testbed import MeasurementConfig
+from repro.errors import ServiceError
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceConfig, serve
+from repro.workloads.suite import SUITE
+
+
+@pytest.fixture(scope="module")
+def client(tmp_path_factory):
+    config = ServiceConfig(
+        collection=CollectionConfig(
+            scale=0.2,
+            seed=17,
+            measurement=MeasurementConfig(
+                slaves_measured=1, active_cores=2, ops_per_core=1000, perf_repeats=2
+            ),
+        ),
+        workloads=SUITE[:4],
+        cache_dir=str(tmp_path_factory.mktemp("client-store")),
+    )
+    server = serve(config, port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield ServiceClient(f"http://127.0.0.1:{server.server_address[1]}")
+    server.shutdown()
+    server.service.close()
+
+
+def test_info_and_catalogs(client):
+    assert client.info()["suite_size"] == 4
+    assert len(client.workloads()) == 4
+    assert len(client.metrics()) == 45
+
+
+def test_characterize_and_matrix(client):
+    payload = client.characterize("H-Sort")
+    assert payload["name"] == "H-Sort"
+    assert len(payload["metrics"]) == 45
+    matrix = client.matrix()
+    assert matrix["workloads"] == [w.name for w in SUITE[:4]]
+
+
+def test_etag_cache_serves_304_revisits(client):
+    first = client.matrix()
+    runs_before = collection_runs()
+    # Revisit: the client sends If-None-Match, the server answers 304,
+    # and the client resolves it from its cache.
+    second = client.matrix()
+    assert second == first
+    assert collection_runs() == runs_before
+    assert client._cache["/suite/matrix"][1] == first
+
+
+def test_unknown_workload_raises_service_error(client):
+    with pytest.raises(ServiceError, match="unknown workload"):
+        client.characterize("H-Grap")
+
+
+def test_jobs_listing(client):
+    jobs = client.jobs()
+    assert isinstance(jobs, list)
+    assert all(job["state"] == "done" for job in jobs)
+
+
+def test_unreachable_server_raises():
+    dead = ServiceClient("http://127.0.0.1:9", timeout=2)
+    with pytest.raises(ServiceError):
+        dead.info()

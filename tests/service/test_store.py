@@ -1,0 +1,160 @@
+"""Tests for the persistent, content-addressed result store."""
+
+import json
+
+import pytest
+
+from repro.cluster.testbed import Cluster, MeasurementConfig
+from repro.errors import StoreError
+from repro.service.store import (
+    SCHEMA_VERSION,
+    ResultStore,
+    characterization_from_payload,
+    characterization_to_payload,
+    resolve_cache_dir,
+)
+from repro.workloads import RunContext, workload_by_name
+
+
+class TestResultStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        digest = store.put("alpha", {"kind": "x", "value": 7})
+        payload = store.get("alpha")
+        assert payload["value"] == 7
+        assert payload["schema"] == SCHEMA_VERSION
+        assert store.etag("alpha") == digest
+        assert len(store) == 1
+
+    def test_get_raw_matches_etag_and_is_deterministic(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", {"kind": "x", "b": 2, "a": 1})
+        data, digest = store.get_raw("k")
+        assert digest == store.etag("k")
+        # Re-putting identical content yields the identical hash.
+        assert store.put("k", {"kind": "x", "a": 1, "b": 2}) == digest
+
+    def test_miss_returns_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get("nope") is None
+        assert store.get_raw("nope") is None
+        assert store.etag("nope") is None
+
+    def test_corrupt_object_reads_as_miss_and_is_dropped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", {"kind": "x"})
+        (tmp_path / "objects" / "k.json").write_text('{"tampered": true}')
+        assert store.get("k") is None
+        assert "k" not in store.keys()
+
+    def test_schema_mismatch_reads_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", {"kind": "x"})
+        # Rewrite the object with a foreign schema stamp, keeping the
+        # index hash consistent so only the version check can reject it.
+        from repro.service.store import _canonical_dumps, _content_hash
+
+        stale = _canonical_dumps({"kind": "x", "schema": SCHEMA_VERSION - 1})
+        (tmp_path / "objects" / "k.json").write_bytes(stale)
+        index = json.loads((tmp_path / "index.json").read_text())
+        index["entries"]["k"]["hash"] = _content_hash(stale)
+        (tmp_path / "index.json").write_text(json.dumps(index))
+        assert store.get("k") is None
+
+    def test_foreign_index_schema_starts_fresh(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", {"kind": "x"})
+        index = json.loads((tmp_path / "index.json").read_text())
+        index["schema"] = SCHEMA_VERSION + 1
+        (tmp_path / "index.json").write_text(json.dumps(index))
+        assert ResultStore(tmp_path).get("k") is None
+
+    def test_lru_eviction_by_entries(self, tmp_path):
+        store = ResultStore(tmp_path, max_entries=2)
+        store.put("a", {"kind": "x"})
+        store.put("b", {"kind": "x"})
+        store.get("a")  # touch: a is now more recent than b
+        store.put("c", {"kind": "x"})
+        assert set(store.keys()) == {"a", "c"}
+        assert not (tmp_path / "objects" / "b.json").exists()
+
+    def test_lru_eviction_by_bytes(self, tmp_path):
+        store = ResultStore(tmp_path, max_bytes=200)
+        store.put("a", {"kind": "x", "pad": "y" * 100})
+        store.put("b", {"kind": "x", "pad": "y" * 100})
+        assert store.keys() == ("b",)
+        assert store.total_bytes() <= 200
+
+    def test_remove(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", {"kind": "x"})
+        assert store.remove("k") is True
+        assert store.remove("k") is False
+        assert store.get("k") is None
+
+    def test_invalid_keys_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(StoreError):
+            store.put("../escape", {"kind": "x"})
+        with pytest.raises(StoreError):
+            store.put("", {"kind": "x"})
+        with pytest.raises(StoreError):
+            ResultStore(tmp_path, max_entries=0)
+
+    def test_cross_instance_visibility(self, tmp_path):
+        """Two store handles on one directory see each other's writes."""
+        first = ResultStore(tmp_path)
+        second = ResultStore(tmp_path)
+        first.put("k", {"kind": "x", "v": 1})
+        assert second.get("k")["v"] == 1
+        assert second.etag("k") == first.etag("k")
+
+
+class TestResolveCacheDir:
+    def test_explicit_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert resolve_cache_dir(tmp_path / "explicit") == tmp_path / "explicit"
+
+    def test_env_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert resolve_cache_dir(None) == tmp_path / "env"
+
+    def test_none_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert resolve_cache_dir(None) is None
+
+
+class TestCharacterizationPayload:
+    @pytest.fixture(scope="class")
+    def characterization(self):
+        return Cluster().characterize_workload(
+            workload_by_name("S-Grep"),
+            RunContext(scale=0.2, seed=5),
+            MeasurementConfig(slaves_measured=1, active_cores=2, ops_per_core=1200),
+        )
+
+    def test_roundtrip_is_complete(self, characterization):
+        rebuilt = characterization_from_payload(
+            characterization_to_payload(characterization)
+        )
+        assert rebuilt.name == characterization.name
+        assert rebuilt.metrics == characterization.metrics
+        assert rebuilt.per_slave == characterization.per_slave
+        assert rebuilt.run.checks == characterization.run.checks
+        assert rebuilt.run.output_records == characterization.run.output_records
+        original_trace = characterization.run.trace
+        trace = rebuilt.run.trace
+        assert trace.workload == original_trace.workload
+        assert trace.stack == original_trace.stack
+        assert trace.records == original_trace.records
+
+    def test_roundtrip_survives_json(self, characterization, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("wc", characterization_to_payload(characterization))
+        rebuilt = characterization_from_payload(store.get("wc"))
+        assert rebuilt.metrics == characterization.metrics
+        assert rebuilt.run.trace.records == characterization.run.trace.records
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(StoreError):
+            characterization_from_payload({"kind": "suite"})

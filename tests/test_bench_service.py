@@ -1,0 +1,45 @@
+"""Smoke test for the service-throughput benchmark harness.
+
+Marked ``slow`` (it boots a server and characterizes workloads end to
+end); the tier-1 run deselects it via the default ``-m "not slow"``::
+
+    PYTHONPATH=src python -m pytest -m slow tests/test_bench_service.py
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.mark.slow
+def test_bench_service_smoke_completes_and_emits_json(tmp_path):
+    out = tmp_path / "BENCH_service.json"
+    proc = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "tools" / "bench_service.py"),
+            "--smoke",
+            "--threads",
+            "2",
+            "-o",
+            str(out),
+        ],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(out.read_text())
+    assert payload["smoke"] is True
+    assert payload["n_workloads"] == 2
+    assert payload["warm_matrix_req_per_s"] > 0
+    assert payload["cold_matrix_seconds"] > 0
+    assert {m["path"] for m in payload["measurements"]} == {
+        "/suite/matrix",
+        "/characterize/H-Sort",
+    }

@@ -1,0 +1,74 @@
+"""CLI smoke tests: exit codes and key output lines for every subcommand
+that runs in seconds, plus the friendly unknown-workload path."""
+
+import pytest
+
+from repro.cli import EXIT_USAGE, main
+
+
+class TestList:
+    def test_exit_code_and_table(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "H-Sort" in out and "S-PageRank" in out
+        assert out.count("\n") >= 33  # header + rule + 32 workloads
+
+
+class TestRun:
+    def test_runs_and_reports_checks(self, capsys):
+        assert main(["run", "S-Grep", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "output records" in out
+        assert "matches_correct = 1.0" in out
+
+    def test_unknown_workload_exits_2_with_suggestions(self, capsys):
+        assert main(["run", "S-Grap"]) == EXIT_USAGE
+        err = capsys.readouterr().err
+        assert "unknown workload 'S-Grap'" in err
+        assert "S-Grep" in err  # closest-match suggestion
+        assert "repro list" in err
+
+    def test_no_traceback_for_typo(self, capsys):
+        # The friendly path returns instead of raising.
+        assert main(["run", "PageRank"]) == EXIT_USAGE
+        err = capsys.readouterr().err
+        assert "PageRank" in err  # suggests H-/S-PageRank
+
+
+class TestCharacterize:
+    def test_prints_all_45_metrics(self, capsys):
+        code = main(
+            ["characterize", "H-Grep", "--scale", "0.2", "--cores", "2",
+             "--ops", "1200"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "45 Table II metrics" in out
+        assert "L3_MISS" in out and "FP_TO_MEM" in out
+
+    def test_unknown_workload_exits_2(self, capsys):
+        assert main(["characterize", "H-Sortt"]) == EXIT_USAGE
+        err = capsys.readouterr().err
+        assert "H-Sort" in err
+
+
+class TestServe:
+    def test_help_exits_zero_and_documents_flags(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "--port" in out
+        assert "--cache-dir" in out
+        assert "characterization service" in out
+        assert "/suite/matrix" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,184 @@
+"""Benchmark the characterization service's request throughput.
+
+Usage::
+
+    python tools/bench_service.py              # 8-workload suite, ~1 min
+    python tools/bench_service.py --smoke      # 2 workloads, a few seconds
+    python tools/bench_service.py -o out.json --threads 8
+
+Starts a real ``ThreadingHTTPServer`` on a loopback port, warms the
+store through one cold ``/suite/matrix`` request (which runs the
+engines + simulator once, single-flight), then measures:
+
+1. **Warm full-body throughput** — closed-loop GETs of ``/suite/matrix``
+   and ``/characterize/<name>`` from ``--threads`` concurrent clients,
+   no conditional headers, every response a full 200 body.  The
+   tracked target is ≥ 200 req/s on warm ``/suite/matrix``.
+2. **Conditional throughput** — the same loop with ``If-None-Match``
+   (the client's ETag cache), where the server answers 304 with no
+   body.
+
+Results land in ``BENCH_service.json`` so future PRs can track the
+serving-path trajectory alongside ``BENCH_speed.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cluster.collection import CollectionConfig  # noqa: E402
+from repro.cluster.testbed import MeasurementConfig  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+from repro.service.server import ServiceConfig, serve  # noqa: E402
+from repro.workloads.suite import SUITE  # noqa: E402
+
+TARGET_RPS = 200.0
+
+
+def _measure(base_url: str, path: str, threads: int, requests: int, conditional: bool):
+    """Closed-loop throughput: `threads` workers split `requests` GETs."""
+    per_thread = max(1, requests // threads)
+    barrier = threading.Barrier(threads + 1)
+    done = []
+
+    def worker() -> None:
+        client = ServiceClient(base_url)
+        if conditional:
+            client._request(path)  # prime the ETag cache
+        else:
+            client._cache.clear()
+        barrier.wait()
+        count = 0
+        for _ in range(per_thread):
+            if not conditional:
+                client._cache.clear()  # force a full 200 body
+            client._request(path)
+            count += 1
+        done.append(count)
+
+    pool = [threading.Thread(target=worker) for _ in range(threads)]
+    for thread in pool:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in pool:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    total = sum(done)
+    return {
+        "path": path,
+        "conditional": conditional,
+        "threads": threads,
+        "requests": total,
+        "seconds": round(elapsed, 4),
+        "req_per_s": round(total / elapsed, 1),
+    }
+
+
+def run_benchmark(smoke: bool, threads: int, requests: int, workers: int) -> dict:
+    n_workloads = 2 if smoke else 8
+    workloads = SUITE[:n_workloads]
+    config = ServiceConfig(
+        collection=CollectionConfig(
+            scale=0.3 if smoke else 0.5,
+            seed=42,
+            measurement=MeasurementConfig(
+                slaves_measured=1,
+                active_cores=2 if smoke else 3,
+                ops_per_core=1200 if smoke else 4000,
+            ),
+        ),
+        workloads=workloads,
+        workers=min(workers, n_workloads),
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as cache:
+        os.environ.pop("REPRO_CACHE_DIR", None)  # isolate the measurement
+        config = dataclasses.replace(config, cache_dir=cache)
+        server = serve(config, port=0)
+        port = server.server_address[1]
+        base_url = f"http://127.0.0.1:{port}"
+        runner = threading.Thread(target=server.serve_forever, daemon=True)
+        runner.start()
+        try:
+            print(f"service on {base_url}, {n_workloads} workloads; warming ...")
+            start = time.perf_counter()
+            ServiceClient(base_url).matrix()
+            cold_s = time.perf_counter() - start
+            print(f"  cold /suite/matrix (one collection): {cold_s:.2f}s")
+
+            measurements = []
+            for path, conditional in (
+                ("/suite/matrix", False),
+                ("/suite/matrix", True),
+                (f"/characterize/{workloads[0].name}", False),
+            ):
+                result = _measure(base_url, path, threads, requests, conditional)
+                kind = "304 conditional" if conditional else "200 full-body"
+                print(f"  warm {path} ({kind}): {result['req_per_s']} req/s")
+                measurements.append(result)
+        finally:
+            server.shutdown()
+            server.service.close()
+
+    warm_matrix = measurements[0]["req_per_s"]
+    return {
+        "smoke": smoke,
+        "cpu_count": os.cpu_count() or 1,
+        "n_workloads": n_workloads,
+        "cold_matrix_seconds": round(cold_s, 3),
+        "warm_matrix_req_per_s": warm_matrix,
+        "target_req_per_s": TARGET_RPS,
+        "meets_target": warm_matrix >= TARGET_RPS,
+        "measurements": measurements,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast mode: 2 workloads, reduced protocol — asserts the "
+        "benchmark completes and emits JSON",
+    )
+    parser.add_argument("--threads", type=int, default=4, help="client threads")
+    parser.add_argument(
+        "--requests", type=int, default=400, help="total requests per measurement"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="collection worker processes"
+    )
+    parser.add_argument(
+        "-o",
+        "--out",
+        default=str(REPO_ROOT / "BENCH_service.json"),
+        help="output JSON path",
+    )
+    args = parser.parse_args(argv)
+
+    requests = 100 if args.smoke and args.requests == 400 else args.requests
+    results = run_benchmark(
+        smoke=args.smoke,
+        threads=args.threads,
+        requests=requests,
+        workers=args.workers,
+    )
+    out_path = Path(args.out)
+    out_path.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
