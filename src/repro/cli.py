@@ -25,7 +25,8 @@ from repro.cluster import (
     CollectionConfig,
     MeasurementConfig,
 )
-from repro.errors import WorkloadError
+from repro.errors import ConfigurationError, WorkloadError
+from repro.faults import FaultInjector, fault_injection, parse_fault_spec
 from repro.metrics import METRICS
 from repro.workloads import SUITE, RunContext, workload_by_name
 from repro.workloads.suite import closest_workloads
@@ -56,6 +57,34 @@ def _add_measurement(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--ops", type=int, default=4000, help="sampled ops per core")
 
 
+def _add_faults(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="inject faults while running, e.g. "
+        "'crash=0.05,straggler=0.1,hdfs=0.02,node-loss=0.01,attempts=4' "
+        "(recovery keeps the metrics identical to a fault-free run)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="seed for fault decisions (default: the plan spec's seed)",
+    )
+
+
+def _fault_plan(args: argparse.Namespace):
+    """The parsed fault plan, ``None`` if no ``--faults``, or an exit code."""
+    if not getattr(args, "faults", None):
+        return None
+    try:
+        return parse_fault_spec(args.faults, seed=args.fault_seed)
+    except ConfigurationError as error:
+        print(f"repro: bad --faults spec: {error}", file=sys.stderr)
+        return EXIT_USAGE
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print(f"{'name':18s} {'category':22s} {'data type':16s} {'problem size'}")
     print("-" * 76)
@@ -84,9 +113,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
     workload = _resolve_workload(args.workload)
     if workload is None:
         return EXIT_USAGE
-    run = workload.run(RunContext(scale=args.scale, seed=args.seed))
+    plan = _fault_plan(args)
+    if isinstance(plan, int):
+        return plan
+    injector = (
+        FaultInjector(plan, scope=(workload.name, None))
+        if plan is not None and plan.any_faults()
+        else None
+    )
+    with fault_injection(injector):
+        run = workload.run(RunContext(scale=args.scale, seed=args.seed))
     print(f"{workload.name}: {run.output_records} output records, "
           f"{len(run.trace.records)} phase records")
+    if injector is not None:
+        stats = injector.stats
+        print(f"  faults injected: {stats.to_dict()['injected']} "
+              f"(retries={stats.task_retries}, "
+              f"speculative={stats.speculative_tasks}, "
+              f"backoff={stats.backoff_s:.2f}s)")
     for name, value in run.checks.items():
         print(f"  check {name} = {value}")
     failed = [n for n, v in run.checks.items() if v == 0.0]
@@ -97,12 +141,18 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     workload = _resolve_workload(args.workload)
     if workload is None:
         return EXIT_USAGE
+    plan = _fault_plan(args)
+    if isinstance(plan, int):
+        return plan
     cluster = Cluster()
     characterization = cluster.characterize_workload(
         workload,
         RunContext(scale=args.scale, seed=args.seed),
         _measurement(args),
+        faults=plan,
     )
+    if characterization.faults is not None:
+        print(f"fault tally: {characterization.faults}")
     print(f"{workload.name} — 45 Table II metrics "
           f"(mean over {len(characterization.per_slave)} slave(s)):")
     for spec in METRICS:
@@ -121,18 +171,27 @@ def _add_workers(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _collection(args: argparse.Namespace):
+    """A :class:`CollectionConfig` from args, or an exit code on bad input."""
+    plan = _fault_plan(args)
+    if isinstance(plan, int):
+        return plan
+    return CollectionConfig(
+        scale=args.scale,
+        seed=args.seed,
+        measurement=_measurement(args),
+        workers=args.workers,
+        faults=plan,
+    )
+
+
 def _cmd_observations(args: argparse.Namespace) -> int:
     from repro.analysis.observations import evaluate_observations
 
-    config = ExperimentConfig(
-        collection=CollectionConfig(
-            scale=args.scale,
-            seed=args.seed,
-            measurement=_measurement(args),
-            workers=args.workers,
-        )
-    )
-    experiment = run_experiment(config)
+    collection = _collection(args)
+    if isinstance(collection, int):
+        return collection
+    experiment = run_experiment(ExperimentConfig(collection=collection))
     observations = evaluate_observations(experiment)
     for observation in observations:
         print(observation.render())
@@ -143,15 +202,10 @@ def _cmd_observations(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    config = ExperimentConfig(
-        collection=CollectionConfig(
-            scale=args.scale,
-            seed=args.seed,
-            measurement=_measurement(args),
-            workers=args.workers,
-        )
-    )
-    experiment = run_experiment(config)
+    collection = _collection(args)
+    if isinstance(collection, int):
+        return collection
+    experiment = run_experiment(ExperimentConfig(collection=collection))
     if args.out:
         out = write_report(experiment, args.out)
         print(f"report bundle written to {out}/")
@@ -163,13 +217,11 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import ServiceConfig, serve
 
+    collection = _collection(args)
+    if isinstance(collection, int):
+        return collection
     config = ServiceConfig(
-        collection=CollectionConfig(
-            scale=args.scale,
-            seed=args.seed,
-            measurement=_measurement(args),
-            workers=args.workers,
-        ),
+        collection=collection,
         cache_dir=args.cache_dir,
         workers=args.workers,
     )
@@ -205,6 +257,7 @@ def main(argv: list[str] | None = None) -> int:
     run_parser = subparsers.add_parser("run", help="execute one workload")
     run_parser.add_argument("workload", help="workload label, e.g. S-PageRank")
     _add_common(run_parser)
+    _add_faults(run_parser)
 
     char_parser = subparsers.add_parser(
         "characterize", help="collect one workload's 45 metrics"
@@ -212,6 +265,7 @@ def main(argv: list[str] | None = None) -> int:
     char_parser.add_argument("workload", help="workload label, e.g. H-Sort")
     _add_common(char_parser)
     _add_measurement(char_parser)
+    _add_faults(char_parser)
 
     exp_parser = subparsers.add_parser(
         "experiment", help="reproduce every figure and table"
@@ -219,6 +273,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_common(exp_parser)
     _add_measurement(exp_parser)
     _add_workers(exp_parser)
+    _add_faults(exp_parser)
     exp_parser.add_argument(
         "-o", "--out", default=None, help="write a report bundle to this directory"
     )
@@ -229,6 +284,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_common(obs_parser)
     _add_measurement(obs_parser)
     _add_workers(obs_parser)
+    _add_faults(obs_parser)
 
     serve_parser = subparsers.add_parser(
         "serve",
@@ -241,6 +297,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_common(serve_parser)
     _add_measurement(serve_parser)
     _add_workers(serve_parser)
+    _add_faults(serve_parser)
     serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
     serve_parser.add_argument(
         "--port", type=int, default=8321, help="TCP port (0 picks a free one)"

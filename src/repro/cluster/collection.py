@@ -25,15 +25,17 @@ import hashlib
 import threading
 from collections.abc import Callable
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 import numpy as np
 
 from repro.cluster.testbed import Cluster, MeasurementConfig, WorkloadCharacterization
 from repro.core.dataset import WorkloadMetricMatrix
-from repro.errors import AnalysisError, CollectionCancelled
+from repro.errors import AnalysisError, CollectionCancelled, StackExecutionError
+from repro.faults import FaultPlan
 from repro.metrics.catalog import METRIC_NAMES
+from repro.stacks.base import stable_hash
 from repro.workloads.base import RunContext, Workload
 from repro.workloads.suite import SUITE, workload_by_name
 
@@ -64,14 +66,23 @@ class CollectionConfig:
     measurement: MeasurementConfig = MeasurementConfig()
     #: Worker processes to fan workloads over; 1 or 0 = serial in-process.
     workers: int = 1
+    #: Fault-injection plan every workload runs under (``None`` = no faults).
+    faults: FaultPlan | None = None
+    #: Extra whole-workload attempts after a retry-budget-exhausted failure.
+    #: Each re-attempt reseeds the fault plan (the injector's draws are
+    #: deterministic, so retrying the *same* plan would fail identically).
+    workload_retries: int = 2
 
     def cache_key(self) -> str:
         m = self.measurement
-        return (
+        key = (
             f"suite-s{self.scale}-seed{self.seed}-n{m.slaves_measured}"
             f"-c{m.active_cores}-o{m.ops_per_core}-w{m.warmup_fraction}"
             f"-r{m.perf_repeats}"
         )
+        if self.faults is not None and self.faults.any_faults():
+            key += f"-{self.faults.token()}"
+        return key
 
 
 @dataclass(frozen=True)
@@ -143,11 +154,50 @@ def workload_store_key(config: CollectionConfig, name: str) -> str:
     return f"wc-{config.cache_key()}-{name}"
 
 
+def _characterize_with_retries(
+    cluster: Cluster,
+    workload: Workload,
+    context: RunContext,
+    measurement: MeasurementConfig,
+    faults: FaultPlan | None,
+    retries: int,
+) -> WorkloadCharacterization:
+    """Characterize one workload, re-attempting exhausted-budget failures.
+
+    Mirrors a JobTracker resubmitting a failed job: when an injected
+    fault persists past a task's retry budget the whole workload attempt
+    fails with :class:`StackExecutionError`, and the collection layer
+    re-runs it under a reseeded plan (same probabilities, fresh draws) up
+    to ``retries`` extra times.  The returned characterization records
+    how many attempts were needed.
+    """
+    attempts = 1 + max(0, retries if faults is not None else 0)
+    last_error: StackExecutionError | None = None
+    for attempt in range(1, attempts + 1):
+        plan = faults
+        if plan is not None and attempt > 1:
+            plan = replace(faults, seed=stable_hash((faults.seed, attempt)))
+        try:
+            result = cluster.characterize_workload(
+                workload, context, measurement, faults=plan
+            )
+        except StackExecutionError as error:
+            last_error = error
+            continue
+        return replace(result, attempts=attempt)
+    raise StackExecutionError(
+        f"{workload.name}: all {attempts} collection attempts failed "
+        f"(last: {last_error})"
+    )
+
+
 def _characterize_one(
     workload_name: str,
     scale: float,
     seed: int,
     measurement: MeasurementConfig,
+    faults: FaultPlan | None = None,
+    retries: int = 0,
 ) -> WorkloadCharacterization:
     """Characterize one workload on a fresh cluster (worker-process entry).
 
@@ -156,8 +206,9 @@ def _characterize_one(
     """
     cluster = Cluster()
     context = RunContext(scale=scale, seed=seed)
-    return cluster.characterize_workload(
-        workload_by_name(workload_name), context, measurement
+    return _characterize_with_retries(
+        cluster, workload_by_name(workload_name), context, measurement,
+        faults, retries,
     )
 
 
@@ -191,7 +242,10 @@ def _collect_serial(
     for workload in workloads:
         _check_cancel(cancel)
         characterizations.append(
-            cluster.characterize_workload(workload, context, config.measurement)
+            _characterize_with_retries(
+                cluster, workload, context, config.measurement,
+                config.faults, config.workload_retries,
+            )
         )
         if progress is not None:
             progress(len(characterizations), len(workloads))
@@ -222,6 +276,8 @@ def _collect_parallel(
                 config.scale,
                 config.seed,
                 config.measurement,
+                config.faults,
+                config.workload_retries,
             )
             for workload in workloads
         ]

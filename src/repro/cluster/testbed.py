@@ -24,6 +24,7 @@ import numpy as np
 from repro.cluster.network import GigabitNetwork
 from repro.cluster.node import Node, NodeConfig
 from repro.errors import ConfigurationError
+from repro.faults import FaultInjector, FaultPlan, fault_injection
 from repro.metrics.derivation import derive_metrics
 from repro.perf.profiler import PerfProfiler
 from repro.stacks.base import PhaseKind, stable_hash
@@ -69,12 +70,19 @@ class WorkloadCharacterization:
         metrics: Mean of the 45 Table II metrics across measured slaves.
         per_slave: Per-slave metric mappings (before averaging).
         run: The underlying workload run (trace + correctness checks).
+        attempts: How many whole-workload attempts the collection layer
+            needed (1 = first try succeeded; >1 only under fault plans
+            that exhausted some task's retry budget).
+        faults: Fault/recovery tally (:meth:`FaultStats.to_dict`) when
+            the run executed under an active fault plan, else ``None``.
     """
 
     name: str
     metrics: dict[str, float]
     per_slave: tuple[dict[str, float], ...]
     run: WorkloadRun
+    attempts: int = 1
+    faults: dict | None = None
 
 
 class Cluster:
@@ -94,15 +102,34 @@ class Cluster:
         workload: Workload,
         context: RunContext | None = None,
         measurement: MeasurementConfig | None = None,
+        faults: FaultPlan | None = None,
+        fault_scope: object = None,
     ) -> WorkloadCharacterization:
-        """Run and characterize one workload (see module docstring)."""
+        """Run and characterize one workload (see module docstring).
+
+        With a ``faults`` plan, the workload executes under an ambient
+        :class:`FaultInjector`: task crashes/stragglers/HDFS hiccups are
+        recovered transparently (the committed trace — and hence the
+        metrics — is unchanged), while losing a slave removes it from
+        the measured set, so the cross-slave mean degrades to survivors
+        exactly as a real four-node cluster's would.
+
+        Raises:
+            StackExecutionError: If an injected fault persists past a
+                task's retry budget (the workload attempt fails, like a
+                Hadoop job exceeding ``mapred.map.max.attempts``).
+        """
         context = context or RunContext()
         measurement = measurement or MeasurementConfig()
 
-        run = workload.run(context)
-        actual_input = max(
-            (record.bytes_in for record in run.trace.records), default=1
-        )
+        injector: FaultInjector | None = None
+        if faults is not None and faults.any_faults():
+            injector = FaultInjector(faults, scope=(workload.name, fault_scope))
+        with fault_injection(injector):
+            run = workload.run(context)
+
+        committed = run.trace.committed_records
+        actual_input = max((record.bytes_in for record in committed), default=1)
         footprint_scale = max(1.0, workload.declared_bytes / max(1, actual_input))
         profiles = profiles_from_trace(
             run.trace,
@@ -111,14 +138,25 @@ class Cluster:
             footprint_scale=footprint_scale,
         )
 
-        # Account shuffle traffic on the interconnect.
-        for record in run.trace.records:
+        # Account shuffle traffic on the interconnect (committed transfers
+        # only; a killed attempt's half-done fetches are not re-counted).
+        for record in committed:
             if record.kind in (PhaseKind.SHUFFLE, PhaseKind.SHUFFLE_READ):
                 self.network.transfer(record.bytes_in)
 
+        measured_slaves = list(range(measurement.slaves_measured))
+        if injector is not None:
+            lost = injector.lost_nodes(self.NUM_SLAVES)
+            surviving = [i for i in measured_slaves if i not in lost]
+            if not surviving:
+                # Every measured slave died: fall back to the first
+                # survivor in the cluster so the mean still exists.
+                surviving = [min(set(range(self.NUM_SLAVES)) - set(lost))]
+            measured_slaves = surviving
+
         profiler = PerfProfiler()
         per_slave: list[dict[str, float]] = []
-        for slave_index in range(measurement.slaves_measured):
+        for slave_index in measured_slaves:
             slave = self.slaves[slave_index]
             rng = np.random.default_rng(
                 stable_hash((workload.name, context.seed, slave_index))
@@ -142,4 +180,5 @@ class Cluster:
             metrics=mean_metrics,
             per_slave=tuple(per_slave),
             run=run,
+            faults=injector.stats.to_dict() if injector is not None else None,
         )

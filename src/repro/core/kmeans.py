@@ -54,7 +54,14 @@ def _kmeanspp_init(
     for j in range(1, k):
         total = closest_sq.sum()
         if total <= 0:
-            centers[j:] = points[int(rng.integers(0, n))]
+            # Every point coincides with an already-chosen center; the
+            # squared-distance distribution is degenerate.  Seed the
+            # remaining slots with *distinct* points (repeating a single
+            # point here guaranteed duplicate centroids and permanently
+            # empty clusters downstream).
+            remaining = k - j
+            indices = rng.choice(n, size=remaining, replace=remaining > n)
+            centers[j:] = points[indices]
             break
         probs = closest_sq / total
         choice = int(rng.choice(n, p=probs))
@@ -69,7 +76,13 @@ def _lloyd(
     centers: np.ndarray,
     max_iter: int,
 ) -> tuple[np.ndarray, np.ndarray, float, int]:
-    """Lloyd iterations until assignment fixpoint or ``max_iter``."""
+    """Lloyd iterations until assignment fixpoint or ``max_iter``.
+
+    A cluster that loses all its members is reseeded to the point
+    farthest from its assigned centroid (rather than keeping its stale
+    centroid, which could never win points back and surfaced downstream
+    as empty-cluster failures), and iteration continues.
+    """
     k = centers.shape[0]
     labels = np.full(points.shape[0], -1)
     for iteration in range(1, max_iter + 1):
@@ -80,12 +93,27 @@ def _lloyd(
         if np.array_equal(new_labels, labels):
             break
         labels = new_labels
+        empty = [j for j in range(k) if not np.any(labels == j)]
         for j in range(k):
             members = points[labels == j]
             if len(members):
                 centers[j] = members.mean(axis=0)
-    distances = np.sum((points - centers[labels]) ** 2, axis=1)
-    return labels, centers, float(distances.sum()), iteration
+        if empty:
+            residual = np.sum((points - centers[labels]) ** 2, axis=1)
+            for j in empty:
+                farthest = int(np.argmax(residual))
+                centers[j] = points[farthest]
+                residual[farthest] = -1.0
+    # Recompute the assignment against the *final* centers: on a
+    # max_iter exit the last center update happened after the labels
+    # were drawn, so labels/centers/inertia must be reconciled here to
+    # stay mutually consistent.
+    distances = np.sum((points[:, None, :] - centers[None, :, :]) ** 2, axis=2)
+    labels = np.argmin(distances, axis=1)
+    inertia = float(
+        np.take_along_axis(distances, labels[:, None], axis=1).sum()
+    )
+    return labels, centers, inertia, iteration
 
 
 def kmeans(

@@ -34,6 +34,11 @@ class ZScore:
     def transform(self, matrix: np.ndarray) -> np.ndarray:
         """Apply the fitted transform to ``matrix``.
 
+        Zero-variance columns of the fitting data map to exactly 0 for
+        *any* input — including held-out rows whose value differs from
+        the fitted mean — since the fitted distribution carries no scale
+        to express such a deviation.
+
         Raises:
             AnalysisError: On a column-count mismatch.
         """
@@ -42,7 +47,9 @@ class ZScore:
             raise AnalysisError(
                 f"expected {self.means.shape[0]} columns, got shape {matrix.shape}"
             )
-        return (matrix - self.means) / self.stds
+        result = (matrix - self.means) / self.stds
+        result[:, self.constant_columns] = 0.0
+        return result
 
 
 def zscore(matrix: np.ndarray, ddof: int = 0) -> tuple[np.ndarray, ZScore]:

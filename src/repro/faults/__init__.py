@@ -1,0 +1,42 @@
+"""Deterministic fault injection and Hadoop-1.x-style recovery.
+
+Real Hadoop 1.x only yields stable measurements because the framework
+masks failures: failed tasks are re-executed (bounded attempts with
+backoff), stragglers are speculatively duplicated (first finisher wins),
+and a lost slave's tasks are re-scheduled onto survivors.  This package
+gives the miniature stacks the same machinery:
+
+* :class:`~repro.faults.plan.FaultPlan` — a seedable, declarative plan
+  (per-kind probabilities + retry budget) parseable from a CLI spec
+  string (``crash=0.1,straggler=0.2,hdfs=0.05,node-loss=0.25``).
+* :class:`~repro.faults.injector.FaultInjector` — draws every fault
+  decision from an RNG keyed by ``(seed, task, attempt)``, so a chaos
+  run is exactly reproducible and independent of execution order.
+* :func:`~repro.faults.recovery.run_task` — the task boundary both
+  engines (:mod:`repro.stacks.mapreduce`, :mod:`repro.stacks.rdd`) run
+  their work through.  Failed and speculative-loser attempts land in the
+  trace *tagged*; only the committed attempt feeds instrumentation, so
+  a recovered run's metric matrix is bit-identical to a fault-free run.
+"""
+
+from repro.faults.injector import (
+    FaultInjector,
+    FaultStats,
+    current_injector,
+    fault_injection,
+)
+from repro.faults.plan import FaultKind, FaultPlan, parse_fault_spec
+from repro.faults.recovery import TAG_SPECULATIVE, TaskRecorder, run_task
+
+__all__ = [
+    "FaultKind",
+    "FaultPlan",
+    "parse_fault_spec",
+    "FaultInjector",
+    "FaultStats",
+    "current_injector",
+    "fault_injection",
+    "run_task",
+    "TaskRecorder",
+    "TAG_SPECULATIVE",
+]

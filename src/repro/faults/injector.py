@@ -1,0 +1,214 @@
+"""The fault injector: keyed-RNG fault decisions plus recovery accounting.
+
+Every decision (does this attempt crash? does this task straggle? is
+this slave lost?) is drawn from a fresh RNG seeded by hashing the plan
+seed, the injector scope and the decision identity.  Decisions are
+therefore a pure function of the plan — independent of task execution
+order, worker count, or how many draws happened before — which is what
+makes chaos runs reproducible and lets retries re-draw per attempt.
+
+The active injector is ambient (a :mod:`contextvars` variable) so the
+engines deep inside a workload runner can reach it without threading a
+parameter through all 32 workload definitions.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import zlib
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.faults.plan import FaultKind, FaultPlan
+
+__all__ = ["FaultStats", "FaultInjector", "current_injector", "fault_injection"]
+
+
+def _stable_hash(value: object) -> int:
+    """Deterministic seed material (mirrors ``repro.stacks.base.stable_hash``;
+    duplicated here so the fault layer sits below the stacks package)."""
+    return zlib.crc32(repr(value).encode("utf-8"))
+
+
+@dataclass
+class FaultStats:
+    """Tally of what was injected and what recovery cost.
+
+    Attributes:
+        injected: Count of injected faults per :class:`FaultKind` value.
+        task_retries: Task attempts that were re-executed after a fault.
+        speculative_tasks: Tasks that ran a speculative duplicate.
+        rescheduled_tasks: Tasks moved off a lost node.
+        lost_nodes: Slave indices the plan removed from the run.
+        backoff_s: Total simulated exponential-backoff wait.
+    """
+
+    injected: dict[str, int] = field(default_factory=dict)
+    task_retries: int = 0
+    speculative_tasks: int = 0
+    rescheduled_tasks: int = 0
+    lost_nodes: tuple[int, ...] = ()
+    backoff_s: float = 0.0
+
+    def note(self, kind: FaultKind) -> None:
+        self.injected[kind.value] = self.injected.get(kind.value, 0) + 1
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (what the service snapshots carry)."""
+        return {
+            "injected": dict(sorted(self.injected.items())),
+            "task_retries": self.task_retries,
+            "speculative_tasks": self.speculative_tasks,
+            "rescheduled_tasks": self.rescheduled_tasks,
+            "lost_nodes": list(self.lost_nodes),
+            "backoff_s": round(self.backoff_s, 6),
+        }
+
+
+class FaultInjector:
+    """Draws fault decisions for one workload run under one plan.
+
+    Args:
+        plan: The fault probabilities and retry budget.
+        scope: Extra identity mixed into every draw (the testbed passes
+            the workload name and the characterization attempt, so two
+            workloads — or two retries of one workload — see independent
+            fault patterns from the same plan).
+    """
+
+    def __init__(self, plan: FaultPlan, scope: object = None) -> None:
+        self.plan = plan
+        self.scope = scope
+        self.stats = FaultStats()
+        self._task_serials: dict[str, int] = {}
+        self._lost: dict[int, frozenset[int]] = {}
+
+    # -- keyed randomness -----------------------------------------------------
+
+    def _draw(self, *key: object) -> float:
+        rng = np.random.default_rng(
+            _stable_hash((self.plan.seed, self.scope) + key)
+        )
+        return float(rng.random())
+
+    def task_key(self, name: str) -> tuple[str, int]:
+        """A stable identity for the next task labelled ``name``."""
+        serial = self._task_serials.get(name, 0)
+        self._task_serials[name] = serial + 1
+        return (name, serial)
+
+    # -- decisions ------------------------------------------------------------
+
+    def task_fault(
+        self, key: tuple[str, int], attempt: int, reads_hdfs: bool = False
+    ) -> FaultKind | None:
+        """The fault (if any) that kills this task attempt."""
+        if reads_hdfs and self._draw("hdfs", key, attempt) < self.plan.hdfs_read:
+            self.stats.note(FaultKind.HDFS_READ)
+            return FaultKind.HDFS_READ
+        if self._draw("crash", key, attempt) < self.plan.crash:
+            self.stats.note(FaultKind.TASK_CRASH)
+            return FaultKind.TASK_CRASH
+        return None
+
+    def is_straggler(self, key: tuple[str, int]) -> bool:
+        """Whether this task's committed attempt runs slow (speculate)."""
+        if self._draw("straggler", key) < self.plan.straggler:
+            self.stats.note(FaultKind.STRAGGLER)
+            self.stats.speculative_tasks += 1
+            return True
+        return False
+
+    def lost_nodes(self, num_nodes: int) -> frozenset[int]:
+        """The slaves this plan removes from a ``num_nodes`` cluster.
+
+        At least one node always survives; with every node drawn lost,
+        the lowest index is revived (a cluster with no slaves cannot
+        re-schedule anything).
+        """
+        cached = self._lost.get(num_nodes)
+        if cached is not None:
+            return cached
+        lost = {
+            node
+            for node in range(num_nodes)
+            if self._draw("node-loss", node) < self.plan.node_loss
+        }
+        if len(lost) >= num_nodes:
+            lost.discard(min(lost))
+        result = frozenset(lost)
+        self._lost[num_nodes] = result
+        for _ in result:
+            self.stats.note(FaultKind.NODE_LOSS)
+        self.stats.lost_nodes = tuple(
+            sorted(set(self.stats.lost_nodes) | result)
+        )
+        return result
+
+    # -- scheduling -----------------------------------------------------------
+
+    def _survivors(self, num_nodes: int) -> list[int]:
+        lost = self.lost_nodes(num_nodes)
+        return [node for node in range(num_nodes) if node not in lost]
+
+    def schedule(self, preferred: int, num_nodes: int) -> int:
+        """``preferred`` if its node survives, else a surviving node."""
+        if num_nodes <= 0:
+            return preferred
+        lost = self.lost_nodes(num_nodes)
+        if preferred not in lost:
+            return preferred
+        survivors = self._survivors(num_nodes)
+        self.stats.rescheduled_tasks += 1
+        return survivors[preferred % len(survivors)]
+
+    def retry_worker(self, worker: int, attempt: int, num_nodes: int) -> int:
+        """Where a failed attempt's retry runs (a surviving node)."""
+        survivors = self._survivors(num_nodes) if num_nodes > 0 else [worker]
+        return survivors[(worker + attempt) % len(survivors)]
+
+    def speculative_worker(self, worker: int, num_nodes: int) -> int:
+        """Where a straggler's speculative duplicate runs."""
+        survivors = self._survivors(num_nodes) if num_nodes > 0 else [worker]
+        others = [node for node in survivors if node != worker]
+        if not others:
+            return worker
+        return others[worker % len(others)]
+
+    # -- accounting -----------------------------------------------------------
+
+    def note_retry(self, attempt: int) -> None:
+        """Record one task re-execution and its simulated backoff."""
+        self.stats.task_retries += 1
+        self.stats.backoff_s += self.plan.backoff_s(attempt)
+
+
+#: The ambient injector engines consult at task boundaries.
+_ACTIVE: contextvars.ContextVar[FaultInjector | None] = contextvars.ContextVar(
+    "repro_fault_injector", default=None
+)
+
+
+def current_injector() -> FaultInjector | None:
+    """The active injector, or ``None`` outside any chaos context."""
+    return _ACTIVE.get()
+
+
+@contextlib.contextmanager
+def fault_injection(injector: FaultInjector | None) -> Iterator[FaultInjector | None]:
+    """Activate ``injector`` for the enclosed execution (``None`` = no-op)."""
+    if injector is None:
+        yield None
+        return
+    token = _ACTIVE.set(injector)
+    try:
+        yield injector
+    finally:
+        _ACTIVE.reset(token)

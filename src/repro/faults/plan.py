@@ -1,0 +1,150 @@
+"""Fault plans: what to inject, how often, and how hard recovery may try.
+
+A :class:`FaultPlan` is declarative and immutable — it carries no RNG
+state.  All randomness lives in the
+:class:`~repro.faults.injector.FaultInjector`, which keys every draw on
+the plan seed plus the task identity, so the *same plan* replayed over
+the *same workload* injects the same faults regardless of scheduling.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, fields
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FaultKind", "FaultPlan", "parse_fault_spec"]
+
+
+class FaultKind(enum.Enum):
+    """The injectable fault categories (Hadoop 1.x failure modes)."""
+
+    TASK_CRASH = "crash"  # task attempt dies; re-executed up to the budget
+    STRAGGLER = "straggler"  # task runs slow; speculatively duplicated
+    NODE_LOSS = "node-loss"  # a slave drops out; its tasks re-scheduled
+    HDFS_READ = "hdfs-read"  # transient block-read error; retried
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seedable fault probabilities plus the recovery budget.
+
+    Attributes:
+        seed: Master seed every injection decision is keyed on.
+        crash: Per-attempt probability a task attempt crashes.
+        straggler: Per-task probability the first attempt straggles
+            (triggering speculative re-execution).
+        node_loss: Per-slave probability the node is lost for the run
+            (at least one slave always survives).
+        hdfs_read: Per-attempt probability a block-reading task hits a
+            transient HDFS read error.
+        max_task_attempts: Attempt budget per task (Hadoop's
+            ``mapred.map.max.attempts`` analogue); exhausting it fails
+            the job with :class:`~repro.errors.StackExecutionError`.
+        backoff_base_s: Simulated backoff before the first retry.
+        backoff_factor: Exponential growth of the backoff per retry.
+    """
+
+    seed: int = 0
+    crash: float = 0.0
+    straggler: float = 0.0
+    node_loss: float = 0.0
+    hdfs_read: float = 0.0
+    max_task_attempts: int = 4
+    backoff_base_s: float = 0.2
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        for name in ("crash", "straggler", "node_loss", "hdfs_read"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"fault probability {name}={value} outside [0, 1]"
+                )
+        if self.max_task_attempts < 1:
+            raise ConfigurationError("max_task_attempts must be at least 1")
+        if self.backoff_base_s < 0.0 or self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                "backoff_base_s must be >= 0 and backoff_factor >= 1"
+            )
+
+    def any_faults(self) -> bool:
+        """Whether this plan can inject anything at all."""
+        return any(
+            getattr(self, name) > 0.0
+            for name in ("crash", "straggler", "node_loss", "hdfs_read")
+        )
+
+    def backoff_s(self, attempt: int) -> float:
+        """Simulated backoff before retrying after failed ``attempt``."""
+        return self.backoff_base_s * self.backoff_factor ** max(0, attempt - 1)
+
+    def spec(self) -> str:
+        """Canonical spec string (inverse of :func:`parse_fault_spec`)."""
+        return (
+            f"crash={self.crash},straggler={self.straggler},"
+            f"node-loss={self.node_loss},hdfs={self.hdfs_read},"
+            f"attempts={self.max_task_attempts},seed={self.seed}"
+        )
+
+    def token(self) -> str:
+        """A short, store-key-safe digest of the full plan."""
+        raw = "|".join(f"{f.name}={getattr(self, f.name)}" for f in fields(self))
+        return f"faults-{hashlib.sha256(raw.encode('utf-8')).hexdigest()[:10]}"
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+#: Accepted spec keys (with aliases) → FaultPlan field.
+_SPEC_KEYS = {
+    "crash": "crash",
+    "straggler": "straggler",
+    "node-loss": "node_loss",
+    "node_loss": "node_loss",
+    "hdfs": "hdfs_read",
+    "hdfs-read": "hdfs_read",
+    "hdfs_read": "hdfs_read",
+    "attempts": "max_task_attempts",
+    "retries": "max_task_attempts",
+    "backoff": "backoff_base_s",
+    "seed": "seed",
+}
+
+_INT_FIELDS = {"max_task_attempts", "seed"}
+
+
+def parse_fault_spec(spec: str, seed: int | None = None) -> FaultPlan:
+    """Parse a CLI fault spec like ``"crash=0.1,straggler=0.2,hdfs=0.05"``.
+
+    Args:
+        spec: Comma-separated ``key=value`` pairs.  Keys: ``crash``,
+            ``straggler``, ``node-loss``, ``hdfs`` (probabilities),
+            ``attempts``/``retries`` (task attempt budget), ``backoff``
+            (base seconds), ``seed``.
+        seed: Overrides the plan seed (the CLI's ``--fault-seed``).
+
+    Raises:
+        ConfigurationError: On unknown keys or malformed values.
+    """
+    values: dict[str, float | int] = {}
+    for part in filter(None, (p.strip() for p in spec.split(","))):
+        key, sep, raw = part.partition("=")
+        field = _SPEC_KEYS.get(key.strip().lower())
+        if not sep or field is None:
+            known = ", ".join(sorted(set(_SPEC_KEYS)))
+            raise ConfigurationError(
+                f"bad fault spec element {part!r} (known keys: {known})"
+            )
+        try:
+            values[field] = (
+                int(raw.strip()) if field in _INT_FIELDS else float(raw.strip())
+            )
+        except ValueError as exc:
+            raise ConfigurationError(f"bad fault spec value {part!r}") from exc
+    if seed is not None:
+        values["seed"] = seed
+    return FaultPlan(**values)

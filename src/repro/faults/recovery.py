@@ -1,0 +1,154 @@
+"""The recovery machinery: the task boundary both engines execute through.
+
+:func:`run_task` wraps one logical task (a map task over a block, a
+reduce task over a partition, one Spark partition computation) and gives
+it Hadoop-1.x failure semantics under the ambient
+:class:`~repro.faults.injector.FaultInjector`:
+
+* **Bounded re-execution** — a crashed (or HDFS-read-faulted) attempt's
+  phase records are committed to the trace *tagged* ``failed:<kind>``,
+  exponential backoff is accounted, and the attempt re-runs on a
+  surviving node.  Exhausting the budget raises
+  :class:`~repro.errors.StackExecutionError`, exactly like a Hadoop job
+  failing after ``mapred.map.max.attempts``.
+* **Speculative execution** — a straggling task's slow attempt is tagged
+  ``speculative`` (the loser) and a duplicate runs on another node; the
+  duplicate's records and result are the ones committed (first finisher
+  wins).
+* **Node-loss re-scheduling** — tasks preferring a lost node run on a
+  survivor instead.
+
+Task bodies must be deterministic and side-effect-free (they may be
+executed more than once); they receive a :class:`TaskRecorder` and the
+worker slot actually assigned, and return the task's result.  Records
+with an empty tag are the *committed* execution — identical to a
+fault-free run's records in every field the measurement pipeline reads
+(only the worker slot can move, to a survivor) — which is why the
+instrumentation layer consumes only committed records and a recovered
+characterization is bit-identical to an undisturbed one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from repro.errors import StackExecutionError
+from repro.faults.injector import current_injector
+
+if TYPE_CHECKING:  # imported lazily at runtime: the stacks package
+    # imports this module from its engines, so a module-level import
+    # here would be circular.
+    from repro.stacks.base import ExecutionTrace, PhaseKind, PhaseRecord
+
+__all__ = ["TAG_SPECULATIVE", "TaskRecorder", "run_task"]
+
+#: Tag on the losing (slow) attempt of a speculatively-executed task.
+TAG_SPECULATIVE = "speculative"
+
+
+class TaskRecorder:
+    """Collects one attempt's phase records before they are committed.
+
+    Mirrors :meth:`~repro.stacks.base.ExecutionTrace.emit` so task
+    bodies are written exactly like direct trace emission.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[PhaseRecord] = []
+
+    def emit(
+        self,
+        kind: PhaseKind,
+        name: str,
+        worker: int,
+        records_in: int,
+        bytes_in: int,
+        records_out: int = 0,
+        bytes_out: int = 0,
+        **details: float,
+    ) -> None:
+        from repro.stacks.base import PhaseRecord
+
+        self.records.append(
+            PhaseRecord(
+                kind=kind,
+                name=name,
+                worker=worker,
+                records_in=records_in,
+                bytes_in=bytes_in,
+                records_out=records_out,
+                bytes_out=bytes_out,
+                details=dict(details),
+            )
+        )
+
+
+TaskBody = Callable[[TaskRecorder, int], object]
+
+
+def run_task(
+    trace: ExecutionTrace,
+    name: str,
+    worker: int,
+    body: TaskBody,
+    *,
+    reads_hdfs: bool = False,
+    num_nodes: int = 0,
+) -> object:
+    """Execute one logical task with fault injection and recovery.
+
+    Args:
+        trace: The trace committed records (and tagged attempts) land in.
+        name: Task label, e.g. ``"map:wordcount"`` (fault decisions are
+            keyed per label + occurrence serial).
+        worker: The preferred worker slot (data locality).
+        body: ``(recorder, worker) -> result``; deterministic and free of
+            external side effects, since recovery may run it again.
+        reads_hdfs: Whether the task reads HDFS blocks (eligible for
+            transient read faults).
+        num_nodes: Cluster size for re-scheduling decisions.
+
+    Raises:
+        StackExecutionError: When the task's attempt budget is exhausted.
+    """
+    injector = current_injector()
+    if injector is None or not injector.plan.any_faults():
+        recorder = TaskRecorder()
+        result = body(recorder, worker)
+        for record in recorder.records:
+            trace.add(record)
+        return result
+
+    key = injector.task_key(name)
+    worker = injector.schedule(worker, num_nodes)
+    attempt = 1
+    while True:
+        recorder = TaskRecorder()
+        result = body(recorder, worker)
+        fault = injector.task_fault(key, attempt, reads_hdfs=reads_hdfs)
+        if fault is None:
+            break
+        for record in recorder.records:
+            trace.add(replace(record, tag=f"failed:{fault.value}"))
+        if attempt >= injector.plan.max_task_attempts:
+            raise StackExecutionError(
+                f"task {name}#{key[1]}: {fault.value} persisted through "
+                f"{attempt} attempts (retry budget exhausted)"
+            )
+        injector.note_retry(attempt)
+        worker = injector.retry_worker(worker, attempt, num_nodes)
+        attempt += 1
+
+    if injector.is_straggler(key):
+        # The successful-but-slow attempt loses to its speculative twin.
+        for record in recorder.records:
+            trace.add(replace(record, tag=TAG_SPECULATIVE))
+        backup = injector.speculative_worker(worker, num_nodes)
+        recorder = TaskRecorder()
+        result = body(recorder, backup)
+
+    for record in recorder.records:
+        trace.add(record)
+    return result

@@ -52,6 +52,35 @@ class JobState(enum.Enum):
 _LIVE = (JobState.QUEUED, JobState.RUNNING)
 
 
+def _fault_tally(characterizations) -> dict | None:
+    """Aggregate the per-workload fault/recovery stats of one collection.
+
+    Returns ``None`` when no workload ran under a fault plan (the
+    fault-free service configuration), so the job snapshot stays clean.
+    """
+    tallies = [c.faults for c in characterizations if c.faults is not None]
+    if not tallies:
+        return None
+    injected: dict[str, int] = {}
+    for tally in tallies:
+        for kind, count in tally.get("injected", {}).items():
+            injected[kind] = injected.get(kind, 0) + count
+    return {
+        "injected": injected,
+        "total_injected": sum(injected.values()),
+        "task_retries": sum(t.get("task_retries", 0) for t in tallies),
+        "speculative_tasks": sum(t.get("speculative_tasks", 0) for t in tallies),
+        "rescheduled_tasks": sum(t.get("rescheduled_tasks", 0) for t in tallies),
+        "lost_nodes": sorted(
+            {node for t in tallies for node in t.get("lost_nodes", ())}
+        ),
+        "backoff_s": float(sum(t.get("backoff_s", 0.0) for t in tallies)),
+        "workload_attempts": int(
+            sum(c.attempts for c in characterizations)
+        ),
+    }
+
+
 @dataclass
 class Job:
     """One collection request and its observable state.
@@ -66,6 +95,12 @@ class Job:
     state: JobState = JobState.QUEUED
     done_workloads: int = 0
     total_workloads: int = 0
+    #: Collection attempts this job has made (1 on a clean first pass;
+    #: climbs when the manager retries a failed collection with backoff).
+    attempts: int = 0
+    #: Aggregate fault/recovery tally across the collected workloads when
+    #: the collection ran under a fault plan, else ``None``.
+    faults: dict | None = None
     error: str | None = None
     etag: str | None = None
     created_s: float = field(default_factory=time.time)
@@ -84,6 +119,8 @@ class Job:
                 "done": self.done_workloads,
                 "total": self.total_workloads,
             },
+            "attempts": self.attempts,
+            "faults": self.faults,
             "error": self.error,
             "etag": self.etag,
             "created_s": self.created_s,
@@ -106,6 +143,10 @@ class JobManager:
             to :func:`characterize_suite`).
         max_concurrent_jobs: Distinct jobs allowed to collect at once;
             further jobs queue.
+        max_attempts: Collection attempts per job before it is declared
+            failed (retries back off exponentially between attempts).
+        retry_backoff_s: Backoff before the first retry; doubles per
+            further attempt.  Cancellation interrupts the wait.
     """
 
     def __init__(
@@ -114,10 +155,16 @@ class JobManager:
         config: CollectionConfig | None = None,
         workers: int = 1,
         max_concurrent_jobs: int = 2,
+        max_attempts: int = 3,
+        retry_backoff_s: float = 0.05,
     ) -> None:
+        if max_attempts < 1:
+            raise ServiceError("max_attempts must be at least 1")
         self.store = store
         self.config = config or CollectionConfig()
         self.workers = workers
+        self.max_attempts = max_attempts
+        self.retry_backoff_s = retry_backoff_s
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}
         self._by_key: dict[str, Job] = {}
@@ -216,27 +263,41 @@ class JobManager:
             job.done_workloads = done
             job.total_workloads = total
 
-        try:
-            characterize_suite(
-                workloads,
-                self.config,
-                cache_dir=self.store.root,
-                workers=self.workers,
-                progress=progress,
-                cancel=job._cancel,
-            )
-        except CollectionCancelled:
-            with self._lock:
-                self._finish(job, JobState.CANCELLED)
-        except Exception as exc:  # a failed job must never kill its thread
-            with self._lock:
+        while True:
+            job.attempts += 1
+            try:
+                result = characterize_suite(
+                    workloads,
+                    self.config,
+                    cache_dir=self.store.root,
+                    workers=self.workers,
+                    progress=progress,
+                    cancel=job._cancel,
+                )
+            except CollectionCancelled:
+                with self._lock:
+                    self._finish(job, JobState.CANCELLED)
+                return
+            except Exception as exc:  # a failed job must never kill its thread
                 job.error = f"{type(exc).__name__}: {exc}"
-                self._finish(job, JobState.FAILED)
-        else:
-            with self._lock:
-                job.done_workloads = job.total_workloads
-                job.etag = self.store.etag(job.key)
-                self._finish(job, JobState.DONE)
+                if job.attempts >= self.max_attempts:
+                    with self._lock:
+                        self._finish(job, JobState.FAILED)
+                    return
+                # Exponential backoff, interruptible by cancellation.
+                backoff = self.retry_backoff_s * 2 ** (job.attempts - 1)
+                if job._cancel.wait(backoff):
+                    with self._lock:
+                        self._finish(job, JobState.CANCELLED)
+                    return
+            else:
+                with self._lock:
+                    job.done_workloads = job.total_workloads
+                    job.error = None
+                    job.etag = self.store.etag(job.key)
+                    job.faults = _fault_tally(result.characterizations)
+                    self._finish(job, JobState.DONE)
+                return
 
     def _finish(self, job: Job, state: JobState) -> None:
         """Terminal transition (caller holds the lock)."""

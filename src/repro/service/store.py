@@ -59,7 +59,9 @@ __all__ = [
 
 #: Bump when the on-disk object layout changes incompatibly; stale
 #: entries are silently treated as cache misses, never mis-parsed.
-SCHEMA_VERSION = 2
+#: v3: phase records carry a recovery ``tag``; characterizations carry
+#: ``attempts`` and a ``faults`` tally.
+SCHEMA_VERSION = 3
 
 #: Environment variable redirecting all artifact writes (store, legacy
 #: collection cache, benchmark session cache) to one directory.
@@ -289,6 +291,8 @@ def characterization_to_payload(char: WorkloadCharacterization) -> dict:
     return {
         "kind": "characterization",
         "name": char.name,
+        "attempts": char.attempts,
+        "faults": char.faults,
         "metrics": {k: float(v) for k, v in char.metrics.items()},
         "per_slave": [
             {k: float(v) for k, v in slave.items()} for slave in char.per_slave
@@ -318,6 +322,7 @@ def characterization_to_payload(char: WorkloadCharacterization) -> dict:
                         "details": {
                             k: float(v) for k, v in record.details.items()
                         },
+                        "tag": record.tag,
                     }
                     for record in trace.records
                 ],
@@ -353,6 +358,7 @@ def characterization_from_payload(payload: dict) -> WorkloadCharacterization:
                 records_out=record["records_out"],
                 bytes_out=record["bytes_out"],
                 details=dict(record["details"]),
+                tag=record.get("tag", ""),
             )
         )
     metrics = {k: float(v) for k, v in payload["metrics"].items()}
@@ -370,4 +376,6 @@ def characterization_from_payload(payload: dict) -> WorkloadCharacterization:
             output_records=run["output_records"],
             checks=dict(run["checks"]),
         ),
+        attempts=int(payload.get("attempts", 1)),
+        faults=payload.get("faults"),
     )

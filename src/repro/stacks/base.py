@@ -57,6 +57,12 @@ class PhaseRecord:
         records_out: Records produced.
         bytes_out: Bytes produced (estimated).
         details: Engine-specific extras (e.g. ``{"compare_ops": 12345.0}``).
+        tag: Recovery provenance.  Empty for the committed execution;
+            ``"failed:<kind>"`` for a fault-killed attempt and
+            ``"speculative"`` for the losing attempt of a speculated
+            straggler.  Tagged records document what recovery did but are
+            excluded from instrumentation, so a recovered run measures
+            identically to a fault-free one.
     """
 
     kind: PhaseKind
@@ -67,6 +73,7 @@ class PhaseRecord:
     records_out: int
     bytes_out: int
     details: dict[str, float] = field(default_factory=dict)
+    tag: str = ""
 
 
 @dataclass(frozen=True)
@@ -136,9 +143,21 @@ class ExecutionTrace:
             )
         )
 
-    def by_kind(self, kind: PhaseKind) -> list[PhaseRecord]:
+    def by_kind(
+        self, kind: PhaseKind, committed_only: bool = False
+    ) -> list[PhaseRecord]:
         """All records of one phase kind, in emission order."""
-        return [r for r in self.records if r.kind is kind]
+        return [
+            r
+            for r in self.records
+            if r.kind is kind and not (committed_only and r.tag)
+        ]
+
+    @property
+    def committed_records(self) -> list[PhaseRecord]:
+        """Records of the committed execution (failed/speculative-loser
+        attempts excluded) — what the measurement pipeline consumes."""
+        return [r for r in self.records if not r.tag]
 
     @property
     def total_records_in(self) -> int:

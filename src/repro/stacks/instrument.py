@@ -353,11 +353,16 @@ def profiles_from_trace(
         + _FRAMEWORK_INS_PER_SOURCE_MB * (stack.source_bytes / _MB)
     )
 
+    # Only the committed execution is measured: failed and speculative-
+    # loser attempts are recovery bookkeeping, not steady-state behaviour
+    # (and excluding them keeps recovered runs bit-identical to clean ones).
+    committed = trace.committed_records
+
     # Shared-region size: everything that lives in node-shared memory over
     # the run — cached partitions, shuffle data, page-cache pages.
     shared_bytes = sum(
         r.bytes_in
-        for r in trace.records
+        for r in committed
         if r.kind
         in (
             PhaseKind.CACHE_BUILD,
@@ -372,7 +377,7 @@ def profiles_from_trace(
 
     profiles: list[PhaseProfile] = []
     for kind in _KIND_ORDER:
-        group = trace.by_kind(kind)
+        group = [r for r in committed if r.kind is kind]
         if not group:
             continue
         template = _TEMPLATES[kind]

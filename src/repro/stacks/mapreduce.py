@@ -21,13 +21,14 @@ from dataclasses import dataclass, field
 from operator import itemgetter
 
 from repro.errors import StackExecutionError
+from repro.faults.recovery import TaskRecorder, run_task
 from repro.stacks.base import (
     ExecutionTrace,
     PhaseKind,
     estimate_bytes,
     stable_hash,
 )
-from repro.stacks.hdfs import Hdfs
+from repro.stacks.hdfs import Hdfs, HdfsBlock
 
 __all__ = ["MapReduceJob", "MapReduceEngine"]
 
@@ -92,6 +93,31 @@ def _sort_cost(n: int) -> float:
     return float(n) * math.log2(max(2, n))
 
 
+@dataclass(frozen=True)
+class _MapTaskResult:
+    """What one committed map attempt produced.
+
+    ``runs`` holds ``(partition, sorted_run)`` pairs; the engine merges
+    them into the global per-reducer state only after the attempt
+    commits, so failed/speculative attempts leave no residue.
+    """
+
+    map_out: list
+    runs: list[tuple[int, list[tuple]]]
+    spilled_records: int
+    combine_output_records: int
+
+
+@dataclass(frozen=True)
+class _ReduceTaskResult:
+    """What one committed reduce attempt produced."""
+
+    reduce_out: list
+    groups: int
+    run_records: int
+    run_bytes: int
+
+
 @dataclass
 class _JobCounters:
     """Hadoop-style job counters, exposed for tests and reports."""
@@ -135,8 +161,16 @@ class MapReduceEngine:
         SPILL / SHUFFLE / SORT_MERGE / REDUCE / OUTPUT phase records into
         ``trace``.
 
+        Every map and reduce task executes through the fault-recovery
+        boundary (:func:`repro.faults.recovery.run_task`): under an
+        active fault plan, crashed attempts are retried with backoff,
+        stragglers are speculatively duplicated, and a lost node's tasks
+        run on survivors — while the committed records and job output
+        stay identical to an undisturbed run.
+
         Raises:
-            StackExecutionError: On missing input or invalid job config.
+            StackExecutionError: On missing input, invalid job config, or
+                an injected fault persisting past the task retry budget.
         """
         paths = [input_path] if isinstance(input_path, str) else list(input_path)
         blocks = [block for path in paths for block in self.hdfs.blocks(path)]
@@ -154,57 +188,29 @@ class MapReduceEngine:
 
         # ---- map + spill (one task per block, scheduled on the block's node)
         num_partitions = job.num_reducers
+        partitioner = job.partitioner or (lambda key, n: stable_hash(key) % n)
         partition_runs: list[list[list[tuple]]] = [[] for _ in range(num_partitions)]
         map_only_output: list = []
         for block in blocks:
-            worker = block.primary_node
-            map_out: list[tuple] = []
-            for record in block.records:
-                map_out.extend(job.mapper(record))
-            counters.map_input_records += len(block.records)
-            counters.map_output_records += len(map_out)
-            out_bytes = sum(estimate_bytes(p) for p in map_out)
-            trace.emit(
-                PhaseKind.MAP,
+            task: _MapTaskResult = run_task(
+                trace,
                 f"map:{job.name}",
-                worker=worker,
-                records_in=len(block.records),
-                bytes_in=block.bytes,
-                records_out=len(map_out),
-                bytes_out=out_bytes,
+                block.primary_node,
+                lambda recorder, worker, block=block: self._map_task(
+                    job, block, worker, num_partitions, partitioner, recorder
+                ),
+                reads_hdfs=True,
+                num_nodes=self.hdfs.num_nodes,
             )
+            counters.map_input_records += len(block.records)
+            counters.map_output_records += len(task.map_out)
+            counters.spilled_records += task.spilled_records
+            counters.combine_output_records += task.combine_output_records
             if job.reducer is None:
-                map_only_output.extend(map_out)
-                continue
-            for start in range(0, max(1, len(map_out)), self.spill_records):
-                chunk = map_out[start : start + self.spill_records]
-                if not chunk:
-                    break
-                chunk.sort(key=itemgetter(0))
-                if job.combiner is not None:
-                    chunk = _apply_combiner(job.combiner, chunk)
-                    counters.combine_output_records += len(chunk)
-                counters.spilled_records += len(chunk)
-                trace.emit(
-                    PhaseKind.SPILL,
-                    f"spill:{job.name}",
-                    worker=worker,
-                    records_in=len(chunk),
-                    bytes_in=sum(estimate_bytes(p) for p in chunk),
-                    records_out=len(chunk),
-                    bytes_out=sum(estimate_bytes(p) for p in chunk),
-                    compare_ops=_sort_cost(len(chunk)),
-                )
-                # Partition the sorted spill into per-reducer runs.
-                partitioner = job.partitioner or (
-                    lambda key, n: stable_hash(key) % n
-                )
-                runs: list[list[tuple]] = [[] for _ in range(num_partitions)]
-                for pair in chunk:
-                    runs[partitioner(pair[0], num_partitions)].append(pair)
-                for partition, run in enumerate(runs):
-                    if run:
-                        partition_runs[partition].append(run)
+                map_only_output.extend(task.map_out)
+            else:
+                for partition, run in task.runs:
+                    partition_runs[partition].append(run)
 
         if job.reducer is None:
             return self._finish(job, map_only_output, output_path, trace, counters)
@@ -212,51 +218,125 @@ class MapReduceEngine:
         # ---- shuffle + merge + reduce (one task per partition)
         output: list = []
         for partition in range(num_partitions):
-            worker = partition % self.hdfs.num_nodes
             runs = partition_runs[partition]
-            run_records = sum(len(run) for run in runs)
-            run_bytes = sum(estimate_bytes(p) for run in runs for p in run)
-            counters.shuffle_bytes += run_bytes
-            trace.emit(
-                PhaseKind.SHUFFLE,
-                f"shuffle:{job.name}",
-                worker=worker,
-                records_in=run_records,
-                bytes_in=run_bytes,
-                records_out=run_records,
-                bytes_out=run_bytes,
-                fetches=float(len(runs)),
-            )
-            merged = list(heapq.merge(*runs, key=itemgetter(0)))
-            trace.emit(
-                PhaseKind.SORT_MERGE,
-                f"merge:{job.name}",
-                worker=worker,
-                records_in=run_records,
-                bytes_in=run_bytes,
-                records_out=len(merged),
-                bytes_out=run_bytes,
-                compare_ops=float(run_records) * math.log2(max(2, len(runs))),
-            )
-            reduce_out: list = []
-            groups = 0
-            for key, values in _group_sorted(merged):
-                groups += 1
-                reduce_out.extend(job.reducer(key, values))
-            counters.reduce_input_groups += groups
-            counters.reduce_output_records += len(reduce_out)
-            trace.emit(
-                PhaseKind.REDUCE,
+            task: _ReduceTaskResult = run_task(
+                trace,
                 f"reduce:{job.name}",
-                worker=worker,
-                records_in=len(merged),
-                bytes_in=run_bytes,
-                records_out=len(reduce_out),
-                bytes_out=sum(estimate_bytes(r) for r in reduce_out),
-                groups=float(groups),
+                partition % self.hdfs.num_nodes,
+                lambda recorder, worker, runs=runs: self._reduce_task(
+                    job, runs, worker, recorder
+                ),
+                num_nodes=self.hdfs.num_nodes,
             )
-            output.extend(reduce_out)
+            counters.shuffle_bytes += task.run_bytes
+            counters.reduce_input_groups += task.groups
+            counters.reduce_output_records += len(task.reduce_out)
+            output.extend(task.reduce_out)
         return self._finish(job, output, output_path, trace, counters)
+
+    def _map_task(
+        self,
+        job: MapReduceJob,
+        block: HdfsBlock,
+        worker: int,
+        num_partitions: int,
+        partitioner: Callable[[object, int], int],
+        recorder: TaskRecorder,
+    ) -> _MapTaskResult:
+        """One map attempt: map the block, then sort/combine/spill runs."""
+        map_out: list[tuple] = []
+        for record in block.records:
+            map_out.extend(job.mapper(record))
+        out_bytes = sum(estimate_bytes(p) for p in map_out)
+        recorder.emit(
+            PhaseKind.MAP,
+            f"map:{job.name}",
+            worker=worker,
+            records_in=len(block.records),
+            bytes_in=block.bytes,
+            records_out=len(map_out),
+            bytes_out=out_bytes,
+        )
+        if job.reducer is None:
+            return _MapTaskResult(map_out, [], 0, 0)
+        spilled = 0
+        combined = 0
+        runs: list[tuple[int, list[tuple]]] = []
+        for start in range(0, max(1, len(map_out)), self.spill_records):
+            chunk = map_out[start : start + self.spill_records]
+            if not chunk:
+                break
+            chunk.sort(key=itemgetter(0))
+            if job.combiner is not None:
+                chunk = _apply_combiner(job.combiner, chunk)
+                combined += len(chunk)
+            spilled += len(chunk)
+            recorder.emit(
+                PhaseKind.SPILL,
+                f"spill:{job.name}",
+                worker=worker,
+                records_in=len(chunk),
+                bytes_in=sum(estimate_bytes(p) for p in chunk),
+                records_out=len(chunk),
+                bytes_out=sum(estimate_bytes(p) for p in chunk),
+                compare_ops=_sort_cost(len(chunk)),
+            )
+            # Partition the sorted spill into per-reducer runs.
+            per_partition: list[list[tuple]] = [[] for _ in range(num_partitions)]
+            for pair in chunk:
+                per_partition[partitioner(pair[0], num_partitions)].append(pair)
+            for partition, run in enumerate(per_partition):
+                if run:
+                    runs.append((partition, run))
+        return _MapTaskResult(map_out, runs, spilled, combined)
+
+    def _reduce_task(
+        self,
+        job: MapReduceJob,
+        runs: list[list[tuple]],
+        worker: int,
+        recorder: TaskRecorder,
+    ) -> _ReduceTaskResult:
+        """One reduce attempt: fetch runs, merge-sort them, reduce groups."""
+        run_records = sum(len(run) for run in runs)
+        run_bytes = sum(estimate_bytes(p) for run in runs for p in run)
+        recorder.emit(
+            PhaseKind.SHUFFLE,
+            f"shuffle:{job.name}",
+            worker=worker,
+            records_in=run_records,
+            bytes_in=run_bytes,
+            records_out=run_records,
+            bytes_out=run_bytes,
+            fetches=float(len(runs)),
+        )
+        merged = list(heapq.merge(*runs, key=itemgetter(0)))
+        recorder.emit(
+            PhaseKind.SORT_MERGE,
+            f"merge:{job.name}",
+            worker=worker,
+            records_in=run_records,
+            bytes_in=run_bytes,
+            records_out=len(merged),
+            bytes_out=run_bytes,
+            compare_ops=float(run_records) * math.log2(max(2, len(runs))),
+        )
+        reduce_out: list = []
+        groups = 0
+        for key, values in _group_sorted(merged):
+            groups += 1
+            reduce_out.extend(job.reducer(key, values))
+        recorder.emit(
+            PhaseKind.REDUCE,
+            f"reduce:{job.name}",
+            worker=worker,
+            records_in=len(merged),
+            bytes_in=run_bytes,
+            records_out=len(reduce_out),
+            bytes_out=sum(estimate_bytes(r) for r in reduce_out),
+            groups=float(groups),
+        )
+        return _ReduceTaskResult(reduce_out, groups, run_records, run_bytes)
 
     def _finish(
         self,

@@ -24,6 +24,7 @@ import math
 from collections.abc import Callable, Iterable
 
 from repro.errors import StackExecutionError
+from repro.faults.recovery import run_task
 from repro.stacks.base import ExecutionTrace, PhaseKind, estimate_bytes, stable_hash
 from repro.stacks.hdfs import Hdfs
 
@@ -66,6 +67,17 @@ class RDD:
     def preferred_worker(self, partition: int) -> int:
         """Worker slot a partition's task prefers (default round-robin)."""
         return partition % max(1, self.engine.num_workers)
+
+    def _run_task(self, trace: ExecutionTrace, name: str, partition: int, body, *, reads_hdfs: bool = False):
+        """Run one partition task through the fault-recovery boundary."""
+        return run_task(
+            trace,
+            name,
+            self.preferred_worker(partition),
+            body,
+            reads_hdfs=reads_hdfs,
+            num_nodes=self.engine.num_workers,
+        )
 
     # -- transformations ---------------------------------------------------
 
@@ -235,17 +247,22 @@ class _SourceRDD(RDD):
         self._partitions = [list(p) for p in partitions] or [[]]
 
     def compute_partitions(self, trace: ExecutionTrace) -> list[list]:
+        output: list[list] = []
         for index, partition in enumerate(self._partitions):
-            trace.emit(
-                PhaseKind.STAGE,
-                "scan:parallelize",
-                worker=self.preferred_worker(index),
-                records_in=len(partition),
-                bytes_in=_partition_bytes(partition),
-                records_out=len(partition),
-                bytes_out=_partition_bytes(partition),
-            )
-        return [list(p) for p in self._partitions]
+            def body(recorder, worker, partition=partition):
+                recorder.emit(
+                    PhaseKind.STAGE,
+                    "scan:parallelize",
+                    worker=worker,
+                    records_in=len(partition),
+                    bytes_in=_partition_bytes(partition),
+                    records_out=len(partition),
+                    bytes_out=_partition_bytes(partition),
+                )
+                return list(partition)
+
+            output.append(self._run_task(trace, "scan:parallelize", index, body))
+        return output
 
 
 class _HdfsRDD(RDD):
@@ -264,17 +281,24 @@ class _HdfsRDD(RDD):
     def compute_partitions(self, trace: ExecutionTrace) -> list[list]:
         partitions: list[list] = []
         for index, block in enumerate(self._blocks):
-            records = list(block.records)
-            trace.emit(
-                PhaseKind.STAGE,
-                f"scan:{self._path}",
-                worker=block.primary_node,
-                records_in=len(records),
-                bytes_in=block.bytes,
-                records_out=len(records),
-                bytes_out=block.bytes,
+            def body(recorder, worker, block=block):
+                records = list(block.records)
+                recorder.emit(
+                    PhaseKind.STAGE,
+                    f"scan:{self._path}",
+                    worker=worker,
+                    records_in=len(records),
+                    bytes_in=block.bytes,
+                    records_out=len(records),
+                    bytes_out=block.bytes,
+                )
+                return records
+
+            partitions.append(
+                self._run_task(
+                    trace, f"scan:{self._path}", index, body, reads_hdfs=True
+                )
             )
-            partitions.append(records)
         return partitions or [[]]
 
 
@@ -293,20 +317,27 @@ class _MappedRDD(RDD):
         parents = self.engine.compute(self._parent, trace)
         output: list[list] = []
         for index, partition in enumerate(parents):
-            if self._flat:
-                result = [item for record in partition for item in self._fn(record)]
-            else:
-                result = [self._fn(record) for record in partition]
-            trace.emit(
-                PhaseKind.STAGE,
-                f"stage:{self._label}",
-                worker=self.preferred_worker(index),
-                records_in=len(partition),
-                bytes_in=_partition_bytes(partition),
-                records_out=len(result),
-                bytes_out=_partition_bytes(result),
+            def body(recorder, worker, partition=partition):
+                if self._flat:
+                    result = [
+                        item for record in partition for item in self._fn(record)
+                    ]
+                else:
+                    result = [self._fn(record) for record in partition]
+                recorder.emit(
+                    PhaseKind.STAGE,
+                    f"stage:{self._label}",
+                    worker=worker,
+                    records_in=len(partition),
+                    bytes_in=_partition_bytes(partition),
+                    records_out=len(result),
+                    bytes_out=_partition_bytes(result),
+                )
+                return result
+
+            output.append(
+                self._run_task(trace, f"stage:{self._label}", index, body)
             )
-            output.append(result)
         return output
 
 
@@ -323,17 +354,22 @@ class _FilteredRDD(RDD):
         parents = self.engine.compute(self._parent, trace)
         output: list[list] = []
         for index, partition in enumerate(parents):
-            result = [record for record in partition if self._predicate(record)]
-            trace.emit(
-                PhaseKind.STAGE,
-                "stage:filter",
-                worker=self.preferred_worker(index),
-                records_in=len(partition),
-                bytes_in=_partition_bytes(partition),
-                records_out=len(result),
-                bytes_out=_partition_bytes(result),
-            )
-            output.append(result)
+            def body(recorder, worker, partition=partition):
+                result = [
+                    record for record in partition if self._predicate(record)
+                ]
+                recorder.emit(
+                    PhaseKind.STAGE,
+                    "stage:filter",
+                    worker=worker,
+                    records_in=len(partition),
+                    bytes_in=_partition_bytes(partition),
+                    records_out=len(result),
+                    bytes_out=_partition_bytes(result),
+                )
+                return result
+
+            output.append(self._run_task(trace, "stage:filter", index, body))
         return output
 
 
@@ -350,17 +386,22 @@ class _MapPartitionsRDD(RDD):
         parents = self.engine.compute(self._parent, trace)
         output: list[list] = []
         for index, partition in enumerate(parents):
-            result = list(self._fn(partition))
-            trace.emit(
-                PhaseKind.STAGE,
-                "stage:mapPartitions",
-                worker=self.preferred_worker(index),
-                records_in=len(partition),
-                bytes_in=_partition_bytes(partition),
-                records_out=len(result),
-                bytes_out=_partition_bytes(result),
+            def body(recorder, worker, partition=partition):
+                result = list(self._fn(partition))
+                recorder.emit(
+                    PhaseKind.STAGE,
+                    "stage:mapPartitions",
+                    worker=worker,
+                    records_in=len(partition),
+                    bytes_in=_partition_bytes(partition),
+                    records_out=len(result),
+                    bytes_out=_partition_bytes(result),
+                )
+                return result
+
+            output.append(
+                self._run_task(trace, "stage:mapPartitions", index, body)
             )
-            output.append(result)
         return output
 
 
@@ -419,50 +460,67 @@ class _ShuffledRDD(RDD):
         parents = self.engine.compute(self._parent, trace)
         buckets: list[list] = [[] for _ in range(self.num_partitions)]
         for index, partition in enumerate(parents):
-            to_write = (
-                self._combine_partition(partition) if self._map_side_combine else partition
-            )
-            trace.emit(
-                PhaseKind.SHUFFLE_WRITE,
+            def write_body(recorder, worker, partition=partition):
+                to_write = (
+                    self._combine_partition(partition)
+                    if self._map_side_combine
+                    else partition
+                )
+                recorder.emit(
+                    PhaseKind.SHUFFLE_WRITE,
+                    "shuffle-write",
+                    worker=worker,
+                    records_in=len(partition),
+                    bytes_in=_partition_bytes(partition),
+                    records_out=len(to_write),
+                    bytes_out=_partition_bytes(to_write),
+                )
+                return to_write
+
+            to_write = run_task(
+                trace,
                 "shuffle-write",
-                worker=self._parent.preferred_worker(index),
-                records_in=len(partition),
-                bytes_in=_partition_bytes(partition),
-                records_out=len(to_write),
-                bytes_out=_partition_bytes(to_write),
+                self._parent.preferred_worker(index),
+                write_body,
+                num_nodes=self.engine.num_workers,
             )
             for key, value in to_write:
                 buckets[stable_hash(key) % self.num_partitions].append((key, value))
 
         output: list[list] = []
         for index, bucket in enumerate(buckets):
-            trace.emit(
-                PhaseKind.SHUFFLE_READ,
-                "shuffle-read",
-                worker=self.preferred_worker(index),
-                records_in=len(bucket),
-                bytes_in=_partition_bytes(bucket),
-                records_out=len(bucket),
-                bytes_out=_partition_bytes(bucket),
-                fetches=float(len(parents)),
+            def read_body(recorder, worker, bucket=bucket):
+                recorder.emit(
+                    PhaseKind.SHUFFLE_READ,
+                    "shuffle-read",
+                    worker=worker,
+                    records_in=len(bucket),
+                    bytes_in=_partition_bytes(bucket),
+                    records_out=len(bucket),
+                    bytes_out=_partition_bytes(bucket),
+                    fetches=float(len(parents)),
+                )
+                if self._combiner is not None:
+                    result = self._combine_partition(bucket)
+                else:
+                    groups: dict = {}
+                    for key, value in bucket:
+                        groups.setdefault(key, []).append(value)
+                    result = list(groups.items())
+                recorder.emit(
+                    PhaseKind.STAGE,
+                    "stage:aggregate",
+                    worker=worker,
+                    records_in=len(bucket),
+                    bytes_in=_partition_bytes(bucket),
+                    records_out=len(result),
+                    bytes_out=_partition_bytes(result),
+                )
+                return result
+
+            output.append(
+                self._run_task(trace, "stage:aggregate", index, read_body)
             )
-            if self._combiner is not None:
-                result = self._combine_partition(bucket)
-            else:
-                groups: dict = {}
-                for key, value in bucket:
-                    groups.setdefault(key, []).append(value)
-                result = list(groups.items())
-            trace.emit(
-                PhaseKind.STAGE,
-                "stage:aggregate",
-                worker=self.preferred_worker(index),
-                records_in=len(bucket),
-                bytes_in=_partition_bytes(bucket),
-                records_out=len(result),
-                bytes_out=_partition_bytes(result),
-            )
-            output.append(result)
         return output
 
 
@@ -486,41 +544,54 @@ class _SortedRDD(RDD):
 
         buckets: list[list] = [[] for _ in range(self.num_partitions)]
         for index, partition in enumerate(parents):
-            trace.emit(
-                PhaseKind.SHUFFLE_WRITE,
+            def write_body(recorder, worker, partition=partition):
+                recorder.emit(
+                    PhaseKind.SHUFFLE_WRITE,
+                    "shuffle-write:sort",
+                    worker=worker,
+                    records_in=len(partition),
+                    bytes_in=_partition_bytes(partition),
+                    records_out=len(partition),
+                    bytes_out=_partition_bytes(partition),
+                )
+                return partition
+
+            written = run_task(
+                trace,
                 "shuffle-write:sort",
-                worker=self._parent.preferred_worker(index),
-                records_in=len(partition),
-                bytes_in=_partition_bytes(partition),
-                records_out=len(partition),
-                bytes_out=_partition_bytes(partition),
+                self._parent.preferred_worker(index),
+                write_body,
+                num_nodes=self.engine.num_workers,
             )
-            for record in partition:
+            for record in written:
                 buckets[bisect.bisect_left(boundaries, self._key_fn(record))].append(record)
 
         output: list[list] = []
         for index, bucket in enumerate(buckets):
-            trace.emit(
-                PhaseKind.SHUFFLE_READ,
-                "shuffle-read:sort",
-                worker=self.preferred_worker(index),
-                records_in=len(bucket),
-                bytes_in=_partition_bytes(bucket),
-                records_out=len(bucket),
-                bytes_out=_partition_bytes(bucket),
-            )
-            bucket.sort(key=self._key_fn)
-            trace.emit(
-                PhaseKind.STAGE,
-                "stage:sort",
-                worker=self.preferred_worker(index),
-                records_in=len(bucket),
-                bytes_in=_partition_bytes(bucket),
-                records_out=len(bucket),
-                bytes_out=_partition_bytes(bucket),
-                compare_ops=float(len(bucket)) * math.log2(max(2, len(bucket))),
-            )
-            output.append(bucket)
+            def read_body(recorder, worker, bucket=bucket):
+                recorder.emit(
+                    PhaseKind.SHUFFLE_READ,
+                    "shuffle-read:sort",
+                    worker=worker,
+                    records_in=len(bucket),
+                    bytes_in=_partition_bytes(bucket),
+                    records_out=len(bucket),
+                    bytes_out=_partition_bytes(bucket),
+                )
+                result = sorted(bucket, key=self._key_fn)
+                recorder.emit(
+                    PhaseKind.STAGE,
+                    "stage:sort",
+                    worker=worker,
+                    records_in=len(result),
+                    bytes_in=_partition_bytes(result),
+                    records_out=len(result),
+                    bytes_out=_partition_bytes(result),
+                    compare_ops=float(len(result)) * math.log2(max(2, len(result))),
+                )
+                return result
+
+            output.append(self._run_task(trace, "stage:sort", index, read_body))
         return output
 
 
@@ -541,16 +612,26 @@ class _CoGroupedRDD(RDD):
         parents = self.engine.compute(rdd, trace)
         buckets: list[list] = [[] for _ in range(self.num_partitions)]
         for index, partition in enumerate(parents):
-            trace.emit(
-                PhaseKind.SHUFFLE_WRITE,
+            def write_body(recorder, worker, partition=partition):
+                recorder.emit(
+                    PhaseKind.SHUFFLE_WRITE,
+                    f"shuffle-write:{label}",
+                    worker=worker,
+                    records_in=len(partition),
+                    bytes_in=_partition_bytes(partition),
+                    records_out=len(partition),
+                    bytes_out=_partition_bytes(partition),
+                )
+                return partition
+
+            written = run_task(
+                trace,
                 f"shuffle-write:{label}",
-                worker=rdd.preferred_worker(index),
-                records_in=len(partition),
-                bytes_in=_partition_bytes(partition),
-                records_out=len(partition),
-                bytes_out=_partition_bytes(partition),
+                rdd.preferred_worker(index),
+                write_body,
+                num_nodes=self.engine.num_workers,
             )
-            for key, value in partition:
+            for key, value in written:
                 buckets[stable_hash(key) % self.num_partitions].append((key, value))
         return buckets
 
@@ -560,37 +641,43 @@ class _CoGroupedRDD(RDD):
         output: list[list] = []
         for index in range(self.num_partitions):
             left, right = left_buckets[index], right_buckets[index]
-            trace.emit(
-                PhaseKind.SHUFFLE_READ,
-                "shuffle-read:cogroup",
-                worker=self.preferred_worker(index),
-                records_in=len(left) + len(right),
-                bytes_in=_partition_bytes(left) + _partition_bytes(right),
+
+            def read_body(recorder, worker, left=left, right=right):
+                recorder.emit(
+                    PhaseKind.SHUFFLE_READ,
+                    "shuffle-read:cogroup",
+                    worker=worker,
+                    records_in=len(left) + len(right),
+                    bytes_in=_partition_bytes(left) + _partition_bytes(right),
+                )
+                right_map: dict = {}
+                for key, value in right:
+                    right_map.setdefault(key, []).append(value)
+                result: list = []
+                if self._mode == "join":
+                    for key, value in left:
+                        for other in right_map.get(key, ()):
+                            result.append((key, (value, other)))
+                else:  # subtract: distinct left keys with no right occurrences
+                    emitted: set = set()
+                    for key, _value in left:
+                        if key not in right_map and key not in emitted:
+                            emitted.add(key)
+                            result.append(key)
+                recorder.emit(
+                    PhaseKind.STAGE,
+                    f"stage:{self._mode}",
+                    worker=worker,
+                    records_in=len(left) + len(right),
+                    bytes_in=_partition_bytes(left) + _partition_bytes(right),
+                    records_out=len(result),
+                    bytes_out=_partition_bytes(result),
+                )
+                return result
+
+            output.append(
+                self._run_task(trace, f"stage:{self._mode}", index, read_body)
             )
-            right_map: dict = {}
-            for key, value in right:
-                right_map.setdefault(key, []).append(value)
-            result: list = []
-            if self._mode == "join":
-                for key, value in left:
-                    for other in right_map.get(key, ()):
-                        result.append((key, (value, other)))
-            else:  # subtract: distinct left keys with no right occurrences
-                emitted: set = set()
-                for key, _value in left:
-                    if key not in right_map and key not in emitted:
-                        emitted.add(key)
-                        result.append(key)
-            trace.emit(
-                PhaseKind.STAGE,
-                f"stage:{self._mode}",
-                worker=self.preferred_worker(index),
-                records_in=len(left) + len(right),
-                bytes_in=_partition_bytes(left) + _partition_bytes(right),
-                records_out=len(result),
-                bytes_out=_partition_bytes(result),
-            )
-            output.append(result)
         return output
 
 
@@ -607,19 +694,29 @@ class _CartesianRDD(RDD):
         index = 0
         for left_partition in left:
             for right_partition in right:
-                result = [
-                    (a, b) for a in left_partition for b in right_partition
-                ]
-                trace.emit(
-                    PhaseKind.STAGE,
-                    "stage:cartesian",
-                    worker=self.preferred_worker(index),
-                    records_in=len(left_partition) + len(right_partition),
-                    bytes_in=_partition_bytes(left_partition)
-                    + _partition_bytes(right_partition),
-                    records_out=len(result),
-                    bytes_out=_partition_bytes(result),
+                def body(
+                    recorder,
+                    worker,
+                    left_partition=left_partition,
+                    right_partition=right_partition,
+                ):
+                    result = [
+                        (a, b) for a in left_partition for b in right_partition
+                    ]
+                    recorder.emit(
+                        PhaseKind.STAGE,
+                        "stage:cartesian",
+                        worker=worker,
+                        records_in=len(left_partition) + len(right_partition),
+                        bytes_in=_partition_bytes(left_partition)
+                        + _partition_bytes(right_partition),
+                        records_out=len(result),
+                        bytes_out=_partition_bytes(result),
+                    )
+                    return result
+
+                output.append(
+                    self._run_task(trace, "stage:cartesian", index, body)
                 )
-                output.append(result)
                 index += 1
         return output

@@ -1,0 +1,159 @@
+"""Cluster-level chaos regression: recovery must not move the numbers.
+
+The acceptance invariant for the fault plane: under any plan the retry
+budgets can absorb, the characterization output — the metric matrix and
+every per-slave value — is **bit-identical** to the fault-free run at the
+same measurement seed.  Node loss is deliberately excluded from the
+bit-identity plan: losing a slave legitimately degrades the cross-slave
+mean to the survivors (tested separately below).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.collection import (
+    CollectionConfig,
+    _characterize_with_retries,
+    characterize_suite,
+    suite_store_key,
+)
+from repro.cluster.testbed import Cluster, MeasurementConfig
+from repro.errors import StackExecutionError
+from repro.faults import FaultPlan
+from repro.workloads.base import RunContext
+from repro.workloads.suite import workload_by_name
+
+pytestmark = pytest.mark.chaos
+
+MEASUREMENT = MeasurementConfig(
+    slaves_measured=2, active_cores=3, ops_per_core=1500, perf_repeats=2
+)
+CONTEXT = RunContext(scale=0.3, seed=7)
+
+#: Crash + straggler + transient HDFS read errors, all recoverable.
+RECOVERABLE = FaultPlan(seed=11, crash=0.15, straggler=0.2, hdfs_read=0.1)
+
+#: One workload per stack family.
+FAMILY_SAMPLE = ("H-WordCount", "S-Sort", "H-AggQuery", "S-JoinQuery")
+
+
+class TestBitIdenticalCharacterization:
+    @pytest.mark.parametrize("name", FAMILY_SAMPLE)
+    def test_metrics_identical_under_recoverable_faults(self, name):
+        workload = workload_by_name(name)
+        clean = Cluster().characterize_workload(workload, CONTEXT, MEASUREMENT)
+        chaos = Cluster().characterize_workload(
+            workload, CONTEXT, MEASUREMENT, faults=RECOVERABLE
+        )
+        assert chaos.faults is not None
+        assert chaos.metrics == clean.metrics  # bit-identical, not approx
+        assert chaos.per_slave == clean.per_slave
+        assert chaos.run.checks == clean.run.checks
+
+    def test_suite_matrix_identical_under_recoverable_faults(self):
+        workloads = tuple(workload_by_name(n) for n in FAMILY_SAMPLE)
+        base = CollectionConfig(scale=0.3, seed=7, measurement=MEASUREMENT)
+        chaos_config = CollectionConfig(
+            scale=0.3, seed=7, measurement=MEASUREMENT, faults=RECOVERABLE
+        )
+        clean = characterize_suite(workloads, base)
+        chaos = characterize_suite(workloads, chaos_config)
+        assert chaos.matrix.workloads == clean.matrix.workloads
+        assert np.array_equal(chaos.matrix.values, clean.matrix.values)
+        injected = sum(
+            c.faults["task_retries"] + c.faults["speculative_tasks"]
+            for c in chaos.characterizations
+        )
+        assert injected > 0, "chaos plan recovered nothing — test is vacuous"
+
+    def test_fault_plan_separates_the_cache_key(self):
+        workloads = tuple(workload_by_name(n) for n in FAMILY_SAMPLE)
+        base = CollectionConfig(scale=0.3, seed=7, measurement=MEASUREMENT)
+        chaos = CollectionConfig(
+            scale=0.3, seed=7, measurement=MEASUREMENT, faults=RECOVERABLE
+        )
+        assert suite_store_key(base, workloads) != suite_store_key(chaos, workloads)
+        # An inert plan (all-zero probabilities) keys like no plan at all.
+        inert = CollectionConfig(
+            scale=0.3, seed=7, measurement=MEASUREMENT, faults=FaultPlan()
+        )
+        assert suite_store_key(base, workloads) == suite_store_key(inert, workloads)
+
+
+class TestSlaveLoss:
+    def find_loss_plan(self, measured: int) -> FaultPlan:
+        """A plan whose lost set hits at least one measured slave."""
+        for seed in range(100):
+            plan = FaultPlan(seed=seed, node_loss=0.4)
+            from repro.faults import FaultInjector
+
+            lost = FaultInjector(plan, scope=("H-WordCount", None)).lost_nodes(
+                Cluster.NUM_SLAVES
+            )
+            if any(node < measured for node in lost):
+                return plan
+        raise AssertionError("no seed lost a measured slave")
+
+    def test_lost_slave_degrades_mean_to_survivors(self):
+        plan = self.find_loss_plan(MEASUREMENT.slaves_measured)
+        workload = workload_by_name("H-WordCount")
+        clean = Cluster().characterize_workload(workload, CONTEXT, MEASUREMENT)
+        chaos = Cluster().characterize_workload(
+            workload, CONTEXT, MEASUREMENT, faults=plan
+        )
+        assert chaos.faults["lost_nodes"]
+        assert len(chaos.per_slave) < len(clean.per_slave)
+        # Survivors' per-slave values are untouched; only the mean moves.
+        surviving = [
+            s
+            for i, s in enumerate(clean.per_slave)
+            if i not in chaos.faults["lost_nodes"]
+        ]
+        assert list(chaos.per_slave) == surviving
+        for name, value in chaos.metrics.items():
+            assert value == pytest.approx(
+                float(np.mean([s[name] for s in surviving]))
+            )
+
+    def test_all_measured_slaves_lost_falls_back_to_a_survivor(self):
+        plan = FaultPlan(seed=1, node_loss=1.0)  # loses 3 of 4 slaves
+        workload = workload_by_name("H-WordCount")
+        chaos = Cluster().characterize_workload(
+            workload, CONTEXT, MEASUREMENT, faults=plan
+        )
+        assert len(chaos.per_slave) == 1  # the sole survivor
+        assert len(chaos.faults["lost_nodes"]) == Cluster.NUM_SLAVES - 1
+
+
+class TestCollectionRetries:
+    def test_attempts_default_to_one_without_faults(self):
+        result = _characterize_with_retries(
+            Cluster(), workload_by_name("H-Grep"), CONTEXT, MEASUREMENT,
+            faults=None, retries=3,
+        )
+        assert result.attempts == 1
+        assert result.faults is None
+
+    def test_failed_attempts_reseed_and_eventually_succeed(self):
+        # seed=26 deterministically exhausts the 1-attempt budget on the
+        # first three collection attempts and succeeds on the fourth.
+        plan = FaultPlan(seed=26, crash=0.6, max_task_attempts=1)
+        result = _characterize_with_retries(
+            Cluster(), workload_by_name("H-WordCount"), CONTEXT, MEASUREMENT,
+            faults=plan, retries=3,
+        )
+        assert result.attempts == 4
+        clean = Cluster().characterize_workload(
+            workload_by_name("H-WordCount"), CONTEXT, MEASUREMENT
+        )
+        assert result.metrics == clean.metrics  # recovery stayed invisible
+
+    def test_unrecoverable_plan_exhausts_all_attempts(self):
+        plan = FaultPlan(seed=0, crash=1.0, max_task_attempts=2)
+        with pytest.raises(StackExecutionError, match="collection attempts"):
+            _characterize_with_retries(
+                Cluster(), workload_by_name("H-Grep"), CONTEXT, MEASUREMENT,
+                faults=plan, retries=2,
+            )

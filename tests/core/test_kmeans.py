@@ -99,3 +99,51 @@ def test_result_invariants(n, k, seed):
     assert set(result.labels.tolist()) <= set(range(k))
     assert np.all(np.isfinite(result.centers))
     assert result.inertia >= 0.0
+
+
+# -- empty-cluster regression (stale-centroid / degenerate-seeding bugs) ------
+
+
+def duplicate_heavy(rng, n=32, outliers=8):
+    """Adversarial data: most rows are copies of two points, a few outliers.
+
+    k-means++ seeding over such data used to take the degenerate branch
+    (all remaining distance mass zero) and fill every remaining centroid
+    slot with one repeated point, guaranteeing duplicate centroids and
+    permanently empty clusters.  ``outliers`` keeps the distinct-point
+    count at ``outliers + 2`` so every tested k remains feasible.
+    """
+    base = np.array([[0.0, 0.0], [10.0, 10.0]])
+    points = np.vstack(
+        [base[np.arange(n - outliers) % 2], rng.normal(size=(outliers, 2)) + 5]
+    )
+    return points
+
+
+@pytest.mark.parametrize("k", [3, 5, 8])
+def test_duplicate_heavy_data_leaves_no_cluster_empty(rng, k):
+    points = duplicate_heavy(rng)
+    result = kmeans(points, k, seed=0)
+    sizes = [len(m) for m in result.cluster_members()]
+    assert min(sizes) >= 1, f"empty cluster at k={k}: sizes {sizes}"
+
+
+def test_every_k_up_to_distinct_count_is_populated(rng):
+    # Exactly 4 distinct values; any k <= 4 must fill every cluster.
+    points = np.repeat(np.arange(4.0)[:, None], 6, axis=0)
+    for k in (2, 3, 4):
+        result = kmeans(points, k, seed=1)
+        assert all(len(m) >= 1 for m in result.cluster_members())
+
+
+def test_max_iter_exit_keeps_labels_centers_inertia_consistent(rng):
+    # Force a max_iter exit (1 iteration cannot converge on real data)
+    # and check the invariants the downstream pipeline relies on.
+    points, _ = blobs(rng, k=4)
+    result = kmeans(points, 4, seed=2, max_iter=1, n_init=1)
+    distances = np.sum(
+        (points[:, None, :] - result.centers[None, :, :]) ** 2, axis=2
+    )
+    assert np.array_equal(result.labels, np.argmin(distances, axis=1))
+    expected = float(np.sum((points - result.centers[result.labels]) ** 2))
+    assert result.inertia == pytest.approx(expected)

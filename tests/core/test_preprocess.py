@@ -32,6 +32,26 @@ def test_transform_applies_to_new_data(rng):
     assert np.allclose(transform.transform(new_row), expected)
 
 
+def test_transform_zeroes_constant_columns_for_held_out_rows(rng):
+    # Regression: transform() used to divide a held-out row's deviation
+    # in a constant column by the placeholder std of 1.0, leaking the raw
+    # offset into the "no discriminating information" dimension.
+    matrix = np.column_stack([np.arange(10.0), np.full(10, 7.0)])
+    _, transform = zscore(matrix)
+    held_out = np.array([[3.0, 99.0]])
+    result = transform.transform(held_out)
+    assert result[0, 1] == 0.0
+    assert result[0, 0] == pytest.approx((3.0 - matrix[:, 0].mean()) / matrix[:, 0].std())
+
+
+def test_transform_does_not_mutate_its_input():
+    matrix = np.column_stack([np.arange(10.0), np.full(10, 7.0)])
+    _, transform = zscore(matrix)
+    held_out = np.array([[3.0, 99.0]])
+    transform.transform(held_out)
+    assert held_out[0, 1] == 99.0
+
+
 def test_shape_validation():
     with pytest.raises(AnalysisError):
         zscore(np.zeros(5))

@@ -72,3 +72,35 @@ def test_determinism():
 def test_k_range_is_respected():
     result = subset_workloads(synthetic_suite(), seed=0, k_min=2, k_max=3)
     assert 2 <= result.bic.best_k <= 3
+
+
+def sweep_full_k_range(matrix):
+    """choose_k over the entire defined K range; every cluster populated."""
+    from repro.core.bic import choose_k
+    from repro.core.pca import fit_pca
+    from repro.core.representatives import select_representatives
+
+    scores = fit_pca(matrix.values).scores
+    n = scores.shape[0]
+    selection = choose_k(scores, k_min=2, k_max=n - 1)
+    assert set(selection.clusterings) == set(range(2, n))
+    for k, clustering in selection.clusterings.items():
+        sizes = [len(m) for m in clustering.cluster_members()]
+        assert min(sizes) >= 1, f"k={k} produced an empty cluster: {sizes}"
+        # select_representatives raises AnalysisError on empty clusters;
+        # it must succeed at every K, not just the BIC winner.
+        select_representatives(
+            scores, matrix.workloads, clustering,
+            SelectionPolicy.FARTHEST_FROM_CENTER,
+        )
+    return selection
+
+
+def test_full_k_sweep_on_synthetic_suite():
+    sweep_full_k_range(synthetic_suite())
+
+
+def test_full_k_sweep_on_characterized_suite(suite_characterization):
+    # The acceptance sweep: K from 2 to n-1 over the real 32-workload
+    # metric matrix, no empty-cluster failures anywhere in the range.
+    sweep_full_k_range(suite_characterization.matrix)

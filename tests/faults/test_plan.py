@@ -1,0 +1,77 @@
+"""FaultPlan construction, validation and spec parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import FaultPlan, parse_fault_spec
+
+
+class TestFaultPlan:
+    def test_default_plan_injects_nothing(self):
+        assert not FaultPlan().any_faults()
+
+    def test_any_probability_activates_the_plan(self):
+        assert FaultPlan(crash=0.1).any_faults()
+        assert FaultPlan(straggler=0.1).any_faults()
+        assert FaultPlan(node_loss=0.1).any_faults()
+        assert FaultPlan(hdfs_read=0.1).any_faults()
+
+    @pytest.mark.parametrize("field", ["crash", "straggler", "node_loss", "hdfs_read"])
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_probabilities_validated(self, field, bad):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(**{field: bad})
+
+    def test_attempt_budget_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(max_task_attempts=0)
+
+    def test_backoff_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(backoff_base_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            FaultPlan(backoff_factor=0.5)
+
+    def test_backoff_grows_exponentially(self):
+        plan = FaultPlan(backoff_base_s=0.5, backoff_factor=2.0)
+        assert plan.backoff_s(1) == 0.5
+        assert plan.backoff_s(2) == 1.0
+        assert plan.backoff_s(3) == 2.0
+
+    def test_token_is_store_key_safe_and_plan_sensitive(self):
+        from repro.service.store import _KEY_SAFE
+
+        a = FaultPlan(crash=0.1).token()
+        b = FaultPlan(crash=0.2).token()
+        assert a != b
+        assert set(a) <= _KEY_SAFE
+        assert FaultPlan(crash=0.1).token() == a  # deterministic
+
+
+class TestParseFaultSpec:
+    def test_round_trip_through_spec(self):
+        plan = FaultPlan(crash=0.1, straggler=0.2, node_loss=0.05,
+                         hdfs_read=0.3, max_task_attempts=5, seed=7)
+        assert parse_fault_spec(plan.spec()) == plan
+
+    def test_aliases(self):
+        plan = parse_fault_spec("hdfs_read=0.1,retries=6,node_loss=0.2")
+        assert plan.hdfs_read == 0.1
+        assert plan.max_task_attempts == 6
+        assert plan.node_loss == 0.2
+
+    def test_seed_override(self):
+        plan = parse_fault_spec("crash=0.1,seed=3", seed=99)
+        assert plan.seed == 99
+
+    def test_whitespace_and_empty_elements_tolerated(self):
+        plan = parse_fault_spec(" crash = 0.1 , , straggler=0.2 ")
+        assert plan.crash == 0.1
+        assert plan.straggler == 0.2
+
+    @pytest.mark.parametrize("bad", ["bogus=1", "crash", "crash=x", "crash=2.0"])
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_fault_spec(bad)

@@ -1,0 +1,201 @@
+"""Engine-level fault injection and recovery regression tests.
+
+The headline invariant under test: for any fault plan a task's retry
+budget can absorb, the *committed* execution (untagged trace records and
+job output) is identical to a fault-free run — recovery leaves evidence
+only in tagged records and the injector's stats.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import StackExecutionError
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    TAG_SPECULATIVE,
+    current_injector,
+    fault_injection,
+)
+from repro.stacks.base import ExecutionTrace, PhaseKind
+from repro.stacks.hadoop import HADOOP_1_0_2
+from repro.stacks.hdfs import Hdfs
+from repro.stacks.mapreduce import MapReduceEngine, MapReduceJob
+from repro.stacks.spark import SparkEngine
+
+pytestmark = pytest.mark.chaos
+
+WORDCOUNT = MapReduceJob(
+    name="wc",
+    mapper=lambda line: [(w, 1) for w in line.split()],
+    reducer=lambda w, counts: [(w, sum(counts))],
+)
+
+LINES = [f"alpha beta gamma-{i % 7} delta" for i in range(120)]
+
+
+def run_wordcount(plan: FaultPlan | None):
+    hdfs = Hdfs(block_records=20)
+    hdfs.put("/in", LINES)
+    engine = MapReduceEngine(hdfs)
+    trace = ExecutionTrace(HADOOP_1_0_2, "test")
+    injector = FaultInjector(plan) if plan is not None else None
+    with fault_injection(injector):
+        output = engine.run_job(WORDCOUNT, "/in", trace)
+    return output, trace, injector
+
+
+def record_key(record):
+    """Everything the measurement pipeline reads (worker may legally move)."""
+    return (
+        record.kind,
+        record.name,
+        record.records_in,
+        record.bytes_in,
+        record.records_out,
+        record.bytes_out,
+        tuple(sorted(record.details.items())),
+    )
+
+
+CHAOS_PLAN = FaultPlan(seed=11, crash=0.15, straggler=0.2, hdfs_read=0.1)
+
+
+class TestMapReduceRecovery:
+    def test_committed_trace_and_output_identical_to_fault_free(self):
+        clean_out, clean_trace, _ = run_wordcount(None)
+        chaos_out, chaos_trace, injector = run_wordcount(CHAOS_PLAN)
+        assert injector.stats.total_injected > 0, "plan injected nothing"
+        assert chaos_out == clean_out
+        assert [record_key(r) for r in chaos_trace.committed_records] == [
+            record_key(r) for r in clean_trace.records
+        ]
+
+    def test_failed_attempts_are_tagged_with_the_fault_kind(self):
+        _, trace, injector = run_wordcount(CHAOS_PLAN)
+        tags = {r.tag for r in trace.records if r.tag}
+        injected = set(injector.stats.injected)
+        for kind in injected - {"straggler"}:
+            assert f"failed:{kind}" in tags
+
+    def test_stragglers_leave_a_speculative_loser(self):
+        plan = FaultPlan(seed=2, straggler=1.0)
+        output, trace, injector = run_wordcount(plan)
+        clean_out, clean_trace, _ = run_wordcount(None)
+        assert output == clean_out
+        losers = [r for r in trace.records if r.tag == TAG_SPECULATIVE]
+        assert len(losers) > 0
+        assert injector.stats.speculative_tasks > 0
+        # Every speculated task has exactly one committed twin per record.
+        committed = Counter(record_key(r) for r in trace.committed_records)
+        for loser in losers:
+            assert committed[record_key(loser)] >= 1
+
+    def test_retry_budget_exhaustion_raises(self):
+        plan = FaultPlan(seed=0, crash=1.0, max_task_attempts=3)
+        with pytest.raises(StackExecutionError, match="retry budget exhausted"):
+            run_wordcount(plan)
+
+    def test_exhaustion_tags_every_attempt(self):
+        plan = FaultPlan(seed=0, crash=1.0, max_task_attempts=2)
+        hdfs = Hdfs(block_records=200)
+        hdfs.put("/in", LINES)
+        engine = MapReduceEngine(hdfs)
+        trace = ExecutionTrace(HADOOP_1_0_2, "test")
+        with fault_injection(FaultInjector(plan)):
+            with pytest.raises(StackExecutionError):
+                engine.run_job(WORDCOUNT, "/in", trace)
+        failed = [r for r in trace.records if r.tag.startswith("failed:")]
+        assert len(failed) >= 2  # both attempts of the first map task
+
+    def test_backoff_accounted_per_retry(self):
+        plan = FaultPlan(seed=11, crash=0.3, backoff_base_s=0.5, backoff_factor=2.0)
+        _, _, injector = run_wordcount(plan)
+        assert injector.stats.task_retries > 0
+        assert injector.stats.backoff_s >= 0.5 * injector.stats.task_retries
+
+    def test_same_plan_injects_identically(self):
+        _, _, first = run_wordcount(CHAOS_PLAN)
+        _, _, second = run_wordcount(CHAOS_PLAN)
+        assert first.stats.to_dict() == second.stats.to_dict()
+
+
+def spark_pipeline(engine, hdfs):
+    lines = engine.from_hdfs(hdfs, "/in")
+    return (
+        lines.flat_map(lambda line: line.split())
+        .map(lambda word: (word, 1))
+        .reduce_by_key(lambda a, b: a + b)
+        .sort_by(lambda kv: kv[0], num_partitions=3)
+    )
+
+
+def run_spark(plan: FaultPlan | None):
+    hdfs = Hdfs(num_nodes=4, block_records=20)
+    hdfs.put("/in", LINES)
+    engine = SparkEngine(num_workers=4)
+    trace = engine.new_trace("test")
+    injector = FaultInjector(plan) if plan is not None else None
+    with fault_injection(injector):
+        output = spark_pipeline(engine, hdfs).collect(trace)
+    return output, trace, injector
+
+
+class TestSparkRecovery:
+    def test_committed_trace_and_output_identical_to_fault_free(self):
+        clean_out, clean_trace, _ = run_spark(None)
+        chaos_out, chaos_trace, injector = run_spark(CHAOS_PLAN)
+        assert injector.stats.total_injected > 0, "plan injected nothing"
+        assert chaos_out == clean_out
+        assert [record_key(r) for r in chaos_trace.committed_records] == [
+            record_key(r) for r in clean_trace.records
+        ]
+
+    def test_join_and_cartesian_survive_faults(self):
+        def build(engine):
+            left = engine.parallelize([(i % 5, i) for i in range(40)], 4)
+            right = engine.parallelize([(i % 5, -i) for i in range(20)], 2)
+            return left.join(right, num_partitions=3)
+
+        plan = FaultPlan(seed=5, crash=0.2, straggler=0.3)
+        clean_engine = SparkEngine(num_workers=4)
+        clean = build(clean_engine).collect(clean_engine.new_trace("t"))
+        chaos_engine = SparkEngine(num_workers=4)
+        with fault_injection(FaultInjector(plan)) as injector:
+            chaos = build(chaos_engine).collect(chaos_engine.new_trace("t"))
+        assert chaos == clean
+        assert injector.stats.total_injected > 0
+
+    def test_retry_budget_exhaustion_raises(self):
+        plan = FaultPlan(seed=0, crash=1.0, max_task_attempts=2)
+        with pytest.raises(StackExecutionError, match="retry budget exhausted"):
+            run_spark(plan)
+
+
+class TestInjectorContext:
+    def test_no_injector_outside_context(self):
+        assert current_injector() is None
+        with fault_injection(FaultInjector(FaultPlan(crash=0.5))):
+            assert current_injector() is not None
+        assert current_injector() is None
+
+    def test_none_context_is_noop(self):
+        with fault_injection(None) as injector:
+            assert injector is None
+            assert current_injector() is None
+
+    def test_node_loss_never_removes_every_node(self):
+        injector = FaultInjector(FaultPlan(seed=1, node_loss=1.0))
+        lost = injector.lost_nodes(4)
+        assert len(lost) == 3  # one always survives
+        assert injector.schedule(min(lost), 4) not in lost
+
+    def test_scheduling_avoids_lost_nodes(self):
+        injector = FaultInjector(FaultPlan(seed=3, node_loss=0.5))
+        lost = injector.lost_nodes(4)
+        for preferred in range(4):
+            assert injector.schedule(preferred, 4) not in lost
+            assert injector.retry_worker(preferred, 1, 4) not in lost

@@ -112,6 +112,76 @@ def test_cancel_unknown_job(manager):
     assert manager.get("job-999999") is None
 
 
+def test_snapshot_reports_attempts_and_faults(manager):
+    job = manager.collect(("H-Grep",), timeout=120)
+    snapshot = job.snapshot()
+    assert snapshot["attempts"] == 1
+    assert snapshot["faults"] is None  # fault-free configuration
+
+
+def test_transient_failure_is_retried_with_backoff(tmp_path, monkeypatch):
+    from repro.cluster.collection import characterize_suite as real_suite
+
+    calls = {"n": 0}
+
+    def flaky(*args, **kwargs):
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise RuntimeError("transient engine failure")
+        return real_suite(*args, **kwargs)
+
+    monkeypatch.setattr(jobs_module, "characterize_suite", flaky)
+    manager = JobManager(
+        ResultStore(tmp_path), config=FAST, max_attempts=3, retry_backoff_s=0.01
+    )
+    try:
+        job = manager.collect(("H-Grep",), timeout=120)
+        assert job.state is JobState.DONE
+        assert job.attempts == 3
+        assert job.error is None
+        assert job.snapshot()["attempts"] == 3
+    finally:
+        manager.shutdown()
+
+
+def test_exhausted_retries_fail_the_job(tmp_path, monkeypatch):
+    def explode(*args, **kwargs):
+        raise RuntimeError("permanent failure")
+
+    monkeypatch.setattr(jobs_module, "characterize_suite", explode)
+    manager = JobManager(
+        ResultStore(tmp_path), config=FAST, max_attempts=2, retry_backoff_s=0.01
+    )
+    try:
+        job = manager.collect(("H-Grep",), timeout=30)
+        assert job.state is JobState.FAILED
+        assert job.attempts == 2
+        assert "permanent failure" in job.error
+    finally:
+        manager.shutdown()
+
+
+def test_faulted_collection_surfaces_a_tally(tmp_path):
+    from repro.faults import FaultPlan
+
+    config = CollectionConfig(
+        scale=0.2,
+        seed=13,
+        measurement=FAST.measurement,
+        faults=FaultPlan(seed=11, crash=0.15, straggler=0.3, hdfs_read=0.1),
+    )
+    manager = JobManager(ResultStore(tmp_path), config=config)
+    try:
+        job = manager.collect(("H-WordCount", "S-Sort"), timeout=120)
+        assert job.state is JobState.DONE
+        assert job.faults is not None
+        assert job.faults["total_injected"] > 0
+        snapshot = job.snapshot()
+        assert snapshot["faults"]["workload_attempts"] >= 2
+    finally:
+        manager.shutdown()
+
+
 def test_real_collection_honors_cancel_event():
     """The collection layer itself stops between workloads when cancelled."""
     from repro.cluster.collection import characterize_suite

@@ -158,3 +158,33 @@ class TestCharacterizationPayload:
     def test_wrong_kind_rejected(self):
         with pytest.raises(StoreError):
             characterization_from_payload({"kind": "suite"})
+
+    def test_roundtrip_preserves_recovery_fields(self):
+        from repro.faults import FaultPlan
+
+        chaotic = Cluster().characterize_workload(
+            workload_by_name("S-Grep"),
+            RunContext(scale=0.2, seed=5),
+            MeasurementConfig(slaves_measured=1, active_cores=2, ops_per_core=1200),
+            faults=FaultPlan(seed=11, crash=0.2, straggler=0.3, hdfs_read=0.1),
+        )
+        rebuilt = characterization_from_payload(
+            characterization_to_payload(chaotic)
+        )
+        assert rebuilt.attempts == chaotic.attempts
+        assert rebuilt.faults == chaotic.faults
+        assert rebuilt.run.trace.records == chaotic.run.trace.records
+        # Tagged attempt records survive the round trip verbatim.
+        tags = [r.tag for r in chaotic.run.trace.records if r.tag]
+        assert tags == [r.tag for r in rebuilt.run.trace.records if r.tag]
+
+    def test_payload_without_recovery_fields_defaults(self, characterization):
+        payload = characterization_to_payload(characterization)
+        payload.pop("attempts")
+        payload.pop("faults")
+        for record in payload["run"]["trace"]["records"]:
+            record.pop("tag")
+        rebuilt = characterization_from_payload(payload)
+        assert rebuilt.attempts == 1
+        assert rebuilt.faults is None
+        assert all(not r.tag for r in rebuilt.run.trace.records)
