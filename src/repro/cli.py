@@ -5,18 +5,23 @@ Usage (after ``pip install -e .``)::
     python -m repro list                 # the 32 workloads with metadata
     python -m repro run S-PageRank       # execute one workload, show checks
     python -m repro characterize H-Sort  # one workload's 45 metrics
+    python -m repro trace H-WordCount --out trace.json  # Chrome trace
     python -m repro experiment -o out/   # full reproduction + report bundle
     python -m repro observations         # score Observations 1-9
     python -m repro serve --port 8321    # HTTP characterization service
 
-All subcommands accept ``--scale`` and ``--seed``.  Unknown workload
-labels exit with code 2 and closest-match suggestions.
+All subcommands accept ``--scale`` and ``--seed``; the global
+``--log-level`` / ``--log-json`` flags turn on structured logging.
+Unknown workload labels exit with code 2 and closest-match suggestions.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import signal
 import sys
+import threading
 
 from repro.analysis.experiment import ExperimentConfig, run_experiment
 from repro.analysis.report import write_report
@@ -28,6 +33,7 @@ from repro.cluster import (
 from repro.errors import ConfigurationError, WorkloadError
 from repro.faults import FaultInjector, fault_injection, parse_fault_spec
 from repro.metrics import METRICS
+from repro.obs.log import configure_logging, get_logger
 from repro.workloads import SUITE, RunContext, workload_by_name
 from repro.workloads.suite import closest_workloads
 
@@ -214,9 +220,43 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.flight import FlightRecorder, flight_recording
+    from repro.obs.trace import Tracer, tracing
+
+    workload = _resolve_workload(args.workload)
+    if workload is None:
+        return EXIT_USAGE
+    plan = _fault_plan(args)
+    if isinstance(plan, int):
+        return plan
+    tracer = Tracer()
+    recorder = FlightRecorder()
+    cluster = Cluster()
+    with tracing(tracer), flight_recording(recorder):
+        characterization = cluster.characterize_workload(
+            workload,
+            RunContext(scale=args.scale, seed=args.seed),
+            _measurement(args),
+            faults=plan,
+        )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(tracer.to_chrome(), handle)
+    print(f"{workload.name}: {len(tracer)} spans -> {args.out} "
+          "(load in chrome://tracing or https://ui.perfetto.dev)")
+    print(f"flight recorder captured {len(characterization.events)} events")
+    print(f"{'span':40s} {'count':>6s} {'total ms':>10s}")
+    print("-" * 58)
+    for entry in tracer.summary(top=args.top):
+        print(f"{entry['name']:40s} {entry['count']:>6d} "
+              f"{entry['total_us'] / 1e3:>10.2f}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import ServiceConfig, serve
 
+    log = get_logger("repro.cli.serve")
     collection = _collection(args)
     if isinstance(collection, int):
         return collection
@@ -230,16 +270,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"repro characterization service on http://{host}:{port}")
     print(f"store: {server.service.store.root}")
     print(
-        "endpoints: /workloads /metrics /characterize/<name> "
-        "/suite/matrix /subset?k=K /observations /jobs"
+        "endpoints: /workloads /metrics /metrics/catalog /stats "
+        "/characterize/<name> /suite/matrix /subset?k=K /observations /jobs"
     )
+
+    def _request_shutdown(signum: int, _frame) -> None:
+        # serve_forever() runs in this (main) thread, so shutdown() must
+        # come from another thread or the handler deadlocks.
+        log.info("shutdown signal received", extra={"signal": signum})
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    try:
+        signal.signal(signal.SIGINT, _request_shutdown)
+        signal.signal(signal.SIGTERM, _request_shutdown)
+    except ValueError:  # pragma: no cover - only off the main thread
+        pass  # signals are main-thread-only; fall back to KeyboardInterrupt
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        print("\nshutting down")
+        pass
     finally:
+        print("\nshutting down")
         server.shutdown()
+        server.server_close()
         server.service.close()
+        log.info("service stopped", extra={"port": port})
     return 0
 
 
@@ -249,6 +304,17 @@ def main(argv: list[str] | None = None) -> int:
         prog="repro",
         description="Reproduction of 'Characterizing and Subsetting Big Data "
         "Workloads' (IISWC 2014)",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=("debug", "info", "warning", "error", "critical"),
+        help="enable structured logging to stderr at this level",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit logs as one JSON object per line instead of key=value",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -266,6 +332,24 @@ def main(argv: list[str] | None = None) -> int:
     _add_common(char_parser)
     _add_measurement(char_parser)
     _add_faults(char_parser)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="characterize one workload under the tracer, export Chrome trace",
+        description="Run one workload's full characterization with tracing "
+        "and the flight recorder on, write the spans as Chrome Trace Event "
+        "Format JSON (chrome://tracing / Perfetto), and print a span summary.",
+    )
+    trace_parser.add_argument("workload", help="workload label, e.g. H-WordCount")
+    trace_parser.add_argument(
+        "--out", default="trace.json", help="output trace file (Chrome JSON)"
+    )
+    trace_parser.add_argument(
+        "--top", type=int, default=10, help="span-summary rows to print"
+    )
+    _add_common(trace_parser)
+    _add_measurement(trace_parser)
+    _add_faults(trace_parser)
 
     exp_parser = subparsers.add_parser(
         "experiment", help="reproduce every figure and table"
@@ -312,10 +396,17 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     args = parser.parse_args(argv)
+    if args.log_level is not None or args.log_json:
+        # Only touch logging when asked: tests capture stdout/stderr and
+        # the default CLI output stays exactly as before.
+        configure_logging(
+            level=args.log_level or "info", json_format=args.log_json
+        )
     handlers = {
         "list": _cmd_list,
         "run": _cmd_run,
         "characterize": _cmd_characterize,
+        "trace": _cmd_trace,
         "experiment": _cmd_experiment,
         "observations": _cmd_observations,
         "serve": _cmd_serve,

@@ -35,6 +35,8 @@ from repro.core.dataset import WorkloadMetricMatrix
 from repro.errors import AnalysisError, CollectionCancelled, StackExecutionError
 from repro.faults import FaultPlan
 from repro.metrics.catalog import METRIC_NAMES
+from repro.obs.log import get_logger
+from repro.obs.trace import span as obs_span
 from repro.stacks.base import stable_hash
 from repro.workloads.base import RunContext, Workload
 from repro.workloads.suite import SUITE, workload_by_name
@@ -50,6 +52,8 @@ __all__ = [
 
 #: Progress callback signature: ``(workloads_done, workloads_total)``.
 ProgressFn = Callable[[int, int], None]
+
+_log = get_logger("repro.cluster.collection")
 
 
 @dataclass(frozen=True)
@@ -247,6 +251,11 @@ def _collect_serial(
                 config.faults, config.workload_retries,
             )
         )
+        _log.debug(
+            "workload characterized",
+            extra={"workload": workload.name,
+                   "done": len(characterizations), "total": len(workloads)},
+        )
         if progress is not None:
             progress(len(characterizations), len(workloads))
     return characterizations
@@ -391,6 +400,7 @@ def characterize_suite(
         workers = config.workers
     key = suite_store_key(config, workloads)
     if key in _MEMO:
+        _log.debug("suite memo hit", extra={"key": key})
         return _MEMO[key]
 
     store = None
@@ -399,18 +409,28 @@ def characterize_suite(
         store = ResultStore(cache_dir)
         hydrated = _hydrate_from_store(store, key, config)
         if hydrated is not None:
+            _log.info("suite hydrated from store", extra={"key": key})
             _MEMO[key] = hydrated
             return hydrated
 
     global _RUNS
     with _RUNS_LOCK:
         _RUNS += 1
-    if workers > 1 and len(workloads) > 1:
-        characterizations = _collect_parallel(
-            workloads, config, workers, progress, cancel
-        )
-    else:
-        characterizations = _collect_serial(workloads, config, progress, cancel)
+    _log.info(
+        "collecting suite",
+        extra={"key": key, "workloads": len(workloads), "workers": workers},
+    )
+    with obs_span(
+        "suite-collection", "suite", workloads=len(workloads), workers=workers
+    ):
+        if workers > 1 and len(workloads) > 1:
+            characterizations = _collect_parallel(
+                workloads, config, workers, progress, cancel
+            )
+        else:
+            characterizations = _collect_serial(
+                workloads, config, progress, cancel
+            )
 
     rows: dict[str, dict[str, float]] = {}
     for characterization in characterizations:

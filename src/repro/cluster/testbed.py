@@ -17,7 +17,7 @@ data-collection protocol end to end:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -26,6 +26,8 @@ from repro.cluster.node import Node, NodeConfig
 from repro.errors import ConfigurationError
 from repro.faults import FaultInjector, FaultPlan, fault_injection
 from repro.metrics.derivation import derive_metrics
+from repro.obs.flight import FlightRecorder, current_flight, flight_recording
+from repro.obs.trace import span as obs_span
 from repro.perf.profiler import PerfProfiler
 from repro.stacks.base import PhaseKind, stable_hash
 from repro.stacks.instrument import profiles_from_trace
@@ -75,6 +77,9 @@ class WorkloadCharacterization:
             that exhausted some task's retry budget).
         faults: Fault/recovery tally (:meth:`FaultStats.to_dict`) when
             the run executed under an active fault plan, else ``None``.
+        events: Flight-recorder events captured during the run (bounded,
+            oldest-first).  Purely observational: carries wall-clock
+            timings, so it is excluded from metric comparisons.
     """
 
     name: str
@@ -83,6 +88,7 @@ class WorkloadCharacterization:
     run: WorkloadRun
     attempts: int = 1
     faults: dict | None = None
+    events: tuple[dict, ...] = ()
 
 
 class Cluster:
@@ -122,21 +128,51 @@ class Cluster:
         context = context or RunContext()
         measurement = measurement or MeasurementConfig()
 
+        # Record into the ambient flight recorder when one is active
+        # (e.g. the service wraps whole jobs); otherwise each
+        # characterization gets its own bounded recorder.
+        recorder = current_flight() or FlightRecorder()
+
         injector: FaultInjector | None = None
         if faults is not None and faults.any_faults():
             injector = FaultInjector(faults, scope=(workload.name, fault_scope))
-        with fault_injection(injector):
-            run = workload.run(context)
+        with flight_recording(recorder), obs_span(
+            f"workload:{workload.name}", "workload",
+            family=workload.family.value,
+        ):
+            recorder.record("workload-start", workload=workload.name)
+            with fault_injection(injector), obs_span(
+                f"run:{workload.name}", "run"
+            ):
+                run = workload.run(context)
 
+            characterization = self._measure(
+                workload, context, measurement, injector, run
+            )
+        recorder.record("workload-done", workload=workload.name)
+        return replace(characterization, events=tuple(recorder.snapshot()))
+
+    def _measure(
+        self,
+        workload: Workload,
+        context: RunContext,
+        measurement: MeasurementConfig,
+        injector: FaultInjector | None,
+        run: WorkloadRun,
+    ) -> WorkloadCharacterization:
+        """Steps 2-5 of the protocol: instrument, simulate, observe, derive."""
         committed = run.trace.committed_records
         actual_input = max((record.bytes_in for record in committed), default=1)
         footprint_scale = max(1.0, workload.declared_bytes / max(1, actual_input))
-        profiles = profiles_from_trace(
-            run.trace,
-            workload.hints,
-            num_workers=self.NUM_SLAVES,
-            footprint_scale=footprint_scale,
-        )
+        with obs_span(
+            f"instrument:{workload.name}", "measure", phases=len(committed)
+        ):
+            profiles = profiles_from_trace(
+                run.trace,
+                workload.hints,
+                num_workers=self.NUM_SLAVES,
+                footprint_scale=footprint_scale,
+            )
 
         # Account shuffle traffic on the interconnect (committed transfers
         # only; a killed attempt's half-done fetches are not re-counted).
@@ -161,15 +197,20 @@ class Cluster:
             rng = np.random.default_rng(
                 stable_hash((workload.name, context.seed, slave_index))
             )
-            true_events = slave.processor.run_workload(
-                profiles,
-                rng,
-                active_cores=measurement.active_cores,
-                ops_per_core=measurement.ops_per_core,
-                warmup_fraction=measurement.warmup_fraction,
-            )
-            observed = profiler.profile(true_events, rng, repeats=measurement.perf_repeats)
-            per_slave.append(derive_metrics(observed.counts))
+            with obs_span(
+                f"simulate:{workload.name}:slave-{slave_index}", "measure"
+            ):
+                true_events = slave.processor.run_workload(
+                    profiles,
+                    rng,
+                    active_cores=measurement.active_cores,
+                    ops_per_core=measurement.ops_per_core,
+                    warmup_fraction=measurement.warmup_fraction,
+                )
+                observed = profiler.profile(
+                    true_events, rng, repeats=measurement.perf_repeats
+                )
+                per_slave.append(derive_metrics(observed.counts))
 
         mean_metrics = {
             name: float(np.mean([slave[name] for slave in per_slave]))

@@ -23,8 +23,20 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.faults.plan import FaultKind, FaultPlan
+from repro.obs import flight
+from repro.obs.log import get_logger
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import instant as trace_instant
 
 __all__ = ["FaultStats", "FaultInjector", "current_injector", "fault_injection"]
+
+_log = get_logger("repro.faults.injector")
+
+_FAULTS_INJECTED = REGISTRY.counter(
+    "repro_faults_injected_total",
+    "Faults injected into task attempts, by kind",
+    ("kind",),
+)
 
 
 def _stable_hash(value: object) -> int:
@@ -55,6 +67,8 @@ class FaultStats:
 
     def note(self, kind: FaultKind) -> None:
         self.injected[kind.value] = self.injected.get(kind.value, 0) + 1
+        _FAULTS_INJECTED.inc(kind=kind.value)
+        trace_instant(f"fault:{kind.value}", "fault")
 
     @property
     def total_injected(self) -> int:
@@ -147,6 +161,14 @@ class FaultInjector:
         self._lost[num_nodes] = result
         for _ in result:
             self.stats.note(FaultKind.NODE_LOSS)
+        if result:
+            _log.warning(
+                "node loss injected",
+                extra={"lost_nodes": sorted(result), "num_nodes": num_nodes},
+            )
+            flight.record(
+                "node-loss", nodes=sorted(result), num_nodes=num_nodes
+            )
         self.stats.lost_nodes = tuple(
             sorted(set(self.stats.lost_nodes) | result)
         )

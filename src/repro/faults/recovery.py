@@ -36,6 +36,10 @@ from typing import TYPE_CHECKING
 
 from repro.errors import StackExecutionError
 from repro.faults.injector import current_injector
+from repro.obs import flight
+from repro.obs.log import get_logger
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span as obs_span
 
 if TYPE_CHECKING:  # imported lazily at runtime: the stacks package
     # imports this module from its engines, so a module-level import
@@ -46,6 +50,32 @@ __all__ = ["TAG_SPECULATIVE", "TaskRecorder", "run_task"]
 
 #: Tag on the losing (slow) attempt of a speculatively-executed task.
 TAG_SPECULATIVE = "speculative"
+
+_log = get_logger("repro.faults.recovery")
+
+_TASKS_STARTED = REGISTRY.counter(
+    "repro_tasks_started_total",
+    "Logical tasks entering the fault-recovery boundary",
+)
+_TASK_RETRIES = REGISTRY.counter(
+    "repro_task_retries_total",
+    "Task attempts re-executed after an injected fault",
+)
+_TASKS_FAILED = REGISTRY.counter(
+    "repro_tasks_failed_total",
+    "Tasks whose per-task retry budget was exhausted",
+)
+_TASKS_SPECULATED = REGISTRY.counter(
+    "repro_speculative_tasks_total",
+    "Straggling tasks that ran a winning speculative duplicate",
+)
+#: Same series the trace layer increments — registration is idempotent,
+#: so both modules share one counter without an import cycle.
+_PHASE_RECORDS = REGISTRY.counter(
+    "repro_stack_phase_records_total",
+    "Phase records emitted by the stack engines, by phase kind",
+    ("kind",),
+)
 
 
 class TaskRecorder:
@@ -71,6 +101,7 @@ class TaskRecorder:
     ) -> None:
         from repro.stacks.base import PhaseRecord
 
+        _PHASE_RECORDS.inc(kind=kind.value)
         self.records.append(
             PhaseRecord(
                 kind=kind,
@@ -114,9 +145,11 @@ def run_task(
         StackExecutionError: When the task's attempt budget is exhausted.
     """
     injector = current_injector()
+    _TASKS_STARTED.inc()
     if injector is None or not injector.plan.any_faults():
         recorder = TaskRecorder()
-        result = body(recorder, worker)
+        with obs_span(f"task:{name}", "task", worker=worker):
+            result = body(recorder, worker)
         for record in recorder.records:
             trace.add(record)
         return result
@@ -126,19 +159,44 @@ def run_task(
     attempt = 1
     while True:
         recorder = TaskRecorder()
-        result = body(recorder, worker)
+        with obs_span(f"task:{name}", "task", worker=worker, attempt=attempt):
+            result = body(recorder, worker)
         fault = injector.task_fault(key, attempt, reads_hdfs=reads_hdfs)
         if fault is None:
             break
         for record in recorder.records:
             trace.add(replace(record, tag=f"failed:{fault.value}"))
+        flight.record(
+            "task-fault",
+            task=name,
+            serial=key[1],
+            attempt=attempt,
+            fault=fault.value,
+            worker=worker,
+        )
         if attempt >= injector.plan.max_task_attempts:
+            _TASKS_FAILED.inc()
+            _log.error(
+                "task retry budget exhausted",
+                extra={"task": name, "serial": key[1], "attempts": attempt,
+                       "fault": fault.value},
+            )
+            flight.record(
+                "task-failed", task=name, serial=key[1], attempts=attempt,
+                fault=fault.value,
+            )
             raise StackExecutionError(
                 f"task {name}#{key[1]}: {fault.value} persisted through "
                 f"{attempt} attempts (retry budget exhausted)"
             )
         injector.note_retry(attempt)
+        _TASK_RETRIES.inc()
         worker = injector.retry_worker(worker, attempt, num_nodes)
+        _log.warning(
+            "task attempt faulted, retrying",
+            extra={"task": name, "serial": key[1], "attempt": attempt,
+                   "fault": fault.value, "retry_worker": worker},
+        )
         attempt += 1
 
     if injector.is_straggler(key):
@@ -146,8 +204,21 @@ def run_task(
         for record in recorder.records:
             trace.add(replace(record, tag=TAG_SPECULATIVE))
         backup = injector.speculative_worker(worker, num_nodes)
+        _TASKS_SPECULATED.inc()
+        _log.info(
+            "straggler speculated",
+            extra={"task": name, "serial": key[1], "slow_worker": worker,
+                   "backup_worker": backup},
+        )
+        flight.record(
+            "task-speculated", task=name, serial=key[1], slow_worker=worker,
+            backup_worker=backup,
+        )
         recorder = TaskRecorder()
-        result = body(recorder, backup)
+        with obs_span(
+            f"task:{name}", "task", worker=backup, speculative=True
+        ):
+            result = body(recorder, backup)
 
     for record in recorder.records:
         trace.add(record)

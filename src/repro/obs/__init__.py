@@ -1,0 +1,58 @@
+"""The observability plane: tracing, metrics, logging, flight recording.
+
+``repro.obs`` is the dependency-free subsystem every other layer reports
+into.  It never *drives* execution — nothing here consumes randomness,
+schedules work, or mutates engine state — so enabling any of it cannot
+perturb the 45-metric matrix: a traced run is bit-identical to an
+untraced one.
+
+Four pillars, one module each:
+
+- :mod:`repro.obs.trace` — structured spans on a monotonic clock,
+  exported as Chrome-trace JSON (``chrome://tracing`` / Perfetto).
+  Disabled by default: the ambient tracer is ``None`` and the
+  :func:`~repro.obs.trace.span` helper returns a shared null context,
+  so instrumented code pays one ``ContextVar.get`` when tracing is off.
+- :mod:`repro.obs.metrics` — counters, gauges and histograms in a
+  process-wide registry, rendered in Prometheus text exposition format
+  by ``GET /metrics`` and as JSON by ``GET /stats``.
+- :mod:`repro.obs.log` — stdlib ``logging`` configured with a
+  ``key=value`` (or JSON) formatter; the CLI's ``--log-level`` /
+  ``--log-json`` flags land here.
+- :mod:`repro.obs.flight` — a bounded ring buffer of recent
+  span/fault/job events, attached to characterizations (store schema
+  v4) and job snapshots so "why was this run slow" is answerable from
+  the persisted artifact alone.
+
+:mod:`repro.obs.stats` carries the timing/percentile helpers the
+benchmark harnesses share.
+"""
+
+from repro.obs.flight import FlightRecorder, current_flight, flight_recording, record
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import Tracer, current_tracer, span, tracing
+
+__all__ = [
+    "Tracer",
+    "current_tracer",
+    "span",
+    "tracing",
+    "REGISTRY",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "configure_logging",
+    "get_logger",
+    "FlightRecorder",
+    "current_flight",
+    "flight_recording",
+    "record",
+]

@@ -1,0 +1,115 @@
+"""The flight recorder: a bounded ring buffer of recent run events.
+
+While a workload characterizes (or a job runs), the layers below record
+compact events — task retries, injected faults, speculative twins, phase
+milestones — into the ambient :class:`FlightRecorder`.  The last
+``capacity`` events are attached to the resulting characterization and
+persisted with it (store schema v4), so "why was this run slow or
+degraded" is answerable from the stored artifact without re-running
+anything.
+
+Events are JSON-safe dicts::
+
+    {"seq": 17, "t_ms": 142.7, "kind": "task-retry",
+     "task": "map:wordcount", "attempt": 2, "fault": "task-crash"}
+
+``seq`` is a monotone sequence number (gaps reveal ring overflow) and
+``t_ms`` is milliseconds since the recorder started, on the monotonic
+clock.  Like the tracer, the recorder is ambient and purely
+observational — recording never perturbs execution, so the 45-metric
+matrix is identical with or without one active.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import threading
+import time
+from collections import deque
+from collections.abc import Iterator
+
+__all__ = [
+    "FlightRecorder",
+    "current_flight",
+    "flight_recording",
+    "record",
+]
+
+#: Default ring capacity — enough for a chaotic run's full retry story
+#: while keeping a stored characterization's event payload small.
+DEFAULT_CAPACITY = 256
+
+
+class FlightRecorder:
+    """A thread-safe ring buffer of recent events."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._events: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._start_ns = time.perf_counter_ns()
+
+    def record(self, kind: str, **fields) -> None:
+        """Append one event; the oldest event falls off a full ring."""
+        t_ms = (time.perf_counter_ns() - self._start_ns) / 1e6
+        with self._lock:
+            self._seq += 1
+            self._events.append(
+                {"seq": self._seq, "t_ms": round(t_ms, 3), "kind": kind, **fields}
+            )
+
+    def snapshot(self) -> list[dict]:
+        """The buffered events, oldest first (copies, JSON-safe)."""
+        with self._lock:
+            return [dict(event) for event in self._events]
+
+    @property
+    def total_recorded(self) -> int:
+        """Events recorded over the recorder's lifetime (ring may hold fewer)."""
+        with self._lock:
+            return self._seq
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+#: The ambient recorder the engine/fault/job layers report into.
+_ACTIVE: contextvars.ContextVar[FlightRecorder | None] = contextvars.ContextVar(
+    "repro_flight_recorder", default=None
+)
+
+
+def current_flight() -> FlightRecorder | None:
+    """The active recorder, or ``None`` when nothing is recording."""
+    return _ACTIVE.get()
+
+
+@contextlib.contextmanager
+def flight_recording(
+    recorder: FlightRecorder | None,
+) -> Iterator[FlightRecorder | None]:
+    """Activate ``recorder`` for the enclosed execution (``None`` = no-op)."""
+    if recorder is None:
+        yield None
+        return
+    token = _ACTIVE.set(recorder)
+    try:
+        yield recorder
+    finally:
+        _ACTIVE.reset(token)
+
+
+def record(kind: str, **fields) -> None:
+    """Record on the ambient recorder; no-op (one ContextVar.get) without one."""
+    recorder = _ACTIVE.get()
+    if recorder is not None:
+        recorder.record(kind, **fields)

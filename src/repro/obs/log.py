@@ -1,0 +1,145 @@
+"""Structured logging for the repro library.
+
+Configures the stdlib ``logging`` tree under the ``"repro"`` root with a
+``key=value`` (logfmt-style) formatter, or line-delimited JSON with
+``json_format=True`` — the CLI's ``--log-level`` / ``--log-json`` flags
+call :func:`configure_logging` before dispatching a subcommand.
+
+Library modules obtain loggers through :func:`get_logger` and attach
+structured context via the stdlib ``extra`` mechanism::
+
+    log = get_logger(__name__)
+    log.warning("task retried", extra={"task": name, "attempt": attempt})
+
+renders as::
+
+    ts=2026-08-06T12:00:00.123Z level=warning logger=repro.faults.recovery \
+        msg="task retried" task=map:wordcount attempt=2
+
+Unconfigured (the library default), the tree carries a ``NullHandler``
+so importing repro never writes to stderr — not even WARNING records via
+the stdlib's last-resort handler.  Records still propagate to the root
+logger for applications that configure their own handlers there.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+
+__all__ = ["configure_logging", "get_logger", "KeyValueFormatter", "JsonFormatter"]
+
+# Standard library practice: a library never emits to stderr unless its
+# user asked.  The NullHandler suppresses logging.lastResort for the
+# whole "repro" tree while leaving propagation to the root logger alone.
+logging.getLogger("repro").addHandler(logging.NullHandler())
+
+#: Attributes every LogRecord carries; anything else came in via ``extra``.
+_STANDARD_ATTRS = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+def _extra_fields(record: logging.LogRecord) -> dict:
+    return {
+        key: value
+        for key, value in record.__dict__.items()
+        if key not in _STANDARD_ATTRS and not key.startswith("_")
+    }
+
+
+def _format_ts(created: float) -> str:
+    base = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(created))
+    return f"{base}.{int((created % 1) * 1000):03d}Z"
+
+
+def _quote(value: object) -> str:
+    text = str(value)
+    if text == "" or any(c in text for c in ' "=\n'):
+        return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+    return text
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``ts=... level=... logger=... msg="..." key=value ...`` lines."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        parts = [
+            f"ts={_format_ts(record.created)}",
+            f"level={record.levelname.lower()}",
+            f"logger={record.name}",
+            f"msg={_quote(record.getMessage())}",
+        ]
+        for key, value in sorted(_extra_fields(record).items()):
+            parts.append(f"{key}={_quote(value)}")
+        if record.exc_info:
+            parts.append(f"exc={_quote(self.formatException(record.exc_info))}")
+        return " ".join(parts)
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line, stable key order."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": _format_ts(record.created),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in sorted(_extra_fields(record).items()):
+            try:
+                json.dumps(value)
+                payload[key] = value
+            except (TypeError, ValueError):
+                payload[key] = str(value)
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=False)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger inside the ``repro`` tree (``repro.service.jobs``, ...)."""
+    if name == "repro" or name.startswith("repro."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")
+
+
+def configure_logging(
+    level: str = "info",
+    json_format: bool = False,
+    stream=None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger tree; idempotent.
+
+    Args:
+        level: Case-insensitive level name ("debug", "info", "warning",
+            "error", "critical").
+        json_format: Emit line-delimited JSON instead of key=value.
+        stream: Output stream (default ``sys.stderr``).
+
+    Returns:
+        The configured ``"repro"`` root logger.
+
+    Raises:
+        ValueError: On an unknown level name.
+    """
+    numeric = logging.getLevelName(level.upper())
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    root = logging.getLogger("repro")
+    root.setLevel(numeric)
+    formatter = JsonFormatter() if json_format else KeyValueFormatter()
+    # Replace our own handlers only (re-configuration switches format or
+    # level without stacking duplicate handlers).
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(formatter)
+    handler._repro_obs = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.propagate = False
+    return root

@@ -1,0 +1,337 @@
+"""Runtime metrics: counters, gauges and histograms in one registry.
+
+The stacks, fault, store and job layers register metrics at import time
+and update them as they work; the service renders the process-wide
+:data:`REGISTRY` in Prometheus text exposition format (``GET /metrics``)
+and as structured JSON (``GET /stats``).
+
+Everything is standard library and thread-safe: one lock per metric,
+plain dicts keyed by label-value tuples.  Updates from the job manager's
+worker threads, the HTTP handler threads and the engines all land
+exactly (no lost updates) — a property the test suite hammers.
+
+Naming follows the Prometheus conventions: ``repro_<noun>_total`` for
+counters, ``repro_<noun>`` for gauges, ``repro_<noun>_seconds`` for
+latency histograms.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_BUCKETS",
+]
+
+#: Latency buckets (seconds) covering sub-millisecond request serving up
+#: to multi-minute collections.
+DEFAULT_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+    60.0,
+    300.0,
+)
+
+_NO_LABELS = ()
+
+
+def _label_key(
+    labelnames: tuple[str, ...], labels: dict[str, object]
+) -> tuple[str, ...]:
+    if tuple(sorted(labels)) != tuple(sorted(labelnames)):
+        raise ConfigurationError(
+            f"expected labels {labelnames}, got {tuple(labels)}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+def _render_labels(labelnames: tuple[str, ...], key: tuple[str, ...]) -> str:
+    if not labelnames:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape(value)}"' for name, value in zip(labelnames, key)
+    )
+    return "{" + pairs + "}"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integers render bare, floats as repr."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class _Metric:
+    """Shared plumbing: name, help, labels, per-metric lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: tuple[str, ...] = ()):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _header(self) -> list[str]:
+        return [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+
+class Counter(_Metric):
+    """A monotonically increasing count, optionally labelled."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, labelnames: tuple[str, ...] = ()):
+        super().__init__(name, help, labelnames)
+        self._values: dict[tuple[str, ...], float] = (
+            {} if labelnames else {_NO_LABELS: 0.0}
+        )
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ConfigurationError(f"{self.name}: counters only go up")
+        key = _label_key(self.labelnames, labels) if labels or self.labelnames else _NO_LABELS
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        key = _label_key(self.labelnames, labels) if labels or self.labelnames else _NO_LABELS
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def render(self) -> list[str]:
+        lines = self._header()
+        with self._lock:
+            items = sorted(self._values.items())
+        for key, value in items:
+            lines.append(
+                f"{self.name}{_render_labels(self.labelnames, key)}"
+                f" {_format_value(value)}"
+            )
+        return lines
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            items = sorted(self._values.items())
+        if not self.labelnames:
+            return {"type": self.kind, "value": items[0][1] if items else 0.0}
+        return {
+            "type": self.kind,
+            "values": {
+                ",".join(f"{n}={v}" for n, v in zip(self.labelnames, key)): value
+                for key, value in items
+            },
+        }
+
+
+class Gauge(Counter):
+    """A value that can go up and down (queue depth, store entries)."""
+
+    kind = "gauge"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:  # noqa: D102
+        key = _label_key(self.labelnames, labels) if labels or self.labelnames else _NO_LABELS
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def set(self, value: float, **labels) -> None:
+        key = _label_key(self.labelnames, labels) if labels or self.labelnames else _NO_LABELS
+        with self._lock:
+            self._values[key] = float(value)
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram with sum/count, Prometheus-style.
+
+    ``observe`` places a value into fixed upper-bound buckets;
+    :meth:`quantile` estimates percentiles from the bucket counts by
+    linear interpolation (what ``/stats`` reports as p50/p95/p99).
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help, ())
+        if not buckets or tuple(sorted(buckets)) != tuple(buckets):
+            raise ConfigurationError(f"{self.name}: buckets must be ascending")
+        self.buckets = tuple(float(b) for b in buckets)
+        self._counts = [0] * (len(self.buckets) + 1)  # last = +Inf overflow
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0..1) from bucket counts."""
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            total = self._count
+            counts = list(self._counts)
+        if total == 0:
+            return 0.0
+        rank = q * total
+        cumulative = 0
+        lower = 0.0
+        for index, count in enumerate(counts):
+            upper = (
+                self.buckets[index]
+                if index < len(self.buckets)
+                else self.buckets[-1]
+            )
+            if cumulative + count >= rank and count > 0:
+                fraction = (rank - cumulative) / count
+                return lower + (upper - lower) * min(1.0, max(0.0, fraction))
+            cumulative += count
+            lower = upper
+        return self.buckets[-1]
+
+    def render(self) -> list[str]:
+        lines = self._header()
+        with self._lock:
+            counts = list(self._counts)
+            total_sum = self._sum
+            total_count = self._count
+        cumulative = 0
+        for index, bound in enumerate(self.buckets):
+            cumulative += counts[index]
+            lines.append(
+                f'{self.name}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+            )
+        cumulative += counts[-1]
+        lines.append(f'{self.name}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{self.name}_sum {repr(round(total_sum, 9))}")
+        lines.append(f"{self.name}_count {total_count}")
+        return lines
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            total_sum = self._sum
+            total_count = self._count
+        return {
+            "type": self.kind,
+            "count": total_count,
+            "sum": round(total_sum, 9),
+            "p50": round(self.quantile(0.50), 9),
+            "p95": round(self.quantile(0.95), 9),
+            "p99": round(self.quantile(0.99), 9),
+        }
+
+
+class MetricsRegistry:
+    """A named collection of metrics with idempotent registration.
+
+    ``counter``/``gauge``/``histogram`` return the existing instance when
+    the name is already registered (module reloads and test reimports
+    must not double-register), raising only on a kind mismatch.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _register(self, cls, name: str, *args, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or type(existing) is not cls:
+                    raise ConfigurationError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}"
+                    )
+                return existing
+            metric = cls(name, *args, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help: str, labelnames: tuple[str, ...] = ()
+    ) -> Counter:
+        return self._register(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str, labelnames: tuple[str, ...] = ()
+    ) -> Gauge:
+        return self._register(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram, name, help, buckets)
+
+    def get(self, name: str) -> _Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._metrics))
+
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format 0.0.4."""
+        lines: list[str] = []
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        for metric in metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> dict:
+        """JSON-safe view of every metric (what ``/stats`` serves)."""
+        with self._lock:
+            metrics = [
+                (name, self._metrics[name]) for name in sorted(self._metrics)
+            ]
+        return {name: metric.snapshot() for name, metric in metrics}
+
+
+#: The process-wide registry every layer reports into.
+REGISTRY = MetricsRegistry()

@@ -22,6 +22,20 @@ from repro.errors import ServiceError
 __all__ = ["ServiceClient"]
 
 
+def _service_error(message: str, status: int, payload: dict) -> ServiceError:
+    """A :class:`ServiceError` carrying the server's full error context.
+
+    The HTTP status and the decoded JSON error payload (including extras
+    like ``suggestions``) ride on the exception as ``.status`` and
+    ``.payload`` so callers can react programmatically instead of
+    parsing the message.
+    """
+    error = ServiceError(message)
+    error.status = status
+    error.payload = dict(payload)
+    return error
+
+
 class ServiceClient:
     """JSON client with an ETag cache, one instance per base URL."""
 
@@ -43,6 +57,9 @@ class ServiceClient:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 body = response.read()
                 etag = (response.headers.get("ETag") or "").strip('"')
+                content_type = response.headers.get("Content-Type", "")
+                if not content_type.startswith("application/json"):
+                    return body.decode("utf-8")
                 payload = json.loads(body) if body else None
                 if method == "GET" and etag:
                     self._cache[path] = (etag, payload)
@@ -50,14 +67,23 @@ class ServiceClient:
         except urllib.error.HTTPError as error:
             if error.code == 304 and cached is not None:
                 return cached[1]
-            detail = ""
+            payload: dict = {}
             try:
-                detail = json.loads(error.read()).get("error", "")
+                decoded = json.loads(error.read())
+                if isinstance(decoded, dict):
+                    payload = decoded
             except (json.JSONDecodeError, AttributeError, ValueError):
                 pass
-            raise ServiceError(
-                f"{method} {path} -> {error.code}: {detail or error.reason}"
-            ) from error
+            detail = payload.get("error") or error.reason
+            extras = ", ".join(
+                f"{key}={value!r}"
+                for key, value in sorted(payload.items())
+                if key != "error"
+            )
+            message = f"{method} {path} -> {error.code}: {detail}"
+            if extras:
+                message += f" ({extras})"
+            raise _service_error(message, error.code, payload) from error
         except urllib.error.URLError as error:
             raise ServiceError(f"{method} {path}: {error.reason}") from error
 
@@ -70,7 +96,16 @@ class ServiceClient:
         return self._request("/workloads")
 
     def metrics(self) -> list[dict]:
+        """The 45 Table II metric specs (the characterization catalog)."""
+        return self._request("/metrics/catalog")
+
+    def runtime_metrics(self) -> str:
+        """The service's runtime metrics as Prometheus exposition text."""
         return self._request("/metrics")
+
+    def stats(self) -> dict:
+        """Runtime metrics + store/job state as JSON."""
+        return self._request("/stats")
 
     def characterize(self, name: str, wait: bool = True) -> dict:
         """One workload's full characterization (or a job snapshot if

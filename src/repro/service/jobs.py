@@ -34,11 +34,35 @@ from repro.cluster.collection import (
     suite_store_key,
 )
 from repro.errors import CollectionCancelled, ServiceError
+from repro.obs.log import get_logger
+from repro.obs.metrics import REGISTRY
 from repro.service.store import ResultStore
 from repro.workloads.base import Workload
 from repro.workloads.suite import workload_by_name
 
 __all__ = ["JobState", "Job", "JobManager"]
+
+_log = get_logger("repro.service.jobs")
+
+_JOBS_SUBMITTED = REGISTRY.counter(
+    "repro_jobs_submitted_total", "Collection jobs created by the manager"
+)
+_JOBS_DEDUPED = REGISTRY.counter(
+    "repro_jobs_deduplicated_total",
+    "Submissions that attached to a live identical job (single-flight)",
+)
+_JOBS_COMPLETED = REGISTRY.counter(
+    "repro_jobs_completed_total",
+    "Jobs reaching a terminal state, by final state",
+    ("state",),
+)
+_JOBS_LIVE = REGISTRY.gauge(
+    "repro_jobs_live", "Jobs currently queued or running"
+)
+_JOB_SECONDS = REGISTRY.histogram(
+    "repro_job_duration_seconds",
+    "Wall time from job creation to its terminal state",
+)
 
 
 class JobState(enum.Enum):
@@ -105,8 +129,16 @@ class Job:
     etag: str | None = None
     created_s: float = field(default_factory=time.time)
     finished_s: float | None = None
+    #: Lifecycle flight log: state transitions and retries, in order,
+    #: each ``{"t_s": <unix time>, "event": ..., **detail}``.
+    events: list = field(default_factory=list)
     _done: threading.Event = field(default_factory=threading.Event, repr=False)
     _cancel: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def note(self, event: str, **detail) -> None:
+        """Append one lifecycle event (caller holds the manager lock or
+        is the single worker thread driving this job)."""
+        self.events.append({"t_s": round(time.time(), 3), "event": event, **detail})
 
     def snapshot(self) -> dict:
         """A JSON-safe view of the job (what ``/jobs/<id>`` serves)."""
@@ -125,6 +157,7 @@ class Job:
             "etag": self.etag,
             "created_s": self.created_s,
             "finished_s": self.finished_s,
+            "events": [dict(event) for event in self.events],
         }
 
     def wait(self, timeout: float | None = None) -> bool:
@@ -197,6 +230,11 @@ class JobManager:
         with self._lock:
             live = self._by_key.get(key)
             if live is not None and live.state in _LIVE:
+                _JOBS_DEDUPED.inc()
+                _log.debug(
+                    "submission joined live job",
+                    extra={"job": live.id, "key": key},
+                )
                 return live
             self._counter += 1
             job = Job(
@@ -205,8 +243,15 @@ class JobManager:
                 workloads=tuple(w.name for w in workloads),
                 total_workloads=len(workloads),
             )
+            job.note("queued")
             self._jobs[job.id] = job
             self._by_key[key] = job
+        _JOBS_SUBMITTED.inc()
+        _JOBS_LIVE.inc()
+        _log.info(
+            "job submitted",
+            extra={"job": job.id, "workloads": len(workloads), "key": key},
+        )
         self._executor.submit(self._run, job, workloads)
         return job
 
@@ -258,6 +303,7 @@ class JobManager:
                 self._finish(job, JobState.CANCELLED)
                 return
             job.state = JobState.RUNNING
+            job.note("running")
 
         def progress(done: int, total: int) -> None:
             job.done_workloads = done
@@ -280,12 +326,24 @@ class JobManager:
                 return
             except Exception as exc:  # a failed job must never kill its thread
                 job.error = f"{type(exc).__name__}: {exc}"
+                job.note("attempt-failed", attempt=job.attempts, error=job.error)
                 if job.attempts >= self.max_attempts:
+                    _log.error(
+                        "job failed",
+                        extra={"job": job.id, "attempts": job.attempts,
+                               "error": job.error},
+                    )
                     with self._lock:
                         self._finish(job, JobState.FAILED)
                     return
                 # Exponential backoff, interruptible by cancellation.
                 backoff = self.retry_backoff_s * 2 ** (job.attempts - 1)
+                _log.warning(
+                    "job attempt failed, retrying",
+                    extra={"job": job.id, "attempt": job.attempts,
+                           "backoff_s": backoff, "error": job.error},
+                )
+                job.note("retrying", attempt=job.attempts, backoff_s=backoff)
                 if job._cancel.wait(backoff):
                     with self._lock:
                         self._finish(job, JobState.CANCELLED)
@@ -303,6 +361,15 @@ class JobManager:
         """Terminal transition (caller holds the lock)."""
         job.state = state
         job.finished_s = time.time()
+        job.note(state.value)
+        _JOBS_COMPLETED.inc(state=state.value)
+        _JOBS_LIVE.dec()
+        _JOB_SECONDS.observe(job.finished_s - job.created_s)
+        _log.info(
+            "job finished",
+            extra={"job": job.id, "state": state.value,
+                   "duration_s": round(job.finished_s - job.created_s, 3)},
+        )
         if self._by_key.get(job.key) is job:
             # Drop the single-flight registration: the next identical
             # request hits the memo/store fast path (or retries a

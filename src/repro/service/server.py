@@ -5,7 +5,9 @@ reproduction as a JSON service::
 
     GET  /                      service info + endpoint table
     GET  /workloads             the suite's Table I metadata
-    GET  /metrics               the 45 Table II metric specs
+    GET  /metrics               runtime metrics (Prometheus text format)
+    GET  /metrics/catalog       the 45 Table II metric specs
+    GET  /stats                 runtime metrics + store/job state as JSON
     GET  /characterize/<name>   one workload's full characterization
     GET  /suite/matrix          the workload × metric matrix
     GET  /subset?k=K            K-means representative subset (Table V)
@@ -34,6 +36,7 @@ import hashlib
 import json
 import tempfile
 import threading
+import time
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
@@ -47,6 +50,8 @@ from repro.cluster.collection import (
 from repro.core.subsetting import subset_workloads
 from repro.errors import ReproError, ServiceError, WorkloadError
 from repro.metrics.catalog import METRICS
+from repro.obs.log import get_logger
+from repro.obs.metrics import REGISTRY
 from repro.service.jobs import JobManager, JobState
 from repro.service.store import ResultStore, resolve_cache_dir
 from repro.workloads.base import Workload
@@ -55,6 +60,19 @@ from repro.workloads.suite import SUITE, closest_workloads, workload_by_name
 __all__ = ["ServiceConfig", "CharacterizationService", "serve"]
 
 _JSON = "application/json"
+_PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
+
+_log = get_logger("repro.service.server")
+
+_HTTP_REQUESTS = REGISTRY.counter(
+    "repro_http_requests_total",
+    "HTTP requests served, by endpoint (first path segment) and status",
+    ("endpoint", "status"),
+)
+_HTTP_SECONDS = REGISTRY.histogram(
+    "repro_http_request_seconds",
+    "Wall time spent handling one HTTP request",
+)
 
 
 @dataclass(frozen=True)
@@ -138,7 +156,11 @@ class CharacterizationService:
         if parts == ["workloads"]:
             return self._workloads()
         if parts == ["metrics"]:
-            return self._metrics()
+            return self._runtime_metrics()
+        if parts == ["metrics", "catalog"]:
+            return self._metric_catalog()
+        if parts == ["stats"]:
+            return self._stats()
         if len(parts) == 2 and parts[0] == "characterize":
             wait = query.get("wait", ["1"])[0] not in ("0", "false", "no")
             return self._characterize(parts[1], wait=wait)
@@ -179,6 +201,8 @@ class CharacterizationService:
                 "endpoints": [
                     "/workloads",
                     "/metrics",
+                    "/metrics/catalog",
+                    "/stats",
                     "/characterize/<name>",
                     "/suite/matrix",
                     "/subset?k=K",
@@ -203,7 +227,7 @@ class CharacterizationService:
             ]
         )
 
-    def _metrics(self) -> _Response:
+    def _metric_catalog(self) -> _Response:
         return _computed(
             [
                 {
@@ -215,6 +239,44 @@ class CharacterizationService:
                 }
                 for spec in METRICS
             ]
+        )
+
+    def _runtime_metrics(self) -> _Response:
+        """The process's runtime metrics in Prometheus text format.
+
+        No ETag: the body changes with every observation, and scrapers
+        poll unconditionally anyway.
+        """
+        text = REGISTRY.render_prometheus()
+        return _Response(200, text.encode("utf-8"), content_type=_PROMETHEUS)
+
+    def _stats(self) -> _Response:
+        """Runtime metrics plus store/job state as one JSON document."""
+        jobs = [job.snapshot() for job in self.jobs.jobs()]
+        return _Response(
+            200,
+            _dumps(
+                {
+                    "metrics": REGISTRY.snapshot(),
+                    "store": {
+                        "entries": len(self.store),
+                        "bytes": self.store.total_bytes(),
+                        "root": str(self.store.root),
+                    },
+                    "jobs": {
+                        "total": len(jobs),
+                        "live": sum(
+                            1 for j in jobs
+                            if j["state"] in ("queued", "running")
+                        ),
+                        "recent_events": [
+                            event
+                            for job in jobs[-5:]
+                            for event in job["events"]
+                        ][-50:],
+                    },
+                }
+            ),
         )
 
     def _resolve(self, name: str) -> Workload:
@@ -419,6 +481,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         split = urlsplit(self.path)
+        started = time.perf_counter()
         try:
             if method == "GET":
                 response = self.service.handle_get(
@@ -431,9 +494,25 @@ class _Handler(BaseHTTPRequestHandler):
         except ReproError as exc:
             response = _Response(400, _dumps({"error": str(exc)}))
         except Exception as exc:  # pragma: no cover - defensive
+            _log.error(
+                "unhandled error serving request",
+                extra={"method": method, "path": split.path,
+                       "error": f"{type(exc).__name__}: {exc}"},
+            )
             response = _Response(
                 500, _dumps({"error": f"{type(exc).__name__}: {exc}"})
             )
+        elapsed = time.perf_counter() - started
+        segments = [p for p in split.path.split("/") if p]
+        endpoint = f"/{segments[0]}" if segments else "/"
+        _HTTP_REQUESTS.inc(endpoint=endpoint, status=str(response.status))
+        _HTTP_SECONDS.observe(elapsed)
+        _log.debug(
+            "request served",
+            extra={"method": method, "path": split.path,
+                   "status": response.status,
+                   "duration_ms": round(elapsed * 1e3, 3)},
+        )
         try:
             self._send(response)
         except (BrokenPipeError, ConnectionResetError):  # pragma: no cover

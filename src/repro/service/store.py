@@ -46,6 +46,7 @@ import numpy as np
 
 from repro.cluster.testbed import WorkloadCharacterization
 from repro.errors import StoreError
+from repro.obs.metrics import REGISTRY
 from repro.stacks.base import ExecutionTrace, PhaseKind, PhaseRecord, StackInfo
 from repro.workloads.base import WorkloadRun
 
@@ -61,7 +62,28 @@ __all__ = [
 #: entries are silently treated as cache misses, never mis-parsed.
 #: v3: phase records carry a recovery ``tag``; characterizations carry
 #: ``attempts`` and a ``faults`` tally.
-SCHEMA_VERSION = 3
+#: v4: characterizations carry flight-recorder ``events``.
+SCHEMA_VERSION = 4
+
+_STORE_HITS = REGISTRY.counter(
+    "repro_store_hits_total", "Result-store reads that found a valid entry"
+)
+_STORE_MISSES = REGISTRY.counter(
+    "repro_store_misses_total",
+    "Result-store reads that missed (absent, torn, or stale entry)",
+)
+_STORE_PUTS = REGISTRY.counter(
+    "repro_store_puts_total", "Objects written to the result store"
+)
+_STORE_EVICTIONS = REGISTRY.counter(
+    "repro_store_evictions_total", "Entries evicted by the store's LRU bound"
+)
+_STORE_ENTRIES = REGISTRY.gauge(
+    "repro_store_entries", "Entries currently indexed by the result store"
+)
+_STORE_BYTES = REGISTRY.gauge(
+    "repro_store_bytes", "Total object bytes currently indexed by the store"
+)
 
 #: Environment variable redirecting all artifact writes (store, legacy
 #: collection cache, benchmark session cache) to one directory.
@@ -144,6 +166,9 @@ class ResultStore:
 
     def _write_index(self, index: dict) -> None:
         _atomic_write(self._index_path, json.dumps(index, sort_keys=True).encode())
+        entries = index["entries"]
+        _STORE_ENTRIES.set(len(entries))
+        _STORE_BYTES.set(sum(e["bytes"] for e in entries.values()))
 
     def _object_path(self, key: str) -> Path:
         if not key or not set(key) <= _KEY_SAFE:
@@ -163,6 +188,7 @@ class ResultStore:
         stamped["schema"] = SCHEMA_VERSION
         data = _canonical_dumps(stamped)
         digest = _content_hash(data)
+        _STORE_PUTS.inc()
         with self._lock:
             _atomic_write(self._object_path(key), data)
             index = self._read_index()
@@ -187,20 +213,24 @@ class ResultStore:
             index = self._read_index()
             entry = index["entries"].get(key)
             if entry is None:
+                _STORE_MISSES.inc()
                 return None
             try:
                 data = self._object_path(key).read_bytes()
             except FileNotFoundError:
                 del index["entries"][key]
                 self._write_index(index)
+                _STORE_MISSES.inc()
                 return None
             if _content_hash(data) != entry["hash"]:
                 self._drop(index, key)
+                _STORE_MISSES.inc()
                 return None
             if touch:
                 index["clock"] += 1
                 entry["last_used"] = index["clock"]
                 self._write_index(index)
+        _STORE_HITS.inc()
         return data, entry["hash"]
 
     def get(self, key: str, touch: bool = True) -> dict | None:
@@ -213,6 +243,7 @@ class ResultStore:
             return None
         payload = json.loads(raw[0].decode("utf-8"))
         if payload.get("schema") != SCHEMA_VERSION:
+            _STORE_MISSES.inc()
             return None
         return payload
 
@@ -270,6 +301,7 @@ class ResultStore:
                 return
             victim = min(victims, key=lambda k: index["entries"][k]["last_used"])
             del index["entries"][victim]
+            _STORE_EVICTIONS.inc()
             try:
                 self._object_path(victim).unlink()
             except OSError:
@@ -293,6 +325,7 @@ def characterization_to_payload(char: WorkloadCharacterization) -> dict:
         "name": char.name,
         "attempts": char.attempts,
         "faults": char.faults,
+        "events": [dict(event) for event in char.events],
         "metrics": {k: float(v) for k, v in char.metrics.items()},
         "per_slave": [
             {k: float(v) for k, v in slave.items()} for slave in char.per_slave
@@ -378,4 +411,5 @@ def characterization_from_payload(payload: dict) -> WorkloadCharacterization:
         ),
         attempts=int(payload.get("attempts", 1)),
         faults=payload.get("faults"),
+        events=tuple(dict(event) for event in payload.get("events", ())),
     )

@@ -16,6 +16,13 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.errors import StackExecutionError
+from repro.obs.metrics import REGISTRY
+
+_PHASE_RECORDS = REGISTRY.counter(
+    "repro_stack_phase_records_total",
+    "Phase records emitted by the stack engines, by phase kind",
+    ("kind",),
+)
 
 __all__ = [
     "PhaseKind",
@@ -130,6 +137,7 @@ class ExecutionTrace:
         **details: float,
     ) -> None:
         """Convenience constructor-and-append."""
+        _PHASE_RECORDS.inc(kind=kind.value)
         self.add(
             PhaseRecord(
                 kind=kind,

@@ -22,6 +22,8 @@ from operator import itemgetter
 
 from repro.errors import StackExecutionError
 from repro.faults.recovery import TaskRecorder, run_task
+from repro.obs.log import get_logger
+from repro.obs.trace import span as obs_span
 from repro.stacks.base import (
     ExecutionTrace,
     PhaseKind,
@@ -31,6 +33,8 @@ from repro.stacks.base import (
 from repro.stacks.hdfs import Hdfs, HdfsBlock
 
 __all__ = ["MapReduceJob", "MapReduceEngine"]
+
+_log = get_logger("repro.stacks.mapreduce")
 
 Mapper = Callable[[object], Iterable[tuple]]
 Reducer = Callable[[object, list], Iterable[object]]
@@ -176,6 +180,11 @@ class MapReduceEngine:
         blocks = [block for path in paths for block in self.hdfs.blocks(path)]
         counters = _JobCounters()
         self.last_counters = counters
+        _log.debug(
+            "mapreduce job starting",
+            extra={"job": job.name, "blocks": len(blocks),
+                   "reducers": job.num_reducers if job.reducer else 0},
+        )
 
         trace.emit(
             PhaseKind.SETUP,
@@ -191,47 +200,51 @@ class MapReduceEngine:
         partitioner = job.partitioner or (lambda key, n: stable_hash(key) % n)
         partition_runs: list[list[list[tuple]]] = [[] for _ in range(num_partitions)]
         map_only_output: list = []
-        for block in blocks:
-            task: _MapTaskResult = run_task(
-                trace,
-                f"map:{job.name}",
-                block.primary_node,
-                lambda recorder, worker, block=block: self._map_task(
-                    job, block, worker, num_partitions, partitioner, recorder
-                ),
-                reads_hdfs=True,
-                num_nodes=self.hdfs.num_nodes,
-            )
-            counters.map_input_records += len(block.records)
-            counters.map_output_records += len(task.map_out)
-            counters.spilled_records += task.spilled_records
-            counters.combine_output_records += task.combine_output_records
-            if job.reducer is None:
-                map_only_output.extend(task.map_out)
-            else:
-                for partition, run in task.runs:
-                    partition_runs[partition].append(run)
+        with obs_span(f"phase:map:{job.name}", "phase", tasks=len(blocks)):
+            for block in blocks:
+                task: _MapTaskResult = run_task(
+                    trace,
+                    f"map:{job.name}",
+                    block.primary_node,
+                    lambda recorder, worker, block=block: self._map_task(
+                        job, block, worker, num_partitions, partitioner, recorder
+                    ),
+                    reads_hdfs=True,
+                    num_nodes=self.hdfs.num_nodes,
+                )
+                counters.map_input_records += len(block.records)
+                counters.map_output_records += len(task.map_out)
+                counters.spilled_records += task.spilled_records
+                counters.combine_output_records += task.combine_output_records
+                if job.reducer is None:
+                    map_only_output.extend(task.map_out)
+                else:
+                    for partition, run in task.runs:
+                        partition_runs[partition].append(run)
 
         if job.reducer is None:
             return self._finish(job, map_only_output, output_path, trace, counters)
 
         # ---- shuffle + merge + reduce (one task per partition)
         output: list = []
-        for partition in range(num_partitions):
-            runs = partition_runs[partition]
-            task: _ReduceTaskResult = run_task(
-                trace,
-                f"reduce:{job.name}",
-                partition % self.hdfs.num_nodes,
-                lambda recorder, worker, runs=runs: self._reduce_task(
-                    job, runs, worker, recorder
-                ),
-                num_nodes=self.hdfs.num_nodes,
-            )
-            counters.shuffle_bytes += task.run_bytes
-            counters.reduce_input_groups += task.groups
-            counters.reduce_output_records += len(task.reduce_out)
-            output.extend(task.reduce_out)
+        with obs_span(
+            f"phase:reduce:{job.name}", "phase", tasks=num_partitions
+        ):
+            for partition in range(num_partitions):
+                runs = partition_runs[partition]
+                task: _ReduceTaskResult = run_task(
+                    trace,
+                    f"reduce:{job.name}",
+                    partition % self.hdfs.num_nodes,
+                    lambda recorder, worker, runs=runs: self._reduce_task(
+                        job, runs, worker, recorder
+                    ),
+                    num_nodes=self.hdfs.num_nodes,
+                )
+                counters.shuffle_bytes += task.run_bytes
+                counters.reduce_input_groups += task.groups
+                counters.reduce_output_records += len(task.reduce_out)
+                output.extend(task.reduce_out)
         return self._finish(job, output, output_path, trace, counters)
 
     def _map_task(
@@ -360,4 +373,15 @@ class MapReduceEngine:
         if output_path is not None:
             self.hdfs.delete(output_path)
             self.hdfs.put(output_path, output)
+        _log.debug(
+            "mapreduce job finished",
+            extra={
+                "job": job.name,
+                "map_input_records": counters.map_input_records,
+                "map_output_records": counters.map_output_records,
+                "spilled_records": counters.spilled_records,
+                "shuffle_bytes": counters.shuffle_bytes,
+                "reduce_output_records": counters.reduce_output_records,
+            },
+        )
         return output

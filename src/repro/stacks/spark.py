@@ -12,11 +12,15 @@ sharing (snoop traffic) than their Hadoop counterparts.
 from __future__ import annotations
 
 from repro.errors import StackExecutionError
+from repro.obs.log import get_logger
+from repro.obs.trace import span as obs_span
 from repro.stacks.base import ExecutionTrace, PhaseKind, StackInfo, estimate_bytes
 from repro.stacks.hdfs import Hdfs
 from repro.stacks.rdd import RDD, SparkContextLike, _HdfsRDD, _SourceRDD
 
 __all__ = ["SPARK_0_8_1", "SparkEngine"]
+
+_log = get_logger("repro.stacks.spark")
 
 _MB = 1 << 20
 
@@ -68,19 +72,28 @@ class SparkEngine(SparkContextLike):
         """Compute (or fetch from cache) all partitions of ``rdd``."""
         if rdd.cached and rdd.rdd_id in self._cache:
             partitions = self._cache[rdd.rdd_id]
-            for index, partition in enumerate(partitions):
-                trace.emit(
-                    PhaseKind.CACHE_SCAN,
-                    "cache-scan",
-                    worker=rdd.preferred_worker(index),
-                    records_in=len(partition),
-                    bytes_in=sum(estimate_bytes(r) for r in partition),
-                    records_out=len(partition),
-                    bytes_out=sum(estimate_bytes(r) for r in partition),
-                )
+            _log.debug(
+                "rdd cache hit",
+                extra={"rdd_id": rdd.rdd_id, "partitions": len(partitions)},
+            )
+            with obs_span(
+                f"rdd:{rdd.rdd_id}:cache-scan", "rdd",
+                partitions=len(partitions),
+            ):
+                for index, partition in enumerate(partitions):
+                    trace.emit(
+                        PhaseKind.CACHE_SCAN,
+                        "cache-scan",
+                        worker=rdd.preferred_worker(index),
+                        records_in=len(partition),
+                        bytes_in=sum(estimate_bytes(r) for r in partition),
+                        records_out=len(partition),
+                        bytes_out=sum(estimate_bytes(r) for r in partition),
+                    )
             return [list(p) for p in partitions]
 
-        partitions = rdd.compute_partitions(trace)
+        with obs_span(f"rdd:{rdd.rdd_id}:compute", "rdd", cached=rdd.cached):
+            partitions = rdd.compute_partitions(trace)
         if rdd.cached:
             self._cache[rdd.rdd_id] = [list(p) for p in partitions]
             for index, partition in enumerate(partitions):

@@ -1,0 +1,103 @@
+"""Tests for the flight recorder and its persistence with results."""
+
+import pytest
+
+from repro.cluster.testbed import Cluster, MeasurementConfig
+from repro.obs.flight import (
+    FlightRecorder,
+    current_flight,
+    flight_recording,
+    record,
+)
+from repro.service.store import (
+    ResultStore,
+    characterization_from_payload,
+    characterization_to_payload,
+)
+from repro.workloads import RunContext, workload_by_name
+
+
+class TestFlightRecorder:
+    def test_record_and_snapshot_oldest_first(self):
+        recorder = FlightRecorder()
+        recorder.record("a", value=1)
+        recorder.record("b", value=2)
+        events = recorder.snapshot()
+        assert [e["kind"] for e in events] == ["a", "b"]
+        assert events[0]["seq"] == 1 and events[1]["seq"] == 2
+        assert all("t_ms" in e for e in events)
+
+    def test_ring_bounds_at_capacity(self):
+        recorder = FlightRecorder(capacity=4)
+        for index in range(10):
+            recorder.record("tick", index=index)
+        assert len(recorder) == 4
+        assert recorder.total_recorded == 10
+        events = recorder.snapshot()
+        # Oldest events fell off; seq gaps reveal the overflow.
+        assert [e["seq"] for e in events] == [7, 8, 9, 10]
+        assert [e["index"] for e in events] == [6, 7, 8, 9]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_snapshot_returns_copies(self):
+        recorder = FlightRecorder()
+        recorder.record("a")
+        recorder.snapshot()[0]["kind"] = "tampered"
+        assert recorder.snapshot()[0]["kind"] == "a"
+
+    def test_clear(self):
+        recorder = FlightRecorder()
+        recorder.record("a")
+        recorder.clear()
+        assert len(recorder) == 0
+
+
+class TestAmbientRecording:
+    def test_disabled_by_default(self):
+        assert current_flight() is None
+        record("dropped", detail=1)  # no-op, must not raise
+
+    def test_recording_activates_and_restores(self):
+        recorder = FlightRecorder()
+        with flight_recording(recorder):
+            assert current_flight() is recorder
+            record("seen", task="t1")
+        assert current_flight() is None
+        assert recorder.snapshot()[0]["kind"] == "seen"
+
+    def test_recording_none_is_a_noop(self):
+        with flight_recording(None) as active:
+            assert active is None
+
+
+class TestEventsOnCharacterizations:
+    @pytest.fixture(scope="class")
+    def characterization(self):
+        return Cluster().characterize_workload(
+            workload_by_name("S-Grep"),
+            RunContext(scale=0.2, seed=5),
+            MeasurementConfig(slaves_measured=1, active_cores=2, ops_per_core=1500),
+        )
+
+    def test_characterization_carries_flight_events(self, characterization):
+        kinds = [event["kind"] for event in characterization.events]
+        assert kinds[0] == "workload-start"
+        assert kinds[-1] == "workload-done"
+
+    def test_events_survive_a_store_roundtrip(self, characterization, tmp_path):
+        """Schema v4: flight events persist with the characterization."""
+        store = ResultStore(tmp_path)
+        store.put("k", characterization_to_payload(characterization))
+        restored = characterization_from_payload(store.get("k"))
+        assert restored.events == characterization.events
+        assert restored.metrics == characterization.metrics
+
+    def test_missing_events_field_reads_as_empty(self, characterization):
+        """Payloads written before schema v4 hydrate with no events."""
+        payload = characterization_to_payload(characterization)
+        payload.pop("events")
+        restored = characterization_from_payload(payload)
+        assert restored.events == ()

@@ -1,0 +1,114 @@
+"""Tests for structured logging configuration and formatters."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.log import (
+    JsonFormatter,
+    KeyValueFormatter,
+    configure_logging,
+    get_logger,
+)
+
+
+def _record(msg: str = "hello", extra: dict | None = None) -> logging.LogRecord:
+    logger = logging.getLogger("repro.test")
+    record = logger.makeRecord(
+        "repro.test", logging.INFO, __file__, 1, msg, (), None, extra=extra
+    )
+    record.created = 1754480000.5  # 2025-08-06T11:33:20.500Z, fixed for tests
+    return record
+
+
+@pytest.fixture(autouse=True)
+def _restore_repro_logger():
+    """Leave the 'repro' logger tree the way the library ships it."""
+    root = logging.getLogger("repro")
+    handlers = list(root.handlers)
+    level, propagate = root.level, root.propagate
+    yield
+    root.handlers = handlers
+    root.setLevel(level)
+    root.propagate = propagate
+
+
+class TestKeyValueFormatter:
+    def test_basic_line(self):
+        line = KeyValueFormatter().format(_record())
+        assert line.startswith("ts=2025-08-06T11:33:20.500Z ")
+        assert "level=info" in line
+        assert "logger=repro.test" in line
+        assert "msg=hello" in line
+
+    def test_extra_fields_sorted_and_quoted(self):
+        line = KeyValueFormatter().format(
+            _record("task retried", {"task": "map:wc", "attempt": 2, "note": "a b"})
+        )
+        assert 'msg="task retried"' in line
+        assert line.index("attempt=2") < line.index("note=") < line.index("task=")
+        assert 'note="a b"' in line
+
+    def test_quotes_escaped(self):
+        line = KeyValueFormatter().format(_record("x", {"v": 'say "hi"'}))
+        assert 'v="say \\"hi\\""' in line
+
+
+class TestJsonFormatter:
+    def test_basic_object(self):
+        payload = json.loads(JsonFormatter().format(_record("hi", {"n": 3})))
+        assert payload["ts"] == "2025-08-06T11:33:20.500Z"
+        assert payload["level"] == "info"
+        assert payload["logger"] == "repro.test"
+        assert payload["msg"] == "hi"
+        assert payload["n"] == 3
+
+    def test_unserialisable_extra_becomes_str(self):
+        payload = json.loads(JsonFormatter().format(_record("x", {"obj": object()})))
+        assert payload["obj"].startswith("<object object")
+
+
+class TestGetLogger:
+    def test_prefixes_into_the_repro_tree(self):
+        assert get_logger("service.jobs").name == "repro.service.jobs"
+        assert get_logger("repro.faults").name == "repro.faults"
+        assert get_logger("repro").name == "repro"
+
+
+class TestConfigureLogging:
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError):
+            configure_logging(level="loud")
+
+    def test_configure_emits_keyvalue_lines(self):
+        stream = io.StringIO()
+        configure_logging(level="debug", stream=stream)
+        get_logger("repro.test").debug("configured", extra={"k": "v"})
+        line = stream.getvalue().strip()
+        assert "level=debug" in line and "msg=configured" in line and "k=v" in line
+
+    def test_configure_json(self):
+        stream = io.StringIO()
+        configure_logging(level="info", json_format=True, stream=stream)
+        get_logger("repro.test").info("as json")
+        assert json.loads(stream.getvalue())["msg"] == "as json"
+
+    def test_reconfigure_does_not_stack_handlers(self):
+        stream = io.StringIO()
+        configure_logging(level="info", stream=stream)
+        configure_logging(level="info", stream=stream)
+        get_logger("repro.test").info("once")
+        assert stream.getvalue().count("msg=once") == 1
+
+    def test_unconfigured_library_is_silent(self, capsys):
+        """The NullHandler keeps lastResort away from stderr."""
+        root = logging.getLogger("repro")
+        for handler in list(root.handlers):  # undo any configure_logging
+            if getattr(handler, "_repro_obs", False):
+                root.removeHandler(handler)
+        get_logger("repro.test").warning("should not print")
+        captured = capsys.readouterr()
+        assert "should not print" not in captured.err
+        assert "should not print" not in captured.out

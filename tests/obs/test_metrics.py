@@ -1,0 +1,188 @@
+"""Tests for the runtime metrics registry and Prometheus exposition."""
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_unlabelled_counter_starts_at_zero_and_renders(self):
+        counter = Counter("repro_test_total", "A test counter.")
+        assert counter.value() == 0.0
+        assert counter.render() == [
+            "# HELP repro_test_total A test counter.",
+            "# TYPE repro_test_total counter",
+            "repro_test_total 0",
+        ]
+
+    def test_inc_and_value(self):
+        counter = Counter("c_total", "c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("c_total", "c")
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+
+    def test_labels_render_sorted_and_escaped(self):
+        counter = Counter("c_total", "c", ("kind",))
+        counter.inc(kind="task-crash")
+        counter.inc(2, kind='quo"ted')
+        lines = counter.render()
+        assert 'c_total{kind="quo\\"ted"} 2' in lines
+        assert 'c_total{kind="task-crash"} 1' in lines
+
+    def test_label_name_mismatch_raises(self):
+        counter = Counter("c_total", "c", ("kind",))
+        with pytest.raises(ConfigurationError):
+            counter.inc(wrong="x")
+        with pytest.raises(ConfigurationError):
+            counter.inc()  # labelled counter needs its labels
+
+    def test_concurrent_increments_lose_no_updates(self):
+        """N threads x M increments must land on exactly N*M."""
+        counter = Counter("hammer_total", "h", ("worker",))
+        plain = Counter("plain_total", "p")
+        threads, increments = 8, 2_000
+        barrier = threading.Barrier(threads)
+
+        def worker(index: int) -> None:
+            barrier.wait()
+            for _ in range(increments):
+                counter.inc(worker=str(index % 2))
+                plain.inc()
+
+        pool = [
+            threading.Thread(target=worker, args=(i,)) for i in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+
+        assert plain.value() == threads * increments
+        total = counter.value(worker="0") + counter.value(worker="1")
+        assert total == threads * increments
+
+
+class TestGauge:
+    def test_inc_dec_set(self):
+        gauge = Gauge("g", "g")
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value() == 3.0
+        gauge.set(7.5)
+        assert gauge.value() == 7.5
+
+    def test_gauge_may_go_negative(self):
+        gauge = Gauge("g", "g")
+        gauge.dec(4)
+        assert gauge.value() == -4.0
+
+
+class TestHistogram:
+    def test_observe_updates_sum_count_and_buckets(self):
+        histogram = Histogram("h_seconds", "h", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(55.55)
+        lines = histogram.render()
+        assert 'h_seconds_bucket{le="0.1"} 1' in lines
+        assert 'h_seconds_bucket{le="1"} 2' in lines
+        assert 'h_seconds_bucket{le="10"} 3' in lines
+        assert 'h_seconds_bucket{le="+Inf"} 4' in lines
+        assert "h_seconds_count 4" in lines
+
+    def test_buckets_must_ascend(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", "h", buckets=(1.0, 0.5))
+
+    def test_quantile_interpolates_within_buckets(self):
+        histogram = Histogram("h", "h", buckets=(1.0, 2.0))
+        for _ in range(100):
+            histogram.observe(1.5)
+        p50 = histogram.quantile(0.5)
+        assert 1.0 <= p50 <= 2.0
+        with pytest.raises(ConfigurationError):
+            histogram.quantile(1.5)
+
+    def test_empty_histogram_quantile_is_zero(self):
+        assert Histogram("h", "h").quantile(0.99) == 0.0
+
+    def test_default_buckets_cover_subsecond_to_minutes(self):
+        assert DEFAULT_BUCKETS[0] <= 0.001
+        assert DEFAULT_BUCKETS[-1] >= 300.0
+
+
+class TestRegistry:
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("a_total", "a")
+        again = registry.counter("a_total", "a")
+        assert first is again
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "a")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("a_total", "a")
+
+    def test_render_prometheus_exposition_format(self):
+        """Golden exposition text for a small fixed registry."""
+        registry = MetricsRegistry()
+        jobs = registry.counter("repro_jobs_total", "Jobs submitted.", ("state",))
+        depth = registry.gauge("repro_queue_depth", "Live queue depth.")
+        wait = registry.histogram(
+            "repro_wait_seconds", "Queue wait.", buckets=(0.5, 1.0)
+        )
+        jobs.inc(state="done")
+        jobs.inc(2, state="failed")
+        depth.set(3)
+        wait.observe(0.25)
+        wait.observe(2.0)
+        expected = "\n".join(
+            [
+                "# HELP repro_jobs_total Jobs submitted.",
+                "# TYPE repro_jobs_total counter",
+                'repro_jobs_total{state="done"} 1',
+                'repro_jobs_total{state="failed"} 2',
+                "# HELP repro_queue_depth Live queue depth.",
+                "# TYPE repro_queue_depth gauge",
+                "repro_queue_depth 3",
+                "# HELP repro_wait_seconds Queue wait.",
+                "# TYPE repro_wait_seconds histogram",
+                'repro_wait_seconds_bucket{le="0.5"} 1',
+                'repro_wait_seconds_bucket{le="1"} 1',
+                'repro_wait_seconds_bucket{le="+Inf"} 2',
+                "repro_wait_seconds_sum 2.25",
+                "repro_wait_seconds_count 2",
+            ]
+        )
+        assert registry.render_prometheus() == expected + "\n"
+
+    def test_snapshot_is_json_shaped(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "a").inc(3)
+        registry.histogram("h_seconds", "h").observe(0.2)
+        snap = registry.snapshot()
+        assert snap["a_total"] == {"type": "counter", "value": 3.0}
+        assert snap["h_seconds"]["count"] == 1
+        assert set(snap["h_seconds"]) >= {"type", "count", "sum", "p50", "p95", "p99"}
+
+    def test_names_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total", "b")
+        registry.counter("a_total", "a")
+        assert registry.names() == ("a_total", "b_total")

@@ -88,12 +88,40 @@ class TestStaticEndpoints:
         assert [w["name"] for w in payload] == [w.name for w in SUITE[:6]]
         assert payload[0]["declared_size"]
 
-    def test_metrics(self, server):
-        status, _, body = _get(server[1], "/metrics")
+    def test_metric_catalog(self, server):
+        status, _, body = _get(server[1], "/metrics/catalog")
         payload = json.loads(body)
         assert status == 200
         assert len(payload) == 45
         assert tuple(m["name"] for m in payload) == METRIC_NAMES
+
+    def test_prometheus_metrics(self, server):
+        status, headers, body = _get(server[1], "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        text = body.decode("utf-8")
+        series = {
+            line.split("{")[0].split(" ")[0]
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        }
+        # The plane must cover stacks, faults, store and jobs.
+        assert len(series) >= 12
+        assert any(s.startswith("repro_stack_") for s in series)
+        assert any(s.startswith("repro_store_") for s in series)
+        assert any(s.startswith("repro_jobs_") for s in series)
+        assert "repro_http_requests_total" in series
+        for line in text.splitlines():
+            if line.startswith("# TYPE"):
+                assert line.split()[-1] in ("counter", "gauge", "histogram")
+
+    def test_stats(self, server):
+        status, _, body = _get(server[1], "/stats")
+        assert status == 200
+        payload = json.loads(body)
+        assert "repro_http_requests_total" in payload["metrics"]
+        assert payload["store"]["entries"] >= 0
+        assert {"total", "live", "recent_events"} <= payload["jobs"].keys()
 
     def test_unknown_endpoint_404(self, server):
         status, _, body = _get(server[1], "/nope")

@@ -27,7 +27,6 @@ import argparse
 import json
 import os
 import sys
-import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -38,6 +37,7 @@ from dataclasses import replace  # noqa: E402
 from repro.cluster.testbed import Cluster, MeasurementConfig  # noqa: E402
 from repro.errors import StackExecutionError  # noqa: E402
 from repro.faults import FaultPlan  # noqa: E402
+from repro.obs.stats import Stopwatch, summarize  # noqa: E402
 from repro.stacks.base import stable_hash  # noqa: E402
 from repro.workloads import RunContext, workload_by_name  # noqa: E402
 
@@ -62,26 +62,28 @@ def bench_workload(name: str, context: RunContext, measurement: MeasurementConfi
     cluster = Cluster()
     workload = workload_by_name(name)
 
-    start = time.perf_counter()
-    clean = cluster.characterize_workload(workload, context, measurement)
-    clean_s = time.perf_counter() - start
+    with Stopwatch() as clean_sw:
+        clean = cluster.characterize_workload(workload, context, measurement)
+    clean_s = clean_sw.seconds
 
     # Mirror the collection layer: a workload whose retry budget is
     # exhausted (rare but possible on task-heavy iterative jobs) is
     # retried whole under a reseeded plan.
-    start = time.perf_counter()
-    for attempt in range(1, 5):
-        plan = PLAN if attempt == 1 else replace(PLAN, seed=stable_hash((PLAN.seed, attempt)))
-        try:
-            chaos = cluster.characterize_workload(
-                workload, context, measurement, faults=plan
+    with Stopwatch() as chaos_sw:
+        for attempt in range(1, 5):
+            plan = PLAN if attempt == 1 else replace(PLAN, seed=stable_hash((PLAN.seed, attempt)))
+            try:
+                chaos = cluster.characterize_workload(
+                    workload, context, measurement, faults=plan
+                )
+            except StackExecutionError:
+                continue
+            break
+        else:
+            raise SystemExit(
+                f"{name}: every benchmark attempt exhausted its retry budget"
             )
-        except StackExecutionError:
-            continue
-        break
-    else:
-        raise SystemExit(f"{name}: every benchmark attempt exhausted its retry budget")
-    chaos_s = time.perf_counter() - start
+    chaos_s = chaos_sw.seconds
 
     identical = clean.metrics == chaos.metrics and clean.per_slave == chaos.per_slave
     stats = chaos.faults or {}
@@ -133,6 +135,8 @@ def run_benchmark(check: bool) -> dict:
         "clean_seconds": round(clean_total, 3),
         "faulty_seconds": round(faulty_total, 3),
         "overhead_ratio": round(faulty_total / clean_total, 3),
+        "clean_latency": summarize([r["clean_seconds"] for r in rows]),
+        "faulty_latency": summarize([r["faulty_seconds"] for r in rows]),
         "workloads": rows,
     }
 

@@ -31,7 +31,6 @@ import os
 import sys
 import tempfile
 import threading
-import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -39,6 +38,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.cluster.collection import CollectionConfig  # noqa: E402
 from repro.cluster.testbed import MeasurementConfig  # noqa: E402
+from repro.obs.stats import Stopwatch, summarize  # noqa: E402
 from repro.service.client import ServiceClient  # noqa: E402
 from repro.service.server import ServiceConfig, serve  # noqa: E402
 from repro.workloads.suite import SUITE  # noqa: E402
@@ -51,6 +51,8 @@ def _measure(base_url: str, path: str, threads: int, requests: int, conditional:
     per_thread = max(1, requests // threads)
     barrier = threading.Barrier(threads + 1)
     done = []
+    latencies_lock = threading.Lock()
+    latencies: list[float] = []
 
     def worker() -> None:
         client = ServiceClient(base_url)
@@ -60,29 +62,34 @@ def _measure(base_url: str, path: str, threads: int, requests: int, conditional:
             client._cache.clear()
         barrier.wait()
         count = 0
+        mine: list[float] = []
         for _ in range(per_thread):
             if not conditional:
                 client._cache.clear()  # force a full 200 body
-            client._request(path)
+            with Stopwatch() as request_sw:
+                client._request(path)
+            mine.append(request_sw.seconds)
             count += 1
+        with latencies_lock:
+            latencies.extend(mine)
         done.append(count)
 
     pool = [threading.Thread(target=worker) for _ in range(threads)]
     for thread in pool:
         thread.start()
     barrier.wait()
-    start = time.perf_counter()
-    for thread in pool:
-        thread.join()
-    elapsed = time.perf_counter() - start
+    with Stopwatch() as sw:
+        for thread in pool:
+            thread.join()
     total = sum(done)
     return {
         "path": path,
         "conditional": conditional,
         "threads": threads,
         "requests": total,
-        "seconds": round(elapsed, 4),
-        "req_per_s": round(total / elapsed, 1),
+        "seconds": round(sw.seconds, 4),
+        "req_per_s": round(total / sw.seconds, 1),
+        "latency": summarize(latencies),
     }
 
 
@@ -112,9 +119,9 @@ def run_benchmark(smoke: bool, threads: int, requests: int, workers: int) -> dic
         runner.start()
         try:
             print(f"service on {base_url}, {n_workloads} workloads; warming ...")
-            start = time.perf_counter()
-            ServiceClient(base_url).matrix()
-            cold_s = time.perf_counter() - start
+            with Stopwatch() as cold_sw:
+                ServiceClient(base_url).matrix()
+            cold_s = cold_sw.seconds
             print(f"  cold /suite/matrix (one collection): {cold_s:.2f}s")
 
             measurements = []

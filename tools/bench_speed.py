@@ -18,6 +18,10 @@ the performance trajectory:
 2. **Parallel collection scaling** — ``characterize_suite`` over an
    8-workload subset with ``workers=1`` vs ``workers=N``, asserting the
    two metric matrices are bit-identical before reporting the speedup.
+3. **Tracing no-op overhead** — per-call cost of the disabled
+   ``repro.obs.trace.span`` helper, projected onto the span count of a
+   real traced run; the observability acceptance bar is <2% of the
+   untraced wall time.
 """
 
 from __future__ import annotations
@@ -25,7 +29,6 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -40,9 +43,15 @@ from repro.arch.processor import Processor  # noqa: E402
 from repro.cluster import collection  # noqa: E402
 from repro.cluster.collection import CollectionConfig, characterize_suite  # noqa: E402
 from repro.cluster.testbed import MeasurementConfig  # noqa: E402
+from repro.obs.stats import Stopwatch, best_of  # noqa: E402
+from repro.obs.trace import Tracer, span, tracing  # noqa: E402
 from repro.stacks.instrument import profiles_from_trace  # noqa: E402
 from repro.workloads.base import RunContext  # noqa: E402
 from repro.workloads.suite import SUITE  # noqa: E402
+
+#: Acceptance bar: disabled tracing must cost less than this fraction of
+#: the untraced run.
+TRACING_OVERHEAD_BUDGET_PCT = 2.0
 
 #: Seed-revision wall time of `_time_single_thread` (same parameters, same
 #: reference machine) before the allocation-free hot-loop overhaul.
@@ -63,17 +72,16 @@ def _time_single_thread(trials: int = _MICRO_TRIALS) -> float:
     profiles = profiles_from_trace(
         run.trace, workload.hints, num_workers=4, footprint_scale=scale
     )
-    best = float("inf")
-    for _ in range(trials):
-        start = time.perf_counter()
+
+    def passes() -> None:
         for _ in range(_MICRO_REPEATS):
             processor = Processor()
             rng = np.random.default_rng(1234)
             processor.run_workload(
                 profiles, rng, active_cores=3, ops_per_core=4000
             )
-        best = min(best, time.perf_counter() - start)
-    return best
+
+    return best_of(passes, trials)
 
 
 def _time_collection(n_workloads: int, workers: int) -> tuple[float, object]:
@@ -86,9 +94,47 @@ def _time_collection(n_workloads: int, workers: int) -> tuple[float, object]:
         ),
     )
     collection._MEMO.clear()  # force a cold collection
-    start = time.perf_counter()
-    suite = characterize_suite(SUITE[:n_workloads], config, workers=workers)
-    return time.perf_counter() - start, suite.matrix
+    with Stopwatch() as sw:
+        suite = characterize_suite(SUITE[:n_workloads], config, workers=workers)
+    return sw.seconds, suite.matrix
+
+
+def _time_tracing(smoke: bool) -> dict:
+    """No-op tracing overhead: disabled span cost × spans per real run.
+
+    The engines' span sites are always present, so the disabled path
+    cannot be measured by diffing two runs of the same code — instead we
+    measure the per-call cost of the disabled helper directly and
+    project it onto the span count a traced run of the same workload
+    actually records.
+    """
+    workload = SUITE[0]
+    context = RunContext(scale=0.3 if smoke else 0.5, seed=42)
+    workload.run(context)  # warm caches before timing
+    untraced_s = best_of(lambda: workload.run(context), 2 if smoke else 3)
+
+    tracer = Tracer()
+    with tracing(tracer):
+        workload.run(context)
+    spans_per_run = len(tracer)
+
+    calls = 50_000 if smoke else 200_000
+
+    def hammer() -> None:
+        for _ in range(calls):
+            with span("bench-noop", "bench", worker=0):
+                pass
+
+    noop_span_s = best_of(hammer, 3) / calls
+    overhead_pct = 100.0 * (spans_per_run * noop_span_s) / untraced_s
+    return {
+        "untraced_run_seconds": round(untraced_s, 4),
+        "spans_per_run": spans_per_run,
+        "noop_span_ns": round(noop_span_s * 1e9, 1),
+        "overhead_pct": round(overhead_pct, 4),
+        "budget_pct": TRACING_OVERHEAD_BUDGET_PCT,
+        "within_budget": overhead_pct < TRACING_OVERHEAD_BUDGET_PCT,
+    }
 
 
 def run_benchmark(workers: int, smoke: bool) -> dict:
@@ -119,6 +165,20 @@ def run_benchmark(workers: int, smoke: bool) -> dict:
         raise AssertionError("parallel workload order diverged from serial")
     print("  parallel matrix bit-identical to serial: OK")
 
+    print("tracing no-op overhead ...")
+    tracing_stats = _time_tracing(smoke)
+    print(
+        f"  {tracing_stats['noop_span_ns']}ns per disabled span × "
+        f"{tracing_stats['spans_per_run']} spans = "
+        f"{tracing_stats['overhead_pct']}% of the untraced run "
+        f"(budget {TRACING_OVERHEAD_BUDGET_PCT}%)"
+    )
+    if not tracing_stats["within_budget"]:
+        raise AssertionError(
+            f"disabled tracing costs {tracing_stats['overhead_pct']}% "
+            f"(budget {TRACING_OVERHEAD_BUDGET_PCT}%)"
+        )
+
     return {
         "smoke": smoke,
         "cpu_count": cpus,
@@ -135,6 +195,7 @@ def run_benchmark(workers: int, smoke: bool) -> dict:
             "parallel_speedup": round(serial_s / parallel_s, 3),
             "bit_identical": True,
         },
+        "tracing": tracing_stats,
     }
 
 

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Validate a Chrome Trace Event Format file written by ``repro trace``.
+
+Checks the structural contract that chrome://tracing and Perfetto rely
+on — CI runs this against a freshly exported trace so a malformed
+exporter fails the build instead of failing silently in a viewer:
+
+- top level is an object with a ``traceEvents`` list;
+- every event has a string ``name``, a ``ph`` of ``X`` or ``i``, a
+  numeric ``ts >= 0``, and integer ``pid``/``tid``;
+- complete events (``ph: X``) carry a numeric ``dur >= 0``;
+- instant events (``ph: i``) carry a scope ``s``.
+
+Usage::
+
+    python tools/check_trace.py trace.json [--min-events N]
+
+Exits 0 on a valid trace, 1 with per-event diagnostics otherwise.
+Standard library only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+VALID_PHASES = {"X", "i"}
+
+
+def check_event(index: int, event: object) -> list[str]:
+    """Problems with one trace event (empty list = valid)."""
+    if not isinstance(event, dict):
+        return [f"event {index}: not an object"]
+    problems = []
+    if not isinstance(event.get("name"), str) or not event["name"]:
+        problems.append(f"event {index}: missing or empty 'name'")
+    phase = event.get("ph")
+    if phase not in VALID_PHASES:
+        problems.append(
+            f"event {index}: 'ph' must be one of {sorted(VALID_PHASES)}, "
+            f"got {phase!r}"
+        )
+    ts = event.get("ts")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+        problems.append(f"event {index}: 'ts' must be a number >= 0, got {ts!r}")
+    for field in ("pid", "tid"):
+        value = event.get(field)
+        if not isinstance(value, int) or isinstance(value, bool):
+            problems.append(
+                f"event {index}: {field!r} must be an integer, got {value!r}"
+            )
+    if phase == "X":
+        dur = event.get("dur")
+        if not isinstance(dur, (int, float)) or isinstance(dur, bool) or dur < 0:
+            problems.append(
+                f"event {index}: complete event needs 'dur' >= 0, got {dur!r}"
+            )
+    if phase == "i" and not event.get("s"):
+        problems.append(f"event {index}: instant event needs a scope 's'")
+    return problems
+
+
+def check_trace(document: object, min_events: int = 1) -> list[str]:
+    """All problems with one parsed trace document."""
+    if not isinstance(document, dict):
+        return ["top level must be a JSON object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["'traceEvents' must be a list"]
+    problems = []
+    if len(events) < min_events:
+        problems.append(
+            f"expected at least {min_events} events, found {len(events)}"
+        )
+    for index, event in enumerate(events):
+        problems.extend(check_event(index, event))
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="path to the Chrome trace JSON file")
+    parser.add_argument(
+        "--min-events",
+        type=int,
+        default=1,
+        help="fail unless the trace has at least this many events",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.trace, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"check_trace: cannot read {args.trace}: {error}", file=sys.stderr)
+        return 1
+
+    problems = check_trace(document, min_events=args.min_events)
+    if problems:
+        for problem in problems:
+            print(f"check_trace: {problem}", file=sys.stderr)
+        return 1
+    events = document["traceEvents"]
+    spans = sum(1 for e in events if e["ph"] == "X")
+    print(
+        f"check_trace: {args.trace} OK — {len(events)} events "
+        f"({spans} complete, {len(events) - spans} instant)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
