@@ -1,0 +1,511 @@
+"""Self-contained HTML dashboard over a characterized suite.
+
+:func:`render_dashboard` turns a metric matrix plus (optionally
+timeline-carrying) characterizations into **one** HTML document with
+every asset inline — inline SVG charts, inline CSS, zero scripts, zero
+external references — so the page renders identically from ``repro
+report --html``, from ``GET /dashboard``, and from a file opened years
+later with no network.
+
+Charts (all SVG, one measure per chart):
+
+- **Per-workload timelines** — records committed over the run with the
+  ramp-up window shaded, and the per-phase simulation windows' ILP as a
+  bar strip (the paper's time-resolved protocol made visible).
+- **Suite heatmap** — column z-scores of the 45-metric matrix on the
+  diverging blue↔red ramp with a neutral-gray midpoint (sign = above or
+  below the suite mean, exactly the normalization the clustering uses).
+- **Kiviat diagrams** — Figure 6's radar polygons for the chosen
+  representatives, via :mod:`repro.core.kiviat`.
+
+Colors come from the validated reference palette (categorical slot 1
+blue for series, diverging blue↔red for signed z-scores) with light and
+dark values swapped through CSS custom properties; values, labels and
+legends wear ink tokens, never series color.  A ``<details>`` table view
+of the full matrix backs every chart for non-visual access.
+"""
+
+from __future__ import annotations
+
+import html
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.cluster.testbed import WorkloadCharacterization
+from repro.core.dataset import WorkloadMetricMatrix
+from repro.core.kiviat import KiviatDiagram
+from repro.core.subsetting import SubsettingResult
+from repro.metrics.catalog import METRIC_NAMES
+
+__all__ = ["render_dashboard"]
+
+
+# -- palette (reference instance; see the data-viz method) ---------------------
+
+#: Diverging blue ↔ red with a neutral-gray midpoint, per mode.  Arm
+#: endpoints are the palette's categorical blue/red steps for that mode.
+_DIVERGING_LIGHT = ("#2a78d6", "#f0efec", "#e34948")
+_DIVERGING_DARK = ("#3987e5", "#383835", "#e66767")
+
+#: Quantized z-score buckets: a cell's class is ``z±N``; each bucket gets
+#: a light and a dark fill so the heatmap follows the color scheme.
+_Z_BUCKETS = 5  # per arm: z-5 .. z0 .. z+5
+
+
+def _hex_to_rgb(value: str) -> tuple[int, int, int]:
+    value = value.lstrip("#")
+    return tuple(int(value[i : i + 2], 16) for i in (0, 2, 4))
+
+
+def _lerp_hex(a: str, b: str, t: float) -> str:
+    ra, ga, ba = _hex_to_rgb(a)
+    rb, gb, bb = _hex_to_rgb(b)
+    return "#{:02x}{:02x}{:02x}".format(
+        round(ra + (rb - ra) * t),
+        round(ga + (gb - ga) * t),
+        round(ba + (bb - ba) * t),
+    )
+
+
+def _diverging_ramp(poles: tuple[str, str, str]) -> dict[int, str]:
+    """Bucket → hex for one mode: negative arm cool, positive arm warm."""
+    low, mid, high = poles
+    ramp = {0: mid}
+    for step in range(1, _Z_BUCKETS + 1):
+        t = step / _Z_BUCKETS
+        ramp[-step] = _lerp_hex(mid, low, t)
+        ramp[step] = _lerp_hex(mid, high, t)
+    return ramp
+
+
+def _bucket(z: float, span: float = 2.5) -> int:
+    """Quantize a z-score into ``[-_Z_BUCKETS, +_Z_BUCKETS]``."""
+    if not np.isfinite(z):
+        return 0
+    scaled = int(round(z / span * _Z_BUCKETS))
+    return max(-_Z_BUCKETS, min(_Z_BUCKETS, scaled))
+
+
+def _z_scores(values: np.ndarray) -> np.ndarray:
+    """Column z-scores (the matrix normalization the pipeline uses)."""
+    mean = values.mean(axis=0)
+    std = values.std(axis=0)
+    safe = np.where(std == 0.0, 1.0, std)
+    z = (values - mean) / safe
+    return np.where(std == 0.0, 0.0, z)
+
+
+def _esc(text: object) -> str:
+    return html.escape(str(text), quote=True)
+
+
+# -- SVG builders --------------------------------------------------------------
+
+
+def _polyline_points(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: float,
+    height: float,
+    pad: float,
+) -> str:
+    x_max = max(xs) or 1.0
+    y_max = max(ys) or 1.0
+    points = []
+    for x, y in zip(xs, ys):
+        px = pad + (x / x_max) * (width - 2 * pad)
+        py = height - pad - (y / y_max) * (height - 2 * pad)
+        points.append(f"{px:.1f},{py:.1f}")
+    return " ".join(points)
+
+
+def _timeline_svg(char: WorkloadCharacterization) -> str:
+    """Records committed over the run, ramp-up window shaded."""
+    series = char.timeline
+    run = series.run_samples
+    if len(run) < 2:
+        return ""
+    width, height, pad = 360.0, 120.0, 8.0
+    xs = [float(s["t_ms"]) for s in run]
+    ys = [float(s["records_committed"]) for s in run]
+    points = _polyline_points(xs, ys, width, height, pad)
+    ramp_px = pad + (
+        (series.ramp_up_ms / (max(xs) or 1.0)) * (width - 2 * pad)
+    )
+    last = run[-1]
+    tooltip = (
+        f"{char.name}: {last['records_committed']:,} records, "
+        f"{last['tasks_done']} tasks, ramp-up "
+        f"{series.ramp_up_ms:.0f} ms of {series.duration_ms:.0f} ms"
+    )
+    return f"""<svg viewBox="0 0 {width:.0f} {height:.0f}" width="{width:.0f}" height="{height:.0f}" role="img" aria-label="{_esc(char.name)} records timeline">
+  <title>{_esc(tooltip)}</title>
+  <rect x="0" y="0" width="{width:.0f}" height="{height:.0f}" fill="var(--surface-1)"/>
+  <rect x="{pad:.1f}" y="{pad:.1f}" width="{max(0.0, ramp_px - pad):.1f}" height="{height - 2 * pad:.1f}" fill="var(--ramp-wash)"/>
+  <line x1="{ramp_px:.1f}" y1="{pad:.1f}" x2="{ramp_px:.1f}" y2="{height - pad:.1f}" stroke="var(--baseline)" stroke-dasharray="3 3"/>
+  <line x1="{pad:.1f}" y1="{height - pad:.1f}" x2="{width - pad:.1f}" y2="{height - pad:.1f}" stroke="var(--baseline)"/>
+  <polyline points="{points}" fill="none" stroke="var(--series-1)" stroke-width="2" stroke-linejoin="round"/>
+</svg>"""
+
+
+def _windows_svg(char: WorkloadCharacterization, metric: str = "ILP") -> str:
+    """Per-phase simulation windows of one slave as a bar strip."""
+    series = char.timeline
+    slaves = sorted({s["slave"] for s in series.sim_samples})
+    if not slaves:
+        return ""
+    windows = [
+        s for s in series.sim_samples
+        if s["slave"] == slaves[0] and metric in s["metrics"]
+    ]
+    if not windows:
+        return ""
+    width, height, pad, gap = 360.0, 72.0, 8.0, 2.0
+    n = len(windows)
+    bar_w = max(1.0, (width - 2 * pad - gap * (n - 1)) / n)
+    peak = max(float(w["metrics"][metric]) for w in windows) or 1.0
+    bars = []
+    for i, window in enumerate(windows):
+        value = float(window["metrics"][metric])
+        bar_h = max(1.0, (value / peak) * (height - 2 * pad))
+        x = pad + i * (bar_w + gap)
+        y = height - pad - bar_h
+        bars.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w:.1f}" '
+            f'height="{bar_h:.1f}" rx="2" fill="var(--series-1)">'
+            f"<title>{_esc(window['phase'])}: {metric} {value:.3f}</title>"
+            f"</rect>"
+        )
+    return f"""<svg viewBox="0 0 {width:.0f} {height:.0f}" width="{width:.0f}" height="{height:.0f}" role="img" aria-label="{_esc(char.name)} per-window {metric}">
+  <title>{_esc(char.name)}: per-phase {metric} (slave {slaves[0]}, {n} windows)</title>
+  <rect x="0" y="0" width="{width:.0f}" height="{height:.0f}" fill="var(--surface-1)"/>
+  <line x1="{pad:.1f}" y1="{height - pad:.1f}" x2="{width - pad:.1f}" y2="{height - pad:.1f}" stroke="var(--baseline)"/>
+  {''.join(bars)}
+</svg>"""
+
+
+def _heatmap_svg(matrix: WorkloadMetricMatrix) -> str:
+    """Workload × metric z-score heatmap on the diverging ramp."""
+    z = _z_scores(matrix.values)
+    n_rows, n_cols = z.shape
+    cell, label_w, label_h = 14.0, 110.0, 16.0
+    width = label_w + n_cols * cell + 8
+    height = label_h + n_rows * cell + 8
+    cells = []
+    for r in range(n_rows):
+        for c in range(n_cols):
+            bucket = _bucket(float(z[r, c]))
+            sign = "m" if bucket < 0 else "p"
+            tip = (
+                f"{matrix.workloads[r]} · {METRIC_NAMES[c]}: "
+                f"z = {z[r, c]:+.2f}"
+            )
+            cells.append(
+                f'<rect x="{label_w + c * cell:.1f}" '
+                f'y="{label_h + r * cell:.1f}" width="{cell - 1:.1f}" '
+                f'height="{cell - 1:.1f}" class="z{sign}{abs(bucket)}">'
+                f"<title>{_esc(tip)}</title></rect>"
+            )
+    row_labels = [
+        f'<text x="{label_w - 6:.1f}" y="{label_h + r * cell + cell - 4:.1f}" '
+        f'text-anchor="end" class="axis">{_esc(name)}</text>'
+        for r, name in enumerate(matrix.workloads)
+    ]
+    col_labels = [
+        f'<text x="{label_w + c * cell + cell / 2 - 0.5:.1f}" '
+        f'y="{label_h - 5:.1f}" text-anchor="middle" class="axis">'
+        f"{c + 1}</text>"
+        for c in range(n_cols)
+        if (c + 1) % 5 == 0 or c == 0
+    ]
+    return f"""<svg viewBox="0 0 {width:.0f} {height:.0f}" width="{width:.0f}" height="{height:.0f}" role="img" aria-label="suite metric z-score heatmap">
+  <title>Column z-scores of the workload × metric matrix (blue below suite mean, red above)</title>
+  {''.join(col_labels)}
+  {''.join(row_labels)}
+  {''.join(cells)}
+</svg>"""
+
+
+def _kiviat_svg(diagram: KiviatDiagram) -> str:
+    """One representative's Figure-6 radar polygon."""
+    size, pad = 150.0, 24.0
+    center = size / 2
+    radius = center - pad
+    peak = max(abs(v) for v in diagram.values) or 1.0
+    vertices = diagram.polygon()
+    points = " ".join(
+        f"{center + (x / peak) * radius:.1f},{center + (y / peak) * radius:.1f}"
+        for x, y in vertices
+    )
+    n = len(diagram.axes)
+    spokes, labels = [], []
+    for i, axis in enumerate(diagram.axes):
+        angle = 2.0 * np.pi * i / n
+        ex = center + radius * np.cos(angle)
+        ey = center + radius * np.sin(angle)
+        spokes.append(
+            f'<line x1="{center:.1f}" y1="{center:.1f}" '
+            f'x2="{ex:.1f}" y2="{ey:.1f}" stroke="var(--gridline)"/>'
+        )
+        lx = center + (radius + 10) * np.cos(angle)
+        ly = center + (radius + 10) * np.sin(angle)
+        labels.append(
+            f'<text x="{lx:.1f}" y="{ly + 3:.1f}" text-anchor="middle" '
+            f'class="axis">{_esc(axis)}</text>'
+        )
+    tip = (
+        f"{diagram.workload}: dominated by {diagram.dominant_axis} "
+        f"(|score| {peak:.2f})"
+    )
+    return f"""<svg viewBox="0 0 {size:.0f} {size:.0f}" width="{size:.0f}" height="{size:.0f}" role="img" aria-label="{_esc(diagram.workload)} Kiviat diagram">
+  <title>{_esc(tip)}</title>
+  {''.join(spokes)}
+  <polygon points="{points}" fill="var(--series-1)" fill-opacity="0.18" stroke="var(--series-1)" stroke-width="2" stroke-linejoin="round"/>
+  {''.join(labels)}
+</svg>"""
+
+
+# -- page assembly -------------------------------------------------------------
+
+
+def _heatmap_classes() -> str:
+    """CSS rules for the quantized diverging buckets, light and dark."""
+    light = _diverging_ramp(_DIVERGING_LIGHT)
+    dark = _diverging_ramp(_DIVERGING_DARK)
+
+    def rules(ramp: dict[int, str], scope: str) -> Iterable[str]:
+        for bucket, color in sorted(ramp.items()):
+            sign = "m" if bucket < 0 else "p"
+            yield f"{scope} .z{sign}{abs(bucket)} {{ fill: {color}; }}"
+
+    dark_rules = "\n".join(rules(dark, ".viz-root"))
+    return "\n".join(
+        [
+            *rules(light, ".viz-root"),
+            "@media (prefers-color-scheme: dark) {",
+            ':root:where(:not([data-theme="light"])) ' + dark_rules.replace(
+                "\n", "\n:root:where(:not([data-theme=\"light\"])) "
+            ),
+            "}",
+            ':root[data-theme="dark"] ' + dark_rules.replace(
+                "\n", '\n:root[data-theme="dark"] '
+            ),
+        ]
+    )
+
+
+_STYLE = """
+.viz-root {
+  color-scheme: light;
+  --surface-1:      #fcfcfb;
+  --page:           #f9f9f7;
+  --text-primary:   #0b0b0b;
+  --text-secondary: #52514e;
+  --muted:          #898781;
+  --gridline:       #e1e0d9;
+  --baseline:       #c3c2b7;
+  --border:         rgba(11,11,11,0.10);
+  --series-1:       #2a78d6;
+  --ramp-wash:      rgba(137,135,129,0.12);
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface-1:      #1a1a19;
+    --page:           #0d0d0d;
+    --text-primary:   #ffffff;
+    --text-secondary: #c3c2b7;
+    --muted:          #898781;
+    --gridline:       #2c2c2a;
+    --baseline:       #383835;
+    --border:         rgba(255,255,255,0.10);
+    --series-1:       #3987e5;
+    --ramp-wash:      rgba(137,135,129,0.18);
+  }
+}
+:root[data-theme="dark"] .viz-root {
+  color-scheme: dark;
+  --surface-1:      #1a1a19;
+  --page:           #0d0d0d;
+  --text-primary:   #ffffff;
+  --text-secondary: #c3c2b7;
+  --muted:          #898781;
+  --gridline:       #2c2c2a;
+  --baseline:       #383835;
+  --border:         rgba(255,255,255,0.10);
+  --series-1:       #3987e5;
+  --ramp-wash:      rgba(137,135,129,0.18);
+}
+.viz-root {
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--page);
+  color: var(--text-primary);
+  margin: 0;
+  padding: 24px;
+}
+.viz-root h1 { font-size: 20px; margin: 0 0 4px; }
+.viz-root h2 { font-size: 15px; margin: 28px 0 10px; }
+.viz-root h3 { font-size: 13px; margin: 0 0 6px; }
+.viz-root p.sub { color: var(--text-secondary); font-size: 13px; margin: 0 0 16px; }
+.viz-root .cards { display: flex; flex-wrap: wrap; gap: 16px; }
+.viz-root .card {
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 12px;
+}
+.viz-root .card p { color: var(--text-secondary); font-size: 12px; margin: 6px 0 0; }
+.viz-root svg { display: block; }
+.viz-root svg .axis { fill: var(--muted); font-size: 9px; font-family: inherit; }
+.viz-root table { border-collapse: collapse; font-size: 11px; }
+.viz-root th, .viz-root td {
+  border: 1px solid var(--gridline);
+  padding: 2px 6px;
+  text-align: right;
+  font-variant-numeric: tabular-nums;
+}
+.viz-root th { color: var(--text-secondary); font-weight: 600; }
+.viz-root td.name, .viz-root th.name { text-align: left; }
+.viz-root details summary { cursor: pointer; color: var(--text-secondary); font-size: 13px; }
+.viz-root .legend { color: var(--text-secondary); font-size: 12px; margin: 6px 0 0; }
+.viz-root .swatch {
+  display: inline-block; width: 10px; height: 10px;
+  border-radius: 2px; margin: 0 4px 0 10px; vertical-align: baseline;
+}
+"""
+
+
+def _matrix_table(matrix: WorkloadMetricMatrix) -> str:
+    """The full matrix as an HTML table (the charts' accessible twin)."""
+    head = "".join(
+        f'<th title="{_esc(name)}">{i + 1}</th>'
+        for i, name in enumerate(METRIC_NAMES)
+    )
+    rows = []
+    for r, workload in enumerate(matrix.workloads):
+        cells = "".join(
+            f"<td>{matrix.values[r, c]:.3g}</td>"
+            for c in range(matrix.values.shape[1])
+        )
+        rows.append(f'<tr><td class="name">{_esc(workload)}</td>{cells}</tr>')
+    return (
+        "<details><summary>Table view: full workload × metric matrix"
+        "</summary><div style=\"overflow-x:auto\"><table>"
+        f'<tr><th class="name">workload</th>{head}</tr>'
+        f"{''.join(rows)}</table></div></details>"
+    )
+
+
+def _timeline_cards(
+    characterizations: Sequence[WorkloadCharacterization],
+) -> str:
+    cards = []
+    for char in characterizations:
+        if char.timeline is None or len(char.timeline.run_samples) < 2:
+            continue
+        rates = char.timeline.steady_state_rates()
+        windows = _windows_svg(char)
+        cards.append(
+            '<div class="card">'
+            f"<h3>{_esc(char.name)}</h3>"
+            f"{_timeline_svg(char)}"
+            f"{windows}"
+            f"<p>steady state: {rates['records_per_s']:,.0f} records/s over "
+            f"{rates['window_s']:.2f}s · {len(char.timeline)} samples</p>"
+            "</div>"
+        )
+    if not cards:
+        return (
+            '<p class="sub">No timelines recorded — collect with timeline '
+            "sampling enabled (<code>repro report --html</code> does) to "
+            "see per-run charts here.</p>"
+        )
+    return f'<div class="cards">{"".join(cards)}</div>'
+
+
+def _kiviat_cards(subsetting: SubsettingResult | None) -> str:
+    if subsetting is None or not subsetting.kiviat:
+        return '<p class="sub">Subsetting unavailable for this suite.</p>'
+    cards = [
+        '<div class="card">'
+        f"<h3>{_esc(diagram.workload)}</h3>"
+        f"{_kiviat_svg(diagram)}"
+        f"<p>dominant: {_esc(diagram.dominant_axis)}</p>"
+        "</div>"
+        for diagram in subsetting.kiviat
+    ]
+    return f'<div class="cards">{"".join(cards)}</div>'
+
+
+def render_dashboard(
+    matrix: WorkloadMetricMatrix,
+    characterizations: Sequence[WorkloadCharacterization] = (),
+    subsetting: SubsettingResult | None = None,
+    title: str = "repro characterization dashboard",
+) -> str:
+    """Render the suite as one self-contained HTML page.
+
+    Args:
+        matrix: The workload × metric matrix to chart.
+        characterizations: Per-workload detail; entries carrying a
+            :class:`~repro.obs.timeline.TimelineSeries` get a timeline
+            card.
+        subsetting: The subsetting result whose Kiviat diagrams (Fig. 6)
+            to include; ``None`` omits that section.
+        title: Page title.
+
+    Returns:
+        A complete HTML document with all assets inline — no scripts,
+        no external URLs.
+    """
+    with_timelines = sum(
+        1 for c in characterizations if c.timeline is not None
+    )
+    subset_names = (
+        ", ".join(subsetting.representative_subset) if subsetting else "—"
+    )
+    ramp = _diverging_ramp(_DIVERGING_LIGHT)
+    legend = (
+        '<p class="legend">z-score'
+        f'<span class="swatch" style="background:{ramp[-_Z_BUCKETS]}"></span>'
+        "below mean"
+        f'<span class="swatch" style="background:{ramp[0]}"></span>mean'
+        f'<span class="swatch" style="background:{ramp[_Z_BUCKETS]}"></span>'
+        "above mean</p>"
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{_esc(title)}</title>
+<style>{_STYLE}
+{_heatmap_classes()}
+</style>
+</head>
+<body class="viz-root">
+<h1>{_esc(title)}</h1>
+<p class="sub">{len(matrix.workloads)} workloads × {len(METRIC_NAMES)} metrics
+ · {with_timelines} with timelines · representative subset: {_esc(subset_names)}</p>
+
+<h2>Workload timelines</h2>
+<p class="sub">Records committed over the run (shaded region = ramp-up window,
+discarded from steady-state rates) and per-phase simulation-window ILP.</p>
+{_timeline_cards(characterizations)}
+
+<h2>Suite heatmap</h2>
+<p class="sub">Column z-scores of every metric across the suite — the exact
+normalization the PCA and clustering consume.</p>
+<div class="card">{_heatmap_svg(matrix)}{legend}</div>
+
+<h2>Representative subset (Kiviat)</h2>
+<p class="sub">Each chosen representative's principal-component profile;
+diverse dominant axes are what make the subset representative.</p>
+{_kiviat_cards(subsetting)}
+
+<h2>Data</h2>
+{_matrix_table(matrix)}
+</body>
+</html>
+"""

@@ -29,6 +29,7 @@ from repro.arch.core_model import CoreModel, wrong_path_branches
 from repro.arch.pipeline import CycleAccounting, CycleModel, SampleCounts
 from repro.arch.trace import PhaseProfile
 from repro.errors import ConfigurationError
+from repro.obs.timeline import current_timeline
 
 __all__ = ["ProcessorConfig", "Processor", "events_from_sample"]
 
@@ -252,8 +253,9 @@ class Processor:
                 private_budget_lines=private_budget,
                 install_shared_and_code=(index == 0),
             )
+        sampler = current_timeline()
         totals: dict[str, float] = {}
-        for profile in profiles:
+        for window, profile in enumerate(profiles):
             events = self.run_phase(
                 profile,
                 rng,
@@ -262,6 +264,12 @@ class Processor:
                 warmup_fraction=warmup_fraction,
                 prewarm=False,
             )
+            if sampler is not None:
+                # Observational: the sampler copies `events` and derives
+                # window metrics from the copy — the measurement is done.
+                sampler.sim_window(
+                    window, profile.name, profile.instructions, events
+                )
             for name, value in events.items():
                 totals[name] = totals.get(name, 0.0) + value
         return totals

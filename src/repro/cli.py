@@ -61,6 +61,58 @@ def _add_measurement(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--slaves", type=int, default=1, help="slaves to measure")
     parser.add_argument("--cores", type=int, default=3, help="active cores per slave")
     parser.add_argument("--ops", type=int, default=4000, help="sampled ops per core")
+    parser.add_argument(
+        "--flight-capacity",
+        type=int,
+        default=None,
+        metavar="N",
+        help="flight-recorder ring size per characterization (default 256; "
+        "purely observational — does not change any metric)",
+    )
+
+
+def _add_timeline(parser: argparse.ArgumentParser, default_on: bool = False) -> None:
+    if default_on:
+        parser.add_argument(
+            "--no-timeline",
+            dest="timeline",
+            action="store_false",
+            help="disable time-resolved sampling (on by default here)",
+        )
+    else:
+        parser.add_argument(
+            "--timeline",
+            action="store_true",
+            help="collect a time-resolved sample series alongside the "
+            "45-metric characterization (purely observational)",
+        )
+    parser.add_argument(
+        "--timeline-interval",
+        type=float,
+        default=10.0,
+        metavar="MS",
+        help="minimum milliseconds between run samples (default 10)",
+    )
+    parser.add_argument(
+        "--ramp-up-fraction",
+        type=float,
+        default=0.3,
+        metavar="F",
+        help="leading fraction of the run treated as ramp-up and excluded "
+        "from steady-state rates (default 0.3)",
+    )
+
+
+def _timeline(args: argparse.Namespace):
+    """A :class:`TimelineConfig` from args, or ``None`` when sampling is off."""
+    if not getattr(args, "timeline", False):
+        return None
+    from repro.obs.timeline import TimelineConfig
+
+    return TimelineConfig(
+        interval_ms=args.timeline_interval,
+        ramp_up_fraction=args.ramp_up_fraction,
+    )
 
 
 def _add_faults(parser: argparse.ArgumentParser) -> None:
@@ -156,9 +208,17 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
         RunContext(scale=args.scale, seed=args.seed),
         _measurement(args),
         faults=plan,
+        timeline=_timeline(args),
+        flight_capacity=args.flight_capacity,
     )
     if characterization.faults is not None:
         print(f"fault tally: {characterization.faults}")
+    if characterization.timeline is not None:
+        series = characterization.timeline
+        rates = series.steady_state_rates()
+        print(f"timeline: {len(series)} samples over "
+              f"{series.duration_ms:.1f} ms (ramp-up {series.ramp_up_ms:.1f} ms, "
+              f"steady state {rates['records_per_s']:,.0f} records/s)")
     print(f"{workload.name} — 45 Table II metrics "
           f"(mean over {len(characterization.per_slave)} slave(s)):")
     for spec in METRICS:
@@ -188,6 +248,8 @@ def _collection(args: argparse.Namespace):
         measurement=_measurement(args),
         workers=args.workers,
         faults=plan,
+        timeline=_timeline(args),
+        flight_capacity=getattr(args, "flight_capacity", None),
     )
 
 
@@ -250,6 +312,45 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     for entry in tracer.summary(top=args.top):
         print(f"{entry['name']:40s} {entry['count']:>6d} "
               f"{entry['total_us'] / 1e3:>10.2f}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.dashboard import render_dashboard
+    from repro.cluster.collection import characterize_suite
+    from repro.core.subsetting import subset_workloads
+    from repro.errors import ReproError
+
+    collection = _collection(args)
+    if isinstance(collection, int):
+        return collection
+    workloads = SUITE[: args.limit] if args.limit else SUITE
+    result = characterize_suite(
+        workloads,
+        collection,
+        progress=lambda done, total: print(
+            f"  characterized {done}/{total}", file=sys.stderr
+        ),
+    )
+    try:
+        subsetting = subset_workloads(result.matrix, seed=args.seed)
+    except ReproError as error:
+        print(f"repro: subsetting skipped: {error}", file=sys.stderr)
+        subsetting = None
+    html_doc = render_dashboard(
+        result.matrix,
+        result.characterizations,
+        subsetting=subsetting,
+        title=f"repro characterization dashboard ({len(workloads)} workloads)",
+    )
+    with open(args.html, "w", encoding="utf-8") as handle:
+        handle.write(html_doc)
+    with_timelines = sum(
+        1 for c in result.characterizations if c.timeline is not None
+    )
+    print(f"dashboard written to {args.html} "
+          f"({len(html_doc)} bytes, {with_timelines} timelines, "
+          "self-contained — no scripts, no external assets)")
     return 0
 
 
@@ -332,6 +433,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_common(char_parser)
     _add_measurement(char_parser)
     _add_faults(char_parser)
+    _add_timeline(char_parser)
 
     trace_parser = subparsers.add_parser(
         "trace",
@@ -370,6 +472,30 @@ def main(argv: list[str] | None = None) -> int:
     _add_workers(obs_parser)
     _add_faults(obs_parser)
 
+    report_parser = subparsers.add_parser(
+        "report",
+        help="render the suite as a self-contained HTML dashboard",
+        description="Characterize the suite (timeline sampling on by "
+        "default) and write ONE self-contained HTML file — inline SVG "
+        "timelines, the suite z-score heatmap, and Figure-6 Kiviat "
+        "diagrams; no scripts, no external assets.",
+    )
+    _add_common(report_parser)
+    _add_measurement(report_parser)
+    _add_workers(report_parser)
+    _add_faults(report_parser)
+    _add_timeline(report_parser, default_on=True)
+    report_parser.add_argument(
+        "--html", default="report.html", help="output HTML path"
+    )
+    report_parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="characterize only the first N suite workloads (default: all 32)",
+    )
+
     serve_parser = subparsers.add_parser(
         "serve",
         help="run the HTTP characterization service",
@@ -382,6 +508,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_measurement(serve_parser)
     _add_workers(serve_parser)
     _add_faults(serve_parser)
+    _add_timeline(serve_parser)
     serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
     serve_parser.add_argument(
         "--port", type=int, default=8321, help="TCP port (0 picks a free one)"
@@ -409,6 +536,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": _cmd_trace,
         "experiment": _cmd_experiment,
         "observations": _cmd_observations,
+        "report": _cmd_report,
         "serve": _cmd_serve,
     }
     return handlers[args.command](args)

@@ -36,6 +36,7 @@ from repro.errors import AnalysisError, CollectionCancelled, StackExecutionError
 from repro.faults import FaultPlan
 from repro.metrics.catalog import METRIC_NAMES
 from repro.obs.log import get_logger
+from repro.obs.timeline import TimelineConfig
 from repro.obs.trace import span as obs_span
 from repro.stacks.base import stable_hash
 from repro.workloads.base import RunContext, Workload
@@ -48,10 +49,16 @@ __all__ = [
     "suite_store_key",
     "workload_store_key",
     "collection_runs",
+    "ProgressFn",
+    "WorkloadFn",
 ]
 
 #: Progress callback signature: ``(workloads_done, workloads_total)``.
 ProgressFn = Callable[[int, int], None]
+
+#: Per-workload completion callback: receives each characterization as
+#: it lands, in suite order (the job manager's timeline-delta feed).
+WorkloadFn = Callable[[WorkloadCharacterization], None]
 
 _log = get_logger("repro.cluster.collection")
 
@@ -76,6 +83,14 @@ class CollectionConfig:
     #: Each re-attempt reseeds the fault plan (the injector's draws are
     #: deterministic, so retrying the *same* plan would fail identically).
     workload_retries: int = 2
+    #: Timeline sampling config (``None`` = no time series collected).
+    #: Participates in :meth:`cache_key` so timeline-enabled collections
+    #: persist (and hydrate) entries that actually carry a timeline.
+    timeline: TimelineConfig | None = None
+    #: Flight-recorder ring capacity (``None`` = the recorder's default).
+    #: Observational — the metrics are identical at any capacity — so it
+    #: is excluded from :meth:`cache_key`, like ``workers``.
+    flight_capacity: int | None = None
 
     def cache_key(self) -> str:
         m = self.measurement
@@ -86,6 +101,8 @@ class CollectionConfig:
         )
         if self.faults is not None and self.faults.any_faults():
             key += f"-{self.faults.token()}"
+        if self.timeline is not None:
+            key += f"-{self.timeline.token()}"
         return key
 
 
@@ -165,6 +182,8 @@ def _characterize_with_retries(
     measurement: MeasurementConfig,
     faults: FaultPlan | None,
     retries: int,
+    timeline: TimelineConfig | None = None,
+    flight_capacity: int | None = None,
 ) -> WorkloadCharacterization:
     """Characterize one workload, re-attempting exhausted-budget failures.
 
@@ -183,7 +202,8 @@ def _characterize_with_retries(
             plan = replace(faults, seed=stable_hash((faults.seed, attempt)))
         try:
             result = cluster.characterize_workload(
-                workload, context, measurement, faults=plan
+                workload, context, measurement, faults=plan,
+                timeline=timeline, flight_capacity=flight_capacity,
             )
         except StackExecutionError as error:
             last_error = error
@@ -202,6 +222,8 @@ def _characterize_one(
     measurement: MeasurementConfig,
     faults: FaultPlan | None = None,
     retries: int = 0,
+    timeline: TimelineConfig | None = None,
+    flight_capacity: int | None = None,
 ) -> WorkloadCharacterization:
     """Characterize one workload on a fresh cluster (worker-process entry).
 
@@ -212,7 +234,7 @@ def _characterize_one(
     context = RunContext(scale=scale, seed=seed)
     return _characterize_with_retries(
         cluster, workload_by_name(workload_name), context, measurement,
-        faults, retries,
+        faults, retries, timeline, flight_capacity,
     )
 
 
@@ -239,6 +261,7 @@ def _collect_serial(
     config: CollectionConfig,
     progress: ProgressFn | None,
     cancel: threading.Event | None,
+    on_workload: WorkloadFn | None = None,
 ) -> list[WorkloadCharacterization]:
     cluster = Cluster()
     context = RunContext(scale=config.scale, seed=config.seed)
@@ -249,6 +272,7 @@ def _collect_serial(
             _characterize_with_retries(
                 cluster, workload, context, config.measurement,
                 config.faults, config.workload_retries,
+                config.timeline, config.flight_capacity,
             )
         )
         _log.debug(
@@ -256,6 +280,8 @@ def _collect_serial(
             extra={"workload": workload.name,
                    "done": len(characterizations), "total": len(workloads)},
         )
+        if on_workload is not None:
+            on_workload(characterizations[-1])
         if progress is not None:
             progress(len(characterizations), len(workloads))
     return characterizations
@@ -267,6 +293,7 @@ def _collect_parallel(
     workers: int,
     progress: ProgressFn | None,
     cancel: threading.Event | None,
+    on_workload: WorkloadFn | None = None,
 ) -> list[WorkloadCharacterization]:
     """Fan the workloads over ``workers`` processes, in suite order.
 
@@ -287,6 +314,8 @@ def _collect_parallel(
                 config.measurement,
                 config.faults,
                 config.workload_retries,
+                config.timeline,
+                config.flight_capacity,
             )
             for workload in workloads
         ]
@@ -295,6 +324,8 @@ def _collect_parallel(
                 executor.shutdown(wait=False, cancel_futures=True)
                 raise CollectionCancelled("suite collection cancelled")
             characterizations.append(future.result())
+            if on_workload is not None:
+                on_workload(characterizations[-1])
             if progress is not None:
                 progress(len(characterizations), len(workloads))
     return characterizations
@@ -366,6 +397,7 @@ def characterize_suite(
     workers: int | None = None,
     progress: ProgressFn | None = None,
     cancel: threading.Event | None = None,
+    on_workload: WorkloadFn | None = None,
 ) -> SuiteCharacterization:
     """Characterize ``workloads``, optionally fanning over processes.
 
@@ -385,6 +417,10 @@ def characterize_suite(
             workload completes (the job manager's progress feed).
         cancel: Optional event; when set, collection stops between
             workloads and raises :class:`CollectionCancelled`.
+        on_workload: Optional callback receiving each completed
+            :class:`WorkloadCharacterization` as it lands, in suite
+            order (feeds per-workload timeline deltas to job streams).
+            Not invoked on memo/store cache hits.
 
     Raises:
         AnalysisError: If ``verify_checks`` finds a failed correctness
@@ -425,11 +461,11 @@ def characterize_suite(
     ):
         if workers > 1 and len(workloads) > 1:
             characterizations = _collect_parallel(
-                workloads, config, workers, progress, cancel
+                workloads, config, workers, progress, cancel, on_workload
             )
         else:
             characterizations = _collect_serial(
-                workloads, config, progress, cancel
+                workloads, config, progress, cancel, on_workload
             )
 
     rows: dict[str, dict[str, float]] = {}

@@ -17,6 +17,7 @@ data-collection protocol end to end:
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -26,7 +27,19 @@ from repro.cluster.node import Node, NodeConfig
 from repro.errors import ConfigurationError
 from repro.faults import FaultInjector, FaultPlan, fault_injection
 from repro.metrics.derivation import derive_metrics
-from repro.obs.flight import FlightRecorder, current_flight, flight_recording
+from repro.obs.flight import (
+    DEFAULT_CAPACITY,
+    FlightRecorder,
+    current_flight,
+    flight_recording,
+)
+from repro.obs.timeline import (
+    TimelineConfig,
+    TimelineSampler,
+    TimelineSeries,
+    current_timeline,
+    timeline_sampling,
+)
 from repro.obs.trace import span as obs_span
 from repro.perf.profiler import PerfProfiler
 from repro.stacks.base import PhaseKind, stable_hash
@@ -80,6 +93,12 @@ class WorkloadCharacterization:
         events: Flight-recorder events captured during the run (bounded,
             oldest-first).  Purely observational: carries wall-clock
             timings, so it is excluded from metric comparisons.
+        events_capacity: Ring capacity the flight recorder ran with, so
+            a stored snapshot is self-describing (gaps in ``seq`` plus
+            this bound tell you exactly what overflowed).
+        timeline: Time-resolved sample series collected during the run,
+            or ``None`` when timeline sampling was off.  Observational
+            like ``events``: excluded from metric comparisons.
     """
 
     name: str
@@ -89,6 +108,8 @@ class WorkloadCharacterization:
     attempts: int = 1
     faults: dict | None = None
     events: tuple[dict, ...] = ()
+    events_capacity: int = 256
+    timeline: TimelineSeries | None = None
 
 
 class Cluster:
@@ -110,6 +131,8 @@ class Cluster:
         measurement: MeasurementConfig | None = None,
         faults: FaultPlan | None = None,
         fault_scope: object = None,
+        timeline: TimelineConfig | None = None,
+        flight_capacity: int | None = None,
     ) -> WorkloadCharacterization:
         """Run and characterize one workload (see module docstring).
 
@@ -120,10 +143,20 @@ class Cluster:
         the measured set, so the cross-slave mean degrades to survivors
         exactly as a real four-node cluster's would.
 
+        With a ``timeline`` config, an ambient
+        :class:`~repro.obs.timeline.TimelineSampler` records the run's
+        time series and attaches it as ``characterization.timeline``.
+        Sampling is purely observational: metrics are bit-identical with
+        it on or off, and the series must pass both reconciliation
+        invariants (window sums = simulated totals; slave-sample mean =
+        published metrics) or the run fails loudly.
+
         Raises:
             StackExecutionError: If an injected fault persists past a
                 task's retry budget (the workload attempt fails, like a
                 Hadoop job exceeding ``mapred.map.max.attempts``).
+            AnalysisError: If a collected timeline fails to reconcile
+                with the published metrics.
         """
         context = context or RunContext()
         measurement = measurement or MeasurementConfig()
@@ -131,12 +164,16 @@ class Cluster:
         # Record into the ambient flight recorder when one is active
         # (e.g. the service wraps whole jobs); otherwise each
         # characterization gets its own bounded recorder.
-        recorder = current_flight() or FlightRecorder()
+        recorder = current_flight()
+        if recorder is None:
+            recorder = FlightRecorder(capacity=flight_capacity or DEFAULT_CAPACITY)
+
+        sampler = TimelineSampler(timeline) if timeline is not None else None
 
         injector: FaultInjector | None = None
         if faults is not None and faults.any_faults():
             injector = FaultInjector(faults, scope=(workload.name, fault_scope))
-        with flight_recording(recorder), obs_span(
+        with flight_recording(recorder), timeline_sampling(sampler), obs_span(
             f"workload:{workload.name}", "workload",
             family=workload.family.value,
         ):
@@ -150,7 +187,19 @@ class Cluster:
                 workload, context, measurement, injector, run
             )
         recorder.record("workload-done", workload=workload.name)
-        return replace(characterization, events=tuple(recorder.snapshot()))
+
+        series: TimelineSeries | None = None
+        if sampler is not None:
+            series = sampler.series()
+            # The assertion-backed invariant: the steady-state slave
+            # samples must reproduce the published mean bit-for-bit.
+            series.reconcile(characterization.metrics)
+        return replace(
+            characterization,
+            events=tuple(recorder.snapshot()),
+            events_capacity=recorder.capacity,
+            timeline=series,
+        )
 
     def _measure(
         self,
@@ -191,13 +240,19 @@ class Cluster:
             measured_slaves = surviving
 
         profiler = PerfProfiler()
+        sampler = current_timeline()
         per_slave: list[dict[str, float]] = []
         for slave_index in measured_slaves:
             slave = self.slaves[slave_index]
             rng = np.random.default_rng(
                 stable_hash((workload.name, context.seed, slave_index))
             )
-            with obs_span(
+            scope = (
+                sampler.slave_scope(slave_index)
+                if sampler is not None
+                else contextlib.nullcontext()
+            )
+            with scope, obs_span(
                 f"simulate:{workload.name}:slave-{slave_index}", "measure"
             ):
                 true_events = slave.processor.run_workload(
@@ -207,10 +262,16 @@ class Cluster:
                     ops_per_core=measurement.ops_per_core,
                     warmup_fraction=measurement.warmup_fraction,
                 )
+                if sampler is not None:
+                    # Windows must exactly partition the measurement —
+                    # fail at collection time, not after persisting.
+                    sampler.verify_slave_windows(slave_index, true_events)
                 observed = profiler.profile(
                     true_events, rng, repeats=measurement.perf_repeats
                 )
                 per_slave.append(derive_metrics(observed.counts))
+                if sampler is not None:
+                    sampler.slave_metrics(slave_index, per_slave[-1])
 
         mean_metrics = {
             name: float(np.mean([slave[name] for slave in per_slave]))

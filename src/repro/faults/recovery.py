@@ -39,6 +39,7 @@ from repro.faults.injector import current_injector
 from repro.obs import flight
 from repro.obs.log import get_logger
 from repro.obs.metrics import REGISTRY
+from repro.obs.timeline import observe_fault, observe_task
 from repro.obs.trace import span as obs_span
 
 if TYPE_CHECKING:  # imported lazily at runtime: the stacks package
@@ -146,12 +147,14 @@ def run_task(
     """
     injector = current_injector()
     _TASKS_STARTED.inc()
+    observe_task("start")
     if injector is None or not injector.plan.any_faults():
         recorder = TaskRecorder()
         with obs_span(f"task:{name}", "task", worker=worker):
             result = body(recorder, worker)
         for record in recorder.records:
             trace.add(record)
+        observe_task("done")
         return result
 
     key = injector.task_key(name)
@@ -164,6 +167,7 @@ def run_task(
         fault = injector.task_fault(key, attempt, reads_hdfs=reads_hdfs)
         if fault is None:
             break
+        observe_fault(fault.value)
         for record in recorder.records:
             trace.add(replace(record, tag=f"failed:{fault.value}"))
         flight.record(
@@ -191,6 +195,7 @@ def run_task(
             )
         injector.note_retry(attempt)
         _TASK_RETRIES.inc()
+        observe_task("retry")
         worker = injector.retry_worker(worker, attempt, num_nodes)
         _log.warning(
             "task attempt faulted, retrying",
@@ -205,6 +210,7 @@ def run_task(
             trace.add(replace(record, tag=TAG_SPECULATIVE))
         backup = injector.speculative_worker(worker, num_nodes)
         _TASKS_SPECULATED.inc()
+        observe_task("speculate")
         _log.info(
             "straggler speculated",
             extra={"task": name, "serial": key[1], "slow_worker": worker,
@@ -222,4 +228,5 @@ def run_task(
 
     for record in recorder.records:
         trace.add(record)
+    observe_task("done")
     return result

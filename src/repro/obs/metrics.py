@@ -70,7 +70,17 @@ def _render_labels(labelnames: tuple[str, ...], key: tuple[str, ...]) -> str:
 
 
 def _escape(value: str) -> str:
+    """Escape a label value per the text exposition format 0.0.4.
+
+    Backslash first — escaping it last would corrupt the escapes the
+    earlier replacements introduced.
+    """
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    """Escape HELP text: only backslash and newline, quotes stay literal."""
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _format_value(value: float) -> str:
@@ -93,7 +103,7 @@ class _Metric:
 
     def _header(self) -> list[str]:
         return [
-            f"# HELP {self.name} {self.help}",
+            f"# HELP {self.name} {_escape_help(self.help)}",
             f"# TYPE {self.name} {self.kind}",
         ]
 

@@ -1,0 +1,606 @@
+"""Time-resolved telemetry: the interval sampler behind ``TimelineSeries``.
+
+The paper's collection protocol is inherently time-resolved: metrics are
+sampled in intervals, the ramp-up period is discarded, and only the
+steady-state window feeds the 45-metric matrix (Section IV-C).  This
+module records how a workload's behaviour *evolves* during a run — the
+per-point-in-time counterpart of the flight recorder's event log.
+
+Three sample sources land in one monotone series (``seq`` strictly
+increases; ``t_ms`` is milliseconds since the sampler started, on the
+monotonic clock):
+
+- ``run`` samples — interval snapshots of runtime state while the
+  engines execute: tasks in flight, records/bytes committed, shuffle
+  bytes, retry/speculation/fault tallies, with a per-worker breakdown.
+- ``sim`` samples — one window per simulated phase per measured slave,
+  carrying the window's raw PMU event estimates and the 45 Table II
+  metrics derived from them.  The windows exactly partition the
+  measurement: summing their events in order reconstructs the slave's
+  raw totals bit-for-bit (asserted at collection time).
+- ``slave`` samples — each measured slave's final 45-metric vector as
+  it lands, so the published cross-slave mean is recomputable from the
+  series alone (the :meth:`TimelineSeries.reconcile` invariant).
+
+Ramp-up windowing mirrors the paper's protocol: a configurable
+``ramp_up_fraction`` of the run-sample timeline is the ramp-up window;
+:meth:`TimelineSeries.steady_state_run_samples` is what remains, and
+steady-state rates are computed only there.  (The simulator applies its
+own per-phase warm-up discard independently, exactly as before.)
+
+Like the tracer and the flight recorder, the sampler is ambient and
+purely observational: it consumes no randomness and changes no control
+flow, so the 45-metric matrix is bit-identical with sampling on or off.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import threading
+import time
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError, ConfigurationError
+
+__all__ = [
+    "TimelineConfig",
+    "TimelineSampler",
+    "TimelineSeries",
+    "current_timeline",
+    "timeline_sampling",
+    "observe_phase_record",
+    "observe_task",
+    "observe_fault",
+]
+
+#: Phase kinds whose traffic counts as shuffle bytes on the timeline.
+_SHUFFLE_IN_KINDS = ("shuffle", "shuffle-read")
+_SHUFFLE_OUT_KINDS = ("shuffle-write",)
+
+#: Terminal sources a series may contain.
+SOURCES = ("run", "sim", "slave")
+
+
+@dataclass(frozen=True)
+class TimelineConfig:
+    """Knobs of the interval sampler.
+
+    Attributes:
+        interval_ms: Minimum milliseconds between consecutive ``run``
+            samples; ``0`` snapshots on every state change (what the
+            deterministic tests use).
+        ramp_up_fraction: Leading fraction of the run-sample timeline
+            treated as ramp-up and excluded from steady-state windows,
+            mirroring the paper's discarded warm-up sample.
+        max_run_samples: Bound on retained ``run`` samples.  When
+            exceeded, every other retained run sample is dropped and the
+            effective interval doubles — the series stays bounded while
+            covering the whole run.
+    """
+
+    interval_ms: float = 10.0
+    ramp_up_fraction: float = 0.3
+    max_run_samples: int = 512
+
+    def __post_init__(self) -> None:
+        if self.interval_ms < 0:
+            raise ConfigurationError("interval_ms must be >= 0")
+        if not 0.0 <= self.ramp_up_fraction < 1.0:
+            raise ConfigurationError("ramp_up_fraction must be in [0, 1)")
+        if self.max_run_samples < 2:
+            raise ConfigurationError("max_run_samples must be at least 2")
+
+    def token(self) -> str:
+        """A short stable token for store keys (artifact completeness:
+        timeline-on collections persist their own entries)."""
+        return f"tl{self.interval_ms:g}-{self.ramp_up_fraction:g}"
+
+
+@dataclass(frozen=True)
+class TimelineSeries:
+    """The collected, immutable time series of one characterization.
+
+    Attributes:
+        samples: All samples, oldest first, each a JSON-safe dict with a
+            strictly increasing ``seq``, a ``t_ms`` offset and a
+            ``source`` of ``run``, ``sim`` or ``slave``.
+        ramp_up_fraction: The windowing fraction the series was
+            collected under.
+        interval_ms: The *effective* run-sample interval (doubles when
+            the ring decimates).
+    """
+
+    samples: tuple[dict, ...]
+    ramp_up_fraction: float
+    interval_ms: float
+
+    # -- windowing ------------------------------------------------------------
+
+    def by_source(self, source: str) -> tuple[dict, ...]:
+        return tuple(s for s in self.samples if s["source"] == source)
+
+    @property
+    def run_samples(self) -> tuple[dict, ...]:
+        return self.by_source("run")
+
+    @property
+    def sim_samples(self) -> tuple[dict, ...]:
+        return self.by_source("sim")
+
+    @property
+    def slave_samples(self) -> tuple[dict, ...]:
+        return self.by_source("slave")
+
+    @property
+    def duration_ms(self) -> float:
+        """Span of the whole series on the monotonic clock."""
+        if not self.samples:
+            return 0.0
+        return float(self.samples[-1]["t_ms"])
+
+    @property
+    def ramp_up_ms(self) -> float:
+        """Where the ramp-up window ends on the run-sample timeline."""
+        run = self.run_samples
+        if not run:
+            return 0.0
+        return float(run[-1]["t_ms"]) * self.ramp_up_fraction
+
+    def steady_state_run_samples(self) -> tuple[dict, ...]:
+        """Run samples after the ramp-up window (the measured window)."""
+        cutoff = self.ramp_up_ms
+        return tuple(s for s in self.run_samples if s["t_ms"] >= cutoff)
+
+    def steady_state_rates(self) -> dict[str, float]:
+        """Mean rates over the steady-state window (per second).
+
+        Computed from the first and last steady-state run samples, the
+        way the paper averages its post-ramp-up interval samples.
+        Returns zeros when the window has fewer than two samples.
+        """
+        window = self.steady_state_run_samples()
+        if len(window) < 2:
+            return {"records_per_s": 0.0, "bytes_per_s": 0.0,
+                    "shuffle_bytes_per_s": 0.0, "window_s": 0.0}
+        first, last = window[0], window[-1]
+        span_s = (last["t_ms"] - first["t_ms"]) / 1e3
+        if span_s <= 0:
+            return {"records_per_s": 0.0, "bytes_per_s": 0.0,
+                    "shuffle_bytes_per_s": 0.0, "window_s": 0.0}
+
+        def rate(key: str) -> float:
+            return (last[key] - first[key]) / span_s
+
+        return {
+            "records_per_s": rate("records_committed"),
+            "bytes_per_s": rate("bytes_committed"),
+            "shuffle_bytes_per_s": rate("shuffle_bytes"),
+            "window_s": span_s,
+        }
+
+    # -- reconciliation -------------------------------------------------------
+
+    def slave_metric_vectors(self) -> tuple[dict[str, float], ...]:
+        """Each measured slave's final metric vector, in collection order."""
+        return tuple(dict(s["metrics"]) for s in self.slave_samples)
+
+    def window_totals(self, slave: int) -> dict[str, float]:
+        """Reconstruct one slave's raw event totals from its sim windows.
+
+        Sums the per-window events in sequence order with the exact
+        accumulation the simulator uses, so the result is bit-identical
+        to the totals :meth:`Processor.run_workload` returned.
+        """
+        totals: dict[str, float] = {}
+        for sample in self.sim_samples:
+            if sample["slave"] != slave:
+                continue
+            for name, value in sample["events"].items():
+                totals[name] = totals.get(name, 0.0) + value
+        return totals
+
+    def reconcile(self, metrics: dict[str, float]) -> None:
+        """Assert the steady-state series reproduces the published metrics.
+
+        The published characterization is the mean of the per-slave
+        45-metric vectors; the series records exactly those vectors as
+        ``slave`` samples, so recomputing the mean from the series must
+        match ``metrics`` bit-for-bit.  This is the assertion-backed
+        invariant that sampling is purely observational: a timeline that
+        fails to reconcile would mean the sampler perturbed (or
+        mis-recorded) the measurement.
+
+        Raises:
+            AnalysisError: If the series is empty of slave samples or
+                any recomputed metric differs from ``metrics``.
+        """
+        import numpy as np
+
+        vectors = self.slave_metric_vectors()
+        if not vectors:
+            raise AnalysisError("timeline has no slave samples to reconcile")
+        recomputed = {
+            name: float(np.mean([vector[name] for vector in vectors]))
+            for name in vectors[0]
+        }
+        if recomputed != metrics:
+            diverging = sorted(
+                name
+                for name in set(recomputed) | set(metrics)
+                if recomputed.get(name) != metrics.get(name)
+            )
+            raise AnalysisError(
+                "timeline steady-state window does not reconcile with the "
+                f"published metrics (diverging: {diverging[:5]})"
+            )
+
+    # -- (de)serialization ----------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """A JSON-safe dict capturing the series in full."""
+        return {
+            "samples": [dict(sample) for sample in self.samples],
+            "ramp_up_fraction": self.ramp_up_fraction,
+            "interval_ms": self.interval_ms,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> TimelineSeries:
+        return cls(
+            samples=tuple(dict(sample) for sample in payload["samples"]),
+            ramp_up_fraction=float(payload["ramp_up_fraction"]),
+            interval_ms=float(payload["interval_ms"]),
+        )
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class _WorkerCounters:
+    """Mutable per-worker tallies (one dict row in a run sample)."""
+
+    __slots__ = ("records", "bytes", "shuffle_bytes", "tasks")
+
+    def __init__(self) -> None:
+        self.records = 0
+        self.bytes = 0
+        self.shuffle_bytes = 0
+        self.tasks = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "records": self.records,
+            "bytes": self.bytes,
+            "shuffle_bytes": self.shuffle_bytes,
+            "tasks": self.tasks,
+        }
+
+
+class TimelineSampler:
+    """Collects one characterization's time series (thread-safe).
+
+    The engine layers report state changes through the ambient helpers
+    (:func:`observe_phase_record`, :func:`observe_task`,
+    :func:`observe_fault`); the sampler turns them into interval
+    ``run`` samples.  The measurement layer reports per-phase simulation
+    windows and per-slave metric vectors directly.
+    """
+
+    def __init__(self, config: TimelineConfig | None = None) -> None:
+        self.config = config or TimelineConfig()
+        self._lock = threading.Lock()
+        self._start_ns = time.perf_counter_ns()
+        self._seq = 0
+        self._samples: list[dict] = []
+        self._run_count = 0
+        self._interval_ms = self.config.interval_ms
+        self._last_run_ms = -float("inf")
+        # Run-side counters.
+        self._tasks_started = 0
+        self._tasks_done = 0
+        self._tasks_in_flight = 0
+        self._records_committed = 0
+        self._bytes_committed = 0
+        self._shuffle_bytes = 0
+        self._retries = 0
+        self._speculations = 0
+        self._tagged_records = 0
+        self._faults: dict[str, int] = {}
+        self._workers: dict[int, _WorkerCounters] = {}
+        # Simulation-side state.
+        self._slave: int | None = None
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _now_ms(self) -> float:
+        return (time.perf_counter_ns() - self._start_ns) / 1e6
+
+    def _append(self, sample: dict) -> None:
+        """Append with the next seq (caller holds the lock)."""
+        self._seq += 1
+        sample["seq"] = self._seq
+        self._samples.append(sample)
+
+    def _run_snapshot(self, t_ms: float) -> dict:
+        return {
+            "t_ms": round(t_ms, 3),
+            "source": "run",
+            "tasks_started": self._tasks_started,
+            "tasks_done": self._tasks_done,
+            "tasks_in_flight": self._tasks_in_flight,
+            "records_committed": self._records_committed,
+            "bytes_committed": self._bytes_committed,
+            "shuffle_bytes": self._shuffle_bytes,
+            "retries": self._retries,
+            "speculations": self._speculations,
+            "tagged_records": self._tagged_records,
+            "faults": dict(self._faults),
+            "workers": {
+                str(worker): counters.snapshot()
+                for worker, counters in sorted(self._workers.items())
+            },
+        }
+
+    def _maybe_sample(self) -> None:
+        """Emit a run sample if the interval elapsed (caller holds lock)."""
+        t_ms = self._now_ms()
+        if t_ms - self._last_run_ms < self._interval_ms:
+            return
+        self._last_run_ms = t_ms
+        self._append(self._run_snapshot(t_ms))
+        self._run_count += 1
+        if self._run_count > self.config.max_run_samples:
+            self._decimate()
+
+    def _decimate(self) -> None:
+        """Drop every other run sample and double the interval.
+
+        Keeps the newest run sample and the whole-series coverage while
+        halving density — the standard bounded-timeline compaction.
+        """
+        kept: list[dict] = []
+        run_seen = 0
+        for sample in self._samples:
+            if sample["source"] != "run":
+                kept.append(sample)
+                continue
+            run_seen += 1
+            if run_seen % 2 == 1:
+                kept.append(sample)
+        self._samples = kept
+        self._run_count = sum(1 for s in kept if s["source"] == "run")
+        self._interval_ms = max(self._interval_ms * 2, 0.001)
+
+    # -- run-side observations ------------------------------------------------
+
+    def task_started(self) -> None:
+        with self._lock:
+            self._tasks_started += 1
+            self._tasks_in_flight += 1
+            self._maybe_sample()
+
+    def task_finished(self) -> None:
+        with self._lock:
+            self._tasks_done += 1
+            self._tasks_in_flight = max(0, self._tasks_in_flight - 1)
+            self._maybe_sample()
+
+    def task_retried(self) -> None:
+        with self._lock:
+            self._retries += 1
+            self._maybe_sample()
+
+    def task_speculated(self) -> None:
+        with self._lock:
+            self._speculations += 1
+            self._maybe_sample()
+
+    def fault_injected(self, kind: str) -> None:
+        with self._lock:
+            self._faults[kind] = self._faults.get(kind, 0) + 1
+            self._maybe_sample()
+
+    def phase_record(
+        self,
+        kind: str,
+        worker: int,
+        records_out: int,
+        bytes_in: int,
+        bytes_out: int,
+        tag: str,
+    ) -> None:
+        """Account one committed (or tagged) phase record."""
+        with self._lock:
+            if tag:
+                self._tagged_records += 1
+                self._maybe_sample()
+                return
+            counters = self._workers.get(worker)
+            if counters is None:
+                counters = self._workers[worker] = _WorkerCounters()
+            counters.tasks += 1
+            counters.records += records_out
+            counters.bytes += bytes_out
+            self._records_committed += records_out
+            self._bytes_committed += bytes_out
+            if kind in _SHUFFLE_IN_KINDS:
+                self._shuffle_bytes += bytes_in
+                counters.shuffle_bytes += bytes_in
+            elif kind in _SHUFFLE_OUT_KINDS:
+                self._shuffle_bytes += bytes_out
+                counters.shuffle_bytes += bytes_out
+            self._maybe_sample()
+
+    # -- simulation-side observations -----------------------------------------
+
+    @contextlib.contextmanager
+    def slave_scope(self, slave: int) -> Iterator[None]:
+        """Attribute enclosed simulation windows to ``slave``."""
+        with self._lock:
+            previous, self._slave = self._slave, slave
+        try:
+            yield
+        finally:
+            with self._lock:
+                self._slave = previous
+
+    def sim_window(
+        self,
+        window: int,
+        phase: str,
+        instructions: float,
+        events: dict[str, float],
+    ) -> None:
+        """Record one simulated phase window's raw events + derived metrics.
+
+        ``events`` is copied; metric derivation is a pure function of the
+        copy, so recording cannot perturb the measurement.
+        """
+        from repro.metrics.derivation import derive_metrics
+
+        window_events = {name: float(value) for name, value in events.items()}
+        metrics = derive_metrics(window_events)
+        with self._lock:
+            self._append(
+                {
+                    "t_ms": round(self._now_ms(), 3),
+                    "source": "sim",
+                    "slave": self._slave if self._slave is not None else -1,
+                    "window": window,
+                    "phase": phase,
+                    "instructions": float(instructions),
+                    "events": window_events,
+                    "metrics": metrics,
+                }
+            )
+
+    def slave_metrics(self, slave: int, metrics: dict[str, float]) -> None:
+        """Record one measured slave's final 45-metric vector."""
+        with self._lock:
+            self._append(
+                {
+                    "t_ms": round(self._now_ms(), 3),
+                    "source": "slave",
+                    "slave": slave,
+                    "metrics": {k: float(v) for k, v in metrics.items()},
+                }
+            )
+
+    def verify_slave_windows(
+        self, slave: int, true_totals: dict[str, float]
+    ) -> None:
+        """Assert this slave's windows exactly partition its measurement.
+
+        Summing the slave's per-window events in order must reproduce
+        the raw totals the simulator returned, bit-for-bit.  Called at
+        collection time so a mis-windowed timeline fails the run instead
+        of silently persisting.
+
+        Raises:
+            AnalysisError: On any reconstructed-total mismatch.
+        """
+        totals = self.series().window_totals(slave)
+        if totals != dict(true_totals):
+            diverging = sorted(
+                name
+                for name in set(totals) | set(true_totals)
+                if totals.get(name) != true_totals.get(name)
+            )
+            raise AnalysisError(
+                f"slave {slave}: timeline windows do not reconstruct the "
+                f"measured totals (diverging events: {diverging[:5]})"
+            )
+
+    # -- extraction -----------------------------------------------------------
+
+    def series(self) -> TimelineSeries:
+        """A final (forced) run sample plus everything recorded so far."""
+        with self._lock:
+            # Close the run-sample series with the end state so rates and
+            # ramp-up windows see the full span even under long intervals.
+            if self._run_count:
+                last = self._samples[-1]
+                final = self._run_snapshot(self._now_ms())
+                if not (
+                    last["source"] == "run"
+                    and all(
+                        last[k] == final[k]
+                        for k in final
+                        if k not in ("t_ms", "seq")
+                    )
+                ):
+                    self._append(final)
+                    self._run_count += 1
+            return TimelineSeries(
+                samples=tuple(dict(sample) for sample in self._samples),
+                ramp_up_fraction=self.config.ramp_up_fraction,
+                interval_ms=self._interval_ms,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+
+#: The ambient sampler the engine/simulation layers report into.
+_ACTIVE: contextvars.ContextVar[TimelineSampler | None] = contextvars.ContextVar(
+    "repro_timeline_sampler", default=None
+)
+
+
+def current_timeline() -> TimelineSampler | None:
+    """The active sampler, or ``None`` when timeline sampling is off."""
+    return _ACTIVE.get()
+
+
+@contextlib.contextmanager
+def timeline_sampling(
+    sampler: TimelineSampler | None,
+) -> Iterator[TimelineSampler | None]:
+    """Activate ``sampler`` for the enclosed execution (``None`` = no-op)."""
+    if sampler is None:
+        yield None
+        return
+    token = _ACTIVE.set(sampler)
+    try:
+        yield sampler
+    finally:
+        _ACTIVE.reset(token)
+
+
+def observe_phase_record(
+    kind: str,
+    worker: int,
+    records_out: int,
+    bytes_in: int,
+    bytes_out: int,
+    tag: str = "",
+) -> None:
+    """Report a phase record to the ambient sampler (cheap no-op without one)."""
+    sampler = _ACTIVE.get()
+    if sampler is not None:
+        sampler.phase_record(kind, worker, records_out, bytes_in, bytes_out, tag)
+
+
+def observe_task(event: str) -> None:
+    """Report a task lifecycle event: ``start``/``done``/``retry``/``speculate``."""
+    sampler = _ACTIVE.get()
+    if sampler is None:
+        return
+    if event == "start":
+        sampler.task_started()
+    elif event == "done":
+        sampler.task_finished()
+    elif event == "retry":
+        sampler.task_retried()
+    elif event == "speculate":
+        sampler.task_speculated()
+
+
+def observe_fault(kind: str) -> None:
+    """Report an injected fault to the ambient sampler."""
+    sampler = _ACTIVE.get()
+    if sampler is not None:
+        sampler.fault_injected(kind)

@@ -53,12 +53,32 @@ class SpanEvent:
 
 
 class Tracer:
-    """Collects span events for one traced execution (thread-safe)."""
+    """Collects span events for one traced execution (thread-safe).
 
-    def __init__(self) -> None:
+    Args:
+        max_events: When set, the tracer keeps only the newest
+            ``max_events`` events (a bounded flight ring for span data)
+            — what a long-running service uses so its tracer cannot
+            grow without bound.  ``None`` (the default) keeps
+            everything, the right choice for one traced run.
+    """
+
+    def __init__(self, max_events: int | None = None) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError("max_events must be at least 1")
         self._epoch_ns = time.perf_counter_ns()
         self._lock = threading.Lock()
+        self._max_events = max_events
         self.events: list[SpanEvent] = []
+
+    def _append(self, event: SpanEvent) -> None:
+        with self._lock:
+            self.events.append(event)
+            if (
+                self._max_events is not None
+                and len(self.events) > self._max_events
+            ):
+                del self.events[: len(self.events) - self._max_events]
 
     def _now_us(self) -> float:
         return (time.perf_counter_ns() - self._epoch_ns) / 1000.0
@@ -71,30 +91,30 @@ class Tracer:
             yield
         finally:
             end_ns = time.perf_counter_ns()
-            event = SpanEvent(
-                name=name,
-                cat=cat,
-                ts_us=(start_ns - self._epoch_ns) / 1000.0,
-                dur_us=(end_ns - start_ns) / 1000.0,
-                tid=threading.get_ident(),
-                args=args,
+            self._append(
+                SpanEvent(
+                    name=name,
+                    cat=cat,
+                    ts_us=(start_ns - self._epoch_ns) / 1000.0,
+                    dur_us=(end_ns - start_ns) / 1000.0,
+                    tid=threading.get_ident(),
+                    args=args,
+                )
             )
-            with self._lock:
-                self.events.append(event)
 
     def instant(self, name: str, cat: str = "", **args) -> None:
         """Record a zero-duration marker (fault injected, retry, ...)."""
-        event = SpanEvent(
-            name=name,
-            cat=cat,
-            ts_us=self._now_us(),
-            dur_us=0.0,
-            tid=threading.get_ident(),
-            phase="i",
-            args=args,
+        self._append(
+            SpanEvent(
+                name=name,
+                cat=cat,
+                ts_us=self._now_us(),
+                dur_us=0.0,
+                tid=threading.get_ident(),
+                phase="i",
+                args=args,
+            )
         )
-        with self._lock:
-            self.events.append(event)
 
     # -- export ---------------------------------------------------------------
 

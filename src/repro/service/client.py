@@ -13,13 +13,22 @@ so polling the service costs headers, not bodies.
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.parse
 import urllib.request
+from collections.abc import Iterator
 
 from repro.errors import ServiceError
 
-__all__ = ["ServiceClient"]
+__all__ = ["ServiceClient", "CORRELATION_HEADER", "TERMINAL_JOB_STATES"]
+
+#: Header carrying the client-chosen correlation id; the server attaches
+#: its value to every span the request (and any job it spawns) records.
+CORRELATION_HEADER = "X-Repro-Correlation-Id"
+
+#: Job states after which a job's snapshot will never change again.
+TERMINAL_JOB_STATES = frozenset({"done", "failed", "cancelled"})
 
 
 def _service_error(message: str, status: int, payload: dict) -> ServiceError:
@@ -39,9 +48,17 @@ def _service_error(message: str, status: int, payload: dict) -> ServiceError:
 class ServiceClient:
     """JSON client with an ETag cache, one instance per base URL."""
 
-    def __init__(self, base_url: str, timeout: float = 600.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 600.0,
+        correlation_id: str | None = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: Sent as X-Repro-Correlation-Id on every request when set, so
+        #: server spans (and job spans) can be joined back to this client.
+        self.correlation_id = correlation_id
         #: path -> (etag, decoded payload); hit on 304 responses.
         self._cache: dict[str, tuple[str, object]] = {}
 
@@ -50,6 +67,8 @@ class ServiceClient:
     def _request(self, path: str, method: str = "GET"):
         url = self.base_url + path
         request = urllib.request.Request(url, method=method)
+        if self.correlation_id:
+            request.add_header(CORRELATION_HEADER, self.correlation_id)
         cached = self._cache.get(path) if method == "GET" else None
         if cached is not None:
             request.add_header("If-None-Match", f'"{cached[0]}"')
@@ -130,3 +149,142 @@ class ServiceClient:
 
     def cancel_job(self, job_id: str) -> dict:
         return self._request(f"/jobs/{urllib.parse.quote(job_id)}", method="DELETE")
+
+    def dashboard(self) -> str:
+        """The self-contained HTML dashboard for the characterized suite."""
+        return self._request("/dashboard")
+
+    # -- live job streaming ---------------------------------------------------
+
+    def job_events(
+        self, job_id: str, timeout: float | None = None
+    ) -> Iterator[dict]:
+        """Stream a job's lifecycle events from ``/jobs/<id>/events``.
+
+        Yields one dict per server-sent event: ``{"id": int | None,
+        "event": str, "data": dict}``.  The stream replays the job's
+        history from the first event, then follows it live until the
+        server signals ``end-of-stream`` (job finished) or
+        ``stream-timeout`` — both sentinels are yielded too, so callers
+        can tell a finished job from a cut stream.
+
+        Raises:
+            ServiceError: If the endpoint is missing (older server) or
+                the connection fails — :meth:`wait_for_job` catches this
+                and falls back to polling.
+        """
+        path = f"/jobs/{urllib.parse.quote(job_id)}/events"
+        if timeout is not None:
+            path += f"?timeout={timeout:g}"
+        url = self.base_url + path
+        request = urllib.request.Request(url, method="GET")
+        if self.correlation_id:
+            request.add_header(CORRELATION_HEADER, self.correlation_id)
+        read_timeout = (timeout or self.timeout) + 5.0
+        try:
+            with urllib.request.urlopen(request, timeout=read_timeout) as response:
+                content_type = response.headers.get("Content-Type", "")
+                if not content_type.startswith("text/event-stream"):
+                    raise ServiceError(
+                        f"GET {path}: expected an event stream, "
+                        f"got {content_type or 'no content type'}"
+                    )
+                yield from _parse_sse(response)
+        except urllib.error.HTTPError as error:
+            raise _service_error(
+                f"GET {path} -> {error.code}: {error.reason}",
+                error.code,
+                {},
+            ) from error
+        except urllib.error.URLError as error:
+            raise ServiceError(f"GET {path}: {error.reason}") from error
+
+    def wait_for_job(
+        self,
+        job_id: str,
+        timeout: float = 600.0,
+        poll_interval: float = 0.05,
+    ) -> dict:
+        """Block until a job reaches a terminal state; return its snapshot.
+
+        Prefers the live ``/jobs/<id>/events`` stream (one connection,
+        no polling); when that endpoint is unavailable — an older
+        server, a proxy that buffers SSE — falls back to polling
+        ``/jobs/<id>`` with exponential backoff starting at
+        ``poll_interval`` and capping at 2 s.
+
+        Args:
+            job_id: The job to wait for.
+            timeout: Overall deadline in seconds; expiry raises
+                :class:`ServiceError` even if the job is still running.
+            poll_interval: Initial sleep between polls on the fallback
+                path (doubles each round).
+
+        Returns:
+            The job's final snapshot dict (``state`` is one of
+            ``done`` / ``failed`` / ``cancelled``).
+
+        Raises:
+            ServiceError: On deadline expiry or an unknown job.
+        """
+        deadline = time.monotonic() + timeout
+        try:
+            for event in self.job_events(job_id, timeout=timeout):
+                if event["event"] in ("end-of-stream", "stream-timeout"):
+                    break
+        except ServiceError:
+            self._poll_until_terminal(job_id, deadline, poll_interval)
+        snapshot = self.job(job_id)
+        if snapshot.get("state") not in TERMINAL_JOB_STATES:
+            raise ServiceError(
+                f"job {job_id} still {snapshot.get('state')!r} "
+                f"after {timeout:g}s"
+            )
+        return snapshot
+
+    def _poll_until_terminal(
+        self, job_id: str, deadline: float, poll_interval: float
+    ) -> None:
+        """Fallback: poll the job snapshot with exponential backoff."""
+        interval = max(poll_interval, 1e-3)
+        while True:
+            snapshot = self.job(job_id)
+            if snapshot.get("state") in TERMINAL_JOB_STATES:
+                return
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return  # wait_for_job raises on the final snapshot check
+            time.sleep(min(interval, remaining))
+            interval = min(interval * 2.0, 2.0)
+
+
+def _parse_sse(response) -> Iterator[dict]:
+    """Decode server-sent events from a byte stream, one dict per event."""
+    event_id: int | None = None
+    event_type = "message"
+    data_lines: list[str] = []
+    for raw in response:
+        line = raw.decode("utf-8").rstrip("\r\n")
+        if not line:  # blank line = dispatch
+            if data_lines or event_type != "message":
+                data = "\n".join(data_lines)
+                try:
+                    decoded = json.loads(data) if data else {}
+                except json.JSONDecodeError:
+                    decoded = {"raw": data}
+                yield {"id": event_id, "event": event_type, "data": decoded}
+            event_id, event_type, data_lines = None, "message", []
+            continue
+        if line.startswith(":"):
+            continue  # comment / keep-alive
+        field, _, value = line.partition(":")
+        value = value.removeprefix(" ")
+        if field == "id":
+            try:
+                event_id = int(value)
+            except ValueError:
+                event_id = None
+        elif field == "event":
+            event_type = value
+        elif field == "data":
+            data_lines.append(value)

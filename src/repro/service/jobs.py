@@ -36,6 +36,7 @@ from repro.cluster.collection import (
 from repro.errors import CollectionCancelled, ServiceError
 from repro.obs.log import get_logger
 from repro.obs.metrics import REGISTRY
+from repro.obs.trace import Tracer, span as obs_span, tracing
 from repro.service.store import ResultStore
 from repro.workloads.base import Workload
 from repro.workloads.suite import workload_by_name
@@ -132,6 +133,10 @@ class Job:
     #: Lifecycle flight log: state transitions and retries, in order,
     #: each ``{"t_s": <unix time>, "event": ..., **detail}``.
     events: list = field(default_factory=list)
+    #: Client correlation ids attached to this job (the submitter's plus
+    #: any that joined through single-flight deduplication) — propagated
+    #: into the job's trace span for client→server→job correlation.
+    correlations: list = field(default_factory=list)
     _done: threading.Event = field(default_factory=threading.Event, repr=False)
     _cancel: threading.Event = field(default_factory=threading.Event, repr=False)
 
@@ -157,6 +162,7 @@ class Job:
             "etag": self.etag,
             "created_s": self.created_s,
             "finished_s": self.finished_s,
+            "correlations": list(self.correlations),
             "events": [dict(event) for event in self.events],
         }
 
@@ -180,6 +186,10 @@ class JobManager:
             failed (retries back off exponentially between attempts).
         retry_backoff_s: Backoff before the first retry; doubles per
             further attempt.  Cancellation interrupts the wait.
+        tracer: Optional service tracer; each job's run is recorded as a
+            ``job:<id>`` span carrying the attached correlation ids.
+            Explicitly activated on the worker thread — ContextVars do
+            not cross thread boundaries on their own.
     """
 
     def __init__(
@@ -190,6 +200,7 @@ class JobManager:
         max_concurrent_jobs: int = 2,
         max_attempts: int = 3,
         retry_backoff_s: float = 0.05,
+        tracer: Tracer | None = None,
     ) -> None:
         if max_attempts < 1:
             raise ServiceError("max_attempts must be at least 1")
@@ -198,6 +209,7 @@ class JobManager:
         self.workers = workers
         self.max_attempts = max_attempts
         self.retry_backoff_s = retry_backoff_s
+        self.tracer = tracer
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}
         self._by_key: dict[str, Job] = {}
@@ -208,11 +220,17 @@ class JobManager:
 
     # -- submission -----------------------------------------------------------
 
-    def submit(self, workload_names: tuple[str, ...]) -> Job:
+    def submit(
+        self,
+        workload_names: tuple[str, ...],
+        correlation_id: str | None = None,
+    ) -> Job:
         """Request a collection of ``workload_names`` (single-flight).
 
         If a live job for the same key exists, it is returned instead of
-        creating a second one — the caller shares its result.
+        creating a second one — the caller shares its result (a
+        ``correlation_id`` still attaches, so the joining client's id is
+        visible on the shared job and its span).
 
         Raises:
             ServiceError: If ``workload_names`` is empty or contains an
@@ -231,6 +249,9 @@ class JobManager:
             live = self._by_key.get(key)
             if live is not None and live.state in _LIVE:
                 _JOBS_DEDUPED.inc()
+                if correlation_id and correlation_id not in live.correlations:
+                    live.correlations.append(correlation_id)
+                    live.note("correlation-attached", correlation=correlation_id)
                 _log.debug(
                     "submission joined live job",
                     extra={"job": live.id, "key": key},
@@ -243,7 +264,11 @@ class JobManager:
                 workloads=tuple(w.name for w in workloads),
                 total_workloads=len(workloads),
             )
-            job.note("queued")
+            if correlation_id:
+                job.correlations.append(correlation_id)
+                job.note("queued", correlation=correlation_id)
+            else:
+                job.note("queued")
             self._jobs[job.id] = job
             self._by_key[key] = job
         _JOBS_SUBMITTED.inc()
@@ -256,14 +281,17 @@ class JobManager:
         return job
 
     def collect(
-        self, workload_names: tuple[str, ...], timeout: float | None = None
+        self,
+        workload_names: tuple[str, ...],
+        timeout: float | None = None,
+        correlation_id: str | None = None,
     ) -> Job:
         """Submit and block until the job is terminal.
 
         Raises:
             ServiceError: If the job does not finish within ``timeout``.
         """
-        job = self.submit(workload_names)
+        job = self.submit(workload_names, correlation_id=correlation_id)
         if not job.wait(timeout):
             raise ServiceError(f"{job.id}: timed out after {timeout}s")
         return job
@@ -298,6 +326,17 @@ class JobManager:
     # -- worker ---------------------------------------------------------------
 
     def _run(self, job: Job, workloads: tuple[Workload, ...]) -> None:
+        # ContextVars do not propagate into executor threads: the
+        # service tracer must be explicitly activated here so the job's
+        # span (and everything the collection records) lands in it.
+        with tracing(self.tracer), obs_span(
+            f"job:{job.id}", "job",
+            workloads=len(workloads),
+            correlations=list(job.correlations),
+        ):
+            self._run_traced(job, workloads)
+
+    def _run_traced(self, job: Job, workloads: tuple[Workload, ...]) -> None:
         with self._lock:
             if job._cancel.is_set():
                 self._finish(job, JobState.CANCELLED)
@@ -308,6 +347,19 @@ class JobManager:
         def progress(done: int, total: int) -> None:
             job.done_workloads = done
             job.total_workloads = total
+            job.note("progress", done=done, total=total)
+
+        def on_workload(characterization) -> None:
+            detail: dict = {"workload": characterization.name}
+            if characterization.timeline is not None:
+                timeline = characterization.timeline
+                detail["timeline"] = {
+                    "samples": len(timeline),
+                    "duration_ms": timeline.duration_ms,
+                    "ramp_up_ms": round(timeline.ramp_up_ms, 3),
+                    "rates": timeline.steady_state_rates(),
+                }
+            job.note("workload-done", **detail)
 
         while True:
             job.attempts += 1
@@ -319,6 +371,7 @@ class JobManager:
                     workers=self.workers,
                     progress=progress,
                     cancel=job._cancel,
+                    on_workload=on_workload,
                 )
             except CollectionCancelled:
                 with self._lock:
@@ -351,6 +404,15 @@ class JobManager:
             else:
                 with self._lock:
                     job.done_workloads = job.total_workloads
+                    if not any(e["event"] == "progress" for e in job.events):
+                        # Memo/store hit: the collection skipped the
+                        # per-workload callbacks, but every job stream
+                        # still delivers submit → progress → done.
+                        job.note(
+                            "progress",
+                            done=job.total_workloads,
+                            total=job.total_workloads,
+                        )
                     job.error = None
                     job.etag = self.store.etag(job.key)
                     job.faults = _fault_tally(result.characterizations)

@@ -52,15 +52,30 @@ from repro.errors import ReproError, ServiceError, WorkloadError
 from repro.metrics.catalog import METRICS
 from repro.obs.log import get_logger
 from repro.obs.metrics import REGISTRY
+from repro.obs.trace import Tracer, span as obs_span, tracing
 from repro.service.jobs import JobManager, JobState
 from repro.service.store import ResultStore, resolve_cache_dir
 from repro.workloads.base import Workload
 from repro.workloads.suite import SUITE, closest_workloads, workload_by_name
 
-__all__ = ["ServiceConfig", "CharacterizationService", "serve"]
+__all__ = [
+    "ServiceConfig",
+    "CharacterizationService",
+    "serve",
+    "CORRELATION_HEADER",
+]
 
 _JSON = "application/json"
 _PROMETHEUS = "text/plain; version=0.0.4; charset=utf-8"
+_HTML = "text/html; charset=utf-8"
+_EVENT_STREAM = "text/event-stream"
+
+#: Request header carrying the client's correlation id; propagated into
+#: the server's request span and onto the job it submits/joins.
+CORRELATION_HEADER = "X-Repro-Correlation-Id"
+
+#: Ring bound of the service's long-running tracer (newest spans win).
+_TRACE_CAPACITY = 8192
 
 _log = get_logger("repro.service.server")
 
@@ -89,6 +104,10 @@ class ServiceConfig:
         request_timeout_s: How long a blocking endpoint waits for its
             job before giving up with 504.
         subsetting_seed: Seed for the ``/subset`` K-means restarts.
+        tracing: Record request and job spans in a bounded service
+            tracer (correlation ids from ``X-Repro-Correlation-Id``
+            land in span args).  The tracer keeps only the newest
+            spans, so a long-lived service cannot grow without bound.
     """
 
     collection: CollectionConfig = CollectionConfig()
@@ -97,6 +116,7 @@ class ServiceConfig:
     workers: int = 1
     request_timeout_s: float = 600.0
     subsetting_seed: int = 0
+    tracing: bool = True
 
 
 class _HttpError(Exception):
@@ -114,6 +134,9 @@ class _Response:
     body: bytes
     etag: str | None = None
     content_type: str = _JSON
+    #: When set, ``body`` is ignored and the handler streams these byte
+    #: chunks with ``Connection: close`` (the SSE path).
+    stream: object | None = None
 
 
 def _dumps(payload) -> bytes:
@@ -136,10 +159,14 @@ class CharacterizationService:
             self._tmp = tempfile.TemporaryDirectory(prefix="repro-service-")
             cache_dir = self._tmp.name
         self.store = ResultStore(cache_dir)
+        self.tracer = (
+            Tracer(max_events=_TRACE_CAPACITY) if self.config.tracing else None
+        )
         self.jobs = JobManager(
             self.store,
             config=self.config.collection,
             workers=self.config.workers,
+            tracer=self.tracer,
         )
         self._lock = threading.Lock()
         self._derived: dict[tuple, _Response] = {}
@@ -149,7 +176,12 @@ class CharacterizationService:
 
     # -- routing --------------------------------------------------------------
 
-    def handle_get(self, path: str, query: dict[str, list[str]]) -> _Response:
+    def handle_get(
+        self,
+        path: str,
+        query: dict[str, list[str]],
+        correlation_id: str | None = None,
+    ) -> _Response:
         parts = [p for p in path.split("/") if p]
         if not parts:
             return self._info()
@@ -163,13 +195,17 @@ class CharacterizationService:
             return self._stats()
         if len(parts) == 2 and parts[0] == "characterize":
             wait = query.get("wait", ["1"])[0] not in ("0", "false", "no")
-            return self._characterize(parts[1], wait=wait)
+            return self._characterize(
+                parts[1], wait=wait, correlation_id=correlation_id
+            )
         if parts == ["suite", "matrix"]:
-            return self._matrix()
+            return self._matrix(correlation_id)
         if parts == ["subset"]:
-            return self._subset(query)
+            return self._subset(query, correlation_id)
         if parts == ["observations"]:
-            return self._observations()
+            return self._observations(correlation_id)
+        if parts == ["dashboard"]:
+            return self._dashboard(correlation_id)
         if parts == ["jobs"]:
             return _computed([job.snapshot() for job in self.jobs.jobs()])
         if len(parts) == 2 and parts[0] == "jobs":
@@ -177,6 +213,8 @@ class CharacterizationService:
             if job is None:
                 raise _HttpError(404, f"no such job {parts[1]!r}")
             return _computed(job.snapshot())
+        if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
+            return self._job_events(parts[1], query)
         raise _HttpError(404, f"no such endpoint {path!r}")
 
     def handle_delete(self, path: str) -> _Response:
@@ -207,7 +245,9 @@ class CharacterizationService:
                     "/suite/matrix",
                     "/subset?k=K",
                     "/observations",
+                    "/dashboard",
                     "/jobs",
+                    "/jobs/<id>/events",
                 ],
             }
         )
@@ -289,16 +329,19 @@ class CharacterizationService:
                 {"suggestions": list(closest_workloads(name))},
             ) from None
 
-    def _characterize(self, name: str, wait: bool) -> _Response:
+    def _characterize(
+        self, name: str, wait: bool, correlation_id: str | None = None
+    ) -> _Response:
         workload = self._resolve(name)
         key = workload_store_key(self.config.collection, workload.name)
         raw = self.store.get_raw(key, touch=False)
         if raw is None:
             if not wait:
-                return _computed(
-                    self.jobs.submit((workload.name,)).snapshot(), status=202
+                job = self.jobs.submit(
+                    (workload.name,), correlation_id=correlation_id
                 )
-            job = self._await_job((workload.name,))
+                return _computed(job.snapshot(), status=202)
+            job = self._await_job((workload.name,), correlation_id)
             raw = self.store.get_raw(key, touch=False)
             if raw is None:
                 raise _HttpError(
@@ -307,21 +350,31 @@ class CharacterizationService:
         body, etag = raw
         return _Response(200, body, etag=etag)
 
-    def _ensure_suite(self) -> tuple[dict, str]:
+    def _ensure_suite(
+        self, correlation_id: str | None = None
+    ) -> tuple[dict, str]:
         """The suite entry + its ETag, collecting (single-flight) if cold."""
         key = suite_store_key(self.config.collection, self.config.workloads)
         entry = self.store.get(key, touch=False)
         if entry is None:
-            self._await_job(tuple(w.name for w in self.config.workloads))
+            self._await_job(
+                tuple(w.name for w in self.config.workloads), correlation_id
+            )
             entry = self.store.get(key, touch=False)
             if entry is None:
                 raise _HttpError(500, f"suite entry {key!r} missing after collection")
         etag = self.store.etag(key)
         return entry, etag or ""
 
-    def _await_job(self, names: tuple[str, ...]):
+    def _await_job(
+        self, names: tuple[str, ...], correlation_id: str | None = None
+    ):
         try:
-            job = self.jobs.collect(names, timeout=self.config.request_timeout_s)
+            job = self.jobs.collect(
+                names,
+                timeout=self.config.request_timeout_s,
+                correlation_id=correlation_id,
+            )
         except ServiceError as exc:
             raise _HttpError(504, str(exc)) from exc
         if job.state is JobState.FAILED:
@@ -330,8 +383,61 @@ class CharacterizationService:
             raise _HttpError(503, f"{job.id} was cancelled")
         return job
 
-    def _matrix(self) -> _Response:
-        entry, etag = self._ensure_suite()
+    def _job_events(
+        self, job_id: str, query: dict[str, list[str]]
+    ) -> _Response:
+        """``/jobs/<id>/events``: the job's lifecycle as an SSE stream.
+
+        Replays every recorded event from the start (so a stream opened
+        after a fast job finished still sees submit → progress → done),
+        then follows the live job until it reaches a terminal state or
+        the ``timeout`` query parameter (seconds) elapses.
+        """
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise _HttpError(404, f"no such job {job_id!r}")
+        try:
+            timeout = float(
+                query.get("timeout", [str(self.config.request_timeout_s)])[0]
+            )
+        except ValueError:
+            raise _HttpError(400, "timeout must be a number") from None
+
+        def stream():
+            deadline = time.monotonic() + timeout
+            index = 0
+
+            def drain():
+                nonlocal index
+                # Snapshot the list: note() only appends, so a slice is
+                # always a consistent prefix.
+                events = list(job.events)
+                while index < len(events):
+                    event = events[index]
+                    index += 1
+                    payload = _dumps(event).decode("utf-8")
+                    yield (
+                        f"id: {index}\n"
+                        f"event: {event['event']}\n"
+                        f"data: {payload}\n\n"
+                    ).encode("utf-8")
+
+            while True:
+                yield from drain()
+                if job._done.is_set():
+                    yield from drain()  # the terminal note, if it raced
+                    yield b"event: end-of-stream\ndata: {}\n\n"
+                    return
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    yield b"event: stream-timeout\ndata: {}\n\n"
+                    return
+                job._done.wait(min(0.05, remaining))
+
+        return _Response(200, b"", content_type=_EVENT_STREAM, stream=stream())
+
+    def _matrix(self, correlation_id: str | None = None) -> _Response:
+        entry, etag = self._ensure_suite(correlation_id)
         with self._lock:
             cached = self._derived.get(("matrix", etag))
             if cached is None:
@@ -339,7 +445,11 @@ class CharacterizationService:
                 self._derived[("matrix", etag)] = cached
         return cached
 
-    def _subset(self, query: dict[str, list[str]]) -> _Response:
+    def _subset(
+        self,
+        query: dict[str, list[str]],
+        correlation_id: str | None = None,
+    ) -> _Response:
         k: int | None = None
         if "k" in query:
             try:
@@ -349,7 +459,7 @@ class CharacterizationService:
         n = len(self.config.workloads)
         if k is not None and not 2 <= k <= n - 1:
             raise _HttpError(400, f"k must be in [2, {n - 1}] for {n} workloads")
-        entry, etag = self._ensure_suite()
+        entry, etag = self._ensure_suite(correlation_id)
         cache_key = ("subset", etag, k)
         with self._lock:
             cached = self._derived.get(cache_key)
@@ -400,14 +510,14 @@ class CharacterizationService:
             self._derived[cache_key] = response
         return response
 
-    def _observations(self) -> _Response:
+    def _observations(self, correlation_id: str | None = None) -> _Response:
         if tuple(w.name for w in self.config.workloads) != tuple(
             w.name for w in SUITE
         ):
             raise _HttpError(
                 409, "observations need the full 32-workload suite configured"
             )
-        _, etag = self._ensure_suite()
+        _, etag = self._ensure_suite(correlation_id)
         cache_key = ("observations", etag)
         with self._lock:
             cached = self._derived.get(cache_key)
@@ -445,6 +555,56 @@ class CharacterizationService:
             self._derived[cache_key] = response
         return response
 
+    def _dashboard(self, correlation_id: str | None = None) -> _Response:
+        """``/dashboard``: the suite as one self-contained HTML page."""
+        import numpy as np
+
+        from repro.analysis.dashboard import render_dashboard
+        from repro.core.dataset import WorkloadMetricMatrix
+        from repro.core.subsetting import subset_workloads
+        from repro.service.store import characterization_from_payload
+
+        entry, etag = self._ensure_suite(correlation_id)
+        cache_key = ("dashboard", etag)
+        with self._lock:
+            cached = self._derived.get(cache_key)
+        if cached is not None:
+            return cached
+
+        characterizations = []
+        for name in entry["workloads"]:
+            payload = self.store.get(
+                workload_store_key(self.config.collection, name), touch=False
+            )
+            if payload is not None:
+                characterizations.append(characterization_from_payload(payload))
+        matrix = WorkloadMetricMatrix(
+            workloads=tuple(entry["matrix"]["workloads"]),
+            values=np.array(entry["matrix"]["values"], dtype=float),
+        )
+        subsetting = None
+        try:
+            subsetting = subset_workloads(
+                matrix, seed=self.config.subsetting_seed
+            )
+        except ReproError:
+            pass  # tiny suites can't cluster; the dashboard degrades
+        html = render_dashboard(
+            matrix,
+            characterizations,
+            subsetting=subsetting,
+            title="repro characterization dashboard",
+        )
+        response = _Response(
+            200,
+            html.encode("utf-8"),
+            etag=hashlib.sha256(html.encode("utf-8")).hexdigest()[:32],
+            content_type=_HTML,
+        )
+        with self._lock:
+            self._derived[cache_key] = response
+        return response
+
 
 class _Handler(BaseHTTPRequestHandler):
     """Thin HTTP plumbing: routing, ETag/304, error mapping."""
@@ -461,6 +621,19 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     def _send(self, response: _Response) -> None:
+        if response.stream is not None:
+            # SSE path: no Content-Length, so HTTP/1.1 framing requires
+            # Connection: close — the stream ends when the job does.
+            self.send_response(response.status)
+            self.send_header("Content-Type", response.content_type)
+            self.send_header("Cache-Control", "no-store")
+            self.send_header("Connection", "close")
+            self.close_connection = True
+            self.end_headers()
+            for chunk in response.stream:
+                self.wfile.write(chunk)
+                self.wfile.flush()
+            return
         etag_header = f'"{response.etag}"' if response.etag else None
         if etag_header and response.status == 200:
             conditional = self.headers.get("If-None-Match", "")
@@ -482,29 +655,40 @@ class _Handler(BaseHTTPRequestHandler):
     def _dispatch(self, method: str) -> None:
         split = urlsplit(self.path)
         started = time.perf_counter()
-        try:
-            if method == "GET":
-                response = self.service.handle_get(
-                    split.path, parse_qs(split.query)
-                )
-            else:
-                response = self.service.handle_delete(split.path)
-        except _HttpError as exc:
-            response = _Response(exc.status, _dumps(exc.payload))
-        except ReproError as exc:
-            response = _Response(400, _dumps({"error": str(exc)}))
-        except Exception as exc:  # pragma: no cover - defensive
-            _log.error(
-                "unhandled error serving request",
-                extra={"method": method, "path": split.path,
-                       "error": f"{type(exc).__name__}: {exc}"},
-            )
-            response = _Response(
-                500, _dumps({"error": f"{type(exc).__name__}: {exc}"})
-            )
-        elapsed = time.perf_counter() - started
+        correlation_id = self.headers.get(CORRELATION_HEADER)
         segments = [p for p in split.path.split("/") if p]
         endpoint = f"/{segments[0]}" if segments else "/"
+        span_args = {"method": method, "path": split.path}
+        if correlation_id:
+            span_args["correlation_id"] = correlation_id
+        # Handler threads are spawned per connection: the service tracer
+        # must be explicitly activated (ContextVars don't cross threads).
+        with tracing(self.service.tracer), obs_span(
+            f"http:{endpoint}", "http", **span_args
+        ):
+            try:
+                if method == "GET":
+                    response = self.service.handle_get(
+                        split.path,
+                        parse_qs(split.query),
+                        correlation_id=correlation_id,
+                    )
+                else:
+                    response = self.service.handle_delete(split.path)
+            except _HttpError as exc:
+                response = _Response(exc.status, _dumps(exc.payload))
+            except ReproError as exc:
+                response = _Response(400, _dumps({"error": str(exc)}))
+            except Exception as exc:  # pragma: no cover - defensive
+                _log.error(
+                    "unhandled error serving request",
+                    extra={"method": method, "path": split.path,
+                           "error": f"{type(exc).__name__}: {exc}"},
+                )
+                response = _Response(
+                    500, _dumps({"error": f"{type(exc).__name__}: {exc}"})
+                )
+        elapsed = time.perf_counter() - started
         _HTTP_REQUESTS.inc(endpoint=endpoint, status=str(response.status))
         _HTTP_SECONDS.observe(elapsed)
         _log.debug(

@@ -46,12 +46,15 @@ import numpy as np
 
 from repro.cluster.testbed import WorkloadCharacterization
 from repro.errors import StoreError
+from repro.obs.flight import DEFAULT_CAPACITY
 from repro.obs.metrics import REGISTRY
+from repro.obs.timeline import TimelineSeries
 from repro.stacks.base import ExecutionTrace, PhaseKind, PhaseRecord, StackInfo
 from repro.workloads.base import WorkloadRun
 
 __all__ = [
     "SCHEMA_VERSION",
+    "COMPATIBLE_SCHEMAS",
     "ResultStore",
     "resolve_cache_dir",
     "characterization_to_payload",
@@ -63,7 +66,16 @@ __all__ = [
 #: v3: phase records carry a recovery ``tag``; characterizations carry
 #: ``attempts`` and a ``faults`` tally.
 #: v4: characterizations carry flight-recorder ``events``.
-SCHEMA_VERSION = 4
+#: v5: characterizations carry an optional ``timeline`` series and the
+#: flight ring's ``events_capacity``.  Purely additive — every v4 entry
+#: remains readable (see :data:`COMPATIBLE_SCHEMAS`), hydrating with no
+#: timeline and the historical default capacity.
+SCHEMA_VERSION = 5
+
+#: Schema stamps this revision can still read.  New writes always carry
+#: :data:`SCHEMA_VERSION`; v4 objects hydrate without re-running
+#: workloads because v5 only *added* optional fields.
+COMPATIBLE_SCHEMAS = frozenset({4, SCHEMA_VERSION})
 
 _STORE_HITS = REGISTRY.counter(
     "repro_store_hits_total", "Result-store reads that found a valid entry"
@@ -158,10 +170,13 @@ class ResultStore:
             index = json.loads(self._index_path.read_text())
         except (FileNotFoundError, json.JSONDecodeError):
             return {"schema": SCHEMA_VERSION, "clock": 0, "entries": {}}
-        if index.get("schema") != SCHEMA_VERSION:
+        if index.get("schema") not in COMPATIBLE_SCHEMAS:
             # An incompatible revision wrote here: start fresh rather
             # than guess at old entries' meaning.
             return {"schema": SCHEMA_VERSION, "clock": 0, "entries": {}}
+        # Compatible older stamp (e.g. v4): adopt the current version so
+        # subsequent index writes are stamped with what we write.
+        index["schema"] = SCHEMA_VERSION
         return index
 
     def _write_index(self, index: dict) -> None:
@@ -236,13 +251,14 @@ class ResultStore:
     def get(self, key: str, touch: bool = True) -> dict | None:
         """The decoded payload for ``key``, or ``None`` on any miss.
 
-        Objects stamped with a different schema version read as misses.
+        Objects stamped with an incompatible schema version read as
+        misses; compatible older stamps (v4) decode normally.
         """
         raw = self.get_raw(key, touch=touch)
         if raw is None:
             return None
         payload = json.loads(raw[0].decode("utf-8"))
-        if payload.get("schema") != SCHEMA_VERSION:
+        if payload.get("schema") not in COMPATIBLE_SCHEMAS:
             _STORE_MISSES.inc()
             return None
         return payload
@@ -326,6 +342,10 @@ def characterization_to_payload(char: WorkloadCharacterization) -> dict:
         "attempts": char.attempts,
         "faults": char.faults,
         "events": [dict(event) for event in char.events],
+        "events_capacity": char.events_capacity,
+        "timeline": (
+            char.timeline.to_payload() if char.timeline is not None else None
+        ),
         "metrics": {k: float(v) for k, v in char.metrics.items()},
         "per_slave": [
             {k: float(v) for k, v in slave.items()} for slave in char.per_slave
@@ -412,4 +432,12 @@ def characterization_from_payload(payload: dict) -> WorkloadCharacterization:
         attempts=int(payload.get("attempts", 1)),
         faults=payload.get("faults"),
         events=tuple(dict(event) for event in payload.get("events", ())),
+        # v4 entries predate both fields: hydrate with the historical
+        # default capacity and no timeline (never a re-run).
+        events_capacity=int(payload.get("events_capacity", DEFAULT_CAPACITY)),
+        timeline=(
+            TimelineSeries.from_payload(payload["timeline"])
+            if payload.get("timeline") is not None
+            else None
+        ),
     )

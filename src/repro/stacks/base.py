@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import StackExecutionError
 from repro.obs.metrics import REGISTRY
+from repro.obs.timeline import observe_phase_record
 
 _PHASE_RECORDS = REGISTRY.counter(
     "repro_stack_phase_records_total",
@@ -124,6 +125,16 @@ class ExecutionTrace:
 
     def add(self, record: PhaseRecord) -> None:
         self.records.append(record)
+        # Purely observational: reports the committed (or tagged) record
+        # to the ambient timeline sampler, a no-op when sampling is off.
+        observe_phase_record(
+            record.kind.value,
+            record.worker,
+            record.records_out,
+            record.bytes_in,
+            record.bytes_out,
+            record.tag,
+        )
 
     def emit(
         self,

@@ -1,0 +1,127 @@
+"""Tests for the self-contained HTML dashboard renderer."""
+
+from html.parser import HTMLParser
+
+import pytest
+
+from repro.analysis.dashboard import render_dashboard
+from repro.cluster.testbed import Cluster, MeasurementConfig
+from repro.core.dataset import WorkloadMetricMatrix
+from repro.core.subsetting import subset_workloads
+from repro.metrics.catalog import METRIC_NAMES
+from repro.obs.timeline import TimelineConfig
+from repro.workloads import RunContext, workload_by_name
+from repro.workloads.suite import SUITE
+
+FAST = MeasurementConfig(slaves_measured=1, active_cores=2, ops_per_core=1200)
+
+
+class _Audit(HTMLParser):
+    """Counts structure and records anything that could leave the file."""
+
+    def __init__(self):
+        super().__init__()
+        self.svgs = 0
+        self.tables = 0
+        self.external = []
+        self.scripts = 0
+
+    def handle_starttag(self, tag, attrs):
+        if tag == "svg":
+            self.svgs += 1
+        if tag == "table":
+            self.tables += 1
+        if tag == "script":
+            self.scripts += 1
+        for name, value in attrs:
+            if name in ("src", "href"):
+                self.external.append((tag, name, value))
+            elif value and value.startswith(("http://", "https://", "//")):
+                self.external.append((tag, name, value))
+
+
+def _audit(html_doc: str) -> _Audit:
+    audit = _Audit()
+    audit.feed(html_doc)
+    return audit
+
+
+@pytest.fixture(scope="module")
+def suite():
+    chars = [
+        Cluster().characterize_workload(
+            workload_by_name(w.name),
+            RunContext(scale=0.2, seed=9),
+            FAST,
+            timeline=TimelineConfig(interval_ms=2.0),
+        )
+        for w in SUITE[:6]
+    ]
+    matrix = WorkloadMetricMatrix.from_rows({c.name: c.metrics for c in chars})
+    return matrix, chars
+
+
+class TestRenderDashboard:
+    def test_single_self_contained_document(self, suite):
+        matrix, chars = suite
+        subsetting = subset_workloads(matrix, seed=9)
+        html_doc = render_dashboard(matrix, chars, subsetting=subsetting)
+        assert html_doc.startswith("<!DOCTYPE html>")
+        audit = _audit(html_doc)
+        assert audit.scripts == 0
+        assert audit.external == []
+        # Per-workload timelines + ILP strips + heatmap + Kiviat radars.
+        assert audit.svgs >= len(chars) + 2
+        assert audit.tables >= 1  # the accessible table view
+
+    def test_sections_present(self, suite):
+        matrix, chars = suite
+        html_doc = render_dashboard(matrix, chars)
+        for heading in (
+            "Workload timelines",
+            "Suite heatmap",
+            "Representative subset (Kiviat)",
+        ):
+            assert heading in html_doc
+        for workload in matrix.workloads:
+            assert workload in html_doc
+
+    def test_heatmap_covers_every_cell(self, suite):
+        matrix, chars = suite
+        html_doc = render_dashboard(matrix, [])
+        # One rect per workload × metric, each carrying a z-bucket class.
+        cells = html_doc.count('class="zm') + html_doc.count('class="zp')
+        assert cells == len(matrix.workloads) * len(METRIC_NAMES)
+
+    def test_dark_mode_palette_included(self, suite):
+        matrix, _ = suite
+        html_doc = render_dashboard(matrix, [])
+        assert "prefers-color-scheme: dark" in html_doc
+        assert "#2a78d6" in html_doc  # series-1 light
+        assert "#3987e5" in html_doc  # series-1 dark
+
+    def test_renders_without_timelines_or_subsetting(self, suite):
+        matrix, _ = suite
+        html_doc = render_dashboard(matrix, [], subsetting=None)
+        audit = _audit(html_doc)
+        assert audit.external == []
+        assert "No timelines recorded" in html_doc
+        assert "Subsetting unavailable" in html_doc
+
+    def test_workload_names_are_escaped(self):
+        matrix = WorkloadMetricMatrix.from_rows(
+            {
+                "<script>alert(1)</script>": dict.fromkeys(METRIC_NAMES, 0.5),
+                "plain": dict.fromkeys(METRIC_NAMES, 1.0),
+            }
+        )
+        html_doc = render_dashboard(matrix, [])
+        assert "<script>alert(1)</script>" not in html_doc
+        assert "&lt;script&gt;" in html_doc
+
+    def test_constant_column_z_scores_stay_finite(self):
+        values = dict.fromkeys(METRIC_NAMES, 1.0)
+        matrix = WorkloadMetricMatrix.from_rows({"a": values, "b": dict(values)})
+        html_doc = render_dashboard(matrix, [])
+        assert "z = nan" not in html_doc
+        assert html_doc.count('class="zp0"') == 2 * len(METRIC_NAMES)

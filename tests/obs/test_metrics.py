@@ -11,7 +11,79 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    _escape,
+    _escape_help,
 )
+
+
+def _unescape_label(value: str) -> str:
+    """Decode a label value per the text exposition format 0.0.4 —
+    exactly what a Prometheus scraper does with the escaped form."""
+    out, i = [], 0
+    while i < len(value):
+        if value[i] == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            out.append(value[i])
+            i += 1
+    return "".join(out)
+
+
+class TestExposition004Escaping:
+    """Round-trip every special character through the 0.0.4 escapes."""
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            "plain",
+            'quo"ted',
+            "back\\slash",
+            "new\nline",
+            'all\\of"them\nat once',
+            "\\n",  # literal backslash-n must NOT collapse into newline
+            '\\"',  # literal backslash-quote stays two characters
+            "trailing\\",
+            "\n\n",
+        ],
+    )
+    def test_label_value_roundtrip(self, raw):
+        assert _unescape_label(_escape(raw)) == raw
+
+    @pytest.mark.parametrize(
+        "raw",
+        ["plain help", "multi\nline help", "back\\slash help", "\\n literal"],
+    )
+    def test_help_text_escapes_backslash_and_newline(self, raw):
+        escaped = _escape_help(raw)
+        assert "\n" not in escaped  # a raw newline would split the HELP line
+        # Reverse mapping (backslash first on decode, mirroring encode order).
+        decoded = []
+        i = 0
+        while i < len(escaped):
+            if escaped[i] == "\\" and i + 1 < len(escaped):
+                decoded.append({"n": "\n", "\\": "\\"}[escaped[i + 1]])
+                i += 2
+            else:
+                decoded.append(escaped[i])
+                i += 1
+        assert "".join(decoded) == raw
+
+    def test_rendered_exposition_stays_line_parseable(self):
+        counter = Counter(
+            "tricky_total", "Help with \\ and\nnewline.", ("path",)
+        )
+        counter.inc(path='C:\\logs\n"prod"')
+        lines = counter.render()
+        # No line may contain a raw newline after escaping.
+        assert all("\n" not in line for line in lines)
+        help_line = lines[0]
+        assert help_line == "# HELP tricky_total Help with \\\\ and\\nnewline."
+        sample = lines[2]
+        start = sample.index('path="') + len('path="')
+        end = sample.rindex('"')
+        assert _unescape_label(sample[start:end]) == 'C:\\logs\n"prod"'
 
 
 class TestCounter:

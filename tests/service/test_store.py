@@ -52,9 +52,11 @@ class TestResultStore:
         store.put("k", {"kind": "x"})
         # Rewrite the object with a foreign schema stamp, keeping the
         # index hash consistent so only the version check can reject it.
+        # v4 is in COMPATIBLE_SCHEMAS (additive migration), so the first
+        # incompatible stamp below it is v3.
         from repro.service.store import _canonical_dumps, _content_hash
 
-        stale = _canonical_dumps({"kind": "x", "schema": SCHEMA_VERSION - 1})
+        stale = _canonical_dumps({"kind": "x", "schema": SCHEMA_VERSION - 2})
         (tmp_path / "objects" / "k.json").write_bytes(stale)
         index = json.loads((tmp_path / "index.json").read_text())
         index["entries"]["k"]["hash"] = _content_hash(stale)
@@ -188,3 +190,72 @@ class TestCharacterizationPayload:
         assert rebuilt.attempts == 1
         assert rebuilt.faults is None
         assert all(not r.tag for r in rebuilt.run.trace.records)
+
+
+class TestSchemaV5:
+    """Schema v5: timeline + events_capacity, with v4 read compatibility."""
+
+    @pytest.fixture(scope="class")
+    def sampled(self):
+        from repro.obs.timeline import TimelineConfig
+
+        return Cluster().characterize_workload(
+            workload_by_name("S-Grep"),
+            RunContext(scale=0.2, seed=5),
+            MeasurementConfig(slaves_measured=1, active_cores=2, ops_per_core=1200),
+            timeline=TimelineConfig(interval_ms=2.0),
+            flight_capacity=64,
+        )
+
+    def test_v5_roundtrip_preserves_timeline_and_capacity(self, sampled, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("wc", characterization_to_payload(sampled))
+        payload = store.get("wc")
+        assert payload["schema"] == SCHEMA_VERSION == 5
+        rebuilt = characterization_from_payload(payload)
+        assert rebuilt.events_capacity == 64
+        assert rebuilt.timeline is not None
+        assert rebuilt.timeline.samples == sampled.timeline.samples
+        assert rebuilt.timeline.ramp_up_fraction == sampled.timeline.ramp_up_fraction
+        # The reconciliation invariant survives persistence.
+        rebuilt.timeline.reconcile(rebuilt.metrics)
+
+    def test_v4_entry_hydrates_without_rerun(self, sampled, tmp_path):
+        """A store written by the previous release must read cleanly."""
+        from repro.obs.flight import DEFAULT_CAPACITY
+        from repro.service.store import (
+            COMPATIBLE_SCHEMAS,
+            _canonical_dumps,
+            _content_hash,
+        )
+
+        store = ResultStore(tmp_path)
+        store.put("wc", characterization_to_payload(sampled))
+        # Forge the on-disk entry back to v4: strip the v5 fields and
+        # restamp, fixing the index hash so only the schema check runs.
+        payload = json.loads((tmp_path / "objects" / "wc.json").read_text())
+        payload.pop("timeline", None)
+        payload.pop("events_capacity", None)
+        payload["schema"] = 4
+        assert 4 in COMPATIBLE_SCHEMAS
+        raw = _canonical_dumps(payload)
+        (tmp_path / "objects" / "wc.json").write_bytes(raw)
+        index = json.loads((tmp_path / "index.json").read_text())
+        index["entries"]["wc"]["hash"] = _content_hash(raw)
+        (tmp_path / "index.json").write_text(json.dumps(index))
+
+        fresh = ResultStore(tmp_path)
+        hydrated = fresh.get("wc")
+        assert hydrated is not None, "v4 entry must not read as a miss"
+        rebuilt = characterization_from_payload(hydrated)
+        assert rebuilt.metrics == sampled.metrics
+        assert rebuilt.timeline is None
+        assert rebuilt.events_capacity == DEFAULT_CAPACITY
+
+    def test_v4_index_stamp_is_accepted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", {"kind": "x"})
+        index = json.loads((tmp_path / "index.json").read_text())
+        index["schema"] = 4
+        (tmp_path / "index.json").write_text(json.dumps(index))
+        assert ResultStore(tmp_path).get("k") is not None

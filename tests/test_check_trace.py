@@ -1,0 +1,148 @@
+"""Unit tests for the trace validator tool (tools/check_trace.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+spec = importlib.util.spec_from_file_location(
+    "check_trace", REPO_ROOT / "tools" / "check_trace.py"
+)
+check_trace_module = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_trace_module)
+
+check_trace = check_trace_module.check_trace
+check_duration_nesting = check_trace_module.check_duration_nesting
+main = check_trace_module.main
+
+
+def _event(ph="X", name="work", ts=0.0, pid=1, tid=1, **extra):
+    event = {"name": name, "ph": ph, "ts": ts, "pid": pid, "tid": tid}
+    if ph == "X":
+        event.setdefault("dur", extra.pop("dur", 1.0))
+    if ph == "i":
+        event.setdefault("s", "t")
+    event.update(extra)
+    return event
+
+
+class TestStructuralChecks:
+    def test_valid_trace_passes(self):
+        document = {"traceEvents": [_event(), _event(ph="i", ts=2.0)]}
+        assert check_trace(document) == []
+
+    def test_negative_duration_rejected(self):
+        document = {"traceEvents": [_event(dur=-1.0)]}
+        problems = check_trace(document)
+        assert any("dur" in p for p in problems)
+
+    def test_unknown_phase_rejected(self):
+        document = {"traceEvents": [_event(ph="Q")]}
+        assert any("'ph'" in p for p in check_trace(document))
+
+
+class TestDurationNesting:
+    def test_balanced_nesting_passes(self):
+        events = [
+            _event(ph="B", name="outer", ts=0.0),
+            _event(ph="B", name="inner", ts=1.0),
+            _event(ph="E", name="inner", ts=2.0),
+            _event(ph="E", name="outer", ts=3.0),
+        ]
+        assert check_duration_nesting(events) == []
+
+    def test_end_without_begin_fails(self):
+        events = [_event(ph="E", name="orphan", ts=1.0)]
+        problems = check_duration_nesting(events)
+        assert any("no open 'B'" in p for p in problems)
+
+    def test_unclosed_begin_fails(self):
+        events = [_event(ph="B", name="leak", ts=0.0)]
+        problems = check_duration_nesting(events)
+        assert any("never closed" in p for p in problems)
+
+    def test_mismatched_names_fail(self):
+        events = [
+            _event(ph="B", name="alpha", ts=0.0),
+            _event(ph="E", name="beta", ts=1.0),
+        ]
+        problems = check_duration_nesting(events)
+        assert any("closes 'B'" in p for p in problems)
+
+    def test_backwards_timestamp_fails(self):
+        events = [
+            _event(ph="B", name="a", ts=5.0),
+            _event(ph="E", name="a", ts=3.0),
+        ]
+        problems = check_duration_nesting(events)
+        assert any("negative duration" in p or "backwards" in p for p in problems)
+
+    def test_interleaved_threads_keep_separate_stacks(self):
+        events = [
+            _event(ph="B", name="t1-span", ts=0.0, tid=1),
+            _event(ph="B", name="t2-span", ts=0.5, tid=2),
+            _event(ph="E", name="t1-span", ts=1.0, tid=1),
+            _event(ph="E", name="t2-span", ts=1.5, tid=2),
+        ]
+        assert check_duration_nesting(events) == []
+
+    def test_cross_thread_imbalance_still_fails(self):
+        events = [
+            _event(ph="B", name="span", ts=0.0, tid=1),
+            _event(ph="E", name="span", ts=1.0, tid=2),  # wrong thread
+        ]
+        problems = check_duration_nesting(events)
+        assert len(problems) == 2  # orphan E on tid 2, unclosed B on tid 1
+
+
+class TestMainExitCodes:
+    def _write(self, tmp_path, document):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(document))
+        return str(path)
+
+    def test_valid_trace_exits_zero(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path,
+            {"traceEvents": [
+                _event(),
+                _event(ph="B", name="d", ts=1.0),
+                _event(ph="E", name="d", ts=2.0),
+            ]},
+        )
+        assert main([path]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_invalid_nesting_exits_nonzero(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, {"traceEvents": [_event(ph="E", name="x", ts=1.0)]}
+        )
+        assert main([path]) == 1
+        assert "no open 'B'" in capsys.readouterr().err
+
+    def test_non_monotone_duration_exits_nonzero(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path,
+            {"traceEvents": [
+                _event(ph="B", name="x", ts=9.0),
+                _event(ph="E", name="x", ts=1.0),
+            ]},
+        )
+        assert main([path]) == 1
+
+    def test_min_events_enforced(self, tmp_path):
+        path = self._write(tmp_path, {"traceEvents": []})
+        assert main([path, "--min-events", "1"]) == 1
+
+    def test_real_exporter_output_passes(self, tmp_path):
+        """The tool must accept what repro's own tracer exports."""
+        from repro.obs.trace import Tracer, tracing, span
+
+        tracer = Tracer()
+        with tracing(tracer):
+            with span("outer", "test"):
+                with span("inner", "test"):
+                    pass
+        path = self._write(tmp_path, tracer.to_chrome())
+        assert main([path, "--min-events", "2"]) == 0

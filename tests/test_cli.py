@@ -52,6 +52,46 @@ class TestCharacterize:
         assert "H-Sort" in err
 
 
+class TestCharacterizeTimeline:
+    def test_timeline_flag_prints_summary(self, capsys):
+        code = main(
+            ["characterize", "S-Grep", "--scale", "0.2", "--cores", "2",
+             "--ops", "1200", "--timeline", "--timeline-interval", "2",
+             "--flight-capacity", "64"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "timeline:" in out
+        assert "ramp-up" in out
+        assert "45 Table II metrics" in out
+
+
+class TestReport:
+    def test_writes_self_contained_dashboard(self, tmp_path, capsys):
+        out_path = tmp_path / "report.html"
+        code = main(
+            ["report", "--limit", "2", "--scale", "0.2", "--cores", "2",
+             "--ops", "1200", "--timeline-interval", "2",
+             "--html", str(out_path)]
+        )
+        assert code == 0
+        html_doc = out_path.read_text()
+        assert html_doc.startswith("<!DOCTYPE html>")
+        assert "<script" not in html_doc
+        assert "Suite heatmap" in html_doc
+        out = capsys.readouterr().out
+        assert "2 timelines" in out
+
+    def test_no_timeline_flag_disables_sampling(self, tmp_path, capsys):
+        out_path = tmp_path / "report.html"
+        code = main(
+            ["report", "--limit", "2", "--scale", "0.2", "--cores", "2",
+             "--ops", "1200", "--no-timeline", "--html", str(out_path)]
+        )
+        assert code == 0
+        assert "0 timelines" in capsys.readouterr().out
+
+
 class TestServe:
     def test_help_exits_zero_and_documents_flags(self, capsys):
         with pytest.raises(SystemExit) as excinfo:

@@ -7,8 +7,10 @@ Usage::
     python tools/bench_service.py -o out.json --threads 8
 
 Starts a real ``ThreadingHTTPServer`` on a loopback port, warms the
-store through one cold ``/suite/matrix`` request (which runs the
-engines + simulator once, single-flight), then measures:
+store by submitting every workload as a non-blocking job and following
+each one's ``/jobs/<id>/events`` stream via
+:meth:`ServiceClient.wait_for_job` (no request-timeout exposure, no
+ad-hoc polling), then measures:
 
 1. **Warm full-body throughput** — closed-loop GETs of ``/suite/matrix``
    and ``/characterize/<name>`` from ``--threads`` concurrent clients,
@@ -119,10 +121,24 @@ def run_benchmark(smoke: bool, threads: int, requests: int, workers: int) -> dic
         runner.start()
         try:
             print(f"service on {base_url}, {n_workloads} workloads; warming ...")
+            warm_client = ServiceClient(base_url, correlation_id="bench-service-warm")
             with Stopwatch() as cold_sw:
-                ServiceClient(base_url).matrix()
+                # Submit every workload without blocking, then follow each
+                # job's event stream to completion — immune to the server's
+                # request timeout, unlike a cold blocking /suite/matrix GET.
+                job_ids = []
+                for workload in workloads:
+                    snapshot = warm_client.characterize(workload.name, wait=False)
+                    job_id = snapshot.get("id")
+                    if job_id:  # 202 job snapshot (cold); cached results have none
+                        job_ids.append(job_id)
+                for job_id in job_ids:
+                    final = warm_client.wait_for_job(job_id, timeout=1800.0)
+                    if final["state"] != "done":
+                        raise RuntimeError(f"warm job {job_id}: {final['state']}")
+                warm_client.matrix()  # assemble the suite entry from the store
             cold_s = cold_sw.seconds
-            print(f"  cold /suite/matrix (one collection): {cold_s:.2f}s")
+            print(f"  cold collection ({len(job_ids)} jobs streamed): {cold_s:.2f}s")
 
             measurements = []
             for path, conditional in (

@@ -22,6 +22,9 @@ the performance trajectory:
    ``repro.obs.trace.span`` helper, projected onto the span count of a
    real traced run; the observability acceptance bar is <2% of the
    untraced wall time.
+4. **Timeline sampling overhead** — wall time of a full characterization
+   with the interval sampler on vs off (metrics asserted bit-identical
+   first); the acceptance bar is <5% of the unsampled wall time.
 """
 
 from __future__ import annotations
@@ -42,8 +45,9 @@ import numpy as np  # noqa: E402
 from repro.arch.processor import Processor  # noqa: E402
 from repro.cluster import collection  # noqa: E402
 from repro.cluster.collection import CollectionConfig, characterize_suite  # noqa: E402
-from repro.cluster.testbed import MeasurementConfig  # noqa: E402
+from repro.cluster.testbed import Cluster, MeasurementConfig  # noqa: E402
 from repro.obs.stats import Stopwatch, best_of  # noqa: E402
+from repro.obs.timeline import TimelineConfig  # noqa: E402
 from repro.obs.trace import Tracer, span, tracing  # noqa: E402
 from repro.stacks.instrument import profiles_from_trace  # noqa: E402
 from repro.workloads.base import RunContext  # noqa: E402
@@ -52,6 +56,10 @@ from repro.workloads.suite import SUITE  # noqa: E402
 #: Acceptance bar: disabled tracing must cost less than this fraction of
 #: the untraced run.
 TRACING_OVERHEAD_BUDGET_PCT = 2.0
+
+#: Acceptance bar: timeline sampling (interval sampler ON) must cost
+#: less than this fraction of an unsampled characterization.
+TIMELINE_OVERHEAD_BUDGET_PCT = 5.0
 
 #: Seed-revision wall time of `_time_single_thread` (same parameters, same
 #: reference machine) before the allocation-free hot-loop overhaul.
@@ -137,6 +145,53 @@ def _time_tracing(smoke: bool) -> dict:
     }
 
 
+def _time_timeline(smoke: bool) -> dict:
+    """Timeline-sampler overhead: characterization wall time on vs off.
+
+    Asserts the 45-metric vector is bit-identical first — overhead is
+    only worth measuring for a sampler that observes without perturbing.
+    """
+    workload = SUITE[0]
+    context = RunContext(scale=0.3 if smoke else 0.5, seed=42)
+    measurement = MeasurementConfig(
+        slaves_measured=1,
+        active_cores=3,
+        ops_per_core=2000 if smoke else 4000,
+    )
+    config = TimelineConfig(interval_ms=5.0)
+
+    plain = Cluster().characterize_workload(workload, context, measurement)
+    sampled = Cluster().characterize_workload(
+        workload, context, measurement, timeline=config
+    )
+    if sampled.metrics != plain.metrics:
+        raise AssertionError("timeline sampling changed the metric vector")
+    if sampled.per_slave != plain.per_slave:
+        raise AssertionError("timeline sampling changed per-slave metrics")
+
+    trials = 2 if smoke else 3
+    off_s = best_of(
+        lambda: Cluster().characterize_workload(workload, context, measurement),
+        trials,
+    )
+    on_s = best_of(
+        lambda: Cluster().characterize_workload(
+            workload, context, measurement, timeline=config
+        ),
+        trials,
+    )
+    overhead_pct = max(0.0, 100.0 * (on_s - off_s) / off_s)
+    return {
+        "unsampled_seconds": round(off_s, 4),
+        "sampled_seconds": round(on_s, 4),
+        "samples_per_run": len(sampled.timeline),
+        "overhead_pct": round(overhead_pct, 4),
+        "budget_pct": TIMELINE_OVERHEAD_BUDGET_PCT,
+        "within_budget": overhead_pct < TIMELINE_OVERHEAD_BUDGET_PCT,
+        "bit_identical": True,
+    }
+
+
 def run_benchmark(workers: int, smoke: bool) -> dict:
     n_workloads = 2 if smoke else 8
     workers = min(workers, n_workloads)
@@ -179,6 +234,21 @@ def run_benchmark(workers: int, smoke: bool) -> dict:
             f"(budget {TRACING_OVERHEAD_BUDGET_PCT}%)"
         )
 
+    print("timeline sampling overhead ...")
+    timeline_stats = _time_timeline(smoke)
+    print(
+        f"  sampled {timeline_stats['sampled_seconds']}s vs unsampled "
+        f"{timeline_stats['unsampled_seconds']}s = "
+        f"{timeline_stats['overhead_pct']}% "
+        f"({timeline_stats['samples_per_run']} samples, "
+        f"budget {TIMELINE_OVERHEAD_BUDGET_PCT}%)"
+    )
+    if not timeline_stats["within_budget"]:
+        raise AssertionError(
+            f"timeline sampling costs {timeline_stats['overhead_pct']}% "
+            f"(budget {TIMELINE_OVERHEAD_BUDGET_PCT}%)"
+        )
+
     return {
         "smoke": smoke,
         "cpu_count": cpus,
@@ -196,6 +266,7 @@ def run_benchmark(workers: int, smoke: bool) -> dict:
             "bit_identical": True,
         },
         "tracing": tracing_stats,
+        "timeline": timeline_stats,
     }
 
 

@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Validate a ``repro report --html`` dashboard for self-containment.
+
+CI renders a dashboard and runs this against it, so a regression that
+sneaks in an external asset, a script tag, or drops a required section
+fails the build instead of shipping a page that phones home (or renders
+blank offline).  Checks, all via :mod:`html.parser` — stdlib only:
+
+- the document parses and starts with an HTML5 doctype;
+- **zero external fetches**: no ``src``/``href`` attributes at all, no
+  attribute value pointing at ``http(s)://`` or protocol-relative URLs;
+- no ``<script>`` elements (the page is declared script-free);
+- at least ``--min-svgs`` inline SVG charts and one table view;
+- the expected section headings are present.
+
+Usage::
+
+    python tools/check_dashboard.py report.html [--min-svgs N]
+
+Exits 0 on a valid dashboard, 1 with diagnostics otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from html.parser import HTMLParser
+
+REQUIRED_HEADINGS = (
+    "Workload timelines",
+    "Suite heatmap",
+    "Representative subset (Kiviat)",
+)
+
+
+class DashboardAuditor(HTMLParser):
+    """Collects structure counts and self-containment violations."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.svgs = 0
+        self.tables = 0
+        self.scripts = 0
+        self.violations: list[str] = []
+
+    def handle_starttag(self, tag: str, attrs) -> None:
+        if tag == "svg":
+            self.svgs += 1
+        elif tag == "table":
+            self.tables += 1
+        elif tag == "script":
+            self.scripts += 1
+            self.violations.append(f"<script> element at {self.getpos()}")
+        for name, value in attrs:
+            if name in ("src", "href"):
+                self.violations.append(
+                    f"<{tag} {name}={value!r}> at {self.getpos()} — "
+                    "a self-contained dashboard fetches nothing"
+                )
+            elif value and value.startswith(("http://", "https://", "//")):
+                self.violations.append(
+                    f"<{tag} {name}={value!r}> at {self.getpos()} — "
+                    "external URL in an attribute"
+                )
+
+
+def check_dashboard(html_doc: str, min_svgs: int = 1) -> list[str]:
+    """All problems with one dashboard document (empty list = valid)."""
+    problems = []
+    if not html_doc.lstrip().lower().startswith("<!doctype html>"):
+        problems.append("document must start with an HTML5 doctype")
+    auditor = DashboardAuditor()
+    auditor.feed(html_doc)
+    auditor.close()
+    problems.extend(auditor.violations)
+    if auditor.svgs < min_svgs:
+        problems.append(
+            f"expected at least {min_svgs} inline SVG charts, "
+            f"found {auditor.svgs}"
+        )
+    if auditor.tables < 1:
+        problems.append("no table view — charts need their accessible twin")
+    for heading in REQUIRED_HEADINGS:
+        if heading not in html_doc:
+            problems.append(f"missing section heading: {heading!r}")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("dashboard", help="path to the rendered HTML file")
+    parser.add_argument(
+        "--min-svgs",
+        type=int,
+        default=1,
+        help="fail unless the page has at least this many inline SVGs",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.dashboard, encoding="utf-8") as handle:
+            html_doc = handle.read()
+    except OSError as error:
+        print(
+            f"check_dashboard: cannot read {args.dashboard}: {error}",
+            file=sys.stderr,
+        )
+        return 1
+
+    problems = check_dashboard(html_doc, min_svgs=args.min_svgs)
+    if problems:
+        for problem in problems:
+            print(f"check_dashboard: {problem}", file=sys.stderr)
+        return 1
+    auditor = DashboardAuditor()
+    auditor.feed(html_doc)
+    print(
+        f"check_dashboard: {args.dashboard} OK — {auditor.svgs} SVG charts, "
+        f"{auditor.tables} table(s), 0 external fetches, 0 scripts, "
+        f"{len(html_doc)} bytes"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

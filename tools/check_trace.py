@@ -6,10 +6,16 @@ on — CI runs this against a freshly exported trace so a malformed
 exporter fails the build instead of failing silently in a viewer:
 
 - top level is an object with a ``traceEvents`` list;
-- every event has a string ``name``, a ``ph`` of ``X`` or ``i``, a
-  numeric ``ts >= 0``, and integer ``pid``/``tid``;
+- every event has a string ``name``, a ``ph`` of ``X``, ``i``, ``B`` or
+  ``E``, a numeric ``ts >= 0``, and integer ``pid``/``tid``;
 - complete events (``ph: X``) carry a numeric ``dur >= 0``;
-- instant events (``ph: i``) carry a scope ``s``.
+- instant events (``ph: i``) carry a scope ``s``;
+- duration events (``B``/``E``) nest properly **per thread**: every
+  ``E`` pops the matching ``B`` on its ``(pid, tid)`` stack (same name
+  when the ``E`` carries one), no ``E`` without an open ``B``, no ``B``
+  left open at end of trace;
+- ``B``/``E`` timestamps are monotone within a thread, so no pair
+  implies a negative duration.
 
 Usage::
 
@@ -25,7 +31,7 @@ import argparse
 import json
 import sys
 
-VALID_PHASES = {"X", "i"}
+VALID_PHASES = {"X", "i", "B", "E"}
 
 
 def check_event(index: int, event: object) -> list[str]:
@@ -61,6 +67,61 @@ def check_event(index: int, event: object) -> list[str]:
     return problems
 
 
+def check_duration_nesting(events: list) -> list[str]:
+    """Per-thread ``B``/``E`` stack discipline and monotone timestamps.
+
+    Chrome's viewer silently mis-renders unbalanced duration events; this
+    makes them a hard failure: an ``E`` with no open ``B``, an ``E``
+    whose name contradicts the ``B`` it closes, a ``B`` never closed, a
+    timestamp that runs backwards within a thread (which would imply a
+    negative duration), all get a diagnostic.
+    """
+    problems = []
+    stacks: dict[tuple, list[tuple[int, str, float]]] = {}
+    last_ts: dict[tuple, float] = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict) or event.get("ph") not in ("B", "E"):
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool):
+            continue  # check_event already reported the bad timestamp
+        thread = (event.get("pid"), event.get("tid"))
+        if thread in last_ts and ts < last_ts[thread]:
+            problems.append(
+                f"event {index}: 'ts' {ts!r} runs backwards on tid "
+                f"{thread[1]!r} (previous B/E at {last_ts[thread]!r})"
+            )
+        last_ts[thread] = ts
+        stack = stacks.setdefault(thread, [])
+        if event["ph"] == "B":
+            stack.append((index, str(event.get("name", "")), float(ts)))
+            continue
+        if not stack:
+            problems.append(
+                f"event {index}: 'E' with no open 'B' on tid {thread[1]!r}"
+            )
+            continue
+        begin_index, begin_name, begin_ts = stack.pop()
+        end_name = event.get("name")
+        if end_name and begin_name and end_name != begin_name:
+            problems.append(
+                f"event {index}: 'E' named {end_name!r} closes 'B' "
+                f"{begin_name!r} (event {begin_index})"
+            )
+        if ts < begin_ts:
+            problems.append(
+                f"event {index}: negative duration — 'E' at {ts!r} before "
+                f"its 'B' at {begin_ts!r} (event {begin_index})"
+            )
+    for thread, stack in sorted(stacks.items(), key=lambda kv: str(kv[0])):
+        for begin_index, begin_name, _ in stack:
+            problems.append(
+                f"event {begin_index}: 'B' {begin_name!r} on tid "
+                f"{thread[1]!r} never closed"
+            )
+    return problems
+
+
 def check_trace(document: object, min_events: int = 1) -> list[str]:
     """All problems with one parsed trace document."""
     if not isinstance(document, dict):
@@ -75,6 +136,7 @@ def check_trace(document: object, min_events: int = 1) -> list[str]:
         )
     for index, event in enumerate(events):
         problems.extend(check_event(index, event))
+    problems.extend(check_duration_nesting(events))
     return problems
 
 
@@ -102,10 +164,13 @@ def main(argv: list[str] | None = None) -> int:
             print(f"check_trace: {problem}", file=sys.stderr)
         return 1
     events = document["traceEvents"]
-    spans = sum(1 for e in events if e["ph"] == "X")
+    counts = {phase: 0 for phase in sorted(VALID_PHASES)}
+    for event in events:
+        counts[event["ph"]] += 1
     print(
         f"check_trace: {args.trace} OK — {len(events)} events "
-        f"({spans} complete, {len(events) - spans} instant)"
+        f"({counts['X']} complete, {counts['i']} instant, "
+        f"{counts['B']}+{counts['E']} duration)"
     )
     return 0
 
