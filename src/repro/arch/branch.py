@@ -80,6 +80,43 @@ class GsharePredictor:
         self._history = ((self._history << 1) | int(taken)) & self._mask
         return correct
 
+    def predict_batch(self, pcs: list[int], takens: list[bool]) -> int:
+        """Run a whole sample's branch stream through the predictor.
+
+        Predictor state is self-contained (tables, history, stats), so
+        the batched engine replays all of a sample's branches in one
+        tight loop instead of a call per branch.  The table updates,
+        final history and statistics are bit-identical to calling
+        :meth:`predict_and_update` per branch in the same order.
+
+        Returns:
+            The number of mispredicted branches.
+        """
+        table = self._table
+        mask = self._mask
+        use_mask = self._use_mask
+        history = self._history
+        mispredicts = 0
+        for pc, taken in zip(pcs, takens):
+            index = ((pc >> 2) ^ (history & use_mask)) & mask
+            counter = table[index]
+            if taken:
+                if counter < _TAKEN_THRESHOLD:
+                    mispredicts += 1
+                if counter < 3:
+                    table[index] = counter + 1
+                history = ((history << 1) | 1) & mask
+            else:
+                if counter >= _TAKEN_THRESHOLD:
+                    mispredicts += 1
+                if counter:
+                    table[index] = counter - 1
+                history = (history << 1) & mask
+        self._history = history
+        self.stats.predicted += len(pcs)
+        self.stats.mispredicted += mispredicts
+        return mispredicts
+
     def reset(self) -> None:
         """Clear tables and statistics."""
         self._table = bytearray([1]) * (1 << self.history_bits)

@@ -268,6 +268,44 @@ class SetAssociativeCache:
         mask = self._set_mask
         num_sets = self._num_sets
         assoc = self._assoc
+        capacity = num_sets * assoc
+        if count >= 4 * capacity:
+            # A span this large wipes the cache: each set sees >= 4x its
+            # associativity in distinct installs, so every pre-existing
+            # line (and every span line present before its own install)
+            # is evicted before the final window lands.  The end state is
+            # therefore exactly the last ``capacity`` installed lines —
+            # the lowest ones, since installs run coldest-first — all
+            # clean, in install order.  Rebuild that state directly
+            # instead of touching millions of lines (evictions here are
+            # silent by install_line semantics, so no stats are owed).
+            for cache_set in sets:
+                cache_set.clear()
+            for line in range(first_line + capacity - 1, first_line - 1, -1):
+                sets[line & mask if mask else line % num_sets][line] = False
+            return
+        if count >= num_sets:
+            # Wide span: visit each set once and walk its arithmetic
+            # subsequence of lines directly, hoisting the set lookup out
+            # of the per-line loop.  install_line effects are confined
+            # to the line's own set (silent evictions, no stats), so
+            # reordering installs *across* sets — while keeping each
+            # set's installs in original descending order — leaves the
+            # final state bit-identical.  (Contiguous lines hit set
+            # ``line % num_sets`` whether the cache indexes by mask or
+            # by modulo, so one grouping works for both.)
+            hi = first_line + count - 1
+            for index in range(num_sets):
+                top = hi - ((hi - index) % num_sets)
+                cache_set = sets[index]
+                for line in range(top, first_line - 1, -num_sets):
+                    if line in cache_set:
+                        cache_set.move_to_end(line)
+                    else:
+                        if len(cache_set) >= assoc:
+                            cache_set.popitem(last=False)
+                        cache_set[line] = False
+            return
         for line in range(first_line + count - 1, first_line - 1, -1):
             cache_set = sets[line & mask if mask else line % num_sets]
             if line in cache_set:

@@ -19,10 +19,13 @@ Simulation protocol (mirroring Section IV-C of the paper):
 
 from __future__ import annotations
 
+import gc
+
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.arch.batch import PhasePlan, plan_workload
 from repro.arch.cache import CacheConfig, SetAssociativeCache
 from repro.arch.coherence import CoherenceDirectory
 from repro.arch.core_model import CoreModel, wrong_path_branches
@@ -179,6 +182,8 @@ class Processor:
         ops_per_core: int = 8000,
         warmup_fraction: float = 0.3,
         prewarm: bool = True,
+        engine: str = "batched",
+        plan: PhasePlan | None = None,
     ) -> dict[str, float]:
         """Simulate one phase and return scaled raw events.
 
@@ -193,6 +198,12 @@ class Processor:
             prewarm: Install the steady-state resident set first.
                 ``run_workload`` pre-warms once with the union footprint
                 and disables the per-phase pass.
+            engine: ``"batched"`` compacts each sample to its interesting
+                events first (:mod:`repro.arch.batch`); ``"windowed"`` is
+                the per-op reference loop.  Bit-identical by contract.
+            plan: Pre-synthesised samples for this phase (batched engine
+                only); when given, ``rng`` is not consumed — the caller
+                already drew the phase's randomness into the plan.
 
         Raises:
             ConfigurationError: If ``active_cores`` exceeds the socket.
@@ -204,16 +215,35 @@ class Processor:
             )
         if ops_per_core <= 0:
             raise ConfigurationError("ops_per_core must be positive")
+        if engine not in ("batched", "windowed"):
+            raise ConfigurationError(f"unknown simulation engine: {engine!r}")
 
-        warmup_ops = max(1, int(ops_per_core * warmup_fraction))
         total = SampleCounts()
-        for core in self.cores[:active_cores]:
-            if prewarm:
-                core.prewarm(profile)  # steady-state resident set
-            core.run_sample(profile, warmup_ops, rng)  # ramp-up, discarded
-        for core in self.cores[:active_cores]:
-            part = core.run_sample(profile, ops_per_core, rng)
-            _merge_counts(total, part)
+        cores = self.cores[:active_cores]
+        if engine == "batched":
+            if plan is None:
+                plan = plan_workload(
+                    [profile],
+                    rng,
+                    [core.core_id for core in cores],
+                    ops_per_core,
+                    warmup_fraction,
+                )[0]
+            for core, warmup in zip(cores, plan.warmups):
+                if prewarm:
+                    core.prewarm(profile)  # steady-state resident set
+                core.run_compact(warmup, discard=True)  # ramp-up, discarded
+            for core, measured in zip(cores, plan.measured):
+                _merge_counts(total, core.run_compact(measured))
+        else:
+            warmup_ops = max(1, int(ops_per_core * warmup_fraction))
+            for core in cores:
+                if prewarm:
+                    core.prewarm(profile)  # steady-state resident set
+                core.run_sample(profile, warmup_ops, rng)  # ramp-up, discarded
+            for core in cores:
+                part = core.run_sample(profile, ops_per_core, rng)
+                _merge_counts(total, part)
 
         accounting = self._cycle_model.account(total, profile.uops_per_instruction)
         scale = profile.instructions / max(1, total.instructions)
@@ -226,15 +256,56 @@ class Processor:
         active_cores: int = 4,
         ops_per_core: int = 8000,
         warmup_fraction: float = 0.3,
+        engine: str = "batched",
+        plan: list[PhasePlan] | None = None,
     ) -> dict[str, float]:
         """Simulate a workload's phases back to back and sum raw events.
 
         Private core state is flushed before the first phase (a fresh
         process); it persists *across* phases of the same workload, as it
         would on real hardware.
+
+        Args:
+            engine: See :meth:`run_phase`.  With the batched engine every
+                window's synthesis is hoisted ahead of all simulation
+                (simulation consumes no randomness, so the draw order —
+                and hence the result — is unchanged).
+            plan: Pre-synthesised plan for all phases, one
+                :class:`~repro.arch.batch.PhasePlan` per profile in order
+                (batched engine only).  Callers batching across slaves or
+                workloads pass plans built from each slave's own rng with
+                a shared scratch; ``rng`` is then not consumed here.
         """
         if not profiles:
             raise ConfigurationError("run_workload needs at least one phase profile")
+        if plan is not None and len(plan) != len(profiles):
+            raise ConfigurationError("plan length must match profiles")
+        # The hot loops allocate steadily (directory entries, fill
+        # tuples) but almost nothing cyclic; generational GC passes in
+        # the middle of a workload are pure overhead, so pause collection
+        # for the duration and restore the caller's setting after.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return self._run_workload_inner(
+                profiles, rng, active_cores, ops_per_core,
+                warmup_fraction, engine, plan,
+            )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _run_workload_inner(
+        self,
+        profiles: list[PhaseProfile],
+        rng: np.random.Generator,
+        active_cores: int,
+        ops_per_core: int,
+        warmup_fraction: float,
+        engine: str,
+        plan: list[PhasePlan] | None,
+    ) -> dict[str, float]:
         self.reset()
         union = _union_footprint(profiles)
         l3_lines = self.config.l3_size // 64
@@ -253,6 +324,14 @@ class Processor:
                 private_budget_lines=private_budget,
                 install_shared_and_code=(index == 0),
             )
+        if engine == "batched" and plan is None:
+            plan = plan_workload(
+                profiles,
+                rng,
+                [core.core_id for core in self.cores[:active_cores]],
+                ops_per_core,
+                warmup_fraction,
+            )
         sampler = current_timeline()
         totals: dict[str, float] = {}
         for window, profile in enumerate(profiles):
@@ -263,6 +342,8 @@ class Processor:
                 ops_per_core=ops_per_core,
                 warmup_fraction=warmup_fraction,
                 prewarm=False,
+                engine=engine,
+                plan=plan[window] if plan is not None else None,
             )
             if sampler is not None:
                 # Observational: the sampler copies `events` and derives

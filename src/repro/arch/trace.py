@@ -45,11 +45,14 @@ __all__ = [
     "MemOp",
     "OpStream",
     "OpTallies",
+    "StreamColumns",
+    "SynthScratch",
     "OP_FETCH_FLAG",
     "InstructionMix",
     "PhaseProfile",
     "synthesize_ops",
     "synthesize_stream",
+    "synthesize_columns",
     "merge_profiles",
     "OP_LOAD",
     "OP_STORE",
@@ -471,31 +474,100 @@ def _chain_offsets(
     return (base + 4 * (chain_pos - base_pos)) % span
 
 
-def synthesize_stream(
+class StreamColumns(NamedTuple):
+    """A synthesised sample as numpy columns (the pre-``tolist`` form).
+
+    Shared between :func:`synthesize_stream` (which converts every column
+    to a plain list for the reference per-op loop) and the batched engine
+    (:mod:`repro.arch.batch`), which compacts the columns down to the
+    events the simulation actually has to walk.  ``codes`` carries
+    :data:`OP_FETCH_FLAG` exactly like :attr:`OpStream.codes`.
+    """
+
+    codes: np.ndarray
+    addresses: np.ndarray
+    kernels: np.ndarray
+    takens: np.ndarray
+    shareds: np.ndarray
+    pcs: np.ndarray
+    tallies: OpTallies
+
+
+#: Uniform ``rng.random(n_ops)`` draws one synthesis makes — sizes the
+#: scratch block so a whole sample's draws fit without reallocation.
+_SCRATCH_DRAWS = 13
+
+
+class SynthScratch:
+    """Preallocated uniform-draw buffers reused across samples.
+
+    Synthesis makes :data:`_SCRATCH_DRAWS` full-length uniform draws per
+    sample; drawing them with ``rng.random(out=view)`` into slices of one
+    preallocated block produces bit-identical values (the generator
+    consumes the same doubles in the same order) while the buffers are
+    reused across every window, core, slave and workload of a batch
+    instead of being reallocated tens of thousands of times.
+    """
+
+    __slots__ = ("_block", "_n", "_used")
+
+    def __init__(self) -> None:
+        self._block = np.empty(0, dtype=np.float64)
+        self._n = 0
+        self._used = 0
+
+    def begin(self, n_ops: int) -> None:
+        """Start a sample of ``n_ops`` ops; grows the block if needed."""
+        needed = _SCRATCH_DRAWS * n_ops
+        if self._block.size < needed:
+            self._block = np.empty(needed, dtype=np.float64)
+        self._n = n_ops
+        self._used = 0
+
+    def take(self) -> np.ndarray:
+        """The next ``n_ops``-sized float64 view (fresh array if exhausted)."""
+        start, end = self._used, self._used + self._n
+        if end > self._block.size:
+            return np.empty(self._n, dtype=np.float64)
+        self._used = end
+        return self._block[start:end]
+
+
+def synthesize_columns(
     profile: PhaseProfile,
     n_ops: int,
     core_id: int,
     rng: np.random.Generator,
-) -> OpStream:
+    scratch: SynthScratch | None = None,
+) -> StreamColumns:
     """Expand ``profile`` into ``n_ops`` sampled operations for one core.
 
     Returns:
-        An :class:`OpStream` of parallel columns (op codes, addresses,
-        ring-0 flags, branch outcomes, shared flags, fetch PCs).
+        A :class:`StreamColumns` of parallel numpy columns (op codes,
+        addresses, ring-0 flags, branch outcomes, shared flags, fetch
+        PCs).
 
-    The synthesis is deterministic given ``rng``'s state.  Branches come
-    from a set of *branch sites* (stable PCs spaced through the code
-    region, Zipf-weighted like the code itself) so the predictor can
-    actually train on them; each site has a fixed taken-bias drawn from
+    The synthesis is deterministic given ``rng``'s state — with or
+    without ``scratch`` (the buffers only change *where* the uniform
+    draws land, never what is drawn).  Branches come from a set of
+    *branch sites* (stable PCs spaced through the code region,
+    Zipf-weighted like the code itself) so the predictor can actually
+    train on them; each site has a fixed taken-bias drawn from
     ``branch_entropy`` (low entropy = strongly biased = predictable).
 
     Every column is computed as vectorised numpy passes — the random
-    draws are batched in a fixed order, the sequential state (streaming
-    cursor, user/kernel fetch-PC chains) is expressed as cumulative sums
-    and forward fills, and the result is converted to plain lists once.
+    draws are batched in a fixed order and the sequential state
+    (streaming cursor, user/kernel fetch-PC chains) is expressed as
+    cumulative sums and forward fills.
     """
     if n_ops <= 0:
         raise ConfigurationError("n_ops must be positive")
+
+    if scratch is not None:
+        scratch.begin(n_ops)
+        rand = lambda: rng.random(out=scratch.take())  # noqa: E731
+    else:
+        rand = lambda: rng.random(n_ops)  # noqa: E731
 
     probs = _mix_probabilities(profile.mix)
     # The mix order matches the OP_* codes, so a draw is an op code.
@@ -511,44 +583,44 @@ def synthesize_stream(
     # Hot sites execute most often; site popularity is even more skewed
     # than code reuse (inner loops re-run their branches constantly).
     sites = np.minimum(
-        (n_sites * rng.random(n_ops) ** (profile.code_reuse_skew + 2.0)).astype(int),
+        (n_sites * rand() ** (profile.code_reuse_skew + 2.0)).astype(int),
         n_sites - 1,
     )
-    branch_taken = rng.random(n_ops) < site_bias[sites]
+    branch_taken = rand() < site_bias[sites]
 
     # Code side: jump-vs-sequential decisions and Zipf jump offsets.
-    is_jump = rng.random(n_ops) >= profile.code_locality
+    is_jump = rand() >= profile.code_locality
     user_span = max(256, profile.code_footprint)
     user_targets = (
-        user_span * rng.random(n_ops) ** profile.code_reuse_skew
+        user_span * rand() ** profile.code_reuse_skew
     ).astype(int) & ~3
     kernel_targets = (
-        KERNEL_CODE_FOOTPRINT * rng.random(n_ops) ** _KERNEL_REUSE_SKEW
+        KERNEL_CODE_FOOTPRINT * rand() ** _KERNEL_REUSE_SKEW
     ).astype(int) & ~3
 
     # Data side: region choice and Zipf offsets, all pre-drawn.
     private_span = max(64, profile.data_working_set)
     shared_span = max(64, profile.shared_working_set)
-    u_region = rng.random(n_ops)
+    u_region = rand()
     shared_pick = u_region < profile.shared_fraction
-    hot_pick = rng.random(n_ops) < profile.hot_data_fraction
-    stream_pick = rng.random(n_ops) < profile.data_streaming_fraction
+    hot_pick = rand() < profile.hot_data_fraction
+    stream_pick = rand() < profile.data_streaming_fraction
     # Two-tier reuse: most non-streaming references land in a warm region
     # (hash-table heads, live buffers); the tail sweeps the full span.
     warm_private = min(WARM_REGION_BYTES, private_span)
     warm_shared = min(SHARED_WARM_BYTES, shared_span)
-    shared_warm_pick = rng.random(n_ops) >= profile.shared_tail_fraction
+    shared_warm_pick = rand() >= profile.shared_tail_fraction
     shared_spans = np.where(shared_warm_pick, warm_shared, shared_span)
     shared_offsets = (
-        shared_spans * rng.random(n_ops) ** profile.shared_reuse_skew
+        shared_spans * rand() ** profile.shared_reuse_skew
     ).astype(int) & ~7
     hot_offsets = rng.integers(0, HOT_REGION_BYTES, size=n_ops) & ~7
-    warm_pick = rng.random(n_ops) >= profile.data_tail_fraction
+    warm_pick = rand() >= profile.data_tail_fraction
     private_spans = np.where(warm_pick, warm_private, private_span)
     private_offsets = (
-        private_spans * rng.random(n_ops) ** profile.data_reuse_skew
+        private_spans * rand() ** profile.data_reuse_skew
     ).astype(int) & ~7
-    demote_store = rng.random(n_ops) > profile.shared_write_fraction
+    demote_store = rand() > profile.shared_write_fraction
 
     # Fetch PCs: two independent sequential-with-jumps chains (user and
     # kernel address spaces), interleaved by the ring-0 burst flags.
@@ -611,14 +683,40 @@ def synthesize_stream(
     np.not_equal(blocks[1:], blocks[:-1], out=fetch_flags[1:])
     codes = np.where(fetch_flags, codes | OP_FETCH_FLAG, codes)
 
-    return OpStream(
-        codes=codes.tolist(),
-        addresses=addresses.tolist(),
-        kernels=kernel_flags.tolist(),
-        takens=takens.tolist(),
-        shareds=shared_sel.tolist(),
-        pcs=pcs.tolist(),
+    return StreamColumns(
+        codes=codes,
+        addresses=addresses,
+        kernels=kernel_flags,
+        takens=takens,
+        shareds=shared_sel,
+        pcs=pcs,
         tallies=tallies,
+    )
+
+
+def synthesize_stream(
+    profile: PhaseProfile,
+    n_ops: int,
+    core_id: int,
+    rng: np.random.Generator,
+) -> OpStream:
+    """Expand ``profile`` into ``n_ops`` sampled operations for one core.
+
+    Returns:
+        An :class:`OpStream` of parallel plain-list columns — the form
+        the reference per-op simulation loop consumes.  This is a thin
+        ``tolist`` wrapper over :func:`synthesize_columns`; the batched
+        engine compacts the numpy columns directly instead.
+    """
+    cols = synthesize_columns(profile, n_ops, core_id, rng)
+    return OpStream(
+        codes=cols.codes.tolist(),
+        addresses=cols.addresses.tolist(),
+        kernels=cols.kernels.tolist(),
+        takens=cols.takens.tolist(),
+        shareds=cols.shareds.tolist(),
+        pcs=cols.pcs.tolist(),
+        tallies=cols.tallies,
     )
 
 

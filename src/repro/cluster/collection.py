@@ -17,6 +17,15 @@ per workload produces exactly the numbers a shared serial cluster would.
 That is what makes the ``workers`` fan-out below safe — results are
 merged back in suite order and the resulting matrix is bit-identical to
 a serial run, regardless of worker count or scheduling.
+
+The fan-out itself runs on a persistent worker pool
+(:mod:`repro.cluster.pool`): workers are forked once and build their
+cluster once, work items are ``(name, store_key)`` pairs, and each
+worker persists its full payload to the result store itself — only
+compact metric vectors, correctness checks and store receipts travel
+back through the queue.  Heavy fields (the run trace, per-slave detail,
+flight events, timelines) hydrate lazily from the store on first
+access.
 """
 
 from __future__ import annotations
@@ -24,12 +33,16 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections.abc import Callable
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
 from pathlib import Path
 
 import numpy as np
 
+from repro.cluster.pool import (
+    LazyWorkloadCharacterization,
+    get_pool,
+    pool_spill_dir,
+)
 from repro.cluster.testbed import Cluster, MeasurementConfig, WorkloadCharacterization
 from repro.core.dataset import WorkloadMetricMatrix
 from repro.errors import AnalysisError, CollectionCancelled, StackExecutionError
@@ -40,7 +53,7 @@ from repro.obs.timeline import TimelineConfig
 from repro.obs.trace import span as obs_span
 from repro.stacks.base import stable_hash
 from repro.workloads.base import RunContext, Workload
-from repro.workloads.suite import SUITE, workload_by_name
+from repro.workloads.suite import SUITE
 
 __all__ = [
     "CollectionConfig",
@@ -215,34 +228,15 @@ def _characterize_with_retries(
     )
 
 
-def _characterize_one(
-    workload_name: str,
-    scale: float,
-    seed: int,
-    measurement: MeasurementConfig,
-    faults: FaultPlan | None = None,
-    retries: int = 0,
-    timeline: TimelineConfig | None = None,
-    flight_capacity: int | None = None,
-) -> WorkloadCharacterization:
-    """Characterize one workload on a fresh cluster (worker-process entry).
-
-    Module-level so it pickles; takes the workload *name* rather than the
-    object so each worker resolves its own instance.
-    """
-    cluster = Cluster()
-    context = RunContext(scale=scale, seed=seed)
-    return _characterize_with_retries(
-        cluster, workload_by_name(workload_name), context, measurement,
-        faults, retries, timeline, flight_capacity,
-    )
-
-
 def _verify_characterization(characterization: WorkloadCharacterization) -> None:
-    """Raise if any correctness self-check of the run failed."""
+    """Raise if any correctness self-check of the run failed.
+
+    Reads :attr:`WorkloadCharacterization.correctness_checks` — pool
+    results answer from their compact checks without hydrating the run.
+    """
     failed = {
         name: value
-        for name, value in characterization.run.checks.items()
+        for name, value in characterization.correctness_checks.items()
         if name in _CORRECTNESS_CHECKS and value != 1.0
     }
     if failed:
@@ -287,6 +281,15 @@ def _collect_serial(
     return characterizations
 
 
+def _pool_token(config: CollectionConfig) -> str:
+    """What must match for a persistent pool to be reused: everything
+    the workers latched at initialization time."""
+    return (
+        f"{config.cache_key()}-rt{config.workload_retries}"
+        f"-fc{config.flight_capacity}"
+    )
+
+
 def _collect_parallel(
     workloads: tuple[Workload, ...],
     config: CollectionConfig,
@@ -294,40 +297,71 @@ def _collect_parallel(
     progress: ProgressFn | None,
     cancel: threading.Event | None,
     on_workload: WorkloadFn | None = None,
+    store_root: str | Path | None = None,
 ) -> list[WorkloadCharacterization]:
-    """Fan the workloads over ``workers`` processes, in suite order.
+    """Fan the workloads over a persistent worker pool, in suite order.
 
-    Futures are consumed in submission order, so the merged list (and
-    the matrix built from it) is ordered exactly as the serial path
-    orders it — determinism does not depend on completion order.
-    Cancellation is checked between results; pending futures are
-    abandoned (``cancel_futures``) but the in-flight workload finishes.
+    Workers live across calls (the cluster is built once per worker),
+    work items are just ``(name, store_key)`` pairs, and each worker
+    persists its full payload itself — only the 45 metrics, the
+    correctness checks and a store receipt travel back through the
+    queue.  The parent adopts each receipt into the store index (single
+    index writer) and wraps it in a
+    :class:`~repro.cluster.pool.LazyWorkloadCharacterization`; results
+    land in suite order regardless of completion order, so the merged
+    matrix is bit-identical to a serial run.
+
+    Cancellation is cooperative: dispatch stops, in-flight workloads
+    drain (the pool stays healthy), then
+    :class:`~repro.errors.CollectionCancelled` is raised.  A worker
+    that *dies* (as opposed to reporting a failure) raises
+    :class:`~repro.errors.WorkerPoolError` — never a hang.
     """
+    from repro.service.store import ResultStore
+
+    if store_root is None:
+        store_root = pool_spill_dir()
+    store_root = str(Path(store_root))
+    init = {
+        "scale": config.scale,
+        "seed": config.seed,
+        "measurement": config.measurement,
+        "faults": config.faults,
+        "retries": config.workload_retries,
+        "timeline": config.timeline,
+        "flight_capacity": config.flight_capacity,
+        "store_root": str(store_root),
+    }
+    pool = get_pool(workers, init, _pool_token(config))
+    parent_store = ResultStore(store_root)
     characterizations: list[WorkloadCharacterization] = []
-    with ProcessPoolExecutor(max_workers=workers) as executor:
-        futures = [
-            executor.submit(
-                _characterize_one,
-                workload.name,
-                config.scale,
-                config.seed,
-                config.measurement,
-                config.faults,
-                config.workload_retries,
-                config.timeline,
-                config.flight_capacity,
+
+    def land(index: int, compact) -> None:
+        parent_store.adopt(compact.store_key, compact.digest, compact.nbytes)
+        characterizations.append(
+            LazyWorkloadCharacterization(
+                name=compact.name,
+                metrics=compact.metrics,
+                checks=compact.checks,
+                attempts=compact.attempts,
+                faults=compact.faults,
+                store_root=store_root,
+                store_key=compact.store_key,
             )
+        )
+        if on_workload is not None:
+            on_workload(characterizations[-1])
+        if progress is not None:
+            progress(len(characterizations), len(workloads))
+
+    pool.run(
+        [
+            (workload.name, workload_store_key(config, workload.name))
             for workload in workloads
-        ]
-        for future in futures:
-            if cancel is not None and cancel.is_set():
-                executor.shutdown(wait=False, cancel_futures=True)
-                raise CollectionCancelled("suite collection cancelled")
-            characterizations.append(future.result())
-            if on_workload is not None:
-                on_workload(characterizations[-1])
-            if progress is not None:
-                progress(len(characterizations), len(workloads))
+        ],
+        cancel=cancel,
+        on_result=land,
+    )
     return characterizations
 
 
@@ -370,10 +404,15 @@ def _persist_to_store(
     from repro.service.store import characterization_to_payload
 
     for characterization in result.characterizations:
-        store.put(
-            workload_store_key(config, characterization.name),
-            characterization_to_payload(characterization),
-        )
+        wkey = workload_store_key(config, characterization.name)
+        if isinstance(
+            characterization, LazyWorkloadCharacterization
+        ) and characterization.persisted_in(store.root, wkey):
+            # The pool worker already wrote this exact object and the
+            # parent adopted it; re-putting would hydrate the full
+            # payload just to rewrite identical bytes.
+            continue
+        store.put(wkey, characterization_to_payload(characterization))
     store.put(
         key,
         {
@@ -460,8 +499,12 @@ def characterize_suite(
         "suite-collection", "suite", workloads=len(workloads), workers=workers
     ):
         if workers > 1 and len(workloads) > 1:
+            # Workers spill full payloads into the persistent store when
+            # one is configured (adoption doubles as persistence), else
+            # into the pool-owned temporary store.
             characterizations = _collect_parallel(
-                workloads, config, workers, progress, cancel, on_workload
+                workloads, config, workers, progress, cancel, on_workload,
+                store_root=cache_dir,
             )
         else:
             characterizations = _collect_serial(

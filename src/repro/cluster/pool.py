@@ -1,0 +1,525 @@
+"""Persistent worker pool for parallel suite collection.
+
+The original parallel path paid three per-workload taxes: it spawned a
+fresh worker process (fork + full interpreter state) per workload batch,
+built a fresh five-node :class:`~repro.cluster.testbed.Cluster` inside
+every task, and pickled each *complete* characterization — metrics,
+per-slave detail, the whole execution trace, flight-recorder events and
+timeline — back through the result queue.  This module replaces that
+with long-lived workers and a compact wire protocol:
+
+* **Workers are persistent.**  A :class:`CollectionPool` forks its
+  workers once; each builds one :class:`Cluster` (and resolves its
+  collection config) in its initializer and then characterizes any
+  number of workloads on it.  ``Processor.run_workload`` resets all
+  microarchitectural state per workload, so reuse is bit-identical to a
+  fresh cluster (the invariant the old fan-out already relied on).
+* **Work items are compact.**  A task is ``(job, name, store_key)`` —
+  the workload name plus the store key the result should land under.
+  The config rode along at pool construction.
+* **Results are compact.**  The worker persists the full payload itself
+  (:meth:`ResultStore.put_object` — object file only, written
+  atomically) and ships back just the 45-metric mapping, the
+  correctness checks, the attempt/fault bookkeeping and the
+  ``(store_key, digest, nbytes)`` receipt.  The parent — the single
+  index writer — :meth:`ResultStore.adopt`\\ s each receipt, so
+  concurrent workers never race on ``index.json``.
+* **Heavy fields hydrate lazily.**  The parent wraps each receipt in a
+  :class:`LazyWorkloadCharacterization`: metrics and checks are
+  immediately available; ``run``/``per_slave``/``events``/``timeline``
+  load from the store on first access and are then cached on the
+  instance.
+
+Lifecycle guarantees (pinned by ``tests/cluster/test_worker_pool.py``):
+
+* a worker that dies mid-task surfaces as :class:`WorkerPoolError` in
+  the submitting thread — never a hang — and the broken pool is torn
+  down rather than reused;
+* cooperative cancellation stops dispatching, *drains* in-flight tasks
+  (workers stay healthy and reusable), then raises
+  :class:`CollectionCancelled`;
+* pools are singletons per ``(workers, config, store root)`` and are
+  shut down at interpreter exit; results from an abandoned run carry a
+  stale generation stamp and are discarded, never misattributed.
+
+When the collection has no persistent ``cache_dir``, payloads spill to
+a pool-owned temporary store that lives until interpreter exit (lazy
+results memoized by the collection layer may hydrate long after the
+collection returns).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import queue
+import shutil
+import tempfile
+import threading
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.cluster.testbed import WorkloadCharacterization
+from repro.errors import (
+    AnalysisError,
+    CollectionCancelled,
+    StackExecutionError,
+    StoreError,
+    WorkerPoolError,
+)
+from repro.obs.log import get_logger
+
+__all__ = [
+    "CollectionPool",
+    "LazyWorkloadCharacterization",
+    "CompactResult",
+    "get_pool",
+    "shutdown_pools",
+    "pool_spill_dir",
+    "CRASH_ENV",
+]
+
+_log = get_logger("repro.cluster.pool")
+
+#: Test hook: a worker assigned the named workload exits immediately and
+#: uncleanly (``os._exit``), simulating an OOM-killed or segfaulted
+#: worker.  Read per task, so tests can arm it around a single call.
+CRASH_ENV = "REPRO_POOL_CRASH_WORKLOAD"
+
+#: How long the parent waits between result polls before re-checking
+#: worker liveness and the cancel event.
+_POLL_S = 0.1
+
+#: Exception types a worker may report that the parent re-raises as
+#: themselves (message-only reconstruction) rather than wrapping.
+_RERAISABLE = {
+    cls.__name__: cls
+    for cls in (StackExecutionError, AnalysisError, StoreError)
+}
+
+
+@dataclass(frozen=True)
+class CompactResult:
+    """What a worker ships back per workload (everything else is on disk).
+
+    Attributes:
+        name: Workload label.
+        metrics: The 45 Table II metric means.
+        checks: The run's correctness self-checks (so verification never
+            needs the full payload).
+        attempts: Whole-workload attempts the worker needed.
+        faults: Fault/recovery tally, or ``None`` without a fault plan.
+        store_key: Key the full payload was persisted under.
+        digest: Content hash of the persisted object (adoption receipt).
+        nbytes: Size of the persisted object in bytes.
+    """
+
+    name: str
+    metrics: dict[str, float]
+    checks: dict[str, float]
+    attempts: int
+    faults: dict | None
+    store_key: str
+    digest: str
+    nbytes: int
+
+
+class LazyWorkloadCharacterization(WorkloadCharacterization):
+    """A store-backed characterization: compact now, complete on demand.
+
+    Carries the metrics, checks and bookkeeping a collection actually
+    consumes inline; the heavy fields (``run``, ``per_slave``,
+    ``events``, ``events_capacity``, ``timeline``) hydrate from the
+    result store on first attribute access and are cached on the
+    instance afterwards, so an eager consumer sees an object
+    indistinguishable from a fresh serial characterization.
+    """
+
+    def __init__(
+        self,
+        *,
+        name: str,
+        metrics: dict[str, float],
+        checks: dict[str, float],
+        attempts: int,
+        faults: dict | None,
+        store_root: str | Path,
+        store_key: str,
+    ) -> None:
+        # The parent dataclass is frozen; bypass its __setattr__ the
+        # same way its generated __init__ does.
+        set_ = object.__setattr__
+        set_(self, "name", name)
+        set_(self, "metrics", dict(metrics))
+        set_(self, "attempts", int(attempts))
+        set_(self, "faults", faults)
+        set_(self, "_checks", dict(checks))
+        set_(self, "_store_root", str(store_root))
+        set_(self, "_store_key", store_key)
+
+    # -- hydration ------------------------------------------------------------
+
+    def _full(self) -> WorkloadCharacterization:
+        cached = self.__dict__.get("_full_cache")
+        if cached is None:
+            from repro.service.store import (
+                ResultStore,
+                characterization_from_payload,
+            )
+
+            payload = ResultStore(self._store_root).get(
+                self._store_key, touch=False
+            )
+            if payload is None:
+                raise StoreError(
+                    f"{self.name}: persisted characterization "
+                    f"{self._store_key!r} vanished from {self._store_root}"
+                )
+            cached = characterization_from_payload(payload)
+            object.__setattr__(self, "_full_cache", cached)
+        return cached
+
+    def persisted_in(self, root: str | Path, key: str) -> bool:
+        """Whether this result's payload already lives at ``root/key``
+        (lets the collection layer skip a redundant re-put)."""
+        return str(root) == self._store_root and key == self._store_key
+
+    # Data descriptors shadow the frozen dataclass's instance fields, so
+    # these win even though the parent declares them as fields.
+
+    @property
+    def correctness_checks(self) -> dict[str, float]:
+        return dict(self._checks)
+
+    @property
+    def run(self):
+        return self._full().run
+
+    @property
+    def per_slave(self):
+        return self._full().per_slave
+
+    @property
+    def events(self):
+        return self._full().events
+
+    @property
+    def events_capacity(self):
+        return self._full().events_capacity
+
+    @property
+    def timeline(self):
+        return self._full().timeline
+
+
+# -- worker side ---------------------------------------------------------------
+
+
+def _worker_main(tasks, results, init: dict) -> None:
+    """The persistent worker loop: build the cluster once, then serve.
+
+    Protocol: each task is ``(generation, index, name, store_key)``;
+    ``None`` is the shutdown sentinel.  Each reply is
+    ``(generation, index, "ok", CompactResult)`` or
+    ``(generation, index, "error", {type, message})``.
+    """
+    # Imported here: the worker resolves its own instances post-fork,
+    # and the service layer sits above this module.
+    from repro.cluster.collection import _characterize_with_retries
+    from repro.cluster.testbed import Cluster
+    from repro.service.store import ResultStore, characterization_to_payload
+    from repro.workloads.base import RunContext
+    from repro.workloads.suite import workload_by_name
+
+    cluster = Cluster()
+    context = RunContext(scale=init["scale"], seed=init["seed"])
+    store = ResultStore(init["store_root"])
+    while True:
+        task = tasks.get()
+        if task is None:
+            return
+        generation, index, name, store_key = task
+        if os.environ.get(CRASH_ENV) == name:
+            os._exit(13)
+        try:
+            characterization = _characterize_with_retries(
+                cluster,
+                workload_by_name(name),
+                context,
+                init["measurement"],
+                init["faults"],
+                init["retries"],
+                init["timeline"],
+                init["flight_capacity"],
+            )
+            digest, nbytes = store.put_object(
+                store_key, characterization_to_payload(characterization)
+            )
+            compact = CompactResult(
+                name=characterization.name,
+                metrics=dict(characterization.metrics),
+                checks=dict(characterization.run.checks),
+                attempts=characterization.attempts,
+                faults=characterization.faults,
+                store_key=store_key,
+                digest=digest,
+                nbytes=nbytes,
+            )
+            results.put((generation, index, "ok", compact))
+        except BaseException as error:  # noqa: BLE001 — must reach the parent
+            results.put(
+                (
+                    generation,
+                    index,
+                    "error",
+                    {"type": type(error).__name__, "message": str(error)},
+                )
+            )
+            if not isinstance(error, Exception):
+                raise  # KeyboardInterrupt/SystemExit: report, then die
+
+
+# -- parent side ---------------------------------------------------------------
+
+
+class CollectionPool:
+    """A fixed set of long-lived collection workers (see module docstring)."""
+
+    def __init__(self, workers: int, init: dict) -> None:
+        if workers < 1:
+            raise WorkerPoolError("a pool needs at least one worker")
+        ctx = multiprocessing.get_context()
+        self.workers = workers
+        self.store_root = init["store_root"]
+        self._tasks = ctx.Queue()
+        self._results = ctx.Queue()
+        self._generation = 0
+        self._lock = threading.Lock()
+        self._closed = False
+        self._procs = [
+            ctx.Process(
+                target=_worker_main,
+                args=(self._tasks, self._results, init),
+                daemon=True,
+                name=f"repro-pool-{i}",
+            )
+            for i in range(workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+
+    # -- submission -----------------------------------------------------------
+
+    def run(
+        self,
+        items: list[tuple[str, str]],
+        cancel: threading.Event | None = None,
+        on_result: Callable[[int, CompactResult], None] | None = None,
+    ) -> list[CompactResult]:
+        """Characterize ``items`` (``(name, store_key)`` pairs), in order.
+
+        Tasks are dispatched at most ``workers`` at a time, so a
+        cooperative cancel only ever has to drain what is actually
+        running.  ``on_result`` fires in *submission* order as results
+        become emittable (later completions are buffered), exactly like
+        the serial path's per-workload callback.
+
+        Raises:
+            WorkerPoolError: A worker died mid-task; the pool is torn
+                down and must not be reused.
+            CollectionCancelled: ``cancel`` was set; in-flight tasks
+                were drained and the pool remains healthy.
+            StackExecutionError, AnalysisError, StoreError: Re-raised
+                from the worker that hit them.
+        """
+        with self._lock:
+            if self._closed:
+                raise WorkerPoolError("pool is shut down")
+            self._generation += 1
+            generation = self._generation
+            return self._run_locked(generation, items, cancel, on_result)
+
+    def _run_locked(self, generation, items, cancel, on_result):
+        pending = deque(enumerate(items))
+        outstanding: dict[int, str] = {}
+        buffered: dict[int, CompactResult] = {}
+        ordered: list[CompactResult] = []
+        next_emit = 0
+        cancelled = False
+
+        def emit_ready() -> None:
+            nonlocal next_emit
+            while next_emit in buffered:
+                result = buffered.pop(next_emit)
+                ordered.append(result)
+                if on_result is not None:
+                    on_result(next_emit, result)
+                next_emit += 1
+
+        while pending or outstanding:
+            if cancel is not None and cancel.is_set():
+                cancelled = True
+                pending.clear()
+                if not outstanding:
+                    break
+            while pending and len(outstanding) < self.workers:
+                index, (name, store_key) = pending.popleft()
+                self._tasks.put((generation, index, name, store_key))
+                outstanding[index] = name
+            if not outstanding:
+                continue
+            try:
+                gen, index, status, data = self._results.get(timeout=_POLL_S)
+            except queue.Empty:
+                self._check_alive(outstanding)
+                continue
+            if gen != generation:
+                continue  # stale result from an abandoned run
+            outstanding.pop(index, None)
+            if status == "error":
+                self._raise_worker_error(data)
+            buffered[index] = data
+            if not cancelled:
+                emit_ready()
+        if cancelled:
+            raise CollectionCancelled(
+                "suite collection cancelled; in-flight workloads drained"
+            )
+        emit_ready()
+        return ordered
+
+    def _raise_worker_error(self, data: dict) -> None:
+        cls = _RERAISABLE.get(data["type"])
+        if cls is not None:
+            raise cls(data["message"])
+        raise WorkerPoolError(
+            f"collection worker failed: {data['type']}: {data['message']}"
+        )
+
+    def _check_alive(self, outstanding: dict[int, str]) -> None:
+        dead = [p for p in self._procs if not p.is_alive()]
+        if not dead:
+            return
+        names = ", ".join(sorted(outstanding.values())) or "none"
+        codes = ", ".join(str(p.exitcode) for p in dead)
+        self._teardown()
+        raise WorkerPoolError(
+            f"{len(dead)} collection worker(s) died (exit codes: {codes}) "
+            f"with workloads outstanding: {names}"
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop all workers: sentinel each, join, terminate stragglers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for _ in self._procs:
+                try:
+                    self._tasks.put(None)
+                except (OSError, ValueError):
+                    break
+            for proc in self._procs:
+                proc.join(timeout=timeout)
+            for proc in self._procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+            self._tasks.close()
+            self._results.close()
+
+    def _teardown(self) -> None:
+        """Kill a broken pool (called with the run lock already held)."""
+        self._closed = True
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=1.0)
+        self._tasks.close()
+        self._results.close()
+        _forget(self)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+# -- singleton management ------------------------------------------------------
+
+_POOLS: dict[tuple, CollectionPool] = {}
+_POOLS_LOCK = threading.Lock()
+_SPILL_DIR: str | None = None
+
+#: Forked workers inherit this module's atexit hooks; every hook below
+#: is guarded on the registering process so a worker exiting never
+#: deletes the shared spill store or sentinels its own siblings.
+_OWNER_PID = os.getpid()
+
+
+def _cleanup_spill(path: str) -> None:
+    if os.getpid() == _OWNER_PID:
+        shutil.rmtree(path, ignore_errors=True)
+
+
+def pool_spill_dir() -> str:
+    """The pool-owned spill store root for cache-less collections.
+
+    Created on first use, shared by every pool in the process, and
+    removed at interpreter exit — lazy results memoized by the
+    collection layer can hydrate for as long as the process lives.
+    """
+    global _SPILL_DIR
+    with _POOLS_LOCK:
+        if _SPILL_DIR is None:
+            _SPILL_DIR = tempfile.mkdtemp(prefix="repro-pool-spill-")
+            atexit.register(_cleanup_spill, _SPILL_DIR)
+        return _SPILL_DIR
+
+
+def get_pool(workers: int, init: dict, token: str) -> CollectionPool:
+    """The process-wide pool for ``(workers, token, store_root)``.
+
+    A healthy matching pool is reused; a differing configuration shuts
+    the old pool down first (one pool's worth of processes at a time).
+    """
+    key = (workers, token, str(init["store_root"]))
+    with _POOLS_LOCK:
+        pool = _POOLS.get(key)
+        if pool is not None and not pool.closed:
+            return pool
+        for old in list(_POOLS.values()):
+            old.shutdown()
+        _POOLS.clear()
+        pool = CollectionPool(workers, init)
+        _POOLS[key] = pool
+        return pool
+
+
+def _forget(pool: CollectionPool) -> None:
+    with _POOLS_LOCK:
+        for key, value in list(_POOLS.items()):
+            if value is pool:
+                del _POOLS[key]
+
+
+def shutdown_pools() -> None:
+    """Shut down every live pool (atexit hook; also used by tests)."""
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown()
+
+
+def _atexit_shutdown() -> None:
+    if os.getpid() == _OWNER_PID:
+        shutdown_pools()
+
+
+atexit.register(_atexit_shutdown)

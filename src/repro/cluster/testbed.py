@@ -22,6 +22,8 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.arch.batch import PhasePlan, plan_workload
+from repro.arch.trace import SynthScratch
 from repro.cluster.network import GigabitNetwork
 from repro.cluster.node import Node, NodeConfig
 from repro.errors import ConfigurationError
@@ -110,6 +112,16 @@ class WorkloadCharacterization:
     events: tuple[dict, ...] = ()
     events_capacity: int = 256
     timeline: TimelineSeries | None = None
+
+    @property
+    def correctness_checks(self) -> dict[str, float]:
+        """The run's correctness self-checks, as a plain mapping.
+
+        Verification reads this property rather than ``run.checks``
+        directly so that store-backed lazy results (which carry the
+        checks compactly) can answer without hydrating the full run.
+        """
+        return dict(self.run.checks)
 
 
 class Cluster:
@@ -239,14 +251,39 @@ class Cluster:
                 surviving = [min(set(range(self.NUM_SLAVES)) - set(lost))]
             measured_slaves = surviving
 
-        profiler = PerfProfiler()
-        sampler = current_timeline()
-        per_slave: list[dict[str, float]] = []
+        # Hoist every measured slave's synthesis ahead of all simulation:
+        # each slave's plan is drawn from its own rng (identical stream
+        # to the one run_workload would consume internally), while one
+        # shared scratch backs every sample's uniform draws so the whole
+        # measurement reuses a single set of preallocated buffers.
+        scratch = SynthScratch()
+        slave_rngs: dict[int, np.random.Generator] = {}
+        slave_plans: dict[int, list[PhasePlan]] = {}
         for slave_index in measured_slaves:
             slave = self.slaves[slave_index]
             rng = np.random.default_rng(
                 stable_hash((workload.name, context.seed, slave_index))
             )
+            slave_rngs[slave_index] = rng
+            core_ids = [
+                core.core_id
+                for core in slave.processor.cores[: measurement.active_cores]
+            ]
+            slave_plans[slave_index] = plan_workload(
+                profiles,
+                rng,
+                core_ids,
+                measurement.ops_per_core,
+                measurement.warmup_fraction,
+                scratch=scratch,
+            )
+
+        profiler = PerfProfiler()
+        sampler = current_timeline()
+        per_slave: list[dict[str, float]] = []
+        for slave_index in measured_slaves:
+            slave = self.slaves[slave_index]
+            rng = slave_rngs[slave_index]
             scope = (
                 sampler.slave_scope(slave_index)
                 if sampler is not None
@@ -261,6 +298,7 @@ class Cluster:
                     active_cores=measurement.active_cores,
                     ops_per_core=measurement.ops_per_core,
                     warmup_fraction=measurement.warmup_fraction,
+                    plan=slave_plans[slave_index],
                 )
                 if sampler is not None:
                     # Windows must exactly partition the measurement —

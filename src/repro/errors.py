@@ -44,5 +44,9 @@ class StoreError(ReproError):
     """The persistent result store was used incorrectly or is corrupt."""
 
 
+class WorkerPoolError(ReproError):
+    """A persistent collection worker died or the pool protocol broke."""
+
+
 class ServiceError(ReproError):
     """The characterization service (server, jobs, client) failed a request."""

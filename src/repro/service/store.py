@@ -217,6 +217,52 @@ class ResultStore:
             self._write_index(index)
         return digest
 
+    def put_object(self, key: str, payload: dict) -> tuple[str, int]:
+        """Write ``key``'s object file only — no index mutation.
+
+        The worker-side half of a two-phase put: a pool worker persists
+        its (possibly large) payload straight to disk and ships the
+        parent just ``(key, digest, nbytes)``; the parent — the single
+        index writer — then :meth:`adopt`\\ s the entry.  Keeping all
+        index mutation in one process means concurrent workers never
+        race last-writer-wins on ``index.json``.
+
+        Returns:
+            ``(digest, nbytes)`` of the canonical bytes written.
+        """
+        stamped = dict(payload)
+        stamped["schema"] = SCHEMA_VERSION
+        data = _canonical_dumps(stamped)
+        digest = _content_hash(data)
+        _STORE_PUTS.inc()
+        _atomic_write(self._object_path(key), data)
+        return digest, len(data)
+
+    def adopt(self, key: str, digest: str, nbytes: int) -> None:
+        """Index an object written elsewhere via :meth:`put_object`.
+
+        Raises:
+            StoreError: If the object file is absent or its content hash
+                does not match ``digest`` (a torn or missing write must
+                fail loudly here, not surface later as a silent miss).
+        """
+        with self._lock:
+            try:
+                data = self._object_path(key).read_bytes()
+            except FileNotFoundError:
+                raise StoreError(f"adopt: no object file for key {key!r}")
+            if _content_hash(data) != digest:
+                raise StoreError(f"adopt: content hash mismatch for key {key!r}")
+            index = self._read_index()
+            index["clock"] += 1
+            index["entries"][key] = {
+                "hash": digest,
+                "bytes": nbytes,
+                "last_used": index["clock"],
+            }
+            self._evict(index, keep=key)
+            self._write_index(index)
+
     def get_raw(self, key: str, touch: bool = True) -> tuple[bytes, str] | None:
         """The stored bytes and content hash for ``key``, or ``None``.
 

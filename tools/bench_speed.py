@@ -4,9 +4,10 @@ Usage::
 
     python tools/bench_speed.py            # full benchmark, ~1 minute
     python tools/bench_speed.py --smoke    # 2 workloads, a few seconds
+    python tools/bench_speed.py --check    # also enforce regression floors
     python tools/bench_speed.py -o out.json --workers 8
 
-Two measurements, written to ``BENCH_speed.json`` so future PRs can track
+Measurements, written to ``BENCH_speed.json`` so future PRs can track
 the performance trajectory:
 
 1. **Single-thread hot path** — wall time of three
@@ -15,16 +16,27 @@ the performance trajectory:
    against the seed-revision time recorded for this exact microbenchmark
    (``SEED_BASELINE_S``); absolute numbers are machine-dependent, the
    ratio on one machine is the tracked quantity.
-2. **Parallel collection scaling** — ``characterize_suite`` over an
-   8-workload subset with ``workers=1`` vs ``workers=N``, asserting the
-   two metric matrices are bit-identical before reporting the speedup.
-3. **Tracing no-op overhead** — per-call cost of the disabled
+2. **Engine comparison** — the batched window engine vs the per-op
+   windowed reference on the same profiles: wall-time ratio, plus a
+   hard assertion that both produce bit-identical event totals *and*
+   leave the RNG in the identical state.
+3. **Parallel collection scaling** — ``characterize_suite`` over an
+   8-workload subset with ``workers=1`` vs ``workers=N`` (the
+   persistent worker pool), asserting the two metric matrices are
+   bit-identical before reporting the speedup.  Parallel wall-clock
+   numbers are only meaningful when the process can actually use
+   multiple CPUs — ``environment.parallel_meaningful`` records that.
+4. **Tracing no-op overhead** — per-call cost of the disabled
    ``repro.obs.trace.span`` helper, projected onto the span count of a
    real traced run; the observability acceptance bar is <2% of the
    untraced wall time.
-4. **Timeline sampling overhead** — wall time of a full characterization
+5. **Timeline sampling overhead** — wall time of a full characterization
    with the interval sampler on vs off (metrics asserted bit-identical
    first); the acceptance bar is <5% of the unsampled wall time.
+
+With ``--check`` the script exits non-zero if any regression floor is
+violated (see ``check_results``) — CI runs ``--smoke --check`` pinned
+to two cores.
 """
 
 from __future__ import annotations
@@ -49,6 +61,7 @@ from repro.cluster.testbed import Cluster, MeasurementConfig  # noqa: E402
 from repro.obs.stats import Stopwatch, best_of  # noqa: E402
 from repro.obs.timeline import TimelineConfig  # noqa: E402
 from repro.obs.trace import Tracer, span, tracing  # noqa: E402
+from repro.service.store import CACHE_DIR_ENV  # noqa: E402
 from repro.stacks.instrument import profiles_from_trace  # noqa: E402
 from repro.workloads.base import RunContext  # noqa: E402
 from repro.workloads.suite import SUITE  # noqa: E402
@@ -66,20 +79,66 @@ TIMELINE_OVERHEAD_BUDGET_PCT = 5.0
 #: Update when the microbenchmark itself changes shape.
 SEED_BASELINE_S = 2.380
 
+#: ``--check`` floor on ``single_thread.speedup_vs_seed``.  The batched
+#: engine sustains ~3x on an idle reference machine, but the baseline is
+#: a recorded constant while shared hosts drift ±40% between runs — so
+#: this absolute floor is deliberately loose (it catches "the
+#: optimization fell off a cliff", not small slips).  The noise-immune
+#: regression signal is :data:`ENGINE_SPEEDUP_FLOOR`, a same-run ratio.
+SINGLE_THREAD_SPEEDUP_FLOOR = 1.8
+
+#: ``--check`` floor on ``engine.batched_speedup`` — batched vs windowed
+#: measured back-to-back in the same process, so host-speed variance
+#: cancels.  The batched engine sustains ~1.5x over the per-op reference
+#: on the same profiles.
+ENGINE_SPEEDUP_FLOOR = 1.3
+
+#: ``--check`` floor on ``collection.parallel_speedup`` — enforced only
+#: when ``environment.parallel_meaningful`` (≥2 usable CPUs): with the
+#: persistent pool, two workers on two cores must beat serial.
+PARALLEL_SPEEDUP_FLOOR = 1.2
+
 _MICRO_REPEATS = 3  # run_workload passes per trial
 _MICRO_TRIALS = 3  # trials; best is reported
 
 
-def _time_single_thread(trials: int = _MICRO_TRIALS) -> float:
-    """Best wall time of ``_MICRO_REPEATS`` run_workload passes."""
+def _environment() -> dict:
+    """CPU visibility of this process — what parallel numbers mean here.
+
+    ``cpu_count`` is what the machine has; ``cpus_usable`` is what the
+    scheduler will actually give this process (cgroup/affinity-limited
+    CI runners differ).  Parallel wall-clock speedups recorded on a
+    <2-CPU host measure scheduling overhead, not scaling — the
+    ``parallel_meaningful`` flag marks them as such and gates the
+    ``--check`` floor.
+    """
+    cpu_count = os.cpu_count() or 1
+    try:
+        cpus_usable = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        cpus_usable = cpu_count
+    return {
+        "cpu_count": cpu_count,
+        "cpus_usable": cpus_usable,
+        "parallel_meaningful": cpus_usable >= 2,
+    }
+
+
+def _workload_profiles():
+    """The phase profiles both microbenchmarks simulate."""
     workload = SUITE[0]
     context = RunContext(scale=0.5, seed=42)
     run = workload.run(context)
     actual_input = max((r.bytes_in for r in run.trace.records), default=1)
     scale = max(1.0, workload.declared_bytes / max(1, actual_input))
-    profiles = profiles_from_trace(
+    return profiles_from_trace(
         run.trace, workload.hints, num_workers=4, footprint_scale=scale
     )
+
+
+def _time_single_thread(trials: int = _MICRO_TRIALS) -> float:
+    """Best wall time of ``_MICRO_REPEATS`` run_workload passes."""
+    profiles = _workload_profiles()
 
     def passes() -> None:
         for _ in range(_MICRO_REPEATS):
@@ -89,11 +148,56 @@ def _time_single_thread(trials: int = _MICRO_TRIALS) -> float:
                 profiles, rng, active_cores=3, ops_per_core=4000
             )
 
+    passes()  # warm allocator/numpy paths so 1-trial smoke runs are stable
     return best_of(passes, trials)
 
 
+def _compare_engines(smoke: bool) -> dict:
+    """Batched vs per-op windowed engine: bit identity, then wall time.
+
+    Bit identity is the invariant the whole batched design rests on:
+    identical event totals *and* an identical final RNG state (the
+    simulation consumes no randomness; all draws happen at synthesis in
+    an unchanged order).
+    """
+    profiles = _workload_profiles()
+
+    def once(engine: str):
+        processor = Processor()
+        rng = np.random.default_rng(1234)
+        events = processor.run_workload(
+            profiles, rng, active_cores=3, ops_per_core=4000, engine=engine
+        )
+        return events, rng.bit_generator.state
+
+    windowed_events, windowed_state = once("windowed")
+    batched_events, batched_state = once("batched")
+    bit_identical = (
+        windowed_events == batched_events and windowed_state == batched_state
+    )
+    if not bit_identical:
+        raise AssertionError(
+            "batched engine diverged from the windowed reference "
+            "(event totals or RNG state differ)"
+        )
+
+    trials = 1 if smoke else _MICRO_TRIALS
+    windowed_s = best_of(lambda: once("windowed"), trials)
+    batched_s = best_of(lambda: once("batched"), trials)
+    return {
+        "windowed_seconds": round(windowed_s, 4),
+        "batched_seconds": round(batched_s, 4),
+        "batched_speedup": round(windowed_s / batched_s, 3),
+        "bit_identical": True,
+    }
+
+
 def _time_collection(n_workloads: int, workers: int) -> tuple[float, object]:
-    """Wall time of one cold suite collection; returns (seconds, matrix)."""
+    """Wall time of one cold suite collection; returns (seconds, matrix).
+
+    ``REPRO_CACHE_DIR`` is scrubbed for the duration: a populated store
+    would turn the "collection" into a hydration benchmark.
+    """
     config = CollectionConfig(
         scale=0.5,
         seed=42,
@@ -102,8 +206,15 @@ def _time_collection(n_workloads: int, workers: int) -> tuple[float, object]:
         ),
     )
     collection._MEMO.clear()  # force a cold collection
-    with Stopwatch() as sw:
-        suite = characterize_suite(SUITE[:n_workloads], config, workers=workers)
+    saved_cache_dir = os.environ.pop(CACHE_DIR_ENV, None)
+    try:
+        with Stopwatch() as sw:
+            suite = characterize_suite(
+                SUITE[:n_workloads], config, workers=workers
+            )
+    finally:
+        if saved_cache_dir is not None:
+            os.environ[CACHE_DIR_ENV] = saved_cache_dir
     return sw.seconds, suite.matrix
 
 
@@ -169,17 +280,28 @@ def _time_timeline(smoke: bool) -> dict:
     if sampled.per_slave != plain.per_slave:
         raise AssertionError("timeline sampling changed per-slave metrics")
 
-    trials = 2 if smoke else 3
-    off_s = best_of(
-        lambda: Cluster().characterize_workload(workload, context, measurement),
-        trials,
-    )
-    on_s = best_of(
-        lambda: Cluster().characterize_workload(
-            workload, context, measurement, timeline=config
-        ),
-        trials,
-    )
+    # Each run is short (~0.5s) and shared hosts jitter ±20% — more
+    # than the 5% budget — so off/on are timed in interleaved pairs
+    # (both legs of a pair see the same host weather) and the reported
+    # overhead is the cleanest pair's ratio, the paired analogue of
+    # ``best_of``.
+    trials = 2 if smoke else 5
+    pairs: list[tuple[float, float]] = []
+    for _ in range(trials):
+        off_i = best_of(
+            lambda: Cluster().characterize_workload(
+                workload, context, measurement
+            ),
+            1,
+        )
+        on_i = best_of(
+            lambda: Cluster().characterize_workload(
+                workload, context, measurement, timeline=config
+            ),
+            1,
+        )
+        pairs.append((off_i, on_i))
+    off_s, on_s = min(pairs, key=lambda pair: pair[1] / pair[0])
     overhead_pct = max(0.0, 100.0 * (on_s - off_s) / off_s)
     return {
         "unsampled_seconds": round(off_s, 4),
@@ -195,11 +317,25 @@ def _time_timeline(smoke: bool) -> dict:
 def run_benchmark(workers: int, smoke: bool) -> dict:
     n_workloads = 2 if smoke else 8
     workers = min(workers, n_workloads)
+    environment = _environment()
+    if not environment["parallel_meaningful"]:
+        print(
+            f"note: {environment['cpus_usable']} usable CPU(s) — parallel "
+            "wall-clock numbers are not meaningful on this host"
+        )
 
     print(f"single-thread hot path ({_MICRO_REPEATS} run_workload passes) ...")
-    single = _time_single_thread(trials=1 if smoke else _MICRO_TRIALS)
+    single = _time_single_thread(trials=2 if smoke else _MICRO_TRIALS)
     speedup = SEED_BASELINE_S / single
     print(f"  {single:.3f}s  ({speedup:.2f}x vs seed baseline {SEED_BASELINE_S}s)")
+
+    print("batched engine vs per-op windowed reference ...")
+    engine_stats = _compare_engines(smoke)
+    print(
+        f"  windowed {engine_stats['windowed_seconds']}s vs batched "
+        f"{engine_stats['batched_seconds']}s "
+        f"({engine_stats['batched_speedup']}x), bit-identical: OK"
+    )
 
     print(f"suite collection, {n_workloads} workloads, workers=1 ...")
     serial_s, serial_matrix = _time_collection(n_workloads, workers=1)
@@ -207,12 +343,6 @@ def run_benchmark(workers: int, smoke: bool) -> dict:
     print(f"suite collection, {n_workloads} workloads, workers={workers} ...")
     parallel_s, parallel_matrix = _time_collection(n_workloads, workers=workers)
     print(f"  {parallel_s:.2f}s  ({serial_s / parallel_s:.2f}x)")
-    cpus = os.cpu_count() or 1
-    if cpus == 1:
-        print(
-            "  note: this machine exposes 1 CPU — worker scaling cannot "
-            "manifest in wall-clock time here"
-        )
 
     if not np.array_equal(serial_matrix.values, parallel_matrix.values):
         raise AssertionError("parallel matrix diverged from serial matrix")
@@ -251,23 +381,61 @@ def run_benchmark(workers: int, smoke: bool) -> dict:
 
     return {
         "smoke": smoke,
-        "cpu_count": cpus,
+        "environment": environment,
         "single_thread": {
             "bench_seconds": round(single, 4),
             "seed_baseline_seconds": SEED_BASELINE_S,
             "speedup_vs_seed": round(speedup, 3),
         },
+        "engine": engine_stats,
         "collection": {
             "n_workloads": n_workloads,
             "workers": workers,
             "serial_seconds": round(serial_s, 3),
             "parallel_seconds": round(parallel_s, 3),
             "parallel_speedup": round(serial_s / parallel_s, 3),
+            "persistent_pool": True,
             "bit_identical": True,
         },
         "tracing": tracing_stats,
         "timeline": timeline_stats,
     }
+
+
+def check_results(results: dict) -> list[str]:
+    """The ``--check`` regression gate; returns human-readable failures.
+
+    Bit-identity failures already raise inside ``run_benchmark`` (they
+    are never tolerable); the floors here catch *performance*
+    regressions.  The parallel floor only applies on hosts where
+    parallel wall-clock time means anything.
+    """
+    failures: list[str] = []
+    speedup = results["single_thread"]["speedup_vs_seed"]
+    if speedup < SINGLE_THREAD_SPEEDUP_FLOOR:
+        failures.append(
+            f"single-thread speedup {speedup}x is below the "
+            f"{SINGLE_THREAD_SPEEDUP_FLOOR}x floor"
+        )
+    if not results["engine"]["bit_identical"]:
+        failures.append("batched engine is not bit-identical to windowed")
+    engine_speedup = results["engine"]["batched_speedup"]
+    if engine_speedup < ENGINE_SPEEDUP_FLOOR:
+        failures.append(
+            f"batched engine speedup {engine_speedup}x over windowed is "
+            f"below the {ENGINE_SPEEDUP_FLOOR}x floor"
+        )
+    if not results["collection"]["bit_identical"]:
+        failures.append("parallel collection is not bit-identical to serial")
+    if results["environment"]["parallel_meaningful"]:
+        parallel = results["collection"]["parallel_speedup"]
+        if parallel < PARALLEL_SPEEDUP_FLOOR:
+            failures.append(
+                f"parallel collection speedup {parallel}x is below the "
+                f"{PARALLEL_SPEEDUP_FLOOR}x floor "
+                f"({results['environment']['cpus_usable']} usable CPUs)"
+            )
+    return failures
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -277,6 +445,13 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="fast mode: 2 workloads, 1 trial — asserts the benchmark "
         "completes and emits JSON",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="enforce regression floors (single-thread speedup, batched "
+        "bit-identity, parallel scaling on multi-core hosts); exit 1 on "
+        "violation",
     )
     parser.add_argument("--workers", type=int, default=4, help="parallel worker count")
     parser.add_argument(
@@ -291,6 +466,14 @@ def main(argv: list[str] | None = None) -> int:
     out_path = Path(args.out)
     out_path.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {out_path}")
+
+    if args.check:
+        failures = check_results(results)
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("all regression checks passed")
     return 0
 
 
