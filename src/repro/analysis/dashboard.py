@@ -424,6 +424,105 @@ def _timeline_cards(
     return f'<div class="cards">{"".join(cards)}</div>'
 
 
+def _budget_curve_svg(selection) -> str:
+    """Coverage vs. budget staircase with the chosen operating point.
+
+    One series (the greedy ranking's nested prefixes), so no legend —
+    the axis labels and the direct-labelled operating point carry it.
+    """
+    ranking = selection.ranking
+    width, height, pad_l, pad_b, pad = 420.0, 180.0, 46.0, 30.0, 10.0
+    x_max = max(ranking[-1].cumulative_cost_s, selection.budget_s) * 1.05
+    plot_w = width - pad_l - pad
+    plot_h = height - pad - pad_b
+
+    def px(cost: float) -> float:
+        return pad_l + (cost / x_max) * plot_w
+
+    def py(coverage: float) -> float:
+        return height - pad_b - coverage * plot_h
+
+    # Staircase: coverage jumps when a prefix becomes affordable.
+    vertices = [(px(0.0), py(0.0))]
+    previous = 0.0
+    for entry in ranking:
+        vertices.append((px(entry.cumulative_cost_s), py(previous)))
+        vertices.append(
+            (px(entry.cumulative_cost_s), py(entry.cumulative_coverage))
+        )
+        previous = entry.cumulative_coverage
+    points = " ".join(f"{x:.1f},{y:.1f}" for x, y in vertices)
+
+    markers = []
+    for entry in ranking:
+        tip = (
+            f"{entry.workload}: +{entry.gain:.3f} coverage for "
+            f"{entry.cost_s:.2f}s (cumulative {entry.cumulative_cost_s:.2f}s "
+            f"→ {entry.cumulative_coverage:.3f})"
+        )
+        markers.append(
+            f'<circle cx="{px(entry.cumulative_cost_s):.1f}" '
+            f'cy="{py(entry.cumulative_coverage):.1f}" r="4" '
+            f'fill="var(--series-1)" stroke="var(--surface-1)" '
+            f'stroke-width="2"><title>{_esc(tip)}</title></circle>'
+        )
+
+    budget_x = px(min(selection.budget_s, x_max))
+    op_x, op_y = px(selection.cost_s), py(selection.coverage)
+    op_tip = (
+        f"operating point: {len(selection.picks)} workloads, "
+        f"{selection.cost_s:.2f}s of {selection.budget_s:g}s budget, "
+        f"coverage {selection.coverage:.3f}"
+    )
+    label_anchor = "end" if op_x > width * 0.6 else "start"
+    label_x = op_x - 10 if label_anchor == "end" else op_x + 10
+    return f"""<svg viewBox="0 0 {width:.0f} {height:.0f}" width="{width:.0f}" height="{height:.0f}" role="img" aria-label="coverage versus budget curve">
+  <title>{_esc(op_tip)}</title>
+  <rect x="0" y="0" width="{width:.0f}" height="{height:.0f}" fill="var(--surface-1)"/>
+  <line x1="{pad_l:.1f}" y1="{py(1.0):.1f}" x2="{width - pad:.1f}" y2="{py(1.0):.1f}" stroke="var(--gridline)" stroke-dasharray="2 4"/>
+  <line x1="{pad_l:.1f}" y1="{py(0.0):.1f}" x2="{width - pad:.1f}" y2="{py(0.0):.1f}" stroke="var(--baseline)"/>
+  <line x1="{pad_l:.1f}" y1="{pad:.1f}" x2="{pad_l:.1f}" y2="{py(0.0):.1f}" stroke="var(--baseline)"/>
+  <line x1="{budget_x:.1f}" y1="{pad:.1f}" x2="{budget_x:.1f}" y2="{py(0.0):.1f}" stroke="var(--baseline)" stroke-dasharray="3 3"/>
+  <text x="{budget_x + 4:.1f}" y="{pad + 10:.1f}" class="axis">budget</text>
+  <text x="{pad_l - 6:.1f}" y="{py(1.0) + 4:.1f}" text-anchor="end" class="axis">1.0</text>
+  <text x="{pad_l - 6:.1f}" y="{py(0.0) + 4:.1f}" text-anchor="end" class="axis">0</text>
+  <text x="{width / 2:.1f}" y="{height - 6:.1f}" text-anchor="middle" class="axis">cumulative simulated-runtime cost (s)</text>
+  <polyline points="{points}" fill="none" stroke="var(--series-1)" stroke-width="2" stroke-linejoin="round"/>
+  {''.join(markers)}
+  <circle cx="{op_x:.1f}" cy="{op_y:.1f}" r="6" fill="var(--series-1)" stroke="var(--surface-1)" stroke-width="2"><title>{_esc(op_tip)}</title></circle>
+  <text x="{label_x:.1f}" y="{max(op_y - 10, pad + 10):.1f}" text-anchor="{label_anchor}" class="axis">{len(selection.picks)} workloads · {selection.coverage:.2f}</text>
+</svg>"""
+
+
+def _budget_section(selection) -> str:
+    """The budget panel: curve + its accessible table twin."""
+    if selection is None or not selection.ranking:
+        return (
+            '<p class="sub">No budgeted selection computed — pass a budget '
+            "(<code>repro subset --budget</code> or "
+            "<code>GET /subset?budget=S</code>) to choose an operating "
+            "point on this curve.</p>"
+        )
+    rows = "".join(
+        f'<tr><td class="name">{_esc(entry.workload)}</td>'
+        f"<td>{entry.cost_s:.3f}</td>"
+        f"<td>{entry.cumulative_cost_s:.3f}</td>"
+        f"<td>{entry.gain:.4f}</td>"
+        f"<td>{entry.cumulative_coverage:.4f}</td>"
+        f"<td>{'yes' if entry.workload in selection.workloads else 'no'}</td>"
+        "</tr>"
+        for entry in selection.ranking
+    )
+    table = (
+        "<details><summary>Table view: greedy ranking with costs and "
+        "coverage</summary><div style=\"overflow-x:auto\"><table>"
+        '<tr><th class="name">workload</th><th>cost s</th>'
+        "<th>cum cost s</th><th>gain</th><th>cum coverage</th>"
+        f"<th>selected</th></tr>{rows}</table></div></details>"
+    )
+    return f'<div class="card">{_budget_curve_svg(selection)}</div>{table}'
+
+
 def _kiviat_cards(subsetting: SubsettingResult | None) -> str:
     if subsetting is None or not subsetting.kiviat:
         return '<p class="sub">Subsetting unavailable for this suite.</p>'
@@ -443,6 +542,7 @@ def render_dashboard(
     characterizations: Sequence[WorkloadCharacterization] = (),
     subsetting: SubsettingResult | None = None,
     title: str = "repro characterization dashboard",
+    budgeted=None,
 ) -> str:
     """Render the suite as one self-contained HTML page.
 
@@ -454,6 +554,9 @@ def render_dashboard(
         subsetting: The subsetting result whose Kiviat diagrams (Fig. 6)
             to include; ``None`` omits that section.
         title: Page title.
+        budgeted: A :class:`repro.subset.BudgetedSelection`; when given,
+            a coverage-vs-budget panel charts the greedy ranking's
+            nested prefixes with the chosen operating point.
 
     Returns:
         A complete HTML document with all assets inline — no scripts,
@@ -498,6 +601,12 @@ discarded from steady-state rates) and per-phase simulation-window ILP.</p>
 <p class="sub">Column z-scores of every metric across the suite — the exact
 normalization the PCA and clustering consume.</p>
 <div class="card">{_heatmap_svg(matrix)}{legend}</div>
+
+<h2>Coverage vs. budget</h2>
+<p class="sub">PC-space facility-location coverage bought by each additional
+second of simulated runtime (greedy ranking; prefixes nest, so the curve is
+the whole budget sweep); the large marker is the chosen operating point.</p>
+{_budget_section(budgeted)}
 
 <h2>Representative subset (Kiviat)</h2>
 <p class="sub">Each chosen representative's principal-component profile;

@@ -72,6 +72,7 @@ def metric_category_sensitivity(
     matrix: WorkloadMetricMatrix,
     baseline: SubsettingResult | None = None,
     seed: int = 0,
+    selection=None,
 ) -> tuple[CategorySensitivity, ...]:
     """Measure subsetting sensitivity to each metric category.
 
@@ -79,9 +80,42 @@ def metric_category_sensitivity(
         matrix: The full workload × 45-metric matrix.
         baseline: A pre-computed full-pipeline result (computed if absent).
         seed: Seed forwarded to the K-means restarts.
+        selection: A :class:`repro.subset.BudgetedSelection` over this
+            matrix.  When given, the *subset* comparison re-runs the
+            budget-aware selector (same costs, same budget) on each
+            reduced-column metric space instead of the Table V
+            farthest-from-centroid policy; clustering agreement and ΔK
+            still come from the K-means pipeline.
+
+    Raises:
+        AnalysisError: If ``selection``'s pool does not match the
+            matrix's workloads.
     """
     baseline = baseline or subset_workloads(matrix, seed=seed)
-    baseline_subset = set(baseline.representative_subset)
+    budget_costs = None
+    if selection is not None:
+        from repro.subset.cost import WorkloadCost
+
+        pool = {entry.workload for entry in selection.ranking}
+        if pool != set(matrix.workloads):
+            raise AnalysisError(
+                "selection pool does not match the matrix's workloads"
+            )
+        # The ranking carries every pool member's cost, so the reduced
+        # pipelines re-select under exactly the conditions the caller's
+        # selection was made under.
+        budget_costs = tuple(
+            WorkloadCost(
+                workload=entry.workload,
+                seconds=entry.cost_s,
+                source="carried",
+                raw_units=entry.cost_s,
+            )
+            for entry in selection.ranking
+        )
+        baseline_subset = set(selection.workloads)
+    else:
+        baseline_subset = set(baseline.representative_subset)
     baseline_labels = baseline.clustering.labels
 
     results: list[CategorySensitivity] = []
@@ -103,13 +137,24 @@ def metric_category_sensitivity(
         pca = fit_pca(reduced)
         n = reduced.shape[0]
         bic = choose_k(pca.scores, k_min=5, k_max=min(12, n - 1), seed=seed)
-        farthest = select_representatives(
-            pca.scores,
-            matrix.workloads,
-            bic.best,
-            SelectionPolicy.FARTHEST_FROM_CENTER,
-        )
-        reduced_subset = {rep.workload for rep in farthest}
+        if budget_costs is not None:
+            from repro.subset.select import select_budgeted
+
+            reduced_selection = select_budgeted(
+                pca.scores,
+                matrix.workloads,
+                budget_costs,
+                selection.budget_s,
+            )
+            reduced_subset = set(reduced_selection.workloads)
+        else:
+            farthest = select_representatives(
+                pca.scores,
+                matrix.workloads,
+                bic.best,
+                SelectionPolicy.FARTHEST_FROM_CENTER,
+            )
+            reduced_subset = {rep.workload for rep in farthest}
 
         intersection = len(baseline_subset & reduced_subset)
         union = len(baseline_subset | reduced_subset)

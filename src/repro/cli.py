@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
     python -m repro trace H-WordCount --out trace.json  # Chrome trace
     python -m repro experiment -o out/   # full reproduction + report bundle
     python -m repro observations         # score Observations 1-9
+    python -m repro subset --budget 120  # budget-aware representative subset
     python -m repro serve --port 8321    # HTTP characterization service
 
 All subcommands accept ``--scale`` and ``--seed``; the global
@@ -337,11 +338,30 @@ def _cmd_report(args: argparse.Namespace) -> int:
     except ReproError as error:
         print(f"repro: subsetting skipped: {error}", file=sys.stderr)
         subsetting = None
+    budgeted = None
+    try:
+        from repro.core.pca import fit_pca
+        from repro.subset import estimate_costs, select_budgeted
+
+        costs = estimate_costs(result.characterizations)
+        budget = args.budget
+        if budget is None:
+            # Default operating point: half the pool's simulation cost.
+            budget = 0.5 * sum(cost.seconds for cost in costs)
+        budgeted = select_budgeted(
+            fit_pca(result.matrix.values).scores,
+            result.matrix.workloads,
+            costs,
+            budget,
+        )
+    except ReproError as error:
+        print(f"repro: budget panel skipped: {error}", file=sys.stderr)
     html_doc = render_dashboard(
         result.matrix,
         result.characterizations,
         subsetting=subsetting,
         title=f"repro characterization dashboard ({len(workloads)} workloads)",
+        budgeted=budgeted,
     )
     with open(args.html, "w", encoding="utf-8") as handle:
         handle.write(html_doc)
@@ -351,6 +371,99 @@ def _cmd_report(args: argparse.Namespace) -> int:
     print(f"dashboard written to {args.html} "
           f"({len(html_doc)} bytes, {with_timelines} timelines, "
           "self-contained — no scripts, no external assets)")
+    return 0
+
+
+def _cmd_subset(args: argparse.Namespace) -> int:
+    from repro.cluster.collection import characterize_suite
+    from repro.core.pca import fit_pca
+    from repro.core.subsetting import subset_workloads
+    from repro.errors import ReproError, SubsetError
+    from repro.subset import estimate_costs, select_budgeted
+
+    import math
+
+    if args.budget is not None and (
+        not math.isfinite(args.budget) or args.budget <= 0
+    ):
+        print(
+            f"repro: --budget must be a positive number of seconds, "
+            f"got {args.budget!r}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    collection = _collection(args)
+    if isinstance(collection, int):
+        return collection
+    workloads = SUITE[: args.limit] if args.limit else SUITE
+    result = characterize_suite(
+        workloads,
+        collection,
+        progress=lambda done, total: print(
+            f"  characterized {done}/{total}", file=sys.stderr
+        ),
+    )
+
+    if args.budget is not None:
+        try:
+            costs = estimate_costs(result.characterizations)
+            points = fit_pca(result.matrix.values).scores
+            selection = select_budgeted(
+                points, result.matrix.workloads, costs, args.budget
+            )
+        except SubsetError as error:
+            print(f"repro: {error}", file=sys.stderr)
+            return EXIT_USAGE
+        by_name = {cost.workload: cost for cost in costs}
+        measured = sum(1 for cost in costs if cost.measured)
+        print(
+            f"budget {selection.budget_s:g}s over {selection.n_pool} workloads "
+            f"(pool cost {selection.total_pool_cost_s:.2f}s, "
+            f"{measured} measured costs)"
+        )
+        print(f"{'#':>2s} {'workload':18s} {'cost s':>9s} {'source':>9s} "
+              f"{'cum cost s':>11s} {'cum coverage':>13s}")
+        print("-" * 68)
+        for position, pick in enumerate(selection.picks, start=1):
+            print(
+                f"{position:>2d} {pick.workload:18s} {pick.cost_s:>9.3f} "
+                f"{by_name[pick.workload].source:>9s} "
+                f"{pick.cumulative_cost_s:>11.3f} "
+                f"{pick.cumulative_coverage:>13.4f}"
+            )
+        print(
+            f"selected {len(selection.picks)}/{selection.n_pool} workloads, "
+            f"coverage {selection.coverage:.4f}, "
+            f"cost {selection.cost_s:.2f}s of {selection.budget_s:g}s"
+        )
+        return 0
+
+    n = len(workloads)
+    if args.k is not None and not 2 <= args.k <= n - 1:
+        print(
+            f"repro: --k must be in [2, {n - 1}] for {n} workloads",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    try:
+        if args.k is None:
+            subsetting = subset_workloads(result.matrix, seed=args.seed)
+        else:
+            subsetting = subset_workloads(
+                result.matrix, seed=args.seed, k_min=args.k, k_max=args.k
+            )
+    except ReproError as error:
+        print(f"repro: subsetting failed: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    print(f"K = {subsetting.clustering.k} clusters "
+          f"(BIC-chosen, {subsetting.pca.n_kept} PCs)")
+    print(f"{'workload':18s} {'cluster size':>12s} {'dist to center':>15s}")
+    print("-" * 48)
+    for rep in subsetting.farthest:
+        print(
+            f"{rep.workload:18s} {rep.cluster_size:>12d} "
+            f"{rep.distance_to_center:>15.4f}"
+        )
     return 0
 
 
@@ -372,7 +485,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"store: {server.service.store.root}")
     print(
         "endpoints: /workloads /metrics /metrics/catalog /stats "
-        "/characterize/<name> /suite/matrix /subset?k=K /observations /jobs"
+        "/characterize/<name> /suite/matrix /subset?k=K|budget=S "
+        "/observations /jobs"
     )
 
     def _request_shutdown(signum: int, _frame) -> None:
@@ -495,6 +609,52 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="characterize only the first N suite workloads (default: all 32)",
     )
+    report_parser.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="operating point for the coverage-vs-budget panel "
+        "(default: half the pool's simulation cost)",
+    )
+
+    subset_parser = subparsers.add_parser(
+        "subset",
+        help="pick a representative subset (paper's k clusters, or "
+        "budget-aware with --budget)",
+        description="Characterize the suite, then pick representatives: "
+        "by K-means clusters (the paper's Table V path, --k) or by "
+        "greedy submodular coverage per unit simulated-runtime cost "
+        "under a --budget in seconds.  With --timeline (on by default) "
+        "costs come from measured run durations.",
+    )
+    _add_common(subset_parser)
+    _add_measurement(subset_parser)
+    _add_workers(subset_parser)
+    _add_faults(subset_parser)
+    _add_timeline(subset_parser, default_on=True)
+    subset_group = subset_parser.add_mutually_exclusive_group()
+    subset_group.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="simulation-time budget; selects workloads maximizing "
+        "PC-space coverage per unit cost",
+    )
+    subset_group.add_argument(
+        "--k",
+        type=int,
+        default=None,
+        help="force this many K-means clusters (default: BIC-chosen)",
+    )
+    subset_parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="characterize only the first N suite workloads (default: all 32)",
+    )
 
     serve_parser = subparsers.add_parser(
         "serve",
@@ -537,6 +697,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "observations": _cmd_observations,
         "report": _cmd_report,
+        "subset": _cmd_subset,
         "serve": _cmd_serve,
     }
     return handlers[args.command](args)

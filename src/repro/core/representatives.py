@@ -79,11 +79,16 @@ def select_representatives(
         distances = np.sqrt(
             np.sum((points[member_indices] - center) ** 2, axis=1)
         )
-        order = sorted(
+        # Both policies tie-break on the workload name in the SAME
+        # direction (lexically smallest), so equidistant members resolve
+        # identically across runs and platforms.  Taking the last entry
+        # of one ascending sort would invert the tie direction for the
+        # farthest policy.
+        sign = 1.0 if policy is SelectionPolicy.NEAREST_TO_CENTER else -1.0
+        pick = min(
             range(len(member_indices)),
-            key=lambda i: (distances[i], labels[member_indices[i]]),
+            key=lambda i: (sign * distances[i], labels[member_indices[i]]),
         )
-        pick = order[0] if policy is SelectionPolicy.NEAREST_TO_CENTER else order[-1]
         chosen = member_indices[pick]
         representatives.append(
             ClusterRepresentative(

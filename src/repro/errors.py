@@ -36,6 +36,11 @@ class AnalysisError(ReproError):
     """A statistical-analysis step (PCA, clustering, BIC) received bad input."""
 
 
+class SubsetError(AnalysisError):
+    """The budget-aware subsetting engine was given an invalid budget,
+    an empty candidate pool, or costs that do not match the pool."""
+
+
 class CollectionCancelled(ReproError):
     """A suite collection was cancelled before it completed."""
 

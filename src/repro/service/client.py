@@ -135,7 +135,25 @@ class ServiceClient:
     def matrix(self) -> dict:
         return self._request("/suite/matrix")
 
-    def subset(self, k: int | None = None) -> dict:
+    def subset(
+        self, k: int | None = None, budget: float | None = None
+    ) -> dict:
+        """The representative subset — the paper's ``k`` clusters, or the
+        budget-aware selection when ``budget`` (seconds of simulation
+        time) is given instead.
+
+        Raises:
+            ServiceError: With ``.status == 400`` when both are given,
+                or either is malformed (the server validates).
+        """
+        if k is not None and budget is not None:
+            raise _service_error(
+                "pass either k or budget, not both", 400, {}
+            )
+        if budget is not None:
+            return self._request(
+                f"/subset?budget={urllib.parse.quote(str(budget))}"
+            )
         return self._request("/subset" if k is None else f"/subset?k={k}")
 
     def observations(self) -> dict:

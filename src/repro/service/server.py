@@ -11,6 +11,7 @@ reproduction as a JSON service::
     GET  /characterize/<name>   one workload's full characterization
     GET  /suite/matrix          the workload × metric matrix
     GET  /subset?k=K            K-means representative subset (Table V)
+    GET  /subset?budget=S       budget-aware subset (S seconds of simulation)
     GET  /observations          the paper's Observations 1-9, scored
     GET  /jobs, /jobs/<id>      collection-job states and progress
     DELETE /jobs/<id>           cooperative cancellation
@@ -34,6 +35,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import tempfile
 import threading
 import time
@@ -244,6 +246,7 @@ class CharacterizationService:
                     "/characterize/<name>",
                     "/suite/matrix",
                     "/subset?k=K",
+                    "/subset?budget=SECONDS",
                     "/observations",
                     "/dashboard",
                     "/jobs",
@@ -450,6 +453,12 @@ class CharacterizationService:
         query: dict[str, list[str]],
         correlation_id: str | None = None,
     ) -> _Response:
+        if "budget" in query and "k" in query:
+            raise _HttpError(
+                400, "provide either k (cluster count) or budget (seconds), not both"
+            )
+        if "budget" in query:
+            return self._subset_budgeted(query["budget"][0], correlation_id)
         k: int | None = None
         if "k" in query:
             try:
@@ -506,6 +515,113 @@ class CharacterizationService:
                 "nearest": reps(result.nearest),
             }
         )
+        with self._lock:
+            self._derived[cache_key] = response
+        return response
+
+    def _workload_costs(self, entry: dict):
+        """Per-workload simulated-runtime costs for the collected suite.
+
+        Served from the persisted cost table when present; otherwise the
+        stored characterizations are hydrated, costed and the table is
+        persisted for the next request.  A workload whose per-workload
+        store entry was evicted gets the median cost of its peers
+        (source ``"median"``) — the selection pool must still span the
+        whole matrix.
+        """
+        from repro.service.store import characterization_from_payload
+        from repro.subset.cost import (
+            WorkloadCost,
+            estimate_costs,
+            load_costs,
+            persist_costs,
+        )
+
+        suite_key = suite_store_key(self.config.collection, self.config.workloads)
+        names = list(entry["workloads"])
+        cached = load_costs(self.store, suite_key)
+        if cached is not None and sorted(c.workload for c in cached) == sorted(
+            names
+        ):
+            return cached
+
+        characterizations = []
+        for name in names:
+            payload = self.store.get(
+                workload_store_key(self.config.collection, name), touch=False
+            )
+            if payload is not None:
+                characterizations.append(characterization_from_payload(payload))
+        if not characterizations:
+            raise _HttpError(
+                500, "no stored characterizations to derive subset costs from"
+            )
+        costs = list(estimate_costs(characterizations))
+        known = {cost.workload for cost in costs}
+        missing = [name for name in names if name not in known]
+        if missing:
+            seconds = sorted(cost.seconds for cost in costs)
+            mid = len(seconds) // 2
+            median = (
+                seconds[mid]
+                if len(seconds) % 2
+                else 0.5 * (seconds[mid - 1] + seconds[mid])
+            )
+            costs.extend(
+                WorkloadCost(
+                    workload=name, seconds=median, source="median",
+                    raw_units=median,
+                )
+                for name in missing
+            )
+        costs = tuple(costs)
+        persist_costs(self.store, suite_key, costs)
+        return costs
+
+    def _subset_budgeted(
+        self, raw_budget: str, correlation_id: str | None = None
+    ) -> _Response:
+        try:
+            budget_s = float(raw_budget)
+        except ValueError:
+            raise _HttpError(
+                400, f"budget must be a number of seconds, got {raw_budget!r}"
+            ) from None
+        if not math.isfinite(budget_s) or budget_s <= 0:
+            raise _HttpError(
+                400, f"budget must be a positive number of seconds, got {raw_budget!r}"
+            )
+        entry, etag = self._ensure_suite(correlation_id)
+        cache_key = ("subset-budget", etag, budget_s)
+        with self._lock:
+            cached = self._derived.get(cache_key)
+        if cached is not None:
+            return cached
+
+        import numpy as np
+
+        from repro.core.pca import fit_pca
+        from repro.errors import SubsetError
+        from repro.subset.select import select_budgeted
+
+        labels = tuple(entry["matrix"]["workloads"])
+        values = np.array(entry["matrix"]["values"], dtype=float)
+        costs = self._workload_costs(entry)
+        try:
+            points = fit_pca(values).scores
+            selection = select_budgeted(points, labels, costs, budget_s)
+        except SubsetError as exc:
+            raise _HttpError(400, str(exc)) from exc
+        except ReproError as exc:
+            raise _HttpError(400, f"budgeted subsetting failed: {exc}") from exc
+
+        by_name = {cost.workload: cost for cost in costs}
+        body = selection.to_dict()
+        body["cost_sources"] = {
+            pick.workload: by_name[pick.workload].source
+            for pick in selection.picks
+        }
+        response = _computed(body)
         with self._lock:
             self._derived[cache_key] = response
         return response
@@ -589,11 +705,27 @@ class CharacterizationService:
             )
         except ReproError:
             pass  # tiny suites can't cluster; the dashboard degrades
+        budgeted = None
+        try:
+            from repro.core.pca import fit_pca
+            from repro.subset.select import select_budgeted
+
+            costs = self._workload_costs(entry)
+            budgeted = select_budgeted(
+                fit_pca(matrix.values).scores,
+                matrix.workloads,
+                costs,
+                # Default operating point: half the pool's simulation cost.
+                0.5 * sum(cost.seconds for cost in costs),
+            )
+        except (ReproError, _HttpError):
+            pass  # cost-less stores degrade to the placeholder text
         html = render_dashboard(
             matrix,
             characterizations,
             subsetting=subsetting,
             title="repro characterization dashboard",
+            budgeted=budgeted,
         )
         response = _Response(
             200,

@@ -1,0 +1,210 @@
+"""Adaptive re-selection as characterizations land.
+
+A long-lived collection (the service's job manager, an overnight sweep)
+produces characterizations one at a time; waiting for all of them before
+choosing what to simulate wastes the budget window.
+:class:`AdaptiveSubsetter` keeps a running pool and re-selects on
+demand:
+
+- **History reuse** — a workload observed once keeps its cost across
+  re-observations, and a *measured* (timeline) cost is never downgraded
+  to an op-count estimate by a later telemetry-free arrival.
+- **Incremental scoring** — new arrivals are projected into the PCA
+  space fitted on the earlier pool (``PcaResult.project``), so each
+  arrival costs one matrix-vector product, not a refit.  The PCA is
+  refitted (and every row re-scored) only when the pool has outgrown
+  the fitted basis — by default when it doubles — or on an explicit
+  :meth:`refit`.
+- **Deterministic revisions** — the same observation sequence always
+  yields the same selections; each :meth:`selection` call that sees new
+  data bumps ``revision`` and reports which workloads entered and left.
+
+The selector itself is :func:`repro.subset.select.select_budgeted`; the
+adaptive layer only manages the pool and the score cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.testbed import WorkloadCharacterization
+from repro.core.pca import PcaResult, fit_pca
+from repro.errors import SubsetError
+from repro.metrics.catalog import METRIC_NAMES
+from repro.obs.metrics import REGISTRY
+from repro.subset.cost import WorkloadCost, estimate_cost
+from repro.subset.select import BudgetedSelection, select_budgeted
+
+__all__ = ["AdaptiveSelection", "AdaptiveSubsetter"]
+
+#: Pool growth factor that forces a PCA refit: the basis fitted on ``m``
+#: rows serves incremental projections until the pool reaches ``2 m``.
+_REFIT_GROWTH = 2.0
+
+#: PCA needs at least this many rows; selections below it raise.
+_MIN_POOL = 3
+
+_REVISIONS = REGISTRY.counter(
+    "repro_subset_revisions_total",
+    "Adaptive subset re-selections that saw new data",
+)
+
+
+@dataclass(frozen=True)
+class AdaptiveSelection:
+    """One adaptive revision's outcome.
+
+    Attributes:
+        revision: Monotone revision counter (1 = first selection).
+        selection: The budgeted selection over the current pool.
+        entered: Workloads newly selected relative to the previous
+            revision (everything, on revision 1).
+        left: Workloads dropped relative to the previous revision.
+        measured_costs: Pool entries carrying measured (timeline) costs.
+    """
+
+    revision: int
+    selection: BudgetedSelection
+    entered: tuple[str, ...]
+    left: tuple[str, ...]
+    measured_costs: int
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.entered or self.left)
+
+
+class AdaptiveSubsetter:
+    """A budget-holding pool that re-selects as characterizations land."""
+
+    def __init__(self, budget_s: float, refit_growth: float = _REFIT_GROWTH):
+        if not np.isfinite(budget_s) or budget_s <= 0:
+            raise SubsetError(
+                f"budget must be a positive number of seconds, got {budget_s!r}"
+            )
+        self.budget_s = float(budget_s)
+        self._refit_growth = max(1.0, float(refit_growth))
+        self._names: list[str] = []
+        self._rows: list[np.ndarray] = []
+        self._costs: dict[str, WorkloadCost] = {}
+        self._pca: PcaResult | None = None
+        self._fitted_rows = 0
+        self._scores: np.ndarray | None = None
+        self._dirty = True
+        self._revision = 0
+        self._current: AdaptiveSelection | None = None
+
+    # -- pool -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._names)
+
+    @property
+    def revision(self) -> int:
+        return self._revision
+
+    def observe(
+        self,
+        characterization: WorkloadCharacterization,
+        cost: WorkloadCost | None = None,
+    ) -> None:
+        """Add (or update) one characterization in the pool."""
+        row = np.array(
+            [characterization.metrics[name] for name in METRIC_NAMES],
+            dtype=float,
+        )
+        self.observe_row(
+            characterization.name, row, cost or estimate_cost(characterization)
+        )
+
+    def observe_row(self, name: str, row: np.ndarray, cost: WorkloadCost) -> None:
+        """Add one pre-built metric row; cost follows the history-reuse rule."""
+        row = np.asarray(row, dtype=float)
+        if row.shape != (len(METRIC_NAMES),):
+            raise SubsetError(
+                f"{name}: expected a {len(METRIC_NAMES)}-metric row, "
+                f"got shape {row.shape}"
+            )
+        known = self._costs.get(name)
+        if known is None or (cost.measured and not known.measured):
+            self._costs[name] = WorkloadCost(
+                workload=name,
+                seconds=cost.seconds,
+                source=cost.source,
+                raw_units=cost.raw_units,
+            )
+        if name in self._names:
+            self._rows[self._names.index(name)] = row
+        else:
+            self._names.append(name)
+            self._rows.append(row)
+        self._dirty = True
+
+    # -- scoring --------------------------------------------------------------
+
+    def refit(self) -> None:
+        """Force a full PCA refit on the next selection."""
+        self._pca = None
+        self._fitted_rows = 0
+        self._dirty = True
+
+    def _ensure_scores(self) -> np.ndarray:
+        matrix = np.vstack(self._rows)
+        needs_refit = (
+            self._pca is None
+            or len(self._rows) >= self._refit_growth * self._fitted_rows
+        )
+        if needs_refit:
+            self._pca = fit_pca(matrix)
+            self._fitted_rows = len(self._rows)
+            self._scores = self._pca.scores
+        else:
+            # Incremental path: project every row through the frozen
+            # basis (rows the basis was fitted on project to their
+            # original scores, so this is consistent, not approximate
+            # bookkeeping on top of stale coordinates).
+            self._scores = self._pca.project(matrix)
+        return self._scores
+
+    # -- selection ------------------------------------------------------------
+
+    def selection(self) -> AdaptiveSelection:
+        """The current budgeted selection, recomputed only when dirty.
+
+        Raises:
+            SubsetError: With fewer than three observed workloads (PCA
+                needs three samples) or an unaffordable budget.
+        """
+        if not self._dirty and self._current is not None:
+            return self._current
+        if len(self._names) < _MIN_POOL:
+            raise SubsetError(
+                f"adaptive selection needs at least {_MIN_POOL} observed "
+                f"workloads, have {len(self._names)}"
+            )
+        scores = self._ensure_scores()
+        labels = tuple(self._names)
+        costs = tuple(self._costs[name] for name in labels)
+        selected = select_budgeted(scores, labels, costs, self.budget_s)
+
+        previous = (
+            set(self._current.selection.workloads) if self._current else set()
+        )
+        current = set(selected.workloads)
+        self._revision += 1
+        _REVISIONS.inc()
+        self._current = AdaptiveSelection(
+            revision=self._revision,
+            selection=selected,
+            entered=tuple(sorted(current - previous)),
+            left=tuple(sorted(previous - current)),
+            measured_costs=sum(1 for cost in costs if cost.measured),
+        )
+        self._dirty = False
+        return self._current

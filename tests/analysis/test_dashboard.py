@@ -7,8 +7,10 @@ import pytest
 from repro.analysis.dashboard import render_dashboard
 from repro.cluster.testbed import Cluster, MeasurementConfig
 from repro.core.dataset import WorkloadMetricMatrix
+from repro.core.pca import fit_pca
 from repro.core.subsetting import subset_workloads
 from repro.metrics.catalog import METRIC_NAMES
+from repro.subset import estimate_costs, select_budgeted
 from repro.obs.timeline import TimelineConfig
 from repro.workloads import RunContext, workload_by_name
 from repro.workloads.suite import SUITE
@@ -118,6 +120,31 @@ class TestRenderDashboard:
         html_doc = render_dashboard(matrix, [])
         assert "<script>alert(1)</script>" not in html_doc
         assert "&lt;script&gt;" in html_doc
+
+    def test_budget_panel_renders_curve_and_table(self, suite):
+        matrix, chars = suite
+        costs = estimate_costs(chars)
+        budget = 0.5 * sum(cost.seconds for cost in costs)
+        budgeted = select_budgeted(
+            fit_pca(matrix.values).scores, matrix.workloads, costs, budget
+        )
+        html_doc = render_dashboard(matrix, chars, budgeted=budgeted)
+        assert "Coverage vs. budget" in html_doc
+        assert "coverage versus budget curve" in html_doc
+        assert "operating point" in html_doc
+        # Every pool member appears in the ranking table twin.
+        for workload in matrix.workloads:
+            assert workload in html_doc
+        audit = _audit(html_doc)
+        assert audit.scripts == 0
+        assert audit.external == []
+
+    def test_budget_panel_placeholder_without_selection(self, suite):
+        matrix, chars = suite
+        html_doc = render_dashboard(matrix, chars)
+        assert "Coverage vs. budget" in html_doc
+        assert "No budgeted selection computed" in html_doc
+        assert "coverage versus budget curve" not in html_doc
 
     def test_constant_column_z_scores_stay_finite(self):
         values = dict.fromkeys(METRIC_NAMES, 1.0)

@@ -2,13 +2,17 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.analysis.sensitivity import (
     _pairwise_agreement,
     metric_category_sensitivity,
 )
+from repro.core.pca import fit_pca
 from repro.errors import AnalysisError
 from repro.metrics.catalog import MetricCategory
+from repro.subset import WorkloadCost, select_budgeted
 
 from tests.analysis.test_figures_unit import synthetic_matrix
 
@@ -16,6 +20,24 @@ from tests.analysis.test_figures_unit import synthetic_matrix
 @pytest.fixture(scope="module")
 def sensitivities():
     return metric_category_sensitivity(synthetic_matrix(), seed=0)
+
+
+def _budgeted_selection(matrix, budget_fraction=0.5, cost_seed=7):
+    rng = np.random.default_rng(cost_seed)
+    costs = tuple(
+        WorkloadCost(
+            workload=name,
+            seconds=float(0.5 + rng.random() * 2.5),
+            source="op-count",
+            raw_units=1.0,
+        )
+        for name in matrix.workloads
+    )
+    total = sum(cost.seconds for cost in costs)
+    points = fit_pca(matrix.values).scores
+    return select_budgeted(
+        points, matrix.workloads, costs, budget_fraction * total
+    )
 
 
 def test_one_result_per_category(sensitivities):
@@ -50,3 +72,63 @@ def test_pairwise_agreement_extremes():
 def test_pairwise_agreement_needs_two_points():
     with pytest.raises(AnalysisError):
         _pairwise_agreement(np.array([0]), np.array([0]))
+
+
+class TestBudgetedSelectionMode:
+    def test_accepts_budgeted_selection(self):
+        matrix = synthetic_matrix()
+        selection = _budgeted_selection(matrix)
+        sensitivities = metric_category_sensitivity(
+            matrix, seed=0, selection=selection
+        )
+        assert {s.category for s in sensitivities} == set(MetricCategory)
+        for sensitivity in sensitivities:
+            assert 0.0 <= sensitivity.subset_jaccard <= 1.0
+            assert 0.0 <= sensitivity.cluster_agreement <= 1.0
+
+    def test_mismatched_selection_pool_raises(self):
+        import dataclasses
+
+        matrix = synthetic_matrix()
+        shrunk = dataclasses.replace(
+            matrix,
+            workloads=matrix.workloads[:8],
+            values=matrix.values[:8],
+        )
+        selection = _budgeted_selection(shrunk)
+        with pytest.raises(AnalysisError, match="pool"):
+            metric_category_sensitivity(matrix, seed=0, selection=selection)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    budgets=st.lists(
+        st.floats(min_value=0.12, max_value=1.0),
+        min_size=2,
+        max_size=6,
+    ),
+    cost_seed=st.integers(min_value=0, max_value=1_000),
+)
+def test_coverage_monotone_non_decreasing_in_budget(budgets, cost_seed):
+    """The property the ISSUE demands: a bigger simulation budget never
+    buys *less* PC-space coverage."""
+    matrix = synthetic_matrix()
+    rng = np.random.default_rng(cost_seed)
+    costs = tuple(
+        WorkloadCost(
+            workload=name,
+            seconds=float(0.2 + rng.random() * 2.0),
+            source="op-count",
+            raw_units=1.0,
+        )
+        for name in matrix.workloads
+    )
+    total = sum(cost.seconds for cost in costs)
+    points = fit_pca(matrix.values).scores
+    coverages = [
+        select_budgeted(
+            points, matrix.workloads, costs, fraction * total
+        ).coverage
+        for fraction in sorted(budgets)
+    ]
+    assert all(a <= b + 1e-12 for a, b in zip(coverages, coverages[1:]))

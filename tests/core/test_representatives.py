@@ -100,3 +100,35 @@ def test_tie_break_is_deterministic():
         points, ("beta", "alpha"), clustering, SelectionPolicy.NEAREST_TO_CENTER
     )
     assert reps[0].workload == "alpha"
+
+
+def test_farthest_tie_break_orders_by_name():
+    # Regression: two workloads exactly equidistant from (and farthest
+    # from) the centroid.  The farthest policy used to take the *last*
+    # entry of an ascending (distance, label) sort, handing the win to
+    # the lexically largest label — the opposite convention from the
+    # nearest policy.  Both policies must resolve ties to the lexically
+    # smallest name.
+    points = np.array([[-2.0], [0.0], [2.0]])
+    clustering = KMeansResult(
+        labels=np.array([0, 0, 0]),
+        centers=np.array([[0.0]]),
+        inertia=8.0,
+        iterations=1,
+    )
+    reps = select_representatives(
+        points,
+        ("zeta", "mid", "delta"),
+        clustering,
+        SelectionPolicy.FARTHEST_FROM_CENTER,
+    )
+    assert reps[0].workload == "delta"
+
+    # Label assignment must not depend on input order either.
+    swapped = select_representatives(
+        points,
+        ("delta", "mid", "zeta"),
+        clustering,
+        SelectionPolicy.FARTHEST_FROM_CENTER,
+    )
+    assert swapped[0].workload == "delta"

@@ -63,6 +63,33 @@ def test_unknown_workload_raises_service_error(client):
         client.characterize("H-Grap")
 
 
+def test_budgeted_subset(client):
+    payload = client.subset(budget=1e9)
+    assert payload["n_selected"] == payload["n_pool"] == 4
+    assert payload["coverage"] == pytest.approx(1.0)
+    assert [row["workload"] for row in payload["selected"]]
+
+
+def test_bad_budget_surfaces_as_service_error(client):
+    for bad in (-1, 0, "abc", float("nan")):
+        with pytest.raises(ServiceError) as excinfo:
+            client.subset(budget=bad)
+        assert excinfo.value.status == 400
+        assert "budget" in str(excinfo.value)
+
+
+def test_budget_below_cheapest_surfaces_as_service_error(client):
+    with pytest.raises(ServiceError, match="cheapest") as excinfo:
+        client.subset(budget=1e-12)
+    assert excinfo.value.status == 400
+
+
+def test_k_and_budget_together_rejected_client_side(client):
+    with pytest.raises(ServiceError, match="not both") as excinfo:
+        client.subset(k=3, budget=10.0)
+    assert excinfo.value.status == 400
+
+
 def test_jobs_listing(client):
     jobs = client.jobs()
     assert isinstance(jobs, list)

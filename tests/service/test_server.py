@@ -212,10 +212,53 @@ class TestSubset:
         assert sorted(members) == sorted(w.name for w in SUITE[:6])
 
     def test_subset_invalid_k(self, server):
-        status, _, body = _get(server[1], "/subset?k=99")
+        for bad in ("99", "oops", "0", "1", "-3"):
+            status, _, body = _get(server[1], f"/subset?k={bad}")
+            assert status == 400, bad
+            assert "error" in json.loads(body)
+
+
+class TestSubsetBudget:
+    def test_budgeted_selection(self, server):
+        status, _, body = _get(server[1], "/subset?budget=1e9")
+        payload = json.loads(body)
+        assert status == 200
+        # An effectively unlimited budget selects the whole pool.
+        assert payload["n_selected"] == payload["n_pool"] == len(SUITE[:6])
+        assert payload["coverage"] == pytest.approx(1.0)
+        assert payload["cost_s"] <= payload["budget_s"]
+        picked = [row["workload"] for row in payload["selected"]]
+        assert sorted(picked) == sorted(w.name for w in SUITE[:6])
+        # Cumulative cost/coverage are reported per pick, in greedy order.
+        costs = [row["cumulative_cost_s"] for row in payload["selected"]]
+        assert costs == sorted(costs)
+        assert set(payload["cost_sources"]) == set(picked)
+
+    def test_partial_budget_is_deterministic(self, server):
+        status, _, body = _get(server[1], "/subset?budget=1e9")
+        total = json.loads(body)["total_pool_cost_s"]
+        first = _get(server[1], f"/subset?budget={total / 2}")
+        second = _get(server[1], f"/subset?budget={total / 2}")
+        assert first[0] == second[0] == 200
+        assert first[2] == second[2]
+        payload = json.loads(first[2])
+        assert 0 < payload["n_selected"] <= payload["n_pool"]
+
+    def test_bad_budget_is_400(self, server):
+        for bad in ("-5", "abc", "0", "nan", "inf"):
+            status, _, body = _get(server[1], f"/subset?budget={bad}")
+            assert status == 400, bad
+            assert "error" in json.loads(body)
+
+    def test_budget_below_cheapest_is_400(self, server):
+        status, _, body = _get(server[1], "/subset?budget=1e-12")
         assert status == 400
-        status, _, _ = _get(server[1], "/subset?k=oops")
+        assert "cheapest" in json.loads(body)["error"]
+
+    def test_budget_and_k_together_is_400(self, server):
+        status, _, body = _get(server[1], "/subset?k=3&budget=10")
         assert status == 400
+        assert "not both" in json.loads(body)["error"]
 
 
 class TestJobs:

@@ -1,0 +1,40 @@
+"""Fixtures for the budget-aware subsetting tests.
+
+One small timeline-enabled collection is shared across the package —
+real characterizations with measured (timeline) costs are the expensive
+artifact here, exactly like the session-wide suite matrix in the root
+conftest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import CollectionConfig, MeasurementConfig, characterize_suite
+from repro.obs.timeline import TimelineConfig
+from repro.workloads import SUITE
+
+#: Tiny but timeline-enabled: every characterization carries a measured
+#: run duration, so cost tests can exercise both sources.
+SUBSET_COLLECTION = CollectionConfig(
+    scale=0.15,
+    seed=11,
+    measurement=MeasurementConfig(
+        slaves_measured=1, active_cores=2, ops_per_core=800, perf_repeats=1
+    ),
+    timeline=TimelineConfig(interval_ms=0.0),
+)
+
+SUBSET_WORKLOADS = SUITE[:8]
+
+
+@pytest.fixture(scope="package")
+def timeline_suite():
+    """Eight timeline-enabled characterizations (computed once)."""
+    return characterize_suite(workloads=SUBSET_WORKLOADS, config=SUBSET_COLLECTION)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(99)

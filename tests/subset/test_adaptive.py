@@ -1,0 +1,144 @@
+"""Adaptive re-selection: history reuse, incremental scoring, revisions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SubsetError
+from repro.metrics.catalog import METRIC_NAMES
+from repro.subset.adaptive import AdaptiveSubsetter
+from repro.subset.cost import WorkloadCost, estimate_cost
+
+
+def _row(rng):
+    return rng.normal(size=len(METRIC_NAMES)) * 4.0 + 10.0
+
+
+def _cost(name, seconds=1.0, source="op-count"):
+    return WorkloadCost(workload=name, seconds=seconds, source=source,
+                        raw_units=1.0)
+
+
+def _filled(rng, n, budget_s=5.0):
+    sub = AdaptiveSubsetter(budget_s=budget_s)
+    for i in range(n):
+        sub.observe_row(f"wl-{i:02d}", _row(rng), _cost(f"wl-{i:02d}"))
+    return sub
+
+
+class TestPool:
+    def test_invalid_budget_raises(self):
+        for budget in (0, -2.0, float("nan")):
+            with pytest.raises(SubsetError):
+                AdaptiveSubsetter(budget_s=budget)
+
+    def test_too_small_pool_raises(self, rng):
+        sub = _filled(rng, 2)
+        with pytest.raises(SubsetError, match="at least"):
+            sub.selection()
+
+    def test_bad_row_shape_raises(self, rng):
+        sub = AdaptiveSubsetter(budget_s=5.0)
+        with pytest.raises(SubsetError, match="shape"):
+            sub.observe_row("x", np.zeros(3), _cost("x"))
+
+    def test_reobserving_updates_row_not_pool_size(self, rng):
+        sub = _filled(rng, 4)
+        sub.observe_row("wl-01", _row(rng), _cost("wl-01"))
+        assert len(sub) == 4
+
+    def test_observe_accepts_characterization(self, timeline_suite):
+        sub = AdaptiveSubsetter(budget_s=1e6)
+        for char in timeline_suite.characterizations[:4]:
+            sub.observe(char)
+        selected = sub.selection()
+        assert selected.measured_costs == 4
+        expected = estimate_cost(timeline_suite.characterizations[0])
+        assert sub._costs[expected.workload].seconds == expected.seconds
+
+
+class TestHistoryReuse:
+    def test_measured_cost_survives_fallback_reobservation(self, rng):
+        sub = _filled(rng, 4)
+        row = _row(rng)
+        sub.observe_row("wl-00", row, _cost("wl-00", 7.5, source="timeline"))
+        sub.observe_row("wl-00", row, _cost("wl-00", 0.2))
+        kept = sub._costs["wl-00"]
+        assert kept.measured
+        assert kept.seconds == 7.5
+
+    def test_measured_cost_updates_on_new_measurement(self, rng):
+        sub = _filled(rng, 4)
+        row = _row(rng)
+        sub.observe_row("wl-00", row, _cost("wl-00", 7.5, source="timeline"))
+        sub.observe_row("wl-00", row, _cost("wl-00", 3.0, source="timeline"))
+        # A fresh estimate never *upgrades* over a measurement, but two
+        # measurements: the first one sticks (stable selection history).
+        assert sub._costs["wl-00"].seconds == 7.5
+
+
+class TestRevisions:
+    def test_selection_is_cached_until_new_data(self, rng):
+        sub = _filled(rng, 5)
+        first = sub.selection()
+        assert sub.selection() is first
+        sub.observe_row("wl-99", _row(rng), _cost("wl-99"))
+        second = sub.selection()
+        assert second.revision == first.revision + 1
+
+    def test_entered_and_left_track_membership(self, rng):
+        sub = _filled(rng, 5, budget_s=3.0)
+        first = sub.selection()
+        assert set(first.entered) == set(first.selection.workloads)
+        assert first.left == ()
+        for i in range(5, 12):
+            sub.observe_row(f"wl-{i:02d}", _row(rng), _cost(f"wl-{i:02d}"))
+        second = sub.selection()
+        previous = set(first.selection.workloads)
+        current = set(second.selection.workloads)
+        assert set(second.entered) == current - previous
+        assert set(second.left) == previous - current
+
+    def test_same_observation_sequence_is_deterministic(self, rng):
+        rows = [_row(rng) for _ in range(8)]
+        outcomes = []
+        for _ in range(2):
+            sub = AdaptiveSubsetter(budget_s=4.0)
+            for i, row in enumerate(rows):
+                sub.observe_row(f"wl-{i:02d}", row, _cost(f"wl-{i:02d}"))
+            outcomes.append(sub.selection().selection.workloads)
+        assert outcomes[0] == outcomes[1]
+
+
+class TestIncrementalScoring:
+    def test_projection_used_between_refits(self, rng):
+        sub = _filled(rng, 6)
+        sub.selection()
+        fitted = sub._fitted_rows
+        # Below the refit growth threshold: basis must be reused.
+        sub.observe_row("wl-90", _row(rng), _cost("wl-90"))
+        sub.selection()
+        assert sub._fitted_rows == fitted
+        # Doubling the pool forces a refit.
+        for i in range(91, 91 + fitted):
+            sub.observe_row(f"wl-{i}", _row(rng), _cost(f"wl-{i}"))
+        sub.selection()
+        assert sub._fitted_rows > fitted
+
+    def test_explicit_refit_rescores_everything(self, rng):
+        sub = _filled(rng, 6)
+        sub.selection()
+        sub.refit()
+        sub.selection()
+        assert sub._fitted_rows == len(sub)
+
+    def test_refit_and_projection_agree_on_fitting_rows(self, rng):
+        """Rows the basis was fitted on project to their own scores, so
+        the incremental path is consistent with the refit path."""
+        sub = _filled(rng, 6)
+        sub.selection()
+        refit_scores = np.array(sub._scores)
+        sub._dirty = True  # force re-scoring without new rows
+        sub.selection()
+        assert np.allclose(np.array(sub._scores), refit_scores)

@@ -1,0 +1,108 @@
+"""Cost model: timeline-measured costs, calibrated fallback, persistence."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import SubsetError
+from repro.service.store import ResultStore
+from repro.subset.cost import (
+    MIN_COST_S,
+    WorkloadCost,
+    cost_store_key,
+    estimate_cost,
+    estimate_costs,
+    load_costs,
+    persist_costs,
+)
+
+
+class TestEstimateCost:
+    def test_timeline_cost_is_measured_duration(self, timeline_suite):
+        char = timeline_suite.characterizations[0]
+        cost = estimate_cost(char)
+        assert cost.source == "timeline"
+        assert cost.measured
+        assert cost.seconds == pytest.approx(char.timeline.duration_ms / 1e3)
+        assert cost.workload == char.name
+
+    def test_without_timeline_falls_back_to_op_count(self, timeline_suite):
+        char = replace(timeline_suite.characterizations[0], timeline=None)
+        cost = estimate_cost(char)
+        assert cost.source == "op-count"
+        assert not cost.measured
+        assert cost.seconds == cost.raw_units >= MIN_COST_S
+
+    def test_raw_units_kept_on_both_sources(self, timeline_suite):
+        char = timeline_suite.characterizations[0]
+        with_timeline = estimate_cost(char)
+        without = estimate_cost(replace(char, timeline=None))
+        assert with_timeline.raw_units == without.raw_units
+
+    def test_costs_positive_for_all_workloads(self, timeline_suite):
+        for char in timeline_suite.characterizations:
+            assert estimate_cost(char).seconds > 0
+
+
+class TestEstimateCosts:
+    def test_mixed_batch_calibrates_fallback(self, timeline_suite):
+        chars = list(timeline_suite.characterizations)
+        # Strip the timeline off the last workload: its fallback must be
+        # rescaled onto the measured population's scale.
+        stripped = replace(chars[-1], timeline=None)
+        batch = chars[:-1] + [stripped]
+        costs = estimate_costs(batch)
+
+        measured = [c for c in costs[:-1]]
+        assert all(c.measured for c in measured)
+        fallback = costs[-1]
+        assert fallback.source == "op-count"
+
+        ratios = sorted(c.seconds / c.raw_units for c in measured)
+        mid = len(ratios) // 2
+        alpha = (
+            ratios[mid]
+            if len(ratios) % 2
+            else 0.5 * (ratios[mid - 1] + ratios[mid])
+        )
+        assert fallback.seconds == pytest.approx(
+            max(MIN_COST_S, fallback.raw_units * alpha)
+        )
+
+    def test_all_fallback_batch_is_uncalibrated(self, timeline_suite):
+        batch = [
+            replace(c, timeline=None) for c in timeline_suite.characterizations
+        ]
+        costs = estimate_costs(batch)
+        assert all(c.seconds == c.raw_units for c in costs)
+
+    def test_empty_batch_raises(self):
+        with pytest.raises(SubsetError):
+            estimate_costs([])
+
+    def test_duplicate_names_raise(self, timeline_suite):
+        char = timeline_suite.characterizations[0]
+        with pytest.raises(SubsetError):
+            estimate_costs([char, char])
+
+
+class TestPersistence:
+    def test_round_trip(self, timeline_suite, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        costs = estimate_costs(timeline_suite.characterizations)
+        persist_costs(store, "suite-key", costs)
+        assert load_costs(store, "suite-key") == costs
+
+    def test_miss_returns_none(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert load_costs(store, "absent") is None
+
+    def test_key_is_namespaced(self):
+        assert cost_store_key("abc") != "abc"
+
+    def test_dict_round_trip(self):
+        cost = WorkloadCost(workload="H-Sort", seconds=2.5, source="timeline",
+                            raw_units=1.0)
+        assert WorkloadCost.from_dict(cost.to_dict()) == cost

@@ -1,0 +1,183 @@
+"""Greedy submodular selector: objective, CELF, budgets, determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SubsetError
+from repro.subset.select import (
+    BudgetedSelection,
+    coverage_of,
+    greedy_ranking,
+    select_budgeted,
+    similarity_matrix,
+)
+from repro.subset.cost import WorkloadCost
+
+
+def _pool(rng, n=14, dims=3, cost_lo=0.5, cost_hi=4.0):
+    points = rng.normal(size=(n, dims))
+    labels = tuple(f"wl-{i:02d}" for i in range(n))
+    costs = tuple(
+        WorkloadCost(
+            workload=label,
+            seconds=float(cost_lo + rng.random() * (cost_hi - cost_lo)),
+            source="op-count",
+            raw_units=1.0,
+        )
+        for label in labels
+    )
+    return points, labels, costs
+
+
+def _uniform_costs(labels, seconds=1.0):
+    return tuple(
+        WorkloadCost(workload=label, seconds=seconds, source="op-count",
+                     raw_units=1.0)
+        for label in labels
+    )
+
+
+class TestSimilarity:
+    def test_self_similarity_is_one(self, rng):
+        sim = similarity_matrix(rng.normal(size=(6, 2)))
+        assert np.allclose(np.diag(sim), 1.0)
+
+    def test_farthest_pair_has_zero_similarity(self, rng):
+        sim = similarity_matrix(rng.normal(size=(6, 2)))
+        assert sim.min() == pytest.approx(0.0)
+
+    def test_degenerate_pool_is_all_ones(self):
+        sim = similarity_matrix(np.zeros((4, 3)))
+        assert np.all(sim == 1.0)
+
+    def test_coverage_bounds(self, rng):
+        sim = similarity_matrix(rng.normal(size=(8, 2)))
+        assert coverage_of(sim, []) == 0.0
+        assert coverage_of(sim, range(8)) == pytest.approx(1.0)
+
+
+class TestGreedyRanking:
+    def test_ranks_whole_pool(self, rng):
+        points, labels, costs = _pool(rng)
+        ranking = greedy_ranking(points, labels, costs)
+        assert sorted(entry.workload for entry in ranking) == sorted(labels)
+
+    def test_cumulative_coverage_reaches_one(self, rng):
+        points, labels, costs = _pool(rng)
+        ranking = greedy_ranking(points, labels, costs)
+        assert ranking[-1].cumulative_coverage == pytest.approx(1.0)
+
+    def test_cumulative_coverage_matches_objective(self, rng):
+        """CELF's telescoped gains must equal coverage computed directly."""
+        points, labels, costs = _pool(rng)
+        ranking = greedy_ranking(points, labels, costs)
+        sim = similarity_matrix(points)
+        for size in (1, 3, len(ranking)):
+            prefix = ranking[:size]
+            direct = coverage_of(sim, [entry.index for entry in prefix])
+            assert prefix[-1].cumulative_coverage == pytest.approx(direct)
+
+    def test_greedy_beats_or_matches_any_singleton(self, rng):
+        """The first pick maximizes gain/cost over all candidates."""
+        points, labels, costs = _pool(rng)
+        ranking = greedy_ranking(points, labels, costs)
+        sim = similarity_matrix(points)
+        by_label = {cost.workload: cost.seconds for cost in costs}
+        first = ranking[0]
+        best_ratio = first.gain / first.cost_s
+        for j, label in enumerate(labels):
+            ratio = coverage_of(sim, [j]) / by_label[label]
+            assert ratio <= best_ratio + 1e-12
+
+    def test_deterministic_across_runs(self, rng):
+        points, labels, costs = _pool(rng)
+        assert greedy_ranking(points, labels, costs) == greedy_ranking(
+            points, labels, costs
+        )
+
+    def test_tie_breaks_by_name(self):
+        """Four identical points at identical cost: greedy order is
+        alphabetical, never dict/heap insertion order."""
+        points = np.zeros((4, 2))
+        labels = ("delta", "bravo", "alpha", "charlie")
+        ranking = greedy_ranking(points, labels, _uniform_costs(labels))
+        assert ranking[0].workload == "alpha"
+        assert [entry.workload for entry in ranking] == sorted(labels)
+
+    def test_mismatched_rows_raise(self, rng):
+        points, labels, costs = _pool(rng)
+        with pytest.raises(SubsetError):
+            greedy_ranking(points[:-1], labels, costs)
+
+    def test_nonpositive_cost_raises(self, rng):
+        points, labels, costs = _pool(rng)
+        bad = (WorkloadCost(labels[0], 0.0, "op-count", 1.0),) + costs[1:]
+        with pytest.raises(SubsetError):
+            greedy_ranking(points, labels, bad)
+
+
+class TestSelectBudgeted:
+    def test_selection_fits_budget(self, rng):
+        points, labels, costs = _pool(rng)
+        total = sum(cost.seconds for cost in costs)
+        selection = select_budgeted(points, labels, costs, 0.4 * total)
+        assert selection.cost_s <= 0.4 * total
+        assert 0 < len(selection.picks) < len(labels)
+
+    def test_budgets_nest_and_coverage_is_monotone(self, rng):
+        points, labels, costs = _pool(rng)
+        total = sum(cost.seconds for cost in costs)
+        previous: BudgetedSelection | None = None
+        for fraction in (0.15, 0.3, 0.45, 0.6, 0.8, 1.0):
+            selection = select_budgeted(points, labels, costs, fraction * total)
+            if previous is not None:
+                n = len(previous.picks)
+                assert selection.workloads[:n] == previous.workloads
+                assert selection.coverage >= previous.coverage
+            previous = selection
+
+    def test_full_budget_selects_everything(self, rng):
+        points, labels, costs = _pool(rng)
+        total = sum(cost.seconds for cost in costs)
+        selection = select_budgeted(points, labels, costs, total)
+        assert len(selection.picks) == len(labels)
+        assert selection.coverage == pytest.approx(1.0)
+
+    def test_ranking_reuse_matches_fresh_selection(self, rng):
+        points, labels, costs = _pool(rng)
+        ranking = greedy_ranking(points, labels, costs)
+        total = sum(cost.seconds for cost in costs)
+        budget = 0.5 * total
+        reused = select_budgeted(points, labels, costs, budget, ranking=ranking)
+        fresh = select_budgeted(points, labels, costs, budget)
+        assert reused.workloads == fresh.workloads
+        assert reused.coverage == fresh.coverage
+
+    @pytest.mark.parametrize("budget", [0, -1.0, float("nan"), float("inf")])
+    def test_invalid_budget_raises(self, rng, budget):
+        points, labels, costs = _pool(rng)
+        with pytest.raises(SubsetError):
+            select_budgeted(points, labels, costs, budget)
+
+    def test_non_numeric_budget_raises(self, rng):
+        points, labels, costs = _pool(rng)
+        with pytest.raises(SubsetError):
+            select_budgeted(points, labels, costs, "120")
+
+    def test_budget_below_cheapest_raises(self, rng):
+        points, labels, costs = _pool(rng)
+        cheapest = min(cost.seconds for cost in costs)
+        with pytest.raises(SubsetError, match="cheapest"):
+            select_budgeted(points, labels, costs, cheapest / 2)
+
+    def test_to_dict_is_json_safe(self, rng):
+        import json
+
+        points, labels, costs = _pool(rng)
+        total = sum(cost.seconds for cost in costs)
+        selection = select_budgeted(points, labels, costs, 0.5 * total)
+        payload = json.loads(json.dumps(selection.to_dict()))
+        assert payload["n_selected"] == len(selection.picks)
+        assert payload["selected"][0]["workload"] == selection.workloads[0]

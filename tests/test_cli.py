@@ -92,6 +92,50 @@ class TestReport:
         assert "0 timelines" in capsys.readouterr().out
 
 
+class TestSubset:
+    ARGS = ["subset", "--limit", "6", "--scale", "0.2", "--cores", "2",
+            "--ops", "1200", "--timeline-interval", "2"]
+
+    def test_budgeted_table_lists_costs_and_coverage(self, capsys):
+        code = main(self.ARGS + ["--budget", "1e9"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cum coverage" in out
+        assert "timeline" in out  # measured costs, from the sampler
+        assert "selected 6/6 workloads" in out
+        assert "coverage 1.0000" in out
+
+    def test_budgeted_selection_is_deterministic(self, capsys):
+        assert main(self.ARGS + ["--budget", "0.5"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS + ["--budget", "0.5"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_negative_budget_exits_2(self, capsys):
+        assert main(["subset", "--budget", "-3"]) == EXIT_USAGE
+        assert "positive" in capsys.readouterr().err
+
+    def test_budget_below_cheapest_exits_2(self, capsys):
+        assert main(self.ARGS + ["--budget", "1e-12"]) == EXIT_USAGE
+        assert "cheapest" in capsys.readouterr().err
+
+    def test_k_path_prints_representatives(self, capsys):
+        code = main(self.ARGS + ["--k", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "K = 3 clusters" in out
+        assert "dist to center" in out
+
+    def test_bad_k_exits_2(self, capsys):
+        assert main(self.ARGS + ["--k", "99"]) == EXIT_USAGE
+        assert "--k must be in" in capsys.readouterr().err
+
+    def test_budget_and_k_are_mutually_exclusive(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["subset", "--budget", "1", "--k", "3"])
+        assert excinfo.value.code == EXIT_USAGE
+
+
 class TestServe:
     def test_help_exits_zero_and_documents_flags(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
