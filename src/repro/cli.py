@@ -247,7 +247,9 @@ def _collection(args: argparse.Namespace):
         scale=args.scale,
         seed=args.seed,
         measurement=_measurement(args),
-        workers=args.workers,
+        # serve repurposes --workers for server processes; its
+        # per-collection fan-out arrives as --collection-workers.
+        workers=getattr(args, "collection_workers", None) or args.workers,
         faults=plan,
         timeline=_timeline(args),
         flight_capacity=getattr(args, "flight_capacity", None),
@@ -474,11 +476,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     collection = _collection(args)
     if isinstance(collection, int):
         return collection
+    if args.workers > 1:
+        from repro.service.store import resolve_cache_dir
+
+        if resolve_cache_dir(args.cache_dir) is None:
+            print(
+                "repro: serve --workers > 1 needs --cache-dir (or "
+                "$REPRO_CACHE_DIR): the store is the workers' shared state",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
     config = ServiceConfig(
         collection=collection,
         cache_dir=args.cache_dir,
-        workers=args.workers,
+        workers=args.collection_workers,
     )
+    if args.workers > 1:
+        return _serve_prefork(args, config, log)
     server = serve(config, host=args.host, port=args.port, verbose=args.verbose)
     host, port = server.server_address[:2]
     print(f"repro characterization service on http://{host}:{port}")
@@ -509,6 +523,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         server.shutdown()
         server.server_close()
         server.service.close()
+        log.info("service stopped", extra={"port": port})
+    return 0
+
+
+def _serve_prefork(args: argparse.Namespace, config, log) -> int:
+    """``repro serve --workers N``: N pre-fork server processes."""
+    from repro.service.store import resolve_cache_dir
+    from repro.service.supervisor import Supervisor
+
+    try:
+        supervisor = Supervisor(
+            config,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            verbose=args.verbose,
+        )
+        host, port = supervisor.start()
+    except ReproError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    print(
+        f"repro characterization service on http://{host}:{port} "
+        f"({args.workers} workers)"
+    )
+    print(f"store: {resolve_cache_dir(args.cache_dir)}")
+
+    def _request_shutdown(signum: int, _frame) -> None:
+        log.info("shutdown signal received", extra={"signal": signum})
+        supervisor.request_stop()
+
+    try:
+        signal.signal(signal.SIGINT, _request_shutdown)
+        signal.signal(signal.SIGTERM, _request_shutdown)
+    except ValueError:  # pragma: no cover - only off the main thread
+        pass
+    try:
+        supervisor.run_forever()
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
+        pass
+    except ReproError as error:
+        print(f"repro: {error}", file=sys.stderr)
+        supervisor.shutdown()
+        return 1
+    finally:
+        print("\nshutting down")
+        supervisor.shutdown()
         log.info("service stopped", extra={"port": port})
     return 0
 
@@ -666,9 +727,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_common(serve_parser)
     _add_measurement(serve_parser)
-    _add_workers(serve_parser)
     _add_faults(serve_parser)
     _add_timeline(serve_parser)
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="server processes sharing the listen socket (pre-fork; "
+        ">1 needs a shared --cache-dir)",
+    )
+    serve_parser.add_argument(
+        "--collection-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes *within* one collection (1 = serial; any "
+        "value yields a bit-identical matrix)",
+    )
     serve_parser.add_argument("--host", default="127.0.0.1", help="bind address")
     serve_parser.add_argument(
         "--port", type=int, default=8321, help="TCP port (0 picks a free one)"

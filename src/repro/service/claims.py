@@ -1,0 +1,306 @@
+"""Cross-process single-flight via on-disk claim records.
+
+The in-process :class:`~repro.service.jobs.JobManager` already
+deduplicates identical collection requests; claim records extend that
+guarantee across *processes* sharing one store directory (the pre-fork
+service workers).  Before running a collection, a worker must hold the
+key's claim:
+
+``<store root>/claims/<key>.claim``
+    One JSON record — owner token, pid, host, claim time, TTL — created
+    with ``O_CREAT | O_EXCL`` so exactly one process wins.  Losers wait
+    for the claim to clear and then hydrate the winner's result from
+    the store instead of re-running engines.
+
+``<store root>/claims/runs.log``
+    Append-only journal of *actual* (non-hydrated) collection runs, one
+    JSON line per run.  A key appearing twice is a duplicate
+    characterization — the thing this module exists to prevent — and
+    increments ``repro_duplicate_collections_total``.  The service
+    benchmark asserts the log stays duplicate-free under many-client,
+    many-worker load.
+
+Staleness: a claim whose TTL has expired, or whose owning pid is dead
+on this host, is *broken* (removed under the registry's file lock) so a
+crashed claimant never wedges the fleet.  Live claimants running long
+collections call :meth:`ClaimRegistry.refresh` from their progress
+callback to push the TTL window forward.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs.log import get_logger
+from repro.obs.metrics import REGISTRY
+from repro.service.locking import FileLock
+
+__all__ = ["Claim", "ClaimRegistry"]
+
+_log = get_logger("repro.service.claims")
+
+_CLAIMS_ACQUIRED = REGISTRY.counter(
+    "repro_claims_acquired_total",
+    "Cross-process collection claims successfully acquired",
+)
+_CLAIMS_WAITED = REGISTRY.counter(
+    "repro_claims_waited_total",
+    "Claim acquisitions that found a live sibling claim and waited",
+)
+_CLAIMS_BROKEN = REGISTRY.counter(
+    "repro_claims_broken_total",
+    "Stale claims (expired TTL or dead owner) broken by a taker-over",
+)
+_RUNS_RECORDED = REGISTRY.counter(
+    "repro_collections_run_total",
+    "Actual (non-hydrated) collections recorded in the shared run log",
+)
+_DUPLICATE_RUNS = REGISTRY.counter(
+    "repro_duplicate_collections_total",
+    "Collections that ran for a key the shared run log had already seen",
+)
+
+
+@dataclass(frozen=True)
+class Claim:
+    """A held claim: proof this process may run ``key``'s collection."""
+
+    key: str
+    token: str
+    path: Path
+    acquired_s: float
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness of a pid on this host."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - alive, other user
+        return True
+    except OSError:  # pragma: no cover - defensive
+        return True
+    return True
+
+
+class ClaimRegistry:
+    """Claim records + run log under one shared store root.
+
+    Args:
+        root: The store directory the claims guard (claims live in a
+            ``claims/`` subdirectory of it).
+        ttl_s: Seconds a claim stays valid without a refresh; a claim
+            older than this is presumed crashed and may be broken.
+    """
+
+    def __init__(self, root: str | Path, ttl_s: float = 900.0) -> None:
+        self.root = Path(root)
+        self.ttl_s = float(ttl_s)
+        self._dir = self.root / "claims"
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._lock = FileLock(self._dir / "claims.lock")
+        self._runs_log = self._dir / "runs.log"
+        self._host = socket.gethostname()
+        self._thread_lock = threading.Lock()
+
+    def _path(self, key: str) -> Path:
+        return self._dir / f"{key}.claim"
+
+    def _load(self, path: Path) -> dict | None:
+        try:
+            record = json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return None
+        return record if isinstance(record, dict) else None
+
+    def _is_stale(self, record: dict) -> bool:
+        ttl = float(record.get("ttl_s", self.ttl_s))
+        age = time.time() - float(record.get("claimed_s", 0.0))
+        if age > ttl:
+            return True
+        pid = record.get("pid")
+        if (
+            record.get("host") == self._host
+            and isinstance(pid, int)
+            and not _pid_alive(pid)
+        ):
+            return True
+        return False
+
+    # -- claiming -------------------------------------------------------------
+
+    def acquire(self, key: str) -> Claim | None:
+        """Try to claim ``key``; ``None`` means a live sibling holds it.
+
+        A stale claim (expired or dead owner) is broken and the acquire
+        retried, so one crashed worker costs one TTL at most — not a
+        permanently wedged key.
+        """
+        token = f"{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        path = self._path(key)
+        for _attempt in range(8):
+            now = time.time()
+            record = {
+                "key": key,
+                "token": token,
+                "pid": os.getpid(),
+                "host": self._host,
+                "claimed_s": now,
+                "ttl_s": self.ttl_s,
+            }
+            try:
+                fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+            except FileExistsError:
+                holder = self._load(path)
+                if holder is not None and not self._is_stale(holder):
+                    return None
+                with self._lock:
+                    # Re-check under the lock: only one process breaks it.
+                    holder = self._load(path)
+                    if holder is None:
+                        continue  # released meanwhile; retry the O_EXCL
+                    if not self._is_stale(holder):
+                        return None
+                    path.unlink(missing_ok=True)
+                    _CLAIMS_BROKEN.inc()
+                    _log.warning(
+                        "broke stale claim",
+                        extra={"key": key, "stale_pid": holder.get("pid")},
+                    )
+                continue
+            try:
+                os.write(fd, json.dumps(record, sort_keys=True).encode())
+            finally:
+                os.close(fd)
+            _CLAIMS_ACQUIRED.inc()
+            return Claim(key=key, token=token, path=path, acquired_s=now)
+        return None  # pragma: no cover - pathological churn
+
+    def refresh(self, claim: Claim) -> None:
+        """Push the claim's TTL window forward (long collections call
+        this from their progress feed)."""
+        with self._lock:
+            record = self._load(claim.path)
+            if record is None or record.get("token") != claim.token:
+                return  # broken by a sibling; nothing left to refresh
+            record["claimed_s"] = time.time()
+            tmp = claim.path.with_suffix(".claim.tmp")
+            tmp.write_text(json.dumps(record, sort_keys=True))
+            os.replace(tmp, claim.path)
+
+    def release(self, claim: Claim) -> None:
+        """Drop the claim if we still own it (token-verified)."""
+        with self._lock:
+            record = self._load(claim.path)
+            if record is not None and record.get("token") == claim.token:
+                claim.path.unlink(missing_ok=True)
+
+    def holder(self, key: str) -> dict | None:
+        """The live claim record for ``key``, or ``None``."""
+        record = self._load(self._path(key))
+        if record is None or self._is_stale(record):
+            return None
+        return record
+
+    def wait(
+        self,
+        key: str,
+        timeout: float,
+        poll_s: float = 0.05,
+        cancel: threading.Event | None = None,
+    ) -> bool:
+        """Block until ``key`` has no live claim (returns ``True``) or
+        ``timeout``/``cancel`` interrupts the wait (``False``).
+
+        A claim that goes stale while we wait is broken here — the
+        waiter is exactly the process that should take over a crashed
+        claimant's work.
+        """
+        _CLAIMS_WAITED.inc()
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self._load(self._path(key))
+            if record is None:
+                return True
+            if self._is_stale(record):
+                with self._lock:
+                    again = self._load(self._path(key))
+                    if again is not None and self._is_stale(again):
+                        self._path(key).unlink(missing_ok=True)
+                        _CLAIMS_BROKEN.inc()
+                return True
+            if cancel is not None and cancel.is_set():
+                return False
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return False
+            if cancel is not None:
+                cancel.wait(min(poll_s, remaining))
+            else:
+                time.sleep(min(poll_s, remaining))
+
+    # -- run accounting -------------------------------------------------------
+
+    def record_run(self, key: str) -> bool:
+        """Journal one actual collection run; returns ``False`` (and
+        bumps the duplicate counter) if ``key`` had already run."""
+        with self._thread_lock, self._lock:
+            duplicate = any(run["key"] == key for run in self.runs())
+            line = json.dumps(
+                {
+                    "key": key,
+                    "pid": os.getpid(),
+                    "host": self._host,
+                    "t_s": round(time.time(), 3),
+                },
+                sort_keys=True,
+            )
+            with open(self._runs_log, "a+", encoding="utf-8") as handle:
+                # A writer that crashed mid-line leaves a torn tail with
+                # no newline; appending straight after it would fuse the
+                # two records into one unparseable line.  Terminate the
+                # orphan first so this record survives on its own line.
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() > 0:
+                    handle.seek(handle.tell() - 1)
+                    if handle.read(1) != "\n":
+                        handle.write("\n")
+                handle.write(line + "\n")
+        _RUNS_RECORDED.inc()
+        if duplicate:
+            _DUPLICATE_RUNS.inc()
+            _log.warning("duplicate collection run", extra={"key": key})
+        return not duplicate
+
+    def runs(self) -> list[dict]:
+        """Every journaled run, in append order."""
+        try:
+            text = self._runs_log.read_text()
+        except FileNotFoundError:
+            return []
+        runs = []
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail of a crashed writer
+            if isinstance(record, dict) and "key" in record:
+                runs.append(record)
+        return runs
+
+    def duplicate_runs(self) -> dict[str, int]:
+        """Keys that ran more than once, mapped to their run counts."""
+        counts: dict[str, int] = {}
+        for run in self.runs():
+            counts[run["key"]] = counts.get(run["key"], 0) + 1
+        return {key: count for key, count in counts.items() if count > 1}

@@ -13,6 +13,7 @@ so polling the service costs headers, not bodies.
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.parse
@@ -53,6 +54,7 @@ class ServiceClient:
         base_url: str,
         timeout: float = 600.0,
         correlation_id: str | None = None,
+        jitter_seed: int | None = None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
@@ -61,6 +63,11 @@ class ServiceClient:
         self.correlation_id = correlation_id
         #: path -> (etag, decoded payload); hit on 304 responses.
         self._cache: dict[str, tuple[str, object]] = {}
+        #: Backoff randomness for the polling fallback.  Seedable so
+        #: tests can assert the exact interval sequence; unseeded
+        #: clients each get their own stream, which is the point —
+        #: a fleet of pollers must not fall into lockstep.
+        self._jitter = random.Random(jitter_seed)
 
     # -- plumbing -------------------------------------------------------------
 
@@ -260,11 +267,27 @@ class ServiceClient:
             )
         return snapshot
 
+    #: Backoff ceiling for the polling fallback, seconds.
+    _POLL_CAP_S = 2.0
+
+    def _next_poll_interval(self, base: float, previous: float) -> float:
+        """Decorrelated-jitter backoff (AWS style): each interval is
+        uniform over ``[base, 3 * previous]``, capped.
+
+        Unlike deterministic doubling, a stampede of clients that all
+        started polling in the same millisecond (job submitted by one,
+        awaited by hundreds) spreads out instead of hammering the
+        service in synchronized waves.
+        """
+        upper = max(base, min(self._POLL_CAP_S, previous * 3.0))
+        return self._jitter.uniform(base, upper)
+
     def _poll_until_terminal(
         self, job_id: str, deadline: float, poll_interval: float
     ) -> None:
-        """Fallback: poll the job snapshot with exponential backoff."""
-        interval = max(poll_interval, 1e-3)
+        """Fallback: poll the job snapshot with jittered backoff."""
+        base = max(poll_interval, 1e-3)
+        interval = base
         while True:
             snapshot = self.job(job_id)
             if snapshot.get("state") in TERMINAL_JOB_STATES:
@@ -273,7 +296,7 @@ class ServiceClient:
             if remaining <= 0:
                 return  # wait_for_job raises on the final snapshot check
             time.sleep(min(interval, remaining))
-            interval = min(interval * 2.0, 2.0)
+            interval = self._next_poll_interval(base, interval)
 
 
 def _parse_sse(response) -> Iterator[dict]:

@@ -18,26 +18,41 @@ Job lifecycle::
 Cancellation is cooperative: the collection checks the job's cancel
 event between workloads, so an in-flight workload finishes but no new
 one starts.
+
+Cross-process behaviour (the pre-fork service plane): job ids embed a
+per-manager instance token so ids never collide across workers; every
+lifecycle event persists the job's snapshot to ``<store root>/jobs/``
+(atomic writes), so any sibling worker can serve ``/jobs/<id>`` and
+replay ``/jobs/<id>/events`` for a job it does not own; and before a
+job *collects* it must win the key's cross-process claim
+(:mod:`repro.service.claims`) — losers wait for the winner and hydrate
+its stored result, so two workers never run the same characterization.
 """
 
 from __future__ import annotations
 
 import enum
+import json
+import os
 import threading
 import time
+import uuid
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.cluster.collection import (
     CollectionConfig,
     characterize_suite,
+    collection_runs,
     suite_store_key,
 )
 from repro.errors import CollectionCancelled, ServiceError
 from repro.obs.log import get_logger
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import Tracer, span as obs_span, tracing
-from repro.service.store import ResultStore
+from repro.service.claims import ClaimRegistry
+from repro.service.store import ResultStore, _atomic_write
 from repro.workloads.base import Workload
 from repro.workloads.suite import workload_by_name
 
@@ -139,11 +154,16 @@ class Job:
     correlations: list = field(default_factory=list)
     _done: threading.Event = field(default_factory=threading.Event, repr=False)
     _cancel: threading.Event = field(default_factory=threading.Event, repr=False)
+    #: Set by the manager: persists the snapshot for sibling workers
+    #: (and polls their cancel markers) after every lifecycle event.
+    _on_note: object = field(default=None, repr=False)
 
     def note(self, event: str, **detail) -> None:
         """Append one lifecycle event (caller holds the manager lock or
         is the single worker thread driving this job)."""
         self.events.append({"t_s": round(time.time(), 3), "event": event, **detail})
+        if self._on_note is not None:
+            self._on_note(self)
 
     def snapshot(self) -> dict:
         """A JSON-safe view of the job (what ``/jobs/<id>`` serves)."""
@@ -190,6 +210,14 @@ class JobManager:
             ``job:<id>`` span carrying the attached correlation ids.
             Explicitly activated on the worker thread — ContextVars do
             not cross thread boundaries on their own.
+        instance: Short token embedded in every job id so ids from
+            sibling worker processes never collide (default: pid plus
+            random suffix).
+        claims: Cross-process single-flight registry; ``None`` builds
+            one rooted at the store (pass ``claims=False``-like behavior
+            by sharing a registry explicitly in tests).
+        claim_ttl_s: TTL of collection claims (crashed claimants are
+            taken over after this long without a refresh).
     """
 
     def __init__(
@@ -201,6 +229,9 @@ class JobManager:
         max_attempts: int = 3,
         retry_backoff_s: float = 0.05,
         tracer: Tracer | None = None,
+        instance: str | None = None,
+        claims: ClaimRegistry | None = None,
+        claim_ttl_s: float = 900.0,
     ) -> None:
         if max_attempts < 1:
             raise ServiceError("max_attempts must be at least 1")
@@ -210,6 +241,12 @@ class JobManager:
         self.max_attempts = max_attempts
         self.retry_backoff_s = retry_backoff_s
         self.tracer = tracer
+        self.instance = instance or f"{os.getpid():x}-{uuid.uuid4().hex[:4]}"
+        self.claims = claims or ClaimRegistry(store.root, ttl_s=claim_ttl_s)
+        #: Shared snapshot directory: any sibling worker sharing the
+        #: store can serve (and follow) this manager's jobs from here.
+        self.shared_dir = Path(store.root) / "jobs"
+        self.shared_dir.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}
         self._by_key: dict[str, Job] = {}
@@ -259,11 +296,12 @@ class JobManager:
                 return live
             self._counter += 1
             job = Job(
-                id=f"job-{self._counter:06d}",
+                id=f"job-{self.instance}-{self._counter:06d}",
                 key=key,
                 workloads=tuple(w.name for w in workloads),
                 total_workloads=len(workloads),
             )
+            job._on_note = self._persist_snapshot
             if correlation_id:
                 job.correlations.append(correlation_id)
                 job.note("queued", correlation=correlation_id)
@@ -315,6 +353,88 @@ class JobManager:
             job._cancel.set()
         return True
 
+    # -- shared snapshots (cross-worker job visibility) ------------------------
+
+    def _snapshot_path(self, job_id: str) -> Path:
+        return self.shared_dir / f"{job_id}.json"
+
+    def _cancel_marker(self, job_id: str) -> Path:
+        return self.shared_dir / f"{job_id}.cancel"
+
+    def _persist_snapshot(self, job: Job) -> None:
+        """Write the job's snapshot for sibling workers (atomic), and
+        honor any cancel marker a sibling left for it."""
+        try:
+            _atomic_write(
+                self._snapshot_path(job.id),
+                json.dumps(job.snapshot(), sort_keys=True).encode("utf-8"),
+            )
+        except OSError:  # pragma: no cover - snapshot loss is non-fatal
+            _log.warning("failed to persist job snapshot", extra={"job": job.id})
+        if job.state in _LIVE and self._cancel_marker(job.id).exists():
+            job._cancel.set()
+
+    def load_shared(self, job_id: str) -> dict | None:
+        """A job snapshot persisted by this or a *sibling* worker.
+
+        Local jobs answer from memory (authoritative); everything else
+        reads the shared snapshot directory.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is not None:
+            return job.snapshot()
+        try:
+            return json.loads(self._snapshot_path(job_id).read_text())
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return None
+
+    def shared_jobs(self) -> list[dict]:
+        """Every snapshot in the shared directory (all workers' jobs),
+        with this manager's in-memory state overriding its own files."""
+        snapshots: dict[str, dict] = {}
+        try:
+            paths = sorted(self.shared_dir.glob("job-*.json"))
+        except OSError:  # pragma: no cover - defensive
+            paths = []
+        for path in paths:
+            try:
+                snapshot = json.loads(path.read_text())
+            except (json.JSONDecodeError, OSError):
+                continue  # torn write or vanished file: skip, not fail
+            if isinstance(snapshot, dict) and "id" in snapshot:
+                snapshots[snapshot["id"]] = snapshot
+        with self._lock:
+            for job in self._jobs.values():
+                snapshots[job.id] = job.snapshot()
+        ordered = sorted(
+            snapshots.values(), key=lambda s: (s.get("created_s", 0.0), s["id"])
+        )
+        return ordered
+
+    def request_shared_cancel(self, job_id: str) -> bool:
+        """Ask the (possibly sibling) owner of ``job_id`` to cancel.
+
+        Local live jobs cancel immediately; for a sibling's job a cancel
+        marker is left next to its snapshot — the owner polls it on its
+        next lifecycle event (i.e. between workloads, matching the
+        cooperative-cancel contract).  Returns whether the job was still
+        live when asked.
+        """
+        if self.cancel(job_id):
+            return True
+        snapshot = self.load_shared(job_id)
+        if snapshot is None or snapshot.get("state") not in (
+            JobState.QUEUED.value,
+            JobState.RUNNING.value,
+        ):
+            return False
+        try:
+            self._cancel_marker(job_id).touch()
+        except OSError:  # pragma: no cover - defensive
+            return False
+        return True
+
     def shutdown(self) -> None:
         """Cancel live jobs and stop the worker threads."""
         with self._lock:
@@ -329,12 +449,55 @@ class JobManager:
         # ContextVars do not propagate into executor threads: the
         # service tracer must be explicitly activated here so the job's
         # span (and everything the collection records) lands in it.
-        with tracing(self.tracer), obs_span(
-            f"job:{job.id}", "job",
-            workloads=len(workloads),
-            correlations=list(job.correlations),
-        ):
-            self._run_traced(job, workloads)
+        try:
+            with tracing(self.tracer), obs_span(
+                f"job:{job.id}", "job",
+                workloads=len(workloads),
+                correlations=list(job.correlations),
+            ):
+                self._run_traced(job, workloads)
+        finally:
+            # Release waiters only once the job span above has closed:
+            # a blocked characterize response must never beat the job's
+            # own trace event into the flight recorder.
+            job._done.set()
+
+    def _claim_or_wait(self, job: Job):
+        """Win ``job.key``'s cross-process claim, or wait the winner out.
+
+        Returns ``(claim, proceed)``: ``claim`` is held (and must be
+        released) when we won; ``proceed`` is ``False`` only when the
+        job was cancelled while waiting.  When a sibling finishes the
+        key meanwhile, we return ``(None, True)`` — the collection call
+        then hydrates the sibling's stored result instead of running.
+        """
+        waited = False
+        while True:
+            claim = self.claims.acquire(job.key)
+            if claim is not None:
+                return claim, True
+            if job._cancel.is_set():
+                return None, False
+            if not waited:
+                holder = self.claims.holder(job.key) or {}
+                job.note(
+                    "awaiting-sibling",
+                    holder_pid=holder.get("pid"),
+                    holder_host=holder.get("host"),
+                )
+                _log.info(
+                    "waiting on sibling's claim",
+                    extra={"job": job.id, "key": job.key,
+                           "holder_pid": holder.get("pid")},
+                )
+                waited = True
+            self.claims.wait(job.key, timeout=1.0, cancel=job._cancel)
+            if job._cancel.is_set():
+                return None, False
+            if self.store.etag(job.key) is not None:
+                # The sibling landed the result: no claim needed, the
+                # collection below is a pure store hydration.
+                return None, True
 
     def _run_traced(self, job: Job, workloads: tuple[Workload, ...]) -> None:
         with self._lock:
@@ -344,10 +507,20 @@ class JobManager:
             job.state = JobState.RUNNING
             job.note("running")
 
+        claim, proceed = self._claim_or_wait(job)
+        if not proceed:
+            with self._lock:
+                self._finish(job, JobState.CANCELLED)
+            return
+
         def progress(done: int, total: int) -> None:
             job.done_workloads = done
             job.total_workloads = total
             job.note("progress", done=done, total=total)
+            if claim is not None:
+                # Long collections push the claim's TTL window forward so
+                # siblings don't mistake slow progress for a crash.
+                self.claims.refresh(claim)
 
         def on_workload(characterization) -> None:
             detail: dict = {"workload": characterization.name}
@@ -361,63 +534,73 @@ class JobManager:
                 }
             job.note("workload-done", **detail)
 
-        while True:
-            job.attempts += 1
-            try:
-                result = characterize_suite(
-                    workloads,
-                    self.config,
-                    cache_dir=self.store.root,
-                    workers=self.workers,
-                    progress=progress,
-                    cancel=job._cancel,
-                    on_workload=on_workload,
-                )
-            except CollectionCancelled:
-                with self._lock:
-                    self._finish(job, JobState.CANCELLED)
-                return
-            except Exception as exc:  # a failed job must never kill its thread
-                job.error = f"{type(exc).__name__}: {exc}"
-                job.note("attempt-failed", attempt=job.attempts, error=job.error)
-                if job.attempts >= self.max_attempts:
-                    _log.error(
-                        "job failed",
-                        extra={"job": job.id, "attempts": job.attempts,
-                               "error": job.error},
+        try:
+            while True:
+                job.attempts += 1
+                runs_before = collection_runs()
+                try:
+                    result = characterize_suite(
+                        workloads,
+                        self.config,
+                        cache_dir=self.store.root,
+                        workers=self.workers,
+                        progress=progress,
+                        cancel=job._cancel,
+                        on_workload=on_workload,
                     )
-                    with self._lock:
-                        self._finish(job, JobState.FAILED)
-                    return
-                # Exponential backoff, interruptible by cancellation.
-                backoff = self.retry_backoff_s * 2 ** (job.attempts - 1)
-                _log.warning(
-                    "job attempt failed, retrying",
-                    extra={"job": job.id, "attempt": job.attempts,
-                           "backoff_s": backoff, "error": job.error},
-                )
-                job.note("retrying", attempt=job.attempts, backoff_s=backoff)
-                if job._cancel.wait(backoff):
+                except CollectionCancelled:
                     with self._lock:
                         self._finish(job, JobState.CANCELLED)
                     return
-            else:
-                with self._lock:
-                    job.done_workloads = job.total_workloads
-                    if not any(e["event"] == "progress" for e in job.events):
-                        # Memo/store hit: the collection skipped the
-                        # per-workload callbacks, but every job stream
-                        # still delivers submit → progress → done.
-                        job.note(
-                            "progress",
-                            done=job.total_workloads,
-                            total=job.total_workloads,
+                except Exception as exc:  # a failed job must never kill its thread
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    job.note("attempt-failed", attempt=job.attempts, error=job.error)
+                    if job.attempts >= self.max_attempts:
+                        _log.error(
+                            "job failed",
+                            extra={"job": job.id, "attempts": job.attempts,
+                                   "error": job.error},
                         )
-                    job.error = None
-                    job.etag = self.store.etag(job.key)
-                    job.faults = _fault_tally(result.characterizations)
-                    self._finish(job, JobState.DONE)
-                return
+                        with self._lock:
+                            self._finish(job, JobState.FAILED)
+                        return
+                    # Exponential backoff, interruptible by cancellation.
+                    backoff = self.retry_backoff_s * 2 ** (job.attempts - 1)
+                    _log.warning(
+                        "job attempt failed, retrying",
+                        extra={"job": job.id, "attempt": job.attempts,
+                               "backoff_s": backoff, "error": job.error},
+                    )
+                    job.note("retrying", attempt=job.attempts, backoff_s=backoff)
+                    if job._cancel.wait(backoff):
+                        with self._lock:
+                            self._finish(job, JobState.CANCELLED)
+                        return
+                else:
+                    if collection_runs() > runs_before:
+                        # This process actually ran engines (not a memo or
+                        # store hydration): journal it so duplicate
+                        # characterizations across the fleet are visible.
+                        self.claims.record_run(job.key)
+                    with self._lock:
+                        job.done_workloads = job.total_workloads
+                        if not any(e["event"] == "progress" for e in job.events):
+                            # Memo/store hit: the collection skipped the
+                            # per-workload callbacks, but every job stream
+                            # still delivers submit → progress → done.
+                            job.note(
+                                "progress",
+                                done=job.total_workloads,
+                                total=job.total_workloads,
+                            )
+                        job.error = None
+                        job.etag = self.store.etag(job.key)
+                        job.faults = _fault_tally(result.characterizations)
+                        self._finish(job, JobState.DONE)
+                    return
+        finally:
+            if claim is not None:
+                self.claims.release(claim)
 
     def _finish(self, job: Job, state: JobState) -> None:
         """Terminal transition (caller holds the lock)."""
@@ -437,4 +620,5 @@ class JobManager:
             # request hits the memo/store fast path (or retries a
             # failure) instead of attaching to a dead job.
             del self._by_key[job.key]
-        job._done.set()
+        # NB: job._done is deliberately NOT set here — _run() signals it
+        # after the job's tracer span exits, so waiters observe the span.

@@ -1,0 +1,189 @@
+"""Cross-process file locking for the shared store directory.
+
+Everything that more than one *process* may mutate concurrently — the
+result store's ``index.json``, the claim registry's records, the shared
+run log — is serialized through a :class:`FileLock`: an advisory
+``fcntl.flock`` on a dedicated lock file next to the protected data.
+
+Why ``flock`` and not the lock file's mere existence:
+
+- **Crash safety** — the kernel releases a flock when its holder dies,
+  so a worker killed mid-write never wedges the store.  An
+  existence-based lock needs staleness heuristics; flock needs none.
+- **Blocking waits** — waiters sleep in the kernel instead of polling.
+
+On the rare platform without :mod:`fcntl` (Windows), the class degrades
+to an ``O_CREAT | O_EXCL`` spin lock with mtime-based staleness — the
+same protocol the claim registry uses for its (longer-lived, content-
+bearing) claim records.
+
+Both layers compose with an in-process :class:`threading.RLock`:
+``flock`` is per open-file-description, so two threads of one process
+sharing the store instance must serialize *before* touching the file
+lock (a second ``flock`` on the same fd would silently succeed).
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import threading
+import time
+from pathlib import Path
+
+try:  # pragma: no cover - exercised indirectly on every Linux test run
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+from repro.errors import StoreError
+
+__all__ = ["FileLock"]
+
+#: Fallback (no-fcntl) spin parameters: poll cadence and the age at
+#: which an orphaned lock file is presumed dead and broken.
+_SPIN_INTERVAL_S = 0.002
+_STALE_FALLBACK_S = 30.0
+
+
+class FileLock:
+    """An advisory, reentrant, cross-process lock on one path.
+
+    Reentrant *per instance* (guarded by an internal RLock + depth
+    counter), so nested store operations in one thread do not deadlock,
+    while distinct threads and distinct processes fully exclude each
+    other.
+
+    Usage::
+
+        lock = FileLock(root / "index.lock")
+        with lock:
+            ... read-modify-write the protected files ...
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._thread_lock = threading.RLock()
+        self._depth = 0
+        self._fd: int | None = None
+
+    # -- context manager ------------------------------------------------------
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.release()
+
+    # -- acquisition ----------------------------------------------------------
+
+    def acquire(self, timeout: float | None = None) -> None:
+        """Block until the lock is held (reentrant for this thread).
+
+        Raises:
+            StoreError: If ``timeout`` (seconds) elapses first.
+        """
+        if not self._thread_lock.acquire(
+            timeout=-1 if timeout is None else timeout
+        ):
+            raise StoreError(f"timed out acquiring thread lock for {self.path}")
+        if self._depth:  # reentrant: the process lock is already ours
+            self._depth += 1
+            return
+        try:
+            if fcntl is not None:
+                self._acquire_flock(timeout)
+            else:  # pragma: no cover - non-POSIX
+                self._acquire_spin(timeout)
+        except BaseException:
+            self._thread_lock.release()
+            raise
+        self._depth = 1
+
+    def release(self) -> None:
+        if self._depth == 0:
+            raise StoreError(f"release of unheld lock {self.path}")
+        self._depth -= 1
+        if self._depth == 0:
+            try:
+                if fcntl is not None:
+                    self._release_flock()
+                else:  # pragma: no cover - non-POSIX
+                    self._release_spin()
+            finally:
+                self._thread_lock.release()
+        else:
+            self._thread_lock.release()
+
+    def locked_by_me(self) -> bool:
+        return self._depth > 0
+
+    # -- flock backend --------------------------------------------------------
+
+    def _acquire_flock(self, timeout: float | None) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            if timeout is None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            else:
+                deadline = time.monotonic() + timeout
+                while True:
+                    try:
+                        fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                        break
+                    except OSError as exc:
+                        if exc.errno not in (errno.EACCES, errno.EAGAIN):
+                            raise
+                        if time.monotonic() >= deadline:
+                            raise StoreError(
+                                f"timed out acquiring {self.path} "
+                                f"after {timeout}s"
+                            ) from None
+                        time.sleep(_SPIN_INTERVAL_S)
+        except BaseException:
+            os.close(fd)
+            raise
+        self._fd = fd
+
+    def _release_flock(self) -> None:
+        fd, self._fd = self._fd, None
+        if fd is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+
+    # -- O_EXCL fallback backend ----------------------------------------------
+
+    def _acquire_spin(self, timeout: float | None) -> None:  # pragma: no cover
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                fd = os.open(
+                    self.path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644
+                )
+                os.write(fd, str(os.getpid()).encode())
+                self._fd = fd
+                return
+            except FileExistsError:
+                try:
+                    age = time.time() - self.path.stat().st_mtime
+                    if age > _STALE_FALLBACK_S:
+                        self.path.unlink(missing_ok=True)
+                        continue
+                except OSError:
+                    continue  # holder released between open and stat
+                if deadline is not None and time.monotonic() >= deadline:
+                    raise StoreError(
+                        f"timed out acquiring {self.path} after {timeout}s"
+                    ) from None
+                time.sleep(_SPIN_INTERVAL_S)
+
+    def _release_spin(self) -> None:  # pragma: no cover
+        fd, self._fd = self._fd, None
+        if fd is not None:
+            os.close(fd)
+        self.path.unlink(missing_ok=True)

@@ -172,6 +172,12 @@ class CharacterizationService:
         )
         self._lock = threading.Lock()
         self._derived: dict[tuple, _Response] = {}
+        # Warm-path caches, all validated against the store's etag (one
+        # stat() per request): the parsed suite entry and per-workload
+        # characterization responses.  A sibling worker rewriting the
+        # store invalidates them on the next request automatically.
+        self._suite_cache: tuple[str, dict] | None = None
+        self._char_cache: dict[str, tuple[str, _Response]] = {}
 
     def close(self) -> None:
         self.jobs.shutdown()
@@ -209,12 +215,14 @@ class CharacterizationService:
         if parts == ["dashboard"]:
             return self._dashboard(correlation_id)
         if parts == ["jobs"]:
-            return _computed([job.snapshot() for job in self.jobs.jobs()])
+            # Merged across the worker fleet: local jobs plus every
+            # sibling's persisted snapshots from the shared store.
+            return _computed(self.jobs.shared_jobs())
         if len(parts) == 2 and parts[0] == "jobs":
-            job = self.jobs.get(parts[1])
-            if job is None:
+            snapshot = self.jobs.load_shared(parts[1])
+            if snapshot is None:
                 raise _HttpError(404, f"no such job {parts[1]!r}")
-            return _computed(job.snapshot())
+            return _computed(snapshot)
         if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
             return self._job_events(parts[1], query)
         raise _HttpError(404, f"no such endpoint {path!r}")
@@ -222,11 +230,11 @@ class CharacterizationService:
     def handle_delete(self, path: str) -> _Response:
         parts = [p for p in path.split("/") if p]
         if len(parts) == 2 and parts[0] == "jobs":
-            job = self.jobs.get(parts[1])
-            if job is None:
+            snapshot = self.jobs.load_shared(parts[1])
+            if snapshot is None:
                 raise _HttpError(404, f"no such job {parts[1]!r}")
-            cancelled = self.jobs.cancel(parts[1])
-            return _computed({"id": job.id, "cancelled": cancelled})
+            cancelled = self.jobs.request_shared_cancel(parts[1])
+            return _computed({"id": snapshot["id"], "cancelled": cancelled})
         raise _HttpError(404, f"no such endpoint {path!r}")
 
     # -- endpoints ------------------------------------------------------------
@@ -235,6 +243,7 @@ class CharacterizationService:
         return _computed(
             {
                 "service": "repro-characterization",
+                "instance": self.jobs.instance,
                 "suite_size": len(self.config.workloads),
                 "store_entries": len(self.store),
                 "collection_key": self.config.collection.cache_key(),
@@ -337,6 +346,12 @@ class CharacterizationService:
     ) -> _Response:
         workload = self._resolve(name)
         key = workload_store_key(self.config.collection, workload.name)
+        etag = self.store.etag(key)
+        if etag is not None:
+            with self._lock:
+                cached = self._char_cache.get(key)
+            if cached is not None and cached[0] == etag:
+                return cached[1]
         raw = self.store.get_raw(key, touch=False)
         if raw is None:
             if not wait:
@@ -351,13 +366,22 @@ class CharacterizationService:
                     500, f"{job.id} finished but {key!r} is not in the store"
                 )
         body, etag = raw
-        return _Response(200, body, etag=etag)
+        response = _Response(200, body, etag=etag)
+        with self._lock:
+            self._char_cache[key] = (etag, response)
+        return response
 
     def _ensure_suite(
         self, correlation_id: str | None = None
     ) -> tuple[dict, str]:
         """The suite entry + its ETag, collecting (single-flight) if cold."""
         key = suite_store_key(self.config.collection, self.config.workloads)
+        etag = self.store.etag(key)
+        if etag is not None:
+            with self._lock:
+                cached = self._suite_cache
+            if cached is not None and cached[0] == etag:
+                return cached[1], etag
         entry = self.store.get(key, touch=False)
         if entry is None:
             self._await_job(
@@ -366,8 +390,11 @@ class CharacterizationService:
             entry = self.store.get(key, touch=False)
             if entry is None:
                 raise _HttpError(500, f"suite entry {key!r} missing after collection")
-        etag = self.store.etag(key)
-        return entry, etag or ""
+        etag = self.store.etag(key) or ""
+        if etag:
+            with self._lock:
+                self._suite_cache = (etag, entry)
+        return entry, etag
 
     def _await_job(
         self, names: tuple[str, ...], correlation_id: str | None = None
@@ -395,9 +422,14 @@ class CharacterizationService:
         after a fast job finished still sees submit → progress → done),
         then follows the live job until it reaches a terminal state or
         the ``timeout`` query parameter (seconds) elapses.
+
+        Jobs owned by a *sibling* worker process stream too: their
+        persisted snapshots are replayed and then tailed from the shared
+        store, so any worker behind the shared socket can serve any
+        job's event stream.
         """
         job = self.jobs.get(job_id)
-        if job is None:
+        if job is None and self.jobs.load_shared(job_id) is None:
             raise _HttpError(404, f"no such job {job_id!r}")
         try:
             timeout = float(
@@ -406,7 +438,15 @@ class CharacterizationService:
         except ValueError:
             raise _HttpError(400, "timeout must be a number") from None
 
-        def stream():
+        def format_event(index: int, event: dict) -> bytes:
+            payload = _dumps(event).decode("utf-8")
+            return (
+                f"id: {index}\n"
+                f"event: {event['event']}\n"
+                f"data: {payload}\n\n"
+            ).encode("utf-8")
+
+        def stream_local():
             deadline = time.monotonic() + timeout
             index = 0
 
@@ -418,12 +458,7 @@ class CharacterizationService:
                 while index < len(events):
                     event = events[index]
                     index += 1
-                    payload = _dumps(event).decode("utf-8")
-                    yield (
-                        f"id: {index}\n"
-                        f"event: {event['event']}\n"
-                        f"data: {payload}\n\n"
-                    ).encode("utf-8")
+                    yield format_event(index, event)
 
             while True:
                 yield from drain()
@@ -437,7 +472,30 @@ class CharacterizationService:
                     return
                 job._done.wait(min(0.05, remaining))
 
-        return _Response(200, b"", content_type=_EVENT_STREAM, stream=stream())
+        def stream_shared():
+            # Sibling-owned job: tail its persisted snapshot.  The owner
+            # rewrites the file atomically on every lifecycle event, so
+            # each poll sees a consistent, append-only event prefix.
+            deadline = time.monotonic() + timeout
+            index = 0
+            while True:
+                snapshot = self.jobs.load_shared(job_id) or {}
+                events = snapshot.get("events", [])
+                while index < len(events):
+                    event = events[index]
+                    index += 1
+                    yield format_event(index, event)
+                if snapshot.get("state") in ("done", "failed", "cancelled"):
+                    yield b"event: end-of-stream\ndata: {}\n\n"
+                    return
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    yield b"event: stream-timeout\ndata: {}\n\n"
+                    return
+                time.sleep(min(0.05, remaining))
+
+        stream = stream_local() if job is not None else stream_shared()
+        return _Response(200, b"", content_type=_EVENT_STREAM, stream=stream)
 
     def _matrix(self, correlation_id: str | None = None) -> _Response:
         entry, etag = self._ensure_suite(correlation_id)
@@ -743,6 +801,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     server_version = "repro-service/1"
     protocol_version = "HTTP/1.1"
+    # TCP_NODELAY: a keep-alive client's next request must not wait out
+    # Nagle + delayed-ACK (~40ms) because headers and body left in
+    # separate segments.
+    disable_nagle_algorithm = True
 
     @property
     def service(self) -> CharacterizationService:

@@ -18,6 +18,12 @@ Guarantees:
   in the same directory and ``os.replace``\\ d into place, so a reader
   (or a concurrent writer in another process) never observes a torn
   file.
+- **Cross-process index integrity** — every read-modify-write of the
+  index (``put``/``adopt``/LRU touch/``remove``/eviction) happens under
+  an advisory file lock (``<root>/index.lock``), so two processes
+  sharing one store directory never lose each other's updates.  Pure
+  reads stay lock-free: they consume the last atomically-replaced
+  index, revalidated by a single ``stat`` call per request.
 - **Content addressing** — every object's canonical JSON bytes are
   hashed (sha256); the hash is stored in the index and doubles as the
   HTTP ETag.  A hash mismatch on read is treated as corruption and the
@@ -46,6 +52,7 @@ import numpy as np
 
 from repro.cluster.testbed import WorkloadCharacterization
 from repro.errors import StoreError
+from repro.service.locking import FileLock
 from repro.obs.flight import DEFAULT_CAPACITY
 from repro.obs.metrics import REGISTRY
 from repro.obs.timeline import TimelineSeries
@@ -142,9 +149,12 @@ def _atomic_write(path: Path, data: bytes) -> None:
 class ResultStore:
     """A versioned, LRU-bounded, content-addressed result store.
 
-    Thread-safe within a process (one lock around index mutation);
-    cross-process safe through atomic replaces — concurrent writers
-    last-write-win on the index, and readers always see a complete file.
+    Safe for concurrent use by threads *and* processes sharing one
+    directory: all index mutation is serialized through an advisory
+    file lock (held only for the microseconds of one read-modify-write),
+    and the index itself is consulted through a ``stat``-revalidated
+    cache, so lock-free read paths cost one syscall rather than a JSON
+    parse per request.
     """
 
     def __init__(
@@ -162,10 +172,31 @@ class ResultStore:
         self._objects = self.root / "objects"
         self._objects.mkdir(parents=True, exist_ok=True)
         self._index_path = self.root / "index.json"
+        #: Serializes index read-modify-writes across processes.  Held
+        #: around every mutation; never around object-payload I/O of
+        #: already-indexed entries.
+        self._index_lock = FileLock(self.root / "index.lock")
+        #: Parsed-index cache: ``(stat_key, index)``.  The cached dict is
+        #: read-only by convention — mutators always re-read from disk
+        #: under the index lock.
+        self._cached: tuple[tuple, dict] | None = None
 
     # -- index ----------------------------------------------------------------
 
-    def _read_index(self) -> dict:
+    def _stat_key(self) -> tuple | None:
+        """Identity of the current index file: ``(inode, size, mtime_ns)``.
+
+        ``os.replace`` installs a fresh inode on every write, so any
+        sibling-process update changes this key even within one mtime
+        granule.
+        """
+        try:
+            stat = os.stat(self._index_path)
+        except OSError:
+            return None
+        return (stat.st_ino, stat.st_size, stat.st_mtime_ns)
+
+    def _parse_index(self) -> dict:
         try:
             index = json.loads(self._index_path.read_text())
         except (FileNotFoundError, json.JSONDecodeError):
@@ -179,8 +210,36 @@ class ResultStore:
         index["schema"] = SCHEMA_VERSION
         return index
 
+    def _read_index(self) -> dict:
+        """A fresh, mutable parse of the on-disk index.
+
+        Callers that intend to write back MUST hold :attr:`_index_lock`
+        across the read *and* the write — re-reading inside the lock is
+        what makes concurrent processes merge instead of clobber.
+        """
+        index = self._parse_index()
+        return index
+
+    def _read_index_cached(self) -> dict:
+        """The current index for read-only use (one ``stat`` when warm).
+
+        The returned dict must not be mutated: it is shared across
+        threads until a sibling (or this process) replaces the file.
+        """
+        key = self._stat_key()
+        with self._lock:
+            cached = self._cached
+            if cached is not None and cached[0] == key:
+                return cached[1]
+        index = self._parse_index()
+        with self._lock:
+            self._cached = (key, index)
+        return index
+
     def _write_index(self, index: dict) -> None:
         _atomic_write(self._index_path, json.dumps(index, sort_keys=True).encode())
+        with self._lock:
+            self._cached = (self._stat_key(), index)
         entries = index["entries"]
         _STORE_ENTRIES.set(len(entries))
         _STORE_BYTES.set(sum(e["bytes"] for e in entries.values()))
@@ -204,7 +263,7 @@ class ResultStore:
         data = _canonical_dumps(stamped)
         digest = _content_hash(data)
         _STORE_PUTS.inc()
-        with self._lock:
+        with self._index_lock:
             _atomic_write(self._object_path(key), data)
             index = self._read_index()
             index["clock"] += 1
@@ -246,7 +305,7 @@ class ResultStore:
                 does not match ``digest`` (a torn or missing write must
                 fail loudly here, not surface later as a silent miss).
         """
-        with self._lock:
+        with self._index_lock:
             try:
                 data = self._object_path(key).read_bytes()
             except FileNotFoundError:
@@ -267,30 +326,53 @@ class ResultStore:
         """The stored bytes and content hash for ``key``, or ``None``.
 
         Verifies the content hash; a mismatch (torn or tampered object)
-        drops the entry and reads as a miss.  ``touch=False`` skips the
-        LRU bookkeeping write — used on request-serving hot paths.
+        drops the entry and reads as a miss.  A blob a sibling process
+        evicted between our index read and the blob read is likewise a
+        miss (its stale index entry is dropped), never an exception.
+        ``touch=False`` skips the LRU bookkeeping write — used on
+        request-serving hot paths, which then run entirely lock-free.
         """
-        with self._lock:
-            index = self._read_index()
-            entry = index["entries"].get(key)
-            if entry is None:
-                _STORE_MISSES.inc()
-                return None
-            try:
-                data = self._object_path(key).read_bytes()
-            except FileNotFoundError:
-                del index["entries"][key]
-                self._write_index(index)
-                _STORE_MISSES.inc()
-                return None
-            if _content_hash(data) != entry["hash"]:
-                self._drop(index, key)
-                _STORE_MISSES.inc()
-                return None
-            if touch:
+        if touch:
+            with self._index_lock:
+                index = self._read_index()
+                entry = index["entries"].get(key)
+                if entry is None:
+                    _STORE_MISSES.inc()
+                    return None
+                try:
+                    data = self._object_path(key).read_bytes()
+                except FileNotFoundError:
+                    del index["entries"][key]
+                    self._write_index(index)
+                    _STORE_MISSES.inc()
+                    return None
+                if _content_hash(data) != entry["hash"]:
+                    self._drop(index, key)
+                    _STORE_MISSES.inc()
+                    return None
                 index["clock"] += 1
                 entry["last_used"] = index["clock"]
                 self._write_index(index)
+            _STORE_HITS.inc()
+            return data, entry["hash"]
+        index = self._read_index_cached()
+        entry = index["entries"].get(key)
+        if entry is None:
+            _STORE_MISSES.inc()
+            return None
+        try:
+            data = self._object_path(key).read_bytes()
+        except FileNotFoundError:
+            # A sibling evicted the blob after writing the index we
+            # read.  Drop the stale entry (under the lock, against a
+            # fresh index — never resurrecting the sibling's state).
+            self._drop_stale(key, entry["hash"])
+            _STORE_MISSES.inc()
+            return None
+        if _content_hash(data) != entry["hash"]:
+            self._drop_stale(key, entry["hash"])
+            _STORE_MISSES.inc()
+            return None
         _STORE_HITS.inc()
         return data, entry["hash"]
 
@@ -310,18 +392,21 @@ class ResultStore:
         return payload
 
     def etag(self, key: str) -> str | None:
-        """The content hash of ``key``'s entry (the HTTP ETag), if present."""
-        with self._lock:
-            entry = self._read_index()["entries"].get(key)
+        """The content hash of ``key``'s entry (the HTTP ETag), if present.
+
+        Lock-free: one ``stat`` plus a dict lookup when the index is
+        unchanged since the last read — cheap enough for per-request
+        revalidation on serving hot paths.
+        """
+        entry = self._read_index_cached()["entries"].get(key)
         return entry["hash"] if entry else None
 
     def keys(self) -> tuple[str, ...]:
-        with self._lock:
-            return tuple(self._read_index()["entries"])
+        return tuple(self._read_index_cached()["entries"])
 
     def remove(self, key: str) -> bool:
         """Delete ``key``'s entry; returns whether it existed."""
-        with self._lock:
+        with self._index_lock:
             index = self._read_index()
             if key not in index["entries"]:
                 return False
@@ -329,8 +414,7 @@ class ResultStore:
         return True
 
     def total_bytes(self) -> int:
-        with self._lock:
-            entries = self._read_index()["entries"]
+        entries = self._read_index_cached()["entries"]
         return sum(e["bytes"] for e in entries.values())
 
     def __len__(self) -> int:
@@ -339,12 +423,28 @@ class ResultStore:
     # -- internals ------------------------------------------------------------
 
     def _drop(self, index: dict, key: str) -> None:
+        """Remove ``key`` from a freshly-read index (lock held by caller)."""
         del index["entries"][key]
         self._write_index(index)
         try:
             self._object_path(key).unlink()
         except OSError:
             pass
+
+    def _drop_stale(self, key: str, expected_hash: str) -> None:
+        """Drop ``key``'s index entry if it still carries ``expected_hash``.
+
+        Used by lock-free read paths that discovered a vanished or
+        corrupt blob: the index is re-read *under the lock* so a
+        concurrent sibling update (including a fresh re-put of the same
+        key) is never clobbered or resurrected.
+        """
+        with self._index_lock:
+            index = self._read_index()
+            entry = index["entries"].get(key)
+            if entry is None or entry["hash"] != expected_hash:
+                return  # a sibling already dropped or replaced it
+            self._drop(index, key)
 
     def _evict(self, index: dict, keep: str) -> None:
         """Evict least-recently-used entries until within bounds."""

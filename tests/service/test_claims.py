@@ -1,0 +1,182 @@
+"""Tests for cross-process single-flight claim records."""
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+
+from repro.service.claims import ClaimRegistry
+
+_MP = multiprocessing.get_context("fork")
+
+
+def test_acquire_release_roundtrip(tmp_path):
+    registry = ClaimRegistry(tmp_path)
+    claim = registry.acquire("suite-abc")
+    assert claim is not None
+    assert registry.holder("suite-abc")["pid"] == os.getpid()
+    registry.release(claim)
+    assert registry.holder("suite-abc") is None
+    # Released -> reacquirable immediately.
+    again = registry.acquire("suite-abc")
+    assert again is not None and again.token != claim.token
+    registry.release(again)
+
+
+def test_contended_acquire_has_one_winner(tmp_path):
+    """Two registries (two would-be workers) racing one key: exactly
+    one wins, the loser sees the live holder."""
+    first = ClaimRegistry(tmp_path)
+    second = ClaimRegistry(tmp_path)
+    claim = first.acquire("k")
+    assert claim is not None
+    assert second.acquire("k") is None
+    assert second.holder("k") is not None
+    first.release(claim)
+    assert second.acquire("k") is not None
+
+
+def test_release_is_token_verified(tmp_path):
+    """A stale claim handle from a broken-and-retaken claim must not
+    release the new owner's claim."""
+    registry = ClaimRegistry(tmp_path, ttl_s=0.05)
+    old = registry.acquire("k")
+    time.sleep(0.1)  # expire it
+    fresh = ClaimRegistry(tmp_path, ttl_s=900.0).acquire("k")
+    assert fresh is not None  # broke the expired claim and won
+    registry.release(old)  # token mismatch: must be a no-op
+    assert registry.holder("k") is not None
+
+
+def test_expired_claim_is_broken_by_next_acquirer(tmp_path):
+    short = ClaimRegistry(tmp_path, ttl_s=0.05)
+    claim = short.acquire("k")
+    assert claim is not None
+    time.sleep(0.1)
+    taker = ClaimRegistry(tmp_path, ttl_s=900.0)
+    assert taker.acquire("k") is not None
+
+
+def test_refresh_extends_the_ttl_window(tmp_path):
+    registry = ClaimRegistry(tmp_path, ttl_s=0.3)
+    claim = registry.acquire("k")
+    for _ in range(3):
+        time.sleep(0.15)
+        registry.refresh(claim)
+    # 0.45s elapsed > ttl, but refreshes kept the claim live.
+    assert registry.holder("k") is not None
+    registry.release(claim)
+
+
+def _claim_and_die(root, key, claimed) -> None:
+    registry = ClaimRegistry(root)
+    claim = registry.acquire(key)
+    assert claim is not None
+    claimed.set()
+    os._exit(1)  # crash without releasing
+
+
+def test_dead_claimant_is_stale_despite_fresh_ttl(tmp_path):
+    """A claim owned by a dead pid on this host is breakable long
+    before its TTL expires — crashed workers never wedge a key."""
+    claimed = _MP.Event()
+    child = _MP.Process(target=_claim_and_die, args=(tmp_path, "k", claimed))
+    child.start()
+    assert claimed.wait(10.0)
+    child.join(10.0)
+    survivor = ClaimRegistry(tmp_path, ttl_s=900.0)
+    assert survivor.holder("k") is None  # stale, not live
+    assert survivor.acquire("k") is not None  # broken and retaken
+
+
+def test_wait_returns_when_claim_clears(tmp_path):
+    registry = ClaimRegistry(tmp_path)
+    claim = registry.acquire("k")
+    done = []
+
+    def waiter() -> None:
+        done.append(ClaimRegistry(tmp_path).wait("k", timeout=10.0))
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    time.sleep(0.1)
+    registry.release(claim)
+    thread.join(10.0)
+    assert done == [True]
+
+
+def test_wait_times_out_and_honours_cancel(tmp_path):
+    registry = ClaimRegistry(tmp_path)
+    claim = registry.acquire("k")
+    try:
+        assert registry.wait("k", timeout=0.1) is False
+        cancel = threading.Event()
+        cancel.set()
+        assert registry.wait("k", timeout=10.0, cancel=cancel) is False
+    finally:
+        registry.release(claim)
+
+
+def test_record_run_detects_duplicates(tmp_path):
+    registry = ClaimRegistry(tmp_path)
+    assert registry.record_run("suite-a") is True
+    assert registry.record_run("suite-b") is True
+    assert registry.duplicate_runs() == {}
+    assert registry.record_run("suite-a") is False  # the bug we gate on
+    assert registry.duplicate_runs() == {"suite-a": 2}
+    assert [run["key"] for run in registry.runs()] == [
+        "suite-a",
+        "suite-b",
+        "suite-a",
+    ]
+
+
+def test_runs_log_skips_torn_tail(tmp_path):
+    registry = ClaimRegistry(tmp_path)
+    registry.record_run("a")
+    with open(tmp_path / "claims" / "runs.log", "a", encoding="utf-8") as fh:
+        fh.write('{"key": "b"')  # crashed writer: no newline, torn JSON
+    assert [run["key"] for run in registry.runs()] == ["a"]
+    # And the journal stays appendable after the torn line.
+    registry.record_run("c")
+    keys = [run["key"] for run in registry.runs()]
+    assert "c" in keys and registry.duplicate_runs() == {}
+
+
+def _contender(root, key, outcomes, barrier, release) -> None:
+    registry = ClaimRegistry(root)
+    barrier.wait(10.0)
+    claim = registry.acquire(key)
+    outcomes.put(json.dumps({"pid": os.getpid(), "won": claim is not None}))
+    # Stay alive until every sibling has reported: a winner that exits
+    # early is (correctly!) treated as crashed and its claim broken,
+    # which is the dead-pid staleness path, not the race under test.
+    release.wait(30.0)
+
+
+def test_cross_process_acquire_race_single_winner(tmp_path):
+    """Four processes hit O_EXCL simultaneously: exactly one claim."""
+    outcomes = _MP.Queue()
+    barrier = _MP.Barrier(4)
+    release = _MP.Event()
+    procs = [
+        _MP.Process(
+            target=_contender, args=(tmp_path, "k", outcomes, barrier, release)
+        )
+        for _ in range(4)
+    ]
+    for proc in procs:
+        proc.start()
+    try:
+        reports = [json.loads(outcomes.get(timeout=30.0)) for _ in range(4)]
+    finally:
+        release.set()
+        for proc in procs:
+            proc.join(30.0)
+    winners = [report for report in reports if report["won"]]
+    assert len(winners) == 1
+    # The claim record on disk names exactly that winner (it only went
+    # stale when the fleet exited above).
+    record = json.loads((tmp_path / "claims" / "k.claim").read_text())
+    assert record["pid"] == winners[0]["pid"]

@@ -100,3 +100,53 @@ def test_unreachable_server_raises():
     dead = ServiceClient("http://127.0.0.1:9", timeout=2)
     with pytest.raises(ServiceError):
         dead.info()
+
+
+class TestPollJitter:
+    """Regressions for the decorrelated-jitter polling fallback."""
+
+    def _sequence(self, seed, n=64, base=0.05):
+        client = ServiceClient("http://127.0.0.1:9", jitter_seed=seed)
+        intervals, previous = [], base
+        for _ in range(n):
+            previous = client._next_poll_interval(base, previous)
+            intervals.append(previous)
+        return intervals
+
+    def test_intervals_stay_within_base_and_cap(self):
+        base = 0.05
+        for interval in self._sequence(seed=1, base=base):
+            assert base <= interval <= ServiceClient._POLL_CAP_S
+
+    def test_seeded_sequence_is_reproducible(self):
+        assert self._sequence(seed=7) == self._sequence(seed=7)
+
+    def test_different_seeds_decorrelate(self):
+        """Two clients polling the same job must not fire in lockstep —
+        the whole point over deterministic exponential backoff."""
+        a = self._sequence(seed=1)
+        b = self._sequence(seed=2)
+        assert a != b
+        # Not merely unequal overall: they disagree almost everywhere.
+        disagreements = sum(1 for x, y in zip(a, b) if abs(x - y) > 1e-9)
+        assert disagreements > len(a) // 2
+
+    def test_spread_is_not_deterministic_doubling(self):
+        """Within one client the intervals are spread, not a fixed
+        geometric ladder (base, 2*base, 4*base, ...)."""
+        intervals = self._sequence(seed=3, n=128, base=0.05)
+        ladder = {round(0.05 * (2 ** k), 6) for k in range(10)}
+        off_ladder = sum(
+            1 for i in intervals if round(i, 6) not in ladder
+        )
+        assert off_ladder > len(intervals) * 0.9
+        # And genuinely varied: many distinct values, wide range.
+        assert len({round(i, 6) for i in intervals}) > len(intervals) // 2
+        assert max(intervals) > 4 * min(intervals)
+
+    def test_backoff_grows_from_base_toward_cap(self):
+        """Expected growth: early intervals hug the base, the long-run
+        distribution reaches near the cap."""
+        intervals = self._sequence(seed=11, n=256, base=0.05)
+        assert intervals[0] <= 0.15  # first step bounded by 3 * base
+        assert max(intervals) > 1.0  # backoff actually reaches high

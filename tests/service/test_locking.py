@@ -1,0 +1,118 @@
+"""Tests for the cross-process file lock guarding shared store state."""
+
+import multiprocessing
+import threading
+import time
+
+import pytest
+
+from repro.errors import StoreError
+from repro.service.locking import FileLock
+
+_MP = multiprocessing.get_context("fork")
+
+
+def test_reentrant_within_one_thread(tmp_path):
+    lock = FileLock(tmp_path / "x.lock")
+    with lock:
+        with lock:  # nested acquire must not deadlock
+            assert lock.locked_by_me()
+        assert lock.locked_by_me()
+    assert not lock.locked_by_me()
+
+
+def test_release_unheld_raises(tmp_path):
+    lock = FileLock(tmp_path / "x.lock")
+    with pytest.raises(StoreError, match="unheld"):
+        lock.release()
+
+
+def test_threads_exclude_each_other(tmp_path):
+    """Two threads of one process sharing one instance fully serialize."""
+    lock = FileLock(tmp_path / "x.lock")
+    in_critical = []
+    overlaps = []
+
+    def worker() -> None:
+        for _ in range(50):
+            with lock:
+                in_critical.append(1)
+                if len(in_critical) > 1:
+                    overlaps.append(1)
+                in_critical.pop()
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not overlaps
+
+
+def test_timeout_raises_store_error(tmp_path):
+    """A second instance (fresh fd, same path) times out while held."""
+    path = tmp_path / "x.lock"
+    holder = FileLock(path)
+    contender = FileLock(path)
+    holder.acquire()
+    try:
+        start = time.monotonic()
+        with pytest.raises(StoreError, match="timed out"):
+            contender.acquire(timeout=0.2)
+        assert time.monotonic() - start >= 0.15
+    finally:
+        holder.release()
+    # Released -> the contender can now take it.
+    contender.acquire(timeout=1.0)
+    contender.release()
+
+
+def _hold_lock(path, held, release) -> None:
+    lock = FileLock(path)
+    with lock:
+        held.set()
+        release.wait(10.0)
+
+
+def test_processes_exclude_each_other(tmp_path):
+    path = tmp_path / "x.lock"
+    held = _MP.Event()
+    release = _MP.Event()
+    child = _MP.Process(target=_hold_lock, args=(path, held, release))
+    child.start()
+    try:
+        assert held.wait(10.0)
+        mine = FileLock(path)
+        with pytest.raises(StoreError, match="timed out"):
+            mine.acquire(timeout=0.2)
+        release.set()
+        child.join(10.0)
+        mine.acquire(timeout=5.0)  # free once the child exits
+        mine.release()
+    finally:
+        release.set()
+        child.join(10.0)
+        if child.is_alive():  # pragma: no cover - hung child
+            child.kill()
+
+
+def _crash_with_lock(path, held) -> None:
+    lock = FileLock(path)
+    lock.acquire()
+    held.set()
+    import os
+
+    os._exit(1)  # die without releasing; the kernel must clean up
+
+
+def test_crashed_holder_releases_automatically(tmp_path):
+    """flock dies with its holder: no staleness heuristics needed."""
+    path = tmp_path / "x.lock"
+    held = _MP.Event()
+    child = _MP.Process(target=_crash_with_lock, args=(path, held))
+    child.start()
+    assert held.wait(10.0)
+    child.join(10.0)
+    survivor = FileLock(path)
+    survivor.acquire(timeout=5.0)
+    survivor.release()

@@ -1,0 +1,201 @@
+"""Cross-process store regressions: the lost-update, vanished-blob and
+eviction-race bugs the flock-serialized index exists to prevent.
+
+Every test here drives *real* sibling processes (fork) against one
+store directory — the exact topology of the pre-fork service workers.
+"""
+
+import json
+import multiprocessing
+import time
+
+from repro.obs.metrics import REGISTRY
+from repro.service.store import ResultStore, _content_hash, _canonical_dumps
+
+_MP = multiprocessing.get_context("fork")
+
+#: Writers x keys for the hammer test: small enough to run in seconds,
+#: large enough that unserialized read-modify-write cycles of
+#: ``index.json`` would (and, before the file lock, did) lose entries.
+_WRITERS = 4
+_KEYS_PER_WRITER = 25
+
+
+def _misses() -> float:
+    return REGISTRY.counter(
+        "repro_store_misses_total", "Store lookups answered from engines"
+    ).value()
+
+
+def _hammer_writer(root, writer: int, errors) -> None:
+    try:
+        store = ResultStore(root)
+        for i in range(_KEYS_PER_WRITER):
+            key = f"w{writer}-k{i}"
+            store.put(key, {"kind": "hammer", "writer": writer, "i": i})
+            # Touch-read a previously written key: exercises the LRU
+            # timestamp update (an index *write*) concurrently too.
+            store.get(f"w{writer}-k{i // 2}")
+    except Exception as exc:  # noqa: BLE001 - reported to the assertion
+        errors.put(f"writer {writer}: {type(exc).__name__}: {exc}")
+
+
+def test_two_process_hammer_loses_no_updates(tmp_path):
+    """N processes interleave puts + touches on one index: every entry
+    must survive.  This is the regression test for the lost-update race
+    (read index, sibling writes, write index -> sibling's entry gone)."""
+    errors = _MP.Queue()
+    procs = [
+        _MP.Process(target=_hammer_writer, args=(tmp_path, w, errors))
+        for w in range(_WRITERS)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(120.0)
+    assert not any(proc.exitcode for proc in procs)
+    assert errors.empty(), errors.get()
+
+    store = ResultStore(tmp_path)
+    assert len(store.keys()) == _WRITERS * _KEYS_PER_WRITER
+    # Byte accounting must agree with what is actually on disk.
+    on_disk = sum(
+        path.stat().st_size for path in (tmp_path / "objects").glob("*.json")
+    )
+    assert store.total_bytes() == on_disk
+    # And every entry must still read back clean.
+    for writer in range(_WRITERS):
+        for i in range(_KEYS_PER_WRITER):
+            payload = store.get(f"w{writer}-k{i}", touch=False)
+            assert payload is not None
+            assert payload["writer"] == writer and payload["i"] == i
+
+
+def _racing_putter(root, payload, barrier, errors) -> None:
+    try:
+        store = ResultStore(root)
+        barrier.wait(10.0)
+        store.put("contested", payload)
+    except Exception as exc:  # noqa: BLE001
+        errors.put(f"{type(exc).__name__}: {exc}")
+
+
+def test_concurrent_put_same_key_one_winner_identical_digest(tmp_path):
+    """Simultaneous identical puts converge on one entry whose digest
+    is the canonical content hash — no torn blob, no double entry."""
+    payload = {"kind": "x", "value": 42}
+    barrier = _MP.Barrier(_WRITERS)
+    errors = _MP.Queue()
+    procs = [
+        _MP.Process(
+            target=_racing_putter, args=(tmp_path, payload, barrier, errors)
+        )
+        for _ in range(_WRITERS)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(60.0)
+    assert not any(proc.exitcode for proc in procs)
+    assert errors.empty(), errors.get()
+
+    store = ResultStore(tmp_path)
+    assert store.keys() == ("contested",)
+    stored = dict(payload)
+    stored["schema"] = store.get("contested")["schema"]
+    expected = _content_hash(_canonical_dumps(stored))
+    assert store.etag("contested") == expected
+    data, digest = store.get_raw("contested")
+    assert digest == expected
+    assert json.loads(data)["value"] == 42
+
+
+def test_vanished_blob_reads_as_miss_and_drops_stale_entry(tmp_path):
+    """A sibling's eviction can delete a blob between our index read
+    and blob read.  That must be a plain miss: entry dropped, miss
+    counter bumped — never an exception surfaced to a request."""
+    store = ResultStore(tmp_path)
+    store.put("gone", {"kind": "x"})
+    (tmp_path / "objects" / "gone.json").unlink()
+
+    before = _misses()
+    assert store.get_raw("gone") is None  # touch=True: fully locked path
+    assert _misses() == before + 1
+    assert "gone" not in store.keys()
+
+    # Same on the lock-free touch=False path.
+    store.put("gone2", {"kind": "x"})
+    (tmp_path / "objects" / "gone2.json").unlink()
+    before = _misses()
+    assert store.get_raw("gone2", touch=False) is None
+    assert _misses() == before + 1
+    assert "gone2" not in store.keys()
+
+
+def test_drop_stale_never_clobbers_sibling_update(tmp_path):
+    """The lock-free miss path drops an index entry only if its hash
+    still matches what we read — a sibling's concurrent re-put of the
+    same key must survive the drop."""
+    ours = ResultStore(tmp_path)
+    stale_hash = ours.put("k", {"kind": "x", "rev": 1})
+    sibling = ResultStore(tmp_path)
+    fresh_hash = sibling.put("k", {"kind": "x", "rev": 2})
+    assert fresh_hash != stale_hash
+
+    # We try to drop based on the hash we saw before the sibling wrote:
+    # the entry must stay, still pointing at the sibling's revision.
+    ours._drop_stale("k", stale_hash)
+    assert ours.etag("k") == fresh_hash
+    assert ours.get("k")["rev"] == 2
+
+    # With the *current* hash the drop goes through (the real miss case).
+    ours._drop_stale("k", fresh_hash)
+    assert ours.etag("k") is None
+
+
+def _evicting_writer(root, stop, errors) -> None:
+    try:
+        store = ResultStore(root, max_entries=4)
+        i = 0
+        while not stop.is_set():
+            store.put(f"churn-{i % 32}", {"kind": "x", "i": i})
+            i += 1
+    except Exception as exc:  # noqa: BLE001
+        errors.put(f"writer: {type(exc).__name__}: {exc}")
+
+
+def _racing_reader(root, stop, errors) -> None:
+    try:
+        store = ResultStore(root, max_entries=4)
+        i = 0
+        while not stop.is_set():
+            # Either a valid payload or a clean miss; never an exception.
+            payload = store.get(f"churn-{i % 32}", touch=(i % 2 == 0))
+            if payload is not None and payload["kind"] != "x":
+                errors.put(f"reader saw torn payload: {payload!r}")
+                return
+            i += 1
+    except Exception as exc:  # noqa: BLE001
+        errors.put(f"reader: {type(exc).__name__}: {exc}")
+
+
+def test_lru_eviction_racing_reader_is_exception_free(tmp_path):
+    """One process churns a 4-entry store (every put evicts) while two
+    readers hit the same keys: readers see hits or clean misses only."""
+    stop = _MP.Event()
+    errors = _MP.Queue()
+    procs = [
+        _MP.Process(target=_evicting_writer, args=(tmp_path, stop, errors)),
+        _MP.Process(target=_racing_reader, args=(tmp_path, stop, errors)),
+        _MP.Process(target=_racing_reader, args=(tmp_path, stop, errors)),
+    ]
+    for proc in procs:
+        proc.start()
+    time.sleep(2.0)
+    stop.set()
+    for proc in procs:
+        proc.join(30.0)
+    assert not any(proc.exitcode for proc in procs)
+    assert errors.empty(), errors.get()
+    # Budget invariant held through the churn.
+    assert len(ResultStore(tmp_path, max_entries=4).keys()) <= 4

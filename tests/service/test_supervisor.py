@@ -1,0 +1,149 @@
+"""End-to-end tests for the pre-fork multi-worker service plane."""
+
+import json
+import os
+import signal
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.cluster.collection import CollectionConfig
+from repro.cluster.testbed import MeasurementConfig
+from repro.errors import ServiceError
+from repro.service.claims import ClaimRegistry
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceConfig
+from repro.service.supervisor import Supervisor
+from repro.workloads.suite import SUITE
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="pre-fork serving needs os.fork()"
+)
+
+FAST = CollectionConfig(
+    scale=0.2,
+    seed=23,
+    measurement=MeasurementConfig(
+        slaves_measured=1, active_cores=2, ops_per_core=1000, perf_repeats=2
+    ),
+)
+
+
+def _config(tmp_path) -> ServiceConfig:
+    return ServiceConfig(
+        collection=FAST,
+        workloads=SUITE[:2],
+        cache_dir=str(tmp_path / "store"),
+    )
+
+
+def _get_json(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=30.0) as response:
+        return json.loads(response.read())
+
+
+def test_workers_must_be_positive(tmp_path):
+    with pytest.raises(ServiceError, match="workers"):
+        Supervisor(_config(tmp_path), workers=0)
+
+
+def test_fleet_serves_from_multiple_processes(tmp_path):
+    """Both forked workers take requests off the shared socket, and a
+    concurrent cold characterization runs its collection exactly once
+    fleet-wide."""
+    config = _config(tmp_path)
+    with Supervisor(config, port=0, workers=2) as sup:
+        assert len(sup._pids) == 2
+        base = f"http://{sup.host}:{sup.port}"
+
+        # New connections land on whichever worker accepts first; a few
+        # dozen probes must reach both instances.
+        instances = set()
+        for _ in range(200):
+            instances.add(_get_json(f"{base}/")["instance"])
+            if len(instances) == 2:
+                break
+        assert len(instances) == 2
+
+        # Concurrent cold requests for the SAME workload through the
+        # fleet: claims must keep it to one engine run.
+        name = SUITE[0].name
+        finals: list[dict] = []
+        errors: list[str] = []
+
+        def characterize() -> None:
+            try:
+                client = ServiceClient(base)
+                snapshot = client.characterize(name, wait=False)
+                if snapshot.get("id"):
+                    snapshot = client.wait_for_job(
+                        snapshot["id"], timeout=300.0
+                    )
+                    assert snapshot["state"] == "done"
+                finals.append(snapshot)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(f"{type(exc).__name__}: {exc}")
+
+        threads = [threading.Thread(target=characterize) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(300.0)
+        assert not errors, errors
+        assert len(finals) == 4
+
+        registry = ClaimRegistry(config.cache_dir)
+        assert registry.duplicate_runs() == {}
+        assert len(registry.runs()) == 1
+
+        # Warm now: the data is served straight from the shared store.
+        result = _get_json(f"{base}/characterize/{name}")
+        assert result["name"] == name
+
+        pids = set(sup._pids)
+
+    # Context exit == shutdown: every worker process must be gone.
+    for pid in pids:
+        with pytest.raises(ProcessLookupError):
+            os.kill(pid, 0)
+
+
+def test_killed_worker_is_restarted_and_service_recovers(tmp_path):
+    with Supervisor(_config(tmp_path), port=0, workers=2) as sup:
+        base = f"http://{sup.host}:{sup.port}"
+        assert _get_json(f"{base}/")["suite_size"] == 2
+
+        victim = next(iter(sup._pids))
+        os.kill(victim, signal.SIGKILL)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            sup.tick()
+            if victim not in sup._pids and len(sup._pids) == 2:
+                break
+            time.sleep(0.05)
+        assert victim not in sup._pids
+        assert len(sup._pids) == 2
+        assert sup.restarts == 1
+
+        # The replacement (and the survivor) keep serving.
+        for _ in range(10):
+            assert _get_json(f"{base}/")["suite_size"] == 2
+
+
+def test_shutdown_is_idempotent_and_closes_the_socket(tmp_path):
+    sup = Supervisor(_config(tmp_path), port=0, workers=2)
+    try:
+        host, port = sup.start()
+        assert _get_json(f"http://{host}:{port}/")["suite_size"] == 2
+    finally:
+        sup.shutdown()
+    sup.shutdown()  # second call must be a no-op
+    assert not sup._pids
+    # The port is free again: a fresh supervisor can bind it.
+    rebound = Supervisor(_config(tmp_path), host=host, port=port, workers=1)
+    try:
+        rebound.start()
+    finally:
+        rebound.shutdown()
