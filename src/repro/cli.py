@@ -289,6 +289,14 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.flight import FlightRecorder, flight_recording
     from repro.obs.trace import Tracer, tracing
 
+    if args.merge is not None:
+        return _merge_traces(args)
+    if args.workload is None:
+        print(
+            "repro: trace needs a workload label (or --merge STORE_DIR)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
     workload = _resolve_workload(args.workload)
     if workload is None:
         return EXIT_USAGE
@@ -315,6 +323,75 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     for entry in tracer.summary(top=args.top):
         print(f"{entry['name']:40s} {entry['count']:>6d} "
               f"{entry['total_us'] / 1e3:>10.2f}")
+    return 0
+
+
+def _merge_traces(args: argparse.Namespace) -> int:
+    """``repro trace --merge STORE_DIR``: stitch the fleet's spills."""
+    from repro.obs.fleet import load_trace_spills, merge_traces, traces_dir
+
+    documents = load_trace_spills(args.merge)
+    if not documents:
+        print(
+            f"repro: no trace spills under {traces_dir(args.merge)} "
+            "(run the service with tracing on, or drive some jobs first)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    merged = merge_traces(documents)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle)
+    pids = merged["otherData"]["pids"]
+    events = [e for e in merged["traceEvents"] if e.get("ph") != "M"]
+    print(
+        f"merged {len(documents)} process trace(s): {len(events)} events "
+        f"across {len(pids)} pid lane(s) -> {args.out} "
+        "(load in https://ui.perfetto.dev)"
+    )
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    """``repro status``: the fleet's live workers and merged totals."""
+    if args.store is not None:
+        from repro.obs.fleet import fleet_status, read_live_shards
+
+        status = fleet_status(read_live_shards(args.store))
+    else:
+        from repro.errors import ServiceError
+        from repro.service.client import ServiceClient
+
+        try:
+            status = ServiceClient(args.url, timeout=args.timeout).fleet()
+        except ServiceError as error:
+            print(f"repro: {error}", file=sys.stderr)
+            return 1
+    totals = status["totals"]
+    print(f"{'instance':28s} {'role':10s} {'pid':>7s} {'up s':>8s} "
+          f"{'beat s':>7s} {'jobs':>5s} {'reqs':>7s}")
+    print("-" * 78)
+    for worker in status["workers"]:
+        print(
+            f"{worker['instance'][:28]:28s} {worker['role']:10s} "
+            f"{worker['pid']:>7d} {worker['uptime_s']:>8.1f} "
+            f"{worker['heartbeat_age_s']:>7.2f} "
+            f"{int(worker['jobs_live']):>5d} "
+            f"{int(worker['requests_total']):>7d}"
+        )
+    quantiles = totals["request_seconds"]
+    print(
+        f"\n{totals['processes']} live processes "
+        f"({totals['servers']} servers), "
+        f"{int(totals['restarts_total'])} restarts, "
+        f"{int(totals['jobs_live'])} live jobs"
+    )
+    print(
+        f"{int(totals['requests_total'])} requests "
+        f"({totals['requests_per_s']:.2f}/s), latency "
+        f"p50={quantiles['p50'] * 1e3:.1f}ms "
+        f"p95={quantiles['p95'] * 1e3:.1f}ms "
+        f"p99={quantiles['p99'] * 1e3:.1f}ms"
+    )
     return 0
 
 
@@ -612,12 +689,24 @@ def main(argv: list[str] | None = None) -> int:
 
     trace_parser = subparsers.add_parser(
         "trace",
-        help="characterize one workload under the tracer, export Chrome trace",
+        help="characterize one workload under the tracer, export Chrome "
+        "trace (or --merge a fleet's per-process spills)",
         description="Run one workload's full characterization with tracing "
         "and the flight recorder on, write the spans as Chrome Trace Event "
-        "Format JSON (chrome://tracing / Perfetto), and print a span summary.",
+        "Format JSON (chrome://tracing / Perfetto), and print a span summary. "
+        "With --merge STORE_DIR, instead stitch every per-process trace "
+        "spill under the store's telemetry directory into one multi-pid "
+        "trace with labelled process lanes.",
     )
-    trace_parser.add_argument("workload", help="workload label, e.g. H-WordCount")
+    trace_parser.add_argument(
+        "workload", nargs="?", default=None,
+        help="workload label, e.g. H-WordCount (omit with --merge)",
+    )
+    trace_parser.add_argument(
+        "--merge", default=None, metavar="STORE_DIR",
+        help="merge the fleet's per-process trace spills from this store "
+        "directory instead of running a workload",
+    )
     trace_parser.add_argument(
         "--out", default="trace.json", help="output trace file (Chrome JSON)"
     )
@@ -757,6 +846,28 @@ def main(argv: list[str] | None = None) -> int:
         "--verbose", action="store_true", help="log every request"
     )
 
+    status_parser = subparsers.add_parser(
+        "status",
+        help="show the serving fleet's live workers and merged totals",
+        description="Report per-worker liveness, restart counts, live "
+        "jobs, request rates and latency quantiles for a running fleet — "
+        "from GET /fleet of a live service, or directly from the metric "
+        "shards in a store directory with --store.",
+    )
+    status_parser.add_argument(
+        "--url", default="http://127.0.0.1:8321",
+        help="service base URL (default: %(default)s)",
+    )
+    status_parser.add_argument(
+        "--store", default=None, metavar="STORE_DIR",
+        help="read the fleet's metric shards from this store directory "
+        "instead of asking a live service",
+    )
+    status_parser.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="HTTP timeout in seconds (default: %(default)s)",
+    )
+
     args = parser.parse_args(argv)
     if args.log_level is not None or args.log_json:
         # Only touch logging when asked: tests capture stdout/stderr and
@@ -774,6 +885,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "subset": _cmd_subset,
         "serve": _cmd_serve,
+        "status": _cmd_status,
     }
     return handlers[args.command](args)
 

@@ -298,6 +298,7 @@ def _collect_parallel(
     cancel: threading.Event | None,
     on_workload: WorkloadFn | None = None,
     store_root: str | Path | None = None,
+    correlation_id: str | None = None,
 ) -> list[WorkloadCharacterization]:
     """Fan the workloads over a persistent worker pool, in suite order.
 
@@ -361,6 +362,10 @@ def _collect_parallel(
         ],
         cancel=cancel,
         on_result=land,
+        # Rides along on every task so the pool workers' trace spans
+        # carry the submitting client's correlation id (fleet traces
+        # join client -> server -> job -> pool on it).
+        meta={"correlation_id": correlation_id} if correlation_id else None,
     )
     return characterizations
 
@@ -437,6 +442,7 @@ def characterize_suite(
     progress: ProgressFn | None = None,
     cancel: threading.Event | None = None,
     on_workload: WorkloadFn | None = None,
+    correlation_id: str | None = None,
 ) -> SuiteCharacterization:
     """Characterize ``workloads``, optionally fanning over processes.
 
@@ -460,6 +466,10 @@ def characterize_suite(
             :class:`WorkloadCharacterization` as it lands, in suite
             order (feeds per-workload timeline deltas to job streams).
             Not invoked on memo/store cache hits.
+        correlation_id: Optional client correlation id, recorded on the
+            suite span and forwarded to the pool workers' task spans so
+            a merged fleet trace joins the whole request end-to-end.
+            Purely observational — never part of any cache key.
 
     Raises:
         AnalysisError: If ``verify_checks`` finds a failed correctness
@@ -495,16 +505,17 @@ def characterize_suite(
         "collecting suite",
         extra={"key": key, "workloads": len(workloads), "workers": workers},
     )
-    with obs_span(
-        "suite-collection", "suite", workloads=len(workloads), workers=workers
-    ):
+    span_args = {"workloads": len(workloads), "workers": workers}
+    if correlation_id:
+        span_args["correlation_id"] = correlation_id
+    with obs_span("suite-collection", "suite", **span_args):
         if workers > 1 and len(workloads) > 1:
             # Workers spill full payloads into the persistent store when
             # one is configured (adoption doubles as persistence), else
             # into the pool-owned temporary store.
             characterizations = _collect_parallel(
                 workloads, config, workers, progress, cancel, on_workload,
-                store_root=cache_dir,
+                store_root=cache_dir, correlation_id=correlation_id,
             )
         else:
             characterizations = _collect_serial(

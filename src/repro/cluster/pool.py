@@ -14,9 +14,10 @@ with long-lived workers and a compact wire protocol:
   number of workloads on it.  ``Processor.run_workload`` resets all
   microarchitectural state per workload, so reuse is bit-identical to a
   fresh cluster (the invariant the old fan-out already relied on).
-* **Work items are compact.**  A task is ``(job, name, store_key)`` —
-  the workload name plus the store key the result should land under.
-  The config rode along at pool construction.
+* **Work items are compact.**  A task is ``(job, name, store_key,
+  meta)`` — the workload name, the store key the result should land
+  under, and an observational annotation dict (correlation ids for the
+  worker's trace spans).  The config rode along at pool construction.
 * **Results are compact.**  The worker persists the full payload itself
   (:meth:`ResultStore.put_object` — object file only, written
   atomically) and ships back just the 45-metric mapping, the
@@ -218,43 +219,79 @@ class LazyWorkloadCharacterization(WorkloadCharacterization):
 # -- worker side ---------------------------------------------------------------
 
 
+#: Ring capacity of a pool worker's tracer: plenty for coarse per-task
+#: spans (one per workload) without unbounded growth in long-lived pools.
+_WORKER_TRACE_CAPACITY = 4096
+
+
 def _worker_main(tasks, results, init: dict) -> None:
     """The persistent worker loop: build the cluster once, then serve.
 
-    Protocol: each task is ``(generation, index, name, store_key)``;
-    ``None`` is the shutdown sentinel.  Each reply is
+    Protocol: each task is ``(generation, index, name, store_key,
+    meta)``; ``None`` is the shutdown sentinel.  Each reply is
     ``(generation, index, "ok", CompactResult)`` or
     ``(generation, index, "error", {type, message})``.
+
+    Fleet telemetry: the worker resets the registry values it inherited
+    from the parent at fork (they would double-count in the merged
+    view), then publishes its own metric shard and a coarse
+    ``pool:characterize:<name>`` trace span per task — carrying the
+    submitting client's correlation id from ``meta`` — into the store's
+    telemetry directory.  Spans are recorded on a worker-local tracer,
+    never activated as the ambient tracer, so the engines inside the
+    characterization stay on their zero-cost disabled path.
     """
     # Imported here: the worker resolves its own instances post-fork,
     # and the service layer sits above this module.
     from repro.cluster.collection import _characterize_with_retries
     from repro.cluster.testbed import Cluster
+    from repro.obs.fleet import ShardWriter
+    from repro.obs.metrics import REGISTRY
+    from repro.obs.trace import Tracer
     from repro.service.store import ResultStore, characterization_to_payload
     from repro.workloads.base import RunContext
     from repro.workloads.suite import workload_by_name
 
+    REGISTRY.reset_values()
+    tracer = Tracer(max_events=_WORKER_TRACE_CAPACITY)
+    shards = ShardWriter(
+        init["store_root"],
+        instance=f"pool-{os.getpid():x}",
+        role="pool",
+        tracer=tracer,
+    ).start()
+    tasks_done = REGISTRY.counter(
+        "repro_pool_tasks_total",
+        "Workload characterizations finished by pool workers, by outcome",
+        ("outcome",),
+    )
     cluster = Cluster()
     context = RunContext(scale=init["scale"], seed=init["seed"])
     store = ResultStore(init["store_root"])
     while True:
         task = tasks.get()
         if task is None:
+            shards.close()
             return
-        generation, index, name, store_key = task
+        generation, index, name, store_key, meta = task
         if os.environ.get(CRASH_ENV) == name:
             os._exit(13)
+        span_args = {"workload": name}
+        correlation = (meta or {}).get("correlation_id")
+        if correlation:
+            span_args["correlation_id"] = correlation
         try:
-            characterization = _characterize_with_retries(
-                cluster,
-                workload_by_name(name),
-                context,
-                init["measurement"],
-                init["faults"],
-                init["retries"],
-                init["timeline"],
-                init["flight_capacity"],
-            )
+            with tracer.span(f"pool:characterize:{name}", "pool", **span_args):
+                characterization = _characterize_with_retries(
+                    cluster,
+                    workload_by_name(name),
+                    context,
+                    init["measurement"],
+                    init["faults"],
+                    init["retries"],
+                    init["timeline"],
+                    init["flight_capacity"],
+                )
             digest, nbytes = store.put_object(
                 store_key, characterization_to_payload(characterization)
             )
@@ -268,8 +305,10 @@ def _worker_main(tasks, results, init: dict) -> None:
                 digest=digest,
                 nbytes=nbytes,
             )
+            tasks_done.inc(outcome="ok")
             results.put((generation, index, "ok", compact))
         except BaseException as error:  # noqa: BLE001 — must reach the parent
+            tasks_done.inc(outcome="error")
             results.put(
                 (
                     generation,
@@ -279,7 +318,11 @@ def _worker_main(tasks, results, init: dict) -> None:
                 )
             )
             if not isinstance(error, Exception):
+                shards.close()
                 raise  # KeyboardInterrupt/SystemExit: report, then die
+        # Publish the finished task's span and counters promptly — a
+        # merge right after a job completes must see this worker's lane.
+        shards.write_now()
 
 
 # -- parent side ---------------------------------------------------------------
@@ -318,6 +361,7 @@ class CollectionPool:
         items: list[tuple[str, str]],
         cancel: threading.Event | None = None,
         on_result: Callable[[int, CompactResult], None] | None = None,
+        meta: dict | None = None,
     ) -> list[CompactResult]:
         """Characterize ``items`` (``(name, store_key)`` pairs), in order.
 
@@ -326,6 +370,10 @@ class CollectionPool:
         running.  ``on_result`` fires in *submission* order as results
         become emittable (later completions are buffered), exactly like
         the serial path's per-workload callback.
+
+        ``meta`` is an optional JSON-safe annotation dict (correlation
+        ids) that rides along on every task for the workers' telemetry;
+        it never influences the characterizations.
 
         Raises:
             WorkerPoolError: A worker died mid-task; the pool is torn
@@ -340,9 +388,9 @@ class CollectionPool:
                 raise WorkerPoolError("pool is shut down")
             self._generation += 1
             generation = self._generation
-            return self._run_locked(generation, items, cancel, on_result)
+            return self._run_locked(generation, items, cancel, on_result, meta)
 
-    def _run_locked(self, generation, items, cancel, on_result):
+    def _run_locked(self, generation, items, cancel, on_result, meta=None):
         pending = deque(enumerate(items))
         outstanding: dict[int, str] = {}
         buffered: dict[int, CompactResult] = {}
@@ -367,7 +415,7 @@ class CollectionPool:
                     break
             while pending and len(outstanding) < self.workers:
                 index, (name, store_key) = pending.popleft()
-                self._tasks.put((generation, index, name, store_key))
+                self._tasks.put((generation, index, name, store_key, meta))
                 outstanding[index] = name
             if not outstanding:
                 continue

@@ -25,9 +25,14 @@ Four pillars, one module each:
   the persisted artifact alone.
 
 :mod:`repro.obs.stats` carries the timing/percentile helpers the
-benchmark harnesses share.
+benchmark harnesses share.  :mod:`repro.obs.fleet` extends the plane
+across *processes*: per-pid metric shards and trace spills in the
+shared store directory, merged at scrape time into one fleet-wide
+``/metrics`` exposition, ``/fleet`` status view and multi-lane Chrome
+trace.
 """
 
+from repro.obs.fleet import ShardWriter, fleet_status, merge_traces, read_live_shards
 from repro.obs.flight import FlightRecorder, current_flight, flight_recording, record
 from repro.obs.log import configure_logging, get_logger
 from repro.obs.metrics import (
@@ -40,6 +45,10 @@ from repro.obs.metrics import (
 from repro.obs.trace import Tracer, current_tracer, span, tracing
 
 __all__ = [
+    "ShardWriter",
+    "fleet_status",
+    "merge_traces",
+    "read_live_shards",
     "Tracer",
     "current_tracer",
     "span",

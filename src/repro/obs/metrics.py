@@ -29,6 +29,7 @@ __all__ = [
     "MetricsRegistry",
     "REGISTRY",
     "DEFAULT_BUCKETS",
+    "GAUGE_AGGREGATIONS",
 ]
 
 #: Latency buckets (seconds) covering sub-millisecond request serving up
@@ -119,6 +120,22 @@ class Counter(_Metric):
             {} if labelnames else {_NO_LABELS: 0.0}
         )
 
+    def reset(self) -> None:
+        """Zero the samples (post-fork hygiene; registration survives)."""
+        with self._lock:
+            self._values = {} if self.labelnames else {_NO_LABELS: 0.0}
+
+    def to_shard(self) -> dict:
+        """JSON-safe serialization for cross-process metric shards."""
+        with self._lock:
+            items = sorted(self._values.items())
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "labels": list(self.labelnames),
+            "values": [[list(key), value] for key, value in items],
+        }
+
     def inc(self, amount: float = 1.0, **labels) -> None:
         if amount < 0:
             raise ConfigurationError(f"{self.name}: counters only go up")
@@ -156,10 +173,45 @@ class Counter(_Metric):
         }
 
 
+#: Valid cross-process gauge aggregation declarations (see :class:`Gauge`).
+GAUGE_AGGREGATIONS = ("per_worker", "sum")
+
+
 class Gauge(Counter):
-    """A value that can go up and down (queue depth, store entries)."""
+    """A value that can go up and down (queue depth, store entries).
+
+    Args:
+        aggregation: How a *fleet-wide* merge (``repro.obs.fleet``) must
+            combine this gauge across process shards.  ``"per_worker"``
+            (the default) exposes one sample per process with a
+            ``worker=<instance>`` label — correct for gauges that
+            describe a *shared* resource every process reports (store
+            entries/bytes) where summing would double-count.  ``"sum"``
+            declares the per-process values disjoint (each process owns
+            its share, e.g. live jobs) so the merged sample is their sum.
+    """
 
     kind = "gauge"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...] = (),
+        aggregation: str = "per_worker",
+    ):
+        if aggregation not in GAUGE_AGGREGATIONS:
+            raise ConfigurationError(
+                f"{name}: aggregation must be one of {GAUGE_AGGREGATIONS},"
+                f" got {aggregation!r}"
+            )
+        super().__init__(name, help, labelnames)
+        self.aggregation = aggregation
+
+    def to_shard(self) -> dict:
+        shard = super().to_shard()
+        shard["aggregation"] = self.aggregation
+        return shard
 
     def inc(self, amount: float = 1.0, **labels) -> None:  # noqa: D102
         key = _label_key(self.labelnames, labels) if labels or self.labelnames else _NO_LABELS
@@ -272,6 +324,28 @@ class Histogram(_Metric):
             "p99": round(self.quantile(0.99), 9),
         }
 
+    def reset(self) -> None:
+        """Zero the samples (post-fork hygiene; buckets survive)."""
+        with self._lock:
+            self._counts = [0] * (len(self.buckets) + 1)
+            self._sum = 0.0
+            self._count = 0
+
+    def to_shard(self) -> dict:
+        """JSON-safe serialization for cross-process metric shards."""
+        with self._lock:
+            counts = list(self._counts)
+            total_sum = self._sum
+            total_count = self._count
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "buckets": list(self.buckets),
+            "counts": counts,
+            "sum": round(total_sum, 9),
+            "count": total_count,
+        }
+
 
 class MetricsRegistry:
     """A named collection of metrics with idempotent registration.
@@ -305,9 +379,13 @@ class MetricsRegistry:
         return self._register(Counter, name, help, labelnames)
 
     def gauge(
-        self, name: str, help: str, labelnames: tuple[str, ...] = ()
+        self,
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...] = (),
+        aggregation: str = "per_worker",
     ) -> Gauge:
-        return self._register(Gauge, name, help, labelnames)
+        return self._register(Gauge, name, help, labelnames, aggregation)
 
     def histogram(
         self,
@@ -341,6 +419,29 @@ class MetricsRegistry:
                 (name, self._metrics[name]) for name in sorted(self._metrics)
             ]
         return {name: metric.snapshot() for name, metric in metrics}
+
+    def to_shard(self) -> dict:
+        """Every metric serialized for a cross-process shard file."""
+        with self._lock:
+            metrics = [
+                (name, self._metrics[name]) for name in sorted(self._metrics)
+            ]
+        return {name: metric.to_shard() for name, metric in metrics}
+
+    def reset_values(self) -> None:
+        """Zero every metric's samples, keeping the registrations.
+
+        Forked children inherit the parent's registry *values* — a
+        server worker starts life already carrying the supervisor's
+        restart counts, a pool worker the server's request counts.  Left
+        alone, each child's shard would re-report those samples and the
+        fleet merge would multiply-count them; every forked entry point
+        therefore calls this first.
+        """
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.reset()
 
 
 #: The process-wide registry every layer reports into.

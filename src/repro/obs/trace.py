@@ -67,6 +67,11 @@ class Tracer:
         if max_events is not None and max_events < 1:
             raise ValueError("max_events must be at least 1")
         self._epoch_ns = time.perf_counter_ns()
+        #: Wall-clock anchor of the monotonic epoch.  Each process's
+        #: ``ts`` values are relative to its own ``perf_counter`` epoch;
+        #: a multi-process merge rebases them onto a common timeline via
+        #: this anchor (see ``repro.obs.fleet.merge_traces``).
+        self.epoch_unix_s = time.time()
         self._lock = threading.Lock()
         self._max_events = max_events
         self.events: list[SpanEvent] = []
@@ -118,8 +123,14 @@ class Tracer:
 
     # -- export ---------------------------------------------------------------
 
-    def to_chrome(self) -> dict:
-        """The Chrome Trace Event Format document for this tracer."""
+    def to_chrome(self, instance: str | None = None) -> dict:
+        """The Chrome Trace Event Format document for this tracer.
+
+        Args:
+            instance: Optional fleet instance name recorded in
+                ``otherData`` so a multi-process merge can label this
+                process's lane.
+        """
         pid = os.getpid()
         trace_events = []
         with self._lock:
@@ -139,10 +150,17 @@ class Tracer:
             else:
                 entry["s"] = "t"  # instant scope: thread
             trace_events.append(entry)
+        other: dict = {
+            "producer": "repro.obs.trace",
+            "pid": pid,
+            "epoch_unix_s": round(self.epoch_unix_s, 6),
+        }
+        if instance is not None:
+            other["instance"] = instance
         return {
             "traceEvents": trace_events,
             "displayTimeUnit": "ms",
-            "otherData": {"producer": "repro.obs.trace"},
+            "otherData": other,
         }
 
     def summary(self, top: int = 10) -> list[dict]:

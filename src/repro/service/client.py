@@ -133,6 +133,14 @@ class ServiceClient:
         """Runtime metrics + store/job state as JSON."""
         return self._request("/stats")
 
+    def fleet(self) -> dict:
+        """Per-worker liveness and merged fleet totals (``/fleet``)."""
+        return self._request("/fleet")
+
+    def merged_trace(self) -> dict:
+        """The fleet's merged multi-process Chrome trace (``/trace``)."""
+        return self._request("/trace")
+
     def characterize(self, name: str, wait: bool = True) -> dict:
         """One workload's full characterization (or a job snapshot if
         ``wait=False`` and the result is not cached yet)."""

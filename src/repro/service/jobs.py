@@ -72,8 +72,10 @@ _JOBS_COMPLETED = REGISTRY.counter(
     "Jobs reaching a terminal state, by final state",
     ("state",),
 )
+# Each worker owns its live jobs outright, so the fleet-wide value is
+# the sum of the per-process values (see repro.obs.fleet).
 _JOBS_LIVE = REGISTRY.gauge(
-    "repro_jobs_live", "Jobs currently queued or running"
+    "repro_jobs_live", "Jobs currently queued or running", aggregation="sum"
 )
 _JOB_SECONDS = REGISTRY.histogram(
     "repro_job_duration_seconds",
@@ -547,6 +549,12 @@ class JobManager:
                         progress=progress,
                         cancel=job._cancel,
                         on_workload=on_workload,
+                        # First correlation wins the pool-worker spans:
+                        # it joins client -> job -> pool lanes end-to-end
+                        # in the merged fleet trace.
+                        correlation_id=(
+                            job.correlations[0] if job.correlations else None
+                        ),
                     )
                 except CollectionCancelled:
                     with self._lock:

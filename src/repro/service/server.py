@@ -5,9 +5,11 @@ reproduction as a JSON service::
 
     GET  /                      service info + endpoint table
     GET  /workloads             the suite's Table I metadata
-    GET  /metrics               runtime metrics (Prometheus text format)
+    GET  /metrics               fleet-wide metrics (Prometheus text format)
     GET  /metrics/catalog       the 45 Table II metric specs
     GET  /stats                 runtime metrics + store/job state as JSON
+    GET  /fleet                 per-worker liveness + merged fleet totals
+    GET  /trace                 merged multi-process Chrome trace
     GET  /characterize/<name>   one workload's full characterization
     GET  /suite/matrix          the workload × metric matrix
     GET  /subset?k=K            K-means representative subset (Table V)
@@ -52,6 +54,13 @@ from repro.cluster.collection import (
 from repro.core.subsetting import subset_workloads
 from repro.errors import ReproError, ServiceError, WorkloadError
 from repro.metrics.catalog import METRICS
+from repro.obs.fleet import (
+    ShardWriter,
+    fleet_status,
+    merge_store_traces,
+    read_live_shards,
+    render_merged,
+)
 from repro.obs.log import get_logger
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import Tracer, span as obs_span, tracing
@@ -178,9 +187,21 @@ class CharacterizationService:
         # store invalidates them on the next request automatically.
         self._suite_cache: tuple[str, dict] | None = None
         self._char_cache: dict[str, tuple[str, _Response]] = {}
+        # Fleet telemetry: this process's metric shard (and trace spill)
+        # in the shared store, merged with the siblings' at scrape time.
+        self.shards = ShardWriter(
+            self.store.root,
+            instance=f"server-{self.jobs.instance}",
+            role="server",
+            tracer=self.tracer,
+        ).start()
 
     def close(self) -> None:
         self.jobs.shutdown()
+        # Final shard write *after* the jobs wind down so the last
+        # counters of this worker's life are scrapeable until staleness
+        # retires the shard.
+        self.shards.close()
 
     # -- routing --------------------------------------------------------------
 
@@ -201,6 +222,10 @@ class CharacterizationService:
             return self._metric_catalog()
         if parts == ["stats"]:
             return self._stats()
+        if parts == ["fleet"]:
+            return self._fleet()
+        if parts == ["trace"]:
+            return self._merged_trace()
         if len(parts) == 2 and parts[0] == "characterize":
             wait = query.get("wait", ["1"])[0] not in ("0", "false", "no")
             return self._characterize(
@@ -252,6 +277,8 @@ class CharacterizationService:
                     "/metrics",
                     "/metrics/catalog",
                     "/stats",
+                    "/fleet",
+                    "/trace",
                     "/characterize/<name>",
                     "/suite/matrix",
                     "/subset?k=K",
@@ -294,13 +321,37 @@ class CharacterizationService:
         )
 
     def _runtime_metrics(self) -> _Response:
-        """The process's runtime metrics in Prometheus text format.
+        """The *fleet's* runtime metrics in Prometheus text format.
+
+        The serving worker snapshots its own registry to its shard
+        first, then merges every live shard — so one scrape against any
+        worker behind the shared socket reports the whole fleet
+        (sibling workers, the supervisor, the collection pool), and the
+        reported totals exactly equal the sum of the on-disk shards.
 
         No ETag: the body changes with every observation, and scrapers
         poll unconditionally anyway.
         """
-        text = REGISTRY.render_prometheus()
+        self.shards.write_now()
+        text = render_merged(read_live_shards(self.store.root))
         return _Response(200, text.encode("utf-8"), content_type=_PROMETHEUS)
+
+    def _fleet(self) -> _Response:
+        """``/fleet``: per-process liveness and merged fleet totals."""
+        self.shards.write_now()
+        status = fleet_status(read_live_shards(self.store.root))
+        return _Response(200, _dumps(status))
+
+    def _merged_trace(self) -> _Response:
+        """``/trace``: every process's trace spill stitched into one
+        Chrome Trace Event document (distinct pid lanes, rebased onto a
+        common timeline — see :func:`repro.obs.fleet.merge_traces`)."""
+        if self.tracer is not None:
+            # Flush this worker's newest spans so the merge includes the
+            # requests that led up to this one.
+            self.shards.spill_trace()
+        merged = merge_store_traces(self.store.root)
+        return _Response(200, _dumps(merged))
 
     def _stats(self) -> _Response:
         """Runtime metrics plus store/job state as one JSON document."""

@@ -42,9 +42,11 @@ import time
 from http.server import ThreadingHTTPServer
 
 from repro.errors import ServiceError
+from repro.obs.fleet import ShardWriter
 from repro.obs.log import get_logger
 from repro.obs.metrics import REGISTRY
 from repro.service.server import CharacterizationService, ServiceConfig, _Handler
+from repro.service.store import resolve_cache_dir
 
 __all__ = ["Supervisor", "worker_main"]
 
@@ -93,6 +95,10 @@ def worker_main(
     thread pool — nothing crosses the fork), then accepts from ``sock``
     until SIGTERM/SIGINT.  Never returns: exits the process.
     """
+    # The fork copied the supervisor's registry values (its restart
+    # counter, anything imports bumped); this worker's shard must report
+    # only what *it* did, or the fleet merge would multiply-count.
+    REGISTRY.reset_values()
     service = CharacterizationService(config)
     server = ThreadingHTTPServer(
         sock.getsockname()[:2], _Handler, bind_and_activate=False
@@ -174,6 +180,7 @@ class Supervisor:
         self._sock: socket.socket | None = None
         self._pids: set[int] = set()
         self._stopping = threading.Event()
+        self._shards: ShardWriter | None = None
         self.host = host
         self.port = port
 
@@ -186,6 +193,18 @@ class Supervisor:
         self.host, self.port = self._sock.getsockname()[:2]
         for _ in range(self.workers):
             self._spawn()
+        # The supervisor has no HTTP endpoint of its own; its shard in
+        # the shared store is the only way its counters (worker
+        # restarts) reach a /metrics scrape.  Created *after* the forks
+        # above so no child inherits it.  Without a shared store there
+        # is nowhere fleet-visible to publish — skip.
+        store_root = resolve_cache_dir(
+            self.config.cache_dir if self.config is not None else None
+        )
+        if store_root is not None:
+            self._shards = ShardWriter(
+                store_root, instance=f"sup-{os.getpid():x}", role="supervisor"
+            ).start()
         _log.info(
             "supervisor started",
             extra={"port": self.port, "workers": self.workers,
@@ -226,6 +245,10 @@ class Supervisor:
                 continue
             self.restarts += 1
             _WORKER_RESTARTS.inc()
+            if self._shards is not None:
+                # Publish immediately: the very next /metrics scrape
+                # (any worker) must already show this restart.
+                self._shards.write_now()
             _log.warning(
                 "worker died; restarting",
                 extra={"pid": pid, "status": status,
@@ -279,6 +302,9 @@ class Supervisor:
         if self._sock is not None:
             self._sock.close()
             self._sock = None
+        if self._shards is not None:
+            self._shards.close()
+            self._shards = None
 
     def __enter__(self) -> "Supervisor":
         self.start()

@@ -131,6 +131,25 @@ def test_killed_worker_is_restarted_and_service_recovers(tmp_path):
         for _ in range(10):
             assert _get_json(f"{base}/")["suite_size"] == 2
 
+        # The restart is fleet-scrapeable: the supervisor has no HTTP
+        # port, so its restart counter can only reach /metrics through
+        # its shard in the shared store.
+        def _restarts_scraped() -> float:
+            with urllib.request.urlopen(f"{base}/metrics", timeout=30.0) as r:
+                text = r.read().decode()
+            for line in text.splitlines():
+                if line.startswith("repro_worker_restarts_total "):
+                    return float(line.split()[1])
+            return 0.0
+
+        assert _restarts_scraped() == 1.0
+
+        # And /fleet agrees, listing the supervisor as its own process.
+        fleet = _get_json(f"{base}/fleet")
+        assert fleet["totals"]["restarts_total"] == 1.0
+        roles = {w["role"] for w in fleet["workers"]}
+        assert "supervisor" in roles and "server" in roles
+
 
 def test_shutdown_is_idempotent_and_closes_the_socket(tmp_path):
     sup = Supervisor(_config(tmp_path), port=0, workers=2)

@@ -14,6 +14,7 @@ spec.loader.exec_module(check_trace_module)
 
 check_trace = check_trace_module.check_trace
 check_duration_nesting = check_trace_module.check_duration_nesting
+check_fleet_metadata = check_trace_module.check_fleet_metadata
 main = check_trace_module.main
 
 
@@ -94,6 +95,82 @@ class TestDurationNesting:
         ]
         problems = check_duration_nesting(events)
         assert len(problems) == 2  # orphan E on tid 2, unclosed B on tid 1
+
+
+def _meta(name, label, pid=1, tid=0):
+    return {
+        "name": name, "ph": "M", "pid": pid, "tid": tid,
+        "args": {"name": label},
+    }
+
+
+class TestMetadataEvents:
+    def test_metadata_phase_accepted_without_ts(self):
+        document = {"traceEvents": [_meta("process_name", "server"), _event()]}
+        assert check_trace(document) == []
+
+    def test_lane_metadata_needs_nonempty_args_name(self):
+        document = {"traceEvents": [_meta("process_name", "")]}
+        problems = check_trace(document)
+        assert any("args.name" in p for p in problems)
+
+    def test_lane_metadata_needs_args_at_all(self):
+        event = {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1}
+        problems = check_trace({"traceEvents": [event]})
+        assert any("args.name" in p for p in problems)
+
+    def test_other_metadata_names_unconstrained(self):
+        event = {"name": "num_cpus", "ph": "M", "pid": 1, "tid": 0,
+                 "args": {"number": 8}}
+        assert check_trace({"traceEvents": [event, _event()]}) == []
+
+
+class TestFleetChecks:
+    def _fleet_events(self):
+        """Two pids, fully labeled — what merge_traces emits."""
+        return [
+            _meta("process_name", "server-a", pid=1),
+            _meta("process_name", "pool-b", pid=2),
+            _meta("thread_name", "main", pid=1, tid=1),
+            _meta("thread_name", "main", pid=2, tid=2),
+            _event(pid=1, tid=1),
+            _event(pid=2, tid=2, ts=1.0),
+        ]
+
+    def test_min_pids_satisfied(self):
+        document = {"traceEvents": self._fleet_events()}
+        assert check_trace(document, min_pids=2) == []
+
+    def test_min_pids_counts_real_events_only(self):
+        # Metadata for pid 2 but no real events there: still one pid.
+        events = [_event(pid=1), _meta("process_name", "ghost", pid=2)]
+        problems = check_trace({"traceEvents": events}, min_pids=2)
+        assert any("at least 2 pids" in p for p in problems)
+
+    def test_labeled_fleet_passes_metadata_check(self):
+        assert check_fleet_metadata(self._fleet_events()) == []
+
+    def test_missing_process_name_reported(self):
+        events = [_event(pid=7, tid=1), _meta("thread_name", "main", pid=7, tid=1)]
+        problems = check_fleet_metadata(events)
+        assert problems == ["pid 7: has events but no 'process_name' metadata"]
+
+    def test_missing_thread_name_reported_per_thread(self):
+        events = [
+            _meta("process_name", "server", pid=1),
+            _meta("thread_name", "main", pid=1, tid=1),
+            _event(pid=1, tid=1),
+            _event(pid=1, tid=2, ts=1.0),  # tid 2 unlabeled
+        ]
+        problems = check_fleet_metadata(events)
+        assert len(problems) == 1 and "tid 2" in problems[0]
+
+    def test_require_process_names_via_main(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({"traceEvents": [_event(pid=3)]}))
+        code = main([str(path), "--require-process-names"])
+        assert code == 1
+        assert "process_name" in capsys.readouterr().err
 
 
 class TestMainExitCodes:

@@ -148,6 +148,75 @@ class TestServe:
         assert "/suite/matrix" in out
 
 
+class TestTraceMerge:
+    def _spill(self, store, instance, role, pid, epoch):
+        from repro.obs.fleet import _atomic_write_json, traces_dir
+
+        _atomic_write_json(
+            traces_dir(store) / f"{instance}-{pid}.json",
+            {
+                "traceEvents": [
+                    {"name": "work", "ph": "X", "ts": 10.0, "dur": 5.0,
+                     "pid": pid, "tid": 1, "cat": role, "args": {}}
+                ],
+                "otherData": {
+                    "epoch_unix_s": epoch, "instance": instance,
+                    "role": role, "pid": pid,
+                },
+            },
+        )
+
+    def test_merges_spills_into_one_trace(self, tmp_path, capsys):
+        import json
+
+        store = tmp_path / "store"
+        self._spill(store, "server-a", "server", 11, 100.0)
+        self._spill(store, "pool-b", "pool", 22, 100.5)
+        out = tmp_path / "merged.json"
+        assert main(["trace", "--merge", str(store), "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "2 processes" in stdout or "2 pid" in stdout.lower()
+        merged = json.loads(out.read_text())
+        pids = {e["pid"] for e in merged["traceEvents"] if e["ph"] == "X"}
+        assert pids == {11, 22}
+
+    def test_merge_with_no_spills_exits_2(self, tmp_path, capsys):
+        assert (
+            main(["trace", "--merge", str(tmp_path), "--out",
+                  str(tmp_path / "m.json")])
+            == EXIT_USAGE
+        )
+        assert "no trace spills" in capsys.readouterr().err
+
+    def test_trace_without_workload_or_merge_exits_2(self, capsys):
+        assert main(["trace"]) == EXIT_USAGE
+        assert "--merge" in capsys.readouterr().err
+
+
+class TestStatus:
+    def test_store_mode_prints_fleet_table(self, tmp_path, capsys):
+        from repro.obs.fleet import ShardWriter
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_http_requests_total", "requests", ("code",)
+        ).inc(5, code="200")
+        ShardWriter(
+            tmp_path, instance="server-x", role="server", registry=registry
+        ).write_now()
+        assert main(["status", "--store", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "server-x" in out
+        assert "processes" in out
+
+    def test_unreachable_service_exits_nonzero(self, capsys):
+        # A port no listener holds: the client error must be friendly.
+        assert main(["status", "--url", "http://127.0.0.1:9",
+                     "--timeout", "0.5"]) == 1
+        assert "repro:" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

@@ -6,10 +6,14 @@ on — CI runs this against a freshly exported trace so a malformed
 exporter fails the build instead of failing silently in a viewer:
 
 - top level is an object with a ``traceEvents`` list;
-- every event has a string ``name``, a ``ph`` of ``X``, ``i``, ``B`` or
-  ``E``, a numeric ``ts >= 0``, and integer ``pid``/``tid``;
+- every event has a string ``name``, a ``ph`` of ``X``, ``i``, ``B``,
+  ``E`` or ``M``, a numeric ``ts >= 0`` (optional on ``M``), and
+  integer ``pid``/``tid``;
 - complete events (``ph: X``) carry a numeric ``dur >= 0``;
 - instant events (``ph: i``) carry a scope ``s``;
+- metadata events (``ph: M``) named ``process_name``/``thread_name``
+  carry a non-empty ``args.name`` (that string is the viewer's lane
+  label — an empty one renders as a blank lane);
 - duration events (``B``/``E``) nest properly **per thread**: every
   ``E`` pops the matching ``B`` on its ``(pid, tid)`` stack (same name
   when the ``E`` carries one), no ``E`` without an open ``B``, no ``B``
@@ -17,9 +21,19 @@ exporter fails the build instead of failing silently in a viewer:
 - ``B``/``E`` timestamps are monotone within a thread, so no pair
   implies a negative duration.
 
+Merged multi-process traces (``repro trace --merge``) get two extra,
+opt-in checks:
+
+- ``--min-pids N`` fails unless real (non-``M``) events span at least
+  N distinct pids — proof the merge actually stitched a fleet;
+- ``--require-process-names`` fails unless every pid with real events
+  has a ``process_name`` metadata event and every ``(pid, tid)`` with
+  real events has a ``thread_name`` one.
+
 Usage::
 
     python tools/check_trace.py trace.json [--min-events N]
+        [--min-pids N] [--require-process-names]
 
 Exits 0 on a valid trace, 1 with per-event diagnostics otherwise.
 Standard library only.
@@ -31,7 +45,10 @@ import argparse
 import json
 import sys
 
-VALID_PHASES = {"X", "i", "B", "E"}
+VALID_PHASES = {"X", "i", "B", "E", "M"}
+
+#: Metadata event names whose ``args.name`` labels a viewer lane.
+LANE_METADATA = {"process_name", "thread_name"}
 
 
 def check_event(index: int, event: object) -> list[str]:
@@ -48,7 +65,9 @@ def check_event(index: int, event: object) -> list[str]:
             f"got {phase!r}"
         )
     ts = event.get("ts")
-    if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+    if phase == "M" and ts is None:
+        pass  # metadata events are timeless; 'ts' is optional on them
+    elif not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
         problems.append(f"event {index}: 'ts' must be a number >= 0, got {ts!r}")
     for field in ("pid", "tid"):
         value = event.get(field)
@@ -64,6 +83,14 @@ def check_event(index: int, event: object) -> list[str]:
             )
     if phase == "i" and not event.get("s"):
         problems.append(f"event {index}: instant event needs a scope 's'")
+    if phase == "M" and event.get("name") in LANE_METADATA:
+        args = event.get("args")
+        label = args.get("name") if isinstance(args, dict) else None
+        if not isinstance(label, str) or not label:
+            problems.append(
+                f"event {index}: {event['name']!r} metadata needs a "
+                f"non-empty string 'args.name', got {label!r}"
+            )
     return problems
 
 
@@ -122,7 +149,58 @@ def check_duration_nesting(events: list) -> list[str]:
     return problems
 
 
-def check_trace(document: object, min_events: int = 1) -> list[str]:
+def _real_event_threads(events: list) -> dict[int, set]:
+    """pid -> set of tids carrying real (non-metadata) events."""
+    threads: dict[int, set] = {}
+    for event in events:
+        if not isinstance(event, dict) or event.get("ph") == "M":
+            continue
+        pid, tid = event.get("pid"), event.get("tid")
+        if isinstance(pid, int) and not isinstance(pid, bool):
+            threads.setdefault(pid, set())
+            if isinstance(tid, int) and not isinstance(tid, bool):
+                threads[pid].add(tid)
+    return threads
+
+
+def check_fleet_metadata(events: list) -> list[str]:
+    """Every pid with real events is labeled for the viewer.
+
+    A merged multi-process trace is only readable if each pid lane has
+    a ``process_name`` metadata event and each ``(pid, tid)`` row a
+    ``thread_name`` one — otherwise Perfetto shows bare numbers and the
+    fleet structure the merge worked to recover is invisible.
+    """
+    named_pids = set()
+    named_threads = set()
+    for event in events:
+        if not isinstance(event, dict) or event.get("ph") != "M":
+            continue
+        if event.get("name") == "process_name":
+            named_pids.add(event.get("pid"))
+        elif event.get("name") == "thread_name":
+            named_threads.add((event.get("pid"), event.get("tid")))
+    problems = []
+    for pid, tids in sorted(_real_event_threads(events).items()):
+        if pid not in named_pids:
+            problems.append(
+                f"pid {pid}: has events but no 'process_name' metadata"
+            )
+        for tid in sorted(tids):
+            if (pid, tid) not in named_threads:
+                problems.append(
+                    f"pid {pid} tid {tid}: has events but no "
+                    f"'thread_name' metadata"
+                )
+    return problems
+
+
+def check_trace(
+    document: object,
+    min_events: int = 1,
+    min_pids: int = 0,
+    require_process_names: bool = False,
+) -> list[str]:
     """All problems with one parsed trace document."""
     if not isinstance(document, dict):
         return ["top level must be a JSON object"]
@@ -137,6 +215,15 @@ def check_trace(document: object, min_events: int = 1) -> list[str]:
     for index, event in enumerate(events):
         problems.extend(check_event(index, event))
     problems.extend(check_duration_nesting(events))
+    if min_pids > 0:
+        pids = _real_event_threads(events)
+        if len(pids) < min_pids:
+            problems.append(
+                f"expected events from at least {min_pids} pids, "
+                f"found {len(pids)} ({sorted(pids)})"
+            )
+    if require_process_names:
+        problems.extend(check_fleet_metadata(events))
     return problems
 
 
@@ -149,6 +236,19 @@ def main(argv: list[str] | None = None) -> int:
         default=1,
         help="fail unless the trace has at least this many events",
     )
+    parser.add_argument(
+        "--min-pids",
+        type=int,
+        default=0,
+        help="fail unless real events span at least this many pids "
+        "(merged multi-process traces)",
+    )
+    parser.add_argument(
+        "--require-process-names",
+        action="store_true",
+        help="fail unless every pid/tid with events carries "
+        "process_name/thread_name metadata",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -158,7 +258,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"check_trace: cannot read {args.trace}: {error}", file=sys.stderr)
         return 1
 
-    problems = check_trace(document, min_events=args.min_events)
+    problems = check_trace(
+        document,
+        min_events=args.min_events,
+        min_pids=args.min_pids,
+        require_process_names=args.require_process_names,
+    )
     if problems:
         for problem in problems:
             print(f"check_trace: {problem}", file=sys.stderr)
@@ -167,10 +272,12 @@ def main(argv: list[str] | None = None) -> int:
     counts = {phase: 0 for phase in sorted(VALID_PHASES)}
     for event in events:
         counts[event["ph"]] += 1
+    pids = _real_event_threads(events)
     print(
         f"check_trace: {args.trace} OK — {len(events)} events "
         f"({counts['X']} complete, {counts['i']} instant, "
-        f"{counts['B']}+{counts['E']} duration)"
+        f"{counts['B']}+{counts['E']} duration, {counts['M']} metadata) "
+        f"across {len(pids)} pid(s)"
     )
     return 0
 
