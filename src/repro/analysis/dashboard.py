@@ -17,6 +17,10 @@ Charts (all SVG, one measure per chart):
   below the suite mean, exactly the normalization the clustering uses).
 - **Kiviat diagrams** — Figure 6's radar polygons for the chosen
   representatives, via :mod:`repro.core.kiviat`.
+- **Flamegraph** — a span-attributed icicle of a merged fleet CPU
+  profile (:mod:`repro.obs.prof`), rendered as pure SVG with ``<title>``
+  tooltips; :func:`render_profile_page` serves it standalone for
+  ``GET /profile?format=flame`` and ``repro profile --flame``.
 
 Colors come from the validated reference palette (categorical slot 1
 blue for series, diverging blue↔red for signed z-scores) with light and
@@ -38,7 +42,7 @@ from repro.core.kiviat import KiviatDiagram
 from repro.core.subsetting import SubsettingResult
 from repro.metrics.catalog import METRIC_NAMES
 
-__all__ = ["render_dashboard"]
+__all__ = ["render_dashboard", "render_profile_page"]
 
 
 # -- palette (reference instance; see the data-viz method) ---------------------
@@ -307,6 +311,7 @@ _STYLE = """
   --baseline:       #c3c2b7;
   --border:         rgba(11,11,11,0.10);
   --series-1:       #2a78d6;
+  --series-2:       #e34948;
   --ramp-wash:      rgba(137,135,129,0.12);
 }
 @media (prefers-color-scheme: dark) {
@@ -321,6 +326,7 @@ _STYLE = """
     --baseline:       #383835;
     --border:         rgba(255,255,255,0.10);
     --series-1:       #3987e5;
+    --series-2:       #e66767;
     --ramp-wash:      rgba(137,135,129,0.18);
   }
 }
@@ -335,6 +341,7 @@ _STYLE = """
   --baseline:       #383835;
   --border:         rgba(255,255,255,0.10);
   --series-1:       #3987e5;
+  --series-2:       #e66767;
   --ramp-wash:      rgba(137,135,129,0.18);
 }
 .viz-root {
@@ -372,6 +379,17 @@ _STYLE = """
 .viz-root .swatch {
   display: inline-block; width: 10px; height: 10px;
   border-radius: 2px; margin: 0 4px 0 10px; vertical-align: baseline;
+}
+.viz-root rect.fl-span { fill: var(--series-1); fill-opacity: 0.85; }
+.viz-root rect.fl-span.fl-frame { fill-opacity: 0.45; }
+.viz-root rect.fl-idle { fill: var(--muted); fill-opacity: 0.50; }
+.viz-root rect.fl-idle.fl-frame { fill-opacity: 0.28; }
+.viz-root rect.fl-untracked { fill: var(--series-2); fill-opacity: 0.60; }
+.viz-root rect.fl-untracked.fl-frame { fill-opacity: 0.35; }
+.viz-root svg .fl-label {
+  fill: var(--text-primary); font-size: 10px;
+  font-family: ui-monospace, "SF Mono", Menlo, monospace;
+  pointer-events: none;
 }
 """
 
@@ -537,12 +555,254 @@ def _kiviat_cards(subsetting: SubsettingResult | None) -> str:
     return f'<div class="cards">{"".join(cards)}</div>'
 
 
+# -- continuous-profiling panel ------------------------------------------------
+
+#: Flamegraph geometry: full-width rows of fixed height, pruned below
+#: one pixel so the SVG stays bounded no matter how many stacks merged.
+_FLAME_W = 1040.0
+_FLAME_ROW_H = 17.0
+_FLAME_MAX_DEPTH = 48
+_FLAME_MIN_PX = 1.0
+#: Approximate monospace advance at font-size 10 — labels are cut to fit.
+_FLAME_CHAR_PX = 6.2
+
+#: Roots the profiler uses for samples with no live span path (kept in
+#: sync with :mod:`repro.obs.prof`; restated here so rendering a saved
+#: profile document needs nothing but the document).
+_FLAME_IDLE = "(idle)"
+_FLAME_UNTRACKED = "(untracked)"
+
+
+def _profile_stacks(doc: dict):
+    """``(spans, frames, count, idle)`` per entry of a profile document."""
+    for entry in doc.get("stacks", ()):
+        spans, frames, count, idle = entry
+        yield tuple(spans), tuple(frames), int(count), bool(idle)
+
+
+def _flame_tree(doc: dict) -> tuple[dict, int]:
+    """Aggregate stacks into a nested ``{segment: [count, children]}``.
+
+    Each path is the span segments (or the unattributed root) followed
+    by the frame labels root-first, so the icicle groups frames under
+    the span that owned them — the same shape as the collapsed output.
+    """
+    tree: dict = {}
+    total = 0
+    for spans, frames, count, idle in _profile_stacks(doc):
+        if spans:
+            path = spans + frames
+        else:
+            path = ((_FLAME_IDLE if idle else _FLAME_UNTRACKED),) + frames
+        total += count
+        node = tree
+        for segment in path:
+            entry = node.setdefault(segment, [0, {}])
+            entry[0] += count
+            node = entry[1]
+    return tree, total
+
+
+def _flame_category(root_segment: str) -> str:
+    if root_segment == _FLAME_IDLE:
+        return "idle"
+    if root_segment == _FLAME_UNTRACKED:
+        return "untracked"
+    return "span"
+
+
+def _flamegraph_svg(doc: dict) -> str:
+    """The merged profile as a no-script SVG icicle (root on top).
+
+    Rect widths are sample shares of the window; ``<title>`` children
+    carry the tooltips, so the chart needs zero JavaScript.  Subtrees
+    narrower than one pixel are pruned (their samples still widen every
+    ancestor, so nothing is miscounted — only unreadably small rects
+    are dropped).
+    """
+    tree, total = _flame_tree(doc)
+    if not total:
+        return ""
+    rects: list[str] = []
+    max_depth = 0
+
+    def render(node: dict, x: float, depth: int, category: str | None) -> None:
+        nonlocal max_depth
+        for name, (count, children) in sorted(
+            node.items(), key=lambda kv: (-kv[1][0], kv[0])
+        ):
+            width = count / total * _FLAME_W
+            if width < _FLAME_MIN_PX or depth >= _FLAME_MAX_DEPTH:
+                x += width
+                continue
+            max_depth = max(max_depth, depth)
+            cat = category or _flame_category(name)
+            classes = f"fl-{cat}"
+            if ".py:" in name or name.startswith("<"):
+                classes += " fl-frame"
+            y = depth * _FLAME_ROW_H
+            tip = f"{name} — {count} samples ({count / total:.1%})"
+            rects.append(
+                f'<rect x="{x:.2f}" y="{y:.1f}" width="{max(width - 0.4, 0.4):.2f}" '
+                f'height="{_FLAME_ROW_H - 1:.1f}" rx="1" class="{classes}">'
+                f"<title>{_esc(tip)}</title></rect>"
+            )
+            label_room = int(width / _FLAME_CHAR_PX)
+            if label_room >= 4:
+                label = name if len(name) <= label_room else name[: label_room - 1] + "…"
+                rects.append(
+                    f'<text x="{x + 3:.2f}" y="{y + _FLAME_ROW_H - 5:.1f}" '
+                    f'class="fl-label">{_esc(label)}</text>'
+                )
+            render(children, x, depth + 1, cat)
+            x += width
+
+    render(tree, 0.0, 0, None)
+    height = (max_depth + 1) * _FLAME_ROW_H + 2
+    return (
+        f'<svg viewBox="0 0 {_FLAME_W:.0f} {height:.0f}" '
+        f'width="{_FLAME_W:.0f}" height="{height:.0f}" role="img" '
+        f'aria-label="fleet CPU flamegraph">\n'
+        f"  <title>Fleet CPU profile: {total} samples; each row is one "
+        f"stack level, width is the sample share</title>\n"
+        f"  {''.join(rects)}\n</svg>"
+    )
+
+
+def _profile_attribution(doc: dict) -> dict:
+    attributed = idle = untracked = 0
+    for spans, _frames, count, is_idle in _profile_stacks(doc):
+        if spans:
+            attributed += count
+        elif is_idle:
+            idle += count
+        else:
+            untracked += count
+    busy = attributed + untracked
+    return {
+        "attributed": attributed,
+        "idle": idle,
+        "untracked": untracked,
+        "fraction": (attributed / busy) if busy else 0.0,
+    }
+
+
+def _profile_tables(doc: dict, top: int = 20) -> str:
+    """The flamegraph's accessible twin: span paths and hot frames."""
+    samples = max(1, int(doc.get("samples", 0)))
+    span_counts: dict[str, int] = {}
+    frame_counts: dict[str, int] = {}
+    for spans, frames, count, idle in _profile_stacks(doc):
+        if spans:
+            root = ";".join(spans)
+        else:
+            root = _FLAME_IDLE if idle else _FLAME_UNTRACKED
+        span_counts[root] = span_counts.get(root, 0) + count
+        if frames and not (idle and not spans):
+            leaf = frames[-1]
+            frame_counts[leaf] = frame_counts.get(leaf, 0) + count
+    span_rows = "".join(
+        f'<tr><td class="name">{_esc(path)}</td><td>{count}</td>'
+        f"<td>{count / samples:.1%}</td></tr>"
+        for path, count in sorted(
+            span_counts.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:top]
+    )
+    frame_rows = "".join(
+        f'<tr><td class="name">{_esc(label)}</td><td>{count}</td>'
+        f"<td>{count / samples:.1%}</td></tr>"
+        for label, count in sorted(
+            frame_counts.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:top]
+    )
+    return (
+        "<details><summary>Table view: samples per span path and hottest "
+        'busy frames</summary><div style="overflow-x:auto">'
+        '<table><tr><th class="name">span path</th><th>samples</th>'
+        f"<th>share</th></tr>{span_rows}</table>"
+        '<table style="margin-top:10px">'
+        '<tr><th class="name">leaf frame (busy samples)</th>'
+        f"<th>samples</th><th>share</th></tr>{frame_rows}</table>"
+        "</div></details>"
+    )
+
+
+def _profile_section(doc: dict | None) -> str:
+    """The dashboard's continuous-profiling panel for one merged profile."""
+    if not doc or not doc.get("samples"):
+        return (
+            '<p class="sub">No profile attached — capture one with '
+            "<code>repro profile --out profile.json</code> (or "
+            "<code>GET /profile?format=flame</code>) while the fleet is "
+            "working.</p>"
+        )
+    stats = _profile_attribution(doc)
+    processes = doc.get("processes") or []
+    roles: dict[str, int] = {}
+    for process in processes:
+        role = str(process.get("role", "?"))
+        roles[role] = roles.get(role, 0) + 1
+    provenance = ", ".join(
+        f"{count} {role}" for role, count in sorted(roles.items())
+    )
+    summary = (
+        f"{doc['samples']} samples over {float(doc.get('duration_s', 0.0)):.2f}s "
+        f"({_esc(doc.get('mode', 'wall'))} clock, "
+        f"{float(doc.get('interval_ms', 0.0)):g}ms interval"
+        + (f"; {provenance}" if provenance else "")
+        + f") · span attribution {stats['fraction']:.1%} of busy samples"
+    )
+    legend = (
+        '<p class="legend">'
+        '<span class="swatch" style="background:var(--series-1)"></span>'
+        "span-attributed"
+        '<span class="swatch" style="background:var(--series-2);opacity:.6">'
+        "</span>untracked busy"
+        '<span class="swatch" style="background:var(--muted);opacity:.5">'
+        "</span>idle (parked threads)</p>"
+    )
+    return (
+        f'<p class="sub">{summary}</p>'
+        f'<div class="card" style="overflow-x:auto">{_flamegraph_svg(doc)}'
+        f"{legend}</div>{_profile_tables(doc)}"
+    )
+
+
+def render_profile_page(
+    doc: dict, title: str = "repro fleet CPU profile"
+) -> str:
+    """One merged profile document as a self-contained flamegraph page.
+
+    Serves ``GET /profile?format=flame`` and ``repro profile --flame``:
+    the same zero-script, inline-CSS contract as the dashboard — the
+    file renders identically offline, light and dark.
+    """
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{_esc(title)}</title>
+<style>{_STYLE}</style>
+</head>
+<body class="viz-root">
+<h1>{_esc(title)}</h1>
+<p class="sub">Statistical stack samples across every fleet process,
+charged to the span path that owned each thread — root rows are spans
+(or the unattributed buckets), nested rows are Python frames.</p>
+{_profile_section(doc)}
+</body>
+</html>
+"""
+
+
 def render_dashboard(
     matrix: WorkloadMetricMatrix,
     characterizations: Sequence[WorkloadCharacterization] = (),
     subsetting: SubsettingResult | None = None,
     title: str = "repro characterization dashboard",
     budgeted=None,
+    profile: dict | None = None,
 ) -> str:
     """Render the suite as one self-contained HTML page.
 
@@ -557,6 +817,9 @@ def render_dashboard(
         budgeted: A :class:`repro.subset.BudgetedSelection`; when given,
             a coverage-vs-budget panel charts the greedy ranking's
             nested prefixes with the chosen operating point.
+        profile: A merged profile document (``repro profile --out`` /
+            ``GET /profile``); when given, a continuous-profiling panel
+            renders it as a span-attributed flamegraph.
 
     Returns:
         A complete HTML document with all assets inline — no scripts,
@@ -612,6 +875,9 @@ the whole budget sweep); the large marker is the chosen operating point.</p>
 <p class="sub">Each chosen representative's principal-component profile;
 diverse dominant axes are what make the subset representative.</p>
 {_kiviat_cards(subsetting)}
+
+<h2>Continuous profiling</h2>
+{_profile_section(profile)}
 
 <h2>Data</h2>
 {_matrix_table(matrix)}

@@ -366,6 +366,15 @@ def _cmd_status(args: argparse.Namespace) -> int:
         except ServiceError as error:
             print(f"repro: {error}", file=sys.stderr)
             return 1
+    if not status["workers"]:
+        # Every shard stale (or none ever written) is an outage even
+        # when some process still answers HTTP: report it as one.
+        print(
+            "repro: fleet has no live members — every metric shard is "
+            "stale or missing (is the service running?)",
+            file=sys.stderr,
+        )
+        return 1
     totals = status["totals"]
     print(f"{'instance':28s} {'role':10s} {'pid':>7s} {'up s':>8s} "
           f"{'beat s':>7s} {'jobs':>5s} {'reqs':>7s}")
@@ -392,6 +401,98 @@ def _cmd_status(args: argparse.Namespace) -> int:
         f"p95={quantiles['p95'] * 1e3:.1f}ms "
         f"p99={quantiles['p99'] * 1e3:.1f}ms"
     )
+    health = status.get("health")
+    if health:
+        line = (
+            f"serving worker {health.get('instance')}: "
+            f"{'ready' if health.get('ready') else 'NOT READY'}"
+        )
+        problems = health.get("problems") or []
+        if problems:
+            line += " (" + "; ".join(problems) + ")"
+        print(line)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """``repro profile``: capture a merged fleet CPU profile window."""
+    from repro.obs.prof import attribution, collapsed_stacks, span_totals
+
+    if args.store is not None:
+        from repro.obs.prof import collect_fleet_profile, request_profile
+
+        request = request_profile(
+            args.store,
+            seconds=args.seconds,
+            interval_ms=args.interval,
+            mode=args.mode,
+        )
+        doc = collect_fleet_profile(args.store, request)
+    else:
+        from repro.errors import ServiceError
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(args.url, timeout=args.seconds + 30.0)
+        try:
+            doc = client.profile(
+                seconds=args.seconds,
+                interval_ms=args.interval,
+                mode=args.mode,
+            )
+        except ServiceError as error:
+            print(f"repro: {error}", file=sys.stderr)
+            return 1
+    processes = doc.get("processes", [])
+    if not doc.get("samples"):
+        print(
+            "repro: the profile window captured no samples — no fleet "
+            "process answered (check `repro status`, or pass --store "
+            "for an offline fleet)",
+            file=sys.stderr,
+        )
+        return 1
+    stats = attribution(doc)
+    roles: dict[str, int] = {}
+    for process in processes:
+        role = str(process.get("role", "?"))
+        roles[role] = roles.get(role, 0) + 1
+    role_list = ", ".join(
+        f"{count} {role}" for role, count in sorted(roles.items())
+    )
+    print(
+        f"{doc['samples']} samples over {doc.get('duration_s', 0.0):.2f}s "
+        f"({doc.get('mode', 'wall')} clock, "
+        f"{doc.get('interval_ms', 0.0):g}ms interval) "
+        f"from {len(processes)} process(es): {role_list or 'n/a'}"
+    )
+    print(
+        f"span attribution: {stats['fraction']:.1%} of busy samples "
+        f"({stats['attributed']} attributed, {stats['untracked']} "
+        f"untracked, {stats['idle']} idle)"
+    )
+    print(f"\n{'span path':58s} {'samples':>8s} {'share':>7s}")
+    print("-" * 75)
+    for entry in span_totals(doc, top=args.top):
+        print(
+            f"{entry['path'][:58]:58s} {entry['samples']:>8d} "
+            f"{entry['fraction']:>6.1%}"
+        )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle)
+        print(f"\nprofile document -> {args.out}")
+    if args.collapsed:
+        with open(args.collapsed, "w", encoding="utf-8") as handle:
+            handle.write(collapsed_stacks(doc) + "\n")
+        print(f"collapsed stacks -> {args.collapsed} "
+              "(feed to flamegraph.pl or speedscope)")
+    if args.flame:
+        from repro.analysis.dashboard import render_profile_page
+
+        with open(args.flame, "w", encoding="utf-8") as handle:
+            handle.write(render_profile_page(doc))
+        print(f"flamegraph -> {args.flame} "
+              "(self-contained HTML, no scripts)")
     return 0
 
 
@@ -435,12 +536,24 @@ def _cmd_report(args: argparse.Namespace) -> int:
         )
     except ReproError as error:
         print(f"repro: budget panel skipped: {error}", file=sys.stderr)
+    profile_doc = None
+    if args.profile:
+        try:
+            with open(args.profile, encoding="utf-8") as handle:
+                profile_doc = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(
+                f"repro: profile panel skipped: cannot read "
+                f"{args.profile}: {error}",
+                file=sys.stderr,
+            )
     html_doc = render_dashboard(
         result.matrix,
         result.characterizations,
         subsetting=subsetting,
         title=f"repro characterization dashboard ({len(workloads)} workloads)",
         budgeted=budgeted,
+        profile=profile_doc,
     )
     with open(args.html, "w", encoding="utf-8") as handle:
         handle.write(html_doc)
@@ -767,6 +880,13 @@ def main(argv: list[str] | None = None) -> int:
         help="operating point for the coverage-vs-budget panel "
         "(default: half the pool's simulation cost)",
     )
+    report_parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="PROFILE_JSON",
+        help="embed this merged fleet profile (from `repro profile "
+        "--out`) as a flamegraph panel",
+    )
 
     subset_parser = subparsers.add_parser(
         "subset",
@@ -868,6 +988,55 @@ def main(argv: list[str] | None = None) -> int:
         help="HTTP timeout in seconds (default: %(default)s)",
     )
 
+    profile_parser = subparsers.add_parser(
+        "profile",
+        help="capture a fleet-wide CPU profile with span attribution",
+        description="Open a sampling window across every fleet process "
+        "(servers, supervisor, pool workers), merge the per-pid spills "
+        "and print the hottest span paths.  Talks to a live service's "
+        "GET /profile by default; with --store it publishes the window "
+        "through the store directory directly, so any fleet whose "
+        "agents watch that store answers even without HTTP.",
+    )
+    profile_parser.add_argument(
+        "--url", default="http://127.0.0.1:8321",
+        help="service base URL (default: %(default)s)",
+    )
+    profile_parser.add_argument(
+        "--store", default=None, metavar="STORE_DIR",
+        help="coordinate the window through this store directory "
+        "instead of a live service URL",
+    )
+    profile_parser.add_argument(
+        "--seconds", type=float, default=3.0,
+        help="sampling window length (default: %(default)s)",
+    )
+    profile_parser.add_argument(
+        "--interval", type=float, default=5.0, metavar="MS",
+        help="sampling period in milliseconds (default: %(default)s)",
+    )
+    profile_parser.add_argument(
+        "--mode", choices=("wall", "cpu"), default="wall",
+        help="wall samples elapsed time (parked threads show as idle); "
+        "cpu samples on-CPU time only (default: %(default)s)",
+    )
+    profile_parser.add_argument(
+        "--top", type=int, default=12, metavar="N",
+        help="span paths to print (default: %(default)s)",
+    )
+    profile_parser.add_argument(
+        "--out", default=None, metavar="PROFILE_JSON",
+        help="also write the merged profile document as JSON",
+    )
+    profile_parser.add_argument(
+        "--collapsed", default=None, metavar="PATH",
+        help="also write collapsed-stack text (flamegraph.pl/speedscope)",
+    )
+    profile_parser.add_argument(
+        "--flame", default=None, metavar="HTML",
+        help="also write a self-contained flamegraph HTML page",
+    )
+
     args = parser.parse_args(argv)
     if args.log_level is not None or args.log_json:
         # Only touch logging when asked: tests capture stdout/stderr and
@@ -886,6 +1055,7 @@ def main(argv: list[str] | None = None) -> int:
         "subset": _cmd_subset,
         "serve": _cmd_serve,
         "status": _cmd_status,
+        "profile": _cmd_profile,
     }
     return handlers[args.command](args)
 

@@ -247,6 +247,7 @@ def _worker_main(tasks, results, init: dict) -> None:
     from repro.cluster.testbed import Cluster
     from repro.obs.fleet import ShardWriter
     from repro.obs.metrics import REGISTRY
+    from repro.obs.prof import ProfileAgent, arm as arm_profiling
     from repro.obs.trace import Tracer
     from repro.service.store import ResultStore, characterization_to_payload
     from repro.workloads.base import RunContext
@@ -260,6 +261,13 @@ def _worker_main(tasks, results, init: dict) -> None:
         role="pool",
         tracer=tracer,
     ).start()
+    # This loop *is* the worker process's main thread: arm the sampling
+    # signals here so fleet profile windows catch the characterization
+    # frames (attributed to the pool:characterize:<name> span) mid-task.
+    arm_profiling()
+    profile_agent = ProfileAgent(
+        init["store_root"], instance=f"pool-{os.getpid():x}", role="pool"
+    ).start()
     tasks_done = REGISTRY.counter(
         "repro_pool_tasks_total",
         "Workload characterizations finished by pool workers, by outcome",
@@ -271,6 +279,7 @@ def _worker_main(tasks, results, init: dict) -> None:
     while True:
         task = tasks.get()
         if task is None:
+            profile_agent.close()
             shards.close()
             return
         generation, index, name, store_key, meta = task
@@ -318,6 +327,7 @@ def _worker_main(tasks, results, init: dict) -> None:
                 )
             )
             if not isinstance(error, Exception):
+                profile_agent.close()
                 shards.close()
                 raise  # KeyboardInterrupt/SystemExit: report, then die
         # Publish the finished task's span and counters promptly — a

@@ -29,11 +29,16 @@ benchmark harnesses share.  :mod:`repro.obs.fleet` extends the plane
 across *processes*: per-pid metric shards and trace spills in the
 shared store directory, merged at scrape time into one fleet-wide
 ``/metrics`` exposition, ``/fleet`` status view and multi-lane Chrome
-trace.
+trace.  :mod:`repro.obs.prof` is the continuous-profiling plane built
+on both: a statistical stack sampler whose samples are attributed to
+the live span path, spilled per process and merged into one fleet
+profile (``GET /profile``, ``repro profile``).  :mod:`repro.obs.ledger`
+keeps the perf-regression ledger the bench tools append to.
 """
 
 from repro.obs.fleet import ShardWriter, fleet_status, merge_traces, read_live_shards
 from repro.obs.flight import FlightRecorder, current_flight, flight_recording, record
+from repro.obs.prof import ProfileAgent, Profiler, arm as arm_profiling
 from repro.obs.log import configure_logging, get_logger
 from repro.obs.metrics import (
     REGISTRY,
@@ -46,6 +51,9 @@ from repro.obs.trace import Tracer, current_tracer, span, tracing
 
 __all__ = [
     "ShardWriter",
+    "Profiler",
+    "ProfileAgent",
+    "arm_profiling",
     "fleet_status",
     "merge_traces",
     "read_live_shards",

@@ -26,7 +26,47 @@ import time
 from collections.abc import Iterator
 from dataclasses import dataclass, field
 
-__all__ = ["SpanEvent", "Tracer", "current_tracer", "tracing", "span", "instant"]
+__all__ = [
+    "SpanEvent",
+    "Tracer",
+    "current_tracer",
+    "tracing",
+    "span",
+    "instant",
+    "span_paths",
+]
+
+
+#: Live span-name stack per thread (root-first), maintained by
+#: :meth:`Tracer.span` on entry/exit.  This is what gives the sampling
+#: profiler (:mod:`repro.obs.prof`) its span attribution: a sample of
+#: thread ``tid`` is charged to ``tuple(_SPAN_STACKS[tid])`` — "which
+#: phase of which workload", not just "which function".  Plain dict +
+#: list mutations are GIL-atomic, so the sampler can snapshot it from a
+#: signal handler without taking a lock; entries are removed when a
+#: thread's outermost span exits so the map stays bounded by the number
+#: of threads currently inside a span.
+_SPAN_STACKS: dict[int, list[str]] = {}
+
+# Thread idents are reused; a forked child inherits stacks for parent
+# threads that no longer exist and would misattribute samples to them.
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX only
+    os.register_at_fork(after_in_child=_SPAN_STACKS.clear)
+
+
+def span_paths() -> dict[int, tuple[str, ...]]:
+    """Snapshot of every thread's live span path (root-first).
+
+    Safe to call from a signal handler: reads one dict and copies each
+    list; a momentarily torn read during a concurrent push/pop only
+    shifts a single sample's attribution by one span level.
+    """
+    snapshot: dict[int, tuple[str, ...]] = {}
+    for tid, stack in list(_SPAN_STACKS.items()):
+        path = tuple(stack)
+        if path:
+            snapshot[tid] = path
+    return snapshot
 
 
 @dataclass(frozen=True)
@@ -91,18 +131,26 @@ class Tracer:
     @contextlib.contextmanager
     def span(self, name: str, cat: str = "", **args) -> Iterator[None]:
         """Record a complete event spanning the enclosed block."""
+        tid = threading.get_ident()
+        stack = _SPAN_STACKS.get(tid)
+        if stack is None:
+            stack = _SPAN_STACKS[tid] = []
+        stack.append(name)
         start_ns = time.perf_counter_ns()
         try:
             yield
         finally:
             end_ns = time.perf_counter_ns()
+            stack.pop()
+            if not stack:
+                _SPAN_STACKS.pop(tid, None)
             self._append(
                 SpanEvent(
                     name=name,
                     cat=cat,
                     ts_us=(start_ns - self._epoch_ns) / 1000.0,
                     dur_us=(end_ns - start_ns) / 1000.0,
-                    tid=threading.get_ident(),
+                    tid=tid,
                     args=args,
                 )
             )

@@ -141,6 +141,58 @@ class ServiceClient:
         """The fleet's merged multi-process Chrome trace (``/trace``)."""
         return self._request("/trace")
 
+    def healthz(self) -> dict:
+        """Liveness probe (``/healthz``): 200 whenever the worker is up."""
+        return self._request("/healthz")
+
+    def readyz(self) -> dict:
+        """Readiness probe (``/readyz``).
+
+        An alive-but-not-ready worker answers 503 with the same payload
+        shape; that case is decoded and returned rather than raised, so
+        callers branch on ``payload["ready"]`` — only transport failures
+        (connection refused, timeout) raise :class:`ServiceError`.
+        """
+        try:
+            return self._request("/readyz")
+        except ServiceError as error:
+            payload = getattr(error, "payload", None)
+            if (
+                getattr(error, "status", None) == 503
+                and isinstance(payload, dict)
+                and "ready" in payload
+            ):
+                return payload
+            raise
+
+    def profile(
+        self,
+        seconds: float | None = None,
+        interval_ms: float | None = None,
+        mode: str = "wall",
+        fmt: str = "json",
+    ) -> dict | str:
+        """Capture a fleet-wide CPU profile (``/profile?seconds=N``).
+
+        The serving worker opens (or joins) a sampling window across
+        every fleet process and blocks until the spills are merged, so
+        this call takes at least ``seconds``.  ``fmt="collapsed"``
+        returns flamegraph-ready collapsed-stack text, ``fmt="flame"``
+        the self-contained HTML panel; the default returns the merged
+        profile document as a dict.
+        """
+        params: dict[str, str] = {}
+        if seconds is not None:
+            params["seconds"] = f"{seconds:g}"
+        if interval_ms is not None:
+            params["interval"] = f"{interval_ms:g}"
+        if mode != "wall":
+            params["mode"] = mode
+        if fmt != "json":
+            params["format"] = fmt
+        query = f"?{urllib.parse.urlencode(params)}" if params else ""
+        return self._request(f"/profile{query}")
+
     def characterize(self, name: str, wait: bool = True) -> dict:
         """One workload's full characterization (or a job snapshot if
         ``wait=False`` and the result is not cached yet)."""

@@ -38,6 +38,7 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+import os
 import tempfile
 import threading
 import time
@@ -63,6 +64,16 @@ from repro.obs.fleet import (
 )
 from repro.obs.log import get_logger
 from repro.obs.metrics import REGISTRY
+from repro.obs.prof import (
+    DEFAULT_INTERVAL_MS,
+    DEFAULT_WINDOW_S,
+    MAX_WINDOW_S,
+    ProfileAgent,
+    arm as arm_profiling,
+    collapsed_stacks,
+    collect_fleet_profile,
+    request_profile,
+)
 from repro.obs.trace import Tracer, span as obs_span, tracing
 from repro.service.jobs import JobManager, JobState
 from repro.service.store import ResultStore, resolve_cache_dir
@@ -195,8 +206,19 @@ class CharacterizationService:
             role="server",
             tracer=self.tracer,
         ).start()
+        # Continuous-profiling plane: install the sampling signal
+        # handlers while we may still be on the main thread (a no-op
+        # otherwise — the profiler then falls back to its thread clock)
+        # and answer fleet-wide sampling windows from a daemon agent.
+        arm_profiling()
+        self.profile_agent = ProfileAgent(
+            self.store.root,
+            instance=f"server-{self.jobs.instance}",
+            role="server",
+        ).start()
 
     def close(self) -> None:
+        self.profile_agent.close()
         self.jobs.shutdown()
         # Final shard write *after* the jobs wind down so the last
         # counters of this worker's life are scrapeable until staleness
@@ -224,8 +246,14 @@ class CharacterizationService:
             return self._stats()
         if parts == ["fleet"]:
             return self._fleet()
+        if parts == ["healthz"]:
+            return self._healthz()
+        if parts == ["readyz"]:
+            return self._readyz()
         if parts == ["trace"]:
             return self._merged_trace()
+        if parts == ["profile"]:
+            return self._profile(query)
         if len(parts) == 2 and parts[0] == "characterize":
             wait = query.get("wait", ["1"])[0] not in ("0", "false", "no")
             return self._characterize(
@@ -278,7 +306,10 @@ class CharacterizationService:
                     "/metrics/catalog",
                     "/stats",
                     "/fleet",
+                    "/healthz",
+                    "/readyz",
                     "/trace",
+                    "/profile?seconds=N",
                     "/characterize/<name>",
                     "/suite/matrix",
                     "/subset?k=K",
@@ -340,7 +371,110 @@ class CharacterizationService:
         """``/fleet``: per-process liveness and merged fleet totals."""
         self.shards.write_now()
         status = fleet_status(read_live_shards(self.store.root))
+        ready, problems = self._readiness()
+        status["health"] = {
+            "instance": self.jobs.instance,
+            "healthy": True,  # we are answering, by definition
+            "ready": ready,
+            "problems": problems,
+        }
         return _Response(200, _dumps(status))
+
+    # -- health probes ----------------------------------------------------
+
+    def _healthz(self) -> _Response:
+        """``/healthz``: pure liveness — this worker is answering."""
+        return _Response(
+            200,
+            _dumps(
+                {
+                    "ok": True,
+                    "instance": self.jobs.instance,
+                    "pid": os.getpid(),
+                }
+            ),
+        )
+
+    def _readiness(self) -> tuple[bool, list[str]]:
+        """Store reachable + our shard heartbeat fresh (the /readyz body)."""
+        problems: list[str] = []
+        try:
+            if not self.store.root.is_dir():
+                problems.append(f"store root {self.store.root} is missing")
+        except OSError as exc:  # pragma: no cover - defensive
+            problems.append(f"store root unreachable: {exc}")
+        freshness = max(3.0 * self.shards.interval_s, 5.0)
+        try:
+            age = time.time() - self.shards.path.stat().st_mtime
+            if age > freshness:
+                problems.append(
+                    f"own metric shard heartbeat is {age:.1f}s old "
+                    f"(budget {freshness:.1f}s)"
+                )
+        except OSError:
+            problems.append("own metric shard has not been written")
+        return (not problems, problems)
+
+    def _readyz(self) -> _Response:
+        """``/readyz``: 200 when this worker can serve store-backed
+        traffic, 503 (with the reasons) when it cannot."""
+        ready, problems = self._readiness()
+        payload = {
+            "ready": ready,
+            "instance": self.jobs.instance,
+            "pid": os.getpid(),
+            "problems": problems,
+        }
+        return _Response(200 if ready else 503, _dumps(payload))
+
+    def _profile(self, query: dict[str, list[str]]) -> _Response:
+        """``/profile?seconds=N``: an on-demand merged fleet CPU profile.
+
+        Publishes a sampling window through the store (concurrent
+        requests join the same window), lets every process's
+        :class:`~repro.obs.prof.ProfileAgent` sample and spill, then
+        merges the spills.  ``format=json`` (default) returns the merged
+        profile document, ``format=collapsed`` flamegraph-ready text,
+        ``format=flame`` the self-contained HTML flamegraph panel.
+        """
+        try:
+            seconds = float(query.get("seconds", [str(DEFAULT_WINDOW_S)])[0])
+            interval = float(
+                query.get("interval", [str(DEFAULT_INTERVAL_MS)])[0]
+            )
+        except ValueError:
+            raise _HttpError(
+                400, "seconds and interval must be numbers"
+            ) from None
+        if not 0.2 <= seconds <= MAX_WINDOW_S:
+            raise _HttpError(
+                400, f"seconds must be in [0.2, {MAX_WINDOW_S:g}]"
+            )
+        mode = query.get("mode", ["wall"])[0]
+        if mode not in ("wall", "cpu"):
+            raise _HttpError(400, f"unknown profile mode {mode!r}")
+        fmt = query.get("format", ["json"])[0]
+        if fmt not in ("json", "collapsed", "flame"):
+            raise _HttpError(400, f"unknown profile format {fmt!r}")
+        request = request_profile(
+            self.store.root, seconds=seconds, interval_ms=interval, mode=mode
+        )
+        merged = collect_fleet_profile(self.store.root, request)
+        if fmt == "collapsed":
+            text = collapsed_stacks(merged) + "\n"
+            return _Response(
+                200,
+                text.encode("utf-8"),
+                content_type="text/plain; charset=utf-8",
+            )
+        if fmt == "flame":
+            from repro.analysis.dashboard import render_profile_page
+
+            html = render_profile_page(merged)
+            return _Response(
+                200, html.encode("utf-8"), content_type=_HTML
+            )
+        return _Response(200, _dumps(merged))
 
     def _merged_trace(self) -> _Response:
         """``/trace``: every process's trace spill stitched into one

@@ -45,6 +45,7 @@ from repro.errors import ServiceError
 from repro.obs.fleet import ShardWriter
 from repro.obs.log import get_logger
 from repro.obs.metrics import REGISTRY
+from repro.obs.prof import ProfileAgent, arm as arm_profiling
 from repro.service.server import CharacterizationService, ServiceConfig, _Handler
 from repro.service.store import resolve_cache_dir
 
@@ -181,6 +182,7 @@ class Supervisor:
         self._pids: set[int] = set()
         self._stopping = threading.Event()
         self._shards: ShardWriter | None = None
+        self._profile_agent: ProfileAgent | None = None
         self.host = host
         self.port = port
 
@@ -204,6 +206,15 @@ class Supervisor:
         if store_root is not None:
             self._shards = ShardWriter(
                 store_root, instance=f"sup-{os.getpid():x}", role="supervisor"
+            ).start()
+            # Answer fleet profile windows too: the supervisor is part
+            # of the fleet the flamegraph should account for.  Arm the
+            # sampling signals while this is still the main thread.
+            arm_profiling()
+            self._profile_agent = ProfileAgent(
+                store_root,
+                instance=f"sup-{os.getpid():x}",
+                role="supervisor",
             ).start()
         _log.info(
             "supervisor started",
@@ -302,6 +313,9 @@ class Supervisor:
         if self._sock is not None:
             self._sock.close()
             self._sock = None
+        if self._profile_agent is not None:
+            self._profile_agent.close()
+            self._profile_agent = None
         if self._shards is not None:
             self._shards.close()
             self._shards = None

@@ -1,0 +1,446 @@
+"""Tests for the statistical CPU profiler and its fleet shard lifecycle.
+
+Covers the sampler itself (both clocks, span attribution, bit-identity
+of a characterization running under it), the profile-document algebra
+(collapsed stacks, exact merges, attribution math, validation), the
+store-coordinated request/spill protocol, and — reusing the fork-based
+race harness from ``test_fleet.py`` — two-process concurrent spills
+merging to exact totals plus exactly-once GC of stale captures.
+"""
+
+import multiprocessing
+import os
+import signal as signal_module
+import threading
+import time
+
+import pytest
+
+from repro.cluster.testbed import Cluster, MeasurementConfig
+from repro.obs.prof import (
+    DEFAULT_PROFILE_TTL_S,
+    MAX_WINDOW_S,
+    PROFILE_SCHEMA,
+    ProfileAgent,
+    Profiler,
+    ProfilerError,
+    attribution,
+    collapsed_stacks,
+    collect_fleet_profile,
+    current_request,
+    gc_stale_profiles,
+    merge_profile_docs,
+    profile_request_path,
+    profiles_dir,
+    read_profile_docs,
+    request_profile,
+    span_totals,
+    spill_profile,
+    validate_profile,
+)
+from repro.obs.trace import Tracer, tracing
+from repro.workloads import RunContext, workload_by_name
+
+_MP = multiprocessing.get_context("fork") if hasattr(os, "fork") else None
+
+needs_fork = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="race harness needs os.fork()"
+)
+needs_setitimer = pytest.mark.skipif(
+    not hasattr(signal_module, "setitimer"),
+    reason="signal clock needs signal.setitimer()",
+)
+
+
+def _burn(seconds: float) -> float:
+    """Spin the CPU for ``seconds`` so the sampler has work to catch."""
+    deadline = time.perf_counter() + seconds
+    acc = 0.0
+    while time.perf_counter() < deadline:
+        for i in range(500):
+            acc += i * 0.5
+    return acc
+
+
+# -- the sampler --------------------------------------------------------------
+
+
+def test_thread_clock_attributes_samples_to_the_ambient_span():
+    tracer = Tracer()
+    profiler = Profiler(clock="thread", interval_ms=2.0).start()
+    try:
+        with tracing(tracer), tracer.span("test:burn"):
+            _burn(0.25)
+    finally:
+        doc = profiler.stop()
+
+    assert doc["schema"] == PROFILE_SCHEMA
+    assert doc["kind"] == "cpu-profile"
+    assert doc["clock"] == "thread"
+    assert doc["samples"] > 0
+    assert validate_profile(doc) == []
+    stats = attribution(doc)
+    assert stats["attributed"] > 0
+    # The main thread spent the window inside the span; the only other
+    # threads are parked waiters, which land in the idle bucket.
+    assert stats["fraction"] >= 0.5
+    assert any(
+        row["path"] == "test:burn" for row in span_totals(doc)
+    ), span_totals(doc)
+
+
+@needs_setitimer
+def test_signal_clock_starts_and_stops_off_the_main_thread():
+    """The arm protocol: handlers are installed once on the main thread,
+    after which any thread may run setitimer windows."""
+    from repro.obs.prof import arm, armed
+
+    assert arm() is True  # pytest runs tests on the main thread
+    assert armed() is True
+
+    tracer = Tracer()
+    started = threading.Event()
+    release = threading.Event()
+    result: dict = {}
+
+    def window() -> None:
+        profiler = Profiler(clock="signal", interval_ms=2.0).start()
+        started.set()
+        release.wait(timeout=5.0)
+        result["doc"] = profiler.stop()
+
+    worker = threading.Thread(target=window)
+    worker.start()
+    assert started.wait(timeout=5.0)
+    with tracing(tracer), tracer.span("test:signal-burn"):
+        _burn(0.25)
+    release.set()
+    worker.join(timeout=5.0)
+
+    doc = result["doc"]
+    assert doc["clock"] == "signal"
+    assert doc["samples"] > 0
+    assert any(row["path"] == "test:signal-burn" for row in span_totals(doc))
+
+
+def test_profiler_lifecycle_errors():
+    with pytest.raises(ValueError):
+        Profiler(mode="flame")
+    with pytest.raises(ValueError):
+        Profiler(clock="sundial")
+    profiler = Profiler(clock="thread").start()
+    try:
+        with pytest.raises(ProfilerError, match="already started"):
+            profiler.start()
+        # Only one sampling window per process at a time.
+        with pytest.raises(ProfilerError, match="already sampling"):
+            Profiler(clock="thread").start()
+    finally:
+        profiler.stop()
+    with pytest.raises(ProfilerError, match="not running"):
+        profiler.stop()
+
+
+def test_characterization_is_bit_identical_under_the_profiler():
+    """The acceptance invariant: sampling observes, never perturbs."""
+    workload = workload_by_name("H-WordCount")
+    context = RunContext(scale=0.2, seed=13)
+    measurement = MeasurementConfig(
+        slaves_measured=1, active_cores=2, ops_per_core=800, perf_repeats=2
+    )
+    baseline = Cluster().characterize_workload(workload, context, measurement)
+    with Profiler(clock="thread", interval_ms=2.0):
+        profiled = Cluster().characterize_workload(
+            workload, context, measurement
+        )
+    assert baseline.metrics == profiled.metrics
+    assert baseline.per_slave == profiled.per_slave
+
+
+# -- document algebra ---------------------------------------------------------
+
+
+def _doc(stacks, **extra) -> dict:
+    base = {
+        "schema": PROFILE_SCHEMA,
+        "kind": "cpu-profile",
+        "instance": extra.pop("instance", "unit"),
+        "role": "test",
+        "pid": extra.pop("pid", os.getpid()),
+        "mode": "wall",
+        "clock": "thread",
+        "interval_ms": 5.0,
+        "duration_s": 1.0,
+        "written_s": extra.pop("written_s", time.time()),
+        "ttl_s": extra.pop("ttl_s", DEFAULT_PROFILE_TTL_S),
+        "ticks": sum(entry[2] for entry in stacks),
+        "samples": sum(entry[2] for entry in stacks),
+        "stacks": stacks,
+    }
+    base.update(extra)
+    return base
+
+
+SAMPLE_STACKS = [
+    [["svc", "job"], ["a.py:f", "b.py:g"], 5, 0],
+    [[], ["c.py:h"], 3, 0],
+    [[], ["threading.py:wait"], 2, 1],
+]
+
+
+def test_collapsed_stacks_lead_with_the_span_path():
+    doc = _doc(SAMPLE_STACKS)
+    lines = collapsed_stacks(doc).splitlines()
+    assert lines == [
+        "svc;job;a.py:f;b.py:g 5",
+        "(untracked);c.py:h 3",
+        "(idle);threading.py:wait 2",
+    ]
+    assert "(idle)" not in collapsed_stacks(doc, include_idle=False)
+
+
+def test_attribution_is_over_busy_samples_only():
+    stats = attribution(_doc(SAMPLE_STACKS))
+    assert stats == {
+        "samples": 10,
+        "attributed": 5,
+        "idle": 2,
+        "untracked": 3,
+        "fraction": round(5 / 8, 4),
+    }
+    totals = span_totals(_doc(SAMPLE_STACKS), top=1)
+    assert totals == [{"path": "svc;job", "samples": 5, "fraction": 0.5}]
+
+
+def test_merge_sums_counts_exactly_per_stack_key():
+    left = _doc(
+        [[["svc"], ["a.py:f"], 4, 0], [[], ["b.py:g"], 1, 0]],
+        instance="w1",
+        pid=101,
+    )
+    right = _doc(
+        [[["svc"], ["a.py:f"], 6, 0], [[], ["c.py:h"], 2, 1]],
+        instance="w2",
+        pid=102,
+    )
+    request = {"id": "abc123", "mode": "wall", "interval_ms": 5.0}
+    merged = merge_profile_docs([left, right], request=request)
+    assert merged["samples"] == left["samples"] + right["samples"]
+    assert merged["request_id"] == "abc123"
+    assert [p["pid"] for p in merged["processes"]] == [101, 102]
+    by_key = {
+        (tuple(spans), tuple(frames), idle): count
+        for spans, frames, count, idle in merged["stacks"]
+    }
+    assert by_key[(("svc",), ("a.py:f",), 0)] == 10
+    assert validate_profile(merged) == []
+
+
+def test_validate_profile_catches_torn_documents():
+    assert validate_profile({"schema": 99}) != []
+    bad = _doc(SAMPLE_STACKS)
+    bad["samples"] = 999
+    assert any("stacks sum" in p for p in validate_profile(bad))
+    empty = _doc([[["svc"], [], 3, 0]])
+    assert any("empty frame stack" in p for p in validate_profile(empty))
+    thin = _doc(SAMPLE_STACKS)
+    problems = validate_profile(thin, min_samples=1000)
+    assert any("want >= 1000" in p for p in problems)
+    problems = validate_profile(thin, min_span_fraction=0.9)
+    assert any("span attribution" in p for p in problems)
+
+
+# -- the store-coordinated window ---------------------------------------------
+
+
+def test_concurrent_profile_requests_join_one_window(tmp_path):
+    first = request_profile(tmp_path, seconds=5.0)
+    joined = request_profile(tmp_path, seconds=5.0)
+    assert joined["id"] == first["id"]
+    # A much longer window cannot ride an almost-spent short one.
+    fresh = request_profile(tmp_path, seconds=30.0)
+    assert fresh["id"] != first["id"]
+    assert fresh["seconds"] <= MAX_WINDOW_S
+    clamped = request_profile(tmp_path, seconds=9999.0)
+    assert clamped["seconds"] == MAX_WINDOW_S
+
+
+def test_current_request_expires_at_the_deadline(tmp_path):
+    request = request_profile(tmp_path, seconds=1.0)
+    assert current_request(tmp_path)["id"] == request["id"]
+    assert current_request(tmp_path, now=time.time() + 10.0) is None
+
+
+def test_spills_survive_their_writer_but_not_their_ttl(tmp_path):
+    # A capture from a pid that no longer exists stays readable: unlike
+    # metric shards, a profile is a point-in-time artifact.
+    live = _doc(SAMPLE_STACKS, instance="gone", pid=2**22 + 17)
+    path = spill_profile(tmp_path, live)
+    assert path is not None and path.parent == profiles_dir(tmp_path)
+    assert [d["instance"] for d in read_profile_docs(tmp_path)] == ["gone"]
+
+    stale = _doc(
+        SAMPLE_STACKS, instance="old", written_s=time.time() - 60.0, ttl_s=1.0
+    )
+    stale_path = spill_profile(tmp_path, stale)
+    docs = read_profile_docs(tmp_path)  # default gc=True collects it
+    assert [d["instance"] for d in docs] == ["gone"]
+    assert not stale_path.exists()
+
+
+def test_read_skips_the_request_file_and_filters_by_request_id(tmp_path):
+    request = request_profile(tmp_path, seconds=5.0)
+    assert profile_request_path(tmp_path).exists()
+    tagged = _doc(SAMPLE_STACKS, instance="w1", request_id=request["id"])
+    other = _doc(SAMPLE_STACKS, instance="w2", pid=1, request_id="deadbeef")
+    spill_profile(tmp_path, tagged)
+    spill_profile(tmp_path, other)
+    assert len(read_profile_docs(tmp_path)) == 2
+    matched = read_profile_docs(tmp_path, request_id=request["id"])
+    assert [d["instance"] for d in matched] == ["w1"]
+
+
+def test_profile_agent_serves_a_window_end_to_end(tmp_path):
+    agent = ProfileAgent(tmp_path, instance="agent1", role="test", poll_s=0.05)
+    agent.start()
+    stop_burn = threading.Event()
+    tracer = Tracer()
+
+    def busy() -> None:
+        with tracing(tracer), tracer.span("test:agent-burn"):
+            while not stop_burn.is_set():
+                _burn(0.02)
+
+    worker = threading.Thread(target=busy, daemon=True)
+    worker.start()
+    try:
+        request = request_profile(tmp_path, seconds=0.6, interval_ms=2.0)
+        merged = collect_fleet_profile(
+            tmp_path, request, grace_s=3.0, expected=1
+        )
+    finally:
+        stop_burn.set()
+        worker.join(timeout=5.0)
+        agent.close()
+
+    assert merged["request_id"] == request["id"]
+    assert merged["samples"] > 0
+    assert merged["processes"][0]["instance"] == "agent1"
+    assert any(
+        row["path"] == "test:agent-burn" for row in span_totals(merged)
+    ), span_totals(merged)
+
+
+# -- the fork race harness ----------------------------------------------------
+
+
+def _spilling_profiler(root, request, barrier, results, index):
+    """Child: sample own busy loop inside a span, spill, report count."""
+    try:
+        tracer = Tracer()
+        barrier.wait(timeout=10.0)
+        profiler = Profiler(
+            clock="thread",
+            interval_ms=2.0,
+            instance=f"child{index}",
+            role="race",
+        ).start()
+        with tracing(tracer), tracer.span(f"race:child{index}"):
+            _burn(0.4)
+        doc = profiler.stop()
+        doc["request_id"] = request["id"]
+        spill_profile(root, doc)
+        results.put(("ok", index, doc["samples"]))
+    except Exception as exc:  # noqa: BLE001 - surfaced in the parent
+        results.put(("error", index, f"{type(exc).__name__}: {exc}"))
+
+
+@needs_fork
+def test_two_process_concurrent_spills_merge_to_exact_totals(tmp_path):
+    request = request_profile(tmp_path, seconds=2.0, interval_ms=2.0)
+    barrier = _MP.Barrier(2)
+    results = _MP.Queue()
+    children = [
+        _MP.Process(
+            target=_spilling_profiler,
+            args=(tmp_path, request, barrier, results, index),
+        )
+        for index in range(2)
+    ]
+    for child in children:
+        child.start()
+    reports = [results.get(timeout=30.0) for _ in children]
+    for child in children:
+        child.join(timeout=30.0)
+    errors = [r for r in reports if r[0] == "error"]
+    assert not errors, errors
+
+    docs = read_profile_docs(tmp_path, request_id=request["id"])
+    assert len(docs) == 2
+    merged = merge_profile_docs(docs, request=request)
+    assert merged["samples"] == sum(r[2] for r in reports)
+    assert merged["samples"] > 0
+    assert {p["instance"] for p in merged["processes"]} == {
+        "child0",
+        "child1",
+    }
+    # Each child burned inside its own span on its only busy thread.
+    assert attribution(merged)["fraction"] >= 0.9
+    for index in range(2):
+        assert any(
+            row["path"] == f"race:child{index}" for row in span_totals(merged)
+        )
+
+
+def _racing_profile_collector(root, barrier, results):
+    """Child: race the stale-spill GC and report what it removed."""
+    try:
+        barrier.wait(timeout=10.0)
+        removed = gc_stale_profiles(root)
+        results.put(("ok", [path.name for path in removed]))
+    except Exception as exc:  # noqa: BLE001 - surfaced in the parent
+        results.put(("error", f"{type(exc).__name__}: {exc}"))
+
+
+@needs_fork
+def test_concurrent_gc_removes_each_stale_spill_exactly_once(tmp_path):
+    stale_names = []
+    for index in range(4):
+        path = spill_profile(
+            tmp_path,
+            _doc(
+                SAMPLE_STACKS,
+                instance=f"old{index}",
+                pid=9000 + index,
+                written_s=time.time() - 60.0,
+                ttl_s=1.0,
+            ),
+        )
+        stale_names.append(path.name)
+    keeper = spill_profile(tmp_path, _doc(SAMPLE_STACKS, instance="fresh"))
+
+    barrier = _MP.Barrier(2)
+    results = _MP.Queue()
+    children = [
+        _MP.Process(
+            target=_racing_profile_collector,
+            args=(tmp_path, barrier, results),
+        )
+        for _ in range(2)
+    ]
+    for child in children:
+        child.start()
+    claims = [results.get(timeout=30.0) for _ in children]
+    for child in children:
+        child.join(timeout=30.0)
+    errors = [c for c in claims if c[0] == "error"]
+    assert not errors, errors
+
+    claimed = [name for _, names in claims for name in names]
+    # Every stale spill was removed, none twice, and the live capture
+    # plus any request file were left alone.
+    assert sorted(claimed) == sorted(stale_names)
+    assert len(claimed) == len(set(claimed))
+    assert keeper.exists()
+    survivors = [d["instance"] for d in read_profile_docs(tmp_path)]
+    assert survivors == ["fresh"]

@@ -1,0 +1,100 @@
+"""SSE fan-out under load: 100+ concurrent event streams on a 2-worker fleet.
+
+One cold collection job, 120 simultaneous ``/jobs/<id>/events``
+followers spread across both pre-fork workers (jobs journal their
+snapshots to the shared store, so a worker that does not own the job
+replays it).  Every stream must observe the job's terminal event and
+the end-of-stream sentinel, the client process must shed every stream
+thread afterwards, and the fleet must still be healthy.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.cluster.collection import CollectionConfig
+from repro.cluster.testbed import MeasurementConfig
+from repro.service.client import ServiceClient
+from repro.service.server import ServiceConfig
+from repro.service.supervisor import Supervisor
+from repro.workloads.suite import SUITE
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="pre-fork serving needs os.fork()"
+)
+
+FAST = CollectionConfig(
+    scale=0.2,
+    seed=29,
+    measurement=MeasurementConfig(
+        slaves_measured=1, active_cores=2, ops_per_core=1500, perf_repeats=2
+    ),
+)
+
+STREAMS = 120
+
+
+def test_120_concurrent_event_streams_all_see_the_terminal_event(tmp_path):
+    config = ServiceConfig(
+        collection=FAST,
+        workloads=SUITE[:2],
+        cache_dir=str(tmp_path / "store"),
+    )
+    with Supervisor(config, port=0, workers=2) as sup:
+        base = f"http://{sup.host}:{sup.port}"
+        snapshot = ServiceClient(base).characterize(SUITE[0].name, wait=False)
+        job_id = snapshot["id"]  # fresh store: always a cold job
+
+        baseline_threads = threading.active_count()
+        barrier = threading.Barrier(STREAMS + 1)
+        lock = threading.Lock()
+        sequences: list[list[str]] = []
+        errors: list[str] = []
+
+        def follow() -> None:
+            try:
+                client = ServiceClient(base, timeout=120.0)
+                barrier.wait(timeout=30.0)
+                events = [
+                    event["event"]
+                    for event in client.job_events(job_id, timeout=180.0)
+                ]
+                with lock:
+                    sequences.append(events)
+            except Exception as exc:  # noqa: BLE001 - asserted below
+                with lock:
+                    errors.append(f"{type(exc).__name__}: {exc}")
+
+        pool = [threading.Thread(target=follow) for _ in range(STREAMS)]
+        for thread in pool:
+            thread.start()
+        barrier.wait(timeout=30.0)
+        for thread in pool:
+            thread.join(timeout=300.0)
+
+        assert not errors, errors[:5]
+        assert len(sequences) == STREAMS
+        for events in sequences:
+            assert "done" in events, events
+            assert events[-1] == "end-of-stream", events
+
+        # No thread leak: every follower thread is gone (small slack for
+        # unrelated daemon timers that may have started meanwhile).
+        deadline = time.time() + 10.0
+        while threading.active_count() > baseline_threads and (
+            time.time() < deadline
+        ):
+            time.sleep(0.05)
+        assert threading.active_count() <= baseline_threads + 2
+
+        # The fleet survived the storm: both workers alive, still
+        # serving, still ready.
+        for pid in sup._pids:
+            os.kill(pid, 0)  # raises if the worker died
+        client = ServiceClient(base)
+        assert client.healthz()["ok"] is True
+        assert client.readyz()["ready"] is True
+        status = client.fleet()
+        assert status["health"]["ready"] is True

@@ -37,6 +37,7 @@ from repro.cluster.collection import CollectionConfig, characterize_suite  # noq
 from repro.cluster.testbed import MeasurementConfig  # noqa: E402
 from repro.core.pca import fit_pca  # noqa: E402
 from repro.core.subsetting import subset_workloads  # noqa: E402
+from repro.obs.ledger import append_record  # noqa: E402
 from repro.obs.stats import Stopwatch  # noqa: E402
 from repro.obs.timeline import TimelineConfig  # noqa: E402
 from repro.subset import estimate_costs, evaluate_sweep  # noqa: E402
@@ -127,6 +128,11 @@ def main(argv: list[str] | None = None) -> int:
         default=str(REPO_ROOT / "BENCH_subset.json"),
         help="output JSON path (skipped in --check mode)",
     )
+    parser.add_argument(
+        "--history",
+        default=str(REPO_ROOT / "benchmarks" / "history.jsonl"),
+        help="perf-regression ledger appended to in --check mode",
+    )
     args = parser.parse_args(argv)
 
     results = run_benchmark(smoke=args.smoke)
@@ -139,20 +145,39 @@ def main(argv: list[str] | None = None) -> int:
         f"mean lift over random {summary['mean_coverage_lift']:+.4f}"
     )
     if args.check:
-        failed = False
+        failures = []
         if not summary["all_dominate_random"]:
-            print("FAIL: a random same-cost subset beat the budgeted selection")
-            failed = True
+            failures.append(
+                "a random same-cost subset beat the budgeted selection"
+            )
         if not summary["all_match_ffc"]:
-            print("FAIL: farthest-from-centroid beat the budgeted selection at equal cost")
-            failed = True
+            failures.append(
+                "farthest-from-centroid beat the budgeted selection at "
+                "equal cost"
+            )
         if not summary["deterministic"]:
-            print("FAIL: the sweep was not bit-identical across two runs")
-            failed = True
+            failures.append("the sweep was not bit-identical across two runs")
         if results["measured_costs"] == 0:
-            print("FAIL: no measured costs — the timeline cost model was vacuous")
-            failed = True
-        return 1 if failed else 0
+            failures.append(
+                "no measured costs — the timeline cost model was vacuous"
+            )
+        append_record(
+            args.history,
+            bench="subset",
+            headline={
+                "mean_coverage_lift": summary["mean_coverage_lift"],
+                "n_swept": summary["n_swept"],
+                "collect_seconds": results["collect_seconds"],
+                "sweep_seconds": results["sweep_seconds"],
+                "measured_costs": results["measured_costs"],
+            },
+            status="fail" if failures else "pass",
+            failures=failures,
+        )
+        print(f"ledger record appended to {args.history}")
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1 if failures else 0
     out_path = Path(args.out)
     out_path.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {out_path}")

@@ -6,6 +6,8 @@ processes, and the collection pool workers behind them — drives a cold
 suite collection through it with one correlation id, then asserts the
 scrape-side contracts end to end:
 
+0. ``GET /healthz`` answers ok and ``GET /readyz`` reports ready (with
+   a fresh shard heartbeat) before any load is applied;
 1. a single ``GET /metrics`` reports fleet totals that exactly match the
    per-process shard files on disk (quiescent counters, outcome by
    outcome), with ``per_worker`` gauges labelled instead of summed;
@@ -117,6 +119,18 @@ def run_gate(serve_workers: int, out: str | None) -> list[str]:
                 f"probes reached {len(instances)} of {serve_workers} workers"
             )
 
+        # -- gate 0: health probes --------------------------------------
+        health = client.healthz()
+        if health.get("ok") is not True:
+            problems.append(f"/healthz not ok: {health}")
+        ready = client.readyz()
+        if ready.get("ready") is not True:
+            problems.append(f"/readyz not ready: {ready}")
+        print(
+            f"check_fleet: /healthz ok from {health.get('instance')}, "
+            f"/readyz ready from {ready.get('instance')}"
+        )
+
         matrix = client.matrix()  # the cold collection, through the pool
         print(f"check_fleet: collected {len(matrix['workloads'])} workloads")
 
@@ -159,6 +173,10 @@ def run_gate(serve_workers: int, out: str | None) -> list[str]:
         if fleet["totals"]["restarts_total"] != 0:
             problems.append(
                 f"unexpected restarts: {fleet['totals']['restarts_total']}"
+            )
+        if fleet.get("health", {}).get("ready") is not True:
+            problems.append(
+                f"/fleet health block not ready: {fleet.get('health')}"
             )
         print(
             f"check_fleet: /fleet sees {fleet['totals']['processes']} "
